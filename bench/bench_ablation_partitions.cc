@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation (Section 5.3.2): the partition-count / adaptiveness /
+ * performance trade-off. Over the same four 2D channels, schemes with
+ * 2, 3 and 4 partitions are measured for exact adaptiveness and
+ * simulated under transpose traffic; fewer partitions => more
+ * adaptiveness => later saturation. A second ablation toggles the
+ * Theorem-2/3 U-/I-turn options to show they add legal transitions
+ * without affecting deadlock freedom.
+ */
+
+#include "common.hh"
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+reproduce()
+{
+    bench::banner("Ablation: partition count vs adaptiveness vs "
+                  "performance (2D, 4 channels)");
+
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Transpose);
+
+    struct Entry
+    {
+        const char *label;
+        core::PartitionScheme scheme;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"2 partitions (Negative-First)",
+                       core::schemeFig6P4()});
+    entries.push_back({"2 partitions (West-First)", core::schemeFig6P3()});
+    {
+        core::PartitionScheme three;
+        three.add(core::Partition({core::makeClass(0, core::Sign::Pos),
+                                   core::makeClass(1, core::Sign::Pos)}));
+        three.add(core::Partition({core::makeClass(0, core::Sign::Neg)}));
+        three.add(core::Partition({core::makeClass(1, core::Sign::Neg)}));
+        entries.push_back({"3 partitions (Table 2 row 1)", three});
+    }
+    entries.push_back({"4 partitions (XY)", core::schemeFig6P1()});
+
+    TextTable t;
+    t.setHeader({"scheme", "90-deg", "adaptiveness", "deadlock-free",
+                 "sat. throughput (transpose)"});
+    for (const auto &e : entries) {
+        const auto set = core::TurnSet::extract(e.scheme);
+        const auto adapt = cdg::measureAdaptiveness(net, e.scheme);
+        const auto verdict = cdg::checkDeadlockFree(net, e.scheme);
+
+        const routing::EbDaRouting r(net, e.scheme);
+        sim::SimConfig cfg;
+        cfg.injectionRate = 0.9;
+        cfg.warmupCycles = 2500;
+        cfg.measureCycles = 4000;
+        cfg.drainCycles = 0;
+        cfg.seed = 3;
+        const auto result = sim::runSimulation(net, r, gen, cfg);
+
+        t.addRow({e.label,
+                  TextTable::num(set.count(core::TurnKind::Turn90)),
+                  TextTable::num(adapt.averageFraction, 4),
+                  verdict.deadlockFree ? "yes" : "NO",
+                  result.deadlocked ? "DEADLOCK"
+                                    : TextTable::num(result.acceptedRate,
+                                                     3)});
+    }
+    t.print(std::cout);
+
+    bench::banner("Ablation: Theorem-2/3 U-/I-turn options (Fig 7(b) "
+                  "scheme)");
+    const auto net2 = topo::Network::mesh({8, 8}, {1, 2});
+    TextTable t2;
+    t2.setHeader({"options", "turns", "U", "I", "deadlock-free"});
+    auto opt_row = [&](const char *label,
+                       const core::TurnExtractionOptions &opts) {
+        const auto set = core::TurnSet::extract(core::schemeFig7b(), opts);
+        const auto verdict =
+            cdg::checkDeadlockFree(net2, core::schemeFig7b(), opts);
+        t2.addRow({label, TextTable::num(set.size()),
+                   TextTable::num(set.count(core::TurnKind::UTurn)),
+                   TextTable::num(set.count(core::TurnKind::ITurn)),
+                   verdict.deadlockFree ? "yes" : "NO"});
+    };
+    core::TurnExtractionOptions all;
+    opt_row("all theorems (maximally adaptive)", all);
+    core::TurnExtractionOptions no_ui = all;
+    no_ui.theorem2 = false;
+    no_ui.crossUITurns = false;
+    opt_row("90-degree turns only", no_ui);
+    core::TurnExtractionOptions next_only = all;
+    next_only.transitionsToAllLater = false;
+    opt_row("transitions to next partition only", next_only);
+    t2.print(std::cout);
+    std::cout << "paper: U-/I-turns matter for fault tolerance and tori; "
+                 "they never jeopardise deadlock freedom\n";
+}
+
+void
+bmAblationAdaptiveness(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    const auto scheme = core::schemeFig6P4();
+    for (auto _ : state) {
+        auto report = cdg::measureAdaptiveness(net, scheme);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(bmAblationAdaptiveness);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

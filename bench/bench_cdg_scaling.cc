@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Scaling study: cost of the Dally oracle (concrete CDG construction +
+ * cycle check) versus network size and dimensionality — the practical
+ * footprint of "verify any design directly" that EbDa relies on, and
+ * the quantity that explodes when multiplied by the 4^c turn-model
+ * search (bench_combinations).
+ */
+
+#include "common.hh"
+
+#include <chrono>
+
+#include "cdg/turn_cdg.hh"
+#include "core/minimal.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+reproduce()
+{
+    bench::banner("Dally-oracle cost vs network size (merged EbDa "
+                  "scheme)");
+
+    TextTable t;
+    t.setHeader({"network", "channels", "dependencies", "verify time"});
+
+    struct Config
+    {
+        std::string label;
+        std::vector<int> dims;
+        std::uint8_t n;
+    };
+    std::vector<Config> configs;
+    for (int k : {4, 8, 16, 32})
+        configs.push_back({std::to_string(k) + "x" + std::to_string(k),
+                           {k, k}, 2});
+    for (int k : {4, 8})
+        configs.push_back({std::to_string(k) + "^3", {k, k, k}, 3});
+    configs.push_back({"4^4", {4, 4, 4, 4}, 4});
+
+    for (const auto &cfg : configs) {
+        const auto scheme = core::mergedScheme(cfg.n);
+        const auto net =
+            topo::Network::mesh(cfg.dims, core::vcsRequired(scheme));
+        const auto start = std::chrono::steady_clock::now();
+        const auto report = cdg::checkDeadlockFree(net, scheme);
+        const double ms = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()
+            * 1e3;
+        t.addRow({cfg.label, TextTable::num(report.numChannels),
+                  TextTable::num(report.numDependencies),
+                  TextTable::num(ms, 2) + " ms"});
+        if (!report.deadlockFree)
+            std::cout << "UNEXPECTED cycle in " << cfg.label << '\n';
+    }
+    t.print(std::cout);
+    std::cout << "takeaway: a single oracle check is cheap even at 32x32; "
+                 "the turn-model flow multiplies it by 4^cycles, EbDa "
+                 "needs exactly one\n";
+}
+
+void
+bmVerifyMeshSize(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const auto scheme = core::mergedScheme(2);
+    const auto net =
+        topo::Network::mesh({k, k}, core::vcsRequired(scheme));
+    for (auto _ : state) {
+        auto report = cdg::checkDeadlockFree(net, scheme);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(bmVerifyMeshSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+bmVerifyDimension(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint8_t>(state.range(0));
+    const auto scheme = core::mergedScheme(n);
+    const auto net = topo::Network::mesh(
+        std::vector<int>(n, 4), core::vcsRequired(scheme));
+    for (auto _ : state) {
+        auto report = cdg::checkDeadlockFree(net, scheme);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(bmVerifyDimension)->Arg(2)->Arg(3)->Arg(4);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

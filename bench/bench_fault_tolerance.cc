@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Theorem-2 note reproduction: "Enabling U-turns is essentially
+ * important in fault-tolerant designs or where rerouting brings an
+ * advantage". The bench injects random bidirectional link faults into
+ * an 8x8 mesh and measures, for the fully adaptive EbDa scheme in
+ * shortest-state mode, the fraction of (src, dest) pairs still
+ * routable with the full Theorem-1/2/3 turn set versus the same scheme
+ * with every U-/I-turn removed. Deadlock freedom is oracle-checked for
+ * every faulty instance.
+ */
+
+#include "common.hh"
+
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/ebda_routing.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+double
+routableFraction(const routing::EbDaRouting &r, const topo::Network &net)
+{
+    std::size_t ok = 0;
+    std::size_t pairs = 0;
+    for (topo::NodeId s = 0; s < net.numNodes(); ++s) {
+        for (topo::NodeId d = 0; d < net.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            ++pairs;
+            if (!r.candidates(cdg::kInjectionChannel, s, s, d).empty())
+                ++ok;
+        }
+    }
+    return static_cast<double>(ok) / static_cast<double>(pairs);
+}
+
+void
+reproduce()
+{
+    bench::banner("Fault tolerance: routable pairs vs injected link "
+                  "faults (8x8 mesh, Fig 7(b) scheme, shortest-state)");
+
+    const auto base = topo::Network::mesh({8, 8}, {1, 2});
+    core::TurnExtractionOptions no_ui;
+    no_ui.theorem2 = false;
+    no_ui.crossUITurns = false;
+
+    TextTable t;
+    t.setHeader({"failed links", "routable (with U/I turns)",
+                 "routable (90-degree only)", "deadlock-free"});
+
+    Rng rng(20170624);
+    for (const int faults : {0, 1, 2, 4, 8}) {
+        double with_ui = 0.0;
+        double without_ui = 0.0;
+        bool all_deadlock_free = true;
+        const int trials = faults == 0 ? 1 : 5;
+        for (int trial = 0; trial < trials; ++trial) {
+            std::vector<std::pair<topo::NodeId, topo::NodeId>> failed;
+            for (int f = 0; f < faults; ++f) {
+                const auto l = static_cast<topo::LinkId>(
+                    rng.nextBounded(base.numLinks()));
+                failed.emplace_back(base.link(l).src, base.link(l).dst);
+                failed.emplace_back(base.link(l).dst, base.link(l).src);
+            }
+            const auto net = base.withoutLinks(failed);
+            const routing::EbDaRouting full(
+                net, core::schemeFig7b(), {},
+                routing::EbDaRouting::Mode::ShortestState);
+            const routing::EbDaRouting restricted(
+                net, core::schemeFig7b(), no_ui,
+                routing::EbDaRouting::Mode::ShortestState);
+            with_ui += routableFraction(full, net);
+            without_ui += routableFraction(restricted, net);
+            all_deadlock_free &=
+                cdg::checkDeadlockFree(full).deadlockFree;
+        }
+        t.addRow({TextTable::num(faults),
+                  TextTable::num(with_ui / trials, 4),
+                  TextTable::num(without_ui / trials, 4),
+                  all_deadlock_free ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "expected shape: coverage degrades gracefully with "
+                 "faults and the turn restriction costs nothing in "
+                 "coverage on a mesh (the rich 90-degree set reroutes); "
+                 "deadlock safety holds for every fault pattern\n";
+
+    bench::banner("Where U-turns pay: torus wrap shortcuts (8x8 torus)");
+    const auto torus = topo::Network::torus({8, 8}, {2, 2});
+    core::PartitionScheme scheme;
+    scheme.add(core::Partition({core::makeClass(1, core::Sign::Pos, 0),
+                                core::makeClass(1, core::Sign::Neg, 0),
+                                core::makeClass(0, core::Sign::Pos, 0)}));
+    scheme.add(core::Partition({core::makeClass(1, core::Sign::Pos, 1),
+                                core::makeClass(1, core::Sign::Neg, 1),
+                                core::makeClass(0, core::Sign::Neg, 0)}));
+    scheme.add(core::Partition({core::makeClass(0, core::Sign::Pos, 1),
+                                core::makeClass(0, core::Sign::Neg, 1)}));
+
+    auto avg_len = [&](const routing::EbDaRouting &r) {
+        double sum = 0.0;
+        std::size_t pairs = 0;
+        for (topo::NodeId s = 0; s < torus.numNodes(); ++s) {
+            for (topo::NodeId d = 0; d < torus.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                std::uint32_t best = UINT32_MAX;
+                for (topo::ChannelId c :
+                     r.candidates(cdg::kInjectionChannel, s, s, d)) {
+                    best = std::min(best, r.stateDistance(c, d));
+                }
+                if (best != UINT32_MAX) {
+                    sum += best;
+                    ++pairs;
+                }
+            }
+        }
+        return pairs ? sum / static_cast<double>(pairs) : 0.0;
+    };
+    const routing::EbDaRouting with_ui(
+        torus, scheme, {}, routing::EbDaRouting::Mode::ShortestState);
+    const routing::EbDaRouting without_ui(
+        torus, scheme, no_ui, routing::EbDaRouting::Mode::ShortestState);
+    std::cout << "avg route length with U-turns (wraps usable):    "
+              << TextTable::num(avg_len(with_ui), 3)
+              << " hops\navg route length without U-turns (mesh-like): "
+              << TextTable::num(avg_len(without_ui), 3)
+              << " hops\n(torus-minimal average is 4.06, mesh-minimal "
+                 "5.33 on 8x8 — wrap traversals ARE Theorem-2 U-turns)\n";
+}
+
+void
+bmFaultyReroutingSetup(benchmark::State &state)
+{
+    const auto base = topo::Network::mesh({8, 8}, {1, 2});
+    const auto net = base.withoutLinks(
+        {{base.node({3, 3}), base.node({4, 3})},
+         {base.node({4, 3}), base.node({3, 3})}});
+    for (auto _ : state) {
+        routing::EbDaRouting r(net, core::schemeFig7b(), {},
+                               routing::EbDaRouting::Mode::ShortestState);
+        // Force one distance-table build.
+        auto c = r.candidates(cdg::kInjectionChannel, 0, 0,
+                              static_cast<topo::NodeId>(
+                                  net.numNodes() - 1));
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(bmFaultyReroutingSetup);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

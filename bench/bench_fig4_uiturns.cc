@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 4 reproduction: the U-/I-turn counting identity. With n
+ * channels of one dimension numbered ascending inside a partition,
+ * n(n-1)/2 transitions are allowed: a*b U-turns and C(a,2)+C(b,2)
+ * I-turns for a positive / b negative channels. The paper's example
+ * (three VCs) yields 9 U-turns and 6 I-turns.
+ */
+
+#include "common.hh"
+
+#include "core/turns.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+core::PartitionScheme
+pairScheme(int a, int b)
+{
+    core::Partition p;
+    for (int v = 0; v < a; ++v)
+        p.add(core::makeClass(1, core::Sign::Pos,
+                              static_cast<std::uint8_t>(v)));
+    for (int v = 0; v < b; ++v)
+        p.add(core::makeClass(1, core::Sign::Neg,
+                              static_cast<std::uint8_t>(v)));
+    core::PartitionScheme s;
+    s.add(p);
+    return s;
+}
+
+void
+reproduce()
+{
+    bench::banner("Figure 4: U-/I-turn counts under ascending numbering");
+
+    TextTable t;
+    t.setHeader({"a (pos)", "b (neg)", "U measured", "U = a*b",
+                 "I measured", "I = C(a,2)+C(b,2)", "total", "n(n-1)/2"});
+    for (int a = 1; a <= 5; ++a) {
+        for (int b = 1; b <= 5; ++b) {
+            const auto set = core::TurnSet::extract(pairScheme(a, b));
+            const auto expected = core::expectedUICounts(
+                static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+            const std::size_t n = static_cast<std::size_t>(a + b);
+            t.addRow({TextTable::num(a), TextTable::num(b),
+                      TextTable::num(set.count(core::TurnKind::UTurn)),
+                      TextTable::num(expected.uTurns),
+                      TextTable::num(set.count(core::TurnKind::ITurn)),
+                      TextTable::num(expected.iTurns),
+                      TextTable::num(set.size()),
+                      TextTable::num(n * (n - 1) / 2)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "paper example (a=3, b=3): 9 U-turns + 6 I-turns = 15 = "
+                 "n(n-1)/2\n";
+}
+
+void
+bmExtractLargePair(benchmark::State &state)
+{
+    const auto scheme =
+        pairScheme(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto set = core::TurnSet::extract(scheme);
+        benchmark::DoNotOptimize(set);
+    }
+}
+BENCHMARK(bmExtractLargePair)->Arg(3)->Arg(8)->Arg(16);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 5 reproduction: Theorem 3 on {X+ X- Y-} -> {Y+}. The combined
+ * turn set equals the North-Last turn model; the transition adds the EN
+ * and WN turns plus the S->N U-turn, while NE/NW stay prohibited.
+ */
+
+#include "common.hh"
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/catalog.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+reproduce()
+{
+    bench::banner("Figure 5: {X+ X- Y-} -> {Y+} == North-Last");
+
+    const auto scheme = core::schemeNorthLast();
+    const auto set = core::TurnSet::extract(scheme);
+
+    TextTable t;
+    t.setHeader({"turn", "kind", "origin"});
+    for (const auto &turn : set.turns()) {
+        t.addRow({turn.compassName(), core::toString(turn.kind),
+                  turn.origin == core::TurnOrigin::Theorem1 ? "Theorem 1"
+                  : turn.origin == core::TurnOrigin::Theorem2
+                      ? "Theorem 2"
+                      : "Theorem 3"});
+    }
+    t.print(std::cout);
+
+    const auto dirs = core::directionTurns(set);
+    std::cout << "direction-level 90-degree turns:";
+    for (const auto &d : dirs)
+        std::cout << ' ' << d;
+    std::cout << "\nmatches North-Last reference: "
+              << (dirs == core::northLastTurns() ? "yes" : "NO") << '\n';
+    std::cout << "classified as: "
+              << core::classify2dScheme(scheme).value_or("<none>") << '\n';
+
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    std::cout << "Dally oracle on 8x8 mesh: "
+              << (cdg::checkDeadlockFree(net, scheme).deadlockFree
+                      ? "deadlock-free"
+                      : "CYCLIC")
+              << '\n';
+    const auto adapt = cdg::measureAdaptiveness(net, scheme);
+    std::cout << "adaptiveness (allowed/total minimal paths, avg): "
+              << adapt.averageFraction << '\n';
+}
+
+void
+bmClassify(benchmark::State &state)
+{
+    const auto scheme = core::schemeNorthLast();
+    for (auto _ : state) {
+        auto name = core::classify2dScheme(scheme);
+        benchmark::DoNotOptimize(name);
+    }
+}
+BENCHMARK(bmClassify);
+
+void
+bmAdaptiveness(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    const auto scheme = core::schemeNorthLast();
+    for (auto _ : state) {
+        auto report = cdg::measureAdaptiveness(net, scheme);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(bmAdaptiveness);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

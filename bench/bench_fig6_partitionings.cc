@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 6 reproduction: the five partitioning strategies P1..P5 of a
+ * 2D network and the routing algorithms they induce — XY, a partially
+ * adaptive design, West-First, Negative-First, and the VC variant that
+ * adds no adaptiveness. For each strategy the bench prints the turn
+ * counts, the classical-algorithm classification, the oracle verdict
+ * and the exact adaptiveness.
+ */
+
+#include "common.hh"
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/catalog.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+struct Entry
+{
+    const char *label;
+    const char *paper;
+    core::PartitionScheme scheme;
+};
+
+std::vector<Entry>
+entries()
+{
+    std::vector<Entry> out;
+    out.push_back({"P1", "XY routing", core::schemeFig6P1()});
+    out.push_back({"P2", "partially adaptive", core::schemeFig6P2()});
+    out.push_back({"P3", "West-First", core::schemeFig6P3()});
+    out.push_back({"P4", "Negative-First", core::schemeFig6P4()});
+    out.push_back({"P5", "West-First + VCs (no added adaptiveness)",
+                   core::schemeFig6P5()});
+    return out;
+}
+
+void
+reproduce()
+{
+    bench::banner("Figure 6: partitioning strategies P1..P5");
+
+    const auto net = topo::Network::mesh({8, 8}, {1, 2});
+
+    TextTable t;
+    t.setHeader({"option", "scheme", "parts", "90-deg", "U", "I",
+                 "classified", "paper says", "deadlock-free",
+                 "adaptiveness"});
+    for (const auto &e : entries()) {
+        const auto set = core::TurnSet::extract(e.scheme);
+        const auto verdict = cdg::checkDeadlockFree(net, e.scheme);
+        const auto adapt = cdg::measureAdaptiveness(net, e.scheme);
+        t.addRow({e.label, e.scheme.toString(false),
+                  TextTable::num(static_cast<int>(e.scheme.size())),
+                  TextTable::num(set.count(core::TurnKind::Turn90)),
+                  TextTable::num(set.count(core::TurnKind::UTurn)),
+                  TextTable::num(set.count(core::TurnKind::ITurn)),
+                  core::classify2dScheme(e.scheme).value_or("-"),
+                  e.paper, verdict.deadlockFree ? "yes" : "NO",
+                  TextTable::num(adapt.averageFraction, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "paper: P3/P4 reach maximum adaptiveness (6 turns); P5's "
+                 "VCs inside one partition add identical turns only\n";
+}
+
+void
+bmVerifyAllStrategies(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 2});
+    const auto all = entries();
+    for (auto _ : state) {
+        for (const auto &e : all) {
+            auto verdict = cdg::checkDeadlockFree(net, e.scheme);
+            benchmark::DoNotOptimize(verdict);
+        }
+    }
+}
+BENCHMARK(bmVerifyAllStrategies);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

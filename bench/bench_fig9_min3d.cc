@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 9 reproduction: the 3D minimum-channel constructions — eight
+ * region partitions with 24 channels (Fig 9(a)) versus four merged
+ * partitions with 16 channels (Fig 9(b), 9(c)); all verified
+ * deadlock-free and fully adaptive, and 16 = (n+1)*2^(n-1) confirmed as
+ * the formula value.
+ */
+
+#include "common.hh"
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+reproduce()
+{
+    bench::banner("Figure 9: 3D fully adaptive constructions");
+
+    const auto net = topo::Network::mesh({3, 3, 3}, {3, 3, 4});
+
+    TextTable t;
+    t.setHeader({"construction", "partitions", "channels", "VCs(X,Y,Z)",
+                 "deadlock-free", "fully adaptive"});
+    auto row = [&](const std::string &label,
+                   const core::PartitionScheme &scheme) {
+        auto vcs = core::vcsRequired(scheme);
+        vcs.resize(3, 0);
+        const auto verdict = cdg::checkDeadlockFree(net, scheme);
+        const auto adapt = cdg::measureAdaptiveness(net, scheme);
+        t.addRow({label, TextTable::num(static_cast<int>(scheme.size())),
+                  TextTable::num(core::channelCount(scheme)),
+                  "(" + TextTable::num(vcs[0]) + "," + TextTable::num(vcs[1])
+                      + "," + TextTable::num(vcs[2]) + ")",
+                  verdict.deadlockFree ? "yes" : "NO",
+                  adapt.fullyAdaptive ? "yes" : "no"});
+    };
+    {
+        const auto region = topo::Network::mesh({3, 3, 3}, {4, 4, 4});
+        const auto scheme = core::regionScheme(3);
+        const auto verdict = cdg::checkDeadlockFree(region, scheme);
+        const auto adapt = cdg::measureAdaptiveness(region, scheme);
+        t.addRow({"Fig 9(a) region", "8", "24", "(4,4,4)",
+                  verdict.deadlockFree ? "yes" : "NO",
+                  adapt.fullyAdaptive ? "yes" : "no"});
+    }
+    row("Fig 9(b) merged (2,2,4)", core::schemeFig9b());
+    row("Fig 9(c) merged (3,2,3)", core::schemeFig9c());
+    row("generator mergedScheme(3)", core::mergedScheme(3));
+    t.print(std::cout);
+    std::cout << "formula N = (n+1)*2^(n-1), n=3: "
+              << core::minFullyAdaptiveChannels(3)
+              << " channels (paper: 16)\n";
+}
+
+void
+bmVerifyMerged3d(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({4, 4, 4}, {2, 2, 4});
+    const auto scheme = core::mergedScheme(3);
+    for (auto _ : state) {
+        auto verdict = cdg::checkDeadlockFree(net, scheme);
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(bmVerifyMerged3d);
+
+void
+bmAdaptiveness3d(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({3, 3, 3}, {2, 2, 4});
+    const auto scheme = core::mergedScheme(3);
+    for (auto _ : state) {
+        auto report = cdg::measureAdaptiveness(net, scheme);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(bmAdaptiveness3d);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Section 2 claim reproduction: "Since packets can use all allowable
+ * turns simultaneously, a better distribution of packets among channels
+ * can be obtained" (EbDa vs Duato-style escape designs). The bench runs
+ * the simulator at moderate load and reports the per-channel load
+ * distribution — coefficient of variation, max/mean ratio and the
+ * fraction of idle channels — for deterministic, escape-based and EbDa
+ * fully adaptive routing.
+ */
+
+#include "common.hh"
+
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "routing/baselines.hh"
+#include "routing/duato.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+runPattern(const topo::Network &net, sim::TrafficPattern pattern,
+           double rate)
+{
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const routing::DuatoFullyAdaptive duato(net);
+    const routing::EbDaRouting ebda(net, core::regionScheme(2));
+    const sim::TrafficGenerator gen(net, pattern);
+
+    TextTable t;
+    t.setHeader({"router", "load CV", "max/mean", "unused channels",
+                 "avg latency"});
+    auto row = [&](const cdg::RoutingRelation &r, bool atomic) {
+        sim::SimConfig cfg;
+        cfg.injectionRate = rate;
+        cfg.warmupCycles = 1500;
+        cfg.measureCycles = 5000;
+        cfg.drainCycles = 30000;
+        cfg.atomicVcAllocation = atomic;
+        cfg.seed = 99;
+        const auto result = sim::runSimulation(net, r, gen, cfg);
+        t.addRow({r.name().substr(0, 28) + (atomic ? " (atomic)" : ""),
+                  TextTable::num(result.channelLoadCv, 3),
+                  TextTable::num(result.channelLoadMaxRatio, 2),
+                  TextTable::num(result.channelsUnused * 100, 1) + " %",
+                  result.deadlocked
+                      ? "DEADLOCK"
+                      : TextTable::num(result.avgLatency, 1)});
+    };
+    row(xy, false);
+    row(duato, true);
+    row(ebda, false);
+    t.print(std::cout);
+}
+
+void
+reproduce()
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+
+    bench::banner("Channel-load distribution, uniform traffic @ 0.25 "
+                  "flits/node/cycle (8x8, 2 VCs/dim)");
+    runPattern(net, sim::TrafficPattern::Uniform, 0.25);
+
+    bench::banner("Channel-load distribution, transpose traffic @ 0.20");
+    runPattern(net, sim::TrafficPattern::Transpose, 0.20);
+
+    std::cout << "\nexpected shape: under uniform traffic EbDa (all "
+                 "channels adaptive) shows the lowest CV; under "
+                 "adversarial transpose both adaptive routers spread "
+                 "far better than XY (which saturates), with EbDa "
+                 "winning latency and Duato paying its atomic-buffer "
+                 "and escape-VC overheads\n";
+}
+
+void
+bmLoadBalanceRun(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const routing::EbDaRouting ebda(net, core::regionScheme(2));
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.injectionRate = 0.25;
+        cfg.warmupCycles = 200;
+        cfg.measureCycles = 800;
+        cfg.drainCycles = 4000;
+        auto result = sim::runSimulation(net, ebda, gen, cfg);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(bmLoadBalanceRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Section 4 reproduction: the minimum-channel formula
+ * N = (n+1) * 2^(n-1) swept over dimensionality. For each n the bench
+ * builds both constructions, reports channel/partition/VC budgets,
+ * verifies acyclicity on a concrete mesh and (for small n) confirms
+ * full adaptiveness with the exact path-counting DP.
+ */
+
+#include "common.hh"
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/minimal.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+topo::Network
+meshFor(std::uint8_t n, const std::vector<int> &vcs, int radix)
+{
+    std::vector<int> dims(n, radix);
+    return topo::Network::mesh(dims, vcs);
+}
+
+void
+reproduce()
+{
+    bench::banner("Section 4: N = (n+1) * 2^(n-1) sweep");
+
+    TextTable t;
+    t.setHeader({"n", "formula N", "merged channels", "partitions",
+                 "region channels", "deadlock-free", "fully adaptive"});
+    for (std::uint8_t n = 1; n <= 6; ++n) {
+        const auto merged = core::mergedScheme(n);
+        const auto region = core::regionScheme(n);
+        const auto vcs = core::vcsRequired(merged);
+
+        const int radix = n <= 3 ? 3 : 2;
+        const auto net = meshFor(n, vcs, radix);
+        const bool ok = cdg::checkDeadlockFree(net, merged).deadlockFree;
+
+        std::string adaptive = "-";
+        if (n <= 4) {
+            const auto report = cdg::measureAdaptiveness(net, merged);
+            adaptive = report.fullyAdaptive ? "yes" : "no";
+        }
+        t.addRow({TextTable::num(static_cast<int>(n)),
+                  TextTable::num(core::minFullyAdaptiveChannels(n)),
+                  TextTable::num(core::channelCount(merged)),
+                  TextTable::num(static_cast<int>(merged.size())),
+                  TextTable::num(core::channelCount(region)),
+                  ok ? "yes" : "NO", adaptive});
+    }
+    t.print(std::cout);
+    std::cout << "paper base cases: n=2 -> 6 channels, n=3 -> 16 "
+                 "channels; region construction uses n*2^n\n";
+}
+
+void
+bmConstructMerged(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint8_t>(state.range(0));
+    for (auto _ : state) {
+        auto scheme = core::mergedScheme(n);
+        benchmark::DoNotOptimize(scheme);
+    }
+}
+BENCHMARK(bmConstructMerged)->Arg(2)->Arg(4)->Arg(6)->Arg(9);
+
+void
+bmVerifyMergedOnMesh(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint8_t>(state.range(0));
+    const auto scheme = core::mergedScheme(n);
+    const auto net = meshFor(n, core::vcsRequired(scheme), 3);
+    for (auto _ : state) {
+        auto verdict = cdg::checkDeadlockFree(net, scheme);
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(bmVerifyMergedOnMesh)->Arg(2)->Arg(3)->Arg(4);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

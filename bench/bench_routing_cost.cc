@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Section 5.4 reproduction: "more allowable turns do not necessarily
+ * lead to a larger overhead or a more complex routing algorithm". The
+ * bench measures the per-hop routing-decision cost (candidate
+ * computation) of deterministic, partially adaptive and fully adaptive
+ * relations and prints it against each design's turn count.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+
+#include "core/catalog.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+/** Average candidates() latency over random (state, dest) queries. */
+double
+measureNs(const cdg::RoutingRelation &r, const topo::Network &net)
+{
+    Rng rng(42);
+    // Pre-draw query set so the RNG is out of the timed loop.
+    struct Query
+    {
+        topo::ChannelId in;
+        topo::NodeId at;
+        topo::NodeId src;
+        topo::NodeId dest;
+    };
+    std::vector<Query> queries;
+    while (queries.size() < 2000) {
+        const auto src = static_cast<topo::NodeId>(
+            rng.nextBounded(net.numNodes()));
+        const auto dest = static_cast<topo::NodeId>(
+            rng.nextBounded(net.numNodes()));
+        if (src == dest)
+            continue;
+        queries.push_back({cdg::kInjectionChannel, src, src, dest});
+    }
+    // Warm any per-destination caches: the steady-state router cost is
+    // what Section 5.4 talks about.
+    for (const auto &q : queries)
+        benchmark::DoNotOptimize(r.candidates(q.in, q.at, q.src, q.dest));
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 10; ++rep)
+        for (const auto &q : queries)
+            benchmark::DoNotOptimize(
+                r.candidates(q.in, q.at, q.src, q.dest));
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    return elapsed / (10.0 * static_cast<double>(queries.size())) * 1e9;
+}
+
+void
+reproduce()
+{
+    bench::banner("Section 5.4: turn count vs routing-decision cost");
+
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+
+    const auto xy_scheme = core::schemeFig6P1();
+    const auto wf_scheme = core::schemeFig6P3();
+    const auto fa_scheme = core::schemeFig7b();
+    const routing::EbDaRouting xy(net, xy_scheme);
+    const routing::EbDaRouting wf(net, wf_scheme);
+    const routing::EbDaRouting fa(net, fa_scheme);
+    const auto dor = routing::DimensionOrderRouting::xy(net);
+    const routing::OddEvenRouting oe(net);
+
+    TextTable t;
+    t.setHeader({"router", "90-deg turns", "decision ns/hop"});
+    auto row = [&](const cdg::RoutingRelation &r, std::size_t turns) {
+        t.addRow({r.name(), turns ? TextTable::num(turns) : "-",
+                  TextTable::num(measureNs(r, net), 1)});
+    };
+    row(dor, 0);
+    row(oe, 0);
+    row(xy, core::TurnSet::extract(xy_scheme)
+                .count(core::TurnKind::Turn90));
+    row(wf, core::TurnSet::extract(wf_scheme)
+                .count(core::TurnKind::Turn90));
+    row(fa, core::TurnSet::extract(fa_scheme)
+                .count(core::TurnKind::Turn90));
+    t.print(std::cout);
+    std::cout << "paper: adding turns may simplify or complicate the "
+                 "routing logic; cost does not scale with turn count\n";
+}
+
+void
+bmXyDecision(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const auto dor = routing::DimensionOrderRouting::xy(net);
+    topo::NodeId at = 0;
+    for (auto _ : state) {
+        at = (at + 7) % (net.numNodes() - 1);
+        auto c = dor.candidates(cdg::kInjectionChannel, at, at,
+                                static_cast<topo::NodeId>(
+                                    net.numNodes() - 1));
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(bmXyDecision);
+
+void
+bmFullyAdaptiveDecision(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const routing::EbDaRouting fa(net, core::schemeFig7b());
+    topo::NodeId at = 0;
+    // Prime the survivor cache for the single destination used.
+    const auto dest =
+        static_cast<topo::NodeId>(net.numNodes() - 1);
+    benchmark::DoNotOptimize(
+        fa.candidates(cdg::kInjectionChannel, 0, 0, dest));
+    for (auto _ : state) {
+        at = (at + 7) % (net.numNodes() - 1);
+        auto c = fa.candidates(cdg::kInjectionChannel, at, at, dest);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(bmFullyAdaptiveDecision);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Evaluation: saturation throughput (accepted flits/node/cycle at an
+ * offered load beyond saturation) per traffic pattern and router on an
+ * 8x8 mesh. Complements bench_sim_latency with the capacity view: who
+ * wins under which pattern, with the EbDa fully adaptive designs
+ * needing no escape channels.
+ */
+
+#include "common.hh"
+
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+double
+saturationThroughput(const topo::Network &net,
+                     const cdg::RoutingRelation &r,
+                     sim::TrafficPattern pattern)
+{
+    const sim::TrafficGenerator gen(net, pattern);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.9; // far beyond capacity
+    cfg.warmupCycles = 2500;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 0;
+    cfg.watchdogCycles = 6000;
+    cfg.seed = 2017;
+    const auto result = sim::runSimulation(net, r, gen, cfg);
+    return result.deadlocked ? -1.0 : result.acceptedRate;
+}
+
+void
+reproduce()
+{
+    bench::banner("8x8 mesh: saturation throughput (accepted "
+                  "flits/node/cycle at offered 0.9)");
+
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const routing::OddEvenRouting oe(net);
+    const routing::NegativeFirstRouting nf(net);
+    const routing::EbDaRouting fa_min(net, core::schemeFig7b());
+    const routing::EbDaRouting fa_region(net, core::regionScheme(2));
+
+    const std::vector<const cdg::RoutingRelation *> routers = {
+        &xy, &oe, &nf, &fa_min, &fa_region};
+    const std::vector<sim::TrafficPattern> patterns = {
+        sim::TrafficPattern::Uniform,   sim::TrafficPattern::Transpose,
+        sim::TrafficPattern::BitComplement,
+        sim::TrafficPattern::Shuffle,   sim::TrafficPattern::Tornado,
+        sim::TrafficPattern::Hotspot};
+
+    TextTable t;
+    std::vector<std::string> header = {"pattern"};
+    for (const auto *r : routers)
+        header.push_back(r->name().substr(0, 24));
+    t.setHeader(header);
+
+    for (const auto pattern : patterns) {
+        std::vector<std::string> row = {sim::toString(pattern)};
+        for (const auto *r : routers) {
+            const double thr = saturationThroughput(net, *r, pattern);
+            row.push_back(thr < 0 ? "DEADLOCK" : TextTable::num(thr, 3));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << "expected shape: XY leads on uniform (optimal load "
+                 "spread for DOR); adaptive routers lead on transpose/"
+                 "shuffle-style adversarial patterns; nobody deadlocks\n";
+}
+
+void
+bmSaturationPoint(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.injectionRate = 0.9;
+        cfg.warmupCycles = 300;
+        cfg.measureCycles = 600;
+        cfg.drainCycles = 0;
+        auto result = sim::runSimulation(net, xy, gen, cfg);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(bmSaturationPoint)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

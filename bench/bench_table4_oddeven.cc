@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Table 4 / Figure 10 reproduction: the Odd-Even turn model as an EbDa
+ * parity partitioning PA = {X- Ye*} -> PB = {X+ Yo*}. Prints the
+ * allowable turns grouped exactly like Table 4 (in PA, in PB, by
+ * transition), flags the geometrically unusable even->odd I-turns, and
+ * cross-checks against Chiu's published rules and the Dally oracle.
+ * Also reproduces the Hamiltonian-path partitioning of Section 6.2.
+ */
+
+#include "common.hh"
+
+#include <sstream>
+
+#include "cdg/adaptivity.hh"
+#include "cdg/turn_cdg.hh"
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+std::string
+turnNames(const std::vector<core::Turn> &turns, core::TurnKind kind)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &t : turns) {
+        if (t.kind != kind)
+            continue;
+        if (!first)
+            os << ", ";
+        os << t.from.compass(false) << t.to.compass(false);
+        first = false;
+    }
+    return os.str();
+}
+
+void
+reproduce()
+{
+    bench::banner("Table 4 / Figure 10: Odd-Even as parity partitions");
+
+    const auto scheme = core::schemeOddEven();
+    std::cout << "scheme: " << scheme.toString(false) << '\n';
+    const auto set = core::TurnSet::extract(scheme);
+
+    TextTable t;
+    t.setHeader({"extracting turns", "90-degree turns", "U- & I-turns"});
+    const auto in_pa = set.turnsBetween(0, 0);
+    const auto in_pb = set.turnsBetween(1, 1);
+    const auto cross = set.turnsBetween(0, 1);
+    auto ui = [&](const std::vector<core::Turn> &v) {
+        std::string u = turnNames(v, core::TurnKind::UTurn);
+        const std::string i = turnNames(v, core::TurnKind::ITurn);
+        if (!i.empty())
+            u += (u.empty() ? "" : ", ") + i;
+        return u;
+    };
+    t.addRow({"in PA", turnNames(in_pa, core::TurnKind::Turn90),
+              ui(in_pa)});
+    t.addRow({"in PB", turnNames(in_pb, core::TurnKind::Turn90),
+              ui(in_pb)});
+    t.addRow({"PA -> PB", turnNames(cross, core::TurnKind::Turn90),
+              ui(cross)});
+    t.print(std::cout);
+    std::cout << "paper Table 4: WNe WSe NeW SeW | ENo ESo NoE SoE | "
+                 "WNo WSo NeE SeE (+ U/I incl. unusable Ne->No etc.)\n";
+    std::cout << "90-degree turn count: "
+              << set.count(core::TurnKind::Turn90)
+              << " (paper: 12, same adaptiveness level as West-First's 6 "
+                 "total)\n";
+
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    std::cout << "Dally oracle on 8x8 mesh: "
+              << (cdg::checkDeadlockFree(net, scheme).deadlockFree
+                      ? "deadlock-free"
+                      : "CYCLIC")
+              << '\n';
+
+    // Cross-check against Chiu's closed-form algorithm.
+    const routing::OddEvenRouting chiu(net);
+    const routing::EbDaRouting ebda(net, scheme);
+    std::cout << "Chiu ROUTE: "
+              << (cdg::checkDeadlockFree(chiu).deadlockFree
+                      ? "deadlock-free"
+                      : "CYCLIC")
+              << ", connected: "
+              << (cdg::checkConnectivity(chiu).connected ? "yes" : "NO")
+              << "\nEbDa parity scheme routing: "
+              << (cdg::checkDeadlockFree(ebda).deadlockFree
+                      ? "deadlock-free"
+                      : "CYCLIC")
+              << ", connected: "
+              << (cdg::checkConnectivity(ebda).connected ? "yes" : "NO")
+              << '\n';
+
+    const auto oe_adapt = cdg::measureAdaptiveness(net, scheme);
+    const auto wf_adapt =
+        cdg::measureAdaptiveness(net, core::schemeFig6P3());
+    std::cout << "adaptiveness odd-even: " << oe_adapt.averageFraction
+              << " vs west-first: " << wf_adapt.averageFraction
+              << " (paper: same level)\n";
+
+    bench::banner("Section 6.2: Hamiltonian-path partitioning");
+    const auto ham = core::schemeHamiltonian();
+    const auto ham_set = core::TurnSet::extract(ham);
+    std::cout << "scheme: " << ham.toString(false) << "\n90-degree turns: "
+              << ham_set.count(core::TurnKind::Turn90)
+              << " (paper: twelve, including the eight of the "
+                 "dual-Hamiltonian-path strategy)\n";
+    std::cout << "Dally oracle: "
+              << (cdg::checkDeadlockFree(net, ham).deadlockFree
+                      ? "deadlock-free"
+                      : "CYCLIC")
+              << '\n';
+}
+
+void
+bmOddEvenExtraction(benchmark::State &state)
+{
+    const auto scheme = core::schemeOddEven();
+    for (auto _ : state) {
+        auto set = core::TurnSet::extract(scheme);
+        benchmark::DoNotOptimize(set);
+    }
+}
+BENCHMARK(bmOddEvenExtraction);
+
+void
+bmOddEvenVerify(benchmark::State &state)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 1});
+    const auto scheme = core::schemeOddEven();
+    for (auto _ : state) {
+        auto verdict = cdg::checkDeadlockFree(net, scheme);
+        benchmark::DoNotOptimize(verdict);
+    }
+}
+BENCHMARK(bmOddEvenVerify);
+
+} // namespace
+
+EBDA_BENCH_MAIN(reproduce)

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benches.
+ *
+ * Every bench binary does two jobs when run without arguments:
+ *  1. print the reproduction of its paper table/figure (the rows the
+ *     paper reports, plus our measured counterparts), then
+ *  2. run its google-benchmark timings (registered with BENCHMARK()).
+ * EXPERIMENTS.md records the printed output against the paper.
+ */
+
+#ifndef EBDA_BENCH_COMMON_HH
+#define EBDA_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace ebda::bench {
+
+/** Print a section banner for the reproduction output. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+} // namespace ebda::bench
+
+/** Define main(): print the reproduction, then run the timings. */
+#define EBDA_BENCH_MAIN(print_fn) \
+    int \
+    main(int argc, char **argv) \
+    { \
+        print_fn(); \
+        ::benchmark::Initialize(&argc, argv); \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+            return 1; \
+        std::cout << "\n--- timings ---\n"; \
+        ::benchmark::RunSpecifiedBenchmarks(); \
+        return 0; \
+    }
+
+#endif // EBDA_BENCH_COMMON_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fault-tolerant routing with EbDa (the Theorem-2 note on U-turns and
+ * rerouting): inject link failures into a mesh, rebuild the routing in
+ * shortest-state mode, and watch packets detour — deadlock-free by
+ * construction, verified again on the broken topology.
+ *
+ * Build & run:  ./examples/fault_tolerant_routing
+ */
+
+#include <iostream>
+
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+evaluate(const char *label, const topo::Network &net)
+{
+    const routing::EbDaRouting r(
+        net, core::schemeFig7b(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+
+    const auto verdict = cdg::checkDeadlockFree(r);
+    const auto conn = cdg::checkConnectivity(r);
+
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.10;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 40000;
+    cfg.seed = 2;
+    const auto result = runSimulation(net, r, gen, cfg);
+
+    std::cout << label << ": links " << net.numLinks() << ", CDG "
+              << (verdict.deadlockFree ? "acyclic" : "CYCLIC")
+              << ", connectivity "
+              << (conn.connected ? "complete" : "incomplete")
+              << ", avg latency "
+              << (result.deadlocked ? -1.0 : result.avgLatency)
+              << " cycles, avg hops " << result.avgHops << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto healthy = topo::Network::mesh({8, 8}, {1, 2});
+    std::cout << "8x8 mesh, Fig 7(b) fully adaptive scheme, "
+                 "shortest-state routing\n\n";
+    evaluate("healthy network        ", healthy);
+
+    // Cut the two central vertical links (both directions): a classic
+    // bisection-stress fault.
+    const auto one_cut = healthy.withoutLinks(
+        {{healthy.node({3, 3}), healthy.node({3, 4})},
+         {healthy.node({3, 4}), healthy.node({3, 3})},
+         {healthy.node({4, 3}), healthy.node({4, 4})},
+         {healthy.node({4, 4}), healthy.node({4, 3})}});
+    evaluate("2 central links failed ", one_cut);
+
+    // Heavier damage: also sever part of a row.
+    const auto heavy = one_cut.withoutLinks(
+        {{one_cut.node({1, 5}), one_cut.node({2, 5})},
+         {one_cut.node({2, 5}), one_cut.node({1, 5})},
+         {one_cut.node({5, 1}), one_cut.node({6, 1})},
+         {one_cut.node({6, 1}), one_cut.node({5, 1})}});
+    evaluate("6 links failed         ", heavy);
+
+    std::cout << "\npackets detour around every fault; the turn set "
+                 "(hence deadlock freedom) never changes — only the "
+                 "shortest-state tables do\n";
+    return 0;
+}

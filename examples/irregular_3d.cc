@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Irregular topologies (Section 6.3): a vertically partially connected
+ * 3D mesh where only four corner columns own vertical links. Compares
+ * three deadlock-free routers on it —
+ *   - Elevator-First (deterministic baseline, VCs 2/2/1),
+ *   - the EbDa two-partition scheme of Table 5 (VCs 1/2/1) driven in
+ *     shortest-state mode (legal non-minimal detours via elevators),
+ *   - Up/Down routing (topology-agnostic spanning-tree baseline) —
+ * verifying each with the Dally oracle and simulating uniform traffic.
+ *
+ * Build & run:  ./examples/irregular_3d
+ */
+
+#include <iostream>
+
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/ebda_routing.hh"
+#include "routing/elevator.hh"
+#include "routing/updown.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+evaluate(const topo::Network &net, const cdg::RoutingRelation &r)
+{
+    const auto verdict = cdg::checkDeadlockFree(r);
+    const auto conn = cdg::checkConnectivity(r);
+    std::cout << r.name() << ":\n  CDG "
+              << (verdict.deadlockFree ? "acyclic (deadlock-free)"
+                                       : "CYCLIC")
+              << ", connectivity "
+              << (conn.connected ? "complete" : "INCOMPLETE") << '\n';
+
+    const sim::TrafficGenerator traffic(net,
+                                        sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.06;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 40000;
+    cfg.seed = 9;
+    const auto result = runSimulation(net, r, traffic, cfg);
+    if (result.deadlocked) {
+        std::cout << "  simulation: DEADLOCK\n";
+    } else {
+        std::cout << "  simulation: avg latency " << result.avgLatency
+                  << " cycles, avg hops " << result.avgHops
+                  << ", accepted " << result.acceptedRate
+                  << " flits/node/cycle\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::pair<int, int>> elevators = {
+        {0, 0}, {0, 3}, {3, 0}, {3, 3}};
+    const auto net = topo::Network::partialMesh3d({4, 4, 3}, {2, 2, 1},
+                                                  elevators);
+    std::cout << "4x4x3 mesh, vertical links only at the four corner "
+                 "columns\n\n";
+
+    const routing::ElevatorFirstRouting elevator(net, elevators);
+    evaluate(net, elevator);
+
+    // The Table 5 scheme: PA = {X1+ Y1* Z1+} -> PB = {X1- Y2* Z1-}.
+    // Shortest-state mode lets packets detour to a partition-compatible
+    // elevator column.
+    const routing::EbDaRouting ebda(
+        net, core::schemePartial3d(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+    evaluate(net, ebda);
+
+    const routing::UpDownRouting updown(net);
+    evaluate(net, updown);
+
+    std::cout << "\nthe EbDa scheme needs one fewer X virtual channel "
+                 "than Elevator-First (Table 5) and routes adaptively "
+                 "in four of the eight regions\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run the wormhole simulator: EbDa maximally adaptive routing versus XY
+ * dimension-order on an 8x8 mesh under transpose traffic — the workload
+ * where adaptiveness pays. Prints latency, hop and throughput numbers
+ * plus the deadlock-watchdog verdict for both routers at two loads.
+ *
+ * Build & run:  ./examples/simulate_mesh
+ */
+
+#include <iostream>
+
+#include "core/catalog.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ebda;
+
+void
+report(const std::string &label, const sim::SimResult &r)
+{
+    std::cout << "  " << label << ":\n";
+    if (r.deadlocked) {
+        std::cout << "    DEADLOCK detected by the progress watchdog\n";
+        return;
+    }
+    std::cout << "    avg latency " << r.avgLatency << " cycles (p99 "
+              << r.p99Latency << "), avg hops " << r.avgHops
+              << "\n    accepted " << r.acceptedRate
+              << " flits/node/cycle (offered " << r.offeredRate << ")"
+              << (r.drained ? "" : "  [saturated: drain cap hit]") << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+
+    // EbDa: the Figure 7(b) minimum-channel fully adaptive scheme.
+    const routing::EbDaRouting adaptive(net, core::schemeFig7b());
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+
+    const sim::TrafficGenerator traffic(net,
+                                        sim::TrafficPattern::Transpose);
+
+    for (const double load : {0.10, 0.30}) {
+        std::cout << "transpose traffic, offered load " << load
+                  << " flits/node/cycle:\n";
+        sim::SimConfig cfg;
+        cfg.injectionRate = load;
+        cfg.warmupCycles = 1500;
+        cfg.measureCycles = 5000;
+        cfg.drainCycles = 30000;
+        cfg.seed = 42;
+
+        report("EbDa fully adaptive (6 channels)",
+               runSimulation(net, adaptive, traffic, cfg));
+        report("XY dimension-order",
+               runSimulation(net, xy, traffic, cfg));
+        std::cout << '\n';
+    }
+    std::cout << "expected: comparable at low load; XY saturates first "
+                 "under transpose while EbDa keeps latency flat\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Verify arbitrary turn models with the Dally oracle — the
+ * "verification" half of the paper's title. Three demonstrations:
+ *   1. West-First (a known-good model) passes with an acyclic CDG;
+ *   2. the full eight-turn set fails, and the oracle prints a concrete
+ *      witness cycle of physical channels;
+ *   3. a subtle broken model (removing only same-orientation turns)
+ *      also fails, showing why naive turn-removal needs verification.
+ *
+ * Build & run:  ./examples/verify_turn_model
+ */
+
+#include <iostream>
+
+#include "cdg/turn_cdg.hh"
+#include "core/enumerate.hh"
+#include "core/turns.hh"
+#include "topo/network.hh"
+
+namespace {
+
+using namespace ebda;
+using core::ChannelClass;
+using core::makeClass;
+using core::Sign;
+
+/** Build the class pair for a compass-style 2D turn name like "EN". */
+std::pair<ChannelClass, ChannelClass>
+turn(const char *name)
+{
+    auto cls = [](char c) {
+        switch (c) {
+          case 'E':
+            return makeClass(0, Sign::Pos);
+          case 'W':
+            return makeClass(0, Sign::Neg);
+          case 'N':
+            return makeClass(1, Sign::Pos);
+          default:
+            return makeClass(1, Sign::Neg);
+        }
+    };
+    return {cls(name[0]), cls(name[1])};
+}
+
+void
+check(const std::string &label,
+      const std::vector<const char *> &turn_names)
+{
+    const auto net = topo::Network::mesh({6, 6}, {1, 1});
+    const auto classes = core::classes2d();
+
+    std::vector<std::pair<ChannelClass, ChannelClass>> allowed;
+    for (const char *n : turn_names)
+        allowed.push_back(turn(n));
+    const auto set = core::TurnSet::fromExplicit(classes, allowed);
+    const cdg::ClassMap map(net, classes);
+    const auto report = cdg::checkDeadlockFree(net, map, set);
+
+    std::cout << label << " {";
+    for (const char *n : turn_names)
+        std::cout << ' ' << n;
+    std::cout << " }: "
+              << (report.deadlockFree ? "deadlock-free" : "CYCLIC")
+              << '\n';
+    if (!report.deadlockFree) {
+        std::cout << "  witness cycle (" << report.witness.size()
+                  << " channels):\n";
+        for (const auto &ch : report.witness)
+            std::cout << "    " << ch << '\n';
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. West-First: all turns except NW and SW.
+    check("West-First", {"WN", "WS", "EN", "ES", "NE", "SE"});
+
+    // 2. All eight turns: the two abstract cycles close.
+    check("all-turns", {"EN", "ES", "WN", "WS", "NE", "NW", "SE", "SW"});
+
+    // 3. Removing NE and SW (one turn from each abstract cycle, but a
+    //    poor choice): still deadlocks through the remaining corners —
+    //    exactly the kind of combination the 16-candidate turn-model
+    //    search has to weed out, and EbDa's construction never emits.
+    check("broken-removal", {"EN", "ES", "WN", "WS", "NW", "SE"});
+    return 0;
+}

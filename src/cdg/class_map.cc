@@ -1,0 +1,74 @@
+#include "class_map.hh"
+
+#include "util/logging.hh"
+
+namespace ebda::cdg {
+
+namespace {
+
+core::ClassList
+flatten(const core::PartitionScheme &scheme,
+        std::vector<std::size_t> &partition_of)
+{
+    core::ClassList classes;
+    const auto &parts = scheme.partitions();
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        for (const auto &c : parts[p].classes()) {
+            classes.push_back(c);
+            partition_of.push_back(p);
+        }
+    }
+    return classes;
+}
+
+} // namespace
+
+ClassMap::ClassMap(const topo::Network &network,
+                   const core::PartitionScheme &scheme)
+    : net(network)
+{
+    classes = flatten(scheme, classPartition);
+    buildAssignment();
+}
+
+ClassMap::ClassMap(const topo::Network &network,
+                   const core::ClassList &class_list)
+    : net(network), classes(class_list),
+      classPartition(class_list.size(), 0)
+{
+    buildAssignment();
+}
+
+void
+ClassMap::buildAssignment()
+{
+    assignment.assign(net.numChannels(), kUnclassified);
+    for (topo::ChannelId ch = 0; ch < net.numChannels(); ++ch) {
+        for (std::size_t i = 0; i < classes.size(); ++i) {
+            if (!net.channelInClass(ch, classes[i]))
+                continue;
+            EBDA_ASSERT(assignment[ch] == kUnclassified,
+                        "channel ", net.channelName(ch),
+                        " matches two classes: ",
+                        classes[static_cast<std::size_t>(assignment[ch])]
+                            .algebraic(),
+                        " and ", classes[i].algebraic(),
+                        " — class set is not disjoint on this network");
+            assignment[ch] = static_cast<ClassIndex>(i);
+        }
+        if (assignment[ch] != kUnclassified)
+            ++classifiedCount;
+    }
+}
+
+std::vector<topo::ChannelId>
+ClassMap::channelsOfClass(ClassIndex i) const
+{
+    std::vector<topo::ChannelId> out;
+    for (topo::ChannelId ch = 0; ch < assignment.size(); ++ch)
+        if (assignment[ch] == i)
+            out.push_back(ch);
+    return out;
+}
+
+} // namespace ebda::cdg

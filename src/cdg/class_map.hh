@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lowering of EbDa channel classes onto a concrete network: assigns each
+ * concrete (link, VC) channel to the unique matching class of a
+ * partition scheme.
+ *
+ * Channels matching no class are *unclassified* — they exist physically
+ * but the scheme's routing never uses them (e.g. VC 3 of a dimension the
+ * scheme only uses two VCs of). Disjointness of the scheme guarantees at
+ * most one class matches each channel; this is asserted because a double
+ * match would mean Definition 6 was violated.
+ */
+
+#ifndef EBDA_CDG_CLASS_MAP_HH
+#define EBDA_CDG_CLASS_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hh"
+#include "topo/network.hh"
+
+namespace ebda::cdg {
+
+/** Index of a class within a scheme's flattened class list. */
+using ClassIndex = std::int32_t;
+
+/** Marker for channels no class covers. */
+constexpr ClassIndex kUnclassified = -1;
+
+/**
+ * The channel -> class assignment of one scheme on one network.
+ */
+class ClassMap
+{
+  public:
+    /** Build the assignment; panics when a channel matches two classes
+     *  (the scheme would not be disjoint on this network). */
+    ClassMap(const topo::Network &net,
+             const core::PartitionScheme &scheme);
+
+    /** Build from a bare class list (all classes in partition 0); used
+     *  for explicit turn models with no partition structure. */
+    ClassMap(const topo::Network &net, const core::ClassList &classes);
+
+    /** Class index of a channel, or kUnclassified. */
+    ClassIndex classOf(topo::ChannelId ch) const { return assignment[ch]; }
+
+    /** The class at a class index. */
+    const core::ChannelClass &classAt(ClassIndex i) const
+    {
+        return classes[static_cast<std::size_t>(i)];
+    }
+
+    /** Partition index (scheme order) of a class index. */
+    std::size_t partitionOf(ClassIndex i) const
+    {
+        return classPartition[static_cast<std::size_t>(i)];
+    }
+
+    /** Number of classes in the scheme. */
+    std::size_t numClasses() const { return classes.size(); }
+
+    /** Number of channels assigned to some class. */
+    std::size_t numClassifiedChannels() const { return classifiedCount; }
+
+    /** Channels assigned to class i. */
+    std::vector<topo::ChannelId> channelsOfClass(ClassIndex i) const;
+
+    const topo::Network &network() const { return net; }
+
+  private:
+    void buildAssignment();
+
+    const topo::Network &net;
+    core::ClassList classes;
+    std::vector<std::size_t> classPartition;
+    std::vector<ClassIndex> assignment;
+    std::size_t classifiedCount = 0;
+};
+
+} // namespace ebda::cdg
+
+#endif // EBDA_CDG_CLASS_MAP_HH

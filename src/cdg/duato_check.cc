@@ -1,0 +1,129 @@
+#include "duato_check.hh"
+
+#include <vector>
+
+#include "cdg/relation_cdg.hh"
+#include "graph/cycles.hh"
+
+namespace ebda::cdg {
+
+namespace {
+
+/** The escape subrelation: candidates filtered to escape channels. */
+class EscapeSubrelation : public RoutingRelation
+{
+  public:
+    EscapeSubrelation(const RoutingRelation &base,
+                      const EscapePredicate &is_escape)
+        : base(base), isEscape(is_escape)
+    {
+    }
+
+    std::vector<topo::ChannelId>
+    candidates(topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+               topo::NodeId dest) const override
+    {
+        std::vector<topo::ChannelId> out;
+        for (topo::ChannelId c : base.candidates(in, at, src, dest))
+            if (isEscape(c))
+                out.push_back(c);
+        return out;
+    }
+
+    std::string
+    name() const override
+    {
+        return base.name() + " [escape subrelation]";
+    }
+
+    const topo::Network &
+    network() const override
+    {
+        return base.network();
+    }
+
+  private:
+    const RoutingRelation &base;
+    const EscapePredicate &isEscape;
+};
+
+} // namespace
+
+DuatoReport
+checkDuatoDeadlockFree(const RoutingRelation &relation,
+                       const EscapePredicate &is_escape)
+{
+    const topo::Network &net = relation.network();
+    DuatoReport report;
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c)
+        if (is_escape(c))
+            ++report.numEscapeChannels;
+
+    // (a) + (b): the escape subrelation on its own.
+    const EscapeSubrelation escape(relation, is_escape);
+
+    // Dependencies within the escape set, reachable via *any* legal
+    // path of the full relation: a blocked packet may sit on an
+    // adaptive channel when it takes the escape, so escape dependencies
+    // are collected from the full relation's reachable states.
+    graph::Digraph g(net.numChannels());
+    std::vector<std::uint32_t> stamp(net.numChannels(), 0);
+    std::uint32_t epoch = 0;
+    std::vector<topo::ChannelId> frontier;
+
+    bool always_available = true;
+
+    for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+        for (topo::NodeId src = 0; src < net.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            ++epoch;
+            frontier.clear();
+            const auto inject =
+                relation.candidates(kInjectionChannel, src, src, dest);
+            bool inject_escape = false;
+            for (topo::ChannelId c : inject) {
+                if (is_escape(c))
+                    inject_escape = true;
+                if (stamp[c] != epoch) {
+                    stamp[c] = epoch;
+                    frontier.push_back(c);
+                }
+            }
+            if (!inject.empty() && !inject_escape)
+                always_available = false;
+
+            while (!frontier.empty()) {
+                const topo::ChannelId c1 = frontier.back();
+                frontier.pop_back();
+                const topo::NodeId at = net.link(net.linkOf(c1)).dst;
+                if (at == dest)
+                    continue;
+                const auto next = relation.candidates(c1, at, src, dest);
+                bool has_escape = next.empty();
+                for (topo::ChannelId c2 : next) {
+                    if (is_escape(c2)) {
+                        has_escape = true;
+                        if (is_escape(c1))
+                            g.addEdge(c1, c2);
+                    }
+                    if (stamp[c2] != epoch) {
+                        stamp[c2] = epoch;
+                        frontier.push_back(c2);
+                    }
+                }
+                if (!has_escape)
+                    always_available = false;
+            }
+        }
+    }
+
+    report.escapeAcyclic = graph::isAcyclic(g);
+    report.escapeAlwaysAvailable = always_available;
+    report.escapeConnected = checkConnectivity(escape).connected;
+    report.ok = report.escapeAcyclic && report.escapeConnected
+        && report.escapeAlwaysAvailable;
+    return report;
+}
+
+} // namespace ebda::cdg

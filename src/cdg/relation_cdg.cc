@@ -1,0 +1,136 @@
+#include "relation_cdg.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ebda::cdg {
+
+graph::Digraph
+buildRelationCdg(const RoutingRelation &relation)
+{
+    const topo::Network &net = relation.network();
+    graph::Digraph g(net.numChannels());
+
+    // Per (src, dest) pair: forward closure over acquirable channels,
+    // adding each dependency discovered along the way. Epoch-stamped
+    // visitation avoids clearing the visited array per pair.
+    std::vector<std::uint32_t> stamp(net.numChannels(), 0);
+    std::uint32_t epoch = 0;
+    std::vector<topo::ChannelId> frontier;
+
+    for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+        for (topo::NodeId src = 0; src < net.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            ++epoch;
+            frontier.clear();
+
+            for (topo::ChannelId c :
+                 relation.candidates(kInjectionChannel, src, src, dest)) {
+                if (stamp[c] != epoch) {
+                    stamp[c] = epoch;
+                    frontier.push_back(c);
+                }
+            }
+
+            while (!frontier.empty()) {
+                const topo::ChannelId c1 = frontier.back();
+                frontier.pop_back();
+                const topo::NodeId at = net.link(net.linkOf(c1)).dst;
+                if (at == dest)
+                    continue; // packet ejects; no further dependencies
+                for (topo::ChannelId c2 :
+                     relation.candidates(c1, at, src, dest)) {
+                    g.addEdge(c1, c2);
+                    if (stamp[c2] != epoch) {
+                        stamp[c2] = epoch;
+                        frontier.push_back(c2);
+                    }
+                }
+            }
+        }
+    }
+    return g;
+}
+
+CdgReport
+checkDeadlockFree(const RoutingRelation &relation)
+{
+    const topo::Network &net = relation.network();
+    const graph::Digraph g = buildRelationCdg(relation);
+    const graph::CycleReport cyc = graph::findCycle(g);
+
+    CdgReport report;
+    report.deadlockFree = cyc.acyclic;
+    report.numChannels = net.numChannels();
+    report.numDependencies = g.numEdges();
+    for (graph::NodeId n : cyc.cycle)
+        report.witness.push_back(net.channelName(n));
+    return report;
+}
+
+ConnectivityReport
+checkConnectivity(const RoutingRelation &relation)
+{
+    const topo::Network &net = relation.network();
+    ConnectivityReport report;
+
+    std::vector<std::uint8_t> visited(net.numChannels());
+    std::vector<topo::ChannelId> frontier;
+
+    for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+        for (topo::NodeId src = 0; src < net.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            std::fill(visited.begin(), visited.end(), 0);
+            frontier.clear();
+            bool arrived = false;
+            bool stuck = false;
+
+            const auto inject =
+                relation.candidates(kInjectionChannel, src, src, dest);
+            if (inject.empty())
+                stuck = true;
+            for (topo::ChannelId c : inject) {
+                if (!visited[c]) {
+                    visited[c] = 1;
+                    frontier.push_back(c);
+                }
+            }
+
+            while (!frontier.empty()) {
+                const topo::ChannelId c1 = frontier.back();
+                frontier.pop_back();
+                const topo::NodeId at = net.link(net.linkOf(c1)).dst;
+                if (at == dest) {
+                    arrived = true;
+                    continue;
+                }
+                const auto next = relation.candidates(c1, at, src, dest);
+                if (next.empty())
+                    stuck = true;
+                for (topo::ChannelId c2 : next) {
+                    if (!visited[c2]) {
+                        visited[c2] = 1;
+                        frontier.push_back(c2);
+                    }
+                }
+            }
+
+            // The pair is routable when the destination is reachable and
+            // no reachable state dead-ends (a dead-ending branch is a
+            // hazard: an adaptive router may commit to it).
+            if (!arrived || stuck) {
+                report.connected = false;
+                if (report.failures.size()
+                    < ConnectivityReport::kMaxFailures) {
+                    report.failures.emplace_back(src, dest);
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace ebda::cdg

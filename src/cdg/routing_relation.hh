@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The routing-relation abstraction shared by the Dally relation-CDG
+ * verifier (cdg/relation_cdg.hh) and the wormhole simulator (sim/).
+ *
+ * A routing relation maps (current channel, current node, destination)
+ * to the set of output channels the packet may acquire next. The current
+ * channel is kInjectionChannel for freshly injected packets. An empty
+ * candidate set at a non-destination node means the packet is stuck —
+ * the connectivity checker flags such relations.
+ */
+
+#ifndef EBDA_CDG_ROUTING_RELATION_HH
+#define EBDA_CDG_ROUTING_RELATION_HH
+
+#include <string>
+#include <vector>
+
+#include "topo/network.hh"
+
+namespace ebda::cdg {
+
+/** Sentinel for "packet is at its source, not yet on any channel". */
+constexpr topo::ChannelId kInjectionChannel = topo::kInvalidId;
+
+/**
+ * Abstract routing relation over a concrete network.
+ */
+class RoutingRelation
+{
+  public:
+    virtual ~RoutingRelation() = default;
+
+    /**
+     * Output channels the packet may take next.
+     *
+     * @param in   channel the packet currently occupies, or
+     *             kInjectionChannel when it is still at its source
+     * @param at   the node the packet's head is at (head of `in`, or the
+     *             source node on injection)
+     * @param src  the packet's source node (some algorithms, e.g.
+     *             Odd-Even, consult it; most ignore it)
+     * @param dest the destination node (never equal to `at` for routing
+     *             queries; callers eject on arrival)
+     */
+    virtual std::vector<topo::ChannelId> candidates(
+        topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+        topo::NodeId dest) const = 0;
+
+    /** Human-readable algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /** The network this relation routes on. */
+    virtual const topo::Network &network() const = 0;
+};
+
+} // namespace ebda::cdg
+
+#endif // EBDA_CDG_ROUTING_RELATION_HH

@@ -1,0 +1,52 @@
+#include "turn_cdg.hh"
+
+namespace ebda::cdg {
+
+graph::Digraph
+buildTurnCdg(const topo::Network &net, const ClassMap &map,
+             const core::TurnSet &turns)
+{
+    graph::Digraph g(net.numChannels());
+    for (topo::ChannelId c1 = 0; c1 < net.numChannels(); ++c1) {
+        const ClassIndex k1 = map.classOf(c1);
+        if (k1 == kUnclassified)
+            continue;
+        const topo::NodeId via = net.link(net.linkOf(c1)).dst;
+        for (topo::ChannelId c2 : net.outChannels(via)) {
+            const ClassIndex k2 = map.classOf(c2);
+            if (k2 == kUnclassified)
+                continue;
+            if (turns.allows(map.classAt(k1), map.classAt(k2)))
+                g.addEdge(c1, c2);
+        }
+    }
+    return g;
+}
+
+CdgReport
+checkDeadlockFree(const topo::Network &net,
+                  const core::PartitionScheme &scheme,
+                  const core::TurnExtractionOptions &opts)
+{
+    const ClassMap map(net, scheme);
+    const core::TurnSet turns = core::TurnSet::extract(scheme, opts);
+    return checkDeadlockFree(net, map, turns);
+}
+
+CdgReport
+checkDeadlockFree(const topo::Network &net, const ClassMap &map,
+                  const core::TurnSet &turns)
+{
+    const graph::Digraph g = buildTurnCdg(net, map, turns);
+    const graph::CycleReport cyc = graph::findCycle(g);
+
+    CdgReport report;
+    report.deadlockFree = cyc.acyclic;
+    report.numChannels = map.numClassifiedChannels();
+    report.numDependencies = g.numEdges();
+    for (graph::NodeId n : cyc.cycle)
+        report.witness.push_back(net.channelName(n));
+    return report;
+}
+
+} // namespace ebda::cdg

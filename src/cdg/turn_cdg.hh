@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The turn-level concrete channel dependency graph — the primary Dally
+ * oracle used to verify EbDa constructions.
+ *
+ * Given a network and an allowed turn set over channel classes, the CDG
+ * has one node per classified concrete channel and an edge c1 -> c2
+ * whenever c2 starts where c1 ends and the class transition
+ * class(c1) -> class(c2) is allowed (including same-class straight
+ * continuation). This over-approximates the dependencies of *any*
+ * routing algorithm restricted to the turn set — packets are assumed to
+ * take allowed channels "arbitrarily and repeatedly", exactly the EbDa
+ * premise — so acyclicity here implies deadlock freedom for every such
+ * algorithm (Dally's criterion).
+ */
+
+#ifndef EBDA_CDG_TURN_CDG_HH
+#define EBDA_CDG_TURN_CDG_HH
+
+#include <string>
+#include <vector>
+
+#include "cdg/class_map.hh"
+#include "core/turns.hh"
+#include "graph/cycles.hh"
+#include "graph/digraph.hh"
+
+namespace ebda::cdg {
+
+/** Result of a concrete-CDG deadlock-freedom check. */
+struct CdgReport
+{
+    bool deadlockFree = true;
+    /** Number of CDG nodes (classified channels). */
+    std::size_t numChannels = 0;
+    /** Number of distinct channel dependencies. */
+    std::size_t numDependencies = 0;
+    /** When cyclic: one witness cycle as channel names. */
+    std::vector<std::string> witness;
+};
+
+/**
+ * Build the turn-level CDG of a turn set on a network.
+ *
+ * Graph nodes are indexed by concrete ChannelId (unclassified channels
+ * become isolated nodes with no edges — they never carry traffic).
+ */
+graph::Digraph buildTurnCdg(const topo::Network &net, const ClassMap &map,
+                            const core::TurnSet &turns);
+
+/**
+ * Full check: lower the scheme, build the turn CDG, test acyclicity and
+ * produce a witness on failure.
+ */
+CdgReport checkDeadlockFree(const topo::Network &net,
+                            const core::PartitionScheme &scheme,
+                            const core::TurnExtractionOptions &opts = {});
+
+/** As above but with a pre-built map and turn set. */
+CdgReport checkDeadlockFree(const topo::Network &net, const ClassMap &map,
+                            const core::TurnSet &turns);
+
+} // namespace ebda::cdg
+
+#endif // EBDA_CDG_TURN_CDG_HH

@@ -1,0 +1,171 @@
+#include "turn_model_enum.hh"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cdg/adaptivity.hh"
+#include "cdg/class_map.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/turns.hh"
+#include "util/logging.hh"
+
+namespace ebda::cdg {
+
+using core::ChannelClass;
+using core::makeClass;
+using core::Sign;
+
+std::vector<AbstractCycle>
+abstractCycles(std::uint8_t n, const std::vector<int> &vcs)
+{
+    EBDA_ASSERT(vcs.size() >= n, "vcs shorter than dimensionality");
+    std::vector<AbstractCycle> cycles;
+    for (std::uint8_t a = 0; a < n; ++a) {
+        for (std::uint8_t b = a + 1; b < n; ++b) {
+            for (int va = 0; va < vcs[a]; ++va) {
+                for (int vb = 0; vb < vcs[b]; ++vb) {
+                    const ChannelClass ap =
+                        makeClass(a, Sign::Pos,
+                                  static_cast<std::uint8_t>(va));
+                    const ChannelClass am =
+                        makeClass(a, Sign::Neg,
+                                  static_cast<std::uint8_t>(va));
+                    const ChannelClass bp =
+                        makeClass(b, Sign::Pos,
+                                  static_cast<std::uint8_t>(vb));
+                    const ChannelClass bm =
+                        makeClass(b, Sign::Neg,
+                                  static_cast<std::uint8_t>(vb));
+
+                    AbstractCycle cw;
+                    cw.dimA = a;
+                    cw.dimB = b;
+                    cw.vcA = static_cast<std::uint8_t>(va);
+                    cw.vcB = static_cast<std::uint8_t>(vb);
+                    cw.clockwise = true;
+                    cw.turns = {{{ap, bm}, {bm, am}, {am, bp}, {bp, ap}}};
+                    cycles.push_back(cw);
+
+                    AbstractCycle ccw = cw;
+                    ccw.clockwise = false;
+                    ccw.turns = {{{ap, bp}, {bp, am}, {am, bm}, {bm, ap}}};
+                    cycles.push_back(ccw);
+                }
+            }
+        }
+    }
+    return cycles;
+}
+
+TurnModelSpace
+turnModelSpace(std::uint8_t n, const std::vector<int> &vcs)
+{
+    TurnModelSpace space;
+    space.numCycles = abstractCycles(n, vcs).size();
+    space.numCombinations =
+        std::pow(4.0, static_cast<double>(space.numCycles));
+    return space;
+}
+
+TurnModelEnumResult
+enumerateTurnModels(const topo::Network &net,
+                    std::size_t max_combinations)
+{
+    const std::uint8_t n = net.numDims();
+    const std::vector<int> &vcs = net.vcs();
+    const auto cycles = abstractCycles(n, vcs);
+
+    // Universe of 90-degree turns and the class list.
+    core::ClassList classes;
+    for (std::uint8_t d = 0; d < n; ++d) {
+        for (int v = 0; v < vcs[d]; ++v) {
+            classes.push_back(makeClass(d, Sign::Pos,
+                                        static_cast<std::uint8_t>(v)));
+            classes.push_back(makeClass(d, Sign::Neg,
+                                        static_cast<std::uint8_t>(v)));
+        }
+    }
+    std::vector<std::pair<ChannelClass, ChannelClass>> universe;
+    std::unordered_map<std::string, std::size_t> turn_index;
+    for (const auto &c1 : classes) {
+        for (const auto &c2 : classes) {
+            if (c1.dim == c2.dim)
+                continue;
+            turn_index.emplace(c1.algebraic() + c2.algebraic(),
+                               universe.size());
+            universe.emplace_back(c1, c2);
+        }
+    }
+    EBDA_ASSERT(universe.size() <= 64,
+                "turn universe exceeds 64 turns; enumeration unsupported");
+
+    // Index each cycle's turns into the universe.
+    std::vector<std::array<std::size_t, 4>> cycle_idx(cycles.size());
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+        for (std::size_t t = 0; t < 4; ++t) {
+            const auto &[from, to] = cycles[i].turns[t];
+            cycle_idx[i][t] =
+                turn_index.at(from.algebraic() + to.algebraic());
+        }
+    }
+
+    const std::uint64_t full_mask =
+        universe.size() == 64 ? ~0ULL : (1ULL << universe.size()) - 1;
+    const ClassMap map(net, classes);
+
+    TurnModelEnumResult result;
+    std::unordered_map<std::uint64_t, std::pair<bool, bool>> verdicts;
+    std::unordered_set<std::uint64_t> free_sets;
+
+    std::vector<std::size_t> choice(cycles.size(), 0);
+    while (result.combinations < max_combinations) {
+        ++result.combinations;
+
+        std::uint64_t removed = 0;
+        for (std::size_t i = 0; i < cycles.size(); ++i)
+            removed |= 1ULL << cycle_idx[i][choice[i]];
+        const std::uint64_t allowed_mask = full_mask & ~removed;
+
+        auto it = verdicts.find(allowed_mask);
+        if (it == verdicts.end()) {
+            std::vector<std::pair<ChannelClass, ChannelClass>> allowed;
+            for (std::size_t t = 0; t < universe.size(); ++t)
+                if (allowed_mask & (1ULL << t))
+                    allowed.push_back(universe[t]);
+            const core::TurnSet set =
+                core::TurnSet::fromExplicit(classes, allowed);
+            const graph::Digraph g = buildTurnCdg(net, map, set);
+            const bool acyclic = graph::isAcyclic(g);
+            bool connected = false;
+            if (acyclic) {
+                const auto adapt = measureAdaptiveness(net, map, set);
+                connected = !adapt.disconnectedMinimal;
+            }
+            it = verdicts.emplace(allowed_mask,
+                                  std::make_pair(acyclic, connected))
+                     .first;
+        }
+        if (it->second.first) {
+            ++result.deadlockFree;
+            free_sets.insert(allowed_mask);
+            if (it->second.second)
+                ++result.connected;
+        }
+
+        // Advance the odometer.
+        std::size_t i = 0;
+        while (i < choice.size()) {
+            if (++choice[i] < 4)
+                break;
+            choice[i] = 0;
+            ++i;
+        }
+        if (i == choice.size())
+            break;
+    }
+    result.distinctDeadlockFreeSets = free_sets.size();
+    return result;
+}
+
+} // namespace ebda::cdg

@@ -1,0 +1,171 @@
+#include "arrange.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+std::size_t
+DimensionSet::pairCount() const
+{
+    std::size_t pos = 0;
+    std::size_t neg = 0;
+    for (const auto &c : channels)
+        (c.sign == Sign::Pos ? pos : neg) += 1;
+    return std::min(pos, neg);
+}
+
+ChannelClass
+DimensionSet::popFront()
+{
+    EBDA_ASSERT(!channels.empty(), "popFront on empty dimension set");
+    ChannelClass c = channels.front();
+    channels.erase(channels.begin());
+    return c;
+}
+
+std::string
+DimensionSet::toString() const
+{
+    std::ostringstream os;
+    os << "D_" << dimLetter(dim) << " = " << core::toString(channels);
+    return os.str();
+}
+
+SetArrangement
+makeSets(const std::vector<int> &vcs_per_dim)
+{
+    SetArrangement sets;
+    for (std::size_t d = 0; d < vcs_per_dim.size(); ++d) {
+        EBDA_ASSERT(vcs_per_dim[d] >= 0, "negative VC count");
+        if (vcs_per_dim[d] == 0)
+            continue;
+        DimensionSet set;
+        set.dim = static_cast<std::uint8_t>(d);
+        for (int v = 0; v < vcs_per_dim[d]; ++v) {
+            set.channels.push_back(makeClass(set.dim, Sign::Pos,
+                                             static_cast<std::uint8_t>(v)));
+            set.channels.push_back(makeClass(set.dim, Sign::Neg,
+                                             static_cast<std::uint8_t>(v)));
+        }
+        sets.push_back(std::move(set));
+    }
+    return sets;
+}
+
+void
+arrange1(SetArrangement &sets)
+{
+    std::stable_sort(sets.begin(), sets.end(),
+                     [](const DimensionSet &a, const DimensionSet &b) {
+                         return a.pairCount() > b.pairCount();
+                     });
+}
+
+std::vector<SetArrangement>
+arrangement2All(SetArrangement sets)
+{
+    arrange1(sets);
+
+    // Group consecutive sets with equal pair counts and emit the product
+    // of the per-group permutations.
+    std::vector<SetArrangement> results;
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    for (std::size_t i = 0; i < sets.size();) {
+        std::size_t j = i + 1;
+        while (j < sets.size()
+               && sets[j].pairCount() == sets[i].pairCount()) {
+            ++j;
+        }
+        groups.emplace_back(i, j);
+        i = j;
+    }
+
+    // Odometer over per-group permutations.
+    std::vector<std::vector<std::size_t>> perms(groups.size());
+    std::vector<std::size_t> perm_idx(groups.size(), 0);
+    std::vector<std::vector<std::vector<std::size_t>>> all_perms;
+    all_perms.reserve(groups.size());
+    for (const auto &[lo, hi] : groups) {
+        std::vector<std::size_t> base(hi - lo);
+        std::iota(base.begin(), base.end(), lo);
+        std::vector<std::vector<std::size_t>> group_perms;
+        do {
+            group_perms.push_back(base);
+        } while (std::next_permutation(base.begin(), base.end()));
+        all_perms.push_back(std::move(group_perms));
+    }
+
+    std::vector<std::size_t> counter(groups.size(), 0);
+    while (true) {
+        SetArrangement arr;
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            for (std::size_t idx : all_perms[g][counter[g]])
+                arr.push_back(sets[idx]);
+        results.push_back(std::move(arr));
+
+        // Increment the odometer.
+        std::size_t g = 0;
+        while (g < counter.size()) {
+            if (++counter[g] < all_perms[g].size())
+                break;
+            counter[g] = 0;
+            ++g;
+        }
+        if (g == counter.size())
+            break;
+    }
+    return results;
+}
+
+std::vector<SetArrangement>
+arrangement3All(const SetArrangement &sets, std::size_t max_results)
+{
+    std::vector<SetArrangement> results;
+    if (sets.empty())
+        return results;
+
+    // Split the first set into positive and negative channels; pairing k
+    // interleaves pos[perm[i]] with neg[i].
+    ClassList pos;
+    ClassList neg;
+    for (const auto &c : sets.front().channels)
+        (c.sign == Sign::Pos ? pos : neg).push_back(c);
+
+    if (pos.size() != neg.size()) {
+        // Unbalanced sets keep their single canonical pairing.
+        results.push_back(sets);
+        return results;
+    }
+
+    std::vector<std::size_t> perm(pos.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        SetArrangement arr = sets;
+        arr.front().channels.clear();
+        for (std::size_t i = 0; i < perm.size(); ++i) {
+            arr.front().channels.push_back(pos[perm[i]]);
+            arr.front().channels.push_back(neg[i]);
+        }
+        results.push_back(std::move(arr));
+    } while (results.size() < max_results
+             && std::next_permutation(perm.begin(), perm.end()));
+    return results;
+}
+
+std::string
+toString(const SetArrangement &sets)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        os << "Set" << i + 1 << ": " << sets[i].toString();
+        if (i + 1 < sets.size())
+            os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace ebda::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dimension sets and set arrangements (Section 5.1 of the paper).
+ *
+ * Algorithm 1 consumes an ordered list of per-dimension channel sets.
+ * The order of the sets, the order of channels within each set, and the
+ * way VCs are paired up all influence which partitioning (and hence which
+ * routing algorithm) comes out. This header provides:
+ *  - the DimensionSet container with the paper's D-pair count,
+ *  - Arrangement 1 (sort sets by descending pair count),
+ *  - Arrangement 2 (permutations of equally sized sets),
+ *  - Arrangement 3 (alternative VC pairings inside the first set).
+ */
+
+#ifndef EBDA_CORE_ARRANGE_HH
+#define EBDA_CORE_ARRANGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/channel_class.hh"
+
+namespace ebda::core {
+
+/**
+ * The ordered channel set of one dimension (e.g. D_Z = {Z1+ Z1- Z2+
+ * Z2-}). Channel order is meaningful: Algorithm 1 consumes from the
+ * front, two channels at a time for the first set and one at a time for
+ * the others.
+ */
+struct DimensionSet
+{
+    std::uint8_t dim = 0;
+    ClassList channels;
+
+    /**
+     * Number of complete D-pairs the set still covers: the number of
+     * (positive, negative) pairs that can be formed, i.e.
+     * min(#positive, #negative).
+     */
+    std::size_t pairCount() const;
+
+    /** Remove and return the first channel; panics when empty. */
+    ChannelClass popFront();
+
+    bool empty() const { return channels.empty(); }
+
+    std::size_t size() const { return channels.size(); }
+
+    /** Render as "D_Z = {Z1+ Z1- ...}". */
+    std::string toString() const;
+};
+
+/** An ordered list of dimension sets fed to Algorithm 1. */
+using SetArrangement = std::vector<DimensionSet>;
+
+/**
+ * Build the canonical per-dimension sets for a network with the given VC
+ * counts: dimension d contributes {D1+ D1- D2+ D2- ... Dv+ Dv-}.
+ * Dimensions with zero VCs are omitted.
+ */
+SetArrangement makeSets(const std::vector<int> &vcs_per_dim);
+
+/**
+ * Arrangement 1: stable-sort the sets by descending D-pair count so the
+ * pair-richest dimension leads.
+ */
+void arrange1(SetArrangement &sets);
+
+/**
+ * Arrangement 2: all orderings of the sets that respect descending pair
+ * counts; sets with equal pair counts may appear in any relative order.
+ * The result always contains at least the Arrangement-1 order.
+ */
+std::vector<SetArrangement> arrangement2All(SetArrangement sets);
+
+/**
+ * Arrangement 3: all ways of re-pairing the VCs of the first set. With q
+ * VCs there are q! pairings: pairing k matches Y{sigma(i)}+ with Y{i}-.
+ * Bounded by max_results to keep factorial growth in check.
+ *
+ * @param sets arrangement whose first set is re-paired
+ * @param max_results cap on the number of emitted arrangements
+ */
+std::vector<SetArrangement> arrangement3All(const SetArrangement &sets,
+                                            std::size_t max_results = 64);
+
+/** Render an arrangement over multiple lines. */
+std::string toString(const SetArrangement &sets);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_ARRANGE_HH

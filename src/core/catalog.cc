@@ -1,0 +1,281 @@
+#include "catalog.hh"
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+namespace {
+
+ChannelClass
+cc(std::uint8_t dim, Sign sign, std::uint8_t vc = 0)
+{
+    return makeClass(dim, sign, vc);
+}
+
+constexpr std::uint8_t kX = 0;
+constexpr std::uint8_t kY = 1;
+constexpr std::uint8_t kZ = 2;
+
+PartitionScheme
+scheme(std::vector<Partition> parts)
+{
+    PartitionScheme s(std::move(parts));
+    const auto validation = s.validate();
+    EBDA_ASSERT(validation.ok, "catalog scheme invalid: ",
+                validation.reason);
+    return s;
+}
+
+} // namespace
+
+PartitionScheme
+schemeFig6P1()
+{
+    return scheme({Partition({cc(kX, Sign::Pos)}),
+                   Partition({cc(kX, Sign::Neg)}),
+                   Partition({cc(kY, Sign::Pos)}),
+                   Partition({cc(kY, Sign::Neg)})});
+}
+
+PartitionScheme
+schemeFig6P2()
+{
+    return scheme({Partition({cc(kY, Sign::Neg)}),
+                   Partition({cc(kX, Sign::Neg)}),
+                   Partition({cc(kY, Sign::Pos), cc(kX, Sign::Pos)})});
+}
+
+PartitionScheme
+schemeFig6P3()
+{
+    return scheme({Partition({cc(kX, Sign::Neg)}),
+                   Partition({cc(kX, Sign::Pos), cc(kY, Sign::Pos),
+                              cc(kY, Sign::Neg)})});
+}
+
+PartitionScheme
+schemeFig6P4()
+{
+    return scheme({Partition({cc(kX, Sign::Neg), cc(kY, Sign::Neg)}),
+                   Partition({cc(kX, Sign::Pos), cc(kY, Sign::Pos)})});
+}
+
+PartitionScheme
+schemeFig6P5()
+{
+    return scheme({Partition({cc(kX, Sign::Neg)}),
+                   Partition({cc(kX, Sign::Pos), cc(kY, Sign::Pos, 0),
+                              cc(kY, Sign::Neg, 0), cc(kY, Sign::Pos, 1),
+                              cc(kY, Sign::Neg, 1)})});
+}
+
+PartitionScheme
+schemeNorthLast()
+{
+    return scheme({Partition({cc(kX, Sign::Pos), cc(kX, Sign::Neg),
+                              cc(kY, Sign::Neg)}),
+                   Partition({cc(kY, Sign::Pos)})});
+}
+
+PartitionScheme
+schemeFig7b()
+{
+    return scheme({Partition({cc(kX, Sign::Pos, 0), cc(kY, Sign::Pos, 0),
+                              cc(kY, Sign::Neg, 0)}),
+                   Partition({cc(kX, Sign::Neg, 0), cc(kY, Sign::Pos, 1),
+                              cc(kY, Sign::Neg, 1)})});
+}
+
+PartitionScheme
+schemeFig7c()
+{
+    return scheme({Partition({cc(kX, Sign::Pos, 0), cc(kX, Sign::Neg, 0),
+                              cc(kY, Sign::Pos, 0)}),
+                   Partition({cc(kX, Sign::Pos, 1), cc(kX, Sign::Neg, 1),
+                              cc(kY, Sign::Neg, 0)})});
+}
+
+PartitionScheme
+schemeFig9b()
+{
+    // PA = {X1+ Y1+ Z1+ Z1-}; PB = {X1- Y2+ Z4+ Z4-};
+    // PC = {X2+ Y1- Z2+ Z2-}; PD = {X2- Y2- Z3+ Z3-}.
+    return scheme({
+        Partition({cc(kX, Sign::Pos, 0), cc(kY, Sign::Pos, 0),
+                   cc(kZ, Sign::Pos, 0), cc(kZ, Sign::Neg, 0)}),
+        Partition({cc(kX, Sign::Neg, 0), cc(kY, Sign::Pos, 1),
+                   cc(kZ, Sign::Pos, 3), cc(kZ, Sign::Neg, 3)}),
+        Partition({cc(kX, Sign::Pos, 1), cc(kY, Sign::Neg, 0),
+                   cc(kZ, Sign::Pos, 1), cc(kZ, Sign::Neg, 1)}),
+        Partition({cc(kX, Sign::Neg, 1), cc(kY, Sign::Neg, 1),
+                   cc(kZ, Sign::Pos, 2), cc(kZ, Sign::Neg, 2)}),
+    });
+}
+
+PartitionScheme
+schemeFig9c()
+{
+    // PA = {Z1+ Z1- X1+ Y1+}; PB = {Z2+ Z2- X1- Y2+};
+    // PC = {X2+ X2- Z3+ Y1-}; PD = {X3+ X3- Z3- Y2-}.
+    return scheme({
+        Partition({cc(kZ, Sign::Pos, 0), cc(kZ, Sign::Neg, 0),
+                   cc(kX, Sign::Pos, 0), cc(kY, Sign::Pos, 0)}),
+        Partition({cc(kZ, Sign::Pos, 1), cc(kZ, Sign::Neg, 1),
+                   cc(kX, Sign::Neg, 0), cc(kY, Sign::Pos, 1)}),
+        Partition({cc(kX, Sign::Pos, 1), cc(kX, Sign::Neg, 1),
+                   cc(kZ, Sign::Pos, 2), cc(kY, Sign::Neg, 0)}),
+        Partition({cc(kX, Sign::Pos, 2), cc(kX, Sign::Neg, 2),
+                   cc(kZ, Sign::Neg, 2), cc(kY, Sign::Neg, 1)}),
+    });
+}
+
+PartitionScheme
+schemeOddEven()
+{
+    // Column parity = parity of the X coordinate (axis 0).
+    return scheme({
+        Partition({cc(kX, Sign::Neg),
+                   makeParityClass(kY, Sign::Pos, kX, Parity::Even),
+                   makeParityClass(kY, Sign::Neg, kX, Parity::Even)}),
+        Partition({cc(kX, Sign::Pos),
+                   makeParityClass(kY, Sign::Pos, kX, Parity::Odd),
+                   makeParityClass(kY, Sign::Neg, kX, Parity::Odd)}),
+    });
+}
+
+PartitionScheme
+schemeHamiltonian()
+{
+    // Row parity = parity of the Y coordinate (axis 1).
+    return scheme({
+        Partition({makeParityClass(kX, Sign::Pos, kY, Parity::Even),
+                   makeParityClass(kX, Sign::Neg, kY, Parity::Odd),
+                   cc(kY, Sign::Pos)}),
+        Partition({makeParityClass(kX, Sign::Neg, kY, Parity::Even),
+                   makeParityClass(kX, Sign::Pos, kY, Parity::Odd),
+                   cc(kY, Sign::Neg)}),
+    });
+}
+
+PartitionScheme
+schemePartial3d()
+{
+    // PA = {X1+ Y1+ Y1- Z1+}; PB = {X1- Y2+ Y2- Z1-}.
+    return scheme({
+        Partition({cc(kX, Sign::Pos, 0), cc(kY, Sign::Pos, 0),
+                   cc(kY, Sign::Neg, 0), cc(kZ, Sign::Pos, 0)}),
+        Partition({cc(kX, Sign::Neg, 0), cc(kY, Sign::Pos, 1),
+                   cc(kY, Sign::Neg, 1), cc(kZ, Sign::Neg, 0)}),
+    });
+}
+
+PartitionScheme
+schemePlanarAdaptive3d()
+{
+    return scheme({
+        Partition({cc(kX, Sign::Pos, 0), cc(kX, Sign::Neg, 0),
+                   cc(kY, Sign::Pos, 0)}),
+        Partition({cc(kX, Sign::Pos, 1), cc(kX, Sign::Neg, 1),
+                   cc(kY, Sign::Neg, 0)}),
+        Partition({cc(kY, Sign::Pos, 1), cc(kY, Sign::Neg, 1),
+                   cc(kZ, Sign::Pos, 0)}),
+        Partition({cc(kY, Sign::Pos, 2), cc(kY, Sign::Neg, 2),
+                   cc(kZ, Sign::Neg, 0)}),
+    });
+}
+
+PartitionScheme
+schemePlanarAdaptiveNd(std::uint8_t n)
+{
+    EBDA_ASSERT(n >= 2 && n <= 16, "planar-adaptive needs 2 <= n <= 16");
+    // Plane Ai pairs dimension i (2 VC pairs) with single directions of
+    // dimension i+1 on VC 0. Middle dimensions therefore use VC 0 as
+    // the plane-(i-1) single and VCs 1,2 as the plane-i pairs; the
+    // first dimension pairs on VCs 0,1; the last dimension only ever
+    // appears as the VC-0 single.
+    std::vector<Partition> parts;
+    for (std::uint8_t i = 0; i + 1 < n; ++i) {
+        const std::uint8_t pair_base = i == 0 ? 0 : 1;
+        for (std::uint8_t s = 0; s < 2; ++s) {
+            const auto pair_vc = static_cast<std::uint8_t>(pair_base + s);
+            parts.push_back(Partition(
+                {cc(i, Sign::Pos, pair_vc), cc(i, Sign::Neg, pair_vc),
+                 cc(static_cast<std::uint8_t>(i + 1),
+                    s == 0 ? Sign::Pos : Sign::Neg, 0)}));
+        }
+    }
+    return scheme(std::move(parts));
+}
+
+DirTurnSet
+allTurns2d()
+{
+    return {"EN", "ES", "WN", "WS", "NE", "NW", "SE", "SW"};
+}
+
+DirTurnSet
+xyTurns()
+{
+    return {"EN", "ES", "WN", "WS"};
+}
+
+DirTurnSet
+yxTurns()
+{
+    return {"NE", "NW", "SE", "SW"};
+}
+
+DirTurnSet
+westFirstTurns()
+{
+    return {"WN", "WS", "EN", "ES", "NE", "SE"};
+}
+
+DirTurnSet
+northLastTurns()
+{
+    return {"EN", "ES", "WN", "WS", "SE", "SW"};
+}
+
+DirTurnSet
+negativeFirstTurns()
+{
+    return {"EN", "WN", "WS", "NE", "SE", "SW"};
+}
+
+DirTurnSet
+directionTurns(const TurnSet &set)
+{
+    DirTurnSet out;
+    for (const auto &t : set.turns()) {
+        if (t.kind != TurnKind::Turn90)
+            continue;
+        ChannelClass from = t.from;
+        ChannelClass to = t.to;
+        from.vc = to.vc = 0;
+        from.parity = to.parity = Parity::Any;
+        from.parityAxis = to.parityAxis = 0;
+        out.insert(from.compass(false) + to.compass(false));
+    }
+    return out;
+}
+
+std::optional<std::string>
+classify2dScheme(const PartitionScheme &scheme)
+{
+    const TurnSet set = TurnSet::extract(scheme);
+    const DirTurnSet dirs = directionTurns(set);
+    if (dirs == xyTurns())
+        return "XY";
+    if (dirs == yxTurns())
+        return "YX";
+    if (dirs == westFirstTurns())
+        return "West-First";
+    if (dirs == northLastTurns())
+        return "North-Last";
+    if (dirs == negativeFirstTurns())
+        return "Negative-First";
+    return std::nullopt;
+}
+
+} // namespace ebda::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Catalog of the concrete partition schemes and classical turn models
+ * that appear in the paper, so tests, examples and benches reference one
+ * authoritative construction of each.
+ *
+ * Scheme naming follows the paper sections:
+ *  - Section 4, Figure 6: partitionings P1..P5 of a 2D network;
+ *  - Figure 7(b)/(c): minimum-channel fully adaptive 2D designs;
+ *  - Figure 9(b)/(c): minimum-channel fully adaptive 3D designs;
+ *  - Section 5 walkthrough: the (3,2,3)-VC example;
+ *  - Section 6.2: Odd-Even and Hamiltonian-path parity partitionings;
+ *  - Section 6.3: the 2-partition scheme for vertically partially
+ *    connected 3D networks (Table 5).
+ *
+ * Classical 2D turn models are given as direction-level turn sets
+ * (VC-erased) for classification of extracted schemes.
+ */
+
+#ifndef EBDA_CORE_CATALOG_HH
+#define EBDA_CORE_CATALOG_HH
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/partition.hh"
+#include "core/turns.hh"
+
+namespace ebda::core {
+
+/** @name Paper schemes
+ *  @{ */
+
+/** Figure 6(a): P1 = {X+} -> {X-} -> {Y+} -> {Y-} (XY routing). */
+PartitionScheme schemeFig6P1();
+
+/** Figure 6(b): P2 = {Y-} -> {X-} -> {Y+ X+} (partially adaptive). */
+PartitionScheme schemeFig6P2();
+
+/** Figure 6(c): P3 = {X-} -> {X+ Y+ Y-} (West-First). */
+PartitionScheme schemeFig6P3();
+
+/** Figure 6(d): P4 = {X- Y-} -> {X+ Y+} (Negative-First). */
+PartitionScheme schemeFig6P4();
+
+/** Figure 6(e): P5 = {X-} -> {X+ Y1+ Y1- Y2+ Y2-} (VCs inside one
+ *  partition add no adaptiveness). */
+PartitionScheme schemeFig6P5();
+
+/** Figure 5 / Example of Theorem 3: {X+ X- Y-} -> {Y+} (North-Last). */
+PartitionScheme schemeNorthLast();
+
+/** Figure 7(b): {X1+ Y1+ Y1-} -> {X1- Y2+ Y2-} (DyXY-like, 6 channels). */
+PartitionScheme schemeFig7b();
+
+/** Figure 7(c): {X1+ X1- Y1+} -> {X2+ X2- Y1-} (6 channels). */
+PartitionScheme schemeFig7c();
+
+/** Figure 9(b): 3D, 4 partitions, VCs (2,2,4); the scheme whose turns
+ *  Figure 8 extracts. */
+PartitionScheme schemeFig9b();
+
+/** Figure 9(c): 3D, 4 partitions, VCs (3,2,3); equals the Section 5
+ *  walkthrough result. */
+PartitionScheme schemeFig9c();
+
+/** Section 6.2: Odd-Even as PA = {X- Ye+ Ye-} -> PB = {X+ Yo+ Yo-};
+ *  parity axis is the column (X coordinate). */
+PartitionScheme schemeOddEven();
+
+/** Section 6.2: Hamiltonian-path strategy as PA = {Xe+ Xo- Y+} ->
+ *  PB = {Xe- Xo+ Y-}; parity axis is the row (Y coordinate). */
+PartitionScheme schemeHamiltonian();
+
+/** Section 6.3 / Table 5: PA = {X1+ Y1+ Y1- Z1+} -> PB = {X1- Y2+ Y2-
+ *  Z1-} for vertically partially connected 3D networks. */
+PartitionScheme schemePartial3d();
+
+/**
+ * Planar-Adaptive routing (Chien & Kim, the paper's reference [2])
+ * expressed as an EbDa scheme for 3D: adaptivity restricted to the
+ * plane sequence A0 = (X, Y) then A1 = (Y, Z), each plane split into
+ * an increasing and a decreasing subnetwork:
+ *   {X1* Y1+} -> {X2* Y1-} -> {Y2* Z1+} -> {Y3* Z1-}.
+ * VC budget (2, 3, 1) — Chien-Kim's "at most 3 VCs" bound — versus
+ * (2, 2, 4) for the fully adaptive minimum of Section 4.
+ */
+PartitionScheme schemePlanarAdaptive3d();
+
+/**
+ * Planar-Adaptive routing for arbitrary n >= 2: the plane sequence
+ * A0 = (d0, d1), A1 = (d1, d2), ..., each plane contributing two
+ * partitions (increasing / decreasing subnetwork). VC budget: 2 on the
+ * first dimension, 3 on middle dimensions, 1 on the last — linear in
+ * n, versus the exponential 2^(n-1) of full adaptiveness; the price is
+ * partial adaptiveness (one plane at a time).
+ */
+PartitionScheme schemePlanarAdaptiveNd(std::uint8_t n);
+
+/** @} */
+
+/** @name Classical 2D turn models (direction-level)
+ *
+ * A direction-level turn is a (from, to) pair of (dim, sign) classes with
+ * VC and parity erased. The 8 possible 90-degree turns of a 2D network
+ * are named per Glass-Ni compass convention (EN = from X+ to Y+, ...).
+ *  @{ */
+
+/** A direction-level 90-degree turn set, canonically sorted names like
+ *  "EN", "WS". */
+using DirTurnSet = std::set<std::string>;
+
+/** All eight 2D 90-degree turns. */
+DirTurnSet allTurns2d();
+
+/** XY dimension-order routing: {EN, ES, WN, WS}. */
+DirTurnSet xyTurns();
+
+/** YX dimension-order routing: {NE, NW, SE, SW}. */
+DirTurnSet yxTurns();
+
+/** West-First: all but {NW, SW}. */
+DirTurnSet westFirstTurns();
+
+/** North-Last: all but {NE, NW}. */
+DirTurnSet northLastTurns();
+
+/** Negative-First: all but {ES, NW}. */
+DirTurnSet negativeFirstTurns();
+
+/**
+ * Project a TurnSet's 90-degree turns to direction level (VC and parity
+ * erased) for 2D/3D compass naming.
+ */
+DirTurnSet directionTurns(const TurnSet &set);
+
+/**
+ * Name the classical 2D algorithm matching the direction-level turns of
+ * a scheme ("XY", "YX", "West-First", "North-Last", "Negative-First"),
+ * or std::nullopt when it matches none.
+ */
+std::optional<std::string> classify2dScheme(const PartitionScheme &scheme);
+
+/** @} */
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_CATALOG_HH

@@ -1,0 +1,121 @@
+#include "channel_class.hh"
+
+#include <sstream>
+
+namespace ebda::core {
+
+bool
+ChannelClass::overlaps(const ChannelClass &other) const
+{
+    if (dim != other.dim || sign != other.sign || vc != other.vc)
+        return false;
+    // Same (dim, sign, vc): channels coincide unless the parity regions
+    // are provably disjoint on a common axis.
+    if (parity == Parity::Any || other.parity == Parity::Any)
+        return true;
+    if (parityAxis != other.parityAxis) {
+        // Regions constrained on different axes always intersect (e.g.
+        // even-row vs even-column).
+        return true;
+    }
+    return parity == other.parity;
+}
+
+std::string
+dimLetter(std::uint8_t dim)
+{
+    static const char letters[] = {'X', 'Y', 'Z', 'T'};
+    if (dim < 4)
+        return std::string(1, letters[dim]);
+    return "D" + std::to_string(static_cast<int>(dim));
+}
+
+std::string
+ChannelClass::algebraic(bool show_vc) const
+{
+    std::ostringstream os;
+    os << dimLetter(dim);
+    if (parity == Parity::Even)
+        os << 'e';
+    else if (parity == Parity::Odd)
+        os << 'o';
+    if (show_vc)
+        os << static_cast<int>(vc) + 1;
+    os << (sign == Sign::Pos ? '+' : '-');
+    return os.str();
+}
+
+std::string
+ChannelClass::compass(bool show_vc) const
+{
+    static const char pos_letters[] = {'E', 'N', 'U'};
+    static const char neg_letters[] = {'W', 'S', 'D'};
+    std::ostringstream os;
+    if (dim < 3) {
+        os << (sign == Sign::Pos ? pos_letters[dim] : neg_letters[dim]);
+    } else {
+        // No compass convention past 3D; fall back to algebraic.
+        return algebraic(show_vc);
+    }
+    if (parity == Parity::Even)
+        os << 'e';
+    else if (parity == Parity::Odd)
+        os << 'o';
+    if (show_vc)
+        os << static_cast<int>(vc) + 1;
+    return os.str();
+}
+
+ChannelClass
+makeClass(std::uint8_t dim, Sign sign, std::uint8_t vc)
+{
+    ChannelClass c;
+    c.dim = dim;
+    c.sign = sign;
+    c.vc = vc;
+    return c;
+}
+
+ChannelClass
+makeParityClass(std::uint8_t dim, Sign sign, std::uint8_t parity_axis,
+                Parity parity, std::uint8_t vc)
+{
+    ChannelClass c;
+    c.dim = dim;
+    c.sign = sign;
+    c.vc = vc;
+    c.parityAxis = parity_axis;
+    c.parity = parity;
+    return c;
+}
+
+std::size_t
+ChannelClassHash::operator()(const ChannelClass &c) const
+{
+    std::size_t h = c.dim;
+    h = h * 31 + static_cast<std::size_t>(c.sign);
+    h = h * 31 + c.vc;
+    h = h * 31 + c.parityAxis;
+    h = h * 31 + static_cast<std::size_t>(c.parity);
+    // Final avalanche so dense inputs spread across buckets.
+    h ^= h >> 16;
+    h *= 0x45d9f3b;
+    h ^= h >> 16;
+    return h;
+}
+
+std::string
+toString(const ClassList &classes, bool show_vc)
+{
+    std::ostringstream os;
+    os << '{';
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << classes[i].algebraic(show_vc);
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace ebda::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The channel-class model underlying the EbDa theory (Definitions 1-6 of
+ * the paper).
+ *
+ * A *channel class* identifies one disjoint family of channels in an
+ * n-dimensional network: a dimension, a direction sign, a virtual-channel
+ * number, and optionally a coordinate-parity region (the X_even / X_odd
+ * style splitting of Definition 6 used by the Odd-Even and Hamiltonian
+ * case studies). Two classes that differ in any of these components are
+ * disjoint: no channel belongs to both.
+ *
+ * EbDa partitions (partition.hh) group channel classes; the turn calculus
+ * (turns.hh) reasons about transitions between classes; the lowering onto
+ * concrete networks (cdg/) maps each physical (link, VC) channel to
+ * exactly one class.
+ */
+
+#ifndef EBDA_CORE_CHANNEL_CLASS_HH
+#define EBDA_CORE_CHANNEL_CLASS_HH
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ebda::core {
+
+/** Direction sign along a dimension (Definition 1). */
+enum class Sign : std::uint8_t { Pos = 0, Neg = 1 };
+
+/** Flip a direction sign. */
+inline Sign
+opposite(Sign s)
+{
+    return s == Sign::Pos ? Sign::Neg : Sign::Pos;
+}
+
+/**
+ * Coordinate-parity region constraint. `Any` means the class covers all
+ * rows/columns; `Even`/`Odd` restrict the class to channels whose source
+ * coordinate along a chosen axis has that parity (Definition 6, Figure
+ * 2(d)).
+ */
+enum class Parity : std::uint8_t { Any = 0, Even = 1, Odd = 2 };
+
+/**
+ * One disjoint channel class: (dimension, sign, VC, parity region).
+ *
+ * VC numbers are 0-based internally; printed names are 1-based to match
+ * the paper (X1+, X2-, ...).
+ */
+struct ChannelClass
+{
+    /** Dimension index: 0 = X, 1 = Y, 2 = Z, ... */
+    std::uint8_t dim = 0;
+    /** Direction along the dimension. */
+    Sign sign = Sign::Pos;
+    /** Virtual-channel number within the (dim, sign) family, 0-based. */
+    std::uint8_t vc = 0;
+    /** Axis whose coordinate parity is constrained (iff parity != Any).
+     *  For "Y channels in even columns" the axis is X (0). */
+    std::uint8_t parityAxis = 0;
+    /** Parity region, Any when unconstrained. */
+    Parity parity = Parity::Any;
+
+    auto operator<=>(const ChannelClass &) const = default;
+
+    /** True when the two classes can share a physical channel, i.e. all
+     *  of (dim, sign, vc) match and the parity regions intersect. Used
+     *  to validate partition disjointness (Definition 6). */
+    bool overlaps(const ChannelClass &other) const;
+
+    /** Paper-style algebraic name, e.g. "X1+", "Y2-", "Ye*"-style
+     *  classes print as "Ye+"; VC suffix is omitted when max_vcs <= 1. */
+    std::string algebraic(bool show_vc = true) const;
+
+    /** Compass name for 2D/3D printing as used in Figure 8: X+ = E,
+     *  X- = W, Y+ = N, Y- = S, Z+ = U, Z- = D, with 1-based VC suffix
+     *  (e.g. "N2"); parity regions append 'e'/'o' (e.g. "Ne"). */
+    std::string compass(bool show_vc = true) const;
+};
+
+/** Letter used for a dimension in algebraic names (X, Y, Z, T, then Dk). */
+std::string dimLetter(std::uint8_t dim);
+
+/** Convenience constructors. */
+ChannelClass makeClass(std::uint8_t dim, Sign sign, std::uint8_t vc = 0);
+ChannelClass makeParityClass(std::uint8_t dim, Sign sign,
+                             std::uint8_t parity_axis, Parity parity,
+                             std::uint8_t vc = 0);
+
+/** Hash functor so classes can key unordered containers. */
+struct ChannelClassHash
+{
+    std::size_t operator()(const ChannelClass &c) const;
+};
+
+/** Ordered list of channel classes. */
+using ClassList = std::vector<ChannelClass>;
+
+/** Render a class list as "{X1+ X1- Y1+}". */
+std::string toString(const ClassList &classes, bool show_vc = true);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_CHANNEL_CLASS_HH

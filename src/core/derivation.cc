@@ -1,0 +1,148 @@
+#include "derivation.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+namespace {
+
+/** Channel-wise left circular shift by k. */
+ClassList
+rotated(const ClassList &channels, std::size_t k)
+{
+    if (channels.empty())
+        return channels;
+    k %= channels.size();
+    ClassList out(channels.begin() + static_cast<std::ptrdiff_t>(k),
+                  channels.end());
+    out.insert(out.end(), channels.begin(),
+               channels.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+}
+
+} // namespace
+
+std::vector<PartitionScheme>
+deriveByShifting(const SetArrangement &sets, const DerivationOptions &opts)
+{
+    std::vector<PartitionScheme> schemes;
+    if (sets.empty())
+        return schemes;
+
+    // Shift counts: the first set rotates two channels at a time (pair-
+    // wise), each other set one channel at a time.
+    std::vector<std::size_t> radix;
+    radix.push_back(std::max<std::size_t>(1, sets[0].size() / 2));
+    for (std::size_t i = 1; i < sets.size(); ++i)
+        radix.push_back(std::max<std::size_t>(1, sets[i].size()));
+
+    std::vector<std::size_t> counter(radix.size(), 0);
+    while (true) {
+        SetArrangement arr = sets;
+        arr[0].channels = rotated(arr[0].channels, counter[0] * 2);
+        for (std::size_t i = 1; i < arr.size(); ++i)
+            arr[i].channels = rotated(arr[i].channels, counter[i]);
+
+        PartitionScheme scheme = partitionSets(arr, opts.partitioning);
+        if (opts.permuteTransitionOrders) {
+            for (auto &variant : allOrders(scheme)) {
+                schemes.push_back(std::move(variant));
+                if (schemes.size() >= opts.maxSchemes)
+                    break;
+            }
+        } else {
+            schemes.push_back(std::move(scheme));
+        }
+        if (schemes.size() >= opts.maxSchemes)
+            break;
+
+        std::size_t i = 0;
+        while (i < counter.size()) {
+            if (++counter[i] < radix[i])
+                break;
+            counter[i] = 0;
+            ++i;
+        }
+        if (i == counter.size())
+            break;
+    }
+    dedupeSchemes(schemes);
+    return schemes;
+}
+
+std::vector<PartitionScheme>
+deriveAll(const std::vector<int> &vcs_per_dim, const DerivationOptions &opts)
+{
+    std::vector<PartitionScheme> schemes;
+
+    const SetArrangement base = makeSets(vcs_per_dim);
+    for (const auto &arr2 : arrangement2All(base)) {
+        for (const auto &arr3 : arrangement3All(arr2)) {
+            for (auto &s : deriveByShifting(arr3, opts)) {
+                schemes.push_back(std::move(s));
+                if (schemes.size() >= opts.maxSchemes)
+                    break;
+            }
+        }
+    }
+
+    // Exceptional no-VC case applies when every participating dimension
+    // has exactly one VC.
+    const bool no_vcs = std::all_of(vcs_per_dim.begin(), vcs_per_dim.end(),
+                                    [](int v) { return v == 1 || v == 0; });
+    const auto dims = static_cast<std::uint8_t>(
+        std::count_if(vcs_per_dim.begin(), vcs_per_dim.end(),
+                      [](int v) { return v > 0; }));
+    if (no_vcs && dims >= 2) {
+        for (auto &s : exceptionalSchemes(dims))
+            schemes.push_back(std::move(s));
+    }
+
+    dedupeSchemes(schemes);
+    if (schemes.size() > opts.maxSchemes)
+        schemes.resize(opts.maxSchemes);
+    return schemes;
+}
+
+PartitionScheme
+reverseOrder(const PartitionScheme &scheme)
+{
+    std::vector<Partition> parts(scheme.partitions().rbegin(),
+                                 scheme.partitions().rend());
+    return PartitionScheme(std::move(parts));
+}
+
+std::vector<PartitionScheme>
+allOrders(const PartitionScheme &scheme, std::size_t max_results)
+{
+    std::vector<PartitionScheme> out;
+    std::vector<std::size_t> perm(scheme.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+        std::vector<Partition> parts;
+        parts.reserve(perm.size());
+        for (std::size_t idx : perm)
+            parts.push_back(scheme[idx]);
+        out.emplace_back(std::move(parts));
+    } while (out.size() < max_results
+             && std::next_permutation(perm.begin(), perm.end()));
+    return out;
+}
+
+void
+dedupeSchemes(std::vector<PartitionScheme> &schemes)
+{
+    std::unordered_set<std::string> seen;
+    std::vector<PartitionScheme> unique;
+    unique.reserve(schemes.size());
+    for (auto &s : schemes)
+        if (seen.insert(s.canonicalKey()).second)
+            unique.push_back(std::move(s));
+    schemes = std::move(unique);
+}
+
+} // namespace ebda::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Algorithm 2 — derivation of alternative partitionings (Section 5.3),
+ * and scheme-level derivation operators:
+ *  - circular channel shifts inside the sets (Algorithm 2 proper),
+ *  - reversal / permutation of the partition transition order (5.3.3),
+ *  - deduplicated collection of every scheme reachable from a VC
+ *    configuration.
+ */
+
+#ifndef EBDA_CORE_DERIVATION_HH
+#define EBDA_CORE_DERIVATION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/arrange.hh"
+#include "core/partition.hh"
+#include "core/partitioning.hh"
+
+namespace ebda::core {
+
+/** Options for the derivation sweep. */
+struct DerivationOptions
+{
+    /** Cap on emitted schemes (the space grows factorially). */
+    std::size_t maxSchemes = 4096;
+    /** Also emit every permutation of the partition transition order
+     *  (Section 5.3.3). When false only the natural order is emitted. */
+    bool permuteTransitionOrders = false;
+    /** Forwarded to Algorithm 1. */
+    PartitioningOptions partitioning;
+};
+
+/**
+ * Algorithm 2: run the partitioning procedure on every circular-shift
+ * combination of the arrangement — the first set is pair-wise
+ * left-circular-shifted (q positions for q pairs) and every other set is
+ * channel-wise left-circular-shifted — and collect the distinct schemes.
+ */
+std::vector<PartitionScheme> deriveByShifting(
+    const SetArrangement &sets, const DerivationOptions &opts = {});
+
+/**
+ * Every distinct scheme obtainable for the given VC configuration by
+ * combining Arrangements 1-3 (Section 5.1) with Algorithm 2 shifts, plus
+ * the exceptional no-VC schemes when every dimension has exactly one VC.
+ * This is the "12 partitioning options" generator behind Table 1.
+ */
+std::vector<PartitionScheme> deriveAll(const std::vector<int> &vcs_per_dim,
+                                       const DerivationOptions &opts = {});
+
+/** Reverse the transition order of a scheme (Section 5.3.3). */
+PartitionScheme reverseOrder(const PartitionScheme &scheme);
+
+/** All permutations of the partition order of a scheme, capped. */
+std::vector<PartitionScheme> allOrders(const PartitionScheme &scheme,
+                                       std::size_t max_results = 64);
+
+/** Deduplicate schemes by canonical key, preserving first-seen order. */
+void dedupeSchemes(std::vector<PartitionScheme> &schemes);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_DERIVATION_HH

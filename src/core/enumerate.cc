@@ -1,0 +1,120 @@
+#include "enumerate.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+namespace {
+
+/**
+ * Recursively assign classes to blocks (restricted-growth strings), then
+ * emit every ordering of the resulting blocks.
+ */
+struct Enumerator
+{
+    const ClassList &classes;
+    const EnumerationOptions &opts;
+    std::vector<std::size_t> assignment;
+    std::size_t num_blocks = 0;
+    std::vector<PartitionScheme> out;
+
+    Enumerator(const ClassList &cls, const EnumerationOptions &options)
+        : classes(cls), opts(options), assignment(cls.size(), 0)
+    {
+    }
+
+    void
+    emitOrderings()
+    {
+        if (opts.exactPartitions && num_blocks != opts.exactPartitions)
+            return;
+
+        // Build the blocks.
+        std::vector<ClassList> blocks(num_blocks);
+        for (std::size_t i = 0; i < classes.size(); ++i)
+            blocks[assignment[i]].push_back(classes[i]);
+
+        // Theorem-1 filter per block.
+        for (auto &b : blocks) {
+            if (opts.canonicalMemberOrder)
+                std::sort(b.begin(), b.end());
+            if (!Partition(b).satisfiesTheorem1())
+                return;
+        }
+
+        // Emit every ordering of the blocks.
+        std::vector<std::size_t> perm(num_blocks);
+        std::iota(perm.begin(), perm.end(), 0);
+        do {
+            if (out.size() >= opts.maxResults)
+                return;
+            std::vector<Partition> parts;
+            parts.reserve(num_blocks);
+            for (std::size_t idx : perm)
+                parts.emplace_back(blocks[idx]);
+            out.emplace_back(std::move(parts));
+        } while (std::next_permutation(perm.begin(), perm.end()));
+    }
+
+    void
+    recurse(std::size_t i)
+    {
+        if (out.size() >= opts.maxResults)
+            return;
+        if (i == classes.size()) {
+            emitOrderings();
+            return;
+        }
+        // Restricted growth: class i joins an existing block or opens a
+        // new one.
+        for (std::size_t b = 0; b <= num_blocks; ++b) {
+            assignment[i] = b;
+            const std::size_t saved = num_blocks;
+            if (b == num_blocks)
+                ++num_blocks;
+            recurse(i + 1);
+            num_blocks = saved;
+        }
+    }
+};
+
+} // namespace
+
+std::vector<PartitionScheme>
+enumerateSchemes(const ClassList &classes, const EnumerationOptions &opts)
+{
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        for (std::size_t j = i + 1; j < classes.size(); ++j) {
+            EBDA_ASSERT(!classes[i].overlaps(classes[j]),
+                        "enumerateSchemes needs non-overlapping classes: ",
+                        classes[i].algebraic(), " vs ",
+                        classes[j].algebraic());
+        }
+    }
+    Enumerator e(classes, opts);
+    if (!classes.empty())
+        e.recurse(0);
+    return std::move(e.out);
+}
+
+ClassList
+classes2d()
+{
+    return classesNd(2);
+}
+
+ClassList
+classesNd(std::uint8_t n)
+{
+    ClassList out;
+    for (std::uint8_t d = 0; d < n; ++d) {
+        out.push_back(makeClass(d, Sign::Pos));
+        out.push_back(makeClass(d, Sign::Neg));
+    }
+    return out;
+}
+
+} // namespace ebda::core

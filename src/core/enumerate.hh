@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exhaustive enumeration of ordered partition schemes over a class list.
+ *
+ * Used by the Table 1/2/3 benches: for the four single-VC classes of a
+ * 2D network, enumerate every way to divide them into ordered disjoint
+ * partitions satisfying Theorem 1, then classify each scheme by partition
+ * count and adaptiveness (number of 90-degree turns). Growth is governed
+ * by ordered Bell numbers, so callers should keep class lists small
+ * (<= 8 classes) or rely on max_results.
+ */
+
+#ifndef EBDA_CORE_ENUMERATE_HH
+#define EBDA_CORE_ENUMERATE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/** Constraints for the enumeration. */
+struct EnumerationOptions
+{
+    /** Keep only schemes with exactly this many partitions (0 = any). */
+    std::size_t exactPartitions = 0;
+    /** Cap on emitted schemes. */
+    std::size_t maxResults = 100000;
+    /** When true, partition-internal member order is canonical (sorted),
+     *  so schemes differing only in Theorem-2 numbering collapse. */
+    bool canonicalMemberOrder = true;
+};
+
+/**
+ * All ordered partition schemes over the given classes in which every
+ * partition satisfies Theorem 1. Classes must be pairwise non-overlapping
+ * (they are distinct channel families); this is asserted.
+ */
+std::vector<PartitionScheme> enumerateSchemes(
+    const ClassList &classes, const EnumerationOptions &opts = {});
+
+/** The four single-VC classes of a 2D network: X+, X-, Y+, Y-. */
+ClassList classes2d();
+
+/** The 2n single-VC classes of an n-dimensional network. */
+ClassList classesNd(std::uint8_t n);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_ENUMERATE_HH

@@ -1,0 +1,103 @@
+#include "minimal.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+std::size_t
+minFullyAdaptiveChannels(std::uint8_t n)
+{
+    EBDA_ASSERT(n >= 1 && n <= 24, "dimensionality out of range: ", n);
+    return static_cast<std::size_t>(n + 1) << (n - 1);
+}
+
+PartitionScheme
+regionScheme(std::uint8_t n)
+{
+    // VC indices go up to 2^(n-1) - 1 and must fit the 8-bit VC field.
+    EBDA_ASSERT(n >= 1 && n <= 9, "dimensionality out of range: ", n);
+    PartitionScheme scheme;
+    const std::uint32_t orthants = 1u << n;
+    for (std::uint32_t sigma = 0; sigma < orthants; ++sigma) {
+        Partition p;
+        for (std::uint8_t d = 0; d < n; ++d) {
+            const Sign s = (sigma >> d) & 1u ? Sign::Neg : Sign::Pos;
+            // VC = the orthant index with bit d removed; unique among the
+            // 2^(n-1) orthants sharing this (dim, sign), so all
+            // partitions are disjoint.
+            const std::uint32_t lo = sigma & ((1u << d) - 1u);
+            const std::uint32_t hi = (sigma >> (d + 1)) << d;
+            const auto vc = static_cast<std::uint8_t>(lo | hi);
+            p.add(makeClass(d, s, vc));
+        }
+        scheme.add(std::move(p));
+    }
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok, "region scheme invalid: ", validation.reason);
+    return scheme;
+}
+
+PartitionScheme
+mergedScheme(std::uint8_t n, std::uint8_t pair_dim)
+{
+    // The pair dimension needs 2^(n-1) VC pairs; VCs are 8-bit.
+    EBDA_ASSERT(n >= 1 && n <= 9, "dimensionality out of range: ", n);
+    EBDA_ASSERT(pair_dim < n, "pair dimension ", pair_dim,
+                " out of range for n=", n);
+
+    // The free dimensions, in ascending order, carry the sign vector.
+    std::vector<std::uint8_t> free_dims;
+    for (std::uint8_t d = 0; d < n; ++d)
+        if (d != pair_dim)
+            free_dims.push_back(d);
+
+    PartitionScheme scheme;
+    const std::uint32_t combos = 1u << free_dims.size();
+    for (std::uint32_t sigma = 0; sigma < combos; ++sigma) {
+        Partition p;
+        // Complete pair of pair_dim with a fresh VC pair per partition.
+        const auto pair_vc = static_cast<std::uint8_t>(sigma);
+        p.add(makeClass(pair_dim, Sign::Pos, pair_vc));
+        p.add(makeClass(pair_dim, Sign::Neg, pair_vc));
+        for (std::size_t i = 0; i < free_dims.size(); ++i) {
+            const Sign s = (sigma >> i) & 1u ? Sign::Neg : Sign::Pos;
+            // VC = sigma with bit i removed: unique among partitions
+            // sharing this (dim, sign).
+            const std::uint32_t lo = sigma & ((1u << i) - 1u);
+            const std::uint32_t hi = (sigma >> (i + 1)) << i;
+            const auto vc = static_cast<std::uint8_t>(lo | hi);
+            p.add(makeClass(free_dims[i], s, vc));
+        }
+        scheme.add(std::move(p));
+    }
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok, "merged scheme invalid: ", validation.reason);
+    EBDA_ASSERT(channelCount(scheme) == minFullyAdaptiveChannels(n),
+                "merged scheme channel count mismatch");
+    return scheme;
+}
+
+PartitionScheme
+mergedScheme(std::uint8_t n)
+{
+    return mergedScheme(n, static_cast<std::uint8_t>(n - 1));
+}
+
+std::vector<int>
+vcsRequired(const PartitionScheme &scheme)
+{
+    std::vector<int> vcs(scheme.dimensionSpan(), 0);
+    for (const auto &c : scheme.allClasses())
+        vcs[c.dim] = std::max(vcs[c.dim], static_cast<int>(c.vc) + 1);
+    return vcs;
+}
+
+std::size_t
+channelCount(const PartitionScheme &scheme)
+{
+    return scheme.numClasses();
+}
+
+} // namespace ebda::core

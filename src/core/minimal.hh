@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section 4 — maximum adaptiveness with the minimum number of channels.
+ *
+ * The paper proves the minimum number of (unidirectional) channel classes
+ * providing fully adaptive routing in an n-dimensional network is
+ * N = (n+1) * 2^(n-1), via two constructions:
+ *  - the region construction (Figures 7(a), 9(a)): one partition per
+ *    orthant (2^n partitions of n classes each, n * 2^n classes), and
+ *  - the merged construction (Figures 7(b)/(c), 9(b)/(c)): neighbouring
+ *    orthants merged along one pair dimension (2^(n-1) partitions of
+ *    (n+1) classes each, (n+1) * 2^(n-1) classes).
+ * Both generators are implemented for arbitrary n and verified against
+ * the formula, Theorem 1, and the Dally CDG oracle (tests/bench).
+ */
+
+#ifndef EBDA_CORE_MINIMAL_HH
+#define EBDA_CORE_MINIMAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/** N = (n+1) * 2^(n-1): minimum classes for fully adaptive routing. */
+std::size_t minFullyAdaptiveChannels(std::uint8_t n);
+
+/**
+ * Region construction: 2^n disjoint partitions, one per orthant. The
+ * partition for sign vector sigma holds one class (d, sigma_d, vc) per
+ * dimension, with VC numbers chosen so all partitions are disjoint
+ * (2^(n-1) VCs per dimension). Uses n * 2^n classes.
+ */
+PartitionScheme regionScheme(std::uint8_t n);
+
+/**
+ * Merged construction: 2^(n-1) disjoint partitions. Orthants adjacent
+ * along pair_dim are merged; each partition holds a complete pair of
+ * pair_dim (fresh VC pair) plus one class per remaining dimension
+ * (2^(n-2) VCs per sign). Uses the minimum (n+1) * 2^(n-1) classes.
+ *
+ * @param n network dimensionality (1..9; the pair dimension needs
+ *          2^(n-1) VC pairs and VC indices are 8-bit)
+ * @param pair_dim the dimension merged across (default: last)
+ */
+PartitionScheme mergedScheme(std::uint8_t n, std::uint8_t pair_dim);
+
+/** Overload defaulting pair_dim to n-1. */
+PartitionScheme mergedScheme(std::uint8_t n);
+
+/** Per-dimension VC requirement of a scheme: max VC index + 1. */
+std::vector<int> vcsRequired(const PartitionScheme &scheme);
+
+/** Total channel classes in a scheme. */
+std::size_t channelCount(const PartitionScheme &scheme);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_MINIMAL_HH

@@ -1,0 +1,298 @@
+#include "parse.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace ebda::core {
+
+namespace {
+
+/** Cursor over the input with error reporting. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+
+    char
+    peek() const
+    {
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    char
+    take()
+    {
+        return pos < text.size() ? text[pos++] : '\0';
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consume(const char *token)
+    {
+        const std::size_t len = std::char_traits<char>::length(token);
+        if (text.compare(pos, len, token) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    /** Parse a non-negative integer; -1 when none present. */
+    int
+    takeNumber()
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return -1;
+        int value = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            value = value * 10 + (take() - '0');
+        return value;
+    }
+
+    std::size_t position() const { return pos; }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+void
+setError(std::string *error, const std::string &msg, std::size_t pos)
+{
+    if (error) {
+        std::ostringstream os;
+        os << msg << " at offset " << pos;
+        *error = os.str();
+    }
+}
+
+/** Parse a dimension letter (X/Y/Z/T or Dk); -1 on failure. */
+int
+takeDim(Cursor &cur)
+{
+    switch (cur.peek()) {
+      case 'X':
+        cur.take();
+        return 0;
+      case 'Y':
+        cur.take();
+        return 1;
+      case 'Z':
+        cur.take();
+        return 2;
+      case 'T':
+        cur.take();
+        return 3;
+      case 'D': {
+          cur.take();
+          const int n = cur.takeNumber();
+          return n >= 0 ? n : -1;
+      }
+      default:
+        return -1;
+    }
+}
+
+std::optional<ChannelClass>
+takeClass(Cursor &cur, std::string *error)
+{
+    cur.skipWs();
+    const std::size_t start = cur.position();
+    const int dim = takeDim(cur);
+    if (dim < 0 || dim > 255) {
+        setError(error, "expected dimension letter", start);
+        return std::nullopt;
+    }
+
+    Parity parity = Parity::Any;
+    if (cur.peek() == 'e') {
+        cur.take();
+        parity = Parity::Even;
+    } else if (cur.peek() == 'o') {
+        cur.take();
+        parity = Parity::Odd;
+    }
+
+    // Default parity axis: the other dimension in a 2D layout.
+    int axis = dim == 0 ? 1 : 0;
+    if (cur.consume('@')) {
+        axis = takeDim(cur);
+        if (axis < 0 || axis > 255) {
+            setError(error, "expected parity-axis dimension",
+                     cur.position());
+            return std::nullopt;
+        }
+    }
+
+    const int vc = cur.takeNumber(); // 1-based in text
+    if (vc == 0 || vc > 256) {
+        setError(error, "VC numbers are 1-based", cur.position());
+        return std::nullopt;
+    }
+
+    Sign sign;
+    if (cur.consume('+')) {
+        sign = Sign::Pos;
+    } else if (cur.consume('-')) {
+        sign = Sign::Neg;
+    } else {
+        setError(error, "expected '+' or '-'", cur.position());
+        return std::nullopt;
+    }
+
+    ChannelClass c = makeClass(static_cast<std::uint8_t>(dim), sign,
+                               static_cast<std::uint8_t>(
+                                   vc < 0 ? 0 : vc - 1));
+    if (parity != Parity::Any) {
+        c.parity = parity;
+        c.parityAxis = static_cast<std::uint8_t>(axis);
+    }
+    return c;
+}
+
+std::optional<Partition>
+takePartition(Cursor &cur, std::string *error)
+{
+    cur.skipWs();
+    if (!cur.consume('{')) {
+        setError(error, "expected '{'", cur.position());
+        return std::nullopt;
+    }
+    Partition p;
+    while (true) {
+        cur.skipWs();
+        if (cur.consume('}'))
+            break;
+        if (cur.atEnd()) {
+            setError(error, "unterminated partition", cur.position());
+            return std::nullopt;
+        }
+        const auto c = takeClass(cur, error);
+        if (!c)
+            return std::nullopt;
+        if (p.contains(*c)) {
+            setError(error, "duplicate class " + c->algebraic(),
+                     cur.position());
+            return std::nullopt;
+        }
+        p.add(*c);
+    }
+    return p;
+}
+
+} // namespace
+
+std::optional<ChannelClass>
+parseChannelClass(const std::string &text, std::string *error)
+{
+    Cursor cur(text);
+    const auto c = takeClass(cur, error);
+    if (!c)
+        return std::nullopt;
+    cur.skipWs();
+    if (!cur.atEnd()) {
+        setError(error, "trailing characters", cur.position());
+        return std::nullopt;
+    }
+    return c;
+}
+
+std::optional<Partition>
+parsePartition(const std::string &text, std::string *error)
+{
+    Cursor cur(text);
+    const auto p = takePartition(cur, error);
+    if (!p)
+        return std::nullopt;
+    cur.skipWs();
+    if (!cur.atEnd()) {
+        setError(error, "trailing characters", cur.position());
+        return std::nullopt;
+    }
+    return p;
+}
+
+std::optional<PartitionScheme>
+parseScheme(const std::string &text, std::string *error)
+{
+    Cursor cur(text);
+    PartitionScheme scheme;
+    while (true) {
+        const auto p = takePartition(cur, error);
+        if (!p)
+            return std::nullopt;
+        scheme.add(*p);
+        cur.skipWs();
+        if (cur.atEnd())
+            break;
+        if (!cur.consume("->")) {
+            setError(error, "expected '->' between partitions",
+                     cur.position());
+            return std::nullopt;
+        }
+    }
+    return scheme;
+}
+
+namespace {
+
+std::optional<std::vector<int>>
+parseIntList(const std::string &text, char sep, std::string *error)
+{
+    Cursor cur(text);
+    std::vector<int> out;
+    while (true) {
+        cur.skipWs();
+        const int v = cur.takeNumber();
+        if (v < 0) {
+            setError(error, "expected a number", cur.position());
+            return std::nullopt;
+        }
+        out.push_back(v);
+        cur.skipWs();
+        if (cur.atEnd())
+            break;
+        if (!cur.consume(sep)) {
+            setError(error, std::string("expected '") + sep + "'",
+                     cur.position());
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<std::vector<int>>
+parseVcList(const std::string &text, std::string *error)
+{
+    return parseIntList(text, ',', error);
+}
+
+std::optional<std::vector<int>>
+parseDims(const std::string &text, std::string *error)
+{
+    return parseIntList(text, 'x', error);
+}
+
+} // namespace ebda::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Text parser for channel classes, partitions and partition schemes —
+ * the inverse of the algebraic rendering, used by the `ebda_tool` CLI
+ * and handy in tests.
+ *
+ * Grammar (whitespace between tokens is free):
+ *   scheme    := partition ( "->" partition )*
+ *   partition := "{" class* "}"
+ *   class     := dim parity? axis? vc? sign
+ *   dim       := "X" | "Y" | "Z" | "T" | "D" digits
+ *   parity    := "e" | "o"
+ *   axis      := "@" dim            (parity axis; defaults to the other
+ *                                    dimension in 2D: axis 0 unless the
+ *                                    class dimension is 0, then axis 1)
+ *   vc        := digits             (1-based, as printed by algebraic())
+ *   sign      := "+" | "-"
+ *
+ * Examples: "X1+", "Y2-", "Ye+", "Xo@Y-", "{X+ X- Y-} -> {Y+}".
+ *
+ * Parsers return std::nullopt (with an error message out-parameter) on
+ * malformed input; they never panic on user text.
+ */
+
+#ifndef EBDA_CORE_PARSE_HH
+#define EBDA_CORE_PARSE_HH
+
+#include <optional>
+#include <string>
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/** Parse one channel class, e.g. "X2+" or "Ye-". */
+std::optional<ChannelClass> parseChannelClass(const std::string &text,
+                                              std::string *error = nullptr);
+
+/** Parse one partition, e.g. "{X+ X- Y-}". */
+std::optional<Partition> parsePartition(const std::string &text,
+                                        std::string *error = nullptr);
+
+/**
+ * Parse a full scheme, e.g. "{X+ X- Y-} -> {Y+}". The scheme is parsed
+ * structurally only; call PartitionScheme::validate() for Theorem-1 and
+ * disjointness checking.
+ */
+std::optional<PartitionScheme> parseScheme(const std::string &text,
+                                           std::string *error = nullptr);
+
+/** Parse a comma-separated VC budget, e.g. "3,2,3". */
+std::optional<std::vector<int>> parseVcList(const std::string &text,
+                                            std::string *error = nullptr);
+
+/** Parse an 'x'-separated radix list, e.g. "8x8" or "4x4x3". */
+std::optional<std::vector<int>> parseDims(const std::string &text,
+                                          std::string *error = nullptr);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_PARSE_HH

@@ -1,0 +1,194 @@
+#include "partition.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+Partition::Partition(ClassList classes)
+{
+    for (const auto &c : classes)
+        add(c);
+}
+
+void
+Partition::add(const ChannelClass &c)
+{
+    EBDA_ASSERT(!contains(c),
+                "duplicate class ", c.algebraic(), " in partition");
+    members.push_back(c);
+}
+
+bool
+Partition::contains(const ChannelClass &c) const
+{
+    return std::find(members.begin(), members.end(), c) != members.end();
+}
+
+bool
+Partition::overlapsClass(const ChannelClass &c) const
+{
+    return std::any_of(members.begin(), members.end(),
+                       [&](const ChannelClass &m) { return m.overlaps(c); });
+}
+
+bool
+Partition::disjointFrom(const Partition &other) const
+{
+    for (const auto &c : other.classes())
+        if (overlapsClass(c))
+            return false;
+    return true;
+}
+
+std::size_t
+Partition::completePairCount() const
+{
+    // For each dimension record which signs appear; a dimension with both
+    // signs contributes one complete pair (Definition 3; VC numbers and
+    // parity regions are ignored on purpose, see header).
+    std::array<std::uint8_t, 256> signs{};
+    for (const auto &c : members)
+        signs[c.dim] |= (c.sign == Sign::Pos ? 1u : 2u);
+    std::size_t pairs = 0;
+    for (unsigned s : signs)
+        if (s == 3)
+            ++pairs;
+    return pairs;
+}
+
+std::vector<std::uint8_t>
+Partition::pairedDimensions() const
+{
+    std::array<std::uint8_t, 256> signs{};
+    for (const auto &c : members)
+        signs[c.dim] |= (c.sign == Sign::Pos ? 1u : 2u);
+    std::vector<std::uint8_t> dims;
+    for (std::size_t d = 0; d < signs.size(); ++d)
+        if (signs[d] == 3)
+            dims.push_back(static_cast<std::uint8_t>(d));
+    return dims;
+}
+
+ClassList
+Partition::classesInDim(std::uint8_t d) const
+{
+    ClassList out;
+    for (const auto &c : members)
+        if (c.dim == d)
+            out.push_back(c);
+    return out;
+}
+
+std::uint8_t
+Partition::dimensionSpan() const
+{
+    std::uint8_t span = 0;
+    for (const auto &c : members)
+        span = std::max<std::uint8_t>(span, c.dim + 1);
+    return span;
+}
+
+std::string
+Partition::toString(bool show_vc) const
+{
+    return core::toString(members, show_vc);
+}
+
+PartitionScheme::PartitionScheme(std::vector<Partition> partitions)
+    : parts(std::move(partitions))
+{
+}
+
+void
+PartitionScheme::add(Partition p)
+{
+    parts.push_back(std::move(p));
+}
+
+ClassList
+PartitionScheme::allClasses() const
+{
+    ClassList out;
+    for (const auto &p : parts)
+        out.insert(out.end(), p.classes().begin(), p.classes().end());
+    return out;
+}
+
+std::size_t
+PartitionScheme::numClasses() const
+{
+    std::size_t n = 0;
+    for (const auto &p : parts)
+        n += p.size();
+    return n;
+}
+
+std::optional<std::size_t>
+PartitionScheme::partitionOf(const ChannelClass &c) const
+{
+    for (std::size_t i = 0; i < parts.size(); ++i)
+        if (parts[i].contains(c))
+            return i;
+    return std::nullopt;
+}
+
+ValidationResult
+PartitionScheme::validate() const
+{
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (parts[i].empty()) {
+            return ValidationResult::reject(
+                "partition " + std::to_string(i) + " is empty");
+        }
+        if (!parts[i].satisfiesTheorem1()) {
+            return ValidationResult::reject(
+                "partition " + parts[i].toString() + " violates Theorem 1: "
+                + std::to_string(parts[i].completePairCount())
+                + " complete D-pairs");
+        }
+        for (std::size_t j = i + 1; j < parts.size(); ++j) {
+            if (!parts[i].disjointFrom(parts[j])) {
+                return ValidationResult::reject(
+                    "partitions " + parts[i].toString() + " and "
+                    + parts[j].toString() + " are not disjoint");
+            }
+        }
+    }
+    return ValidationResult::accept();
+}
+
+std::uint8_t
+PartitionScheme::dimensionSpan() const
+{
+    std::uint8_t span = 0;
+    for (const auto &p : parts)
+        span = std::max(span, p.dimensionSpan());
+    return span;
+}
+
+std::string
+PartitionScheme::toString(bool show_vc) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            os << " -> ";
+        os << parts[i].toString(show_vc);
+    }
+    return os.str();
+}
+
+std::string
+PartitionScheme::canonicalKey() const
+{
+    // The algebraic rendering is injective over (dim, sign, vc, parity)
+    // and preserves member and partition order, so it doubles as a
+    // canonical structural key.
+    return toString(true);
+}
+
+} // namespace ebda::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Partitions and partition schemes (Definitions 2, 3, 6 and Theorem 1).
+ *
+ * A Partition is an ordered set of channel classes whose channels packets
+ * may take "arbitrarily and repeatedly". Theorem 1 states a partition is
+ * cycle-free (ignoring U-/I-turns) iff it covers at most one complete
+ * D-pair — a positive and a negative class of the same dimension.
+ *
+ * A PartitionScheme is an ordered list of pairwise-disjoint partitions;
+ * Theorem 3 permits transitions between partitions only in ascending
+ * order. The scheme is the complete specification of an EbDa routing
+ * algorithm: the turn calculus (turns.hh) extracts its allowed turn set
+ * and the lowering (cdg/) turns it into a concrete routing relation.
+ *
+ * The class order inside a partition is significant: it is the Theorem-2
+ * channel numbering that orients the allowed U-/I-turns.
+ */
+
+#ifndef EBDA_CORE_PARTITION_HH
+#define EBDA_CORE_PARTITION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/channel_class.hh"
+
+namespace ebda::core {
+
+/**
+ * An ordered set of channel classes (Definition 2). Duplicate classes
+ * are rejected at insertion.
+ */
+class Partition
+{
+  public:
+    Partition() = default;
+
+    /** Construct from a class list; panics on duplicates. */
+    explicit Partition(ClassList classes);
+
+    /** Append a class; panics when the same class is already present. */
+    void add(const ChannelClass &c);
+
+    /** The classes in Theorem-2 numbering order. */
+    const ClassList &classes() const { return members; }
+
+    /** Number of classes. */
+    std::size_t size() const { return members.size(); }
+
+    bool empty() const { return members.empty(); }
+
+    /** Exact membership. */
+    bool contains(const ChannelClass &c) const;
+
+    /** True if any member overlaps c (shares physical channels). */
+    bool overlapsClass(const ChannelClass &c) const;
+
+    /** True if the two partitions share (overlap) any channel
+     *  (Definition 6). */
+    bool disjointFrom(const Partition &other) const;
+
+    /**
+     * Number of complete D-pairs covered (Definition 3). A dimension
+     * contributes one pair when the partition holds at least one positive
+     * and one negative class of that dimension, regardless of VC numbers
+     * or parity regions (parity splitting is deliberately ignored: this
+     * keeps the count conservative, i.e. exactly Theorem 1's premise).
+     */
+    std::size_t completePairCount() const;
+
+    /** Dimensions that contribute a complete pair, ascending. */
+    std::vector<std::uint8_t> pairedDimensions() const;
+
+    /** Theorem 1: at most one complete D-pair. */
+    bool satisfiesTheorem1() const { return completePairCount() <= 1; }
+
+    /** Members belonging to dimension d, in numbering order. */
+    ClassList classesInDim(std::uint8_t d) const;
+
+    /** Highest dimension index mentioned plus one; 0 when empty. */
+    std::uint8_t dimensionSpan() const;
+
+    /** Render as "{X1+ X1- Y1+}". */
+    std::string toString(bool show_vc = true) const;
+
+  private:
+    ClassList members;
+};
+
+/** Outcome of validating a scheme, with a human-readable reason. */
+struct ValidationResult
+{
+    bool ok = true;
+    std::string reason;
+
+    /** An accepted result. */
+    static ValidationResult
+    accept()
+    {
+        return {};
+    }
+
+    /** A rejected result carrying an explanation. */
+    static ValidationResult
+    reject(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/**
+ * An ordered list of pairwise-disjoint Theorem-1 partitions. Order is
+ * the Theorem-3 ascending transition order.
+ */
+class PartitionScheme
+{
+  public:
+    PartitionScheme() = default;
+
+    /** Construct from partitions in transition order. */
+    explicit PartitionScheme(std::vector<Partition> parts);
+
+    /** Append the next partition in transition order. */
+    void add(Partition p);
+
+    const std::vector<Partition> &partitions() const { return parts; }
+
+    std::size_t size() const { return parts.size(); }
+
+    bool empty() const { return parts.empty(); }
+
+    const Partition &operator[](std::size_t i) const { return parts[i]; }
+
+    /** All classes across partitions, scheme order. */
+    ClassList allClasses() const;
+
+    /** Total number of channel classes. */
+    std::size_t numClasses() const;
+
+    /** Index of the partition containing class c (exact match). */
+    std::optional<std::size_t> partitionOf(const ChannelClass &c) const;
+
+    /**
+     * Validate the scheme against the EbDa premises:
+     *  - every partition satisfies Theorem 1 (<= 1 complete pair),
+     *  - partitions are pairwise disjoint (Definition 6),
+     *  - no partition is empty.
+     */
+    ValidationResult validate() const;
+
+    /** Highest dimension index mentioned plus one. */
+    std::uint8_t dimensionSpan() const;
+
+    /** Render as "{X1+ X1- Y1+} -> {Y1-}". */
+    std::string toString(bool show_vc = true) const;
+
+    /**
+     * Canonical structural key: partitions and member order preserved.
+     * Distinct keys <=> distinct schemes; used to deduplicate the output
+     * of the derivation enumerators.
+     */
+    std::string canonicalKey() const;
+
+  private:
+    std::vector<Partition> parts;
+};
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_PARTITION_HH

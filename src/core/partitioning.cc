@@ -1,0 +1,134 @@
+#include "partitioning.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+namespace {
+
+/** Per-dimension sign coverage of a partition: bit0 = Pos, bit1 = Neg. */
+std::array<std::uint8_t, 256>
+regionOf(const Partition &p)
+{
+    std::array<std::uint8_t, 256> region{};
+    for (const auto &c : p.classes())
+        region[c.dim] |= (c.sign == Sign::Pos ? 1u : 2u);
+    return region;
+}
+
+/** True when region a is a (non-strict) subset of region b. */
+bool
+regionSubset(const std::array<std::uint8_t, 256> &a,
+             const std::array<std::uint8_t, 256> &b)
+{
+    for (std::size_t d = 0; d < a.size(); ++d)
+        if ((a[d] & b[d]) != a[d])
+            return false;
+    return true;
+}
+
+/** True when merging b into a keeps Theorem 1 satisfied. */
+bool
+mergeKeepsTheorem1(const Partition &a, const Partition &b)
+{
+    Partition merged = a;
+    for (const auto &c : b.classes())
+        merged.add(c);
+    return merged.satisfiesTheorem1();
+}
+
+} // namespace
+
+PartitionScheme
+partitionSets(SetArrangement sets, const PartitioningOptions &opts)
+{
+    // Drop empty sets up front.
+    sets.erase(std::remove_if(sets.begin(), sets.end(),
+                              [](const DimensionSet &s) {
+                                  return s.empty();
+                              }),
+               sets.end());
+
+    PartitionScheme scheme;
+    while (!sets.empty()) {
+        if (opts.reorderSets)
+            arrange1(sets);
+
+        Partition p;
+        // First set contributes its leading D-pair (its first two
+        // channels); the remaining sets contribute one channel each.
+        p.add(sets[0].popFront());
+        if (!sets[0].empty())
+            p.add(sets[0].popFront());
+        for (std::size_t i = 1; i < sets.size(); ++i)
+            p.add(sets[i].popFront());
+
+        scheme.add(std::move(p));
+        sets.erase(std::remove_if(sets.begin(), sets.end(),
+                                  [](const DimensionSet &s) {
+                                      return s.empty();
+                                  }),
+                   sets.end());
+    }
+
+    if (opts.mergeMatching)
+        scheme = mergeMatchingPartitions(scheme);
+
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok, "Algorithm 1 produced an invalid scheme: ",
+                validation.reason);
+    return scheme;
+}
+
+PartitionScheme
+mergeMatchingPartitions(const PartitionScheme &scheme)
+{
+    std::vector<Partition> parts = scheme.partitions();
+
+    // Scan from the back: trailing partitions are the potentially "small"
+    // ones produced when the sets drained unevenly.
+    for (std::size_t i = parts.size(); i-- > 1;) {
+        const auto small_region = regionOf(parts[i]);
+        for (std::size_t j = 0; j < i; ++j) {
+            if (!regionSubset(small_region, regionOf(parts[j])))
+                continue;
+            if (!mergeKeepsTheorem1(parts[j], parts[i]))
+                continue;
+            for (const auto &c : parts[i].classes())
+                parts[j].add(c);
+            parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    return PartitionScheme(std::move(parts));
+}
+
+std::vector<PartitionScheme>
+exceptionalSchemes(std::uint8_t n)
+{
+    EBDA_ASSERT(n >= 1 && n <= 16, "dimensionality out of range: ", n);
+    std::vector<PartitionScheme> schemes;
+    const std::uint32_t combos = 1u << n;
+    for (std::uint32_t bits = 0; bits < combos; ++bits) {
+        Partition pa;
+        Partition pb;
+        for (std::uint8_t d = 0; d < n; ++d) {
+            const Sign s = (bits >> d) & 1u ? Sign::Neg : Sign::Pos;
+            pa.add(makeClass(d, s));
+            pb.add(makeClass(d, opposite(s)));
+        }
+        PartitionScheme scheme;
+        scheme.add(std::move(pa));
+        scheme.add(std::move(pb));
+        const auto validation = scheme.validate();
+        EBDA_ASSERT(validation.ok, "exceptional scheme invalid: ",
+                    validation.reason);
+        schemes.push_back(std::move(scheme));
+    }
+    return schemes;
+}
+
+} // namespace ebda::core

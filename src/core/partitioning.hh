@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Algorithm 1 — the partitioning procedure (Section 5.2.1), the merge
+ * step for trailing small partitions, and the exceptional no-VC case
+ * (Section 5.2.2).
+ *
+ * The procedure repeatedly forms a partition from the first D-pair of
+ * the leading set plus the first channel of every other set, removes the
+ * consumed channels, reorders the sets so the pair-richest dimension
+ * stays in front, and recurses until all sets are drained. Trailing
+ * partitions whose direction region is a subset of an earlier partition
+ * are merged into it.
+ */
+
+#ifndef EBDA_CORE_PARTITIONING_HH
+#define EBDA_CORE_PARTITIONING_HH
+
+#include <vector>
+
+#include "core/arrange.hh"
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/** Options controlling Algorithm 1. */
+struct PartitioningOptions
+{
+    /** Re-sort sets by descending pair count between iterations ("Sets
+     *  are reordered if necessary", Algorithm 1 line 8). */
+    bool reorderSets = true;
+    /** Merge trailing subset-region partitions (Algorithm 1 line 3). */
+    bool mergeMatching = true;
+};
+
+/**
+ * Run Algorithm 1 on an arrangement. The arrangement is consumed by
+ * value; the result always satisfies PartitionScheme::validate() (this is
+ * asserted — the procedure is constructively correct by Theorem 1).
+ */
+PartitionScheme partitionSets(SetArrangement sets,
+                              const PartitioningOptions &opts = {});
+
+/**
+ * Merge trailing partitions whose direction region (dimension -> signs
+ * present) is a subset of an earlier partition's region, provided the
+ * merge keeps Theorem 1 satisfied. Merged members are appended after the
+ * existing members so the Theorem-2 numbering of the host partition is
+ * untouched. Returns the merged scheme.
+ */
+PartitionScheme mergeMatchingPartitions(const PartitionScheme &scheme);
+
+/**
+ * Exceptional case for networks without VCs (Section 5.2.2): channels
+ * split into two partitions neither of which covers a complete pair —
+ * one channel per dimension in PA and the opposite channels in PB. All
+ * 2^n sign choices are emitted (the paper's "switching from PBs to PAs"
+ * options are the complement sign choices).
+ *
+ * @param n network dimensionality (1..16)
+ */
+std::vector<PartitionScheme> exceptionalSchemes(std::uint8_t n);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_PARTITIONING_HH

@@ -1,0 +1,42 @@
+#include "torus.hh"
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+PartitionScheme
+torusDorScheme(std::uint8_t n)
+{
+    EBDA_ASSERT(n >= 1 && n <= 16, "dimensionality out of range: ", n);
+    PartitionScheme scheme;
+    for (std::uint8_t d = 0; d < n; ++d) {
+        for (std::uint8_t vc = 0; vc < 2; ++vc) {
+            scheme.add(Partition({makeClass(d, Sign::Pos, vc),
+                                  makeClass(d, Sign::Neg, vc)}));
+        }
+    }
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok, "torus DOR scheme invalid: ",
+                validation.reason);
+    return scheme;
+}
+
+PartitionScheme
+torusAdaptiveScheme2d()
+{
+    PartitionScheme scheme;
+    scheme.add(Partition({makeClass(1, Sign::Pos, 0),
+                          makeClass(1, Sign::Neg, 0),
+                          makeClass(0, Sign::Pos, 0)}));
+    scheme.add(Partition({makeClass(1, Sign::Pos, 1),
+                          makeClass(1, Sign::Neg, 1),
+                          makeClass(0, Sign::Neg, 0)}));
+    scheme.add(Partition({makeClass(0, Sign::Pos, 1),
+                          makeClass(0, Sign::Neg, 1)}));
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok, "torus adaptive scheme invalid: ",
+                validation.reason);
+    return scheme;
+}
+
+} // namespace ebda::core

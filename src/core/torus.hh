@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Partition-scheme generators for k-ary n-cubes (Assumption 3 and the
+ * Theorem-2 torus note). On tori built with
+ * WrapClassification::OppositeOfTravel a wrap traversal lands on the
+ * opposite direction class, so crossing a dateline is a U-turn; the
+ * schemes here place a post-wrap continuation class in a later
+ * partition, which is exactly what makes torus-minimal routing legal.
+ *
+ * Two generators:
+ *  - torusDorScheme(n): 2n partitions of one VC pair each, dimension-
+ *    major — the EbDa rendering of dateline dimension-order routing;
+ *    2 VCs per dimension, deterministic-grade adaptiveness.
+ *  - torusAdaptiveScheme2d(): the three-partition 2D scheme used by
+ *    the torus benches: {Y1* X1+} -> {Y2* X1-} -> {X2*}; adaptive in
+ *    the mesh region while every wrap remains usable.
+ */
+
+#ifndef EBDA_CORE_TORUS_HH
+#define EBDA_CORE_TORUS_HH
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/**
+ * Dimension-major torus scheme: for each dimension d (ascending), one
+ * partition {Dd(vc0)+ Dd(vc0)-} followed by one {Dd(vc1)+ Dd(vc1)-}.
+ * A packet travels dimension d on VC 0, takes the wrap (a Theorem-2
+ * U-turn inside the first partition), continues on VC 1 (Theorem-3
+ * transition), then proceeds to later dimensions. Requires 2 VCs per
+ * dimension.
+ */
+PartitionScheme torusDorScheme(std::uint8_t n);
+
+/**
+ * Adaptive 2D torus scheme over 2 VCs per dimension:
+ * {Y1+ Y1- X1+} -> {Y2+ Y2- X1-} -> {X2+ X2-}.
+ */
+PartitionScheme torusAdaptiveScheme2d();
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_TORUS_HH

@@ -1,0 +1,254 @@
+#include "turns.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebda::core {
+
+namespace {
+
+/** Pack a class into 27 bits (injective over all valid field values). */
+std::uint32_t
+packClass(const ChannelClass &c)
+{
+    return static_cast<std::uint32_t>(c.dim)
+        | (static_cast<std::uint32_t>(c.sign) << 8)
+        | (static_cast<std::uint32_t>(c.vc) << 9)
+        | (static_cast<std::uint32_t>(c.parityAxis) << 17)
+        | (static_cast<std::uint32_t>(c.parity) << 25);
+}
+
+} // namespace
+
+TurnKind
+classifyTurn(const ChannelClass &from, const ChannelClass &to)
+{
+    EBDA_ASSERT(!(from == to), "straight continuation is not a turn");
+    if (from.dim != to.dim)
+        return TurnKind::Turn90;
+    return from.sign == to.sign ? TurnKind::ITurn : TurnKind::UTurn;
+}
+
+std::string
+toString(TurnKind k)
+{
+    switch (k) {
+      case TurnKind::Turn90:
+        return "90";
+      case TurnKind::UTurn:
+        return "U";
+      case TurnKind::ITurn:
+        return "I";
+    }
+    return "?";
+}
+
+std::string
+Turn::compassName() const
+{
+    return from.compass() + to.compass();
+}
+
+std::string
+Turn::algebraicName() const
+{
+    return from.algebraic() + " -> " + to.algebraic();
+}
+
+std::uint64_t
+TurnSet::key(const ChannelClass &a, const ChannelClass &b)
+{
+    return (static_cast<std::uint64_t>(packClass(a)) << 32) | packClass(b);
+}
+
+void
+TurnSet::addTurn(const ChannelClass &from, const ChannelClass &to,
+                 TurnOrigin origin, std::uint16_t from_part,
+                 std::uint16_t to_part)
+{
+    if (!lookup.insert(key(from, to)).second)
+        return;
+    Turn t;
+    t.from = from;
+    t.to = to;
+    t.kind = classifyTurn(from, to);
+    t.origin = origin;
+    t.fromPartition = from_part;
+    t.toPartition = to_part;
+    list.push_back(t);
+}
+
+TurnSet
+TurnSet::extract(const PartitionScheme &scheme,
+                 const TurnExtractionOptions &opts)
+{
+    const auto validation = scheme.validate();
+    EBDA_ASSERT(validation.ok,
+                "cannot extract turns from invalid scheme: ",
+                validation.reason, " (", scheme.toString(), ")");
+
+    TurnSet set;
+    set.sourceScheme = scheme;
+    for (const auto &c : scheme.allClasses())
+        set.knownClasses.insert(packClass(c));
+
+    const auto &parts = scheme.partitions();
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+        const Partition &p = parts[pi];
+        const auto part_idx = static_cast<std::uint16_t>(pi);
+
+        // Theorem 1: all intra-partition 90-degree turns.
+        for (const auto &a : p.classes()) {
+            for (const auto &b : p.classes()) {
+                if (a.dim != b.dim) {
+                    set.addTurn(a, b, TurnOrigin::Theorem1, part_idx,
+                                part_idx);
+                }
+            }
+        }
+
+        // Theorem 2: intra-partition U-/I-turns.
+        if (opts.theorem2) {
+            const auto paired = p.pairedDimensions();
+            for (std::uint8_t d = 0; d < p.dimensionSpan(); ++d) {
+                const ClassList in_dim = p.classesInDim(d);
+                if (in_dim.size() < 2)
+                    continue;
+                const bool is_paired =
+                    std::find(paired.begin(), paired.end(), d)
+                    != paired.end();
+                if (is_paired) {
+                    // Ascending numbering order only: the partition-member
+                    // order is the Theorem-2 channel numbering.
+                    for (std::size_t i = 0; i < in_dim.size(); ++i) {
+                        for (std::size_t j = i + 1; j < in_dim.size(); ++j) {
+                            set.addTurn(in_dim[i], in_dim[j],
+                                        TurnOrigin::Theorem2, part_idx,
+                                        part_idx);
+                        }
+                    }
+                } else {
+                    // Single-direction dimension: all I-turns allowed.
+                    for (const auto &a : in_dim) {
+                        for (const auto &b : in_dim) {
+                            if (!(a == b)) {
+                                set.addTurn(a, b, TurnOrigin::Theorem2,
+                                            part_idx, part_idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Theorem 3: transitions to later partitions.
+        if (opts.theorem3) {
+            const std::size_t last = opts.transitionsToAllLater
+                ? parts.size()
+                : std::min(parts.size(), pi + 2);
+            for (std::size_t pj = pi + 1; pj < last; ++pj) {
+                const auto to_idx = static_cast<std::uint16_t>(pj);
+                for (const auto &a : p.classes()) {
+                    for (const auto &b : parts[pj].classes()) {
+                        if (!opts.crossUITurns && a.dim == b.dim)
+                            continue;
+                        set.addTurn(a, b, TurnOrigin::Theorem3, part_idx,
+                                    to_idx);
+                    }
+                }
+            }
+        }
+    }
+    return set;
+}
+
+TurnSet
+TurnSet::fromExplicit(
+    const ClassList &classes,
+    const std::vector<std::pair<ChannelClass, ChannelClass>> &allowed)
+{
+    TurnSet set;
+    // One partition per class keeps the stored scheme well-formed for
+    // ClassMap consumers; the transition structure is irrelevant here.
+    for (const auto &c : classes) {
+        set.sourceScheme.add(Partition({c}));
+        set.knownClasses.insert(packClass(c));
+    }
+    for (const auto &[from, to] : allowed) {
+        EBDA_ASSERT(set.knownClasses.count(packClass(from))
+                        && set.knownClasses.count(packClass(to)),
+                    "explicit turn ", from.algebraic(), " -> ",
+                    to.algebraic(), " references unknown class");
+        if (!set.lookup.insert(key(from, to)).second)
+            continue;
+        Turn t;
+        t.from = from;
+        t.to = to;
+        t.kind = classifyTurn(from, to);
+        t.origin = TurnOrigin::Theorem1;
+        set.list.push_back(t);
+    }
+    return set;
+}
+
+bool
+TurnSet::allows(const ChannelClass &from, const ChannelClass &to) const
+{
+    if (from == to)
+        return knownClasses.count(packClass(from)) != 0;
+    return lookup.count(key(from, to)) != 0;
+}
+
+std::size_t
+TurnSet::count(TurnKind k) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(list.begin(), list.end(),
+                      [k](const Turn &t) { return t.kind == k; }));
+}
+
+std::size_t
+TurnSet::countOrigin(TurnOrigin o) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(list.begin(), list.end(),
+                      [o](const Turn &t) { return t.origin == o; }));
+}
+
+std::vector<Turn>
+TurnSet::turnsBetween(std::uint16_t p, std::uint16_t q) const
+{
+    std::vector<Turn> out;
+    for (const auto &t : list)
+        if (t.fromPartition == p && t.toPartition == q)
+            out.push_back(t);
+    return out;
+}
+
+std::vector<std::string>
+TurnSet::sorted90DegreeNames(bool show_vc) const
+{
+    std::vector<std::string> names;
+    for (const auto &t : list) {
+        if (t.kind == TurnKind::Turn90) {
+            names.push_back(t.from.algebraic(show_vc) + "->"
+                            + t.to.algebraic(show_vc));
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+UITurnCounts
+expectedUICounts(std::size_t a, std::size_t b)
+{
+    auto choose2 = [](std::size_t k) { return k < 2 ? 0 : k * (k - 1) / 2; };
+    UITurnCounts counts;
+    counts.uTurns = a * b;
+    counts.iTurns = choose2(a) + choose2(b);
+    return counts;
+}
+
+} // namespace ebda::core

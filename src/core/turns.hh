@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The EbDa turn calculus: extraction of the complete allowed turn set of
+ * a partition scheme per Theorems 1, 2 and 3, plus the U-/I-turn counting
+ * identities of Figure 4.
+ *
+ * Turn taxonomy (Definitions 4-5):
+ *  - 90-degree turn: transition between classes of different dimensions;
+ *  - I-turn (0-degree): transition between distinct classes of the same
+ *    dimension and the same sign (different VC or parity region);
+ *  - U-turn (180-degree): transition between classes of the same
+ *    dimension with opposite signs.
+ *
+ * Extraction rules implemented here:
+ *  - Theorem 1: within a partition, every ordered pair of classes from
+ *    different dimensions is an allowed 90-degree turn.
+ *  - Theorem 2: within a partition, classes of the dimension holding the
+ *    complete pair are numbered by their order in the partition and
+ *    transitions are allowed in strictly ascending order (yielding
+ *    n(n-1)/2 U-/I-turns for n classes); dimensions present with a single
+ *    sign allow all of their I-turns.
+ *  - Theorem 3: every transition from a class of partition i to a class
+ *    of any later partition j > i is allowed (90-degree, U- and I-turns
+ *    alike).
+ *
+ * Staying in the same class ("straight") is always allowed and is not
+ * materialised as a turn.
+ */
+
+#ifndef EBDA_CORE_TURNS_HH
+#define EBDA_CORE_TURNS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+
+/** Classification of a class-to-class transition. */
+enum class TurnKind : std::uint8_t { Turn90, UTurn, ITurn };
+
+/** The theorem that justified a turn (provenance for reporting). */
+enum class TurnOrigin : std::uint8_t { Theorem1, Theorem2, Theorem3 };
+
+/** Classify the transition from one class to a different class. */
+TurnKind classifyTurn(const ChannelClass &from, const ChannelClass &to);
+
+/** Short name of a turn kind ("90", "U", "I"). */
+std::string toString(TurnKind k);
+
+/** One allowed transition with provenance. */
+struct Turn
+{
+    ChannelClass from;
+    ChannelClass to;
+    TurnKind kind;
+    TurnOrigin origin;
+    /** Scheme index of the source / destination partition. */
+    std::uint16_t fromPartition = 0;
+    std::uint16_t toPartition = 0;
+
+    /** Figure-8 style compass name, e.g. "N2W1". */
+    std::string compassName() const;
+
+    /** Algebraic name, e.g. "Y2+ -> X1-". */
+    std::string algebraicName() const;
+};
+
+/** Extraction options; all theorems enabled by default. */
+struct TurnExtractionOptions
+{
+    /** Apply Theorem 2 inside partitions (U-/I-turns). */
+    bool theorem2 = true;
+    /** Apply Theorem 3 across partitions. */
+    bool theorem3 = true;
+    /** When true (corollary of Theorem 3) transitions may target any
+     *  later partition; when false only the immediately next one. */
+    bool transitionsToAllLater = true;
+    /** Include U-/I-turn transitions across partitions (corollary of
+     *  Theorem 3); 90-degree cross-partition turns are always included
+     *  when theorem3 is set. */
+    bool crossUITurns = true;
+};
+
+/**
+ * The complete allowed turn set of a partition scheme, with O(1)
+ * membership queries and per-origin reporting.
+ */
+class TurnSet
+{
+  public:
+    TurnSet() = default;
+
+    /**
+     * Extract the allowed turns of a validated scheme. Panics when the
+     * scheme fails PartitionScheme::validate(): extracting turns from an
+     * invalid scheme would silently produce a deadlock-prone design.
+     */
+    static TurnSet extract(const PartitionScheme &scheme,
+                           const TurnExtractionOptions &opts = {});
+
+    /**
+     * Build a turn set directly from an explicit list of allowed
+     * transitions over the given classes — no scheme, no theorems. Used
+     * to verify arbitrary turn models (e.g. the Glass-Ni one-turn-
+     * removal combinations) against the Dally oracle. Transitions whose
+     * endpoints are not in `classes` are rejected.
+     */
+    static TurnSet fromExplicit(
+        const ClassList &classes,
+        const std::vector<std::pair<ChannelClass, ChannelClass>> &allowed);
+
+    /** All turns in extraction order. */
+    const std::vector<Turn> &turns() const { return list; }
+
+    /** True when the transition from -> to is allowed. Straight
+     *  continuation (from == to) is always allowed. */
+    bool allows(const ChannelClass &from, const ChannelClass &to) const;
+
+    /** Number of turns of the given kind. */
+    std::size_t count(TurnKind k) const;
+
+    /** Number of turns with the given origin. */
+    std::size_t countOrigin(TurnOrigin o) const;
+
+    /** Total number of turns. */
+    std::size_t size() const { return list.size(); }
+
+    /** Turns originating in partition p and ending in partition q
+     *  (p == q for intra-partition turns). */
+    std::vector<Turn> turnsBetween(std::uint16_t p, std::uint16_t q) const;
+
+    /**
+     * The set of 90-degree turns as (from, to) algebraic-name pairs,
+     * sorted; useful to compare against classical turn models where VC
+     * numbers are irrelevant (single-VC 2D networks).
+     */
+    std::vector<std::string> sorted90DegreeNames(bool show_vc = true) const;
+
+    /** The scheme the set was extracted from. */
+    const PartitionScheme &scheme() const { return sourceScheme; }
+
+  private:
+    void addTurn(const ChannelClass &from, const ChannelClass &to,
+                 TurnOrigin origin, std::uint16_t from_part,
+                 std::uint16_t to_part);
+
+    static std::uint64_t key(const ChannelClass &a, const ChannelClass &b);
+
+    std::vector<Turn> list;
+    std::unordered_set<std::uint64_t> lookup;
+    std::unordered_set<std::uint64_t> knownClasses;
+    PartitionScheme sourceScheme;
+};
+
+/**
+ * Figure 4 counting identities for Theorem 2. For a complete pair
+ * dimension holding a positive-direction classes and b negative-direction
+ * classes (n = a + b), ascending numbering allows:
+ *   U-turns: a * b;   I-turns: C(a,2) + C(b,2);   total: n(n-1)/2.
+ */
+struct UITurnCounts
+{
+    std::size_t uTurns = 0;
+    std::size_t iTurns = 0;
+
+    std::size_t total() const { return uTurns + iTurns; }
+};
+
+/** Closed-form counts for a pair dimension with a positive and b negative
+ *  classes. */
+UITurnCounts expectedUICounts(std::size_t a, std::size_t b);
+
+} // namespace ebda::core
+
+#endif // EBDA_CORE_TURNS_HH

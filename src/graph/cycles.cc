@@ -1,0 +1,185 @@
+#include "cycles.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ebda::graph {
+
+namespace {
+
+enum class Color : std::uint8_t { White, Gray, Black };
+
+} // namespace
+
+CycleReport
+findCycle(const Digraph &g)
+{
+    const std::size_t n = g.numNodes();
+    std::vector<Color> color(n, Color::White);
+
+    // Explicit DFS stack: (node, next successor index to visit).
+    struct Frame
+    {
+        NodeId node;
+        std::size_t next;
+    };
+    std::vector<Frame> stack;
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (color[root] != Color::White)
+            continue;
+        color[root] = Color::Gray;
+        stack.push_back({root, 0});
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto &succ = g.successors(f.node);
+            if (f.next < succ.size()) {
+                const NodeId v = succ[f.next++];
+                if (color[v] == Color::White) {
+                    color[v] = Color::Gray;
+                    stack.push_back({v, 0});
+                } else if (color[v] == Color::Gray) {
+                    // Back edge: the cycle is v ... stack.back().node.
+                    CycleReport report;
+                    report.acyclic = false;
+                    auto it = std::find_if(
+                        stack.begin(), stack.end(),
+                        [v](const Frame &fr) { return fr.node == v; });
+                    EBDA_ASSERT(it != stack.end(),
+                                "gray node missing from DFS stack");
+                    for (; it != stack.end(); ++it)
+                        report.cycle.push_back(it->node);
+                    return report;
+                }
+            } else {
+                color[f.node] = Color::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return CycleReport{};
+}
+
+bool
+isAcyclic(const Digraph &g)
+{
+    return findCycle(g).acyclic;
+}
+
+std::vector<std::uint32_t>
+stronglyConnectedComponents(const Digraph &g, std::uint32_t *num_components)
+{
+    const std::size_t n = g.numNodes();
+    constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<NodeId> sccStack;
+    std::vector<std::uint32_t> comp(n, kUnvisited);
+    std::uint32_t nextIndex = 0;
+    std::uint32_t nextComp = 0;
+
+    struct Frame
+    {
+        NodeId node;
+        std::size_t next;
+    };
+    std::vector<Frame> stack;
+
+    for (NodeId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        stack.push_back({root, 0});
+        index[root] = lowlink[root] = nextIndex++;
+        sccStack.push_back(root);
+        onStack[root] = true;
+
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto &succ = g.successors(f.node);
+            if (f.next < succ.size()) {
+                const NodeId v = succ[f.next++];
+                if (index[v] == kUnvisited) {
+                    index[v] = lowlink[v] = nextIndex++;
+                    sccStack.push_back(v);
+                    onStack[v] = true;
+                    stack.push_back({v, 0});
+                } else if (onStack[v]) {
+                    lowlink[f.node] = std::min(lowlink[f.node], index[v]);
+                }
+            } else {
+                const NodeId u = f.node;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    NodeId parent = stack.back().node;
+                    lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+                }
+                if (lowlink[u] == index[u]) {
+                    // u is the root of an SCC.
+                    while (true) {
+                        const NodeId w = sccStack.back();
+                        sccStack.pop_back();
+                        onStack[w] = false;
+                        comp[w] = nextComp;
+                        if (w == u)
+                            break;
+                    }
+                    ++nextComp;
+                }
+            }
+        }
+    }
+    if (num_components)
+        *num_components = nextComp;
+    return comp;
+}
+
+std::optional<std::vector<NodeId>>
+topologicalSort(const Digraph &g)
+{
+    const std::size_t n = g.numNodes();
+    std::vector<std::uint32_t> indeg(n, 0);
+    for (NodeId u = 0; u < n; ++u)
+        for (NodeId v : g.successors(u))
+            ++indeg[v];
+
+    std::vector<NodeId> order;
+    order.reserve(n);
+    std::vector<NodeId> queue;
+    for (NodeId u = 0; u < n; ++u)
+        if (indeg[u] == 0)
+            queue.push_back(u);
+
+    while (!queue.empty()) {
+        const NodeId u = queue.back();
+        queue.pop_back();
+        order.push_back(u);
+        for (NodeId v : g.successors(u))
+            if (--indeg[v] == 0)
+                queue.push_back(v);
+    }
+    if (order.size() != n)
+        return std::nullopt;
+    return order;
+}
+
+std::size_t
+numNodesOnCycles(const Digraph &g)
+{
+    std::uint32_t num_comps = 0;
+    const auto comp = stronglyConnectedComponents(g, &num_comps);
+    std::vector<std::uint32_t> size(num_comps, 0);
+    for (auto c : comp)
+        ++size[c];
+
+    std::size_t result = 0;
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+        if (size[comp[u]] > 1 || g.hasEdge(u, u))
+            ++result;
+    }
+    return result;
+}
+
+} // namespace ebda::graph

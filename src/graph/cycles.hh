@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cycle analysis over Digraph: acyclicity testing with witness
+ * extraction, Tarjan strongly-connected components, and topological sort.
+ *
+ * These are the oracle primitives behind Dally's criterion: a routing
+ * relation is deadlock-free iff its channel dependency graph is acyclic.
+ * All traversals are iterative so million-channel graphs cannot overflow
+ * the call stack.
+ */
+
+#ifndef EBDA_GRAPH_CYCLES_HH
+#define EBDA_GRAPH_CYCLES_HH
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hh"
+
+namespace ebda::graph {
+
+/** Result of an acyclicity test with an optional witness. */
+struct CycleReport
+{
+    /** True when no directed cycle exists. */
+    bool acyclic = true;
+    /**
+     * When cyclic: a witness cycle as a node sequence c0, c1, ..., ck-1
+     * where each ci -> c(i+1 mod k) is an edge. Empty when acyclic.
+     */
+    std::vector<NodeId> cycle;
+};
+
+/**
+ * Test acyclicity via iterative three-color DFS; on failure extract one
+ * witness cycle from the DFS stack.
+ */
+CycleReport findCycle(const Digraph &g);
+
+/** Convenience wrapper for findCycle().acyclic. */
+bool isAcyclic(const Digraph &g);
+
+/**
+ * Tarjan's strongly connected components (iterative).
+ *
+ * @return component id per node; ids are in reverse topological order of
+ *         the condensation (standard Tarjan numbering).
+ */
+std::vector<std::uint32_t> stronglyConnectedComponents(
+    const Digraph &g, std::uint32_t *num_components = nullptr);
+
+/**
+ * Kahn topological sort.
+ *
+ * @return node order when the graph is acyclic, std::nullopt otherwise.
+ */
+std::optional<std::vector<NodeId>> topologicalSort(const Digraph &g);
+
+/**
+ * Count nodes that participate in at least one cycle (nodes whose SCC has
+ * size > 1 or which carry a self-loop). Useful for reporting how much of
+ * a dependency graph is "poisoned" by a bad turn set.
+ */
+std::size_t numNodesOnCycles(const Digraph &g);
+
+} // namespace ebda::graph
+
+#endif // EBDA_GRAPH_CYCLES_HH

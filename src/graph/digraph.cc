@@ -1,0 +1,48 @@
+#include "digraph.hh"
+
+#include "util/logging.hh"
+
+namespace ebda::graph {
+
+Digraph::Digraph(std::size_t num_nodes) : adj(num_nodes) {}
+
+void
+Digraph::resize(std::size_t n)
+{
+    if (n > adj.size())
+        adj.resize(n);
+}
+
+NodeId
+Digraph::addNode()
+{
+    adj.emplace_back();
+    return static_cast<NodeId>(adj.size() - 1);
+}
+
+void
+Digraph::addEdge(NodeId u, NodeId v)
+{
+    EBDA_ASSERT(u < adj.size() && v < adj.size(),
+                "edge (", u, ",", v, ") out of range for ", adj.size(),
+                " nodes");
+    if (!edgeSet.insert(pack(u, v)).second)
+        return;
+    adj[u].push_back(v);
+    ++edgeCount;
+}
+
+bool
+Digraph::hasEdge(NodeId u, NodeId v) const
+{
+    return edgeSet.count(pack(u, v)) != 0;
+}
+
+const std::vector<NodeId> &
+Digraph::successors(NodeId u) const
+{
+    EBDA_ASSERT(u < adj.size(), "node ", u, " out of range");
+    return adj[u];
+}
+
+} // namespace ebda::graph

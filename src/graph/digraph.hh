@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A compact directed-graph container used for channel dependency graphs.
+ *
+ * Nodes are dense integer ids [0, numNodes). Edges are stored in
+ * adjacency lists. The container supports incremental edge insertion with
+ * optional de-duplication, which matters because a routing relation
+ * typically induces the same channel dependency from many destinations.
+ */
+
+#ifndef EBDA_GRAPH_DIGRAPH_HH
+#define EBDA_GRAPH_DIGRAPH_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace ebda::graph {
+
+/** Dense node identifier. */
+using NodeId = std::uint32_t;
+
+/**
+ * Directed graph over dense integer node ids.
+ */
+class Digraph
+{
+  public:
+    /** Construct with a fixed node count (may be grown later). */
+    explicit Digraph(std::size_t num_nodes = 0);
+
+    /** Number of nodes. */
+    std::size_t numNodes() const { return adj.size(); }
+
+    /** Number of (distinct, if deduplicated) edges. */
+    std::size_t numEdges() const { return edgeCount; }
+
+    /** Grow the node set to at least n nodes. */
+    void resize(std::size_t n);
+
+    /** Append a new node, returning its id. */
+    NodeId addNode();
+
+    /**
+     * Insert edge u -> v. Duplicate insertions are ignored (the graph
+     * stays simple), which keeps cycle detection linear in distinct
+     * dependencies no matter how many destinations induce each one.
+     * Self-loops are allowed and count as cycles.
+     */
+    void addEdge(NodeId u, NodeId v);
+
+    /** True if edge u -> v is present. */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    /** Successors of u. */
+    const std::vector<NodeId> &successors(NodeId u) const;
+
+    /** Out-degree of u. */
+    std::size_t outDegree(NodeId u) const { return successors(u).size(); }
+
+  private:
+    std::vector<std::vector<NodeId>> adj;
+    /** Hash set of packed (u,v) pairs for O(1) duplicate rejection. */
+    std::unordered_set<std::uint64_t> edgeSet;
+    std::size_t edgeCount = 0;
+
+    static std::uint64_t
+    pack(NodeId u, NodeId v)
+    {
+        return (static_cast<std::uint64_t>(u) << 32) | v;
+    }
+};
+
+} // namespace ebda::graph
+
+#endif // EBDA_GRAPH_DIGRAPH_HH

@@ -1,0 +1,206 @@
+#include "ebda_routing.hh"
+
+#include <deque>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ebda::routing {
+
+using core::Sign;
+
+namespace {
+
+constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+} // namespace
+
+EbDaRouting::EbDaRouting(const topo::Network &network,
+                         const core::PartitionScheme &sch,
+                         const core::TurnExtractionOptions &opts, Mode m)
+    : net(network), scheme(sch),
+      turns(core::TurnSet::extract(sch, opts)), map(network, sch), mode(m)
+{
+}
+
+std::string
+EbDaRouting::name() const
+{
+    return "EbDa[" + scheme.toString() + "]";
+}
+
+bool
+EbDaRouting::legal(topo::ChannelId in, topo::ChannelId ch) const
+{
+    const cdg::ClassIndex k2 = map.classOf(ch);
+    if (k2 == cdg::kUnclassified)
+        return false;
+    if (in == cdg::kInjectionChannel)
+        return true;
+    const cdg::ClassIndex k1 = map.classOf(in);
+    EBDA_ASSERT(k1 != cdg::kUnclassified,
+                "packet occupies unclassified channel ",
+                net.channelName(in));
+    return turns.allows(map.classAt(k1), map.classAt(k2));
+}
+
+std::vector<topo::ChannelId>
+EbDaRouting::rawMinimal(topo::ChannelId in, topo::NodeId at,
+                        topo::NodeId dest) const
+{
+    std::vector<topo::ChannelId> out;
+    for (std::uint8_t d = 0; d < net.numDims(); ++d) {
+        const int off = net.minimalOffset(at, dest, d);
+        if (off == 0)
+            continue;
+        const auto link =
+            net.linkFrom(at, d, off > 0 ? Sign::Pos : Sign::Neg);
+        if (!link)
+            continue;
+        for (int v = 0; v < net.vcsOnLink(*link); ++v) {
+            const topo::ChannelId ch = net.channel(*link, v);
+            if (legal(in, ch))
+                out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+bool
+EbDaRouting::survives(topo::ChannelId c, topo::NodeId dest) const
+{
+    auto &table = survivors[dest];
+    if (table.empty())
+        table.assign(net.numChannels(), 0);
+    if (table[c])
+        return table[c] == 1;
+
+    const topo::NodeId head = net.link(net.linkOf(c)).dst;
+    bool ok = false;
+    if (head == dest) {
+        ok = true;
+    } else {
+        // Minimal moves strictly decrease the head-to-dest distance, so
+        // the recursion is well-founded.
+        for (topo::ChannelId next : rawMinimal(c, head, dest)) {
+            if (survives(next, dest)) {
+                ok = true;
+                break;
+            }
+        }
+    }
+    table[c] = ok ? 1 : 2;
+    return ok;
+}
+
+std::vector<topo::ChannelId>
+EbDaRouting::minimalCandidates(topo::ChannelId in, topo::NodeId at,
+                               topo::NodeId dest) const
+{
+    std::vector<topo::ChannelId> raw = rawMinimal(in, at, dest);
+    std::vector<topo::ChannelId> out;
+    out.reserve(raw.size());
+    for (topo::ChannelId c : raw)
+        if (survives(c, dest))
+            out.push_back(c);
+    return out;
+}
+
+const std::vector<std::uint32_t> &
+EbDaRouting::distTable(topo::NodeId dest) const
+{
+    auto it = distances.find(dest);
+    if (it != distances.end())
+        return it->second;
+
+    // Backward BFS in the channel state graph: channels whose head is
+    // dest are one hop from ejection; predecessors of channel c2 are the
+    // in-channels of c2's tail with a legal transition to c2.
+    std::vector<std::uint32_t> dist(net.numChannels(), kUnreachable);
+    std::deque<topo::ChannelId> queue;
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        if (map.classOf(c) == cdg::kUnclassified)
+            continue;
+        if (net.link(net.linkOf(c)).dst == dest) {
+            dist[c] = 1;
+            queue.push_back(c);
+        }
+    }
+    while (!queue.empty()) {
+        const topo::ChannelId c2 = queue.front();
+        queue.pop_front();
+        const topo::NodeId tail = net.link(net.linkOf(c2)).src;
+        for (topo::LinkId l : net.inLinks(tail)) {
+            for (int v = 0; v < net.vcsOnLink(l); ++v) {
+                const topo::ChannelId c1 = net.channel(l, v);
+                if (dist[c1] != kUnreachable)
+                    continue;
+                if (map.classOf(c1) == cdg::kUnclassified)
+                    continue;
+                // A packet on c1 must not be at its destination already;
+                // it is, by construction, since head(c1)=tail != dest
+                // unless tail == dest, in which case c1 ejects instead.
+                if (tail == dest)
+                    continue;
+                if (legal(c1, c2)) {
+                    dist[c1] = dist[c2] + 1;
+                    queue.push_back(c1);
+                }
+            }
+        }
+    }
+    it = distances.emplace(dest, std::move(dist)).first;
+    return it->second;
+}
+
+std::uint32_t
+EbDaRouting::stateDistance(topo::ChannelId c, topo::NodeId dest) const
+{
+    return distTable(dest)[c];
+}
+
+std::vector<topo::ChannelId>
+EbDaRouting::shortestStateCandidates(topo::ChannelId in, topo::NodeId at,
+                                     topo::NodeId dest) const
+{
+    const auto &dist = distTable(dest);
+    std::vector<topo::ChannelId> out;
+
+    if (in == cdg::kInjectionChannel) {
+        // All first channels at the global minimum distance.
+        std::uint32_t best = kUnreachable;
+        for (topo::ChannelId c : net.outChannels(at)) {
+            if (map.classOf(c) == cdg::kUnclassified)
+                continue;
+            best = std::min(best, dist[c]);
+        }
+        if (best == kUnreachable)
+            return out;
+        for (topo::ChannelId c : net.outChannels(at)) {
+            if (map.classOf(c) != cdg::kUnclassified && dist[c] == best)
+                out.push_back(c);
+        }
+        return out;
+    }
+
+    const std::uint32_t here = dist[in];
+    if (here == kUnreachable || here == 1)
+        return out; // unreachable, or next step is ejection
+    for (topo::ChannelId c : net.outChannels(at)) {
+        if (dist[c] == here - 1 && legal(in, c))
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<topo::ChannelId>
+EbDaRouting::candidates(topo::ChannelId in, topo::NodeId at,
+                        topo::NodeId /*src*/, topo::NodeId dest) const
+{
+    return mode == Mode::Minimal
+        ? minimalCandidates(in, at, dest)
+        : shortestStateCandidates(in, at, dest);
+}
+
+} // namespace ebda::routing

@@ -1,0 +1,130 @@
+#include "traffic.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace ebda::sim {
+
+std::string
+toString(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::Uniform:
+        return "uniform";
+      case TrafficPattern::Transpose:
+        return "transpose";
+      case TrafficPattern::BitComplement:
+        return "bitcomp";
+      case TrafficPattern::BitReverse:
+        return "bitrev";
+      case TrafficPattern::Shuffle:
+        return "shuffle";
+      case TrafficPattern::Tornado:
+        return "tornado";
+      case TrafficPattern::Neighbor:
+        return "neighbor";
+      case TrafficPattern::Hotspot:
+        return "hotspot";
+    }
+    return "?";
+}
+
+TrafficGenerator::TrafficGenerator(const topo::Network &network,
+                                   TrafficPattern pattern,
+                                   topo::NodeId hotspot_node,
+                                   int hotspot_percent)
+    : net(network), patternKind(pattern), hotspotNode(hotspot_node),
+      hotspotPercent(hotspot_percent)
+{
+    const std::size_t n = net.numNodes();
+    addressBits = std::has_single_bit(n)
+        ? std::countr_zero(n)
+        : -1;
+    const bool needs_bits = pattern == TrafficPattern::BitComplement
+        || pattern == TrafficPattern::BitReverse
+        || pattern == TrafficPattern::Shuffle;
+    EBDA_ASSERT(!needs_bits || addressBits > 0,
+                "bit permutation patterns need a power-of-two node count");
+    EBDA_ASSERT(hotspot_node < net.numNodes(), "hotspot out of range");
+    EBDA_ASSERT(hotspot_percent >= 0 && hotspot_percent <= 100,
+                "hotspot percentage out of range");
+}
+
+topo::NodeId
+TrafficGenerator::permute(topo::NodeId src) const
+{
+    switch (patternKind) {
+      case TrafficPattern::Transpose: {
+          // Reverse the coordinate vector (matrix transpose in 2D).
+          const topo::Coord c = net.coord(src);
+          topo::Coord t(c.rbegin(), c.rend());
+          // Requires matching radices for the reversed assignment.
+          for (std::size_t d = 0; d < t.size(); ++d) {
+              EBDA_ASSERT(t[d] < net.dims()[d],
+                          "transpose needs equal radices per dimension");
+          }
+          return net.node(t);
+      }
+      case TrafficPattern::BitComplement: {
+          const std::uint32_t mask = (1u << addressBits) - 1;
+          return (~src) & mask;
+      }
+      case TrafficPattern::BitReverse: {
+          std::uint32_t r = 0;
+          for (int b = 0; b < addressBits; ++b)
+              if (src & (1u << b))
+                  r |= 1u << (addressBits - 1 - b);
+          return r;
+      }
+      case TrafficPattern::Shuffle: {
+          const std::uint32_t mask = (1u << addressBits) - 1;
+          return ((src << 1) | (src >> (addressBits - 1))) & mask;
+      }
+      case TrafficPattern::Tornado: {
+          // Half-way (minus one) around each dimension.
+          topo::Coord c = net.coord(src);
+          for (std::size_t d = 0; d < c.size(); ++d) {
+              const int k = net.dims()[d];
+              c[d] = (c[d] + (k + 1) / 2 - 1) % k;
+          }
+          return net.node(c);
+      }
+      case TrafficPattern::Neighbor: {
+          topo::Coord c = net.coord(src);
+          for (std::size_t d = 0; d < c.size(); ++d)
+              c[d] = (c[d] + 1) % net.dims()[d];
+          return net.node(c);
+      }
+      default:
+        EBDA_PANIC("permute called for a random pattern");
+    }
+}
+
+std::optional<topo::NodeId>
+TrafficGenerator::dest(topo::NodeId src, Rng &rng) const
+{
+    topo::NodeId d = src;
+    switch (patternKind) {
+      case TrafficPattern::Uniform:
+        d = static_cast<topo::NodeId>(rng.nextBounded(net.numNodes()));
+        break;
+      case TrafficPattern::Hotspot:
+        if (rng.nextBounded(100)
+            < static_cast<std::uint64_t>(hotspotPercent)) {
+            d = hotspotNode;
+        } else {
+            d = static_cast<topo::NodeId>(
+                rng.nextBounded(net.numNodes()));
+        }
+        break;
+      default:
+        d = permute(src);
+        break;
+    }
+    if (d == src)
+        return std::nullopt;
+    return d;
+}
+
+} // namespace ebda::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic traffic patterns for the wormhole simulator — the standard
+ * Booksim set: uniform random, transpose, bit-complement, bit-reverse,
+ * shuffle, tornado, nearest-neighbor and hotspot.
+ *
+ * Permutation patterns are defined over the node-id bit string (for
+ * power-of-two networks) or coordinates, following Dally & Towles.
+ * Sources whose pattern destination equals the source generate no
+ * traffic (standard practice).
+ */
+
+#ifndef EBDA_SIM_TRAFFIC_HH
+#define EBDA_SIM_TRAFFIC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/network.hh"
+#include "util/random.hh"
+
+namespace ebda::sim {
+
+/** The supported synthetic patterns. */
+enum class TrafficPattern : std::uint8_t
+{
+    Uniform,
+    Transpose,
+    BitComplement,
+    BitReverse,
+    Shuffle,
+    Tornado,
+    Neighbor,
+    Hotspot,
+};
+
+/** Parse/format pattern names ("uniform", "transpose", ...). */
+std::string toString(TrafficPattern p);
+
+/**
+ * Destination generator for one pattern on one network.
+ */
+class TrafficGenerator
+{
+  public:
+    /**
+     * @param net             target network
+     * @param pattern         pattern selector
+     * @param hotspot_node    hotspot destination (Hotspot pattern)
+     * @param hotspot_percent probability (%) a packet targets the
+     *                        hotspot; the rest are uniform
+     */
+    TrafficGenerator(const topo::Network &net, TrafficPattern pattern,
+                     topo::NodeId hotspot_node = 0,
+                     int hotspot_percent = 10);
+
+    /**
+     * Destination for a packet from src; std::nullopt when the pattern
+     * maps src to itself (no traffic from that source).
+     */
+    std::optional<topo::NodeId> dest(topo::NodeId src, Rng &rng) const;
+
+    TrafficPattern pattern() const { return patternKind; }
+
+  private:
+    topo::NodeId permute(topo::NodeId src) const;
+
+    const topo::Network &net;
+    TrafficPattern patternKind;
+    topo::NodeId hotspotNode;
+    int hotspotPercent;
+    /** log2(numNodes) when the node count is a power of two. */
+    int addressBits;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_TRAFFIC_HH

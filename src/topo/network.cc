@@ -1,0 +1,303 @@
+#include "network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ebda::topo {
+
+using core::Sign;
+
+namespace {
+
+std::size_t
+product(const std::vector<int> &dims)
+{
+    std::size_t p = 1;
+    for (int d : dims) {
+        EBDA_ASSERT(d >= 1, "radix must be positive");
+        p *= static_cast<std::size_t>(d);
+    }
+    return p;
+}
+
+} // namespace
+
+Network
+Network::mesh(const std::vector<int> &dims, const std::vector<int> &vcs)
+{
+    EBDA_ASSERT(dims.size() == vcs.size(),
+                "dims/vcs size mismatch: ", dims.size(), " vs ",
+                vcs.size());
+    Network net;
+    net.radix = dims;
+    net.vcsPerDim = vcs;
+    net.nodeCount = product(dims);
+    net.stride.resize(dims.size());
+    std::size_t s = 1;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        net.stride[d] = s;
+        s *= static_cast<std::size_t>(dims[d]);
+    }
+
+    std::vector<Link> links;
+    for (NodeId n = 0; n < net.nodeCount; ++n) {
+        const Coord c = net.coord(n);
+        for (std::uint8_t d = 0; d < dims.size(); ++d) {
+            if (c[d] + 1 < dims[d]) {
+                Coord next = c;
+                ++next[d];
+                links.push_back(Link{n, net.node(next), d, Sign::Pos,
+                                     Sign::Pos, false});
+                links.push_back(Link{net.node(next), n, d, Sign::Neg,
+                                     Sign::Neg, false});
+            }
+        }
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::torus(const std::vector<int> &dims, const std::vector<int> &vcs,
+               WrapClassification wrap_class)
+{
+    Network net = mesh(dims, vcs);
+    net.torusNet = true;
+
+    std::vector<Link> links = net.linkTable;
+    for (NodeId n = 0; n < net.nodeCount; ++n) {
+        const Coord c = net.coord(n);
+        for (std::uint8_t d = 0; d < dims.size(); ++d) {
+            if (dims[d] < 3)
+                continue; // radix-2 rings would duplicate mesh links
+            if (c[d] == dims[d] - 1) {
+                Coord home = c;
+                home[d] = 0;
+                const NodeId wrap_dst = net.node(home);
+                const Sign pos_cls =
+                    wrap_class == WrapClassification::OppositeOfTravel
+                        ? Sign::Neg
+                        : Sign::Pos;
+                const Sign neg_cls =
+                    wrap_class == WrapClassification::OppositeOfTravel
+                        ? Sign::Pos
+                        : Sign::Neg;
+                // Travelling + across the edge; coordinate jumps down.
+                links.push_back(Link{n, wrap_dst, d, Sign::Pos, pos_cls,
+                                     true});
+                // Travelling - across the edge; coordinate jumps up.
+                links.push_back(Link{wrap_dst, n, d, Sign::Neg, neg_cls,
+                                     true});
+            }
+        }
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::partialMesh3d(const std::vector<int> &dims,
+                       const std::vector<int> &vcs,
+                       const std::vector<std::pair<int, int>> &elevators)
+{
+    EBDA_ASSERT(dims.size() == 3, "partialMesh3d needs 3 dimensions");
+    EBDA_ASSERT(!elevators.empty(),
+                "at least one elevator column is required");
+    Network net = mesh(dims, vcs);
+
+    auto is_elevator = [&](int x, int y) {
+        return std::find(elevators.begin(), elevators.end(),
+                         std::make_pair(x, y))
+            != elevators.end();
+    };
+
+    std::vector<Link> links;
+    for (const Link &l : net.linkTable) {
+        if (l.dim == 2) {
+            const Coord c = net.coord(l.src);
+            if (!is_elevator(c[0], c[1]))
+                continue;
+        }
+        links.push_back(l);
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::withoutLinks(
+    const std::vector<std::pair<NodeId, NodeId>> &failed) const
+{
+    Network net = *this;
+    std::vector<Link> links;
+    links.reserve(linkTable.size());
+    for (const Link &l : linkTable) {
+        const bool is_failed =
+            std::find(failed.begin(), failed.end(),
+                      std::make_pair(l.src, l.dst))
+            != failed.end();
+        if (!is_failed)
+            links.push_back(l);
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+void
+Network::buildFromLinks(std::vector<Link> links)
+{
+    linkTable = std::move(links);
+    outAdj.assign(nodeCount, {});
+    inAdj.assign(nodeCount, {});
+    for (LinkId l = 0; l < linkTable.size(); ++l) {
+        outAdj[linkTable[l].src].push_back(l);
+        inAdj[linkTable[l].dst].push_back(l);
+    }
+
+    channelLink.clear();
+    channelVc.clear();
+    linkFirstChannel.assign(linkTable.size(), 0);
+    for (LinkId l = 0; l < linkTable.size(); ++l) {
+        linkFirstChannel[l] = static_cast<ChannelId>(channelLink.size());
+        const int nvc = vcsPerDim[linkTable[l].dim];
+        EBDA_ASSERT(nvc >= 1, "dimension ", linkTable[l].dim,
+                    " has no VCs but carries links");
+        for (int v = 0; v < nvc; ++v) {
+            channelLink.push_back(l);
+            channelVc.push_back(static_cast<std::uint8_t>(v));
+        }
+    }
+}
+
+Coord
+Network::coord(NodeId n) const
+{
+    EBDA_ASSERT(n < nodeCount, "node ", n, " out of range");
+    Coord c(radix.size());
+    for (std::size_t d = 0; d < radix.size(); ++d)
+        c[d] = static_cast<int>((n / stride[d])
+                                % static_cast<std::size_t>(radix[d]));
+    return c;
+}
+
+NodeId
+Network::node(const Coord &c) const
+{
+    EBDA_ASSERT(c.size() == radix.size(), "coordinate arity mismatch");
+    std::size_t n = 0;
+    for (std::size_t d = 0; d < radix.size(); ++d) {
+        EBDA_ASSERT(c[d] >= 0 && c[d] < radix[d], "coordinate ", c[d],
+                    " out of range in dim ", d);
+        n += static_cast<std::size_t>(c[d]) * stride[d];
+    }
+    return static_cast<NodeId>(n);
+}
+
+int
+Network::coordAlong(NodeId n, std::uint8_t d) const
+{
+    return static_cast<int>((n / stride[d])
+                            % static_cast<std::size_t>(radix[d]));
+}
+
+int
+Network::minimalOffset(NodeId a, NodeId b, std::uint8_t d) const
+{
+    const int ca = coordAlong(a, d);
+    const int cb = coordAlong(b, d);
+    int off = cb - ca;
+    if (torusNet && radix[d] >= 3) {
+        const int k = radix[d];
+        // Fold into (-k/2, k/2]; ties go positive.
+        if (off > k / 2)
+            off -= k;
+        else if (off < -(k - 1) / 2)
+            off += k;
+    }
+    return off;
+}
+
+int
+Network::distance(NodeId a, NodeId b) const
+{
+    int dist = 0;
+    for (std::uint8_t d = 0; d < radix.size(); ++d)
+        dist += std::abs(minimalOffset(a, b, d));
+    return dist;
+}
+
+std::optional<LinkId>
+Network::linkFrom(NodeId n, std::uint8_t dim, Sign travel) const
+{
+    for (LinkId l : outAdj[n]) {
+        const Link &lk = linkTable[l];
+        if (lk.dim == dim && lk.travelSign == travel)
+            return l;
+    }
+    return std::nullopt;
+}
+
+ChannelId
+Network::channel(LinkId l, int vc) const
+{
+    EBDA_ASSERT(l < linkTable.size(), "link out of range");
+    EBDA_ASSERT(vc >= 0 && vc < vcsOnLink(l), "vc ", vc,
+                " out of range on link ", l);
+    return linkFirstChannel[l] + static_cast<ChannelId>(vc);
+}
+
+std::vector<ChannelId>
+Network::outChannels(NodeId n) const
+{
+    std::vector<ChannelId> out;
+    for (LinkId l : outAdj[n])
+        for (int v = 0; v < vcsOnLink(l); ++v)
+            out.push_back(channel(l, v));
+    return out;
+}
+
+bool
+Network::channelInClass(ChannelId ch, const core::ChannelClass &cls) const
+{
+    const Link &lk = linkTable[channelLink[ch]];
+    if (lk.dim != cls.dim || lk.classSign != cls.sign
+        || channelVc[ch] != cls.vc) {
+        return false;
+    }
+    if (cls.parity == core::Parity::Any)
+        return true;
+    const int coord_val = coordAlong(lk.src, cls.parityAxis);
+    const bool even = coord_val % 2 == 0;
+    return cls.parity == core::Parity::Even ? even : !even;
+}
+
+std::string
+Network::channelName(ChannelId c) const
+{
+    const Link &lk = linkTable[channelLink[c]];
+    auto coord_str = [&](NodeId n) {
+        const Coord co = coord(n);
+        std::ostringstream os;
+        os << '(';
+        for (std::size_t d = 0; d < co.size(); ++d) {
+            if (d)
+                os << ',';
+            os << co[d];
+        }
+        os << ')';
+        return os.str();
+    };
+    std::ostringstream os;
+    os << coord_str(lk.src) << "->" << coord_str(lk.dst) << ' '
+       << core::dimLetter(lk.dim)
+       << (lk.classSign == Sign::Pos ? '+' : '-') << " vc"
+       << static_cast<int>(channelVc[c]);
+    if (lk.wrap)
+        os << " (wrap)";
+    return os.str();
+}
+
+} // namespace ebda::topo

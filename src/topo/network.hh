@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Concrete network topologies: n-dimensional meshes, k-ary n-cubes
+ * (tori) and vertically partially connected 3D meshes (the irregular
+ * topology of Section 6.3).
+ *
+ * A Network is a set of nodes at integer coordinates joined by
+ * unidirectional links; each link carries vcs(dim) virtual channels, and
+ * each (link, VC) pair is one *concrete channel* — the unit the channel
+ * dependency graph (cdg/) and the simulator (sim/) operate on.
+ *
+ * Every link records two directions:
+ *  - the travel sign: the router output port it leaves through, and
+ *  - the class sign: the direction used for EbDa channel classification.
+ * They coincide for all mesh links. For torus wrap-around links the
+ * class sign is the direction of the coordinate jump, i.e. the opposite
+ * of the travel sign — this realises the paper's note to Theorem 2 that
+ * a wrap-around traversal is a U-turn between the two directions of the
+ * dimension.
+ */
+
+#ifndef EBDA_TOPO_NETWORK_HH
+#define EBDA_TOPO_NETWORK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/channel_class.hh"
+
+namespace ebda::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+/** Invalid-id sentinel. */
+constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+/** Node coordinates, one entry per dimension. */
+using Coord = std::vector<int>;
+
+/** One unidirectional physical link. */
+struct Link
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    /** Dimension the link runs along. */
+    std::uint8_t dim = 0;
+    /** Direction of travel (the output-port side at src). */
+    core::Sign travelSign = core::Sign::Pos;
+    /** Direction for channel classification; differs from travelSign
+     *  exactly on wrap-around links. */
+    core::Sign classSign = core::Sign::Pos;
+    /** True for torus wrap-around links. */
+    bool wrap = false;
+};
+
+/** How torus wrap links are classified. */
+enum class WrapClassification : std::uint8_t
+{
+    /** Class sign = coordinate-jump direction (EbDa's U-turn model). */
+    OppositeOfTravel,
+    /** Class sign = travel direction (for dateline-style baselines). */
+    SameAsTravel,
+};
+
+/**
+ * A concrete interconnection network.
+ */
+class Network
+{
+  public:
+    /** @name Factories
+     *  @{ */
+
+    /** n-dimensional mesh with radix dims[d] and vcs[d] VCs along
+     *  dimension d. */
+    static Network mesh(const std::vector<int> &dims,
+                        const std::vector<int> &vcs);
+
+    /** k-ary n-cube (torus). */
+    static Network torus(const std::vector<int> &dims,
+                         const std::vector<int> &vcs,
+                         WrapClassification wrap_class =
+                             WrapClassification::OppositeOfTravel);
+
+    /**
+     * Vertically partially connected 3D mesh: full 2D meshes per layer,
+     * vertical (Z) links only at the given elevator columns.
+     *
+     * @param dims {X, Y, Z} radices
+     * @param vcs per-dimension VC counts
+     * @param elevators (x, y) columns that own vertical links
+     */
+    static Network partialMesh3d(
+        const std::vector<int> &dims, const std::vector<int> &vcs,
+        const std::vector<std::pair<int, int>> &elevators);
+
+    /**
+     * A copy of this network with the listed unidirectional links
+     * removed (fault injection). Each pair is (src, dst) node ids; both
+     * directions of a failed physical channel must be listed explicitly
+     * when desired. Removing a link that does not exist is a no-op.
+     * The result may be disconnected — routing-level reachability
+     * checks are the caller's concern.
+     */
+    Network withoutLinks(
+        const std::vector<std::pair<NodeId, NodeId>> &failed) const;
+
+    /** @} */
+
+    /** @name Shape
+     *  @{ */
+
+    std::size_t numNodes() const { return nodeCount; }
+    std::size_t numLinks() const { return linkTable.size(); }
+    std::size_t numChannels() const { return channelLink.size(); }
+    std::uint8_t numDims() const
+    {
+        return static_cast<std::uint8_t>(radix.size());
+    }
+    const std::vector<int> &dims() const { return radix; }
+    const std::vector<int> &vcs() const { return vcsPerDim; }
+    bool isTorus() const { return torusNet; }
+
+    /** @} */
+
+    /** @name Coordinates
+     *  @{ */
+
+    /** Coordinates of a node. */
+    Coord coord(NodeId n) const;
+
+    /** Node id of coordinates (must be in range). */
+    NodeId node(const Coord &c) const;
+
+    /** Coordinate of node n along dimension d. */
+    int coordAlong(NodeId n, std::uint8_t d) const;
+
+    /** Minimal hop distance between nodes (torus-aware). */
+    int distance(NodeId a, NodeId b) const;
+
+    /** Signed minimal offset from a to b along dimension d; for tori the
+     *  shorter way around, ties broken toward positive. */
+    int minimalOffset(NodeId a, NodeId b, std::uint8_t d) const;
+
+    /** @} */
+
+    /** @name Links and channels
+     *  @{ */
+
+    const Link &link(LinkId l) const { return linkTable[l]; }
+
+    /** Links leaving a node. */
+    const std::vector<LinkId> &outLinks(NodeId n) const
+    {
+        return outAdj[n];
+    }
+
+    /** Links entering a node. */
+    const std::vector<LinkId> &inLinks(NodeId n) const { return inAdj[n]; }
+
+    /** The link leaving n along (dim, travel sign), if present. */
+    std::optional<LinkId> linkFrom(NodeId n, std::uint8_t dim,
+                                   core::Sign travel) const;
+
+    /** Number of VCs on a link (= vcs of its dimension). */
+    int vcsOnLink(LinkId l) const { return vcsPerDim[linkTable[l].dim]; }
+
+    /** Concrete channel of (link, vc). */
+    ChannelId channel(LinkId l, int vc) const;
+
+    /** Link of a channel. */
+    LinkId linkOf(ChannelId c) const { return channelLink[c]; }
+
+    /** VC index of a channel. */
+    int vcOf(ChannelId c) const { return channelVc[c]; }
+
+    /** Channels leaving a node (all VCs of all out links). */
+    std::vector<ChannelId> outChannels(NodeId n) const;
+
+    /**
+     * True when channel ch belongs to channel class cls: dimension, class
+     * sign and VC match and the source-node coordinate on the parity axis
+     * satisfies the class's parity region.
+     */
+    bool channelInClass(ChannelId ch, const core::ChannelClass &cls) const;
+
+    /** Human-readable channel name, e.g. "(1,2)->(2,2) X+ vc0". */
+    std::string channelName(ChannelId c) const;
+
+    /** @} */
+
+  private:
+    Network() = default;
+
+    void buildFromLinks(std::vector<Link> links);
+
+    std::size_t nodeCount = 0;
+    std::vector<int> radix;
+    std::vector<int> vcsPerDim;
+    std::vector<std::size_t> stride;
+    bool torusNet = false;
+
+    std::vector<Link> linkTable;
+    std::vector<std::vector<LinkId>> outAdj;
+    std::vector<std::vector<LinkId>> inAdj;
+
+    /** channel -> link / vc, and link -> first channel. */
+    std::vector<LinkId> channelLink;
+    std::vector<std::uint8_t> channelVc;
+    std::vector<ChannelId> linkFirstChannel;
+};
+
+} // namespace ebda::topo
+
+#endif // EBDA_TOPO_NETWORK_HH

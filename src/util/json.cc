@@ -1,0 +1,208 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace ebda {
+
+void
+JsonWriter::comma()
+{
+    if (!hasElement.empty()) {
+        if (hasElement.back())
+            out += ',';
+        hasElement.back() = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out += '"';
+    out += escape(k);
+    out += "\":";
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          case '\r':
+            r += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    out += '{';
+    ++depth;
+    started = true;
+    hasElement.push_back(false);
+    closer.push_back('}');
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out += '{';
+    ++depth;
+    hasElement.push_back(false);
+    closer.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    out += '[';
+    ++depth;
+    started = true;
+    hasElement.push_back(false);
+    closer.push_back(']');
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    out += '[';
+    ++depth;
+    hasElement.push_back(false);
+    closer.push_back(']');
+}
+
+void
+JsonWriter::end()
+{
+    EBDA_ASSERT(depth > 0, "JsonWriter::end with no open scope");
+    out += closer.back();
+    closer.pop_back();
+    --depth;
+    hasElement.pop_back();
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    out += '"';
+    out += escape(v);
+    out += '"';
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out += buf;
+    } else {
+        out += "null";
+    }
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &k, int v)
+{
+    key(k);
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    out += v ? "true" : "false";
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out += '"';
+    out += escape(v);
+    out += '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out += buf;
+    } else {
+        out += "null";
+    }
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(int v)
+{
+    comma();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    comma();
+    out += v ? "true" : "false";
+}
+
+} // namespace ebda

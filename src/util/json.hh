@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A minimal JSON writer for machine-readable tool output (ebda_tool
+ * --json). Emission only — the project never parses JSON — with
+ * correct string escaping and stable key order (insertion order).
+ */
+
+#ifndef EBDA_UTIL_JSON_HH
+#define EBDA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebda {
+
+/**
+ * Builder for one JSON value tree. Usage:
+ * @code
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.field("latency", 12.5);
+ *   w.field("deadlocked", false);
+ *   w.beginArray("hops");
+ *   w.value(1); w.value(2);
+ *   w.end();   // array
+ *   w.end();   // object
+ *   std::cout << w.str();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    /** Open the root (or a nested) object. With a key when inside an
+     *  object. */
+    void beginObject();
+    void beginObject(const std::string &key);
+
+    /** Open an array. */
+    void beginArray();
+    void beginArray(const std::string &key);
+
+    /** Close the innermost object/array. */
+    void end();
+
+    /** Key/value fields inside an object. */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, int value);
+    void field(const std::string &key, bool value);
+
+    /** Bare values inside an array. */
+    void value(const std::string &v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(int v);
+    void value(bool v);
+
+    /** The serialized document (valid once all scopes are closed). */
+    const std::string &str() const { return out; }
+
+    /** True when every begun scope has been ended. */
+    bool complete() const { return depth == 0 && started; }
+
+  private:
+    void comma();
+    void key(const std::string &k);
+    static std::string escape(const std::string &s);
+
+    std::string out;
+    int depth = 0;
+    bool started = false;
+    /** Whether the current scope already holds an element. */
+    std::vector<bool> hasElement;
+    /** Closing character per open scope ('}' or ']'). */
+    std::vector<char> closer;
+};
+
+} // namespace ebda
+
+#endif // EBDA_UTIL_JSON_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting helpers in the spirit of
+ * gem5's base/logging.hh.
+ *
+ * Two error functions are provided:
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does, i.e. an internal library bug. Aborts.
+ *  - fatal():  the computation cannot continue due to a user-caused
+ *              condition (bad configuration, invalid arguments). Exits.
+ *
+ * Two status functions are provided:
+ *  - warn():   something might be subtly off but execution can continue.
+ *  - inform(): a purely informational status message.
+ */
+
+#ifndef EBDA_UTIL_LOGGING_HH
+#define EBDA_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ebda {
+
+namespace detail {
+
+/** Format a parameter pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message; use for internal invariant violations. */
+#define EBDA_PANIC(...) \
+    ::ebda::detail::panicImpl(__FILE__, __LINE__, \
+                              ::ebda::detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for user-caused unrecoverable conditions. */
+#define EBDA_FATAL(...) \
+    ::ebda::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::ebda::detail::concat(__VA_ARGS__))
+
+/** Print a warning that execution continues past. */
+#define EBDA_WARN(...) \
+    ::ebda::detail::warnImpl(::ebda::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define EBDA_INFORM(...) \
+    ::ebda::detail::informImpl(::ebda::detail::concat(__VA_ARGS__))
+
+/**
+ * Assert a library invariant with a formatted message. Unlike the C
+ * assert() this is active in all build types: the checks guard theory-level
+ * soundness properties whose silent violation would invalidate results.
+ */
+#define EBDA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            EBDA_PANIC("assertion '", #cond, "' failed: ", \
+                       ::ebda::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace ebda
+
+#endif // EBDA_UTIL_LOGGING_HH

@@ -1,0 +1,124 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ebda {
+
+void
+StatAccumulator::reset()
+{
+    *this = StatAccumulator();
+}
+
+void
+StatAccumulator::add(double x)
+{
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    minV = std::min(minV, x);
+    maxV = std::max(maxV, x);
+}
+
+void
+StatAccumulator::merge(const StatAccumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.m - m;
+    const std::uint64_t total = n + other.n;
+    m += delta * static_cast<double>(other.n) / static_cast<double>(total);
+    m2 += other.m2 + delta * delta
+        * static_cast<double>(n) * static_cast<double>(other.n)
+        / static_cast<double>(total);
+    n = total;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+}
+
+double
+StatAccumulator::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+StatAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t num_buckets) : buckets(num_buckets, 0)
+{
+    EBDA_ASSERT(num_buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    overflow.clear();
+    overflowSorted = true;
+    total = 0;
+    sumV = 0.0;
+    maxV = 0;
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    if (value < buckets.size()) {
+        ++buckets[value];
+    } else {
+        overflow.push_back(value);
+        overflowSorted = false;
+    }
+    ++total;
+    sumV += static_cast<double>(value);
+    maxV = std::max(maxV, value);
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sumV / static_cast<double>(total) : 0.0;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the desired sample (nearest-rank definition).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return i;
+    }
+    if (!overflowSorted) {
+        std::sort(overflow.begin(), overflow.end());
+        overflowSorted = true;
+    }
+    const std::uint64_t idx = rank - seen - 1;
+    EBDA_ASSERT(idx < overflow.size(), "percentile rank out of range");
+    return overflow[idx];
+}
+
+} // namespace ebda

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Statistics accumulators used by the simulator and the benches: a
+ * streaming mean/variance accumulator (Welford) and a bounded histogram
+ * with percentile queries.
+ */
+
+#ifndef EBDA_UTIL_STATS_HH
+#define EBDA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ebda {
+
+/**
+ * Streaming accumulator of count/mean/variance/min/max using Welford's
+ * numerically stable online algorithm.
+ */
+class StatAccumulator
+{
+  public:
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const StatAccumulator &other);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return minV; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return maxV; }
+
+    /** Sum of all samples. */
+    double sum() const { return m * static_cast<double>(n); }
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width integer histogram with an overflow bucket, supporting
+ * percentile queries. Used for packet-latency distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param num_buckets number of unit-width buckets before overflow
+     */
+    explicit Histogram(std::size_t num_buckets = 1024);
+
+    /** Clear all buckets. */
+    void reset();
+
+    /** Record one (non-negative) sample; values beyond the bucket range
+     *  land in the overflow bucket but still count for mean/percentiles
+     *  computed from the exact tail list. */
+    void add(std::uint64_t value);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Mean of recorded samples. */
+    double mean() const;
+
+    /** The q-quantile (q in [0,1]) of recorded samples; exact for values
+     *  in range, exact as well for overflow values (kept individually). */
+    std::uint64_t percentile(double q) const;
+
+    /** Largest recorded value. */
+    std::uint64_t max() const { return maxV; }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    /** Overflow samples kept exactly; rare by construction. */
+    mutable std::vector<std::uint64_t> overflow;
+    mutable bool overflowSorted = true;
+    std::uint64_t total = 0;
+    double sumV = 0.0;
+    std::uint64_t maxV = 0;
+};
+
+} // namespace ebda
+
+#endif // EBDA_UTIL_STATS_HH

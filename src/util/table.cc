@@ -1,0 +1,142 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ebda {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows.push_back(Row{{}, true});
+}
+
+std::size_t
+TextTable::numRows() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows)
+        if (!r.rule)
+            ++n;
+    return n;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header and all rows.
+    std::vector<std::size_t> width;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    grow(header);
+    for (const auto &r : rows)
+        if (!r.rule)
+            grow(r.cells);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            os << "| " << std::left << std::setw(static_cast<int>(width[i]))
+               << c << ' ';
+        }
+        os << "|\n";
+    };
+    auto rule = [&]() {
+        for (std::size_t w : width)
+            os << '+' << std::string(w + 2, '-');
+        os << "+\n";
+    };
+
+    rule();
+    if (!header.empty()) {
+        emit(header);
+        rule();
+    }
+    for (const auto &r : rows) {
+        if (r.rule)
+            rule();
+        else
+            emit(r.cells);
+    }
+    rule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void
+TextTable::writeCsv(std::ostream &os) const
+{
+    auto cell = [&](const std::string &c) {
+        if (c.find_first_of(",\"\n") == std::string::npos) {
+            os << c;
+            return;
+        }
+        os << '"';
+        for (char ch : c) {
+            if (ch == '"')
+                os << '"';
+            os << ch;
+        }
+        os << '"';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            cell(cells[i]);
+        }
+        os << '\n';
+    };
+    if (!header.empty())
+        line(header);
+    for (const auto &r : rows)
+        if (!r.rule)
+            line(r.cells);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TextTable::num(int v)
+{
+    return std::to_string(v);
+}
+
+} // namespace ebda

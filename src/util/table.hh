@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench harnesses to print the
+ * reproduced paper tables/series in aligned columns, plus a small CSV
+ * writer for post-processing.
+ */
+
+#ifndef EBDA_UTIL_TABLE_HH
+#define EBDA_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ebda {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * convenience overloads format with sensible defaults.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between row groups. */
+    void addRule();
+
+    /** Render with column alignment to an ostream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    /** Write as CSV (no alignment, commas escaped by quoting). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Number of data rows (rules excluded). */
+    std::size_t numRows() const;
+
+    /** Format helpers for numeric cells. */
+    static std::string num(double v, int precision = 3);
+    static std::string num(std::uint64_t v);
+    static std::string num(int v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+} // namespace ebda
+
+#endif // EBDA_UTIL_TABLE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for dimension sets and the Section 5.1 arrangements.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/arrange.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(DimensionSet, MakeSetsLayout)
+{
+    const auto sets = makeSets({3, 2, 3});
+    ASSERT_EQ(sets.size(), 3u);
+    EXPECT_EQ(sets[0].dim, 0);
+    EXPECT_EQ(sets[0].size(), 6u);
+    EXPECT_EQ(sets[0].toString(), "D_X = {X1+ X1- X2+ X2- X3+ X3-}");
+    EXPECT_EQ(sets[1].size(), 4u);
+    EXPECT_EQ(sets[2].size(), 6u);
+}
+
+TEST(DimensionSet, ZeroVcDimensionsOmitted)
+{
+    const auto sets = makeSets({1, 0, 2});
+    ASSERT_EQ(sets.size(), 2u);
+    EXPECT_EQ(sets[0].dim, 0);
+    EXPECT_EQ(sets[1].dim, 2);
+}
+
+TEST(DimensionSet, PairCountIsMinOfSigns)
+{
+    DimensionSet s;
+    s.dim = 0;
+    s.channels = {makeClass(0, Sign::Pos, 0), makeClass(0, Sign::Neg, 0),
+                  makeClass(0, Sign::Pos, 1)};
+    EXPECT_EQ(s.pairCount(), 1u);
+    s.channels.push_back(makeClass(0, Sign::Neg, 1));
+    EXPECT_EQ(s.pairCount(), 2u);
+    // Removing one positive channel drops the count to 1 again — the
+    // paper's walkthrough behaviour after consuming X1+.
+    s.channels.erase(s.channels.begin());
+    EXPECT_EQ(s.pairCount(), 1u);
+}
+
+TEST(DimensionSet, PopFrontConsumes)
+{
+    auto sets = makeSets({2});
+    EXPECT_EQ(sets[0].popFront(), makeClass(0, Sign::Pos, 0));
+    EXPECT_EQ(sets[0].popFront(), makeClass(0, Sign::Neg, 0));
+    EXPECT_EQ(sets[0].size(), 2u);
+}
+
+TEST(Arrange1, SortsByPairCountDescending)
+{
+    // VCs (3, 2, 3): Z and X lead (3 pairs), Y trails.
+    auto sets = makeSets({3, 2, 3});
+    arrange1(sets);
+    EXPECT_EQ(sets[0].dim, 0); // X stays first (stable among equals)
+    EXPECT_EQ(sets[1].dim, 2);
+    EXPECT_EQ(sets[2].dim, 1);
+}
+
+TEST(Arrangement2, PermutesEqualGroups)
+{
+    // Two equal-sized sets -> two orderings; the third is strictly
+    // smaller and stays last.
+    const auto all = arrangement2All(makeSets({2, 1, 2}));
+    ASSERT_EQ(all.size(), 2u);
+    std::set<std::string> firsts;
+    for (const auto &arr : all) {
+        EXPECT_EQ(arr.back().dim, 1);
+        firsts.insert(dimLetter(arr.front().dim));
+    }
+    EXPECT_EQ(firsts, (std::set<std::string>{"X", "Z"}));
+}
+
+TEST(Arrangement2, AllEqualGivesFactorial)
+{
+    const auto all = arrangement2All(makeSets({1, 1, 1}));
+    EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(Arrangement3, RepairsFirstSetVcs)
+{
+    // Two VCs in the first set -> 2! pairings.
+    const auto all = arrangement3All(makeSets({2, 1}));
+    ASSERT_EQ(all.size(), 2u);
+    // Canonical pairing: (X1+, X1-), (X2+, X2-).
+    EXPECT_EQ(all[0][0].channels[0], makeClass(0, Sign::Pos, 0));
+    EXPECT_EQ(all[0][0].channels[1], makeClass(0, Sign::Neg, 0));
+    // Swapped pairing: (X2+, X1-), (X1+, X2-).
+    EXPECT_EQ(all[1][0].channels[0], makeClass(0, Sign::Pos, 1));
+    EXPECT_EQ(all[1][0].channels[1], makeClass(0, Sign::Neg, 0));
+    EXPECT_EQ(all[1][0].channels[2], makeClass(0, Sign::Pos, 0));
+    EXPECT_EQ(all[1][0].channels[3], makeClass(0, Sign::Neg, 1));
+}
+
+TEST(Arrangement3, CapsResults)
+{
+    const auto all = arrangement3All(makeSets({4, 1}), 5);
+    EXPECT_EQ(all.size(), 5u); // 4! = 24 capped at 5
+}
+
+TEST(Arrangement3, EmptyArrangement)
+{
+    EXPECT_TRUE(arrangement3All({}).empty());
+}
+
+TEST(ArrangementToString, MultiLine)
+{
+    const auto sets = makeSets({1, 1});
+    const std::string s = toString(sets);
+    EXPECT_NE(s.find("Set1: D_X"), std::string::npos);
+    EXPECT_NE(s.find("Set2: D_Y"), std::string::npos);
+}
+
+} // namespace
+} // namespace ebda::core

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the catalogue of paper schemes and the classification
+ * of extracted turn sets against the classical 2D turn models —
+ * reproducing the Figure 6 identifications and the Table 4 Odd-Even
+ * turn list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/catalog.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(Catalog, AllSchemesValidate)
+{
+    for (const auto &s :
+         {schemeFig6P1(), schemeFig6P2(), schemeFig6P3(), schemeFig6P4(),
+          schemeFig6P5(), schemeNorthLast(), schemeFig7b(), schemeFig7c(),
+          schemeFig9b(), schemeFig9c(), schemeOddEven(),
+          schemeHamiltonian(), schemePartial3d()}) {
+        EXPECT_TRUE(s.validate().ok) << s.toString();
+    }
+}
+
+TEST(Catalog, ReferenceTurnSets)
+{
+    EXPECT_EQ(allTurns2d().size(), 8u);
+    EXPECT_EQ(xyTurns().size(), 4u);
+    EXPECT_EQ(westFirstTurns().size(), 6u);
+    EXPECT_EQ(northLastTurns().size(), 6u);
+    EXPECT_EQ(negativeFirstTurns().size(), 6u);
+    // Each 6-turn model removes exactly two turns from the full set.
+    for (const auto &model :
+         {westFirstTurns(), northLastTurns(), negativeFirstTurns()}) {
+        for (const auto &t : model)
+            EXPECT_TRUE(allTurns2d().count(t));
+    }
+    // West-First prohibits NW and SW.
+    EXPECT_FALSE(westFirstTurns().count("NW"));
+    EXPECT_FALSE(westFirstTurns().count("SW"));
+    // North-Last prohibits NE and NW.
+    EXPECT_FALSE(northLastTurns().count("NE"));
+    EXPECT_FALSE(northLastTurns().count("NW"));
+    // Negative-First prohibits ES and NW (positive-to-negative turns).
+    EXPECT_FALSE(negativeFirstTurns().count("ES"));
+    EXPECT_FALSE(negativeFirstTurns().count("NW"));
+}
+
+TEST(Catalog, Figure6Classification)
+{
+    // The paper's identifications: P1 = XY, P3 = West-First,
+    // P4 = Negative-First, and the Theorem-3 example = North-Last.
+    EXPECT_EQ(classify2dScheme(schemeFig6P1()), "XY");
+    EXPECT_EQ(classify2dScheme(schemeFig6P3()), "West-First");
+    EXPECT_EQ(classify2dScheme(schemeFig6P4()), "Negative-First");
+    EXPECT_EQ(classify2dScheme(schemeNorthLast()), "North-Last");
+    // P2 is partially adaptive and matches no classical model.
+    EXPECT_EQ(classify2dScheme(schemeFig6P2()), std::nullopt);
+}
+
+TEST(Catalog, Figure6P5VcsAddNoAdaptiveness)
+{
+    // P5 adds VCs inside PB: the direction-level turns stay West-First.
+    EXPECT_EQ(classify2dScheme(schemeFig6P5()), "West-First");
+}
+
+TEST(Catalog, Figure7SchemesAreFullTurnSets)
+{
+    // Both minimum-channel designs allow all eight direction-level
+    // turns (fully adaptive in every region).
+    for (const auto &scheme : {schemeFig7b(), schemeFig7c()}) {
+        const auto set = TurnSet::extract(scheme);
+        EXPECT_EQ(directionTurns(set), allTurns2d()) << scheme.toString();
+    }
+}
+
+TEST(Catalog, Figure9bMatchesPaperVcBudget)
+{
+    const auto scheme = schemeFig9b();
+    ASSERT_EQ(scheme.size(), 4u);
+    EXPECT_EQ(scheme.numClasses(), 16u);
+    // 2, 2 and 4 VCs along X, Y, Z.
+    int max_vc[3] = {0, 0, 0};
+    for (const auto &c : scheme.allClasses())
+        max_vc[c.dim] = std::max(max_vc[c.dim], static_cast<int>(c.vc) + 1);
+    EXPECT_EQ(max_vc[0], 2);
+    EXPECT_EQ(max_vc[1], 2);
+    EXPECT_EQ(max_vc[2], 4);
+}
+
+TEST(Catalog, OddEvenTurnsMatchTable4)
+{
+    // Table 4: PA turns WNe, WSe, NeW, SeW; PB turns ENo, ESo, NoE, SoE;
+    // transition turns WNo, WSo, NeE, SeE.
+    const auto set = TurnSet::extract(schemeOddEven());
+    std::set<std::string> names90;
+    for (const auto &t : set.turns())
+        if (t.kind == TurnKind::Turn90)
+            names90.insert(t.from.compass(false) + t.to.compass(false));
+
+    const std::set<std::string> expected = {
+        "WNe", "WSe", "NeW", "SeW", // in PA
+        "ENo", "ESo", "NoE", "SoE", // in PB
+        "WNo", "WSo", "NeE", "SeE", // PA -> PB transition
+    };
+    EXPECT_EQ(names90, expected);
+
+    // Rule 1: no EN/ES at even columns; Rule 2: no NW/SW at odd columns.
+    EXPECT_FALSE(names90.count("ENe"));
+    EXPECT_FALSE(names90.count("ESe"));
+    EXPECT_FALSE(names90.count("NoW"));
+    EXPECT_FALSE(names90.count("SoW"));
+}
+
+TEST(Catalog, OddEvenUITurns)
+{
+    // Table 4 last column: one U-turn orientation per column parity plus
+    // the (geometrically unusable) even->odd transitions.
+    const auto set = TurnSet::extract(schemeOddEven());
+    EXPECT_GT(set.count(TurnKind::UTurn) + set.count(TurnKind::ITurn), 0u);
+    // NeSe or SeNe (numbering order): exactly one of the two.
+    const auto ne = makeParityClass(1, Sign::Pos, 0, Parity::Even);
+    const auto se = makeParityClass(1, Sign::Neg, 0, Parity::Even);
+    EXPECT_NE(set.allows(ne, se), set.allows(se, ne));
+}
+
+TEST(Catalog, HamiltonianTwelveTurns)
+{
+    // Section 6.2: the two-partition Hamiltonian scheme allows twelve
+    // 90-degree turns (the eight of the dual-path strategy plus four).
+    const auto set = TurnSet::extract(schemeHamiltonian());
+    EXPECT_EQ(set.count(TurnKind::Turn90), 12u);
+}
+
+TEST(Catalog, Partial3dThirtyTurns)
+{
+    // Table 5: thirty 90-degree turns (ten per partition, ten by
+    // transition). The paper quotes "six U- and I-turns"; the full
+    // Theorem-2/3 extraction yields six U-turns plus two I-turns
+    // (Y1->Y2 same-direction VC transitions) — see EXPERIMENTS.md.
+    const auto set = TurnSet::extract(schemePartial3d());
+    EXPECT_EQ(set.count(TurnKind::Turn90), 30u);
+    EXPECT_EQ(set.count(TurnKind::UTurn), 6u);
+    EXPECT_EQ(set.count(TurnKind::ITurn), 2u);
+}
+
+TEST(Catalog, Partial3dPerPartitionTurnCounts)
+{
+    const auto set = TurnSet::extract(schemePartial3d());
+    auto count90 = [](const std::vector<Turn> &turns) {
+        std::size_t n = 0;
+        for (const auto &t : turns)
+            if (t.kind == TurnKind::Turn90)
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(count90(set.turnsBetween(0, 0)), 10u);
+    EXPECT_EQ(count90(set.turnsBetween(1, 1)), 10u);
+    EXPECT_EQ(count90(set.turnsBetween(0, 1)), 10u);
+}
+
+TEST(Catalog, PlanarAdaptive3dStructure)
+{
+    const auto scheme = schemePlanarAdaptive3d();
+    ASSERT_EQ(scheme.size(), 4u);
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(scheme.numClasses(), 12u);
+    // Chien-Kim VC budget: (2, 3, 1).
+    int max_vc[3] = {0, 0, 0};
+    for (const auto &c : scheme.allClasses())
+        max_vc[c.dim] = std::max(max_vc[c.dim], static_cast<int>(c.vc) + 1);
+    EXPECT_EQ(max_vc[0], 2);
+    EXPECT_EQ(max_vc[1], 3);
+    EXPECT_EQ(max_vc[2], 1);
+    // Each partition: one complete pair plus one single direction.
+    for (const auto &p : scheme.partitions()) {
+        EXPECT_EQ(p.size(), 3u);
+        EXPECT_EQ(p.completePairCount(), 1u);
+    }
+}
+
+TEST(Catalog, DirectionTurnsErasesVcAndParity)
+{
+    const auto set = TurnSet::extract(schemeFig6P5());
+    const auto dirs = directionTurns(set);
+    for (const auto &d : dirs)
+        EXPECT_EQ(d.size(), 2u) << d;
+}
+
+} // namespace
+} // namespace ebda::core

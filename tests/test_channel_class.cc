@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the channel-class model (Definitions 1, 4, 5, 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/channel_class.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(Sign, Opposite)
+{
+    EXPECT_EQ(opposite(Sign::Pos), Sign::Neg);
+    EXPECT_EQ(opposite(Sign::Neg), Sign::Pos);
+}
+
+TEST(ChannelClass, AlgebraicNames)
+{
+    EXPECT_EQ(makeClass(0, Sign::Pos).algebraic(), "X1+");
+    EXPECT_EQ(makeClass(0, Sign::Neg, 1).algebraic(), "X2-");
+    EXPECT_EQ(makeClass(1, Sign::Pos, 2).algebraic(), "Y3+");
+    EXPECT_EQ(makeClass(2, Sign::Neg).algebraic(), "Z1-");
+    EXPECT_EQ(makeClass(3, Sign::Pos).algebraic(), "T1+");
+    EXPECT_EQ(makeClass(5, Sign::Pos).algebraic(), "D51+");
+    EXPECT_EQ(makeClass(0, Sign::Pos).algebraic(false), "X+");
+}
+
+TEST(ChannelClass, ParityNames)
+{
+    const auto ye =
+        makeParityClass(1, Sign::Pos, 0, Parity::Even);
+    EXPECT_EQ(ye.algebraic(false), "Ye+");
+    const auto xo =
+        makeParityClass(0, Sign::Neg, 1, Parity::Odd);
+    EXPECT_EQ(xo.algebraic(false), "Xo-");
+}
+
+TEST(ChannelClass, CompassNames)
+{
+    EXPECT_EQ(makeClass(0, Sign::Pos).compass(), "E1");
+    EXPECT_EQ(makeClass(0, Sign::Neg).compass(), "W1");
+    EXPECT_EQ(makeClass(1, Sign::Pos, 1).compass(), "N2");
+    EXPECT_EQ(makeClass(1, Sign::Neg).compass(), "S1");
+    EXPECT_EQ(makeClass(2, Sign::Pos).compass(), "U1");
+    EXPECT_EQ(makeClass(2, Sign::Neg, 3).compass(), "D4");
+    EXPECT_EQ(makeClass(1, Sign::Pos).compass(false), "N");
+    // Beyond 3D falls back to algebraic naming.
+    EXPECT_EQ(makeClass(3, Sign::Pos).compass(), "T1+");
+    // Parity suffix.
+    EXPECT_EQ(makeParityClass(1, Sign::Pos, 0, Parity::Even).compass(false),
+              "Ne");
+    EXPECT_EQ(makeParityClass(1, Sign::Neg, 0, Parity::Odd).compass(false),
+              "So");
+}
+
+TEST(ChannelClass, EqualityAndOrdering)
+{
+    const auto a = makeClass(0, Sign::Pos);
+    const auto b = makeClass(0, Sign::Pos);
+    const auto c = makeClass(0, Sign::Neg);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_LT(a, c); // Pos (0) < Neg (1)
+}
+
+TEST(ChannelClass, OverlapsDifferentComponents)
+{
+    const auto base = makeClass(0, Sign::Pos, 0);
+    EXPECT_TRUE(base.overlaps(base));
+    EXPECT_FALSE(base.overlaps(makeClass(1, Sign::Pos, 0))); // other dim
+    EXPECT_FALSE(base.overlaps(makeClass(0, Sign::Neg, 0))); // other sign
+    EXPECT_FALSE(base.overlaps(makeClass(0, Sign::Pos, 1))); // other VC
+}
+
+TEST(ChannelClass, OverlapsParityRegions)
+{
+    const auto any = makeClass(1, Sign::Pos);
+    const auto even = makeParityClass(1, Sign::Pos, 0, Parity::Even);
+    const auto odd = makeParityClass(1, Sign::Pos, 0, Parity::Odd);
+    // Unconstrained overlaps both regions.
+    EXPECT_TRUE(any.overlaps(even));
+    EXPECT_TRUE(even.overlaps(any));
+    // Disjoint parities on the same axis do not overlap.
+    EXPECT_FALSE(even.overlaps(odd));
+    EXPECT_TRUE(even.overlaps(even));
+    // Same parity value on different axes still intersects (even row
+    // and even column share nodes).
+    const auto even_other_axis =
+        makeParityClass(1, Sign::Pos, 1, Parity::Even);
+    EXPECT_TRUE(even.overlaps(even_other_axis));
+}
+
+TEST(ChannelClass, HashDistinguishesFields)
+{
+    ChannelClassHash h;
+    std::unordered_set<std::size_t> hashes;
+    hashes.insert(h(makeClass(0, Sign::Pos)));
+    hashes.insert(h(makeClass(0, Sign::Neg)));
+    hashes.insert(h(makeClass(1, Sign::Pos)));
+    hashes.insert(h(makeClass(0, Sign::Pos, 1)));
+    hashes.insert(h(makeParityClass(0, Sign::Pos, 0, Parity::Even)));
+    EXPECT_EQ(hashes.size(), 5u);
+}
+
+TEST(ChannelClass, ClassListToString)
+{
+    const ClassList list = {makeClass(0, Sign::Pos),
+                            makeClass(0, Sign::Neg),
+                            makeClass(1, Sign::Pos)};
+    EXPECT_EQ(toString(list), "{X1+ X1- Y1+}");
+    EXPECT_EQ(toString(list, false), "{X+ X- Y+}");
+    EXPECT_EQ(toString(ClassList{}), "{}");
+}
+
+TEST(DimLetter, KnownLetters)
+{
+    EXPECT_EQ(dimLetter(0), "X");
+    EXPECT_EQ(dimLetter(1), "Y");
+    EXPECT_EQ(dimLetter(2), "Z");
+    EXPECT_EQ(dimLetter(3), "T");
+    EXPECT_EQ(dimLetter(4), "D4");
+}
+
+} // namespace
+} // namespace ebda::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the channel-class lowering (ClassMap).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdg/class_map.hh"
+#include "core/catalog.hh"
+
+namespace ebda::cdg {
+namespace {
+
+using core::makeClass;
+using core::Parity;
+using core::Sign;
+
+TEST(ClassMap, FullCoverageSingleVc2d)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    core::PartitionScheme scheme;
+    scheme.add(core::Partition({makeClass(0, Sign::Pos),
+                                makeClass(0, Sign::Neg),
+                                makeClass(1, Sign::Neg)}));
+    scheme.add(core::Partition({makeClass(1, Sign::Pos)}));
+    const ClassMap map(net, scheme);
+
+    EXPECT_EQ(map.numClasses(), 4u);
+    EXPECT_EQ(map.numClassifiedChannels(), net.numChannels());
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        const ClassIndex k = map.classOf(c);
+        ASSERT_NE(k, kUnclassified);
+        EXPECT_TRUE(net.channelInClass(c, map.classAt(k)));
+    }
+}
+
+TEST(ClassMap, PartitionIndexTracksSchemeOrder)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    const auto scheme = core::schemeNorthLast();
+    const ClassMap map(net, scheme);
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        const ClassIndex k = map.classOf(c);
+        ASSERT_NE(k, kUnclassified);
+        // Y+ channels live in partition 1, everything else in 0.
+        const bool is_north =
+            net.channelInClass(c, makeClass(1, Sign::Pos));
+        EXPECT_EQ(map.partitionOf(k), is_north ? 1u : 0u);
+    }
+}
+
+TEST(ClassMap, UnusedVcsStayUnclassified)
+{
+    const auto net = topo::Network::mesh({3, 3}, {2, 2});
+    // Scheme only uses VC 0 of each direction.
+    core::PartitionScheme scheme;
+    scheme.add(core::Partition({makeClass(0, Sign::Pos, 0),
+                                makeClass(0, Sign::Neg, 0),
+                                makeClass(1, Sign::Neg, 0)}));
+    scheme.add(core::Partition({makeClass(1, Sign::Pos, 0)}));
+    const ClassMap map(net, scheme);
+    EXPECT_EQ(map.numClassifiedChannels(), net.numChannels() / 2);
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        if (net.vcOf(c) == 1)
+            EXPECT_EQ(map.classOf(c), kUnclassified);
+        else
+            EXPECT_NE(map.classOf(c), kUnclassified);
+    }
+}
+
+TEST(ClassMap, ParitySchemePartitionsColumns)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const ClassMap map(net, core::schemeOddEven());
+    EXPECT_EQ(map.numClassifiedChannels(), net.numChannels());
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        const auto &lk = net.link(net.linkOf(c));
+        const ClassIndex k = map.classOf(c);
+        ASSERT_NE(k, kUnclassified);
+        if (lk.dim == 1) {
+            const bool even_col = net.coordAlong(lk.src, 0) % 2 == 0;
+            EXPECT_EQ(map.classAt(k).parity,
+                      even_col ? Parity::Even : Parity::Odd);
+        }
+    }
+}
+
+TEST(ClassMap, ChannelsOfClassInverse)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const ClassMap map(net, core::schemeNorthLast());
+    std::size_t total = 0;
+    for (ClassIndex k = 0;
+         k < static_cast<ClassIndex>(map.numClasses()); ++k) {
+        for (topo::ChannelId c : map.channelsOfClass(k))
+            EXPECT_EQ(map.classOf(c), k);
+        total += map.channelsOfClass(k).size();
+    }
+    EXPECT_EQ(total, map.numClassifiedChannels());
+}
+
+TEST(ClassMap, BareClassListConstructor)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    const ClassMap map(net, core::ClassList{makeClass(0, Sign::Pos),
+                                            makeClass(0, Sign::Neg)});
+    EXPECT_EQ(map.numClasses(), 2u);
+    // Only the 12 X channels (2 directions x 6 links) are classified.
+    EXPECT_EQ(map.numClassifiedChannels(), 12u);
+    for (ClassIndex k = 0; k < 2; ++k)
+        EXPECT_EQ(map.partitionOf(k), 0u);
+}
+
+TEST(ClassMap, OverlappingClassesPanic)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    const core::ClassList overlapping = {
+        makeClass(1, Sign::Pos),
+        core::makeParityClass(1, Sign::Pos, 0, Parity::Even)};
+    EXPECT_DEATH(ClassMap(net, overlapping), "not disjoint");
+}
+
+TEST(ClassMap, TorusWrapChannelsJoinOppositeClass)
+{
+    const auto net = topo::Network::torus({4, 4}, {1, 1});
+    const ClassMap map(net, core::schemeNorthLast());
+    const auto wrap = net.linkFrom(net.node({3, 0}), 0, Sign::Pos);
+    ASSERT_TRUE(wrap.has_value());
+    const ClassIndex k = map.classOf(net.channel(*wrap, 0));
+    ASSERT_NE(k, kUnclassified);
+    EXPECT_EQ(map.classAt(k), makeClass(0, Sign::Neg));
+}
+
+} // namespace
+} // namespace ebda::cdg

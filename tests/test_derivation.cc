@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for Algorithm 2 (derivation by circular shifting) and the
+ * scheme-space generators behind Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/catalog.hh"
+#include "core/derivation.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(Derivation, ShiftingProducesBothMaxAdaptive2dForms)
+{
+    // 2D single VC, X leading: rotating Set2 yields {X* Y+}->{Y-} and
+    // {X* Y-}->{Y+}.
+    const auto schemes = deriveByShifting(makeSets({1, 1}));
+    std::set<std::string> keys;
+    for (const auto &s : schemes) {
+        EXPECT_TRUE(s.validate().ok);
+        keys.insert(s.toString(false));
+    }
+    EXPECT_TRUE(keys.count("{X+ X- Y+} -> {Y-}"));
+    EXPECT_TRUE(keys.count("{X+ X- Y-} -> {Y+}"));
+}
+
+TEST(Derivation, DedupesIdenticalSchemes)
+{
+    auto schemes = deriveByShifting(makeSets({1, 1}));
+    std::set<std::string> keys;
+    for (const auto &s : schemes)
+        keys.insert(s.canonicalKey());
+    EXPECT_EQ(keys.size(), schemes.size());
+}
+
+TEST(Derivation, PermuteTransitionOrders)
+{
+    DerivationOptions opts;
+    opts.permuteTransitionOrders = true;
+    const auto schemes = deriveByShifting(makeSets({1, 1}), opts);
+    std::set<std::string> keys;
+    for (const auto &s : schemes)
+        keys.insert(s.toString(false));
+    // Reversed transitions appear: the Table 1 third/fourth-row entries.
+    EXPECT_TRUE(keys.count("{Y-} -> {X+ X- Y+}"));
+    EXPECT_TRUE(keys.count("{Y+} -> {X+ X- Y-}"));
+}
+
+TEST(Derivation, DeriveAll2dContainsTwelveTable1Options)
+{
+    // Both arrangements x both shifts x both orders (8) plus the four
+    // exceptional schemes = the 12 partitioning options of Table 1.
+    DerivationOptions opts;
+    opts.permuteTransitionOrders = true;
+    const auto schemes = deriveAll({1, 1}, opts);
+
+    const std::set<std::string> table1 = {
+        "{X+ X- Y+} -> {Y-}", "{Y+ Y- X+} -> {X-}", "{X+ Y+} -> {X- Y-}",
+        "{X+ X- Y-} -> {Y+}", "{Y+ Y- X-} -> {X+}", "{X+ Y-} -> {X- Y+}",
+        "{Y-} -> {X+ X- Y+}", "{X-} -> {Y+ Y- X+}", "{X- Y-} -> {X+ Y+}",
+        "{Y+} -> {X+ X- Y-}", "{X+} -> {Y+ Y- X-}", "{X- Y+} -> {X+ Y-}",
+    };
+    std::set<std::string> keys;
+    for (const auto &s : schemes)
+        keys.insert(s.toString(false));
+    for (const auto &expected : table1)
+        EXPECT_TRUE(keys.count(expected)) << "missing option " << expected;
+}
+
+TEST(Derivation, DeriveAllRespectsCap)
+{
+    DerivationOptions opts;
+    opts.maxSchemes = 3;
+    const auto schemes = deriveAll({1, 1}, opts);
+    EXPECT_LE(schemes.size(), 3u);
+}
+
+TEST(Derivation, ReverseOrder)
+{
+    const auto scheme = schemeNorthLast();
+    const auto rev = reverseOrder(scheme);
+    ASSERT_EQ(rev.size(), 2u);
+    EXPECT_EQ(rev[0].toString(false), "{Y+}");
+    EXPECT_EQ(rev[1].toString(false), "{X+ X- Y-}");
+}
+
+TEST(Derivation, AllOrdersCountsFactorial)
+{
+    const auto scheme = schemeFig6P1(); // four singleton partitions
+    const auto orders = allOrders(scheme);
+    EXPECT_EQ(orders.size(), 24u);
+    std::set<std::string> keys;
+    for (const auto &s : orders)
+        keys.insert(s.canonicalKey());
+    EXPECT_EQ(keys.size(), 24u);
+}
+
+TEST(Derivation, AllOrdersCaps)
+{
+    const auto orders = allOrders(schemeFig6P1(), 10);
+    EXPECT_EQ(orders.size(), 10u);
+}
+
+TEST(Derivation, DedupeKeepsFirstSeen)
+{
+    std::vector<PartitionScheme> schemes;
+    schemes.push_back(schemeNorthLast());
+    schemes.push_back(schemeFig6P3());
+    schemes.push_back(schemeNorthLast());
+    dedupeSchemes(schemes);
+    ASSERT_EQ(schemes.size(), 2u);
+    EXPECT_EQ(schemes[0].canonicalKey(), schemeNorthLast().canonicalKey());
+    EXPECT_EQ(schemes[1].canonicalKey(), schemeFig6P3().canonicalKey());
+}
+
+TEST(Derivation, MultiVcDerivationAllValid)
+{
+    // VCs (2, 2): the derivation space is larger; every emitted scheme
+    // must validate and cover all 8 channels.
+    const auto schemes = deriveAll({2, 2});
+    EXPECT_GE(schemes.size(), 2u);
+    for (const auto &s : schemes) {
+        EXPECT_TRUE(s.validate().ok) << s.toString();
+        EXPECT_EQ(s.numClasses(), 8u) << s.toString();
+    }
+}
+
+TEST(Derivation, ThreeDimensionalDerivationValid)
+{
+    const auto schemes = deriveAll({2, 2, 4});
+    EXPECT_FALSE(schemes.empty());
+    for (const auto &s : schemes) {
+        EXPECT_TRUE(s.validate().ok) << s.toString();
+        EXPECT_EQ(s.numClasses(), 16u);
+    }
+}
+
+} // namespace
+} // namespace ebda::core

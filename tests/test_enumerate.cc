@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the exhaustive scheme enumerator behind Tables 1-3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/enumerate.hh"
+#include "core/turns.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(Enumerate, ClassListHelpers)
+{
+    EXPECT_EQ(classes2d().size(), 4u);
+    EXPECT_EQ(classesNd(3).size(), 6u);
+    EXPECT_EQ(classes2d()[0], makeClass(0, Sign::Pos));
+}
+
+TEST(Enumerate, TwoPartitionSchemes2d)
+{
+    // Ordered 2-block Theorem-1 schemes over {X+, X-, Y+, Y-}:
+    // sizes (3,1)/(1,3): 4 class triples x 2 orders = 8;
+    // sizes (2,2): 3 pairings x 2 orders = 6. Total 14.
+    EnumerationOptions opts;
+    opts.exactPartitions = 2;
+    const auto schemes = enumerateSchemes(classes2d(), opts);
+    EXPECT_EQ(schemes.size(), 14u);
+    for (const auto &s : schemes)
+        EXPECT_TRUE(s.validate().ok) << s.toString();
+}
+
+TEST(Enumerate, MaxAdaptiveTwoPartitionSchemesAreTwelve)
+{
+    // Table 1: of the 14 two-partition schemes, 12 provide the maximum
+    // six 90-degree turns; the two same-dimension (2,2) splits
+    // ({X+ X-} | {Y+ Y-}) give only four.
+    EnumerationOptions opts;
+    opts.exactPartitions = 2;
+    const auto schemes = enumerateSchemes(classes2d(), opts);
+    std::size_t max_adaptive = 0;
+    for (const auto &s : schemes) {
+        const auto set = TurnSet::extract(s);
+        const auto n90 = set.count(TurnKind::Turn90);
+        EXPECT_TRUE(n90 == 6 || n90 == 4) << s.toString();
+        if (n90 == 6)
+            ++max_adaptive;
+    }
+    EXPECT_EQ(max_adaptive, 12u);
+}
+
+TEST(Enumerate, FourPartitionSchemesAreOrderings)
+{
+    // Table 3: four singleton partitions -> 4! = 24 ordered schemes.
+    EnumerationOptions opts;
+    opts.exactPartitions = 4;
+    const auto schemes = enumerateSchemes(classes2d(), opts);
+    EXPECT_EQ(schemes.size(), 24u);
+}
+
+TEST(Enumerate, ThreePartitionCount)
+{
+    // Blocks of sizes (2,1,1): choose the pair {a,b}: C(4,2)=6 ways,
+    // all Theorem-1 legal; 3! orders each = 36 ordered schemes.
+    EnumerationOptions opts;
+    opts.exactPartitions = 3;
+    const auto schemes = enumerateSchemes(classes2d(), opts);
+    EXPECT_EQ(schemes.size(), 36u);
+}
+
+TEST(Enumerate, SinglePartitionImpossible2d)
+{
+    // All four classes in one partition violates Theorem 1 ("the number
+    // of partitions cannot be reduced to one").
+    EnumerationOptions opts;
+    opts.exactPartitions = 1;
+    EXPECT_TRUE(enumerateSchemes(classes2d(), opts).empty());
+}
+
+TEST(Enumerate, AllSchemesAreValidAndComplete)
+{
+    const auto schemes = enumerateSchemes(classes2d());
+    EXPECT_EQ(schemes.size(), 14u + 36u + 24u);
+    std::set<std::string> keys;
+    for (const auto &s : schemes) {
+        EXPECT_TRUE(s.validate().ok);
+        EXPECT_EQ(s.numClasses(), 4u);
+        keys.insert(s.canonicalKey());
+    }
+    EXPECT_EQ(keys.size(), schemes.size());
+}
+
+TEST(Enumerate, MaxResultsCap)
+{
+    EnumerationOptions opts;
+    opts.maxResults = 5;
+    EXPECT_EQ(enumerateSchemes(classes2d(), opts).size(), 5u);
+}
+
+TEST(Enumerate, RejectsOverlappingClasses)
+{
+    ClassList bad = {makeClass(0, Sign::Pos), makeClass(0, Sign::Pos)};
+    EXPECT_DEATH(enumerateSchemes(bad), "non-overlapping");
+}
+
+TEST(Enumerate, EmptyInput)
+{
+    EXPECT_TRUE(enumerateSchemes({}).empty());
+}
+
+} // namespace
+} // namespace ebda::core

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fault-injection tests (the Theorem-2 note: "Enabling U-turns is
+ * essentially important in fault-tolerant designs"): link removal,
+ * rerouting in shortest-state mode, and the U-turn contribution to
+ * post-fault connectivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "routing/ebda_routing.hh"
+#include "routing/updown.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+
+namespace ebda {
+namespace {
+
+using core::Sign;
+
+TEST(FaultInjection, WithoutLinksRemovesExactly)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const topo::NodeId a = net.node({1, 1});
+    const topo::NodeId b = net.node({2, 1});
+    const auto broken = net.withoutLinks({{a, b}});
+    EXPECT_EQ(broken.numLinks(), net.numLinks() - 1);
+    EXPECT_FALSE(broken.linkFrom(a, 0, Sign::Pos).has_value());
+    // The reverse direction survives.
+    EXPECT_TRUE(broken.linkFrom(b, 0, Sign::Neg).has_value());
+    // Channels recomputed consistently.
+    EXPECT_EQ(broken.numChannels(), net.numChannels() - 1);
+}
+
+TEST(FaultInjection, RemovingNonexistentLinkIsNoop)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    const auto same = net.withoutLinks({{net.node({0, 0}),
+                                         net.node({2, 2})}});
+    EXPECT_EQ(same.numLinks(), net.numLinks());
+}
+
+TEST(FaultInjection, ShortestStateReroutesAroundSingleFault)
+{
+    // Break one X link; the fully adaptive EbDa scheme in
+    // shortest-state mode routes around it (survivor pruning in pure
+    // minimal mode cannot: some pairs lose all minimal paths).
+    const auto net = topo::Network::mesh({5, 5}, {1, 2});
+    const auto broken = net.withoutLinks(
+        {{net.node({2, 2}), net.node({3, 2})}});
+
+    const routing::EbDaRouting rerouting(
+        broken, core::schemeFig7b(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+    EXPECT_TRUE(cdg::checkConnectivity(rerouting).connected);
+    EXPECT_TRUE(cdg::checkDeadlockFree(rerouting).deadlockFree);
+}
+
+TEST(FaultInjection, UTurnsNeverReduceCoverage)
+{
+    // Disabling Theorem-2/3 U-/I-turns must never route MORE pairs
+    // (monotonicity of the turn set), and deadlock freedom holds for
+    // every fault pattern.
+    Rng rng(77);
+    for (int trial = 0; trial < 12; ++trial) {
+        const auto net = topo::Network::mesh({4, 4}, {1, 2});
+        // Fail both directions of two random physical links.
+        std::vector<std::pair<topo::NodeId, topo::NodeId>> failed;
+        for (int f = 0; f < 2; ++f) {
+            const auto l = static_cast<topo::LinkId>(
+                rng.nextBounded(net.numLinks()));
+            failed.emplace_back(net.link(l).src, net.link(l).dst);
+            failed.emplace_back(net.link(l).dst, net.link(l).src);
+        }
+        const auto broken = net.withoutLinks(failed);
+
+        core::TurnExtractionOptions no_ui;
+        no_ui.theorem2 = false;
+        no_ui.crossUITurns = false;
+
+        const routing::EbDaRouting full(
+            broken, core::schemeFig7b(), {},
+            routing::EbDaRouting::Mode::ShortestState);
+        const routing::EbDaRouting restricted(
+            broken, core::schemeFig7b(), no_ui,
+            routing::EbDaRouting::Mode::ShortestState);
+
+        auto routable = [&](const routing::EbDaRouting &r) {
+            std::size_t ok = 0;
+            for (topo::NodeId s = 0; s < broken.numNodes(); ++s) {
+                for (topo::NodeId d = 0; d < broken.numNodes(); ++d) {
+                    if (s == d)
+                        continue;
+                    if (!r.candidates(cdg::kInjectionChannel, s, s, d)
+                             .empty()) {
+                        ++ok;
+                    }
+                }
+            }
+            return ok;
+        };
+        EXPECT_GE(routable(full), routable(restricted));
+
+        // Deadlock freedom is never sacrificed for coverage.
+        EXPECT_TRUE(cdg::checkDeadlockFree(full).deadlockFree);
+    }
+}
+
+TEST(FaultInjection, UTurnsUnlockTorusWrapShortcuts)
+{
+    // The concrete payoff of Theorem 2's U-turns (its "topologies with
+    // wrap-around channels" note): on a torus, crossing a wrap link IS
+    // a U-turn between the two direction classes. With U-turns the
+    // router uses torus-minimal paths; without them every route must
+    // stay inside the mesh region, so average path length grows while
+    // connectivity survives (the long way around never needs a wrap).
+    const auto net = topo::Network::torus({8, 8}, {2, 2});
+    core::PartitionScheme scheme;
+    scheme.add(core::Partition({core::makeClass(1, Sign::Pos, 0),
+                                core::makeClass(1, Sign::Neg, 0),
+                                core::makeClass(0, Sign::Pos, 0)}));
+    scheme.add(core::Partition({core::makeClass(1, Sign::Pos, 1),
+                                core::makeClass(1, Sign::Neg, 1),
+                                core::makeClass(0, Sign::Neg, 0)}));
+    scheme.add(core::Partition({core::makeClass(0, Sign::Pos, 1),
+                                core::makeClass(0, Sign::Neg, 1)}));
+
+    core::TurnExtractionOptions no_ui;
+    no_ui.theorem2 = false;
+    no_ui.crossUITurns = false;
+
+    const routing::EbDaRouting with_ui(
+        net, scheme, {}, routing::EbDaRouting::Mode::ShortestState);
+    const routing::EbDaRouting without_ui(
+        net, scheme, no_ui, routing::EbDaRouting::Mode::ShortestState);
+
+    EXPECT_TRUE(cdg::checkConnectivity(with_ui).connected);
+    EXPECT_TRUE(cdg::checkConnectivity(without_ui).connected);
+
+    auto avg_route_length = [&](const routing::EbDaRouting &r) {
+        double sum = 0.0;
+        std::size_t pairs = 0;
+        for (topo::NodeId s = 0; s < net.numNodes(); ++s) {
+            for (topo::NodeId d = 0; d < net.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                std::uint32_t best = UINT32_MAX;
+                for (topo::ChannelId c :
+                     r.candidates(cdg::kInjectionChannel, s, s, d)) {
+                    best = std::min(best, r.stateDistance(c, d));
+                }
+                EXPECT_NE(best, UINT32_MAX);
+                if (best != UINT32_MAX) {
+                    sum += best;
+                    ++pairs;
+                }
+            }
+        }
+        return sum / static_cast<double>(pairs);
+    };
+
+    const double len_with = avg_route_length(with_ui);
+    const double len_without = avg_route_length(without_ui);
+    // With U-turns the average route length reaches the torus minimum
+    // (4.06 on 8x8). Without them only the straight-through-dateline
+    // continuation is lost (wraps can still be *entered* via 90-degree
+    // turns from the other dimension), so the gap is real but modest.
+    EXPECT_NEAR(len_with, 4.06, 0.05);
+    EXPECT_LT(len_with + 0.05, len_without);
+}
+
+TEST(FaultInjection, UpDownSurvivesFaultsOffTree)
+{
+    // Up/Down on a faulty mesh: rebuild the tree on the faulty network
+    // and it stays connected as long as the network is.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto broken = net.withoutLinks(
+        {{net.node({1, 1}), net.node({1, 2})},
+         {net.node({1, 2}), net.node({1, 1})}});
+    const routing::UpDownRouting r(broken);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+    EXPECT_TRUE(cdg::checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(FaultInjection, SimulationOnFaultyMeshDrains)
+{
+    const auto net = topo::Network::mesh({5, 5}, {1, 2});
+    const auto broken = net.withoutLinks(
+        {{net.node({2, 2}), net.node({3, 2})},
+         {net.node({3, 2}), net.node({2, 2})}});
+    const routing::EbDaRouting r(
+        broken, core::schemeFig7b(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+    const sim::TrafficGenerator gen(broken,
+                                    sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.seed = 31;
+    const auto result = runSimulation(broken, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 20u);
+}
+
+} // namespace
+} // namespace ebda

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the directed-graph substrate: container semantics,
+ * cycle detection with witness extraction, SCC, topological sort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/cycles.hh"
+#include "graph/digraph.hh"
+#include "util/random.hh"
+
+namespace ebda::graph {
+namespace {
+
+/** Verify a reported witness is an actual cycle in g. */
+void
+expectValidCycle(const Digraph &g, const std::vector<NodeId> &cycle)
+{
+    ASSERT_FALSE(cycle.empty());
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const NodeId u = cycle[i];
+        const NodeId v = cycle[(i + 1) % cycle.size()];
+        EXPECT_TRUE(g.hasEdge(u, v))
+            << "missing edge " << u << "->" << v << " in witness";
+    }
+}
+
+TEST(Digraph, EmptyGraph)
+{
+    Digraph g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_TRUE(isAcyclic(g));
+}
+
+TEST(Digraph, AddNodesAndEdges)
+{
+    Digraph g(3);
+    EXPECT_EQ(g.addNode(), 3u);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+    EXPECT_EQ(g.outDegree(0), 1u);
+}
+
+TEST(Digraph, DuplicateEdgesIgnored)
+{
+    Digraph g(2);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.successors(0).size(), 1u);
+}
+
+TEST(Digraph, ResizeGrowsOnly)
+{
+    Digraph g(2);
+    g.resize(5);
+    EXPECT_EQ(g.numNodes(), 5u);
+    g.resize(3);
+    EXPECT_EQ(g.numNodes(), 5u);
+}
+
+TEST(Cycles, ChainIsAcyclic)
+{
+    Digraph g(5);
+    for (NodeId i = 0; i + 1 < 5; ++i)
+        g.addEdge(i, i + 1);
+    const auto report = findCycle(g);
+    EXPECT_TRUE(report.acyclic);
+    EXPECT_TRUE(report.cycle.empty());
+}
+
+TEST(Cycles, SelfLoopIsCycle)
+{
+    Digraph g(2);
+    g.addEdge(1, 1);
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    expectValidCycle(g, report.cycle);
+    EXPECT_EQ(report.cycle.size(), 1u);
+}
+
+TEST(Cycles, TriangleWitness)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(3, 0); // off-cycle entry
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    expectValidCycle(g, report.cycle);
+    EXPECT_EQ(report.cycle.size(), 3u);
+}
+
+TEST(Cycles, DiamondDagIsAcyclic)
+{
+    Digraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    EXPECT_TRUE(isAcyclic(g));
+}
+
+TEST(Cycles, CycleBehindLongTail)
+{
+    // A long acyclic tail leading into a late 2-cycle exercises the
+    // iterative DFS frame handling.
+    Digraph g(100);
+    for (NodeId i = 0; i + 1 < 99; ++i)
+        g.addEdge(i, i + 1);
+    g.addEdge(98, 99);
+    g.addEdge(99, 98);
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    expectValidCycle(g, report.cycle);
+    EXPECT_EQ(report.cycle.size(), 2u);
+}
+
+TEST(Cycles, LargeDeepGraphNoStackOverflow)
+{
+    // 200k-node path: a recursive DFS would overflow the stack.
+    const std::size_t n = 200000;
+    Digraph g(n);
+    for (NodeId i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1);
+    EXPECT_TRUE(isAcyclic(g));
+}
+
+TEST(Scc, ComponentsOfTwoTriangles)
+{
+    Digraph g(7);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 3);
+    g.addEdge(2, 3); // bridge
+    std::uint32_t count = 0;
+    const auto comp = stronglyConnectedComponents(g, &count);
+    EXPECT_EQ(count, 3u); // two triangles + isolated node 6
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_EQ(comp[4], comp[5]);
+    EXPECT_NE(comp[0], comp[3]);
+    EXPECT_NE(comp[6], comp[0]);
+    EXPECT_NE(comp[6], comp[3]);
+}
+
+TEST(Scc, DagHasSingletonComponents)
+{
+    Digraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 3);
+    std::uint32_t count = 0;
+    const auto comp = stronglyConnectedComponents(g, &count);
+    EXPECT_EQ(count, 5u);
+    std::set<std::uint32_t> distinct(comp.begin(), comp.end());
+    EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(TopologicalSort, RespectsEdges)
+{
+    Digraph g(6);
+    g.addEdge(5, 2);
+    g.addEdge(5, 0);
+    g.addEdge(4, 0);
+    g.addEdge(4, 1);
+    g.addEdge(2, 3);
+    g.addEdge(3, 1);
+    const auto order = topologicalSort(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<std::size_t> pos(6);
+    for (std::size_t i = 0; i < order->size(); ++i)
+        pos[(*order)[i]] = i;
+    for (NodeId u = 0; u < 6; ++u)
+        for (NodeId v : g.successors(u))
+            EXPECT_LT(pos[u], pos[v]);
+}
+
+TEST(TopologicalSort, FailsOnCycle)
+{
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    EXPECT_FALSE(topologicalSort(g).has_value());
+}
+
+TEST(NumNodesOnCycles, CountsExactly)
+{
+    Digraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0); // 2-cycle: nodes 0, 1
+    g.addEdge(2, 2); // self-loop: node 2
+    g.addEdge(3, 4); // acyclic tail: nodes 3, 4, 5 clean
+    g.addEdge(4, 5);
+    EXPECT_EQ(numNodesOnCycles(g), 3u);
+}
+
+TEST(Cycles, RandomGraphsAgreeWithToposort)
+{
+    // Property: findCycle and topologicalSort must agree on cyclicity.
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng.nextBounded(30);
+        Digraph g(n);
+        const std::size_t edges = rng.nextBounded(3 * n);
+        for (std::size_t e = 0; e < edges; ++e) {
+            g.addEdge(static_cast<NodeId>(rng.nextBounded(n)),
+                      static_cast<NodeId>(rng.nextBounded(n)));
+        }
+        const auto report = findCycle(g);
+        EXPECT_EQ(report.acyclic, topologicalSort(g).has_value());
+        if (!report.acyclic)
+            expectValidCycle(g, report.cycle);
+    }
+}
+
+} // namespace
+} // namespace ebda::graph

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integration tests: the full EbDa pipeline from VC budget to running
+ * network — derive partitions (Algorithm 1/2), validate (Theorems 1-3),
+ * verify (Dally oracle), measure adaptiveness, route and simulate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cdg/adaptivity.hh"
+#include "cdg/relation_cdg.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/catalog.hh"
+#include "core/derivation.hh"
+#include "core/minimal.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "routing/elevator.hh"
+#include "sim/simulator.hh"
+
+namespace ebda {
+namespace {
+
+TEST(Pipeline, DeriveVerifyRouteSimulate)
+{
+    // 1. Derive schemes for a (1, 2)-VC 2D budget.
+    const auto schemes = core::deriveAll({1, 2});
+    ASSERT_FALSE(schemes.empty());
+
+    // 2. Pick the most adaptive scheme by exact measurement.
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const core::PartitionScheme *best = nullptr;
+    double best_adapt = -1.0;
+    for (const auto &s : schemes) {
+        const auto adapt = cdg::measureAdaptiveness(net, s);
+        if (adapt.disconnectedMinimal)
+            continue;
+        if (adapt.averageFraction > best_adapt) {
+            best_adapt = adapt.averageFraction;
+            best = &s;
+        }
+    }
+    ASSERT_NE(best, nullptr);
+    // The minimum-channel budget admits a fully adaptive design.
+    EXPECT_DOUBLE_EQ(best_adapt, 1.0) << best->toString();
+
+    // 3. Oracle verification.
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, *best).deadlockFree);
+
+    // 4. Routing relation: connected, deadlock-free.
+    const routing::EbDaRouting r(net, *best);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+    EXPECT_TRUE(cdg::checkDeadlockFree(r).deadlockFree);
+
+    // 5. Simulation: drains without deadlock.
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 1000;
+    cfg.injectionRate = 0.1;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 50u);
+}
+
+TEST(Pipeline, Table1SchemesClassifyAndVerify)
+{
+    // The three unique Glass-Ni algorithms appear among the derived
+    // maximum-adaptiveness options, and each derived option is sound.
+    core::DerivationOptions opts;
+    opts.permuteTransitionOrders = true;
+    const auto schemes = core::deriveAll({1, 1}, opts);
+    const auto net = topo::Network::mesh({5, 5}, {1, 1});
+
+    std::set<std::string> classical;
+    for (const auto &s : schemes) {
+        EXPECT_TRUE(cdg::checkDeadlockFree(net, s).deadlockFree)
+            << s.toString();
+        if (const auto name = core::classify2dScheme(s))
+            classical.insert(*name);
+    }
+    EXPECT_TRUE(classical.count("North-Last"));
+    EXPECT_TRUE(classical.count("West-First"));
+    EXPECT_TRUE(classical.count("Negative-First"));
+}
+
+TEST(Pipeline, EbDaBeatsDeterministicUnderTranspose)
+{
+    // The motivation claim: adaptive EbDa routing outperforms XY under
+    // adversarial (transpose) traffic at moderate load.
+    const auto net = topo::Network::mesh({6, 6}, {2, 2});
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Transpose);
+
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 60000;
+    cfg.injectionRate = 0.30;
+    cfg.seed = 11;
+
+    const routing::EbDaRouting adaptive(net, core::schemeFig7b());
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+
+    const auto r_adaptive = runSimulation(net, adaptive, gen, cfg);
+    const auto r_xy = runSimulation(net, xy, gen, cfg);
+
+    EXPECT_FALSE(r_adaptive.deadlocked);
+    EXPECT_FALSE(r_xy.deadlocked);
+    // Adaptive routing accepts at least as much transpose traffic.
+    EXPECT_GE(r_adaptive.acceptedRate + 0.01, r_xy.acceptedRate);
+}
+
+TEST(Pipeline, Figure8TurnExtractionConsistency)
+{
+    // The Figure 9(b) scheme drives Figure 8: per-partition Theorem-1
+    // turn counts are 10 each for partitions with 2 X/Y classes + a Z
+    // pair, and the whole set is sound on a 3D mesh.
+    const auto scheme = core::schemeFig9b();
+    const auto set = core::TurnSet::extract(scheme);
+
+    for (std::uint16_t p = 0; p < 4; ++p) {
+        std::size_t t90 = 0;
+        std::size_t ui = 0;
+        for (const auto &t : set.turnsBetween(p, p)) {
+            if (t.kind == core::TurnKind::Turn90)
+                ++t90;
+            else
+                ++ui;
+        }
+        // Figure 8 lists 10 90-degree turns per partition and one
+        // Theorem-2 U-turn along the Z pair.
+        EXPECT_EQ(t90, 10u) << "partition " << p;
+        EXPECT_EQ(ui, 1u) << "partition " << p;
+    }
+
+    const auto net = topo::Network::mesh({3, 3, 3}, {2, 2, 4});
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, scheme).deadlockFree);
+
+    const routing::EbDaRouting r(net, scheme);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+}
+
+TEST(Pipeline, IrregularNetworkEndToEnd)
+{
+    // Partially connected 3D: Elevator-First baseline vs the EbDa
+    // scheme-driven router, both verified and simulated.
+    const std::vector<std::pair<int, int>> elevators = {
+        {0, 0}, {0, 2}, {2, 0}, {2, 2}};
+    const auto net = topo::Network::partialMesh3d({3, 3, 2}, {2, 2, 1},
+                                                  elevators);
+    const routing::ElevatorFirstRouting elevator(net, elevators);
+    EXPECT_TRUE(cdg::checkConnectivity(elevator).connected);
+    EXPECT_TRUE(cdg::checkDeadlockFree(elevator).deadlockFree);
+
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.injectionRate = 0.05;
+    const auto result = runSimulation(net, elevator, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+}
+
+TEST(Pipeline, AdaptivenessOrderingMatchesPartitionCount)
+{
+    // Section 5.3.2: more partitions => less adaptive. Two, three and
+    // four partitions over the same four channels.
+    const auto net = topo::Network::mesh({5, 5}, {1, 1});
+    const auto two = cdg::measureAdaptiveness(net, core::schemeFig6P4());
+    const auto three = cdg::measureAdaptiveness(net, core::schemeFig6P2());
+    const auto four = cdg::measureAdaptiveness(net, core::schemeFig6P1());
+    EXPECT_GT(two.averageFraction, three.averageFraction);
+    EXPECT_GT(three.averageFraction, four.averageFraction);
+}
+
+} // namespace
+} // namespace ebda

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the Section 4 minimum-channel constructions and the
+ * N = (n+1) * 2^(n-1) formula.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/minimal.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(MinChannels, FormulaBaseCases)
+{
+    // Paper base cases: 2D -> 6 channels, 3D -> 16 channels.
+    EXPECT_EQ(minFullyAdaptiveChannels(1), 2u);
+    EXPECT_EQ(minFullyAdaptiveChannels(2), 6u);
+    EXPECT_EQ(minFullyAdaptiveChannels(3), 16u);
+    EXPECT_EQ(minFullyAdaptiveChannels(4), 40u);
+    EXPECT_EQ(minFullyAdaptiveChannels(5), 96u);
+}
+
+TEST(RegionScheme, TwoDimensional)
+{
+    // Figure 7(a): four partitions of two channels each; 2 VCs per
+    // dimension; n * 2^n = 8 channels.
+    const auto scheme = regionScheme(2);
+    ASSERT_EQ(scheme.size(), 4u);
+    EXPECT_EQ(channelCount(scheme), 8u);
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(vcsRequired(scheme), (std::vector<int>{2, 2}));
+    for (const auto &p : scheme.partitions())
+        EXPECT_EQ(p.completePairCount(), 0u);
+}
+
+TEST(RegionScheme, ThreeDimensional)
+{
+    // Figure 9(a): eight partitions of three channels, 24 channels,
+    // 4 VCs per dimension.
+    const auto scheme = regionScheme(3);
+    ASSERT_EQ(scheme.size(), 8u);
+    EXPECT_EQ(channelCount(scheme), 24u);
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(vcsRequired(scheme), (std::vector<int>{4, 4, 4}));
+}
+
+TEST(MergedScheme, TwoDimensionalMatchesFigure7)
+{
+    // Figure 7(b) shape: two partitions, 6 channels, VCs (1, 2) with the
+    // pair dimension Y.
+    const auto scheme = mergedScheme(2);
+    ASSERT_EQ(scheme.size(), 2u);
+    EXPECT_EQ(channelCount(scheme), 6u);
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(vcsRequired(scheme), (std::vector<int>{1, 2}));
+    for (const auto &p : scheme.partitions())
+        EXPECT_EQ(p.completePairCount(), 1u);
+}
+
+TEST(MergedScheme, PairDimensionSelectable)
+{
+    // Figure 7(c) shape: pair dimension X gives VCs (2, 1).
+    const auto scheme = mergedScheme(2, 0);
+    EXPECT_EQ(channelCount(scheme), 6u);
+    EXPECT_EQ(vcsRequired(scheme), (std::vector<int>{2, 1}));
+    for (const auto &p : scheme.partitions()) {
+        EXPECT_EQ(p.pairedDimensions(), std::vector<std::uint8_t>{0});
+    }
+}
+
+TEST(MergedScheme, ThreeDimensionalMatchesFigure9b)
+{
+    // Figure 9(b): four partitions, 16 channels, VCs (2, 2, 4).
+    const auto scheme = mergedScheme(3);
+    ASSERT_EQ(scheme.size(), 4u);
+    EXPECT_EQ(channelCount(scheme), 16u);
+    EXPECT_EQ(vcsRequired(scheme), (std::vector<int>{2, 2, 4}));
+}
+
+/** Parameterized sweep: the merged construction achieves the formula
+ *  for every dimensionality and pair-dimension choice. */
+class MergedSchemeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MergedSchemeSweep, FormulaAndStructure)
+{
+    const auto n = static_cast<std::uint8_t>(std::get<0>(GetParam()));
+    const auto pair_dim =
+        static_cast<std::uint8_t>(std::get<1>(GetParam()));
+    if (pair_dim >= n)
+        GTEST_SKIP() << "pair dimension out of range for this n";
+
+    const auto scheme = mergedScheme(n, pair_dim);
+    EXPECT_EQ(scheme.size(), std::size_t{1} << (n - 1));
+    EXPECT_EQ(channelCount(scheme), minFullyAdaptiveChannels(n));
+    EXPECT_TRUE(scheme.validate().ok);
+
+    // Every partition: exactly one complete pair, located at pair_dim,
+    // and n+1 members.
+    for (const auto &p : scheme.partitions()) {
+        EXPECT_EQ(p.size(), static_cast<std::size_t>(n) + 1);
+        EXPECT_EQ(p.completePairCount(), 1u);
+        EXPECT_EQ(p.pairedDimensions(),
+                  std::vector<std::uint8_t>{pair_dim});
+    }
+
+    // VC budget: 2^(n-1) on the pair dimension, 2^(n-2) elsewhere.
+    const auto vcs = vcsRequired(scheme);
+    for (std::uint8_t d = 0; d < n; ++d) {
+        const int expected = d == pair_dim
+            ? 1 << (n - 1)
+            : std::max(1, 1 << (n - 2));
+        EXPECT_EQ(vcs[d], expected) << "dim " << static_cast<int>(d);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MergedSchemeSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4,
+                                                              5, 6),
+                                            ::testing::Values(0, 1, 2)));
+
+/** Region construction sweep. */
+class RegionSchemeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegionSchemeSweep, StructureAndDisjointness)
+{
+    const auto n = static_cast<std::uint8_t>(GetParam());
+    const auto scheme = regionScheme(n);
+    EXPECT_EQ(scheme.size(), std::size_t{1} << n);
+    EXPECT_EQ(channelCount(scheme),
+              static_cast<std::size_t>(n) << n);
+    EXPECT_TRUE(scheme.validate().ok);
+    for (const auto &p : scheme.partitions()) {
+        EXPECT_EQ(p.size(), static_cast<std::size_t>(n));
+        EXPECT_EQ(p.completePairCount(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegionSchemeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MergedScheme, RejectsBadArguments)
+{
+    EXPECT_DEATH(mergedScheme(0), "out of range");
+    EXPECT_DEATH(mergedScheme(3, 5), "out of range");
+}
+
+} // namespace
+} // namespace ebda::core

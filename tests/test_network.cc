@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the topology substrate: meshes, tori, partially
+ * connected 3D meshes, coordinates, channels and class matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/network.hh"
+
+namespace ebda::topo {
+namespace {
+
+using core::makeClass;
+using core::makeParityClass;
+using core::Parity;
+using core::Sign;
+
+TEST(Mesh, NodeAndLinkCounts)
+{
+    const auto net = Network::mesh({4, 4}, {1, 1});
+    EXPECT_EQ(net.numNodes(), 16u);
+    // 2 * (3*4) unidirectional links per dimension.
+    EXPECT_EQ(net.numLinks(), 48u);
+    EXPECT_EQ(net.numChannels(), 48u);
+    EXPECT_FALSE(net.isTorus());
+    EXPECT_EQ(net.numDims(), 2);
+}
+
+TEST(Mesh, VcsMultiplyChannels)
+{
+    const auto net = Network::mesh({4, 4}, {2, 3});
+    // 24 X links * 2 VCs + 24 Y links * 3 VCs.
+    EXPECT_EQ(net.numChannels(), 24u * 2 + 24u * 3);
+}
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    const auto net = Network::mesh({3, 4, 5}, {1, 1, 1});
+    for (NodeId n = 0; n < net.numNodes(); ++n)
+        EXPECT_EQ(net.node(net.coord(n)), n);
+    EXPECT_EQ(net.coordAlong(net.node({2, 3, 4}), 0), 2);
+    EXPECT_EQ(net.coordAlong(net.node({2, 3, 4}), 1), 3);
+    EXPECT_EQ(net.coordAlong(net.node({2, 3, 4}), 2), 4);
+}
+
+TEST(Mesh, LinksConnectNeighbors)
+{
+    const auto net = Network::mesh({3, 3}, {1, 1});
+    const NodeId center = net.node({1, 1});
+    EXPECT_EQ(net.outLinks(center).size(), 4u);
+    EXPECT_EQ(net.inLinks(center).size(), 4u);
+    const NodeId corner = net.node({0, 0});
+    EXPECT_EQ(net.outLinks(corner).size(), 2u);
+
+    const auto east = net.linkFrom(center, 0, Sign::Pos);
+    ASSERT_TRUE(east.has_value());
+    EXPECT_EQ(net.link(*east).dst, net.node({2, 1}));
+    EXPECT_EQ(net.link(*east).classSign, Sign::Pos);
+    EXPECT_FALSE(net.link(*east).wrap);
+    // No eastward link at the east edge of a mesh.
+    EXPECT_FALSE(net.linkFrom(net.node({2, 1}), 0, Sign::Pos).has_value());
+}
+
+TEST(Mesh, DistanceAndOffsets)
+{
+    const auto net = Network::mesh({5, 5}, {1, 1});
+    const NodeId a = net.node({0, 0});
+    const NodeId b = net.node({3, 4});
+    EXPECT_EQ(net.distance(a, b), 7);
+    EXPECT_EQ(net.minimalOffset(a, b, 0), 3);
+    EXPECT_EQ(net.minimalOffset(b, a, 0), -3);
+}
+
+TEST(Mesh, ChannelLinkVcRoundTrip)
+{
+    const auto net = Network::mesh({3, 3}, {2, 2});
+    for (ChannelId c = 0; c < net.numChannels(); ++c) {
+        const LinkId l = net.linkOf(c);
+        const int v = net.vcOf(c);
+        EXPECT_EQ(net.channel(l, v), c);
+    }
+}
+
+TEST(Mesh, OutChannelsCoverAllVcs)
+{
+    const auto net = Network::mesh({3, 3}, {2, 1});
+    const NodeId center = net.node({1, 1});
+    // 2 X links * 2 VCs + 2 Y links * 1 VC.
+    EXPECT_EQ(net.outChannels(center).size(), 6u);
+}
+
+TEST(Mesh, ChannelInClassMatching)
+{
+    const auto net = Network::mesh({4, 4}, {2, 2});
+    const NodeId n = net.node({1, 2});
+    const auto east = net.linkFrom(n, 0, Sign::Pos);
+    ASSERT_TRUE(east.has_value());
+    const ChannelId c0 = net.channel(*east, 0);
+    const ChannelId c1 = net.channel(*east, 1);
+
+    EXPECT_TRUE(net.channelInClass(c0, makeClass(0, Sign::Pos, 0)));
+    EXPECT_FALSE(net.channelInClass(c0, makeClass(0, Sign::Pos, 1)));
+    EXPECT_TRUE(net.channelInClass(c1, makeClass(0, Sign::Pos, 1)));
+    EXPECT_FALSE(net.channelInClass(c0, makeClass(0, Sign::Neg, 0)));
+    EXPECT_FALSE(net.channelInClass(c0, makeClass(1, Sign::Pos, 0)));
+}
+
+TEST(Mesh, ParityClassMatching)
+{
+    const auto net = Network::mesh({4, 4}, {1, 1});
+    // Y+ link leaving (1, 2): column (X coordinate) 1 is odd.
+    const auto link = net.linkFrom(net.node({1, 2}), 1, Sign::Pos);
+    ASSERT_TRUE(link.has_value());
+    const ChannelId c = net.channel(*link, 0);
+    EXPECT_TRUE(net.channelInClass(
+        c, makeParityClass(1, Sign::Pos, 0, Parity::Odd)));
+    EXPECT_FALSE(net.channelInClass(
+        c, makeParityClass(1, Sign::Pos, 0, Parity::Even)));
+    // Row-parity axis: source row (Y) is 2, even.
+    EXPECT_TRUE(net.channelInClass(
+        c, makeParityClass(1, Sign::Pos, 1, Parity::Even)));
+}
+
+TEST(Torus, WrapLinksExistAndClassify)
+{
+    const auto net = Network::torus({4, 4}, {1, 1});
+    EXPECT_TRUE(net.isTorus());
+    // Mesh links + 2 wrap links per row/column per dimension.
+    EXPECT_EQ(net.numLinks(), 48u + 16u);
+
+    // Eastward wrap from (3, y) to (0, y): travel +, class -.
+    const auto wrap = net.linkFrom(net.node({3, 1}), 0, Sign::Pos);
+    ASSERT_TRUE(wrap.has_value());
+    EXPECT_TRUE(net.link(*wrap).wrap);
+    EXPECT_EQ(net.link(*wrap).dst, net.node({0, 1}));
+    EXPECT_EQ(net.link(*wrap).travelSign, Sign::Pos);
+    EXPECT_EQ(net.link(*wrap).classSign, Sign::Neg);
+    // A wrap-link channel therefore matches the negative class.
+    EXPECT_TRUE(net.channelInClass(net.channel(*wrap, 0),
+                                   makeClass(0, Sign::Neg, 0)));
+}
+
+TEST(Torus, SameAsTravelClassification)
+{
+    const auto net = Network::torus({4, 4}, {2, 2},
+                                    WrapClassification::SameAsTravel);
+    const auto wrap = net.linkFrom(net.node({3, 1}), 0, Sign::Pos);
+    ASSERT_TRUE(wrap.has_value());
+    EXPECT_EQ(net.link(*wrap).classSign, Sign::Pos);
+}
+
+TEST(Torus, MinimalOffsetsWrapAround)
+{
+    const auto net = Network::torus({8, 8}, {1, 1});
+    const NodeId a = net.node({6, 0});
+    const NodeId b = net.node({1, 0});
+    // Short way east across the wrap: +3, not -5.
+    EXPECT_EQ(net.minimalOffset(a, b, 0), 3);
+    EXPECT_EQ(net.distance(a, b), 3);
+    // Exact half: ties toward positive.
+    EXPECT_EQ(net.minimalOffset(net.node({0, 0}), net.node({4, 0}), 0), 4);
+}
+
+TEST(Torus, SmallRadixHasNoWraps)
+{
+    // Radix-2 rings would duplicate the mesh links; they are skipped.
+    const auto net = Network::torus({2, 4}, {1, 1});
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        if (net.link(l).wrap) {
+            EXPECT_NE(net.link(l).dim, 0);
+        }
+    }
+}
+
+TEST(PartialMesh3d, VerticalLinksOnlyAtElevators)
+{
+    const auto net =
+        Network::partialMesh3d({3, 3, 3}, {1, 1, 1}, {{0, 0}, {2, 2}});
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        const Link &lk = net.link(l);
+        if (lk.dim != 2)
+            continue;
+        const Coord c = net.coord(lk.src);
+        const bool at_elevator = (c[0] == 0 && c[1] == 0)
+            || (c[0] == 2 && c[1] == 2);
+        EXPECT_TRUE(at_elevator)
+            << "vertical link at non-elevator (" << c[0] << "," << c[1]
+            << ")";
+    }
+    // 2 elevators * 2 vertical hops * 2 directions.
+    std::size_t vertical = 0;
+    for (LinkId l = 0; l < net.numLinks(); ++l)
+        if (net.link(l).dim == 2)
+            ++vertical;
+    EXPECT_EQ(vertical, 8u);
+}
+
+TEST(PartialMesh3d, LayersKeepFullMesh)
+{
+    const auto net =
+        Network::partialMesh3d({3, 3, 2}, {1, 1, 1}, {{1, 1}});
+    // Each layer keeps the full 2D mesh: 2 * (2*3) * 2 dims per layer.
+    std::size_t horizontal = 0;
+    for (LinkId l = 0; l < net.numLinks(); ++l)
+        if (net.link(l).dim != 2)
+            ++horizontal;
+    EXPECT_EQ(horizontal, 2u * 24u);
+}
+
+TEST(Network, ChannelNames)
+{
+    const auto net = Network::mesh({3, 3}, {2, 1});
+    const auto east = net.linkFrom(net.node({0, 0}), 0, Sign::Pos);
+    ASSERT_TRUE(east.has_value());
+    EXPECT_EQ(net.channelName(net.channel(*east, 1)),
+              "(0,0)->(1,0) X+ vc1");
+
+    const auto torus = Network::torus({3, 3}, {1, 1});
+    const auto wrap = torus.linkFrom(torus.node({2, 0}), 0, Sign::Pos);
+    ASSERT_TRUE(wrap.has_value());
+    EXPECT_EQ(torus.channelName(torus.channel(*wrap, 0)),
+              "(2,0)->(0,0) X- vc0 (wrap)");
+}
+
+TEST(Network, InvalidArgumentsPanic)
+{
+    const auto net = Network::mesh({3, 3}, {1, 1});
+    EXPECT_DEATH(net.node({5, 0}), "out of range");
+    EXPECT_DEATH(Network::mesh({3}, {1, 1}), "size mismatch");
+    EXPECT_DEATH(Network::partialMesh3d({3, 3, 3}, {1, 1, 1}, {}),
+                 "elevator");
+}
+
+} // namespace
+} // namespace ebda::topo

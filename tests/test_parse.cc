@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the scheme text parser: round-trips with the algebraic
+ * rendering, parity/axis handling, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.hh"
+#include "core/derivation.hh"
+#include "core/parse.hh"
+
+namespace ebda::core {
+namespace {
+
+TEST(ParseClass, BasicForms)
+{
+    EXPECT_EQ(parseChannelClass("X+"), makeClass(0, Sign::Pos));
+    EXPECT_EQ(parseChannelClass("X1+"), makeClass(0, Sign::Pos));
+    EXPECT_EQ(parseChannelClass("Y2-"), makeClass(1, Sign::Neg, 1));
+    EXPECT_EQ(parseChannelClass("Z12+"), makeClass(2, Sign::Pos, 11));
+    EXPECT_EQ(parseChannelClass("T1-"), makeClass(3, Sign::Neg));
+    EXPECT_EQ(parseChannelClass("D5+"), makeClass(5, Sign::Pos));
+    EXPECT_EQ(parseChannelClass(" X+ "), makeClass(0, Sign::Pos));
+}
+
+TEST(ParseClass, ParityDefaults)
+{
+    // Ye+ : Y channels in even columns — parity axis defaults to X.
+    const auto ye = parseChannelClass("Ye+");
+    ASSERT_TRUE(ye.has_value());
+    EXPECT_EQ(*ye, makeParityClass(1, Sign::Pos, 0, Parity::Even));
+    // Xo- : X channels in odd rows — axis defaults to Y.
+    const auto xo = parseChannelClass("Xo-");
+    ASSERT_TRUE(xo.has_value());
+    EXPECT_EQ(*xo, makeParityClass(0, Sign::Neg, 1, Parity::Odd));
+}
+
+TEST(ParseClass, ExplicitParityAxis)
+{
+    const auto c = parseChannelClass("Ze@Y2+");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, makeParityClass(2, Sign::Pos, 1, Parity::Even, 1));
+}
+
+TEST(ParseClass, Errors)
+{
+    std::string err;
+    EXPECT_FALSE(parseChannelClass("Q+", &err));
+    EXPECT_NE(err.find("dimension"), std::string::npos);
+    EXPECT_FALSE(parseChannelClass("X", &err));
+    EXPECT_NE(err.find("'+' or '-'"), std::string::npos);
+    EXPECT_FALSE(parseChannelClass("X0+", &err)); // VCs are 1-based
+    EXPECT_FALSE(parseChannelClass("X+junk", &err));
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+    EXPECT_FALSE(parseChannelClass("", &err));
+}
+
+TEST(ParsePartition, Basics)
+{
+    const auto p = parsePartition("{X+ X- Y-}");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->size(), 3u);
+    EXPECT_EQ(p->toString(false), "{X+ X- Y-}");
+    EXPECT_TRUE(parsePartition("{}").has_value());
+}
+
+TEST(ParsePartition, Errors)
+{
+    std::string err;
+    EXPECT_FALSE(parsePartition("X+ Y+}", &err));
+    EXPECT_FALSE(parsePartition("{X+ Y+", &err));
+    EXPECT_NE(err.find("unterminated"), std::string::npos);
+    EXPECT_FALSE(parsePartition("{X+ X+}", &err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(ParseScheme, RoundTripsCatalog)
+{
+    for (const auto &scheme :
+         {schemeFig6P1(), schemeFig6P2(), schemeFig6P3(), schemeFig6P4(),
+          schemeFig6P5(), schemeNorthLast(), schemeFig7b(), schemeFig7c(),
+          schemeFig9b(), schemeFig9c(), schemeOddEven(),
+          schemeHamiltonian(), schemePartial3d()}) {
+        std::string err;
+        const auto parsed = parseScheme(scheme.toString(), &err);
+        ASSERT_TRUE(parsed.has_value())
+            << scheme.toString() << " : " << err;
+        EXPECT_EQ(parsed->canonicalKey(), scheme.canonicalKey());
+    }
+}
+
+TEST(ParseScheme, MultiplePartitions)
+{
+    const auto s = parseScheme("{X+}->{X-} -> {Y+} ->{Y-}");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->size(), 4u);
+    EXPECT_TRUE(s->validate().ok);
+}
+
+TEST(ParseScheme, StructuralOnlyNoTheoremCheck)
+{
+    // The parser accepts Theorem-1-violating schemes; validate() is a
+    // separate step (so the CLI can *report* the violation).
+    const auto s = parseScheme("{X+ X- Y+ Y-}");
+    ASSERT_TRUE(s.has_value());
+    EXPECT_FALSE(s->validate().ok);
+}
+
+TEST(ParseScheme, Errors)
+{
+    std::string err;
+    EXPECT_FALSE(parseScheme("{X+} {Y+}", &err));
+    EXPECT_NE(err.find("->"), std::string::npos);
+    EXPECT_FALSE(parseScheme("", &err));
+}
+
+TEST(ParseScheme, FuzzRoundTripDerivedSchemes)
+{
+    // Everything the derivation machinery can emit must round-trip
+    // through its textual form.
+    for (const auto &vcs :
+         {std::vector<int>{1, 1}, std::vector<int>{2, 2},
+          std::vector<int>{3, 2, 3}, std::vector<int>{1, 2, 1}}) {
+        for (const auto &scheme : deriveAll(vcs)) {
+            std::string err;
+            const auto parsed = parseScheme(scheme.toString(), &err);
+            ASSERT_TRUE(parsed.has_value())
+                << scheme.toString() << " : " << err;
+            EXPECT_EQ(parsed->canonicalKey(), scheme.canonicalKey());
+            EXPECT_TRUE(parsed->validate().ok);
+        }
+    }
+}
+
+TEST(ParseLists, VcsAndDims)
+{
+    EXPECT_EQ(parseVcList("3,2,3"), (std::vector<int>{3, 2, 3}));
+    EXPECT_EQ(parseVcList("1"), (std::vector<int>{1}));
+    EXPECT_EQ(parseDims("8x8"), (std::vector<int>{8, 8}));
+    EXPECT_EQ(parseDims("4x4x3"), (std::vector<int>{4, 4, 3}));
+    std::string err;
+    EXPECT_FALSE(parseVcList("3,,2", &err));
+    EXPECT_FALSE(parseDims("8y8", &err));
+    EXPECT_FALSE(parseDims("", &err));
+}
+
+} // namespace
+} // namespace ebda::core

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for Partition / PartitionScheme and Theorem-1 validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hh"
+
+namespace ebda::core {
+namespace {
+
+ChannelClass
+cc(std::uint8_t d, Sign s, std::uint8_t v = 0)
+{
+    return makeClass(d, s, v);
+}
+
+TEST(Partition, PairCountingBasic)
+{
+    // {X+ X- Y+}: one complete pair (X).
+    Partition p({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Pos)});
+    EXPECT_EQ(p.completePairCount(), 1u);
+    EXPECT_TRUE(p.satisfiesTheorem1());
+    EXPECT_EQ(p.pairedDimensions(), std::vector<std::uint8_t>{0});
+}
+
+TEST(Partition, TwoPairsViolateTheorem1)
+{
+    // {X+ X- Y+ Y-}: two complete pairs.
+    Partition p({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Pos),
+                 cc(1, Sign::Neg)});
+    EXPECT_EQ(p.completePairCount(), 2u);
+    EXPECT_FALSE(p.satisfiesTheorem1());
+}
+
+TEST(Partition, PairAcrossDifferentVcs)
+{
+    // Note to Theorem 1: {X1+ X2- Y1+ Y2-} covers two pairs even though
+    // the VC numbers differ within each dimension.
+    Partition p({cc(0, Sign::Pos, 0), cc(0, Sign::Neg, 1),
+                 cc(1, Sign::Pos, 0), cc(1, Sign::Neg, 1)});
+    EXPECT_EQ(p.completePairCount(), 2u);
+    EXPECT_FALSE(p.satisfiesTheorem1());
+}
+
+TEST(Partition, MultipleVcPairsInOneDimensionCountOnce)
+{
+    // Note to Theorem 1: {X1+ Y1+ Y1- Y2+ Y2-} is cycle-free: a single
+    // paired dimension regardless of how many VC pairs it holds.
+    Partition p({cc(0, Sign::Pos), cc(1, Sign::Pos, 0), cc(1, Sign::Neg, 0),
+                 cc(1, Sign::Pos, 1), cc(1, Sign::Neg, 1)});
+    EXPECT_EQ(p.completePairCount(), 1u);
+    EXPECT_TRUE(p.satisfiesTheorem1());
+}
+
+TEST(Partition, SingleDirectionsNoPair)
+{
+    Partition p({cc(0, Sign::Pos), cc(1, Sign::Pos), cc(2, Sign::Neg),
+                 cc(3, Sign::Neg)});
+    EXPECT_EQ(p.completePairCount(), 0u);
+    EXPECT_TRUE(p.satisfiesTheorem1());
+}
+
+TEST(Partition, ParityIgnoredInPairCount)
+{
+    // Hamiltonian PA = {Xe+ Xo- Y+}: conservative counting treats the
+    // parity-split X classes as one pair — still within Theorem 1.
+    Partition p({makeParityClass(0, Sign::Pos, 1, Parity::Even),
+                 makeParityClass(0, Sign::Neg, 1, Parity::Odd),
+                 cc(1, Sign::Pos)});
+    EXPECT_EQ(p.completePairCount(), 1u);
+    EXPECT_TRUE(p.satisfiesTheorem1());
+}
+
+TEST(Partition, DuplicateClassPanics)
+{
+    Partition p;
+    p.add(cc(0, Sign::Pos));
+    EXPECT_DEATH(p.add(cc(0, Sign::Pos)), "duplicate class");
+}
+
+TEST(Partition, DisjointnessByOverlap)
+{
+    Partition a({cc(0, Sign::Pos), cc(1, Sign::Pos)});
+    Partition b({cc(0, Sign::Neg), cc(1, Sign::Neg)});
+    Partition c({cc(0, Sign::Pos, 1)});
+    Partition d({cc(0, Sign::Pos)});
+    EXPECT_TRUE(a.disjointFrom(b));
+    EXPECT_TRUE(a.disjointFrom(c)); // different VC
+    EXPECT_FALSE(a.disjointFrom(d));
+}
+
+TEST(Partition, ParityDisjointness)
+{
+    Partition even({makeParityClass(1, Sign::Pos, 0, Parity::Even)});
+    Partition odd({makeParityClass(1, Sign::Pos, 0, Parity::Odd)});
+    Partition any({cc(1, Sign::Pos)});
+    EXPECT_TRUE(even.disjointFrom(odd));
+    EXPECT_FALSE(even.disjointFrom(any));
+}
+
+TEST(Partition, ClassesInDimKeepsOrder)
+{
+    Partition p({cc(1, Sign::Pos, 1), cc(0, Sign::Pos), cc(1, Sign::Neg, 0)});
+    const auto in_y = p.classesInDim(1);
+    ASSERT_EQ(in_y.size(), 2u);
+    EXPECT_EQ(in_y[0], cc(1, Sign::Pos, 1));
+    EXPECT_EQ(in_y[1], cc(1, Sign::Neg, 0));
+    EXPECT_EQ(p.dimensionSpan(), 2);
+}
+
+TEST(PartitionScheme, ValidSchemeAccepted)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+    const auto v = s.validate();
+    EXPECT_TRUE(v.ok) << v.reason;
+    EXPECT_EQ(s.numClasses(), 4u);
+    EXPECT_EQ(s.dimensionSpan(), 2);
+}
+
+TEST(PartitionScheme, RejectsTheorem1Violation)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Pos),
+                     cc(1, Sign::Neg)}));
+    const auto v = s.validate();
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.reason.find("Theorem 1"), std::string::npos);
+}
+
+TEST(PartitionScheme, RejectsOverlappingPartitions)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos)}));
+    s.add(Partition({cc(0, Sign::Pos), cc(1, Sign::Pos)}));
+    const auto v = s.validate();
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.reason.find("not disjoint"), std::string::npos);
+}
+
+TEST(PartitionScheme, RejectsEmptyPartition)
+{
+    PartitionScheme s;
+    s.add(Partition{});
+    EXPECT_FALSE(s.validate().ok);
+}
+
+TEST(PartitionScheme, PartitionOfFindsOwner)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+    EXPECT_EQ(s.partitionOf(cc(1, Sign::Pos)), 1u);
+    EXPECT_EQ(s.partitionOf(cc(0, Sign::Neg)), std::nullopt);
+}
+
+TEST(PartitionScheme, ToStringAndCanonicalKey)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+    EXPECT_EQ(s.toString(), "{X1+ X1- Y1-} -> {Y1+}");
+    EXPECT_EQ(s.toString(false), "{X+ X- Y-} -> {Y+}");
+    EXPECT_EQ(s.canonicalKey(), s.toString());
+
+    PartitionScheme reordered;
+    reordered.add(Partition({cc(1, Sign::Pos)}));
+    reordered.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg),
+                             cc(1, Sign::Neg)}));
+    EXPECT_NE(s.canonicalKey(), reordered.canonicalKey());
+}
+
+TEST(PartitionScheme, AllClassesPreservesOrder)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(1, Sign::Neg)}));
+    s.add(Partition({cc(0, Sign::Pos)}));
+    const auto all = s.allClasses();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0], cc(1, Sign::Neg));
+    EXPECT_EQ(all[1], cc(0, Sign::Pos));
+}
+
+} // namespace
+} // namespace ebda::core

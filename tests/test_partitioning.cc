@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for Algorithm 1 (the partitioning procedure), the merge
+ * step, and the exceptional no-VC case — including the Section 5
+ * walkthrough with VCs (3, 2, 3) that must reproduce Figure 9(c).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/catalog.hh"
+#include "core/partitioning.hh"
+
+namespace ebda::core {
+namespace {
+
+ChannelClass
+cc(std::uint8_t d, Sign s, std::uint8_t v = 0)
+{
+    return makeClass(d, s, v);
+}
+
+TEST(Algorithm1, TwoDimensionalSingleVc)
+{
+    // Sets X = {X+ X-}, Y = {Y+ Y-} -> {X+ X- Y+} then {Y-}.
+    const auto scheme = partitionSets(makeSets({1, 1}));
+    ASSERT_EQ(scheme.size(), 2u);
+    EXPECT_EQ(scheme.toString(false), "{X+ X- Y+} -> {Y-}");
+    EXPECT_TRUE(scheme.validate().ok);
+}
+
+TEST(Algorithm1, Section5Walkthrough323)
+{
+    // The paper's example: Z leads (Set1), X second, Y third; Y's
+    // channels pre-arranged so Y2+ follows Y1+ (the "to cover the
+    // neighbouring regions" choice). Result must be Figure 9(c):
+    //   {Z1* X1+ Y1+}; {Z2* X1- Y2+}; {X2* Z3+ Y1-}; {X3* Z3- Y2-}.
+    SetArrangement sets;
+    sets.push_back(makeSets({0, 0, 3})[0]); // D_Z
+    sets.push_back(makeSets({3})[0]);       // D_X
+    DimensionSet y;
+    y.dim = 1;
+    y.channels = {cc(1, Sign::Pos, 0), cc(1, Sign::Pos, 1),
+                  cc(1, Sign::Neg, 0), cc(1, Sign::Neg, 1)};
+    sets.push_back(y);
+
+    const auto scheme = partitionSets(sets);
+    ASSERT_EQ(scheme.size(), 4u);
+    EXPECT_EQ(scheme.toString(),
+              "{Z1+ Z1- X1+ Y1+} -> {Z2+ Z2- X1- Y2+} -> "
+              "{X2+ X2- Z3+ Y1-} -> {X3+ X3- Z3- Y2-}");
+
+    // Structurally identical to the Figure 9(c) catalogue scheme up to
+    // member order inside partitions.
+    const auto fig9c = schemeFig9c();
+    ASSERT_EQ(scheme.size(), fig9c.size());
+    for (std::size_t i = 0; i < scheme.size(); ++i) {
+        for (const auto &cls : fig9c[i].classes())
+            EXPECT_TRUE(scheme[i].contains(cls))
+                << "partition " << i << " missing " << cls.algebraic();
+    }
+}
+
+TEST(Algorithm1, ReorderingMidProcedure)
+{
+    // VCs (1, 3): Y leads with 3 pairs; after two partitions Y still has
+    // a pair but X is empty; the trailing {Y3+ Y3-} merges into the
+    // first partition (its region {Y+-} is a subset of {X+, Y+-}).
+    const auto scheme = partitionSets(makeSets({1, 3}));
+    ASSERT_EQ(scheme.size(), 2u);
+    EXPECT_TRUE(scheme.validate().ok);
+    // First partition absorbed the third Y pair.
+    EXPECT_TRUE(scheme[0].contains(cc(1, Sign::Pos, 2)));
+    EXPECT_TRUE(scheme[0].contains(cc(1, Sign::Neg, 2)));
+    EXPECT_EQ(scheme[0].completePairCount(), 1u);
+}
+
+TEST(Algorithm1, MinimumFullyAdaptive2d)
+{
+    // VCs (1, 2) reproduce the Figure 7(b) shape: {Y1* X+} -> {Y2* X-}.
+    const auto scheme = partitionSets(makeSets({1, 2}));
+    ASSERT_EQ(scheme.size(), 2u);
+    EXPECT_EQ(scheme.numClasses(), 6u);
+    EXPECT_TRUE(scheme[0].contains(cc(1, Sign::Pos, 0)));
+    EXPECT_TRUE(scheme[0].contains(cc(1, Sign::Neg, 0)));
+    EXPECT_TRUE(scheme[0].contains(cc(0, Sign::Pos, 0)));
+    EXPECT_TRUE(scheme[1].contains(cc(0, Sign::Neg, 0)));
+}
+
+TEST(Algorithm1, NoReorderOption)
+{
+    PartitioningOptions opts;
+    opts.reorderSets = false;
+    // X has fewer pairs than Y but stays the leading set.
+    const auto scheme = partitionSets(makeSets({1, 2}), opts);
+    EXPECT_TRUE(scheme.validate().ok);
+    // First partition holds the X pair.
+    EXPECT_TRUE(scheme[0].contains(cc(0, Sign::Pos, 0)));
+    EXPECT_TRUE(scheme[0].contains(cc(0, Sign::Neg, 0)));
+}
+
+TEST(Algorithm1, ThreeDimensionalNoVc)
+{
+    // (1,1,1): first partition takes the X pair plus Y+ and Z+; the
+    // remainder {Y- Z-} forms the second partition.
+    const auto scheme = partitionSets(makeSets({1, 1, 1}));
+    ASSERT_EQ(scheme.size(), 2u);
+    EXPECT_EQ(scheme.numClasses(), 6u);
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(scheme[0].completePairCount(), 1u);
+    EXPECT_EQ(scheme[1].completePairCount(), 0u);
+}
+
+TEST(Algorithm1, SingleDimension)
+{
+    const auto scheme = partitionSets(makeSets({2}));
+    EXPECT_TRUE(scheme.validate().ok);
+    EXPECT_EQ(scheme.numClasses(), 4u);
+    // All X channels end up in one partition after merging (regions are
+    // identical).
+    EXPECT_EQ(scheme.size(), 1u);
+}
+
+TEST(MergeMatching, PreservesTheorem1)
+{
+    // Merging must never create a second complete pair: region {X+} fits
+    // inside {X+- Y+}, but a second X pair would still count once; a Y-
+    // region does NOT fit and must stay separate.
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos, 0), cc(0, Sign::Neg, 0),
+                     cc(1, Sign::Pos, 0)}));
+    s.add(Partition({cc(1, Sign::Neg, 0)}));
+    const auto merged = mergeMatchingPartitions(s);
+    EXPECT_EQ(merged.size(), 2u); // {Y-} region not a subset, no merge
+}
+
+TEST(MergeMatching, MergesSubsetRegion)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos, 0), cc(0, Sign::Neg, 0),
+                     cc(1, Sign::Pos, 0)}));
+    s.add(Partition({cc(0, Sign::Pos, 1)}));
+    const auto merged = mergeMatchingPartitions(s);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].size(), 4u);
+    EXPECT_TRUE(merged.validate().ok);
+}
+
+TEST(ExceptionalCase, TwoDimensional)
+{
+    // 2^2 = 4 schemes, each two pair-free partitions — the last column
+    // of Table 1.
+    const auto schemes = exceptionalSchemes(2);
+    ASSERT_EQ(schemes.size(), 4u);
+    std::set<std::string> keys;
+    for (const auto &s : schemes) {
+        ASSERT_EQ(s.size(), 2u);
+        EXPECT_EQ(s[0].completePairCount(), 0u);
+        EXPECT_EQ(s[1].completePairCount(), 0u);
+        EXPECT_TRUE(s.validate().ok);
+        keys.insert(s.canonicalKey());
+    }
+    EXPECT_EQ(keys.size(), 4u);
+    // The Table 1 entry {X+ Y+} -> {X- Y-} is among them.
+    bool found = false;
+    for (const auto &s : schemes)
+        if (s.toString(false) == "{X+ Y+} -> {X- Y-}")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(ExceptionalCase, ThreeDimensionalCount)
+{
+    // "The total number of combinations is 2^n": eight options in 3D,
+    // the paper lists four plus their order-switched complements.
+    const auto schemes = exceptionalSchemes(3);
+    EXPECT_EQ(schemes.size(), 8u);
+    for (const auto &s : schemes) {
+        EXPECT_EQ(s.numClasses(), 6u);
+        EXPECT_TRUE(s.validate().ok);
+    }
+}
+
+} // namespace
+} // namespace ebda::core

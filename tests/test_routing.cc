@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Unit tests for the routing relations: EbDa-derived routing in both
+ * modes, the classical baselines, dateline torus routing, Up/Down and
+ * Elevator-First — connectivity, deadlock freedom, and cross-checks
+ * between independent implementations of the same algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cdg/adaptivity.hh"
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "routing/baselines.hh"
+#include "routing/dateline.hh"
+#include "routing/duato.hh"
+#include "routing/ebda_routing.hh"
+#include "routing/elevator.hh"
+#include "routing/updown.hh"
+
+namespace ebda::routing {
+namespace {
+
+using cdg::checkConnectivity;
+using cdg::checkDeadlockFree;
+using cdg::kInjectionChannel;
+using core::makeClass;
+using core::Sign;
+
+TEST(EbDaRouting, XySchemeMatchesDorCandidates)
+{
+    // The Figure 6(a) scheme must route identically to handcrafted XY
+    // at every (state, dest) pair.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const EbDaRouting ebda(net, core::schemeFig6P1());
+    const auto dor = DimensionOrderRouting::xy(net);
+
+    for (topo::NodeId at = 0; at < net.numNodes(); ++at) {
+        for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+            if (at == dest)
+                continue;
+            auto a = ebda.candidates(kInjectionChannel, at, at, dest);
+            auto b = dor.candidates(kInjectionChannel, at, at, dest);
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            EXPECT_EQ(a, b) << "at " << at << " dest " << dest;
+        }
+    }
+}
+
+TEST(EbDaRouting, SurvivorPruningAvoidsOddEvenDeadEnd)
+{
+    // From (0,0) to (2,2): after an eastward hop to column 1 and then
+    // east to column 2 (even), the EN turn would be illegal; the raw
+    // candidate "east at (1,*) when dx == 1 and dy != 0" must be pruned.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const EbDaRouting oe(net, core::schemeOddEven());
+    const topo::NodeId src = net.node({0, 0});
+    const topo::NodeId dest = net.node({2, 2});
+
+    // A packet on the eastward channel into (1,0) must not continue
+    // east (dx would become 0 at an even column with dy != 0 while on
+    // an X+ channel).
+    const auto into_10 = net.linkFrom(net.node({0, 0}), 0, Sign::Pos);
+    ASSERT_TRUE(into_10.has_value());
+    const topo::ChannelId in = net.channel(*into_10, 0);
+    const auto cands = oe.candidates(in, net.node({1, 0}), src, dest);
+    for (topo::ChannelId c : cands) {
+        EXPECT_NE(net.link(net.linkOf(c)).dst, net.node({2, 0}))
+            << "pruning failed: eastward dead-end candidate kept";
+    }
+    EXPECT_FALSE(cands.empty());
+}
+
+TEST(EbDaRouting, ConnectedAndDeadlockFreeAcrossSchemes)
+{
+    const auto net = topo::Network::mesh({5, 5}, {2, 2});
+    for (const auto &scheme :
+         {core::schemeFig6P1(), core::schemeFig6P3(),
+          core::schemeNorthLast(), core::schemeFig6P4(),
+          core::schemeFig7b(), core::schemeFig7c(),
+          core::schemeOddEven(), core::regionScheme(2)}) {
+        const EbDaRouting r(net, scheme);
+        EXPECT_TRUE(checkConnectivity(r).connected) << r.name();
+        EXPECT_TRUE(checkDeadlockFree(r).deadlockFree) << r.name();
+    }
+}
+
+TEST(EbDaRouting, ShortestStateModeOnMeshIsConnected)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const EbDaRouting r(net, core::schemeFig7b(), {},
+                        EbDaRouting::Mode::ShortestState);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(EbDaRouting, TorusShortestStateConnectedAndDeadlockFree)
+{
+    // The Theorem-2 torus treatment: wrap traversals are U-turns; the
+    // two-VC merged scheme reaches every destination (sometimes via
+    // non-minimal detours) with an acyclic CDG.
+    const auto net = topo::Network::torus({6, 6}, {2, 2});
+    core::PartitionScheme scheme;
+    scheme.add(core::Partition({makeClass(1, Sign::Pos, 0),
+                                makeClass(1, Sign::Neg, 0),
+                                makeClass(0, Sign::Pos, 0)}));
+    scheme.add(core::Partition({makeClass(1, Sign::Pos, 1),
+                                makeClass(1, Sign::Neg, 1),
+                                makeClass(0, Sign::Neg, 0)}));
+    scheme.add(core::Partition({makeClass(0, Sign::Pos, 1),
+                                makeClass(0, Sign::Neg, 1)}));
+    const EbDaRouting r(net, scheme, {},
+                        EbDaRouting::Mode::ShortestState);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(EbDaRouting, StateDistanceMonotone)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const EbDaRouting r(net, core::schemeFig7b(), {},
+                        EbDaRouting::Mode::ShortestState);
+    const topo::NodeId dest = net.node({3, 3});
+    for (topo::NodeId at = 0; at < net.numNodes(); ++at) {
+        if (at == dest)
+            continue;
+        for (topo::ChannelId c :
+             r.candidates(kInjectionChannel, at, at, dest)) {
+            const auto d = r.stateDistance(c, dest);
+            ASSERT_NE(d, UINT32_MAX);
+            for (topo::ChannelId c2 :
+                 r.candidates(c, net.link(net.linkOf(c)).dst, at, dest)) {
+                EXPECT_EQ(r.stateDistance(c2, dest), d - 1);
+            }
+        }
+    }
+}
+
+TEST(Baselines, WestFirstWestHopsExclusive)
+{
+    const auto net = topo::Network::mesh({5, 5}, {1, 1});
+    const WestFirstRouting wf(net);
+    // dest to the south-west: only W until the column matches.
+    const auto cands = wf.candidates(kInjectionChannel, net.node({4, 4}),
+                                     net.node({4, 4}), net.node({1, 2}));
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(net.link(net.linkOf(cands[0])).dst, net.node({3, 4}));
+    // dest to the north-east: both E and N available.
+    EXPECT_EQ(wf.candidates(kInjectionChannel, net.node({0, 0}),
+                            net.node({0, 0}), net.node({2, 2}))
+                  .size(),
+              2u);
+}
+
+TEST(Baselines, NorthLastOnlyWhenSoleProductive)
+{
+    const auto net = topo::Network::mesh({5, 5}, {1, 1});
+    const NorthLastRouting nl(net);
+    // North needed and east too: east only.
+    const auto c1 = nl.candidates(kInjectionChannel, net.node({0, 0}),
+                                  net.node({0, 0}), net.node({2, 2}));
+    ASSERT_EQ(c1.size(), 1u);
+    EXPECT_EQ(net.link(net.linkOf(c1[0])).dst, net.node({1, 0}));
+    // Only north remains: north allowed.
+    const auto c2 = nl.candidates(kInjectionChannel, net.node({2, 0}),
+                                  net.node({2, 0}), net.node({2, 2}));
+    ASSERT_EQ(c2.size(), 1u);
+    EXPECT_EQ(net.link(net.linkOf(c2[0])).dst, net.node({2, 1}));
+}
+
+TEST(Baselines, NegativeFirstOrdering)
+{
+    const auto net = topo::Network::mesh({5, 5}, {1, 1});
+    const NegativeFirstRouting nf(net);
+    // Mixed signs: negative hops first (here W), positives withheld.
+    const auto c = nf.candidates(kInjectionChannel, net.node({3, 1}),
+                                 net.node({3, 1}), net.node({1, 3}));
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(net.link(net.linkOf(c[0])).dst, net.node({2, 1}));
+    // All-positive remainder: both positive directions adaptive.
+    EXPECT_EQ(nf.candidates(kInjectionChannel, net.node({0, 0}),
+                            net.node({0, 0}), net.node({2, 2}))
+                  .size(),
+              2u);
+}
+
+TEST(Baselines, OddEvenAgainstEbDaOddEvenAdaptivenessParity)
+{
+    // Chiu's closed form and the EbDa parity-partition derivation must
+    // agree on reachability; candidate sets may differ slightly (Chiu
+    // forbids some turns pre-emptively) but both stay connected and
+    // deadlock-free — and EbDa's is at least as permissive on average.
+    const auto net = topo::Network::mesh({6, 6}, {1, 1});
+    const OddEvenRouting chiu(net);
+    const EbDaRouting ebda(net, core::schemeOddEven());
+
+    EXPECT_TRUE(checkConnectivity(chiu).connected);
+    EXPECT_TRUE(checkConnectivity(ebda).connected);
+    EXPECT_TRUE(checkDeadlockFree(chiu).deadlockFree);
+    EXPECT_TRUE(checkDeadlockFree(ebda).deadlockFree);
+
+    std::size_t chiu_options = 0;
+    std::size_t ebda_options = 0;
+    for (topo::NodeId s = 0; s < net.numNodes(); ++s) {
+        for (topo::NodeId d = 0; d < net.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            chiu_options +=
+                chiu.candidates(kInjectionChannel, s, s, d).size();
+            ebda_options +=
+                ebda.candidates(kInjectionChannel, s, s, d).size();
+        }
+    }
+    EXPECT_GE(ebda_options, chiu_options);
+}
+
+TEST(Dateline, TorusDorConnectedAndDeadlockFree)
+{
+    const auto net = topo::Network::torus(
+        {6, 6}, {2, 2}, topo::WrapClassification::SameAsTravel);
+    const TorusDatelineRouting r(net);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(Dateline, VcSwitchesAtWrap)
+{
+    const auto net = topo::Network::torus(
+        {6, 6}, {2, 2}, topo::WrapClassification::SameAsTravel);
+    const TorusDatelineRouting r(net);
+    // (5,0) -> (1,0): the first hop crosses the wrap and must use VC 1.
+    const auto c = r.candidates(kInjectionChannel, net.node({5, 0}),
+                                net.node({5, 0}), net.node({1, 0}));
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_TRUE(net.link(net.linkOf(c[0])).wrap);
+    EXPECT_EQ(net.vcOf(c[0]), 1);
+    // Continuing east at (0,0) stays on VC 1.
+    const auto c2 = r.candidates(c[0], net.node({0, 0}), net.node({5, 0}),
+                                 net.node({1, 0}));
+    ASSERT_EQ(c2.size(), 1u);
+    EXPECT_EQ(net.vcOf(c2[0]), 1);
+}
+
+TEST(UpDown, MeshConnectedAndDeadlockFree)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const UpDownRouting r(net);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(UpDown, PartialMesh3dConnectedAndDeadlockFree)
+{
+    const auto net = topo::Network::partialMesh3d(
+        {3, 3, 3}, {1, 1, 1}, {{1, 1}});
+    const UpDownRouting r(net);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(UpDown, DownPhaseNeverGoesUp)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const UpDownRouting r(net);
+    for (topo::LinkId l = 0; l < net.numLinks(); ++l) {
+        if (r.isUp(l))
+            continue;
+        const topo::ChannelId in = net.channel(l, 0);
+        const topo::NodeId at = net.link(l).dst;
+        for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+            if (dest == at)
+                continue;
+            for (topo::ChannelId c : r.candidates(in, at, at, dest))
+                EXPECT_FALSE(r.isUp(net.linkOf(c)));
+        }
+    }
+}
+
+TEST(ElevatorFirst, ConnectedAndDeadlockFree)
+{
+    const std::vector<std::pair<int, int>> elevators = {{0, 0}, {2, 2}};
+    const auto net = topo::Network::partialMesh3d({3, 3, 3}, {2, 2, 1},
+                                                  elevators);
+    const ElevatorFirstRouting r(net, elevators);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(ElevatorFirst, UsesNearestElevator)
+{
+    const std::vector<std::pair<int, int>> elevators = {{0, 0}, {3, 3}};
+    const auto net = topo::Network::partialMesh3d({4, 4, 2}, {2, 2, 1},
+                                                  elevators);
+    const ElevatorFirstRouting r(net, elevators);
+    EXPECT_EQ(r.elevatorFor(net.node({0, 1, 0})), std::make_pair(0, 0));
+    EXPECT_EQ(r.elevatorFor(net.node({3, 2, 0})), std::make_pair(3, 3));
+}
+
+TEST(ElevatorFirst, PostVerticalUsesVc1)
+{
+    const std::vector<std::pair<int, int>> elevators = {{1, 1}};
+    const auto net = topo::Network::partialMesh3d({3, 3, 2}, {2, 2, 1},
+                                                  elevators);
+    const ElevatorFirstRouting r(net, elevators);
+    // Packet arriving at the top of the elevator heading to (2,1,1):
+    // next hop is XY on VC 1.
+    const auto up = net.linkFrom(net.node({1, 1, 0}), 2, Sign::Pos);
+    ASSERT_TRUE(up.has_value());
+    const auto c =
+        r.candidates(net.channel(*up, 0), net.node({1, 1, 1}),
+                     net.node({0, 0, 0}), net.node({2, 1, 1}));
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(net.vcOf(c[0]), 1);
+    EXPECT_EQ(net.link(net.linkOf(c[0])).dim, 0);
+}
+
+TEST(EbDaRouting, Partial3dShortestStateWithCompatibleElevators)
+{
+    // The Section 6.3 scheme on a partially connected 3D mesh with
+    // corner elevators: the ShortestState mode finds legal (possibly
+    // detoured) paths for every pair and stays deadlock-free.
+    const std::vector<std::pair<int, int>> elevators = {
+        {0, 0}, {0, 2}, {2, 0}, {2, 2}};
+    const auto net = topo::Network::partialMesh3d({3, 3, 2}, {1, 2, 1},
+                                                  elevators);
+    const EbDaRouting r(net, core::schemePartial3d(), {},
+                        EbDaRouting::Mode::ShortestState);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+}
+
+TEST(EbDaRouting, PlanarAdaptive3dSoundConnectedAndPartiallyAdaptive)
+{
+    // Planar-Adaptive as an EbDa scheme: deadlock-free, connected,
+    // strictly between dimension-order and fully adaptive.
+    const auto net = topo::Network::mesh({3, 3, 3}, {2, 3, 4});
+    const auto planar = core::schemePlanarAdaptive3d();
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, planar).deadlockFree);
+
+    const EbDaRouting r(net, planar);
+    EXPECT_TRUE(checkConnectivity(r).connected);
+    EXPECT_TRUE(checkDeadlockFree(r).deadlockFree);
+
+    const auto planar_adapt = cdg::measureAdaptiveness(net, planar);
+    const auto full_adapt =
+        cdg::measureAdaptiveness(net, core::schemeFig9b());
+    // XY Z dimension order as a scheme: singleton chain.
+    core::PartitionScheme dor;
+    for (std::uint8_t d = 0; d < 3; ++d) {
+        dor.add(core::Partition({makeClass(d, Sign::Pos)}));
+        dor.add(core::Partition({makeClass(d, Sign::Neg)}));
+    }
+    const auto dor_adapt = cdg::measureAdaptiveness(net, dor);
+
+    EXPECT_TRUE(full_adapt.fullyAdaptive);
+    EXPECT_FALSE(planar_adapt.fullyAdaptive);
+    EXPECT_GT(planar_adapt.averageFraction, dor_adapt.averageFraction);
+    EXPECT_LT(planar_adapt.averageFraction, full_adapt.averageFraction);
+    EXPECT_FALSE(planar_adapt.disconnectedMinimal);
+}
+
+TEST(EbDaRouting, PlanarAdaptiveGeneratorMatchesHandBuilt3d)
+{
+    EXPECT_EQ(core::schemePlanarAdaptiveNd(3).canonicalKey(),
+              core::schemePlanarAdaptive3d().canonicalKey());
+}
+
+TEST(EbDaRouting, PlanarAdaptiveNdSweep)
+{
+    // n = 2..4: valid, deadlock-free and connected on small meshes;
+    // VC budget 2 / 3...3 / 1.
+    for (std::uint8_t n = 2; n <= 4; ++n) {
+        const auto scheme = core::schemePlanarAdaptiveNd(n);
+        EXPECT_TRUE(scheme.validate().ok);
+        EXPECT_EQ(scheme.size(), 2u * (n - 1));
+
+        auto vcs = core::vcsRequired(scheme);
+        EXPECT_EQ(vcs.front(), 2);
+        EXPECT_EQ(vcs.back(), 1);
+        for (std::size_t d = 1; d + 1 < vcs.size(); ++d)
+            EXPECT_EQ(vcs[d], 3);
+
+        const auto net =
+            topo::Network::mesh(std::vector<int>(n, 3), vcs);
+        EXPECT_TRUE(cdg::checkDeadlockFree(net, scheme).deadlockFree)
+            << scheme.toString();
+        const EbDaRouting r(net, scheme);
+        EXPECT_TRUE(checkConnectivity(r).connected) << scheme.toString();
+    }
+}
+
+TEST(DuatoRouting, CandidateStructure)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const DuatoFullyAdaptive r(net);
+    // Two productive dims: 1 adaptive VC each + 1 escape on the lowest
+    // unresolved dimension = 3 candidates.
+    const auto c = r.candidates(kInjectionChannel, net.node({0, 0}),
+                                net.node({0, 0}), net.node({2, 2}));
+    EXPECT_EQ(c.size(), 3u);
+    std::size_t escapes = 0;
+    for (topo::ChannelId ch : c)
+        if (r.isEscape(ch))
+            ++escapes;
+    EXPECT_EQ(escapes, 1u);
+}
+
+} // namespace
+} // namespace ebda::routing

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit and behavioural tests for the wormhole simulator: delivery,
+ * latency sanity, throughput accounting, the deadlock watchdog (both
+ * directions), atomic-VC mode and traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.hh"
+#include "routing/baselines.hh"
+#include "routing/duato.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+
+namespace ebda::sim {
+namespace {
+
+using core::makeClass;
+using core::Sign;
+
+SimConfig
+lightConfig()
+{
+    SimConfig cfg;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.drainCycles = 20000;
+    cfg.watchdogCycles = 2000;
+    cfg.injectionRate = 0.05;
+    return cfg;
+}
+
+TEST(Traffic, PatternNames)
+{
+    EXPECT_EQ(toString(TrafficPattern::Uniform), "uniform");
+    EXPECT_EQ(toString(TrafficPattern::Transpose), "transpose");
+    EXPECT_EQ(toString(TrafficPattern::Hotspot), "hotspot");
+}
+
+TEST(Traffic, TransposeMapsCoordinates)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const TrafficGenerator gen(net, TrafficPattern::Transpose);
+    Rng rng(1);
+    const auto d = gen.dest(net.node({1, 3}), rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, net.node({3, 1}));
+    // Diagonal nodes map to themselves: no traffic.
+    EXPECT_FALSE(gen.dest(net.node({2, 2}), rng).has_value());
+}
+
+TEST(Traffic, BitPatterns)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    Rng rng(1);
+    const TrafficGenerator comp(net, TrafficPattern::BitComplement);
+    EXPECT_EQ(*comp.dest(0, rng), 15u);
+    const TrafficGenerator rev(net, TrafficPattern::BitReverse);
+    EXPECT_EQ(*rev.dest(1, rng), 8u); // 0001 -> 1000
+    const TrafficGenerator shuf(net, TrafficPattern::Shuffle);
+    EXPECT_EQ(*shuf.dest(5, rng), 10u); // 0101 -> 1010
+}
+
+TEST(Traffic, TornadoAndNeighbor)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    Rng rng(1);
+    const TrafficGenerator tor(net, TrafficPattern::Tornado);
+    EXPECT_EQ(*tor.dest(net.node({0, 0}), rng), net.node({1, 1}));
+    const TrafficGenerator nei(net, TrafficPattern::Neighbor);
+    EXPECT_EQ(*nei.dest(net.node({3, 3}), rng), net.node({0, 0}));
+}
+
+TEST(Traffic, HotspotFraction)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const TrafficGenerator gen(net, TrafficPattern::Hotspot,
+                               net.node({2, 2}), 50);
+    Rng rng(7);
+    int hot = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        const auto d = gen.dest(net.node({0, 0}), rng);
+        if (d && *d == net.node({2, 2}))
+            ++hot;
+    }
+    // 50% direct + 1/16 of the uniform remainder.
+    EXPECT_NEAR(static_cast<double>(hot) / trials, 0.5 + 0.5 / 16, 0.05);
+}
+
+TEST(Simulator, DeliversAtLowLoadXy)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    const auto result = runSimulation(net, xy, gen, lightConfig());
+
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 50u);
+    // Latency at 5% load is near zero-load: serialization (4 flits) +
+    // hops; must exceed the packet length and stay modest.
+    EXPECT_GT(result.avgLatency, 4.0);
+    EXPECT_LT(result.avgLatency, 40.0);
+    EXPECT_GT(result.avgHops, 1.0);
+    EXPECT_LT(result.avgHops, 7.0);
+    // Accepted ~ offered at low load.
+    EXPECT_NEAR(result.acceptedRate, result.offeredRate, 0.02);
+}
+
+TEST(Simulator, EbDaFullyAdaptiveDelivers)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const routing::EbDaRouting r(net, core::schemeFig7b());
+    const TrafficGenerator gen(net, TrafficPattern::Transpose);
+    const auto result = runSimulation(net, r, gen, lightConfig());
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 20u);
+}
+
+TEST(Simulator, WatchdogCatchesUnrestrictedAdaptiveDeadlock)
+{
+    // Fully adaptive minimal routing on a single VC deadlocks under
+    // load; the watchdog must fire. (This is the simulator-side
+    // counterpart of the cyclic-CDG verdict.)
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+
+    class UnrestrictedAdaptive : public cdg::RoutingRelation
+    {
+      public:
+        explicit UnrestrictedAdaptive(const topo::Network &n) : net(n) {}
+        std::vector<topo::ChannelId>
+        candidates(topo::ChannelId, topo::NodeId at, topo::NodeId,
+                   topo::NodeId dest) const override
+        {
+            std::vector<topo::ChannelId> out;
+            for (std::uint8_t d = 0; d < net.numDims(); ++d) {
+                const int off = net.minimalOffset(at, dest, d);
+                if (off == 0)
+                    continue;
+                const auto link = net.linkFrom(
+                    at, d, off > 0 ? Sign::Pos : Sign::Neg);
+                if (link)
+                    out.push_back(net.channel(*link, 0));
+            }
+            return out;
+        }
+        std::string name() const override { return "unrestricted"; }
+        const topo::Network &network() const override { return net; }
+
+      private:
+        const topo::Network &net;
+    };
+
+    const UnrestrictedAdaptive r(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg;
+    cfg.injectionRate = 0.45; // deep saturation provokes the cycle
+    cfg.vcDepth = 2;
+    cfg.packetLength = 6;
+    cfg.warmupCycles = 4000;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 40000;
+    cfg.watchdogCycles = 1500;
+    cfg.seed = 5;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_TRUE(result.deadlocked);
+}
+
+TEST(Simulator, EbDaSurvivesLoadThatDeadlocksUnrestricted)
+{
+    // Same pressure, EbDa-restricted turns: no watchdog event.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const routing::EbDaRouting r(net, core::schemeFig6P4());
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg;
+    cfg.injectionRate = 0.45;
+    cfg.vcDepth = 2;
+    cfg.packetLength = 6;
+    cfg.warmupCycles = 4000;
+    cfg.measureCycles = 4000;
+    cfg.drainCycles = 0; // saturated: don't wait for full drain
+    cfg.watchdogCycles = 1500;
+    cfg.seed = 5;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+}
+
+TEST(Simulator, DuatoNeedsAtomicBuffers)
+{
+    // Duato's fully adaptive routing with atomic VC allocation is
+    // deadlock-free in simulation.
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const routing::DuatoFullyAdaptive r(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg = lightConfig();
+    cfg.atomicVcAllocation = true;
+    cfg.injectionRate = 0.2;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+}
+
+TEST(Simulator, ZeroLoadLatencyTracksDistance)
+{
+    // A single-source neighbor pattern at a tiny load: latency must be
+    // close to hops + packet serialization.
+    const auto net = topo::Network::mesh({8, 1}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Neighbor);
+    SimConfig cfg = lightConfig();
+    cfg.injectionRate = 0.01;
+    cfg.packetLength = 3;
+    const auto result = runSimulation(net, xy, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    // Neighbor on a line: wrap to (0) for the last node is 7 hops; all
+    // others 1 hop... mean stays low but above packet length.
+    EXPECT_GT(result.avgLatency, 3.0);
+    EXPECT_LT(result.avgLatency, 20.0);
+}
+
+TEST(Simulator, ThroughputSaturatesBelowOffered)
+{
+    // At an offered load far beyond capacity, accepted < offered.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg = lightConfig();
+    cfg.injectionRate = 0.9;
+    cfg.drainCycles = 0;
+    const auto result = runSimulation(net, xy, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_LT(result.acceptedRate, 0.7);
+    EXPECT_GT(result.acceptedRate, 0.1);
+}
+
+TEST(Simulator, HigherLoadHigherLatency)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+
+    SimConfig low = lightConfig();
+    low.injectionRate = 0.03;
+    SimConfig high = lightConfig();
+    high.injectionRate = 0.25;
+    high.drainCycles = 30000;
+
+    const auto r_low = runSimulation(net, xy, gen, low);
+    const auto r_high = runSimulation(net, xy, gen, high);
+    EXPECT_FALSE(r_low.deadlocked);
+    EXPECT_FALSE(r_high.deadlocked);
+    EXPECT_GT(r_high.avgLatency, r_low.avgLatency);
+    EXPECT_GE(r_high.p99Latency, r_high.p50Latency);
+}
+
+TEST(Simulator, DeterministicForFixedSeed)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    const auto a = runSimulation(net, xy, gen, lightConfig());
+    const auto b = runSimulation(net, xy, gen, lightConfig());
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Simulator, RouterLatencyScalesPerHop)
+{
+    // A deeper router pipeline adds ~ (L-1) cycles per hop at zero
+    // load.
+    const auto net = topo::Network::mesh({6, 6}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+
+    SimConfig fast = lightConfig();
+    fast.injectionRate = 0.01;
+    SimConfig deep = fast;
+    deep.routerLatency = 4;
+
+    const auto r_fast = runSimulation(net, xy, gen, fast);
+    const auto r_deep = runSimulation(net, xy, gen, deep);
+    EXPECT_FALSE(r_fast.deadlocked);
+    EXPECT_FALSE(r_deep.deadlocked);
+    ASSERT_GT(r_fast.avgHops, 1.0);
+    const double extra = r_deep.avgLatency - r_fast.avgLatency;
+    // Roughly 3 extra cycles per hop (same seed => same traffic).
+    EXPECT_NEAR(extra, 3.0 * r_fast.avgHops, 0.35 * 3.0 * r_fast.avgHops);
+}
+
+TEST(Simulator, RejectsZeroRouterLatency)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg = lightConfig();
+    cfg.routerLatency = 0;
+    EXPECT_DEATH(Simulator(net, xy, gen, cfg), "routerLatency");
+}
+
+class SelectionPolicies
+    : public ::testing::TestWithParam<SelectionPolicy>
+{
+};
+
+TEST_P(SelectionPolicies, AllDeliverDeadlockFree)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const routing::EbDaRouting r(net, core::schemeFig7b());
+    const TrafficGenerator gen(net, TrafficPattern::Transpose);
+    SimConfig cfg = lightConfig();
+    cfg.selection = GetParam();
+    cfg.injectionRate = 0.15;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SelectionPolicies,
+    ::testing::Values(SelectionPolicy::MaxCredits,
+                      SelectionPolicy::RoundRobin,
+                      SelectionPolicy::Random,
+                      SelectionPolicy::FirstCandidate));
+
+TEST(Simulator, SelectionPolicyChangesBehaviourButStaysDeterministic)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const routing::EbDaRouting r(net, core::schemeFig7b());
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg = lightConfig();
+    cfg.injectionRate = 0.2;
+    cfg.selection = SelectionPolicy::Random;
+    const auto a = runSimulation(net, r, gen, cfg);
+    const auto b = runSimulation(net, r, gen, cfg);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Simulator, MultiFlitWormholeHoldsVcUntilTail)
+{
+    // With depth 2 and 6-flit packets, packets necessarily span several
+    // routers (true wormhole); everything must still drain.
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    SimConfig cfg = lightConfig();
+    cfg.vcDepth = 2;
+    cfg.packetLength = 6;
+    const auto result = runSimulation(net, xy, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 20u);
+}
+
+} // namespace
+} // namespace ebda::sim

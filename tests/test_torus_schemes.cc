@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the k-ary n-cube scheme generators (Assumption 3 / the
+ * Theorem-2 torus note): the dimension-major torus DOR scheme and the
+ * adaptive 2D torus scheme, verified on concrete tori up to 3D, plus
+ * the mesh-scheme-on-torus behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdg/relation_cdg.hh"
+#include "cdg/turn_cdg.hh"
+#include "core/minimal.hh"
+#include "core/torus.hh"
+#include "routing/dateline.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+
+namespace ebda {
+namespace {
+
+TEST(TorusSchemes, DorSchemeStructure)
+{
+    const auto scheme = core::torusDorScheme(3);
+    EXPECT_EQ(scheme.size(), 6u);
+    EXPECT_EQ(scheme.numClasses(), 12u);
+    EXPECT_TRUE(scheme.validate().ok);
+    for (const auto &p : scheme.partitions()) {
+        EXPECT_EQ(p.size(), 2u);
+        EXPECT_EQ(p.completePairCount(), 1u);
+    }
+}
+
+TEST(TorusSchemes, DorSchemeDeadlockFreeOn2dTorus)
+{
+    const auto net = topo::Network::torus({6, 6}, {2, 2});
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, core::torusDorScheme(2))
+                    .deadlockFree);
+}
+
+TEST(TorusSchemes, DorSchemeDeadlockFreeAndConnectedOn3dTorus)
+{
+    const auto net = topo::Network::torus({4, 4, 4}, {2, 2, 2});
+    const auto scheme = core::torusDorScheme(3);
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, scheme).deadlockFree);
+
+    const routing::EbDaRouting r(net, scheme, {},
+                                 routing::EbDaRouting::Mode::
+                                     ShortestState);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+    EXPECT_TRUE(cdg::checkDeadlockFree(r).deadlockFree);
+}
+
+TEST(TorusSchemes, AdaptiveScheme2dSoundAndConnected)
+{
+    const auto net = topo::Network::torus({8, 8}, {2, 2});
+    const auto scheme = core::torusAdaptiveScheme2d();
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, scheme).deadlockFree);
+
+    const routing::EbDaRouting r(net, scheme, {},
+                                 routing::EbDaRouting::Mode::
+                                     ShortestState);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+}
+
+TEST(TorusSchemes, AdaptiveSchemeUsesTorusMinimalRoutes)
+{
+    // The adaptive scheme reaches the torus-minimal average route
+    // length (every wrap usable), like the dateline baseline.
+    const auto net = topo::Network::torus({8, 8}, {2, 2});
+    const routing::EbDaRouting r(net, core::torusAdaptiveScheme2d(), {},
+                                 routing::EbDaRouting::Mode::
+                                     ShortestState);
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (topo::NodeId s = 0; s < net.numNodes(); ++s) {
+        for (topo::NodeId d = 0; d < net.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            std::uint32_t best = UINT32_MAX;
+            for (topo::ChannelId c :
+                 r.candidates(cdg::kInjectionChannel, s, s, d)) {
+                best = std::min(best, r.stateDistance(c, d));
+            }
+            ASSERT_NE(best, UINT32_MAX);
+            // Never worse than +2 hops over torus-minimal for any pair.
+            EXPECT_LE(static_cast<int>(best), net.distance(s, d) + 2);
+            sum += best;
+            ++pairs;
+        }
+    }
+    EXPECT_NEAR(sum / static_cast<double>(pairs), 4.06, 0.1);
+}
+
+TEST(TorusSchemes, MeshMergedSchemeStillSoundOnTorus)
+{
+    // The Section-4 mesh construction remains deadlock-free on a torus
+    // under wrap-as-opposite classification (wraps become restricted
+    // U-turns); routing is connected, merely less wrap-friendly.
+    const auto net = topo::Network::torus({5, 5}, {1, 2});
+    const auto scheme = core::mergedScheme(2);
+    EXPECT_TRUE(cdg::checkDeadlockFree(net, scheme).deadlockFree);
+    const routing::EbDaRouting r(net, scheme, {},
+                                 routing::EbDaRouting::Mode::
+                                     ShortestState);
+    EXPECT_TRUE(cdg::checkConnectivity(r).connected);
+}
+
+TEST(TorusSchemes, SimulationOn3dTorus)
+{
+    const auto net = topo::Network::torus({4, 4, 4}, {2, 2, 2});
+    const routing::EbDaRouting r(net, core::torusDorScheme(3), {},
+                                 routing::EbDaRouting::Mode::
+                                     ShortestState);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.05;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.seed = 17;
+    const auto result = runSimulation(net, r, gen, cfg);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.drained);
+    EXPECT_GT(result.packetsMeasured, 40u);
+}
+
+TEST(TorusSchemes, DatelineBaselineAgreesOnRouteLengths)
+{
+    const auto ebda_net = topo::Network::torus({6, 6}, {2, 2});
+    const auto dor_net = topo::Network::torus(
+        {6, 6}, {2, 2}, topo::WrapClassification::SameAsTravel);
+    const routing::EbDaRouting ebda(
+        ebda_net, core::torusAdaptiveScheme2d(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+    const routing::TorusDatelineRouting dateline(dor_net);
+
+    // Spot-check a wrap-crossing pair: both routers take the short way.
+    const topo::NodeId s = ebda_net.node({5, 0});
+    const topo::NodeId d = ebda_net.node({1, 0});
+    auto hops = [&](const cdg::RoutingRelation &r,
+                    const topo::Network &net) {
+        topo::ChannelId in = cdg::kInjectionChannel;
+        topo::NodeId at = s;
+        int count = 0;
+        while (at != d && count < 20) {
+            const auto c = r.candidates(in, at, s, d);
+            EXPECT_FALSE(c.empty());
+            if (c.empty())
+                break;
+            in = c.front();
+            at = net.link(net.linkOf(in)).dst;
+            ++count;
+        }
+        return count;
+    };
+    EXPECT_EQ(hops(dateline, dor_net), 2);
+    EXPECT_EQ(hops(ebda, ebda_net), 2);
+}
+
+} // namespace
+} // namespace ebda

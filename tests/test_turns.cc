@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the turn calculus: classification, Theorem 1/2/3
+ * extraction (Figures 3, 4, 5), counting identities, explicit sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/turns.hh"
+
+namespace ebda::core {
+namespace {
+
+ChannelClass
+cc(std::uint8_t d, Sign s, std::uint8_t v = 0)
+{
+    return makeClass(d, s, v);
+}
+
+bool
+hasTurn(const TurnSet &set, const ChannelClass &from,
+        const ChannelClass &to)
+{
+    return set.allows(from, to);
+}
+
+TEST(ClassifyTurn, Kinds)
+{
+    EXPECT_EQ(classifyTurn(cc(0, Sign::Pos), cc(1, Sign::Pos)),
+              TurnKind::Turn90);
+    EXPECT_EQ(classifyTurn(cc(0, Sign::Pos), cc(0, Sign::Neg)),
+              TurnKind::UTurn);
+    EXPECT_EQ(classifyTurn(cc(0, Sign::Pos, 0), cc(0, Sign::Pos, 1)),
+              TurnKind::ITurn);
+    EXPECT_EQ(classifyTurn(cc(0, Sign::Pos, 0), cc(0, Sign::Neg, 1)),
+              TurnKind::UTurn);
+}
+
+TEST(ClassifyTurn, NamesAndStrings)
+{
+    EXPECT_EQ(toString(TurnKind::Turn90), "90");
+    EXPECT_EQ(toString(TurnKind::UTurn), "U");
+    EXPECT_EQ(toString(TurnKind::ITurn), "I");
+}
+
+TEST(TurnExtraction, Figure3ThreeChannelPartition)
+{
+    // P = {X+ X- Y-}: the formed 90-degree turns are WS, SE, ES, SW.
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg),
+                     cc(1, Sign::Neg)}));
+    const TurnSet set = TurnSet::extract(s);
+
+    EXPECT_EQ(set.count(TurnKind::Turn90), 4u);
+    EXPECT_TRUE(hasTurn(set, cc(0, Sign::Pos), cc(1, Sign::Neg)));  // ES
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Neg), cc(0, Sign::Pos)));  // SE
+    EXPECT_TRUE(hasTurn(set, cc(0, Sign::Neg), cc(1, Sign::Neg)));  // WS
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Neg), cc(0, Sign::Neg)));  // SW
+    // The missing north direction forms no turn.
+    EXPECT_FALSE(hasTurn(set, cc(0, Sign::Pos), cc(1, Sign::Pos)));
+
+    // Theorem 2: exactly one U-turn along the paired dimension, oriented
+    // by the partition member order (X+ before X-).
+    EXPECT_EQ(set.count(TurnKind::UTurn), 1u);
+    EXPECT_TRUE(hasTurn(set, cc(0, Sign::Pos), cc(0, Sign::Neg)));
+    EXPECT_FALSE(hasTurn(set, cc(0, Sign::Neg), cc(0, Sign::Pos)));
+}
+
+TEST(TurnExtraction, StraightAlwaysAllowedForKnownClasses)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos)}));
+    const TurnSet set = TurnSet::extract(s);
+    EXPECT_TRUE(set.allows(cc(0, Sign::Pos), cc(0, Sign::Pos)));
+    // Unknown classes are never allowed, straight or otherwise.
+    EXPECT_FALSE(set.allows(cc(1, Sign::Pos), cc(1, Sign::Pos)));
+}
+
+TEST(TurnExtraction, Figure4ThreeVcPairs)
+{
+    // Six channels of one dimension inside a partition: numbering them
+    // 1..6 and tracing ascending gives n(n-1)/2 = 15 transitions,
+    // 9 U-turns and 6 I-turns.
+    Partition p;
+    for (std::uint8_t v = 0; v < 3; ++v) {
+        p.add(cc(1, Sign::Pos, v));
+        p.add(cc(1, Sign::Neg, v));
+    }
+    PartitionScheme s;
+    s.add(p);
+    const TurnSet set = TurnSet::extract(s);
+
+    EXPECT_EQ(set.size(), 15u);
+    EXPECT_EQ(set.count(TurnKind::UTurn), 9u);
+    EXPECT_EQ(set.count(TurnKind::ITurn), 6u);
+    EXPECT_EQ(set.count(TurnKind::Turn90), 0u);
+
+    // Ascending only: first channel reaches all five later ones.
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Pos, 0), cc(1, Sign::Neg, 2)));
+    EXPECT_FALSE(hasTurn(set, cc(1, Sign::Neg, 2), cc(1, Sign::Pos, 0)));
+}
+
+TEST(TurnExtraction, UnpairedDimensionAllowsAllITurns)
+{
+    // Corollary of Theorem 2: with only one direction present, all
+    // I-turns are allowed (both orders).
+    Partition p({cc(1, Sign::Pos, 0), cc(1, Sign::Pos, 1),
+                 cc(0, Sign::Pos)});
+    PartitionScheme s;
+    s.add(p);
+    const TurnSet set = TurnSet::extract(s);
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Pos, 0), cc(1, Sign::Pos, 1)));
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Pos, 1), cc(1, Sign::Pos, 0)));
+    EXPECT_EQ(set.count(TurnKind::ITurn), 2u);
+}
+
+TEST(TurnExtraction, Figure5NorthLastScheme)
+{
+    // {X+ X- Y-} -> {Y+}: Theorem 3 adds EN and WN plus the S->N U-turn.
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg),
+                     cc(1, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+    const TurnSet set = TurnSet::extract(s);
+
+    EXPECT_EQ(set.count(TurnKind::Turn90), 6u);
+    EXPECT_TRUE(hasTurn(set, cc(0, Sign::Pos), cc(1, Sign::Pos))); // EN
+    EXPECT_TRUE(hasTurn(set, cc(0, Sign::Neg), cc(1, Sign::Pos))); // WN
+    // No turn out of the north: NE/NW prohibited.
+    EXPECT_FALSE(hasTurn(set, cc(1, Sign::Pos), cc(0, Sign::Pos)));
+    EXPECT_FALSE(hasTurn(set, cc(1, Sign::Pos), cc(0, Sign::Neg)));
+    // Theorem 3 U-turn S->N; the reverse would need a backward
+    // transition.
+    EXPECT_TRUE(hasTurn(set, cc(1, Sign::Neg), cc(1, Sign::Pos)));
+    EXPECT_FALSE(hasTurn(set, cc(1, Sign::Pos), cc(1, Sign::Neg)));
+    EXPECT_EQ(set.count(TurnKind::UTurn), 2u); // X+->X- and S->N
+}
+
+TEST(TurnExtraction, OptionsDisableTheorems)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg),
+                     cc(1, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+
+    TurnExtractionOptions no_t2;
+    no_t2.theorem2 = false;
+    const TurnSet set2 = TurnSet::extract(s, no_t2);
+    EXPECT_FALSE(set2.allows(cc(0, Sign::Pos), cc(0, Sign::Neg)));
+    // Theorem-3 U-turn survives (it comes from the transition).
+    EXPECT_TRUE(set2.allows(cc(1, Sign::Neg), cc(1, Sign::Pos)));
+
+    TurnExtractionOptions no_t3;
+    no_t3.theorem3 = false;
+    const TurnSet set3 = TurnSet::extract(s, no_t3);
+    EXPECT_FALSE(set3.allows(cc(0, Sign::Pos), cc(1, Sign::Pos)));
+    EXPECT_EQ(set3.countOrigin(TurnOrigin::Theorem3), 0u);
+
+    TurnExtractionOptions no_cross_ui;
+    no_cross_ui.crossUITurns = false;
+    const TurnSet set4 = TurnSet::extract(s, no_cross_ui);
+    EXPECT_FALSE(set4.allows(cc(1, Sign::Neg), cc(1, Sign::Pos)));
+    EXPECT_TRUE(set4.allows(cc(0, Sign::Pos), cc(1, Sign::Pos)));
+}
+
+TEST(TurnExtraction, TransitionsToAllLaterVsNextOnly)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos)}));
+    s.add(Partition({cc(0, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+
+    const TurnSet all = TurnSet::extract(s);
+    EXPECT_TRUE(all.allows(cc(0, Sign::Pos), cc(1, Sign::Pos)));
+
+    TurnExtractionOptions next_only;
+    next_only.transitionsToAllLater = false;
+    const TurnSet next = TurnSet::extract(s, next_only);
+    EXPECT_TRUE(next.allows(cc(0, Sign::Pos), cc(0, Sign::Neg)));
+    EXPECT_FALSE(next.allows(cc(0, Sign::Pos), cc(1, Sign::Pos)));
+}
+
+TEST(TurnExtraction, InvalidSchemePanics)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg), cc(1, Sign::Pos),
+                     cc(1, Sign::Neg)}));
+    EXPECT_DEATH(TurnSet::extract(s), "invalid scheme");
+}
+
+TEST(TurnExtraction, ProvenanceBookkeeping)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(0, Sign::Pos), cc(0, Sign::Neg),
+                     cc(1, Sign::Neg)}));
+    s.add(Partition({cc(1, Sign::Pos)}));
+    const TurnSet set = TurnSet::extract(s);
+
+    EXPECT_EQ(set.countOrigin(TurnOrigin::Theorem1), 4u);
+    EXPECT_EQ(set.countOrigin(TurnOrigin::Theorem2), 1u);
+    EXPECT_EQ(set.countOrigin(TurnOrigin::Theorem3), 3u);
+    EXPECT_EQ(set.turnsBetween(0, 0).size(), 5u);
+    EXPECT_EQ(set.turnsBetween(0, 1).size(), 3u);
+    EXPECT_TRUE(set.turnsBetween(1, 0).empty());
+}
+
+TEST(TurnExtraction, CompassTurnNames)
+{
+    PartitionScheme s;
+    s.add(Partition({cc(1, Sign::Pos, 1), cc(0, Sign::Neg, 0)}));
+    const TurnSet set = TurnSet::extract(s);
+    ASSERT_EQ(set.size(), 2u);
+    std::vector<std::string> names;
+    for (const auto &t : set.turns())
+        names.push_back(t.compassName());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names[0], "N2W1");
+    EXPECT_EQ(names[1], "W1N2");
+}
+
+TEST(TurnSetExplicit, BuildsExactSet)
+{
+    const ClassList classes = {cc(0, Sign::Pos), cc(0, Sign::Neg),
+                               cc(1, Sign::Pos), cc(1, Sign::Neg)};
+    const TurnSet set = TurnSet::fromExplicit(
+        classes, {{cc(0, Sign::Pos), cc(1, Sign::Pos)},
+                  {cc(1, Sign::Pos), cc(0, Sign::Neg)}});
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.allows(cc(0, Sign::Pos), cc(1, Sign::Pos)));
+    EXPECT_FALSE(set.allows(cc(1, Sign::Pos), cc(0, Sign::Pos)));
+    EXPECT_TRUE(set.allows(cc(1, Sign::Neg), cc(1, Sign::Neg))); // straight
+}
+
+TEST(TurnSetExplicit, RejectsUnknownClasses)
+{
+    const ClassList classes = {cc(0, Sign::Pos)};
+    EXPECT_DEATH(TurnSet::fromExplicit(
+                     classes, {{cc(0, Sign::Pos), cc(1, Sign::Pos)}}),
+                 "unknown class");
+}
+
+/** Parameterized sweep of the Figure-4 counting identity. */
+class UICountIdentity
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(UICountIdentity, MatchesClosedFormAndExtraction)
+{
+    const auto [a, b] = GetParam();
+    const std::size_t n = a + b;
+
+    const UITurnCounts expected = expectedUICounts(a, b);
+    EXPECT_EQ(expected.total(), n * (n - 1) / 2);
+
+    // Build a partition with a positive and b negative Y classes
+    // (interleaved, order is irrelevant for counts).
+    Partition p;
+    for (std::size_t i = 0; i < a; ++i)
+        p.add(cc(1, Sign::Pos, static_cast<std::uint8_t>(i)));
+    for (std::size_t i = 0; i < b; ++i)
+        p.add(cc(1, Sign::Neg, static_cast<std::uint8_t>(i)));
+    PartitionScheme s;
+    s.add(p);
+    const TurnSet set = TurnSet::extract(s);
+
+    if (a > 0 && b > 0) {
+        // Paired dimension: ascending numbering.
+        EXPECT_EQ(set.count(TurnKind::UTurn), expected.uTurns);
+        EXPECT_EQ(set.count(TurnKind::ITurn), expected.iTurns);
+        EXPECT_EQ(set.size(), expected.total());
+    } else {
+        // Unpaired: all I-turns, both directions.
+        EXPECT_EQ(set.count(TurnKind::UTurn), 0u);
+        EXPECT_EQ(set.count(TurnKind::ITurn), n * (n - 1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UICountIdentity,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{5, 5},
+                      std::pair<std::size_t, std::size_t>{3, 0},
+                      std::pair<std::size_t, std::size_t>{0, 4}));
+
+TEST(ExpectedUICounts, PaperExample)
+{
+    // Figure 4: three VCs => nine U-turns and six I-turns.
+    const auto counts = expectedUICounts(3, 3);
+    EXPECT_EQ(counts.uTurns, 9u);
+    EXPECT_EQ(counts.iTurns, 6u);
+    EXPECT_EQ(counts.total(), 15u);
+}
+
+} // namespace
+} // namespace ebda::core

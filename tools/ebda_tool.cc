@@ -1,0 +1,490 @@
+/**
+ * @file
+ * ebda_tool — command-line front end for the EbDa library.
+ *
+ * Subcommands:
+ *   design   --vcs A,B[,C..] [--all] [--max N]
+ *            Derive deadlock-free partition schemes for a VC budget
+ *            (Algorithm 1; with --all also Arrangements 2/3 and
+ *            Algorithm 2 derivations) and rank them by adaptiveness.
+ *   verify   --scheme "{X+ X- Y-} -> {Y+}" [--mesh 8x8] [--vcs 1,1]
+ *            [--torus]
+ *            Validate (Theorem 1), run the Dally oracle, report
+ *            connectivity and adaptiveness. Exit code 0 iff valid and
+ *            deadlock-free.
+ *   turns    --scheme "..."
+ *            Print the extracted turn set with theorem provenance.
+ *   simulate --scheme "..." [--mesh 8x8] [--vcs 1,1] [--rate 0.2]
+ *            [--pattern uniform] [--cycles 4000] [--torus]
+ *            Run the wormhole simulator with the scheme's routing.
+ *   space    --dims N [--vcs A,B,..]
+ *            Report the turn-model design-space size EbDa avoids.
+ *
+ * Every command prints a short report to stdout; malformed input exits
+ * with code 2 and a message on stderr.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "cdg/adaptivity.hh"
+#include "cdg/relation_cdg.hh"
+#include "cdg/turn_cdg.hh"
+#include "cdg/turn_model_enum.hh"
+#include "core/derivation.hh"
+#include "core/minimal.hh"
+#include "core/parse.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ebda;
+
+/** Minimal --key value argument map. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                bad = "unexpected argument '" + key + "'";
+                return;
+            }
+            key = key.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values[key] = argv[++i];
+            } else {
+                values[key] = "true"; // boolean flag
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        const auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    bool has(const std::string &key) const { return values.count(key); }
+
+    const std::string &error() const { return bad; }
+
+  private:
+    std::map<std::string, std::string> values;
+    std::string bad;
+};
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: ebda_tool <design|verify|turns|simulate|compare|space> "
+        "[options]\n"
+        "  design   --vcs 3,2,3 [--all] [--max N]\n"
+        "  verify   --scheme \"{X+ X- Y-} -> {Y+}\" [--mesh 8x8] "
+        "[--vcs 1,1] [--torus]\n"
+        "  turns    --scheme \"...\"\n"
+        "  simulate --scheme \"...\" [--mesh 8x8] [--vcs 1,1] "
+        "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
+        "  compare  --scheme \"...\" --scheme2 \"...\"\n"
+        "  space    --dims 3 [--vcs 1,1,1]\n";
+    return 2;
+}
+
+/** Infer a VC budget covering the scheme when none is given. */
+std::vector<int>
+vcsFor(const core::PartitionScheme &scheme, const Args &args,
+       std::size_t dims)
+{
+    if (args.has("vcs")) {
+        std::string err;
+        if (auto v = core::parseVcList(args.get("vcs"), &err)) {
+            v->resize(std::max(v->size(), dims), 1);
+            return *v;
+        }
+        std::cerr << "bad --vcs: " << err << '\n';
+        std::exit(2);
+    }
+    auto v = core::vcsRequired(scheme);
+    v.resize(std::max(v.size(), dims), 1);
+    for (auto &x : v)
+        x = std::max(x, 1);
+    return v;
+}
+
+topo::Network
+networkFor(const core::PartitionScheme &scheme, const Args &args)
+{
+    std::string err;
+    auto dims = core::parseDims(args.get("mesh", "8x8"), &err);
+    if (!dims) {
+        std::cerr << "bad --mesh: " << err << '\n';
+        std::exit(2);
+    }
+    if (dims->size() < scheme.dimensionSpan()) {
+        std::cerr << "scheme uses " << int{scheme.dimensionSpan()}
+                  << " dimensions but --mesh has " << dims->size() << '\n';
+        std::exit(2);
+    }
+    const auto vcs = vcsFor(scheme, args, dims->size());
+    return args.has("torus") ? topo::Network::torus(*dims, vcs)
+                             : topo::Network::mesh(*dims, vcs);
+}
+
+core::PartitionScheme
+schemeFromArgs(const Args &args)
+{
+    std::string err;
+    const auto scheme = core::parseScheme(args.get("scheme"), &err);
+    if (!scheme) {
+        std::cerr << "bad --scheme: " << err << '\n';
+        std::exit(2);
+    }
+    return *scheme;
+}
+
+int
+cmdDesign(const Args &args)
+{
+    std::string err;
+    const auto vcs = core::parseVcList(args.get("vcs", "1,1"), &err);
+    if (!vcs) {
+        std::cerr << "bad --vcs: " << err << '\n';
+        return 2;
+    }
+    const std::size_t max_schemes =
+        static_cast<std::size_t>(std::stoul(args.get("max", "16")));
+
+    std::vector<core::PartitionScheme> schemes;
+    if (args.has("all")) {
+        core::DerivationOptions opts;
+        opts.permuteTransitionOrders = true;
+        opts.maxSchemes = 4096;
+        schemes = core::deriveAll(*vcs, opts);
+    } else {
+        schemes.push_back(core::partitionSets(core::makeSets(*vcs)));
+    }
+
+    std::vector<int> dims(vcs->size(), 4);
+    const auto net = topo::Network::mesh(dims, *vcs);
+
+    // Rank by measured adaptiveness.
+    std::vector<std::pair<double, const core::PartitionScheme *>> ranked;
+    for (const auto &s : schemes) {
+        const auto adapt = cdg::measureAdaptiveness(net, s);
+        if (!adapt.disconnectedMinimal)
+            ranked.emplace_back(adapt.averageFraction, &s);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    if (ranked.size() > max_schemes)
+        ranked.resize(max_schemes);
+
+    TextTable t;
+    t.setHeader({"scheme", "partitions", "adaptiveness", "deadlock-free"});
+    for (const auto &[adapt, s] : ranked) {
+        t.addRow({s->toString(),
+                  TextTable::num(static_cast<int>(s->size())),
+                  TextTable::num(adapt, 4),
+                  cdg::checkDeadlockFree(net, *s).deadlockFree ? "yes"
+                                                               : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << ranked.size() << " scheme(s); minimum channels for "
+                 "fully adaptive "
+              << vcs->size() << "D: "
+              << core::minFullyAdaptiveChannels(
+                     static_cast<std::uint8_t>(vcs->size()))
+              << '\n';
+    return 0;
+}
+
+int
+cmdVerify(const Args &args)
+{
+    const auto scheme = schemeFromArgs(args);
+    std::cout << "scheme: " << scheme.toString() << '\n';
+
+    const auto validation = scheme.validate();
+    std::cout << "Theorem 1 / disjointness: "
+              << (validation.ok ? "OK" : "REJECTED — " + validation.reason)
+              << '\n';
+    if (!validation.ok)
+        return 1;
+
+    const auto net = networkFor(scheme, args);
+    const auto verdict = cdg::checkDeadlockFree(net, scheme);
+    std::cout << "Dally oracle: "
+              << (verdict.deadlockFree ? "deadlock-free" : "CYCLIC")
+              << " (" << verdict.numDependencies << " dependencies over "
+              << verdict.numChannels << " channels)\n";
+    if (!verdict.deadlockFree) {
+        std::cout << "witness cycle:\n";
+        for (const auto &ch : verdict.witness)
+            std::cout << "  " << ch << '\n';
+        return 1;
+    }
+
+    const routing::EbDaRouting router(
+        net, scheme, {},
+        net.isTorus() ? routing::EbDaRouting::Mode::ShortestState
+                      : routing::EbDaRouting::Mode::Minimal);
+    const auto conn = cdg::checkConnectivity(router);
+    std::cout << "connectivity: "
+              << (conn.connected ? "every pair routable" : "INCOMPLETE")
+              << '\n';
+    if (!net.isTorus()) {
+        const auto adapt = cdg::measureAdaptiveness(net, scheme);
+        std::cout << "adaptiveness: " << adapt.averageFraction
+                  << (adapt.fullyAdaptive ? " (fully adaptive)" : "")
+                  << '\n';
+    }
+    return conn.connected ? 0 : 1;
+}
+
+int
+cmdTurns(const Args &args)
+{
+    const auto scheme = schemeFromArgs(args);
+    const auto validation = scheme.validate();
+    if (!validation.ok) {
+        std::cerr << "invalid scheme: " << validation.reason << '\n';
+        return 1;
+    }
+    const auto set = core::TurnSet::extract(scheme);
+    TextTable t;
+    t.setHeader({"turn", "kind", "origin", "from", "to"});
+    for (const auto &turn : set.turns()) {
+        t.addRow({turn.compassName(), core::toString(turn.kind),
+                  turn.origin == core::TurnOrigin::Theorem1 ? "T1"
+                  : turn.origin == core::TurnOrigin::Theorem2 ? "T2"
+                                                              : "T3",
+                  "P" + std::to_string(turn.fromPartition + 1),
+                  "P" + std::to_string(turn.toPartition + 1)});
+    }
+    t.print(std::cout);
+    std::cout << set.count(core::TurnKind::Turn90) << " x 90-degree, "
+              << set.count(core::TurnKind::UTurn) << " x U, "
+              << set.count(core::TurnKind::ITurn) << " x I\n";
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    const auto scheme = schemeFromArgs(args);
+    const auto validation = scheme.validate();
+    if (!validation.ok) {
+        std::cerr << "invalid scheme: " << validation.reason << '\n';
+        return 1;
+    }
+    const auto net = networkFor(scheme, args);
+
+    static const std::map<std::string, sim::TrafficPattern> patterns = {
+        {"uniform", sim::TrafficPattern::Uniform},
+        {"transpose", sim::TrafficPattern::Transpose},
+        {"bitcomp", sim::TrafficPattern::BitComplement},
+        {"bitrev", sim::TrafficPattern::BitReverse},
+        {"shuffle", sim::TrafficPattern::Shuffle},
+        {"tornado", sim::TrafficPattern::Tornado},
+        {"neighbor", sim::TrafficPattern::Neighbor},
+        {"hotspot", sim::TrafficPattern::Hotspot},
+    };
+    const auto pattern_it = patterns.find(args.get("pattern", "uniform"));
+    if (pattern_it == patterns.end()) {
+        std::cerr << "unknown --pattern\n";
+        return 2;
+    }
+
+    const routing::EbDaRouting router(
+        net, scheme, {},
+        net.isTorus() ? routing::EbDaRouting::Mode::ShortestState
+                      : routing::EbDaRouting::Mode::Minimal);
+    const sim::TrafficGenerator gen(net, pattern_it->second);
+
+    sim::SimConfig cfg;
+    cfg.injectionRate = std::stod(args.get("rate", "0.2"));
+    cfg.measureCycles =
+        static_cast<std::uint64_t>(std::stoul(args.get("cycles", "4000")));
+    cfg.warmupCycles = cfg.measureCycles / 4;
+    cfg.drainCycles = cfg.measureCycles * 10;
+
+    const auto result = sim::runSimulation(net, router, gen, cfg);
+
+    if (args.has("json")) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("scheme", scheme.toString());
+        w.field("pattern", sim::toString(pattern_it->second));
+        w.field("offeredRate", result.offeredRate);
+        w.field("acceptedRate", result.acceptedRate);
+        w.field("avgLatency", result.avgLatency);
+        w.field("p50Latency", result.p50Latency);
+        w.field("p99Latency", result.p99Latency);
+        w.field("avgHops", result.avgHops);
+        w.field("packetsMeasured", result.packetsMeasured);
+        w.field("deadlocked", result.deadlocked);
+        w.field("drained", result.drained);
+        w.field("cycles", result.cycles);
+        w.field("channelLoadCv", result.channelLoadCv);
+        w.field("channelsUnused", result.channelsUnused);
+        w.end();
+        std::cout << w.str() << '\n';
+        return result.deadlocked ? 1 : 0;
+    }
+
+    if (result.deadlocked) {
+        std::cout << "DEADLOCK detected by the watchdog\n";
+        return 1;
+    }
+    std::cout << "packets measured: " << result.packetsMeasured
+              << "\navg latency: " << result.avgLatency << " cycles (p99 "
+              << result.p99Latency << ")\navg hops: " << result.avgHops
+              << "\naccepted: " << result.acceptedRate
+              << " flits/node/cycle (offered " << result.offeredRate
+              << ")\nchannel load CV: " << result.channelLoadCv << '\n';
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    std::string err;
+    const auto a = core::parseScheme(args.get("scheme"), &err);
+    if (!a) {
+        std::cerr << "bad --scheme: " << err << '\n';
+        return 2;
+    }
+    const auto b = core::parseScheme(args.get("scheme2"), &err);
+    if (!b) {
+        std::cerr << "bad --scheme2: " << err << '\n';
+        return 2;
+    }
+
+    TextTable t;
+    t.setHeader({"metric", "scheme A", "scheme B"});
+    t.addRow({"scheme", a->toString(), b->toString()});
+
+    const auto va = a->validate();
+    const auto vb = b->validate();
+    t.addRow({"Theorem 1", va.ok ? "OK" : va.reason,
+              vb.ok ? "OK" : vb.reason});
+    if (!va.ok || !vb.ok) {
+        t.print(std::cout);
+        return 1;
+    }
+
+    auto dims_needed = std::max(a->dimensionSpan(), b->dimensionSpan());
+    std::vector<int> vcs_a = core::vcsRequired(*a);
+    std::vector<int> vcs_b = core::vcsRequired(*b);
+    std::vector<int> vcs(dims_needed, 1);
+    for (std::size_t d = 0; d < vcs.size(); ++d) {
+        if (d < vcs_a.size())
+            vcs[d] = std::max(vcs[d], vcs_a[d]);
+        if (d < vcs_b.size())
+            vcs[d] = std::max(vcs[d], vcs_b[d]);
+    }
+    std::vector<int> dims(dims_needed, 5);
+    const auto net = topo::Network::mesh(dims, vcs);
+
+    auto row = [&](const char *label, auto fn) {
+        t.addRow({label, fn(*a), fn(*b)});
+    };
+    row("channels", [](const core::PartitionScheme &s) {
+        return TextTable::num(s.numClasses());
+    });
+    row("90-degree turns", [](const core::PartitionScheme &s) {
+        return TextTable::num(
+            core::TurnSet::extract(s).count(core::TurnKind::Turn90));
+    });
+    row("deadlock-free", [&](const core::PartitionScheme &s) {
+        return std::string(
+            cdg::checkDeadlockFree(net, s).deadlockFree ? "yes" : "NO");
+    });
+    row("adaptiveness", [&](const core::PartitionScheme &s) {
+        return TextTable::num(
+            cdg::measureAdaptiveness(net, s).averageFraction, 4);
+    });
+    row("fully adaptive", [&](const core::PartitionScheme &s) {
+        return std::string(
+            cdg::measureAdaptiveness(net, s).fullyAdaptive ? "yes"
+                                                           : "no");
+    });
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSpace(const Args &args)
+{
+    const int n = std::stoi(args.get("dims", "2"));
+    if (n < 2 || n > 16) {
+        std::cerr << "--dims out of range\n";
+        return 2;
+    }
+    std::vector<int> vcs(static_cast<std::size_t>(n), 1);
+    if (args.has("vcs")) {
+        std::string err;
+        const auto v = core::parseVcList(args.get("vcs"), &err);
+        if (!v || v->size() != static_cast<std::size_t>(n)) {
+            std::cerr << "bad --vcs\n";
+            return 2;
+        }
+        vcs = *v;
+    }
+    const auto space =
+        cdg::turnModelSpace(static_cast<std::uint8_t>(n), vcs);
+    std::cout << "abstract cycles: " << space.numCycles
+              << "\nturn-model combinations to examine: 4^"
+              << space.numCycles << " = " << space.numCombinations
+              << "\nEbDa: one direct construction, e.g. mergedScheme("
+              << n << ") with "
+              << core::minFullyAdaptiveChannels(
+                     static_cast<std::uint8_t>(n))
+              << " channels\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return usage();
+    }
+
+    try {
+        if (cmd == "design")
+            return cmdDesign(args);
+        if (cmd == "verify")
+            return cmdVerify(args);
+        if (cmd == "turns")
+            return cmdTurns(args);
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+        if (cmd == "compare")
+            return cmdCompare(args);
+        if (cmd == "space")
+            return cmdSpace(args);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+    return usage();
+}
