@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdg_scaling.dir/bench_cdg_scaling.cc.o"
+  "CMakeFiles/bench_cdg_scaling.dir/bench_cdg_scaling.cc.o.d"
+  "bench_cdg_scaling"
+  "bench_cdg_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdg_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combinations.dir/bench_combinations.cc.o"
+  "CMakeFiles/bench_combinations.dir/bench_combinations.cc.o.d"
+  "bench_combinations"
+  "bench_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

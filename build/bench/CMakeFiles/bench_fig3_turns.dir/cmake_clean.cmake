@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_turns.dir/bench_fig3_turns.cc.o"
+  "CMakeFiles/bench_fig3_turns.dir/bench_fig3_turns.cc.o.d"
+  "bench_fig3_turns"
+  "bench_fig3_turns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_uiturns.dir/bench_fig4_uiturns.cc.o"
+  "CMakeFiles/bench_fig4_uiturns.dir/bench_fig4_uiturns.cc.o.d"
+  "bench_fig4_uiturns"
+  "bench_fig4_uiturns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_uiturns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

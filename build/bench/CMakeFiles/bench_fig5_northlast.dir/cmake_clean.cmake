@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_northlast.dir/bench_fig5_northlast.cc.o"
+  "CMakeFiles/bench_fig5_northlast.dir/bench_fig5_northlast.cc.o.d"
+  "bench_fig5_northlast"
+  "bench_fig5_northlast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_northlast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partitionings.dir/bench_fig6_partitionings.cc.o"
+  "CMakeFiles/bench_fig6_partitionings.dir/bench_fig6_partitionings.cc.o.d"
+  "bench_fig6_partitionings"
+  "bench_fig6_partitionings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partitionings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_min2d.dir/bench_fig7_min2d.cc.o"
+  "CMakeFiles/bench_fig7_min2d.dir/bench_fig7_min2d.cc.o.d"
+  "bench_fig7_min2d"
+  "bench_fig7_min2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_min2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_turn_extraction.dir/bench_fig8_turn_extraction.cc.o"
+  "CMakeFiles/bench_fig8_turn_extraction.dir/bench_fig8_turn_extraction.cc.o.d"
+  "bench_fig8_turn_extraction"
+  "bench_fig8_turn_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_turn_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

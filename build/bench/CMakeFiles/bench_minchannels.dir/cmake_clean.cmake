@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minchannels.dir/bench_minchannels.cc.o"
+  "CMakeFiles/bench_minchannels.dir/bench_minchannels.cc.o.d"
+  "bench_minchannels"
+  "bench_minchannels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minchannels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_cost.dir/bench_routing_cost.cc.o"
+  "CMakeFiles/bench_routing_cost.dir/bench_routing_cost.cc.o.d"
+  "bench_routing_cost"
+  "bench_routing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

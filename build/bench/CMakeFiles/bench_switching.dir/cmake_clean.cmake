@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switching.dir/bench_switching.cc.o"
+  "CMakeFiles/bench_switching.dir/bench_switching.cc.o.d"
+  "bench_switching"
+  "bench_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_options.dir/bench_table1_options.cc.o"
+  "CMakeFiles/bench_table1_options.dir/bench_table1_options.cc.o.d"
+  "bench_table1_options"
+  "bench_table1_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_options.dir/bench_table3_options.cc.o"
+  "CMakeFiles/bench_table3_options.dir/bench_table3_options.cc.o.d"
+  "bench_table3_options"
+  "bench_table3_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

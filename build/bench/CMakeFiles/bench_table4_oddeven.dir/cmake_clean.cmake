@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_oddeven.dir/bench_table4_oddeven.cc.o"
+  "CMakeFiles/bench_table4_oddeven.dir/bench_table4_oddeven.cc.o.d"
+  "bench_table4_oddeven"
+  "bench_table4_oddeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_oddeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_partial3d.dir/bench_table5_partial3d.cc.o"
+  "CMakeFiles/bench_table5_partial3d.dir/bench_table5_partial3d.cc.o.d"
+  "bench_table5_partial3d"
+  "bench_table5_partial3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_partial3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_torus.dir/bench_torus.cc.o"
+  "CMakeFiles/bench_torus.dir/bench_torus.cc.o.d"
+  "bench_torus"
+  "bench_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_3d_router.dir/design_3d_router.cc.o"
+  "CMakeFiles/design_3d_router.dir/design_3d_router.cc.o.d"
+  "design_3d_router"
+  "design_3d_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_3d_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_3d.dir/irregular_3d.cc.o"
+  "CMakeFiles/irregular_3d.dir/irregular_3d.cc.o.d"
+  "irregular_3d"
+  "irregular_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

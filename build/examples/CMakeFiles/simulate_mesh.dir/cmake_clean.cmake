@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_mesh.dir/simulate_mesh.cc.o"
+  "CMakeFiles/simulate_mesh.dir/simulate_mesh.cc.o.d"
+  "simulate_mesh"
+  "simulate_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/verify_turn_model.cc" "examples/CMakeFiles/verify_turn_model.dir/verify_turn_model.cc.o" "gcc" "examples/CMakeFiles/verify_turn_model.dir/verify_turn_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/ebda_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ebda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/ebda_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ebda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ebda_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ebda_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

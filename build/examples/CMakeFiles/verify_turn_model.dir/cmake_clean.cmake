@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_turn_model.dir/verify_turn_model.cc.o"
+  "CMakeFiles/verify_turn_model.dir/verify_turn_model.cc.o.d"
+  "verify_turn_model"
+  "verify_turn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_turn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for verify_turn_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/adaptivity.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/adaptivity.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/adaptivity.cc.o.d"
+  "/root/repo/src/cdg/class_map.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/class_map.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/class_map.cc.o.d"
+  "/root/repo/src/cdg/duato_check.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/duato_check.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/duato_check.cc.o.d"
+  "/root/repo/src/cdg/relation_cdg.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/relation_cdg.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/relation_cdg.cc.o.d"
+  "/root/repo/src/cdg/turn_cdg.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/turn_cdg.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/turn_cdg.cc.o.d"
+  "/root/repo/src/cdg/turn_model_enum.cc" "src/cdg/CMakeFiles/ebda_cdg.dir/turn_model_enum.cc.o" "gcc" "src/cdg/CMakeFiles/ebda_cdg.dir/turn_model_enum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ebda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ebda_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ebda_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

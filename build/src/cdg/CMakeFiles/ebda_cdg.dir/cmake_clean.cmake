@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_cdg.dir/adaptivity.cc.o"
+  "CMakeFiles/ebda_cdg.dir/adaptivity.cc.o.d"
+  "CMakeFiles/ebda_cdg.dir/class_map.cc.o"
+  "CMakeFiles/ebda_cdg.dir/class_map.cc.o.d"
+  "CMakeFiles/ebda_cdg.dir/duato_check.cc.o"
+  "CMakeFiles/ebda_cdg.dir/duato_check.cc.o.d"
+  "CMakeFiles/ebda_cdg.dir/relation_cdg.cc.o"
+  "CMakeFiles/ebda_cdg.dir/relation_cdg.cc.o.d"
+  "CMakeFiles/ebda_cdg.dir/turn_cdg.cc.o"
+  "CMakeFiles/ebda_cdg.dir/turn_cdg.cc.o.d"
+  "CMakeFiles/ebda_cdg.dir/turn_model_enum.cc.o"
+  "CMakeFiles/ebda_cdg.dir/turn_model_enum.cc.o.d"
+  "libebda_cdg.a"
+  "libebda_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

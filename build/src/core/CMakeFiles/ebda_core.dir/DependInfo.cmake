@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrange.cc" "src/core/CMakeFiles/ebda_core.dir/arrange.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/arrange.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/ebda_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/channel_class.cc" "src/core/CMakeFiles/ebda_core.dir/channel_class.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/channel_class.cc.o.d"
+  "/root/repo/src/core/derivation.cc" "src/core/CMakeFiles/ebda_core.dir/derivation.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/derivation.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "src/core/CMakeFiles/ebda_core.dir/enumerate.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/core/minimal.cc" "src/core/CMakeFiles/ebda_core.dir/minimal.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/minimal.cc.o.d"
+  "/root/repo/src/core/parse.cc" "src/core/CMakeFiles/ebda_core.dir/parse.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/parse.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/ebda_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/core/CMakeFiles/ebda_core.dir/partitioning.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/partitioning.cc.o.d"
+  "/root/repo/src/core/torus.cc" "src/core/CMakeFiles/ebda_core.dir/torus.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/torus.cc.o.d"
+  "/root/repo/src/core/turns.cc" "src/core/CMakeFiles/ebda_core.dir/turns.cc.o" "gcc" "src/core/CMakeFiles/ebda_core.dir/turns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ebda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_core.dir/arrange.cc.o"
+  "CMakeFiles/ebda_core.dir/arrange.cc.o.d"
+  "CMakeFiles/ebda_core.dir/catalog.cc.o"
+  "CMakeFiles/ebda_core.dir/catalog.cc.o.d"
+  "CMakeFiles/ebda_core.dir/channel_class.cc.o"
+  "CMakeFiles/ebda_core.dir/channel_class.cc.o.d"
+  "CMakeFiles/ebda_core.dir/derivation.cc.o"
+  "CMakeFiles/ebda_core.dir/derivation.cc.o.d"
+  "CMakeFiles/ebda_core.dir/enumerate.cc.o"
+  "CMakeFiles/ebda_core.dir/enumerate.cc.o.d"
+  "CMakeFiles/ebda_core.dir/minimal.cc.o"
+  "CMakeFiles/ebda_core.dir/minimal.cc.o.d"
+  "CMakeFiles/ebda_core.dir/parse.cc.o"
+  "CMakeFiles/ebda_core.dir/parse.cc.o.d"
+  "CMakeFiles/ebda_core.dir/partition.cc.o"
+  "CMakeFiles/ebda_core.dir/partition.cc.o.d"
+  "CMakeFiles/ebda_core.dir/partitioning.cc.o"
+  "CMakeFiles/ebda_core.dir/partitioning.cc.o.d"
+  "CMakeFiles/ebda_core.dir/torus.cc.o"
+  "CMakeFiles/ebda_core.dir/torus.cc.o.d"
+  "CMakeFiles/ebda_core.dir/turns.cc.o"
+  "CMakeFiles/ebda_core.dir/turns.cc.o.d"
+  "libebda_core.a"
+  "libebda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

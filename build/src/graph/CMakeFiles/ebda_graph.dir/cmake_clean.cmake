@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_graph.dir/cycles.cc.o"
+  "CMakeFiles/ebda_graph.dir/cycles.cc.o.d"
+  "CMakeFiles/ebda_graph.dir/digraph.cc.o"
+  "CMakeFiles/ebda_graph.dir/digraph.cc.o.d"
+  "libebda_graph.a"
+  "libebda_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ebda_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/baselines.cc" "src/routing/CMakeFiles/ebda_routing.dir/baselines.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/baselines.cc.o.d"
+  "/root/repo/src/routing/dateline.cc" "src/routing/CMakeFiles/ebda_routing.dir/dateline.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/dateline.cc.o.d"
+  "/root/repo/src/routing/duato.cc" "src/routing/CMakeFiles/ebda_routing.dir/duato.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/duato.cc.o.d"
+  "/root/repo/src/routing/ebda_routing.cc" "src/routing/CMakeFiles/ebda_routing.dir/ebda_routing.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/ebda_routing.cc.o.d"
+  "/root/repo/src/routing/elevator.cc" "src/routing/CMakeFiles/ebda_routing.dir/elevator.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/elevator.cc.o.d"
+  "/root/repo/src/routing/updown.cc" "src/routing/CMakeFiles/ebda_routing.dir/updown.cc.o" "gcc" "src/routing/CMakeFiles/ebda_routing.dir/updown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdg/CMakeFiles/ebda_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ebda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ebda_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ebda_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

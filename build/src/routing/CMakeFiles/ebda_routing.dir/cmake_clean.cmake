@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_routing.dir/baselines.cc.o"
+  "CMakeFiles/ebda_routing.dir/baselines.cc.o.d"
+  "CMakeFiles/ebda_routing.dir/dateline.cc.o"
+  "CMakeFiles/ebda_routing.dir/dateline.cc.o.d"
+  "CMakeFiles/ebda_routing.dir/duato.cc.o"
+  "CMakeFiles/ebda_routing.dir/duato.cc.o.d"
+  "CMakeFiles/ebda_routing.dir/ebda_routing.cc.o"
+  "CMakeFiles/ebda_routing.dir/ebda_routing.cc.o.d"
+  "CMakeFiles/ebda_routing.dir/elevator.cc.o"
+  "CMakeFiles/ebda_routing.dir/elevator.cc.o.d"
+  "CMakeFiles/ebda_routing.dir/updown.cc.o"
+  "CMakeFiles/ebda_routing.dir/updown.cc.o.d"
+  "libebda_routing.a"
+  "libebda_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

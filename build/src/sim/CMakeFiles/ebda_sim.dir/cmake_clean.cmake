@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_sim.dir/simulator.cc.o"
+  "CMakeFiles/ebda_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ebda_sim.dir/traffic.cc.o"
+  "CMakeFiles/ebda_sim.dir/traffic.cc.o.d"
+  "libebda_sim.a"
+  "libebda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_topo.dir/network.cc.o"
+  "CMakeFiles/ebda_topo.dir/network.cc.o.d"
+  "libebda_topo.a"
+  "libebda_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

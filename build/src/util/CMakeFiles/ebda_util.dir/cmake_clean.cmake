@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_util.dir/json.cc.o"
+  "CMakeFiles/ebda_util.dir/json.cc.o.d"
+  "CMakeFiles/ebda_util.dir/logging.cc.o"
+  "CMakeFiles/ebda_util.dir/logging.cc.o.d"
+  "CMakeFiles/ebda_util.dir/random.cc.o"
+  "CMakeFiles/ebda_util.dir/random.cc.o.d"
+  "CMakeFiles/ebda_util.dir/stats.cc.o"
+  "CMakeFiles/ebda_util.dir/stats.cc.o.d"
+  "CMakeFiles/ebda_util.dir/table.cc.o"
+  "CMakeFiles/ebda_util.dir/table.cc.o.d"
+  "libebda_util.a"
+  "libebda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

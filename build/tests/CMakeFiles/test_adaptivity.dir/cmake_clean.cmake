@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptivity.dir/test_adaptivity.cc.o"
+  "CMakeFiles/test_adaptivity.dir/test_adaptivity.cc.o.d"
+  "test_adaptivity"
+  "test_adaptivity.pdb"
+  "test_adaptivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

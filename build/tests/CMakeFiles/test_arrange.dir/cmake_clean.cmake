@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrange.dir/test_arrange.cc.o"
+  "CMakeFiles/test_arrange.dir/test_arrange.cc.o.d"
+  "test_arrange"
+  "test_arrange.pdb"
+  "test_arrange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_class.dir/test_channel_class.cc.o"
+  "CMakeFiles/test_channel_class.dir/test_channel_class.cc.o.d"
+  "test_channel_class"
+  "test_channel_class.pdb"
+  "test_channel_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_class_map.dir/test_class_map.cc.o"
+  "CMakeFiles/test_class_map.dir/test_class_map.cc.o.d"
+  "test_class_map"
+  "test_class_map.pdb"
+  "test_class_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_class_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

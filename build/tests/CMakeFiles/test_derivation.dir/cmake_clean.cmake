@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_derivation.dir/test_derivation.cc.o"
+  "CMakeFiles/test_derivation.dir/test_derivation.cc.o.d"
+  "test_derivation"
+  "test_derivation.pdb"
+  "test_derivation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duato.dir/test_duato.cc.o"
+  "CMakeFiles/test_duato.dir/test_duato.cc.o.d"
+  "test_duato"
+  "test_duato.pdb"
+  "test_duato[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duato.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enumerate.dir/test_enumerate.cc.o"
+  "CMakeFiles/test_enumerate.dir/test_enumerate.cc.o.d"
+  "test_enumerate"
+  "test_enumerate.pdb"
+  "test_enumerate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

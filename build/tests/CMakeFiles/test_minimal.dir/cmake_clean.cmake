@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimal.dir/test_minimal.cc.o"
+  "CMakeFiles/test_minimal.dir/test_minimal.cc.o.d"
+  "test_minimal"
+  "test_minimal.pdb"
+  "test_minimal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

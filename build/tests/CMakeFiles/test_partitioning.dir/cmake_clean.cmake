@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioning.dir/test_partitioning.cc.o"
+  "CMakeFiles/test_partitioning.dir/test_partitioning.cc.o.d"
+  "test_partitioning"
+  "test_partitioning.pdb"
+  "test_partitioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switching.dir/test_switching.cc.o"
+  "CMakeFiles/test_switching.dir/test_switching.cc.o.d"
+  "test_switching"
+  "test_switching.pdb"
+  "test_switching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

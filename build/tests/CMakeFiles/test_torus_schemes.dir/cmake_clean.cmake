@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torus_schemes.dir/test_torus_schemes.cc.o"
+  "CMakeFiles/test_torus_schemes.dir/test_torus_schemes.cc.o.d"
+  "test_torus_schemes"
+  "test_torus_schemes.pdb"
+  "test_torus_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torus_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

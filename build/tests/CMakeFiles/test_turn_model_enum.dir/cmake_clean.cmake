@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turn_model_enum.dir/test_turn_model_enum.cc.o"
+  "CMakeFiles/test_turn_model_enum.dir/test_turn_model_enum.cc.o.d"
+  "test_turn_model_enum"
+  "test_turn_model_enum.pdb"
+  "test_turn_model_enum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turn_model_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turns.dir/test_turns.cc.o"
+  "CMakeFiles/test_turns.dir/test_turns.cc.o.d"
+  "test_turns"
+  "test_turns.pdb"
+  "test_turns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

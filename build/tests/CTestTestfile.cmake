@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_class[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_turns[1]_include.cmake")
+include("/root/repo/build/tests/test_arrange[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioning[1]_include.cmake")
+include("/root/repo/build/tests/test_derivation[1]_include.cmake")
+include("/root/repo/build/tests/test_minimal[1]_include.cmake")
+include("/root/repo/build/tests/test_enumerate[1]_include.cmake")
+include("/root/repo/build/tests/test_catalog[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_class_map[1]_include.cmake")
+include("/root/repo/build/tests/test_cdg[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptivity[1]_include.cmake")
+include("/root/repo/build/tests/test_turn_model_enum[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_parse[1]_include.cmake")
+include("/root/repo/build/tests/test_duato[1]_include.cmake")
+include("/root/repo/build/tests/test_switching[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_torus_schemes[1]_include.cmake")

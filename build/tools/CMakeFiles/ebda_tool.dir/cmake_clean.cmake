@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebda_tool.dir/ebda_tool.cc.o"
+  "CMakeFiles/ebda_tool.dir/ebda_tool.cc.o.d"
+  "ebda_tool"
+  "ebda_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebda_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_verify_northlast "/root/repo/build/tools/ebda_tool" "verify" "--scheme" "{X+ X- Y-} -> {Y+}" "--mesh" "6x6")
+set_tests_properties(tool_verify_northlast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_verify_rejects_two_pairs "/root/repo/build/tools/ebda_tool" "verify" "--scheme" "{X+ X- Y+ Y-}")
+set_tests_properties(tool_verify_rejects_two_pairs PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_turns "/root/repo/build/tools/ebda_tool" "turns" "--scheme" "{X1+ Y1+ Y1-} -> {X1- Y2+ Y2-}")
+set_tests_properties(tool_turns PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_design "/root/repo/build/tools/ebda_tool" "design" "--vcs" "1,2" "--all")
+set_tests_properties(tool_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_space "/root/repo/build/tools/ebda_tool" "space" "--dims" "3")
+set_tests_properties(tool_space PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simulate "/root/repo/build/tools/ebda_tool" "simulate" "--scheme" "{X+ X- Y-} -> {Y+}" "--mesh" "4x4" "--rate" "0.05" "--cycles" "800")
+set_tests_properties(tool_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_usage "/root/repo/build/tools/ebda_tool")
+set_tests_properties(tool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_compare "/root/repo/build/tools/ebda_tool" "compare" "--scheme" "{X+ X- Y-} -> {Y+}" "--scheme2" "{X1+ Y1+ Y1-} -> {X1- Y2+ Y2-}")
+set_tests_properties(tool_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simulate_json "/root/repo/build/tools/ebda_tool" "simulate" "--scheme" "{X+ X- Y-} -> {Y+}" "--mesh" "4x4" "--rate" "0.05" "--cycles" "600" "--json")
+set_tests_properties(tool_simulate_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
