@@ -7,69 +7,106 @@
  * distribution — coefficient of variation, max/mean ratio and the
  * fraction of idle channels — for deterministic, escape-based and EbDa
  * fully adaptive routing.
+ *
+ * Both traffic scenarios run as one sweep-engine batch (common.hh):
+ * concurrent across cores, cacheable via EBDA_SWEEP_CACHE.
  */
 
 #include "common.hh"
 
-#include "core/catalog.hh"
-#include "core/minimal.hh"
-#include "routing/baselines.hh"
-#include "routing/duato.hh"
-#include "routing/ebda_routing.hh"
 #include "sim/simulator.hh"
 #include "util/table.hh"
+
+#include "core/minimal.hh"
+#include "routing/ebda_routing.hh"
 
 namespace {
 
 using namespace ebda;
 
-void
-runPattern(const topo::Network &net, sim::TrafficPattern pattern,
-           double rate)
+struct RouterCase
 {
-    const auto xy = routing::DimensionOrderRouting::xy(net);
-    const routing::DuatoFullyAdaptive duato(net);
-    const routing::EbDaRouting ebda(net, core::regionScheme(2));
-    const sim::TrafficGenerator gen(net, pattern);
+    const char *spec;
+    const char *label;
+    bool atomic;
+};
 
+const std::vector<RouterCase> kRouters = {
+    {"xy", "XY-DOR", false},
+    {"duato", "Duato-FA (atomic)", true},
+    {"region:2", "EbDa Region", false},
+};
+
+struct Scenario
+{
+    sim::TrafficPattern pattern;
+    double rate;
+};
+
+const std::vector<Scenario> kScenarios = {
+    {sim::TrafficPattern::Uniform, 0.25},
+    {sim::TrafficPattern::Transpose, 0.20},
+};
+
+sim::SimConfig
+configFor(double rate, bool atomic)
+{
+    sim::SimConfig cfg;
+    cfg.injectionRate = rate;
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 5000;
+    cfg.drainCycles = 30000;
+    cfg.atomicVcAllocation = atomic;
+    cfg.seed = 99;
+    return cfg;
+}
+
+void
+printTable(const std::vector<sweep::JobOutcome> &outcomes,
+           std::size_t base)
+{
     TextTable t;
     t.setHeader({"router", "load CV", "max/mean", "unused channels",
                  "avg latency"});
-    auto row = [&](const cdg::RoutingRelation &r, bool atomic) {
-        sim::SimConfig cfg;
-        cfg.injectionRate = rate;
-        cfg.warmupCycles = 1500;
-        cfg.measureCycles = 5000;
-        cfg.drainCycles = 30000;
-        cfg.atomicVcAllocation = atomic;
-        cfg.seed = 99;
-        const auto result = sim::runSimulation(net, r, gen, cfg);
-        t.addRow({r.name().substr(0, 28) + (atomic ? " (atomic)" : ""),
-                  TextTable::num(result.channelLoadCv, 3),
-                  TextTable::num(result.channelLoadMaxRatio, 2),
-                  TextTable::num(result.channelsUnused * 100, 1) + " %",
-                  result.deadlocked
+    for (std::size_t ci = 0; ci < kRouters.size(); ++ci) {
+        const auto &o = outcomes[base + ci];
+        if (!o.ok) {
+            t.addRow({kRouters[ci].label, "ERROR", "-", "-", "-"});
+            continue;
+        }
+        t.addRow({kRouters[ci].label,
+                  TextTable::num(o.result.channelLoadCv, 3),
+                  TextTable::num(o.result.channelLoadMaxRatio, 2),
+                  TextTable::num(o.result.channelsUnused * 100, 1) + " %",
+                  o.result.deadlocked
                       ? "DEADLOCK"
-                      : TextTable::num(result.avgLatency, 1)});
-    };
-    row(xy, false);
-    row(duato, true);
-    row(ebda, false);
+                      : TextTable::num(o.result.avgLatency, 1)});
+    }
     t.print(std::cout);
 }
 
 void
 reproduce()
 {
-    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto &sc : kScenarios)
+        for (const auto &r : kRouters)
+            jobs.push_back(bench::meshJob(
+                r.spec, sc.pattern, configFor(sc.rate, r.atomic)));
+
+    const auto report = bench::runJobs(jobs);
 
     bench::banner("Channel-load distribution, uniform traffic @ 0.25 "
                   "flits/node/cycle (8x8, 2 VCs/dim)");
-    runPattern(net, sim::TrafficPattern::Uniform, 0.25);
+    printTable(report.outcomes, 0);
 
     bench::banner("Channel-load distribution, transpose traffic @ 0.20");
-    runPattern(net, sim::TrafficPattern::Transpose, 0.20);
+    printTable(report.outcomes, kRouters.size());
 
+    std::cout << "[sweep: " << jobs.size() << " jobs, " << report.threads
+              << " threads, " << report.simulated << " simulated, "
+              << report.cacheHits << " cache hits, "
+              << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "\nexpected shape: under uniform traffic EbDa (all "
                  "channels adaptive) shows the lowest CV; under "
                  "adversarial transpose both adaptive routers spread "

@@ -6,21 +6,43 @@
  * the paper's motivation (Sections 1-2): maximal adaptiveness without
  * escape channels is deadlock-free and improves load distribution; no
  * run may trip the deadlock watchdog.
+ *
+ * The whole grid (router x pattern x rate) runs on the sweep engine:
+ * all points execute concurrently across cores, and with
+ * EBDA_SWEEP_CACHE set, reruns and overlapping benches reuse cached
+ * results instead of re-simulating.
  */
 
 #include "common.hh"
 
-#include "core/catalog.hh"
-#include "core/minimal.hh"
-#include "routing/baselines.hh"
-#include "routing/duato.hh"
-#include "routing/ebda_routing.hh"
 #include "sim/simulator.hh"
 #include "util/table.hh"
+
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "routing/ebda_routing.hh"
 
 namespace {
 
 using namespace ebda;
+
+struct RouterCase
+{
+    const char *spec;
+    const char *label;
+    bool atomic;
+};
+
+const std::vector<RouterCase> kRouters = {
+    {"xy", "XY-DOR", false},
+    {"odd-even", "Odd-Even", false},
+    {"west-first", "West-First", false},
+    {"fig7b", "EbDa Fig7(b)", false},
+    {"region:2", "EbDa Region", false},
+    {"duato", "Duato-FA (atomic)", true},
+};
+
+const std::vector<double> kRates = {0.05, 0.15, 0.25, 0.35, 0.45};
 
 sim::SimConfig
 configFor(double rate)
@@ -37,63 +59,83 @@ configFor(double rate)
     return cfg;
 }
 
-void
-sweep(const topo::Network &net, sim::TrafficPattern pattern)
+std::vector<sweep::SweepJob>
+gridFor(sim::TrafficPattern pattern)
 {
-    const auto xy = routing::DimensionOrderRouting::xy(net);
-    const routing::OddEvenRouting oe(net);
-    const routing::WestFirstRouting wf(net);
-    const routing::EbDaRouting fa_min(net, core::schemeFig7b());
-    const routing::EbDaRouting fa_region(net, core::regionScheme(2));
-    const routing::DuatoFullyAdaptive duato(net);
+    std::vector<sweep::SweepJob> jobs;
+    for (const double rate : kRates) {
+        for (const auto &r : kRouters) {
+            auto cfg = configFor(rate);
+            cfg.atomicVcAllocation = r.atomic;
+            jobs.push_back(bench::meshJob(r.spec, pattern, cfg));
+        }
+    }
+    return jobs;
+}
 
-    const std::vector<std::pair<const cdg::RoutingRelation *, bool>>
-        routers = {{&xy, false},      {&oe, false},
-                   {&wf, false},      {&fa_min, false},
-                   {&fa_region, false}, {&duato, true}};
-
-    const sim::TrafficGenerator gen(net, pattern);
-
+void
+printTable(const std::vector<sweep::SweepJob> &jobs,
+           const std::vector<sweep::JobOutcome> &outcomes)
+{
     TextTable t;
     std::vector<std::string> header = {"offered (flits/node/cyc)"};
-    for (const auto &[r, atomic] : routers)
-        header.push_back(r->name().substr(0, 24)
-                         + (atomic ? " (atomic)" : ""));
+    for (const auto &r : kRouters)
+        header.push_back(r.label);
     t.setHeader(header);
 
-    for (double rate : {0.05, 0.15, 0.25, 0.35, 0.45}) {
-        std::vector<std::string> row = {TextTable::num(rate, 2)};
-        for (const auto &[r, atomic] : routers) {
-            auto cfg = configFor(rate);
-            cfg.atomicVcAllocation = atomic;
-            const auto result = sim::runSimulation(net, *r, gen, cfg);
-            if (result.deadlocked) {
+    for (std::size_t ri = 0; ri < kRates.size(); ++ri) {
+        std::vector<std::string> row = {TextTable::num(kRates[ri], 2)};
+        for (std::size_t ci = 0; ci < kRouters.size(); ++ci) {
+            const auto &o = outcomes[ri * kRouters.size() + ci];
+            if (!o.ok) {
+                row.push_back("ERROR");
+            } else if (o.result.deadlocked) {
                 row.push_back("DEADLOCK");
-            } else if (!result.drained) {
+            } else if (!o.result.drained) {
                 row.push_back(">sat ("
-                              + TextTable::num(result.acceptedRate, 2)
+                              + TextTable::num(o.result.acceptedRate, 2)
                               + ")");
             } else {
-                row.push_back(TextTable::num(result.avgLatency, 1));
+                row.push_back(TextTable::num(o.result.avgLatency, 1));
             }
         }
         t.addRow(std::move(row));
     }
     t.print(std::cout);
+    (void)jobs;
 }
 
 void
 reproduce()
 {
-    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    // One sweep covers both patterns so every grid point can run
+    // concurrently; tables are then sliced out of the outcome vector.
+    auto jobs = gridFor(sim::TrafficPattern::Uniform);
+    const std::size_t per_pattern = jobs.size();
+    auto transpose = gridFor(sim::TrafficPattern::Transpose);
+    jobs.insert(jobs.end(),
+                std::make_move_iterator(transpose.begin()),
+                std::make_move_iterator(transpose.end()));
+
+    const auto report = bench::runJobs(jobs);
 
     bench::banner("8x8 mesh, uniform traffic: avg packet latency "
                   "(cycles) vs offered load");
-    sweep(net, sim::TrafficPattern::Uniform);
+    printTable(jobs,
+               {report.outcomes.begin(),
+                report.outcomes.begin()
+                    + static_cast<std::ptrdiff_t>(per_pattern)});
 
     bench::banner("8x8 mesh, transpose traffic");
-    sweep(net, sim::TrafficPattern::Transpose);
+    printTable(jobs,
+               {report.outcomes.begin()
+                    + static_cast<std::ptrdiff_t>(per_pattern),
+                report.outcomes.end()});
 
+    std::cout << "\n[sweep: " << jobs.size() << " jobs, "
+              << report.threads << " threads, " << report.simulated
+              << " simulated, " << report.cacheHits << " cache hits, "
+              << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "\nexpected shape: adaptive routers track XY at low load "
                  "and saturate later under non-uniform traffic; no "
                  "configuration deadlocks\n";

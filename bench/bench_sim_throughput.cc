@@ -5,27 +5,44 @@
  * 8x8 mesh. Complements bench_sim_latency with the capacity view: who
  * wins under which pattern, with the EbDa fully adaptive designs
  * needing no escape channels.
+ *
+ * The pattern x router grid runs concurrently on the sweep engine;
+ * EBDA_SWEEP_CACHE / EBDA_SWEEP_JSONL are honoured (common.hh).
  */
 
 #include "common.hh"
 
-#include "core/catalog.hh"
-#include "core/minimal.hh"
-#include "routing/baselines.hh"
-#include "routing/ebda_routing.hh"
 #include "sim/simulator.hh"
 #include "util/table.hh"
+
+#include "routing/baselines.hh"
 
 namespace {
 
 using namespace ebda;
 
-double
-saturationThroughput(const topo::Network &net,
-                     const cdg::RoutingRelation &r,
-                     sim::TrafficPattern pattern)
+struct RouterCase
 {
-    const sim::TrafficGenerator gen(net, pattern);
+    const char *spec;
+    const char *label;
+};
+
+const std::vector<RouterCase> kRouters = {
+    {"xy", "XY-DOR"},
+    {"odd-even", "Odd-Even"},
+    {"negative-first", "Negative-First"},
+    {"fig7b", "EbDa Fig7(b)"},
+    {"region:2", "EbDa Region"},
+};
+
+const std::vector<sim::TrafficPattern> kPatterns = {
+    sim::TrafficPattern::Uniform,       sim::TrafficPattern::Transpose,
+    sim::TrafficPattern::BitComplement, sim::TrafficPattern::Shuffle,
+    sim::TrafficPattern::Tornado,       sim::TrafficPattern::Hotspot};
+
+sim::SimConfig
+saturationConfig()
+{
     sim::SimConfig cfg;
     cfg.injectionRate = 0.9; // far beyond capacity
     cfg.warmupCycles = 2500;
@@ -33,8 +50,7 @@ saturationThroughput(const topo::Network &net,
     cfg.drainCycles = 0;
     cfg.watchdogCycles = 6000;
     cfg.seed = 2017;
-    const auto result = sim::runSimulation(net, r, gen, cfg);
-    return result.deadlocked ? -1.0 : result.acceptedRate;
+    return cfg;
 }
 
 void
@@ -43,36 +59,38 @@ reproduce()
     bench::banner("8x8 mesh: saturation throughput (accepted "
                   "flits/node/cycle at offered 0.9)");
 
-    const auto net = topo::Network::mesh({8, 8}, {2, 2});
-    const auto xy = routing::DimensionOrderRouting::xy(net);
-    const routing::OddEvenRouting oe(net);
-    const routing::NegativeFirstRouting nf(net);
-    const routing::EbDaRouting fa_min(net, core::schemeFig7b());
-    const routing::EbDaRouting fa_region(net, core::regionScheme(2));
+    std::vector<sweep::SweepJob> jobs;
+    for (const auto pattern : kPatterns)
+        for (const auto &r : kRouters)
+            jobs.push_back(
+                bench::meshJob(r.spec, pattern, saturationConfig()));
 
-    const std::vector<const cdg::RoutingRelation *> routers = {
-        &xy, &oe, &nf, &fa_min, &fa_region};
-    const std::vector<sim::TrafficPattern> patterns = {
-        sim::TrafficPattern::Uniform,   sim::TrafficPattern::Transpose,
-        sim::TrafficPattern::BitComplement,
-        sim::TrafficPattern::Shuffle,   sim::TrafficPattern::Tornado,
-        sim::TrafficPattern::Hotspot};
+    const auto report = bench::runJobs(jobs);
 
     TextTable t;
     std::vector<std::string> header = {"pattern"};
-    for (const auto *r : routers)
-        header.push_back(r->name().substr(0, 24));
+    for (const auto &r : kRouters)
+        header.push_back(r.label);
     t.setHeader(header);
 
-    for (const auto pattern : patterns) {
-        std::vector<std::string> row = {sim::toString(pattern)};
-        for (const auto *r : routers) {
-            const double thr = saturationThroughput(net, *r, pattern);
-            row.push_back(thr < 0 ? "DEADLOCK" : TextTable::num(thr, 3));
+    for (std::size_t pi = 0; pi < kPatterns.size(); ++pi) {
+        std::vector<std::string> row = {sim::toString(kPatterns[pi])};
+        for (std::size_t ci = 0; ci < kRouters.size(); ++ci) {
+            const auto &o = report.outcomes[pi * kRouters.size() + ci];
+            if (!o.ok)
+                row.push_back("ERROR");
+            else if (o.result.deadlocked)
+                row.push_back("DEADLOCK");
+            else
+                row.push_back(TextTable::num(o.result.acceptedRate, 3));
         }
         t.addRow(std::move(row));
     }
     t.print(std::cout);
+    std::cout << "[sweep: " << jobs.size() << " jobs, " << report.threads
+              << " threads, " << report.simulated << " simulated, "
+              << report.cacheHits << " cache hits, "
+              << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "expected shape: XY leads on uniform (optimal load "
                  "spread for DOR); adaptive routers lead on transpose/"
                  "shuffle-style adversarial patterns; nobody deadlocks\n";

@@ -14,8 +14,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+
+#include "sweep/runner.hh"
 
 namespace ebda::bench {
 
@@ -24,6 +29,53 @@ inline void
 banner(const std::string &title)
 {
     std::cout << "\n=== " << title << " ===\n";
+}
+
+/**
+ * Run a bench's simulation grid on the sweep engine: all cores,
+ * results bit-identical to a serial loop. Environment overrides:
+ *   EBDA_SWEEP_CACHE=<dir>   persist/reuse results across benches
+ *                            and reruns (content-addressed);
+ *   EBDA_SWEEP_JSONL=<file>  append machine-readable result rows.
+ */
+inline sweep::SweepReport
+runJobs(const std::vector<sweep::SweepJob> &jobs)
+{
+    sweep::RunOptions opts;
+    std::unique_ptr<sweep::ResultCache> cache;
+    if (const char *dir = std::getenv("EBDA_SWEEP_CACHE");
+        dir && *dir) {
+        cache = std::make_unique<sweep::ResultCache>(dir);
+        opts.cache = cache.get();
+    }
+    auto report = sweep::runSweep(jobs, opts);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!report.outcomes[i].ok)
+            std::cerr << "sweep job failed (" << jobs[i].router
+                      << "): " << report.outcomes[i].error << '\n';
+    if (const char *path = std::getenv("EBDA_SWEEP_JSONL");
+        path && *path) {
+        std::ofstream out(path, std::ios::app);
+        sweep::writeResultsJsonl(jobs, report.outcomes, out);
+    }
+    return report;
+}
+
+/** Grid point on an 8x8, 2-VC mesh (the benches' standard network). */
+inline sweep::SweepJob
+meshJob(const std::string &router, sim::TrafficPattern pattern,
+        const sim::SimConfig &cfg, std::vector<int> dims = {8, 8},
+        std::vector<int> vcs = {2, 2})
+{
+    sweep::SweepJob job;
+    job.topo.torus = false;
+    job.topo.dims = std::move(dims);
+    job.topo.vcs = std::move(vcs);
+    job.router = router;
+    job.pattern = pattern;
+    job.cfg = cfg;
+    sweep::finalizeJob(job);
+    return job;
 }
 
 } // namespace ebda::bench

@@ -1,0 +1,321 @@
+#include "sim_json.hh"
+
+namespace ebda::sim {
+
+namespace {
+
+/** Significant digits that round-trip any double exactly. */
+constexpr int kExact = 17;
+
+} // namespace
+
+std::string
+toString(SwitchingMode m)
+{
+    switch (m) {
+      case SwitchingMode::Wormhole:
+        return "wormhole";
+      case SwitchingMode::VirtualCutThrough:
+        return "vct";
+      case SwitchingMode::StoreAndForward:
+        return "saf";
+    }
+    return "?";
+}
+
+std::optional<SwitchingMode>
+switchingFromString(const std::string &s)
+{
+    if (s == "wormhole")
+        return SwitchingMode::Wormhole;
+    if (s == "vct")
+        return SwitchingMode::VirtualCutThrough;
+    if (s == "saf")
+        return SwitchingMode::StoreAndForward;
+    return std::nullopt;
+}
+
+std::string
+toString(SelectionPolicy p)
+{
+    switch (p) {
+      case SelectionPolicy::MaxCredits:
+        return "max-credits";
+      case SelectionPolicy::RoundRobin:
+        return "round-robin";
+      case SelectionPolicy::Random:
+        return "random";
+      case SelectionPolicy::FirstCandidate:
+        return "first";
+    }
+    return "?";
+}
+
+std::optional<SelectionPolicy>
+selectionFromString(const std::string &s)
+{
+    if (s == "max-credits")
+        return SelectionPolicy::MaxCredits;
+    if (s == "round-robin")
+        return SelectionPolicy::RoundRobin;
+    if (s == "random")
+        return SelectionPolicy::Random;
+    if (s == "first")
+        return SelectionPolicy::FirstCandidate;
+    return std::nullopt;
+}
+
+void
+jsonFields(JsonWriter &w, const SimConfig &c)
+{
+    w.field("seed", c.seed);
+    w.field("vcDepth", c.vcDepth);
+    w.field("packetLength", c.packetLength);
+    w.field("switching", toString(c.switching));
+    w.field("routerLatency", c.routerLatency);
+    w.field("selection", toString(c.selection));
+    w.field("injectionRate", c.injectionRate, kExact);
+    w.field("injectionVcs", c.injectionVcs);
+    w.field("atomicVcAllocation", c.atomicVcAllocation);
+    w.field("warmupCycles", c.warmupCycles);
+    w.field("measureCycles", c.measureCycles);
+    w.field("drainCycles", c.drainCycles);
+    w.field("watchdogCycles", c.watchdogCycles);
+}
+
+void
+jsonFields(JsonWriter &w, const SimResult &r)
+{
+    w.field("avgLatency", r.avgLatency, kExact);
+    w.field("p50Latency", r.p50Latency);
+    w.field("p99Latency", r.p99Latency);
+    w.field("maxLatency", r.maxLatency);
+    w.field("avgHops", r.avgHops, kExact);
+    w.field("acceptedRate", r.acceptedRate, kExact);
+    w.field("offeredRate", r.offeredRate, kExact);
+    w.field("packetsMeasured", r.packetsMeasured);
+    w.field("packetsEjected", r.packetsEjected);
+    w.field("deadlocked", r.deadlocked);
+    w.field("drained", r.drained);
+    w.field("cycles", r.cycles);
+    w.field("channelLoadMean", r.channelLoadMean, kExact);
+    w.field("channelLoadCv", r.channelLoadCv, kExact);
+    w.field("channelLoadMaxRatio", r.channelLoadMaxRatio, kExact);
+    w.field("channelsUnused", r.channelsUnused, kExact);
+}
+
+std::string
+toJson(const SimConfig &c)
+{
+    JsonWriter w;
+    w.beginObject();
+    jsonFields(w, c);
+    w.end();
+    return w.str();
+}
+
+std::string
+toJson(const SimResult &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    jsonFields(w, r);
+    w.end();
+    return w.str();
+}
+
+namespace {
+
+/** Shared field-by-field reader with error accumulation. */
+struct Reader
+{
+    const JsonValue &v;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    template <typename Fn>
+    bool
+    number(const std::string &key, Fn &&set)
+    {
+        const auto *f = v.find(key);
+        if (!f)
+            return true;
+        if (!f->isNumber())
+            return fail("'" + key + "' must be a number");
+        set(*f);
+        return true;
+    }
+
+    bool
+    boolean(const std::string &key, bool &out)
+    {
+        const auto *f = v.find(key);
+        if (!f)
+            return true;
+        if (!f->isBool())
+            return fail("'" + key + "' must be a bool");
+        out = f->asBool();
+        return true;
+    }
+};
+
+} // namespace
+
+std::optional<SimConfig>
+configFromJson(const JsonValue &v, std::string *error)
+{
+    if (!v.isObject()) {
+        if (error)
+            *error = "config must be a JSON object";
+        return std::nullopt;
+    }
+
+    static const char *known[] = {
+        "seed",          "vcDepth",       "packetLength",
+        "switching",     "routerLatency", "selection",
+        "injectionRate", "injectionVcs",  "atomicVcAllocation",
+        "warmupCycles",  "measureCycles", "drainCycles",
+        "watchdogCycles"};
+    for (const auto &[key, val] : v.members()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok) {
+            if (error)
+                *error = "unknown config key '" + key + "'";
+            return std::nullopt;
+        }
+    }
+
+    SimConfig c;
+    Reader r{v, {}};
+    bool ok =
+        r.number("seed", [&](const JsonValue &f) { c.seed = f.asU64(); })
+        && r.number("vcDepth",
+                    [&](const JsonValue &f) { c.vcDepth = f.asInt(); })
+        && r.number("packetLength",
+                    [&](const JsonValue &f) { c.packetLength = f.asInt(); })
+        && r.number("routerLatency",
+                    [&](const JsonValue &f) {
+                        c.routerLatency = f.asInt();
+                    })
+        && r.number("injectionRate",
+                    [&](const JsonValue &f) {
+                        c.injectionRate = f.asDouble();
+                    })
+        && r.number("injectionVcs",
+                    [&](const JsonValue &f) { c.injectionVcs = f.asInt(); })
+        && r.boolean("atomicVcAllocation", c.atomicVcAllocation)
+        && r.number("warmupCycles",
+                    [&](const JsonValue &f) { c.warmupCycles = f.asU64(); })
+        && r.number("measureCycles",
+                    [&](const JsonValue &f) {
+                        c.measureCycles = f.asU64();
+                    })
+        && r.number("drainCycles",
+                    [&](const JsonValue &f) { c.drainCycles = f.asU64(); })
+        && r.number("watchdogCycles", [&](const JsonValue &f) {
+               c.watchdogCycles = f.asU64();
+           });
+    if (ok) {
+        if (const auto *f = v.find("switching")) {
+            const auto m = f->isString()
+                               ? switchingFromString(f->asString())
+                               : std::nullopt;
+            if (!m)
+                ok = r.fail("bad 'switching' value");
+            else
+                c.switching = *m;
+        }
+    }
+    if (ok) {
+        if (const auto *f = v.find("selection")) {
+            const auto p = f->isString()
+                               ? selectionFromString(f->asString())
+                               : std::nullopt;
+            if (!p)
+                ok = r.fail("bad 'selection' value");
+            else
+                c.selection = *p;
+        }
+    }
+    if (!ok) {
+        if (error)
+            *error = r.err;
+        return std::nullopt;
+    }
+    return c;
+}
+
+std::optional<SimResult>
+resultFromJson(const JsonValue &v, std::string *error)
+{
+    if (!v.isObject()) {
+        if (error)
+            *error = "result must be a JSON object";
+        return std::nullopt;
+    }
+    SimResult res;
+    Reader r{v, {}};
+    const bool ok =
+        r.number("avgLatency",
+                 [&](const JsonValue &f) { res.avgLatency = f.asDouble(); })
+        && r.number("p50Latency",
+                    [&](const JsonValue &f) { res.p50Latency = f.asU64(); })
+        && r.number("p99Latency",
+                    [&](const JsonValue &f) { res.p99Latency = f.asU64(); })
+        && r.number("maxLatency",
+                    [&](const JsonValue &f) { res.maxLatency = f.asU64(); })
+        && r.number("avgHops",
+                    [&](const JsonValue &f) { res.avgHops = f.asDouble(); })
+        && r.number("acceptedRate",
+                    [&](const JsonValue &f) {
+                        res.acceptedRate = f.asDouble();
+                    })
+        && r.number("offeredRate",
+                    [&](const JsonValue &f) {
+                        res.offeredRate = f.asDouble();
+                    })
+        && r.number("packetsMeasured",
+                    [&](const JsonValue &f) {
+                        res.packetsMeasured = f.asU64();
+                    })
+        && r.number("packetsEjected",
+                    [&](const JsonValue &f) {
+                        res.packetsEjected = f.asU64();
+                    })
+        && r.boolean("deadlocked", res.deadlocked)
+        && r.boolean("drained", res.drained)
+        && r.number("cycles",
+                    [&](const JsonValue &f) { res.cycles = f.asU64(); })
+        && r.number("channelLoadMean",
+                    [&](const JsonValue &f) {
+                        res.channelLoadMean = f.asDouble();
+                    })
+        && r.number("channelLoadCv",
+                    [&](const JsonValue &f) {
+                        res.channelLoadCv = f.asDouble();
+                    })
+        && r.number("channelLoadMaxRatio",
+                    [&](const JsonValue &f) {
+                        res.channelLoadMaxRatio = f.asDouble();
+                    })
+        && r.number("channelsUnused", [&](const JsonValue &f) {
+               res.channelsUnused = f.asDouble();
+           });
+    if (!ok) {
+        if (error)
+            *error = r.err;
+        return std::nullopt;
+    }
+    return res;
+}
+
+} // namespace ebda::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * JSON (de)serialization of SimConfig and SimResult — the wire format
+ * shared by the sweep engine's result cache, the ebda_sweep results
+ * JSONL, ebda_tool --json, and the benches' machine-readable dumps.
+ *
+ * Doubles are emitted with 17 significant digits so every IEEE-754
+ * value round-trips exactly: a cache hit reproduces the stored result
+ * bit-for-bit, and serial/parallel sweep outputs are byte-comparable.
+ */
+
+#ifndef EBDA_SIM_SIM_JSON_HH
+#define EBDA_SIM_SIM_JSON_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "util/json.hh"
+
+namespace ebda::sim {
+
+/** Enum names ("wormhole"/"vct"/"saf", "max-credits"/...). */
+std::string toString(SwitchingMode m);
+std::optional<SwitchingMode> switchingFromString(const std::string &s);
+std::string toString(SelectionPolicy p);
+std::optional<SelectionPolicy> selectionFromString(const std::string &s);
+
+/** Append the struct's fields to the writer's currently open object
+ *  (declaration order; stable across runs). */
+void jsonFields(JsonWriter &w, const SimConfig &c);
+void jsonFields(JsonWriter &w, const SimResult &r);
+
+/** Whole-object convenience wrappers. */
+std::string toJson(const SimConfig &c);
+std::string toJson(const SimResult &r);
+
+/**
+ * Rebuild a SimConfig from a parsed JSON object. Missing fields keep
+ * their defaults; unknown keys and type mismatches are errors (they
+ * would silently change what a sweep measures).
+ */
+std::optional<SimConfig> configFromJson(const JsonValue &v,
+                                        std::string *error = nullptr);
+
+/** Rebuild a SimResult (cache load). Unknown keys are ignored so the
+ *  cache survives additive schema growth. */
+std::optional<SimResult> resultFromJson(const JsonValue &v,
+                                        std::string *error = nullptr);
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_SIM_JSON_HH

@@ -30,6 +30,19 @@ toString(TrafficPattern p)
     return "?";
 }
 
+std::optional<TrafficPattern>
+patternFromString(const std::string &s)
+{
+    for (const auto p :
+         {TrafficPattern::Uniform, TrafficPattern::Transpose,
+          TrafficPattern::BitComplement, TrafficPattern::BitReverse,
+          TrafficPattern::Shuffle, TrafficPattern::Tornado,
+          TrafficPattern::Neighbor, TrafficPattern::Hotspot})
+        if (toString(p) == s)
+            return p;
+    return std::nullopt;
+}
+
 TrafficGenerator::TrafficGenerator(const topo::Network &network,
                                    TrafficPattern pattern,
                                    topo::NodeId hotspot_node,

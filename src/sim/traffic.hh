@@ -37,6 +37,7 @@ enum class TrafficPattern : std::uint8_t
 
 /** Parse/format pattern names ("uniform", "transpose", ...). */
 std::string toString(TrafficPattern p);
+std::optional<TrafficPattern> patternFromString(const std::string &s);
 
 /**
  * Destination generator for one pattern on one network.

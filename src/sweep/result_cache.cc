@@ -1,0 +1,124 @@
+#include "result_cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "sim/sim_json.hh"
+#include "sweep/sweep_spec.hh"
+#include "util/json.hh"
+
+namespace ebda::sweep {
+
+namespace fs = std::filesystem;
+
+std::string
+ResultCache::cacheFile(const std::string &dir)
+{
+    return (fs::path(dir) / "cache.jsonl").string();
+}
+
+ResultCache::ResultCache(std::string dir) : dirPath(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dirPath, ec); // best effort; open may fail
+    load();
+    appender.open(cacheFile(dirPath), std::ios::app);
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(cacheFile(dirPath));
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto doc = parseJson(line);
+        if (!doc || !doc->isObject()) {
+            ++corrupted;
+            continue;
+        }
+        const auto *key = doc->find("key");
+        const auto *result = doc->find("result");
+        if (!key || !key->isString() || !result) {
+            ++corrupted;
+            continue;
+        }
+        char *end = nullptr;
+        const std::uint64_t k =
+            std::strtoull(key->asString().c_str(), &end, 16);
+        if (!end || *end != '\0' || key->asString().empty()) {
+            ++corrupted;
+            continue;
+        }
+        const auto res = sim::resultFromJson(*result);
+        if (!res) {
+            ++corrupted;
+            continue;
+        }
+        map[k] = *res; // later lines win
+    }
+}
+
+std::size_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return map.size();
+}
+
+std::optional<sim::SimResult>
+ResultCache::lookup(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = map.find(key);
+    if (it == map.end()) {
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hitCount.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+ResultCache::store(std::uint64_t key, const std::string &canonical_config,
+                   const sim::SimResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("key", keyToHex(key));
+    w.end();
+    // Splice the pre-rendered canonical config and the result in to
+    // keep the stored config byte-identical to the job's canonical
+    // form (the writer would re-escape, but not re-order, anyway).
+    std::string line = w.str();
+    line.pop_back(); // drop '}'
+    line += ",\"config\":" + canonical_config;
+    line += ",\"result\":" + sim::toJson(result) + "}";
+
+    std::lock_guard<std::mutex> lock(mtx);
+    map[key] = result;
+    if (appender) {
+        appender << line << '\n';
+        appender.flush();
+    }
+}
+
+bool
+ResultCache::clear(const std::string &dir, std::string *error)
+{
+    std::error_code ec;
+    const auto file = cacheFile(dir);
+    if (!fs::exists(file, ec))
+        return true;
+    if (!fs::remove(file, ec) || ec) {
+        if (error)
+            *error = "cannot remove " + file + ": " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+} // namespace ebda::sweep

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Content-addressed persistent result cache for simulation jobs.
+ *
+ * Layout: one append-only JSONL file `<dir>/cache.jsonl`; each line is
+ *   {"key":"<16 hex>","config":{...canonical job...},"result":{...}}
+ * The key is fnv1a64 of the job's canonical JSON (sweep_spec.hh), so
+ * identical (router, topology, pattern, config) points — across
+ * benches, reruns and spec files — resolve to the same address. The
+ * config object is stored alongside for human inspection and
+ * debugging; lookups go by key.
+ *
+ * Robustness: corrupted or truncated lines (e.g. from a killed run)
+ * are skipped on load and counted, never fatal. Later lines win on
+ * duplicate keys. store() is thread-safe (the runner calls it from
+ * worker threads) and flushes per line.
+ */
+
+#ifndef EBDA_SWEEP_RESULT_CACHE_HH
+#define EBDA_SWEEP_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.hh"
+
+namespace ebda::sweep {
+
+/** The on-disk cache, loaded eagerly on construction. */
+class ResultCache
+{
+  public:
+    /** Open (creating dir and file as needed) and load the cache. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &directory() const { return dirPath; }
+
+    /** Path of the JSONL file inside a cache dir. */
+    static std::string cacheFile(const std::string &dir);
+
+    /** Entries resident after load + stores. */
+    std::size_t entries() const;
+
+    /** Malformed lines skipped during load. */
+    std::size_t corruptedLines() const { return corrupted; }
+
+    /** Cached result for a key; counts a hit or a miss. */
+    std::optional<sim::SimResult> lookup(std::uint64_t key);
+
+    /** Insert and append to disk. */
+    void store(std::uint64_t key, const std::string &canonicalConfig,
+               const sim::SimResult &result);
+
+    std::uint64_t hits() const { return hitCount.load(); }
+    std::uint64_t misses() const { return missCount.load(); }
+
+    /** Delete the cache file (directory is kept). False + *error when
+     *  removal failed; a missing file is success. */
+    static bool clear(const std::string &dir,
+                      std::string *error = nullptr);
+
+  private:
+    void load();
+
+    std::string dirPath;
+    mutable std::mutex mtx;
+    std::unordered_map<std::uint64_t, sim::SimResult> map;
+    std::ofstream appender;
+    std::size_t corrupted = 0;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_RESULT_CACHE_HH

@@ -1,0 +1,154 @@
+#include "router_factory.hh"
+
+#include <cstdlib>
+
+#include "core/catalog.hh"
+#include "core/minimal.hh"
+#include "core/parse.hh"
+#include "routing/baselines.hh"
+#include "routing/duato.hh"
+#include "routing/ebda_routing.hh"
+
+namespace ebda::sweep {
+
+namespace {
+
+/** "prefix:payload" split; payload empty when the prefix is absent. */
+bool
+splitPrefixed(const std::string &spec, const char *prefix,
+              std::string &payload)
+{
+    const std::string p = std::string(prefix) + ":";
+    if (spec.rfind(p, 0) != 0)
+        return false;
+    payload = spec.substr(p.size());
+    return true;
+}
+
+std::optional<int>
+parseSmallInt(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 1 || v > 9)
+        return std::nullopt;
+    return static_cast<int>(v);
+}
+
+/** Resolve the partition scheme named by an EbDa-family spec, or
+ *  nullopt (with *error) when the spec is not EbDa-family / invalid. */
+std::optional<core::PartitionScheme>
+schemeFor(const std::string &spec, bool *is_ebda_family,
+          std::string *error)
+{
+    *is_ebda_family = true;
+    std::string payload;
+    if (spec == "fig7b")
+        return core::schemeFig7b();
+    if (spec == "fig7c")
+        return core::schemeFig7c();
+    if (splitPrefixed(spec, "region", payload)) {
+        const auto n = parseSmallInt(payload);
+        if (!n) {
+            if (error)
+                *error = "region:<n> needs n in 1..9";
+            return std::nullopt;
+        }
+        return core::regionScheme(static_cast<std::uint8_t>(*n));
+    }
+    if (splitPrefixed(spec, "merged", payload)) {
+        const auto n = parseSmallInt(payload);
+        if (!n) {
+            if (error)
+                *error = "merged:<n> needs n in 1..9";
+            return std::nullopt;
+        }
+        return core::mergedScheme(static_cast<std::uint8_t>(*n));
+    }
+    if (splitPrefixed(spec, "ebda", payload)) {
+        std::string err;
+        const auto scheme = core::parseScheme(payload, &err);
+        if (!scheme) {
+            if (error)
+                *error = "bad scheme: " + err;
+            return std::nullopt;
+        }
+        const auto validation = scheme->validate();
+        if (!validation.ok) {
+            if (error)
+                *error = "invalid scheme: " + validation.reason;
+            return std::nullopt;
+        }
+        return scheme;
+    }
+    *is_ebda_family = false;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::unique_ptr<cdg::RoutingRelation>
+makeRouter(const topo::Network &net, const std::string &spec,
+           std::string *error)
+{
+    using namespace ebda::routing;
+    try {
+        if (spec == "xy")
+            return std::make_unique<DimensionOrderRouting>(
+                DimensionOrderRouting::xy(net));
+        if (spec == "yx")
+            return std::make_unique<DimensionOrderRouting>(
+                DimensionOrderRouting::yx(net));
+        if (spec == "west-first")
+            return std::make_unique<WestFirstRouting>(net);
+        if (spec == "north-last")
+            return std::make_unique<NorthLastRouting>(net);
+        if (spec == "negative-first")
+            return std::make_unique<NegativeFirstRouting>(net);
+        if (spec == "odd-even")
+            return std::make_unique<OddEvenRouting>(net);
+        if (spec == "duato")
+            return std::make_unique<DuatoFullyAdaptive>(net);
+
+        bool ebda_family = false;
+        const auto scheme = schemeFor(spec, &ebda_family, error);
+        if (ebda_family) {
+            if (!scheme)
+                return nullptr;
+            return std::make_unique<EbDaRouting>(
+                net, *scheme, core::TurnExtractionOptions{},
+                net.isTorus() ? EbDaRouting::Mode::ShortestState
+                              : EbDaRouting::Mode::Minimal);
+        }
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return nullptr;
+    }
+    if (error)
+        *error = "unknown router '" + spec + "'";
+    return nullptr;
+}
+
+std::optional<std::string>
+checkRouterSpec(const std::string &spec)
+{
+    static const char *fixed[] = {"xy",         "yx",
+                                  "west-first", "north-last",
+                                  "negative-first", "odd-even",
+                                  "duato"};
+    for (const char *f : fixed)
+        if (spec == f)
+            return std::nullopt;
+
+    bool ebda_family = false;
+    std::string error;
+    const auto scheme = schemeFor(spec, &ebda_family, &error);
+    if (ebda_family)
+        return scheme ? std::nullopt : std::optional<std::string>(error);
+    return "unknown router '" + spec + "'";
+}
+
+} // namespace ebda::sweep

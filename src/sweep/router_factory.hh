@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Router spec strings -> routing relations. The sweep engine names
+ * routers by short strings so a JSON spec (and a cache key) can refer
+ * to them:
+ *
+ *   "xy" | "yx"                 dimension-order routing
+ *   "west-first" | "north-last" | "negative-first"
+ *                               Glass-Ni turn models
+ *   "odd-even"                  Chiu's Odd-Even
+ *   "duato"                     Duato fully adaptive with escape VC
+ *                               (pair with atomicVcAllocation)
+ *   "fig7b" | "fig7c"           the paper's minimum-channel 2D schemes
+ *   "region:<n>"                core::regionScheme(n)
+ *   "merged:<n>"                core::mergedScheme(n)
+ *   "ebda:<scheme>"             any partition scheme in parse.hh
+ *                               syntax, e.g. "ebda:{X+ X- Y-} -> {Y+}"
+ *
+ * EbDa-derived relations use Mode::Minimal on meshes and
+ * Mode::ShortestState on tori (wrap traversals are non-minimal in the
+ * channel state graph).
+ */
+
+#ifndef EBDA_SWEEP_ROUTER_FACTORY_HH
+#define EBDA_SWEEP_ROUTER_FACTORY_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cdg/routing_relation.hh"
+#include "topo/network.hh"
+
+namespace ebda::sweep {
+
+/**
+ * Build the relation named by spec on net. Returns nullptr and sets
+ * *error for unknown names, malformed/invalid schemes, or relations
+ * the network cannot host (e.g. "duato" with a single VC).
+ */
+std::unique_ptr<cdg::RoutingRelation> makeRouter(
+    const topo::Network &net, const std::string &spec,
+    std::string *error = nullptr);
+
+/**
+ * Network-independent validation of a router spec string (used at
+ * spec-parse time): the error message, or std::nullopt when the spec
+ * is well-formed.
+ */
+std::optional<std::string> checkRouterSpec(const std::string &spec);
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_ROUTER_FACTORY_HH

@@ -1,0 +1,108 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "sim/sim_json.hh"
+#include "sweep/router_factory.hh"
+#include "sweep/thread_pool.hh"
+
+namespace ebda::sweep {
+
+JobOutcome
+runJob(const SweepJob &job)
+{
+    JobOutcome out;
+    try {
+        const auto net =
+            job.topo.torus ? topo::Network::torus(job.topo.dims,
+                                                  job.topo.vcs)
+                           : topo::Network::mesh(job.topo.dims,
+                                                 job.topo.vcs);
+        std::string err;
+        const auto router = makeRouter(net, job.router, &err);
+        if (!router) {
+            out.ok = false;
+            out.error = err;
+            return out;
+        }
+        const sim::TrafficGenerator gen(net, job.pattern);
+        out.result = sim::runSimulation(net, *router, gen, job.cfg);
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+SweepReport
+runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
+{
+    SweepReport report;
+    report.threads = opts.threads > 0 ? opts.threads
+                                      : ThreadPool::defaultThreads();
+    report.outcomes.resize(jobs.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::atomic<std::uint64_t> simulated{0};
+    std::atomic<std::uint64_t> failed{0};
+
+    ThreadPool pool(report.threads);
+    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        JobOutcome &out = report.outcomes[i];
+        if (opts.cache) {
+            if (auto cached = opts.cache->lookup(job.key)) {
+                out.result = *cached;
+                out.fromCache = true;
+                return;
+            }
+        }
+        out = runJob(job);
+        if (!out.ok) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        simulated.fetch_add(1, std::memory_order_relaxed);
+        if (opts.runCounter)
+            opts.runCounter->fetch_add(1, std::memory_order_relaxed);
+        if (opts.cache)
+            opts.cache->store(job.key, job.canonical, out.result);
+    });
+
+    const auto t1 = std::chrono::steady_clock::now();
+    report.elapsedSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    report.simulated = simulated.load();
+    report.failed = failed.load();
+    if (opts.cache) {
+        report.cacheHits = opts.cache->hits();
+        report.cacheMisses = opts.cache->misses();
+    }
+    return report;
+}
+
+void
+writeResultsJsonl(const std::vector<SweepJob> &jobs,
+                  const std::vector<JobOutcome> &outcomes,
+                  std::ostream &out)
+{
+    std::vector<std::size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return jobs[a].key < jobs[b].key;
+              });
+    for (const std::size_t i : order) {
+        if (!outcomes[i].ok)
+            continue;
+        out << "{\"key\":\"" << keyToHex(jobs[i].key)
+            << "\",\"config\":" << jobs[i].canonical
+            << ",\"result\":" << sim::toJson(outcomes[i].result)
+            << "}\n";
+    }
+}
+
+} // namespace ebda::sweep

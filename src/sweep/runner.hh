@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The sweep executor: takes a flat job vector (from SweepSpec::expand
+ * or hand-assembled by a bench), consults the result cache, and runs
+ * the remaining simulations on a ThreadPool.
+ *
+ * Every job is hermetic — the worker constructs its own Network,
+ * routing relation, traffic generator and Simulator from the job's
+ * declarative fields, so no mutable state is shared between workers
+ * (routing relations memoise reachability internally and must not be
+ * shared across threads) and a job's result is a pure function of its
+ * canonical config. That purity is what makes the content-addressed
+ * cache sound and parallel execution bit-identical to serial.
+ */
+
+#ifndef EBDA_SWEEP_RUNNER_HH
+#define EBDA_SWEEP_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/result_cache.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace ebda::sweep {
+
+/** Per-job outcome, aligned with the input job vector. */
+struct JobOutcome
+{
+    sim::SimResult result;
+    /** Result came from the cache; no simulation ran. */
+    bool fromCache = false;
+    /** False when the job could not run (bad router spec etc.). */
+    bool ok = true;
+    std::string error;
+};
+
+/** Aggregate accounting of one sweep. */
+struct SweepReport
+{
+    std::vector<JobOutcome> outcomes;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Simulations actually executed (= misses when a cache is on). */
+    std::uint64_t simulated = 0;
+    std::uint64_t failed = 0;
+    double elapsedSeconds = 0.0;
+    int threads = 1;
+};
+
+/** Execution knobs. */
+struct RunOptions
+{
+    /** Worker threads; <= 0 selects ThreadPool::defaultThreads(). */
+    int threads = 0;
+    /** Optional persistent cache (nullptr = always simulate). */
+    ResultCache *cache = nullptr;
+    /** Optional counter incremented once per executed simulation
+     *  (test instrumentation). */
+    std::atomic<std::uint64_t> *runCounter = nullptr;
+};
+
+/** Execute one job, no cache involved (also used by the runner). */
+JobOutcome runJob(const SweepJob &job);
+
+/** Run all jobs; outcomes[i] corresponds to jobs[i]. */
+SweepReport runSweep(const std::vector<SweepJob> &jobs,
+                     const RunOptions &opts = {});
+
+/**
+ * Emit one results line per job:
+ *   {"key":"<hex>","config":{...},"result":{...}}
+ * sorted ascending by key (so output is invariant under thread count
+ * and job order). Failed jobs are skipped — they have no result.
+ */
+void writeResultsJsonl(const std::vector<SweepJob> &jobs,
+                       const std::vector<JobOutcome> &outcomes,
+                       std::ostream &out);
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_RUNNER_HH

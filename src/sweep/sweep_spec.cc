@@ -1,0 +1,314 @@
+#include "sweep_spec.hh"
+
+#include <cstdio>
+
+#include "sim/sim_json.hh"
+#include "sweep/router_factory.hh"
+#include "util/random.hh"
+
+namespace ebda::sweep {
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x00000100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+keyToHex(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+std::string
+TopologySpec::toString() const
+{
+    std::string s = torus ? "torus " : "mesh ";
+    for (std::size_t i = 0; i < dims.size(); ++i)
+        s += (i ? "x" : "") + std::to_string(dims[i]);
+    s += " vcs ";
+    for (std::size_t i = 0; i < vcs.size(); ++i)
+        s += (i ? "," : "") + std::to_string(vcs[i]);
+    return s;
+}
+
+namespace {
+
+/** Canonical JSON of a job's complete configuration. Key order is
+ *  fixed; doubles are exact — this string *is* the cache identity. */
+std::string
+canonicalJson(const SweepJob &job)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginObject("topology");
+    w.field("type", job.topo.torus ? "torus" : "mesh");
+    w.beginArray("dims");
+    for (const int d : job.topo.dims)
+        w.value(d);
+    w.end();
+    w.beginArray("vcs");
+    for (const int v : job.topo.vcs)
+        w.value(v);
+    w.end();
+    w.end();
+    w.field("router", job.router);
+    w.field("pattern", sim::toString(job.pattern));
+    w.beginObject("config");
+    sim::jsonFields(w, job.cfg);
+    w.end();
+    w.end();
+    return w.str();
+}
+
+bool
+readIntArray(const JsonValue &v, std::vector<int> &out, std::string *err,
+             const char *what)
+{
+    if (!v.isArray() || v.size() == 0) {
+        if (err)
+            *err = std::string(what) + " must be a non-empty array";
+        return false;
+    }
+    out.clear();
+    for (const auto &e : v.elements()) {
+        if (!e.isNumber() || e.asInt() < 1) {
+            if (err)
+                *err = std::string(what) + " entries must be integers >= 1";
+            return false;
+        }
+        out.push_back(e.asInt());
+    }
+    return true;
+}
+
+std::optional<TopologySpec>
+topologyFromJson(const JsonValue &v, std::string *err)
+{
+    if (!v.isObject()) {
+        if (err)
+            *err = "topology must be an object";
+        return std::nullopt;
+    }
+    TopologySpec t;
+    if (const auto *type = v.find("type")) {
+        if (!type->isString()
+            || (type->asString() != "mesh" && type->asString() != "torus")) {
+            if (err)
+                *err = "topology type must be \"mesh\" or \"torus\"";
+            return std::nullopt;
+        }
+        t.torus = type->asString() == "torus";
+    }
+    const auto *dims = v.find("dims");
+    if (!dims || !readIntArray(*dims, t.dims, err, "topology dims"))
+        return std::nullopt;
+    if (const auto *vcs = v.find("vcs")) {
+        if (!readIntArray(*vcs, t.vcs, err, "topology vcs"))
+            return std::nullopt;
+    } else {
+        t.vcs.assign(t.dims.size(), 1);
+    }
+    if (t.vcs.size() != t.dims.size()) {
+        if (err)
+            *err = "topology vcs must have one entry per dimension";
+        return std::nullopt;
+    }
+    return t;
+}
+
+} // namespace
+
+void
+finalizeJob(SweepJob &job)
+{
+    job.canonical = canonicalJson(job);
+    job.key = fnv1a64(job.canonical);
+}
+
+std::optional<SweepSpec>
+SweepSpec::parse(const std::string &text, std::string *error)
+{
+    const auto doc = parseJson(text, error);
+    if (!doc)
+        return std::nullopt;
+    return fromJson(*doc, error);
+}
+
+std::optional<SweepSpec>
+SweepSpec::fromJson(const JsonValue &v, std::string *error)
+{
+    auto fail = [&](const std::string &what) -> std::optional<SweepSpec> {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+
+    if (!v.isObject())
+        return fail("spec must be a JSON object");
+
+    SweepSpec spec;
+    if (const auto *name = v.find("name"))
+        spec.name = name->isString() ? name->asString() : "";
+
+    // Topologies: "topologies" (array) or "topology" (single object).
+    std::string err;
+    if (const auto *ts = v.find("topologies")) {
+        if (!ts->isArray() || ts->size() == 0)
+            return fail("'topologies' must be a non-empty array");
+        for (const auto &e : ts->elements()) {
+            const auto t = topologyFromJson(e, &err);
+            if (!t)
+                return fail(err);
+            spec.topologies.push_back(*t);
+        }
+    } else if (const auto *t1 = v.find("topology")) {
+        const auto t = topologyFromJson(*t1, &err);
+        if (!t)
+            return fail(err);
+        spec.topologies.push_back(*t);
+    } else {
+        return fail("spec needs 'topology' or 'topologies'");
+    }
+
+    // Routers (required).
+    const auto *routers = v.find("routers");
+    if (!routers || !routers->isArray() || routers->size() == 0)
+        return fail("'routers' must be a non-empty array");
+    for (const auto &e : routers->elements()) {
+        if (!e.isString())
+            return fail("'routers' entries must be strings");
+        if (const auto bad = checkRouterSpec(e.asString()))
+            return fail("router '" + e.asString() + "': " + *bad);
+        spec.routers.push_back(e.asString());
+    }
+
+    // Patterns (default uniform).
+    if (const auto *ps = v.find("patterns")) {
+        if (!ps->isArray() || ps->size() == 0)
+            return fail("'patterns' must be a non-empty array");
+        for (const auto &e : ps->elements()) {
+            const auto p = e.isString()
+                               ? sim::patternFromString(e.asString())
+                               : std::nullopt;
+            if (!p)
+                return fail("unknown traffic pattern '" + e.asString()
+                            + "'");
+            spec.patterns.push_back(*p);
+        }
+    } else {
+        spec.patterns.push_back(sim::TrafficPattern::Uniform);
+    }
+
+    // Selection policies (default max-credits).
+    if (const auto *ss = v.find("selection")) {
+        if (!ss->isArray() || ss->size() == 0)
+            return fail("'selection' must be a non-empty array");
+        for (const auto &e : ss->elements()) {
+            const auto p = e.isString()
+                               ? sim::selectionFromString(e.asString())
+                               : std::nullopt;
+            if (!p)
+                return fail("unknown selection policy '" + e.asString()
+                            + "'");
+            spec.selections.push_back(*p);
+        }
+    } else {
+        spec.selections.push_back(sim::SelectionPolicy::MaxCredits);
+    }
+
+    // Base sim config template.
+    if (const auto *simv = v.find("sim")) {
+        const auto c = sim::configFromJson(*simv, &err);
+        if (!c)
+            return fail("sim: " + err);
+        spec.base = *c;
+    }
+
+    // Rates (default: the base config's injection rate).
+    if (const auto *rs = v.find("rates")) {
+        if (!rs->isArray() || rs->size() == 0)
+            return fail("'rates' must be a non-empty array");
+        for (const auto &e : rs->elements()) {
+            if (!e.isNumber() || e.asDouble() <= 0.0)
+                return fail("'rates' entries must be positive numbers");
+            spec.rates.push_back(e.asDouble());
+        }
+    } else {
+        spec.rates.push_back(spec.base.injectionRate);
+    }
+
+    if (const auto *ds = v.find("deriveSeeds")) {
+        if (!ds->isBool())
+            return fail("'deriveSeeds' must be a bool");
+        spec.deriveSeeds = ds->asBool();
+    }
+
+    // Reject typos at the top level too.
+    static const char *known[] = {"name",     "topology", "topologies",
+                                  "routers",  "patterns", "selection",
+                                  "rates",    "sim",      "deriveSeeds"};
+    for (const auto &[key, val] : v.members()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            return fail("unknown spec key '" + key + "'");
+    }
+
+    return spec;
+}
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    return topologies.size() * routers.size() * patterns.size()
+           * selections.size() * rates.size();
+}
+
+std::vector<SweepJob>
+SweepSpec::expand() const
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(jobCount());
+    for (const auto &topo : topologies) {
+        for (const auto &router : routers) {
+            for (const auto pattern : patterns) {
+                for (const auto selection : selections) {
+                    for (const double rate : rates) {
+                        SweepJob job;
+                        job.topo = topo;
+                        job.router = router;
+                        job.pattern = pattern;
+                        job.cfg = base;
+                        job.cfg.selection = selection;
+                        job.cfg.injectionRate = rate;
+                        if (deriveSeeds) {
+                            // Seed from the seedless content so every
+                            // grid point gets an independent stream
+                            // that only the master seed and the job's
+                            // own parameters determine.
+                            job.cfg.seed = 0;
+                            finalizeJob(job);
+                            job.cfg.seed =
+                                SplitMix64(base.seed ^ job.key).next();
+                        }
+                        finalizeJob(job);
+                        jobs.push_back(std::move(job));
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+} // namespace ebda::sweep

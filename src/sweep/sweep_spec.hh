@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Declarative parameter-sweep specification — the front door of the
+ * sweep engine. A SweepSpec is the cross product
+ *
+ *   topologies x routers x patterns x selection policies x rates
+ *
+ * over a base SimConfig template; expand() materializes it into the
+ * flat job vector the runner executes. Each job carries a *canonical*
+ * JSON rendering of its full configuration (fixed key order, exact
+ * doubles) whose 64-bit FNV-1a hash is the job's content address —
+ * the key for the result cache and the sort key of result files.
+ *
+ * Seeding: with deriveSeeds (the default) every job's RNG seed is
+ * SplitMix64(master seed ^ hash of the seedless canonical config), so
+ * distinct grid points get independent, reproducible streams and the
+ * same spec always regenerates the same seeds — parallel execution is
+ * bit-identical to serial by construction, because a job's result
+ * depends only on its own config.
+ *
+ * JSON spec format (see docs/SWEEP.md):
+ * @code
+ * {
+ *   "name": "latency-curve",
+ *   "topologies": [{"type":"mesh","dims":[8,8],"vcs":[2,2]}],
+ *   "routers":   ["xy", "odd-even", "fig7b", "ebda:{X+ X- Y-} -> {Y+}"],
+ *   "patterns":  ["uniform", "transpose"],
+ *   "rates":     [0.05, 0.15, 0.25],
+ *   "selection": ["max-credits"],
+ *   "sim":       {"seed": 2017, "measureCycles": 4000, ...}
+ * }
+ * @endcode
+ * "topology" (single object) is accepted for "topologies"; "patterns",
+ * "selection" and "rates" default to uniform / max-credits / the base
+ * config's injectionRate.
+ */
+
+#ifndef EBDA_SWEEP_SWEEP_SPEC_HH
+#define EBDA_SWEEP_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/traffic.hh"
+#include "util/json.hh"
+
+namespace ebda::sweep {
+
+/** 64-bit FNV-1a of a byte string (the content-address hash). */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+/** Hash key rendered as the fixed-width hex used in cache/result
+ *  files, e.g. "00c3a5f2deadbeef". */
+std::string keyToHex(std::uint64_t key);
+
+/** One topology of the grid. */
+struct TopologySpec
+{
+    bool torus = false;
+    std::vector<int> dims;
+    std::vector<int> vcs;
+
+    /** "mesh 8x8 vcs 2,2" — for labels and error messages. */
+    std::string toString() const;
+};
+
+/** One fully resolved simulation job. */
+struct SweepJob
+{
+    TopologySpec topo;
+    /** Router spec string (see router_factory.hh). */
+    std::string router;
+    sim::TrafficPattern pattern = sim::TrafficPattern::Uniform;
+    /** Complete simulation parameters, including the final seed. */
+    sim::SimConfig cfg;
+
+    /** Canonical JSON of the full job configuration. */
+    std::string canonical;
+    /** fnv1a64(canonical) — the content address. */
+    std::uint64_t key = 0;
+};
+
+/** Compute canonical + key for a hand-assembled job (expand() calls
+ *  this for every grid point). */
+void finalizeJob(SweepJob &job);
+
+/** The declarative grid. */
+struct SweepSpec
+{
+    std::string name;
+    std::vector<TopologySpec> topologies;
+    std::vector<std::string> routers;
+    std::vector<sim::TrafficPattern> patterns;
+    std::vector<sim::SelectionPolicy> selections;
+    std::vector<double> rates;
+    /** Template config; its seed is the master seed. */
+    sim::SimConfig base;
+    /** Derive per-job seeds from the master seed and job content. */
+    bool deriveSeeds = true;
+
+    /** Parse a JSON spec document (text or pre-parsed). */
+    static std::optional<SweepSpec> parse(const std::string &text,
+                                          std::string *error = nullptr);
+    static std::optional<SweepSpec> fromJson(const JsonValue &v,
+                                             std::string *error = nullptr);
+
+    /** Number of jobs expand() will produce. */
+    std::size_t jobCount() const;
+
+    /** Materialize the grid (topology-major, rate-minor order). */
+    std::vector<SweepJob> expand() const;
+};
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_SWEEP_SPEC_HH

@@ -1,0 +1,118 @@
+#include "thread_pool.hh"
+
+namespace ebda::sweep {
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : numThreads(threads < 1 ? 1 : threads)
+{
+    // A 1-thread pool runs inline; no worker needed.
+    if (numThreads < 2)
+        return;
+    workers.reserve(static_cast<std::size_t>(numThreads));
+    for (int i = 0; i < numThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cvStart.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    while (true) {
+        const std::size_t i =
+            nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batchSize)
+            return;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvStart.wait(lock, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+        }
+        runIndices();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (--activeWorkers == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &f)
+{
+    if (n == 0)
+        return;
+
+    if (workers.empty()) {
+        // Inline serial execution, same counter discipline.
+        fn = &f;
+        batchSize = n;
+        nextIndex.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        runIndices();
+        fn = nullptr;
+        if (firstError)
+            std::rethrow_exception(firstError);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        fn = &f;
+        batchSize = n;
+        nextIndex.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        activeWorkers = static_cast<int>(workers.size());
+        ++generation;
+    }
+    cvStart.notify_all();
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        cvDone.wait(lock, [&] { return activeWorkers == 0; });
+        fn = nullptr;
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace ebda::sweep

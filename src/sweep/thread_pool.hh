@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small fixed-size worker pool with a self-scheduling parallel-for:
+ * workers pull indices off a shared atomic counter, so long and short
+ * jobs interleave without static partitioning (the work-stealing-lite
+ * schedule that fits independent simulation jobs).
+ *
+ * Determinism contract: parallelFor(n, fn) invokes fn exactly once per
+ * index; as long as fn(i) touches only state owned by index i (the
+ * sweep runner's jobs do), results are independent of the schedule and
+ * therefore identical for any thread count, including 1.
+ *
+ * Exceptions thrown by fn are caught, the first one is rethrown from
+ * parallelFor after the batch drains; the pool stays usable.
+ */
+
+#ifndef EBDA_SWEEP_THREAD_POOL_HH
+#define EBDA_SWEEP_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ebda::sweep {
+
+/** Fixed worker threads executing index batches. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to >= 1). With 1 thread the
+     *  pool runs batches inline on the calling thread. */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers (waits for an in-flight batch). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return numThreads; }
+
+    /** Run fn(0..n-1) across the workers; blocks until all indices
+     *  completed. Rethrows the first exception any fn raised. */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Default worker count: the hardware concurrency (>= 1). */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+    void runIndices();
+
+    const int numThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+
+    /** Batch state (guarded by mtx except the atomic index). */
+    std::uint64_t generation = 0;
+    bool stopping = false;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t batchSize = 0;
+    std::atomic<std::size_t> nextIndex{0};
+    int activeWorkers = 0;
+    std::exception_ptr firstError;
+};
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_THREAD_POOL_HH

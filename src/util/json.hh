@@ -1,15 +1,21 @@
 /**
  * @file
- * A minimal JSON writer for machine-readable tool output (ebda_tool
- * --json). Emission only — the project never parses JSON — with
- * correct string escaping and stable key order (insertion order).
+ * Minimal JSON support: a writer for machine-readable tool output
+ * (ebda_tool --json, sweep results) and a small recursive-descent
+ * parser (JsonValue / parseJson) for sweep specs and the sweep result
+ * cache. The writer emits correct string escaping with stable key
+ * order (insertion order); the parser accepts strict JSON and keeps
+ * the raw lexeme of numbers so 64-bit integers (e.g. RNG seeds)
+ * round-trip exactly.
  */
 
 #ifndef EBDA_UTIL_JSON_HH
 #define EBDA_UTIL_JSON_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ebda {
@@ -47,6 +53,9 @@ class JsonWriter
     void field(const std::string &key, const std::string &value);
     void field(const std::string &key, const char *value);
     void field(const std::string &key, double value);
+    /** Double with explicit significant digits; 17 round-trips any
+     *  IEEE-754 double exactly through parse/print. */
+    void field(const std::string &key, double value, int sigDigits);
     void field(const std::string &key, std::uint64_t value);
     void field(const std::string &key, int value);
     void field(const std::string &key, bool value);
@@ -77,6 +86,74 @@ class JsonWriter
     /** Closing character per open scope ('}' or ']'). */
     std::vector<char> closer;
 };
+
+/**
+ * One parsed JSON value. Objects preserve member insertion order;
+ * numbers keep their raw lexeme so unsigned 64-bit values larger than
+ * 2^53 are recoverable without double rounding.
+ */
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return kind; }
+    bool isNull() const { return kind == Type::Null; }
+    bool isBool() const { return kind == Type::Bool; }
+    bool isNumber() const { return kind == Type::Number; }
+    bool isString() const { return kind == Type::String; }
+    bool isArray() const { return kind == Type::Array; }
+    bool isObject() const { return kind == Type::Object; }
+
+    /** Typed accessors; the fallback is returned on type mismatch. */
+    bool asBool(bool fallback = false) const;
+    double asDouble(double fallback = 0.0) const;
+    int asInt(int fallback = 0) const;
+    /** Exact for integer lexemes up to 2^64-1 (falls back to the
+     *  double value otherwise). */
+    std::uint64_t asU64(std::uint64_t fallback = 0) const;
+    const std::string &asString() const { return text; }
+
+    /** Array access. */
+    std::size_t size() const { return items.size(); }
+    const JsonValue &at(std::size_t i) const { return items[i]; }
+    const std::vector<JsonValue> &elements() const { return items; }
+
+    /** Object access: member by key (nullptr when absent). */
+    const JsonValue *find(const std::string &key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return fields;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Type kind = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String payload, or the raw number lexeme. */
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+};
+
+/**
+ * Parse one JSON document (strict grammar; trailing garbage is an
+ * error). Returns std::nullopt and sets *error on malformed input.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
 
 } // namespace ebda
 

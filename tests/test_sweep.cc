@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Sweep-engine tests: spec parsing/expansion, canonical hashing,
+ * thread-pool behaviour, serial-vs-parallel bit-identity, cache
+ * hits/persistence/corruption tolerance, and simulator determinism
+ * (two runs of the same config must agree exactly — the property the
+ * whole caching scheme rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <unistd.h>
+
+#include "sim/sim_json.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/router_factory.hh"
+#include "sweep/runner.hh"
+#include "sweep/sweep_spec.hh"
+#include "sweep/thread_pool.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace ebda;
+
+const char *kSpecText = R"({
+  "name": "t",
+  "topology": {"type": "mesh", "dims": [4, 4], "vcs": [2, 2]},
+  "routers": ["xy", "fig7b"],
+  "patterns": ["uniform", "transpose"],
+  "rates": [0.05, 0.1],
+  "sim": {"seed": 7, "warmupCycles": 100, "measureCycles": 300,
+          "drainCycles": 3000, "watchdogCycles": 1500}
+})";
+
+sweep::SweepSpec
+specOrDie(const std::string &text)
+{
+    std::string err;
+    const auto spec = sweep::SweepSpec::parse(text, &err);
+    EXPECT_TRUE(spec) << err;
+    return *spec;
+}
+
+/** RAII scratch directory under the test's working directory. */
+struct ScratchDir
+{
+    explicit ScratchDir(const std::string &tag)
+        : path("sweep-test-" + tag + "-"
+               + std::to_string(::getpid()))
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+// ---------------------------------------------------------------- spec
+
+TEST(SweepSpec, ExpandsFullGrid)
+{
+    const auto spec = specOrDie(kSpecText);
+    EXPECT_EQ(spec.jobCount(), 2u * 2u * 2u);
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 8u);
+
+    std::set<std::uint64_t> keys;
+    std::set<std::uint64_t> seeds;
+    for (const auto &job : jobs) {
+        keys.insert(job.key);
+        seeds.insert(job.cfg.seed);
+        EXPECT_EQ(job.key, sweep::fnv1a64(job.canonical));
+        EXPECT_EQ(job.cfg.warmupCycles, 100u);
+    }
+    // Content addressing: all grid points distinct, all derived seeds
+    // distinct.
+    EXPECT_EQ(keys.size(), jobs.size());
+    EXPECT_EQ(seeds.size(), jobs.size());
+}
+
+TEST(SweepSpec, ExpansionIsReproducible)
+{
+    const auto a = specOrDie(kSpecText).expand();
+    const auto b = specOrDie(kSpecText).expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].canonical, b[i].canonical);
+        EXPECT_EQ(a[i].cfg.seed, b[i].cfg.seed);
+    }
+}
+
+TEST(SweepSpec, RejectsUnknownRouterAndKeys)
+{
+    std::string err;
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":["warp-drive"]})",
+        &err));
+    EXPECT_NE(err.find("warp-drive"), std::string::npos);
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":["xy"],"ratez":[0.1]})",
+        &err));
+    EXPECT_FALSE(sweep::SweepSpec::parse("not json", &err));
+}
+
+TEST(SweepSpec, MasterSeedChangesDerivedSeeds)
+{
+    auto spec = specOrDie(kSpecText);
+    const auto jobs_a = spec.expand();
+    spec.base.seed = 8;
+    const auto jobs_b = spec.expand();
+    // Different master seed, same grid: same shape, different streams.
+    ASSERT_EQ(jobs_a.size(), jobs_b.size());
+    EXPECT_NE(jobs_a[0].cfg.seed, jobs_b[0].cfg.seed);
+    EXPECT_NE(jobs_a[0].key, jobs_b[0].key);
+}
+
+TEST(SweepSpec, Fnv1aKnownVectors)
+{
+    EXPECT_EQ(sweep::fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(sweep::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(sweep::keyToHex(0x1aULL), "000000000000001a");
+}
+
+// ---------------------------------------------------------- router spec
+
+TEST(RouterFactory, ChecksSpecsWithoutANetwork)
+{
+    EXPECT_FALSE(sweep::checkRouterSpec("xy"));
+    EXPECT_FALSE(sweep::checkRouterSpec("duato"));
+    EXPECT_FALSE(sweep::checkRouterSpec("region:2"));
+    EXPECT_FALSE(sweep::checkRouterSpec("ebda:{X+ X- Y-} -> {Y+}"));
+    EXPECT_TRUE(sweep::checkRouterSpec("nope"));
+    EXPECT_TRUE(sweep::checkRouterSpec("region:zero"));
+    EXPECT_TRUE(sweep::checkRouterSpec("ebda:{X+ X- Y+ Y-}"));
+}
+
+TEST(RouterFactory, BuildsRelations)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    std::string err;
+    for (const char *spec :
+         {"xy", "yx", "odd-even", "west-first", "north-last",
+          "negative-first", "duato", "fig7b", "region:2",
+          "ebda:{X+ X- Y-} -> {Y+}"}) {
+        const auto r = sweep::makeRouter(net, spec, &err);
+        ASSERT_TRUE(r) << spec << ": " << err;
+    }
+    EXPECT_FALSE(sweep::makeRouter(net, "nope", &err));
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    sweep::ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1);
+    });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    sweep::ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<int>(i));
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    sweep::ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [&](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // Pool must survive a failed batch.
+    std::atomic<int> ok{0};
+    pool.parallelFor(10, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(SweepDeterminism, SimulatorRunIsAPureFunctionOfConfig)
+{
+    const auto spec = specOrDie(kSpecText);
+    const auto jobs = spec.expand();
+    const auto a = sweep::runJob(jobs[1]);
+    const auto b = sweep::runJob(jobs[1]);
+    ASSERT_TRUE(a.ok && b.ok);
+    // Exact equality, via the exact-double serialization.
+    EXPECT_EQ(sim::toJson(a.result), sim::toJson(b.result));
+    EXPECT_GT(a.result.packetsMeasured, 0u);
+}
+
+TEST(SweepDeterminism, ParallelBitIdenticalToSerial)
+{
+    const auto jobs = specOrDie(kSpecText).expand();
+
+    sweep::RunOptions serial;
+    serial.threads = 1;
+    const auto r1 = sweep::runSweep(jobs, serial);
+
+    sweep::RunOptions parallel;
+    parallel.threads = 4;
+    const auto r4 = sweep::runSweep(jobs, parallel);
+
+    ASSERT_EQ(r1.outcomes.size(), r4.outcomes.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(r1.outcomes[i].ok);
+        ASSERT_TRUE(r4.outcomes[i].ok);
+        EXPECT_EQ(sim::toJson(r1.outcomes[i].result),
+                  sim::toJson(r4.outcomes[i].result))
+            << "job " << i << " (" << jobs[i].router << ")";
+    }
+    EXPECT_EQ(r1.simulated, jobs.size());
+    EXPECT_EQ(r4.simulated, jobs.size());
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(ResultCache, HitReturnsStoredResultWithoutRerunning)
+{
+    const ScratchDir dir("hit");
+    const auto jobs = specOrDie(kSpecText).expand();
+
+    std::atomic<std::uint64_t> runs{0};
+
+    sweep::ResultCache cold(dir.path);
+    sweep::RunOptions opts;
+    opts.threads = 2;
+    opts.cache = &cold;
+    opts.runCounter = &runs;
+    const auto first = sweep::runSweep(jobs, opts);
+    EXPECT_EQ(runs.load(), jobs.size());
+    EXPECT_EQ(first.cacheMisses, jobs.size());
+
+    // Fresh cache object, same directory: everything must come back
+    // from disk with zero simulations executed.
+    sweep::ResultCache warm(dir.path);
+    EXPECT_EQ(warm.entries(), jobs.size());
+    opts.cache = &warm;
+    const auto second = sweep::runSweep(jobs, opts);
+    EXPECT_EQ(runs.load(), jobs.size()) << "cache hit re-ran a job";
+    EXPECT_EQ(second.cacheHits, jobs.size());
+    EXPECT_EQ(second.simulated, 0u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(second.outcomes[i].fromCache);
+        EXPECT_EQ(sim::toJson(second.outcomes[i].result),
+                  sim::toJson(first.outcomes[i].result));
+    }
+}
+
+TEST(ResultCache, CorruptedLinesAreSkippedNotFatal)
+{
+    const ScratchDir dir("corrupt");
+    std::filesystem::create_directories(dir.path);
+
+    // One valid entry sandwiched between garbage.
+    sim::SimResult r;
+    r.avgLatency = 12.5;
+    r.packetsMeasured = 42;
+    {
+        sweep::ResultCache writer(dir.path);
+        writer.store(0xabcdULL, "{}", r);
+    }
+    {
+        std::ofstream out(sweep::ResultCache::cacheFile(dir.path),
+                          std::ios::app);
+        out << "this is not json\n";
+        out << "{\"key\":\"zzzz\",\"result\":{}}\n";
+        out << "{\"truncated\":\n";
+    }
+
+    sweep::ResultCache cache(dir.path);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.corruptedLines(), 3u);
+    const auto hit = cache.lookup(0xabcdULL);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->avgLatency, 12.5);
+    EXPECT_EQ(hit->packetsMeasured, 42u);
+}
+
+TEST(ResultCache, ClearRemovesTheFile)
+{
+    const ScratchDir dir("clear");
+    {
+        sweep::ResultCache cache(dir.path);
+        cache.store(1, "{}", sim::SimResult{});
+    }
+    EXPECT_TRUE(std::filesystem::exists(
+        sweep::ResultCache::cacheFile(dir.path)));
+    EXPECT_TRUE(sweep::ResultCache::clear(dir.path));
+    EXPECT_FALSE(std::filesystem::exists(
+        sweep::ResultCache::cacheFile(dir.path)));
+    EXPECT_TRUE(sweep::ResultCache::clear(dir.path)); // idempotent
+}
+
+// ------------------------------------------------------------ sim json
+
+TEST(SimJson, ConfigRoundTripsExactly)
+{
+    sim::SimConfig c;
+    c.seed = 0xdeadbeefcafef00dULL; // > 2^53: needs exact u64 path
+    c.injectionRate = 0.1; // not exactly representable
+    c.switching = sim::SwitchingMode::VirtualCutThrough;
+    c.selection = sim::SelectionPolicy::RoundRobin;
+    c.atomicVcAllocation = true;
+    c.measureCycles = 12345;
+
+    const auto text = sim::toJson(c);
+    const auto doc = parseJson(text);
+    ASSERT_TRUE(doc);
+    std::string err;
+    const auto back = sim::configFromJson(*doc, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_EQ(sim::toJson(*back), text);
+    EXPECT_EQ(back->seed, c.seed);
+    EXPECT_EQ(back->injectionRate, c.injectionRate);
+    EXPECT_EQ(back->switching, c.switching);
+    EXPECT_EQ(back->selection, c.selection);
+}
+
+TEST(SimJson, RejectsUnknownConfigKeys)
+{
+    const auto doc = parseJson(R"({"seeed": 1})");
+    ASSERT_TRUE(doc);
+    std::string err;
+    EXPECT_FALSE(sim::configFromJson(*doc, &err));
+    EXPECT_NE(err.find("seeed"), std::string::npos);
+}
+
+TEST(SimJson, ResultRoundTripsExactly)
+{
+    sim::SimResult r;
+    r.avgLatency = 1.0 / 3.0;
+    r.acceptedRate = 0.123456789012345678;
+    r.p99Latency = 999;
+    r.deadlocked = true;
+    r.drained = false;
+    const auto doc = parseJson(sim::toJson(r));
+    ASSERT_TRUE(doc);
+    const auto back = sim::resultFromJson(*doc);
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->avgLatency, r.avgLatency);
+    EXPECT_EQ(back->acceptedRate, r.acceptedRate);
+    EXPECT_EQ(back->p99Latency, r.p99Latency);
+    EXPECT_TRUE(back->deadlocked);
+    EXPECT_FALSE(back->drained);
+}
+
+// -------------------------------------------------------------- results
+
+TEST(Results, JsonlSortedByKeyAndParseable)
+{
+    const auto jobs = specOrDie(kSpecText).expand();
+    sweep::RunOptions opts;
+    opts.threads = 4;
+    const auto report = sweep::runSweep(jobs, opts);
+
+    std::ostringstream out;
+    sweep::writeResultsJsonl(jobs, report.outcomes, out);
+
+    std::istringstream in(out.str());
+    std::string line;
+    std::string prev_key;
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        const auto doc = parseJson(line);
+        ASSERT_TRUE(doc && doc->isObject()) << line;
+        const auto *key = doc->find("key");
+        ASSERT_TRUE(key && key->isString());
+        EXPECT_GE(key->asString(), prev_key);
+        prev_key = key->asString();
+        EXPECT_TRUE(doc->find("config"));
+        EXPECT_TRUE(doc->find("result"));
+        ++rows;
+    }
+    EXPECT_EQ(rows, jobs.size());
+}
+
+} // namespace

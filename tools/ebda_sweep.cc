@@ -1,0 +1,235 @@
+/**
+ * @file
+ * ebda_sweep — parallel parameter-sweep runner with a persistent,
+ * content-addressed result cache.
+ *
+ * Subcommands:
+ *   run    --spec sweep.json [--jobs N] [--cache DIR] [--out FILE]
+ *          Expand the spec into its job grid, serve cached points from
+ *          --cache (when given), run the rest on N worker threads
+ *          (default: all cores), and write one JSONL row per job to
+ *          --out (default results.jsonl; '-' = stdout), sorted by job
+ *          hash so output is identical for any thread count. Prints
+ *          hit/miss/simulated/elapsed counters to stderr.
+ *   expand --spec sweep.json
+ *          Print the job grid (key + human label) without running.
+ *   cache stats --cache DIR
+ *   cache clear --cache DIR
+ *
+ * Exit codes: 0 on success, 1 when any job failed to run, 2 on usage
+ * or spec errors. Deadlocked simulations are results, not failures.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "sim/sim_json.hh"
+#include "sweep/result_cache.hh"
+#include "sweep/runner.hh"
+#include "sweep/sweep_spec.hh"
+#include "util/cli.hh"
+
+namespace {
+
+using namespace ebda;
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: ebda_sweep <run|expand|cache> [options]\n"
+        "  run    --spec sweep.json [--jobs N] [--cache DIR]\n"
+        "         [--out results.jsonl]\n"
+        "  expand --spec sweep.json\n"
+        "  cache  stats --cache DIR\n"
+        "  cache  clear --cache DIR\n";
+    return 2;
+}
+
+std::optional<sweep::SweepSpec>
+loadSpec(const Args &args)
+{
+    const auto path = args.get("spec");
+    if (path.empty()) {
+        std::cerr << "missing --spec\n";
+        return std::nullopt;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open spec file '" << path << "'\n";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    auto spec = sweep::SweepSpec::parse(text.str(), &err);
+    if (!spec)
+        std::cerr << "bad spec: " << err << '\n';
+    return spec;
+}
+
+std::string
+jobLabel(const sweep::SweepJob &job)
+{
+    return job.topo.toString() + " | " + job.router + " | "
+           + sim::toString(job.pattern) + " | "
+           + sim::toString(job.cfg.selection) + " | rate "
+           + std::to_string(job.cfg.injectionRate);
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto spec = loadSpec(args);
+    if (!spec)
+        return 2;
+    const auto jobs = spec->expand();
+    if (jobs.empty()) {
+        std::cerr << "spec expands to zero jobs\n";
+        return 2;
+    }
+
+    sweep::RunOptions opts;
+    opts.threads = static_cast<int>(args.getInt("jobs", 0));
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
+
+    std::unique_ptr<sweep::ResultCache> cache;
+    const auto cache_dir = args.get("cache");
+    if (!cache_dir.empty()) {
+        cache = std::make_unique<sweep::ResultCache>(cache_dir);
+        opts.cache = cache.get();
+        if (cache->corruptedLines() > 0)
+            std::cerr << "warning: skipped " << cache->corruptedLines()
+                      << " corrupted cache line(s)\n";
+    }
+
+    std::cerr << (spec->name.empty() ? std::string("sweep")
+                                     : spec->name)
+              << ": " << jobs.size() << " job(s)\n";
+
+    const auto report = sweep::runSweep(jobs, opts);
+
+    const auto out_path = args.get("out", "results.jsonl");
+    if (out_path == "-") {
+        sweep::writeResultsJsonl(jobs, report.outcomes, std::cout);
+    } else {
+        std::ofstream out(out_path, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write '" << out_path << "'\n";
+            return 1;
+        }
+        sweep::writeResultsJsonl(jobs, report.outcomes, out);
+    }
+
+    std::uint64_t deadlocked = 0;
+    for (const auto &o : report.outcomes)
+        if (o.ok && o.result.deadlocked)
+            ++deadlocked;
+
+    std::cerr << "threads " << report.threads << " | simulated "
+              << report.simulated << " | cache hits " << report.cacheHits
+              << " / misses " << report.cacheMisses << " | deadlocked "
+              << deadlocked << " | failed " << report.failed << " | "
+              << report.elapsedSeconds << " s\n";
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!report.outcomes[i].ok)
+            std::cerr << "FAILED " << jobLabel(jobs[i]) << ": "
+                      << report.outcomes[i].error << '\n';
+
+    return report.failed == 0 ? 0 : 1;
+}
+
+int
+cmdExpand(const Args &args)
+{
+    const auto spec = loadSpec(args);
+    if (!spec)
+        return 2;
+    const auto jobs = spec->expand();
+    for (const auto &job : jobs)
+        std::cout << sweep::keyToHex(job.key) << "  " << jobLabel(job)
+                  << '\n';
+    std::cout << jobs.size() << " job(s)\n";
+    return 0;
+}
+
+int
+cmdCacheStats(const Args &args)
+{
+    const auto dir = args.get("cache");
+    if (dir.empty()) {
+        std::cerr << "missing --cache\n";
+        return 2;
+    }
+    sweep::ResultCache cache(dir);
+    std::cout << "cache " << dir << ": " << cache.entries()
+              << " entries";
+    if (cache.corruptedLines() > 0)
+        std::cout << " (" << cache.corruptedLines()
+                  << " corrupted lines skipped)";
+    std::cout << '\n';
+    return 0;
+}
+
+int
+cmdCacheClear(const Args &args)
+{
+    const auto dir = args.get("cache");
+    if (dir.empty()) {
+        std::cerr << "missing --cache\n";
+        return 2;
+    }
+    std::string err;
+    if (!sweep::ResultCache::clear(dir, &err)) {
+        std::cerr << err << '\n';
+        return 1;
+    }
+    std::cout << "cleared " << dir << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    int first = 2;
+    std::string sub;
+    if (cmd == "cache") {
+        if (argc < 3)
+            return usage();
+        sub = argv[2];
+        first = 3;
+    }
+
+    Args args(argc, argv, first);
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return usage();
+    }
+
+    try {
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "expand")
+            return cmdExpand(args);
+        if (cmd == "cache" && sub == "stats")
+            return cmdCacheStats(args);
+        if (cmd == "cache" && sub == "clear")
+            return cmdCacheClear(args);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    return usage();
+}

@@ -24,9 +24,7 @@
  * with code 2 and a message on stderr.
  */
 
-#include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "cdg/adaptivity.hh"
@@ -37,50 +35,15 @@
 #include "core/minimal.hh"
 #include "core/parse.hh"
 #include "routing/ebda_routing.hh"
+#include "sim/sim_json.hh"
 #include "sim/simulator.hh"
+#include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
 
 namespace {
 
 using namespace ebda;
-
-/** Minimal --key value argument map. */
-class Args
-{
-  public:
-    Args(int argc, char **argv, int first)
-    {
-        for (int i = first; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0) {
-                bad = "unexpected argument '" + key + "'";
-                return;
-            }
-            key = key.substr(2);
-            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                values[key] = argv[++i];
-            } else {
-                values[key] = "true"; // boolean flag
-            }
-        }
-    }
-
-    std::string
-    get(const std::string &key, const std::string &fallback = "") const
-    {
-        const auto it = values.find(key);
-        return it == values.end() ? fallback : it->second;
-    }
-
-    bool has(const std::string &key) const { return values.count(key); }
-
-    const std::string &error() const { return bad; }
-
-  private:
-    std::map<std::string, std::string> values;
-    std::string bad;
-};
 
 int
 usage()
@@ -290,18 +253,9 @@ cmdSimulate(const Args &args)
     }
     const auto net = networkFor(scheme, args);
 
-    static const std::map<std::string, sim::TrafficPattern> patterns = {
-        {"uniform", sim::TrafficPattern::Uniform},
-        {"transpose", sim::TrafficPattern::Transpose},
-        {"bitcomp", sim::TrafficPattern::BitComplement},
-        {"bitrev", sim::TrafficPattern::BitReverse},
-        {"shuffle", sim::TrafficPattern::Shuffle},
-        {"tornado", sim::TrafficPattern::Tornado},
-        {"neighbor", sim::TrafficPattern::Neighbor},
-        {"hotspot", sim::TrafficPattern::Hotspot},
-    };
-    const auto pattern_it = patterns.find(args.get("pattern", "uniform"));
-    if (pattern_it == patterns.end()) {
+    const auto pattern =
+        sim::patternFromString(args.get("pattern", "uniform"));
+    if (!pattern) {
         std::cerr << "unknown --pattern\n";
         return 2;
     }
@@ -310,12 +264,15 @@ cmdSimulate(const Args &args)
         net, scheme, {},
         net.isTorus() ? routing::EbDaRouting::Mode::ShortestState
                       : routing::EbDaRouting::Mode::Minimal);
-    const sim::TrafficGenerator gen(net, pattern_it->second);
+    const sim::TrafficGenerator gen(net, *pattern);
 
     sim::SimConfig cfg;
-    cfg.injectionRate = std::stod(args.get("rate", "0.2"));
-    cfg.measureCycles =
-        static_cast<std::uint64_t>(std::stoul(args.get("cycles", "4000")));
+    cfg.injectionRate = args.getDouble("rate", 0.2);
+    cfg.measureCycles = args.getU64("cycles", 4000);
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
     cfg.warmupCycles = cfg.measureCycles / 4;
     cfg.drainCycles = cfg.measureCycles * 10;
 
@@ -325,19 +282,13 @@ cmdSimulate(const Args &args)
         JsonWriter w;
         w.beginObject();
         w.field("scheme", scheme.toString());
-        w.field("pattern", sim::toString(pattern_it->second));
-        w.field("offeredRate", result.offeredRate);
-        w.field("acceptedRate", result.acceptedRate);
-        w.field("avgLatency", result.avgLatency);
-        w.field("p50Latency", result.p50Latency);
-        w.field("p99Latency", result.p99Latency);
-        w.field("avgHops", result.avgHops);
-        w.field("packetsMeasured", result.packetsMeasured);
-        w.field("deadlocked", result.deadlocked);
-        w.field("drained", result.drained);
-        w.field("cycles", result.cycles);
-        w.field("channelLoadCv", result.channelLoadCv);
-        w.field("channelsUnused", result.channelsUnused);
+        w.field("pattern", sim::toString(*pattern));
+        w.beginObject("config");
+        sim::jsonFields(w, cfg);
+        w.end();
+        w.beginObject("result");
+        sim::jsonFields(w, result);
+        w.end();
         w.end();
         std::cout << w.str() << '\n';
         return result.deadlocked ? 1 : 0;
