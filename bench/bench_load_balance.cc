@@ -67,17 +67,20 @@ printTable(const std::vector<sweep::JobOutcome> &outcomes,
 {
     TextTable t;
     t.setHeader({"router", "load CV", "max/mean", "unused channels",
-                 "avg latency"});
+                 "occ mean", "occ peak", "avg latency"});
     for (std::size_t ci = 0; ci < kRouters.size(); ++ci) {
         const auto &o = outcomes[base + ci];
         if (!o.ok) {
-            t.addRow({kRouters[ci].label, "ERROR", "-", "-", "-"});
+            t.addRow({kRouters[ci].label, "ERROR", "-", "-", "-", "-",
+                      "-"});
             continue;
         }
         t.addRow({kRouters[ci].label,
                   TextTable::num(o.result.channelLoadCv, 3),
                   TextTable::num(o.result.channelLoadMaxRatio, 2),
                   TextTable::num(o.result.channelsUnused * 100, 1) + " %",
+                  TextTable::num(o.result.channelOccupancyMean, 2),
+                  std::to_string(o.result.channelOccupancyPeak),
                   o.result.deadlocked
                       ? "DEADLOCK"
                       : TextTable::num(o.result.avgLatency, 1)});

@@ -105,6 +105,52 @@ printTable(const std::vector<sweep::SweepJob> &jobs,
     (void)jobs;
 }
 
+/**
+ * Stall attribution at one offered load: which pipeline stage refused
+ * flits, per router design. Percentages of that run's total stall
+ * cycles, plus the hottest router's share of them.
+ */
+void
+printStallTable(const std::vector<sweep::JobOutcome> &outcomes,
+                std::size_t rate_index)
+{
+    TextTable t;
+    t.setHeader({"router", "route-compute", "vc-starved",
+                 "credit-starved", "switch-lost", "hottest node"});
+    for (std::size_t ci = 0; ci < kRouters.size(); ++ci) {
+        const auto &o = outcomes[rate_index * kRouters.size() + ci];
+        if (!o.ok) {
+            t.addRow({kRouters[ci].label, "ERROR", "-", "-", "-", "-"});
+            continue;
+        }
+        const auto &r = o.result;
+        const double total = static_cast<double>(
+            r.stallRouteCompute + r.stallVcStarved + r.stallCreditStarved
+            + r.stallSwitchLost);
+        const auto pct = [&](std::uint64_t v) {
+            return total == 0.0
+                ? std::string("-")
+                : TextTable::num(100.0 * static_cast<double>(v) / total, 1)
+                    + " %";
+        };
+        t.addRow({kRouters[ci].label, pct(r.stallRouteCompute),
+                  pct(r.stallVcStarved), pct(r.stallCreditStarved),
+                  pct(r.stallSwitchLost),
+                  "n" + std::to_string(r.hottestRouter) + " ("
+                      + (total == 0.0
+                             ? std::string("-")
+                             : TextTable::num(
+                                   100.0
+                                       * static_cast<double>(
+                                           r.hottestRouterStalls)
+                                       / total,
+                                   1)
+                                   + " %")
+                      + ")"});
+    }
+    t.print(std::cout);
+}
+
 void
 reproduce()
 {
@@ -131,6 +177,17 @@ reproduce()
                {report.outcomes.begin()
                     + static_cast<std::ptrdiff_t>(per_pattern),
                 report.outcomes.end()});
+
+    // Near saturation the stall mix separates the designs: escape-VC
+    // routers starve on VCs, wide adaptive ones lose switch grants.
+    const std::size_t near_sat = kRates.size() - 2; // 0.35
+    bench::banner("Stall attribution @ "
+                  + TextTable::num(kRates[near_sat], 2)
+                  + " offered, uniform traffic");
+    printStallTable({report.outcomes.begin(),
+                     report.outcomes.begin()
+                         + static_cast<std::ptrdiff_t>(per_pattern)},
+                    near_sat);
 
     std::cout << "\n[sweep: " << jobs.size() << " jobs, "
               << report.threads << " threads, " << report.simulated

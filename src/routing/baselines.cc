@@ -209,4 +209,24 @@ OddEvenRouting::candidates(topo::ChannelId /*in*/, topo::NodeId at,
     return out;
 }
 
+std::vector<topo::ChannelId>
+MinimalAdaptiveRouting::candidates(topo::ChannelId /*in*/,
+                                   topo::NodeId at, topo::NodeId /*src*/,
+                                   topo::NodeId dest) const
+{
+    std::vector<topo::ChannelId> out;
+    for (std::uint8_t d = 0; d < net.numDims(); ++d) {
+        const int off = net.minimalOffset(at, dest, d);
+        if (off == 0)
+            continue;
+        const auto link =
+            net.linkFrom(at, d, off > 0 ? Sign::Pos : Sign::Neg);
+        if (!link)
+            continue;
+        for (int v = 0; v < net.vcsOnLink(*link); ++v)
+            out.push_back(net.channel(*link, v));
+    }
+    return out;
+}
+
 } // namespace ebda::routing

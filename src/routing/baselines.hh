@@ -5,11 +5,15 @@
  *  - DimensionOrderRouting: XY/YX and general n-dim dimension order;
  *  - WestFirstRouting, NorthLastRouting, NegativeFirstRouting: the three
  *    unique 2D turn-model algorithms (Glass-Ni);
- *  - OddEvenRouting: Chiu's ROUTE function, exactly as published.
+ *  - OddEvenRouting: Chiu's ROUTE function, exactly as published;
+ *  - MinimalAdaptiveRouting: fully unrestricted minimal adaptive — the
+ *    deliberately deadlock-PRONE negative control (its CDG is cyclic on
+ *    any ring of turns), used to exercise the simulator's watchdog and
+ *    deadlock forensics.
  *
- * All relations route minimally on a mesh and may use every VC of a
- * chosen link (VC transitions along the same direction cannot close a
- * cycle under these algorithms' orderings).
+ * All relations route minimally and may use every VC of a chosen link
+ * (VC transitions along the same direction cannot close a cycle under
+ * the restricted algorithms' orderings).
  */
 
 #ifndef EBDA_ROUTING_BASELINES_HH
@@ -122,6 +126,31 @@ class OddEvenRouting : public MeshRouting
         topo::NodeId dest) const override;
 
     std::string name() const override { return "Odd-Even"; }
+};
+
+/**
+ * Fully unrestricted minimal adaptive routing: every profitable
+ * dimension, every VC of the chosen link, no turn or VC restriction at
+ * all. NOT deadlock-free on anything with a turn cycle (any 2D+ mesh)
+ * and certainly not on a torus — this is the negative control for the
+ * Dally verifier and the runtime witness generator for the simulator's
+ * deadlock forensics. Works on meshes and tori.
+ */
+class MinimalAdaptiveRouting : public cdg::RoutingRelation
+{
+  public:
+    explicit MinimalAdaptiveRouting(const topo::Network &net) : net(net) {}
+
+    std::vector<topo::ChannelId> candidates(
+        topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+        topo::NodeId dest) const override;
+
+    std::string name() const override { return "Minimal-Adaptive"; }
+
+    const topo::Network &network() const override { return net; }
+
+  private:
+    const topo::Network &net;
 };
 
 } // namespace ebda::routing

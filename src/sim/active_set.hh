@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The active-set scheduler: a lazily-sorted index set that lets the
+ * simulator visit only components with pending work (input VCs holding
+ * flits, links with owned output VCs, nodes with pending ejections)
+ * instead of rescanning the whole fabric every cycle.
+ *
+ * Bit-identity contract: a sweep visits the scheduled indices in
+ * exactly the rotated ascending order the monolithic simulator used to
+ * scan the full range in — `offset, offset+1, ..., N-1, 0, ...,
+ * offset-1` restricted to members — so as long as the skipped indices
+ * would have been no-ops (the scheduling invariant each caller
+ * maintains), every arbitration decision is unchanged.
+ *
+ * Membership is idempotent; items scheduled during a sweep of the SAME
+ * set are not visited until the next sweep (callers never need that —
+ * activations during a stage always target a different set). Removal
+ * is decided by the visitor's return value and applied after the
+ * sweep, so iteration never invalidates itself.
+ */
+
+#ifndef EBDA_SIM_ACTIVE_SET_HH
+#define EBDA_SIM_ACTIVE_SET_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ebda::sim {
+
+/** Sorted index set with O(1) idempotent insertion and rotated sweeps. */
+class ActiveSet
+{
+  public:
+    explicit ActiveSet(std::size_t universe) : member(universe, 0) {}
+
+    /** Add index i (no-op when already scheduled). */
+    void
+    schedule(std::size_t i)
+    {
+        if (!member[i]) {
+            member[i] = 1;
+            items.push_back(i);
+            dirty = true;
+        }
+    }
+
+    bool contains(std::size_t i) const { return member[i] != 0; }
+
+    /** Scheduled indices (after the next sweep's sort when dirty). */
+    std::size_t size() const { return items.size(); }
+
+    std::size_t universe() const { return member.size(); }
+
+    /**
+     * Visit every member in rotated ascending order starting at the
+     * first member >= offset. The visitor returns true to keep the
+     * index scheduled, false to drop it. Dropped indices may be
+     * re-scheduled later; indices scheduled mid-sweep (necessarily into
+     * a different region of the array than the visitor is deciding
+     * about) are visited from the next sweep on.
+     */
+    template <typename Fn>
+    void
+    sweep(std::size_t offset, Fn &&fn)
+    {
+        if (dirty) {
+            std::sort(items.begin(), items.end());
+            dirty = false;
+        }
+        // Freeze the member count: mid-sweep schedules (which would
+        // reallocate `items`) join from the next sweep. Iterate by
+        // position so push_back can never invalidate the traversal.
+        const std::size_t frozen = items.size();
+        const std::size_t pivot = static_cast<std::size_t>(
+            std::lower_bound(items.begin(),
+                             items.begin()
+                                 + static_cast<std::ptrdiff_t>(frozen),
+                             offset)
+            - items.begin());
+        bool removed = false;
+        const auto visit = [&](std::size_t pos) {
+            const std::size_t i = items[pos];
+            if (!fn(i)) {
+                member[i] = 0;
+                removed = true;
+            }
+        };
+        for (std::size_t p = pivot; p < frozen; ++p)
+            visit(p);
+        for (std::size_t p = 0; p < pivot; ++p)
+            visit(p);
+        if (removed) {
+            items.erase(std::remove_if(items.begin(), items.end(),
+                                       [&](std::size_t i) {
+                                           return member[i] == 0;
+                                       }),
+                        items.end());
+        }
+    }
+
+  private:
+    /** Membership flags over the universe. */
+    std::vector<std::uint8_t> member;
+    /** Scheduled indices; sorted unless dirty. */
+    std::vector<std::size_t> items;
+    bool dirty = false;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_ACTIVE_SET_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The flit-level data model shared by the router pipeline stages
+ * (vc_allocator.hh, switch_allocator.hh), the fabric state (router.hh)
+ * and the deadlock forensics (forensics.hh).
+ *
+ * These used to be private members of the monolithic Simulator; the
+ * pipeline decomposition makes them the vocabulary the stage objects
+ * exchange, so they live in their own header.
+ */
+
+#ifndef EBDA_SIM_FLIT_HH
+#define EBDA_SIM_FLIT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "cdg/routing_relation.hh"
+#include "topo/network.hh"
+
+namespace ebda::sim {
+
+/** One flow-control unit of a packet. */
+struct Flit
+{
+    /** Index into the packet table. */
+    std::uint32_t pkt;
+    bool head;
+    bool tail;
+    /** Cycle the flit entered its current buffer (a flit becomes
+     *  movable `routerLatency` cycles after the hop). */
+    std::uint64_t arrival;
+};
+
+/** Bookkeeping for one generated packet. */
+struct PacketRec
+{
+    topo::NodeId src;
+    topo::NodeId dest;
+    std::uint64_t genCycle;
+    std::uint16_t hops = 0;
+    /** Generated inside the measurement window. */
+    bool measured = false;
+};
+
+/** One input VC buffer (a channel's downstream buffer, or an
+ *  injection-port buffer). */
+struct InputVc
+{
+    std::deque<Flit> buf;
+    /** Channel this VC represents (kInjectionChannel for injection
+     *  buffers). */
+    topo::ChannelId self = 0;
+    /** Router this VC feeds. */
+    topo::NodeId atNode = 0;
+    /** Allocated output channel; kInvalidId when unrouted. */
+    topo::ChannelId out = topo::kInvalidId;
+    /** Routed to the local ejection port. */
+    bool eject = false;
+    /** Output allocation held (from head allocation to tail send). */
+    bool routed = false;
+};
+
+/**
+ * Per-router stall attribution, counted in stall-cycles: each counter
+ * advances by one for every cycle a flit at this router wanted to move
+ * through a pipeline stage and could not, bucketed by the stage that
+ * refused it.
+ */
+struct StallCounters
+{
+    /** Route computation returned no legal candidate at all (e.g. a
+     *  faulted or disconnected relation). */
+    std::uint64_t routeCompute = 0;
+    /** Legal candidates existed but every output VC was owned (or
+     *  non-empty in atomic mode): VC allocation starved. */
+    std::uint64_t vcStarved = 0;
+    /** Output VC held but the downstream buffer had no space (or the
+     *  VCT/SAF switching gate refused the head). */
+    std::uint64_t creditStarved = 0;
+    /** Flit was movable but lost switch arbitration (input port already
+     *  granted this cycle). */
+    std::uint64_t switchLost = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return routeCompute + vcStarved + creditStarved + switchLost;
+    }
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_FLIT_HH

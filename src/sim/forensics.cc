@@ -1,0 +1,103 @@
+#include "sim/forensics.hh"
+
+#include <sstream>
+
+#include "cdg/relation_cdg.hh"
+#include "graph/cycles.hh"
+
+namespace ebda::sim {
+
+DeadlockForensics
+buildForensics(const Fabric &fab, const cdg::RoutingRelation &routing,
+               std::uint64_t cycle)
+{
+    DeadlockForensics out;
+    out.frozenAtCycle = cycle;
+    out.frozenFlits = fab.flitsInFlight;
+
+    // Wait-for graph over input VC indices. Channel buffers use their
+    // channel id as vertex; injection buffers follow (they can start a
+    // wait chain but nothing waits on them, so they never cycle).
+    graph::Digraph waits(fab.ivcs.size());
+    for (std::size_t i = 0; i < fab.ivcs.size(); ++i) {
+        const InputVc &vc = fab.ivcs[i];
+        if (vc.buf.empty())
+            continue;
+        if (vc.routed && vc.eject)
+            continue; // ejection has no backpressure: drains eventually
+
+        BlockedVc rec;
+        rec.channel = vc.self;
+        rec.node = vc.atNode;
+        rec.packet = vc.buf.front().pkt;
+        rec.routed = vc.routed;
+        rec.bufferedFlits = static_cast<std::uint32_t>(vc.buf.size());
+        if (vc.routed) {
+            rec.waitingOn.push_back(vc.out);
+        } else if (vc.buf.front().head) {
+            const PacketRec &pkt = fab.packets[vc.buf.front().pkt];
+            rec.waitingOn = routing.candidates(vc.self, vc.atNode,
+                                               pkt.src, pkt.dest);
+        }
+        for (topo::ChannelId w : rec.waitingOn)
+            waits.addEdge(static_cast<graph::NodeId>(i), w);
+        out.blocked.push_back(std::move(rec));
+    }
+
+    const graph::CycleReport cyc = graph::findCycle(waits);
+    if (cyc.acyclic)
+        return out;
+    out.waitCycle.assign(cyc.cycle.begin(), cyc.cycle.end());
+
+    // Cross-reference: every wait edge between channels must be a
+    // dependency the static Dally verifier already knows about.
+    const graph::Digraph cdgGraph = cdg::buildRelationCdg(routing);
+    out.cycleInRelationCdg = true;
+    for (std::size_t k = 0; k < out.waitCycle.size(); ++k) {
+        const topo::ChannelId from = out.waitCycle[k];
+        const topo::ChannelId to =
+            out.waitCycle[(k + 1) % out.waitCycle.size()];
+        if (from >= fab.net.numChannels() || to >= fab.net.numChannels()
+            || !cdgGraph.hasEdge(from, to)) {
+            out.cycleInRelationCdg = false;
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+DeadlockForensics::describe(const topo::Network &net) const
+{
+    std::ostringstream os;
+    os << "deadlock forensics: frozen at cycle " << frozenAtCycle
+       << ", " << frozenFlits << " flits stuck, " << blocked.size()
+       << " blocked buffers\n";
+    for (const BlockedVc &b : blocked) {
+        os << "  ";
+        if (b.channel == cdg::kInjectionChannel)
+            os << "injection@node" << b.node;
+        else
+            os << net.channelName(b.channel);
+        os << ": pkt " << b.packet << ", " << b.bufferedFlits
+           << " flits, "
+           << (b.routed ? "holds output, waits on"
+                        : "unrouted, candidates:");
+        for (topo::ChannelId w : b.waitingOn)
+            os << " [" << net.channelName(w) << "]";
+        os << "\n";
+    }
+    if (waitCycle.empty()) {
+        os << "  no wait-for cycle found (livelock or starvation, not "
+              "hold-and-wait)\n";
+    } else {
+        os << "  wait-for cycle (" << waitCycle.size() << " channels):\n";
+        for (topo::ChannelId c : waitCycle)
+            os << "    " << net.channelName(c) << "\n";
+        os << "  every edge in static relation CDG: "
+           << (cycleInRelationCdg ? "yes" : "NO (verifier gap!)") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ebda::sim

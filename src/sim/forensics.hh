@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deadlock forensics: when the progress watchdog fires, walk the frozen
+ * fabric, reconstruct the wait-for graph among buffers, extract a
+ * concrete cycle of channels, and cross-reference it against the Dally
+ * relation-CDG — the runtime witness must be an instance of a
+ * statically predicted dependency cycle.
+ *
+ * Wait-for model (over input VC buffers):
+ *  - a routed, non-eject VC waits on its allocated output channel
+ *    (buffer space there frees only when that channel's VC advances);
+ *  - an unrouted VC with a head flit at its front waits on *all* of its
+ *    routing candidates (an OR-wait; modelling it as AND over-
+ *    approximates, but any cycle found is still a genuine hold-and-wait
+ *    witness because in a frozen fabric none of the candidates ever
+ *    frees);
+ *  - eject-routed VCs never block permanently (the ejection port has no
+ *    backpressure) and injection VCs have no in-edges, so neither can
+ *    lie on a cycle.
+ */
+
+#ifndef EBDA_SIM_FORENSICS_HH
+#define EBDA_SIM_FORENSICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/router.hh"
+
+namespace ebda::sim {
+
+/** One buffer holding a blocked packet in the frozen fabric. */
+struct BlockedVc
+{
+    /** Channel the buffer belongs to (kInjectionChannel for injection
+     *  buffers). */
+    topo::ChannelId channel = 0;
+    /** Router the buffer feeds. */
+    topo::NodeId node = 0;
+    /** Packet at the buffer front (index into the packet table). */
+    std::uint32_t packet = 0;
+    /** Holds an output allocation (waitingOn is then that single
+     *  channel); otherwise waitingOn lists all routing candidates. */
+    bool routed = false;
+    std::vector<topo::ChannelId> waitingOn;
+    std::uint32_t bufferedFlits = 0;
+};
+
+/** The forensic dump extracted from a frozen fabric. */
+struct DeadlockForensics
+{
+    /** Cycle the watchdog fired at. */
+    std::uint64_t frozenAtCycle = 0;
+    /** Flits stuck in the fabric. */
+    std::uint64_t frozenFlits = 0;
+    /** Every buffer with a blocked packet. */
+    std::vector<BlockedVc> blocked;
+    /** A concrete wait-for cycle as a channel sequence c0, ..., ck-1
+     *  (each ci waits on c(i+1 mod k)); empty when no cycle was found
+     *  (e.g. a route-compute livelock rather than hold-and-wait). */
+    std::vector<topo::ChannelId> waitCycle;
+    /** True when every edge of waitCycle is an edge of the relation's
+     *  Dally CDG — the static verifier predicted this cycle. */
+    bool cycleInRelationCdg = false;
+
+    /** Multi-line human-readable dump with channel names. */
+    std::string describe(const topo::Network &net) const;
+};
+
+/** Walk the frozen fabric and build the forensic dump. */
+DeadlockForensics buildForensics(const Fabric &fab,
+                                 const cdg::RoutingRelation &routing,
+                                 std::uint64_t cycle);
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_FORENSICS_HH

@@ -1,0 +1,62 @@
+#include "sim/router.hh"
+
+#include "util/logging.hh"
+
+namespace ebda::sim {
+
+Fabric::Fabric(const topo::Network &network, const SimConfig &config)
+    : net(network), cfg(config)
+{
+    EBDA_ASSERT(cfg.vcDepth >= 1, "vcDepth must be positive");
+    EBDA_ASSERT(cfg.packetLength >= 1, "packetLength must be positive");
+    EBDA_ASSERT(cfg.injectionVcs >= 1, "need at least one injection VC");
+    EBDA_ASSERT(cfg.routerLatency >= 1, "routerLatency must be >= 1");
+    if (cfg.switching != SwitchingMode::Wormhole) {
+        EBDA_ASSERT(cfg.vcDepth >= cfg.packetLength,
+                    "VCT/SAF need vcDepth >= packetLength (",
+                    cfg.vcDepth, " < ", cfg.packetLength, ")");
+    }
+
+    const std::size_t channels = net.numChannels();
+    ivcs.resize(channels
+                + net.numNodes()
+                    * static_cast<std::size_t>(cfg.injectionVcs));
+    for (topo::ChannelId c = 0; c < channels; ++c) {
+        ivcs[c].self = c;
+        ivcs[c].atNode = net.link(net.linkOf(c)).dst;
+    }
+    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+        for (int k = 0; k < cfg.injectionVcs; ++k) {
+            InputVc &vc = ivcs[injIndex(n, k)];
+            vc.self = cdg::kInjectionChannel;
+            vc.atNode = n;
+        }
+    }
+
+    owner.assign(channels, topo::kInvalidId);
+    ownedOnLink.assign(net.numLinks(), 0);
+    ejectPending.assign(net.numNodes(), 0);
+    channelLoad.assign(channels, 0);
+    occIntegral.assign(channels, 0.0);
+    occStamp.assign(channels, 0);
+    occPeak.assign(channels, 0);
+}
+
+std::vector<ChannelOccupancy>
+Fabric::channelOccupancy(std::uint64_t horizon) const
+{
+    std::vector<ChannelOccupancy> out(net.numChannels());
+    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+        // Flush the lazy integral: the buffer held its current size
+        // from the last touch until the horizon.
+        const double integral = occIntegral[c]
+            + static_cast<double>(ivcs[c].buf.size())
+                * static_cast<double>(horizon - occStamp[c]);
+        out[c].mean =
+            horizon ? integral / static_cast<double>(horizon) : 0.0;
+        out[c].peak = occPeak[c];
+    }
+    return out;
+}
+
+} // namespace ebda::sim

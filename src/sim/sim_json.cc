@@ -102,6 +102,19 @@ jsonFields(JsonWriter &w, const SimResult &r)
     w.field("channelLoadCv", r.channelLoadCv, kExact);
     w.field("channelLoadMaxRatio", r.channelLoadMaxRatio, kExact);
     w.field("channelsUnused", r.channelsUnused, kExact);
+    w.field("stallRouteCompute", r.stallRouteCompute);
+    w.field("stallVcStarved", r.stallVcStarved);
+    w.field("stallCreditStarved", r.stallCreditStarved);
+    w.field("stallSwitchLost", r.stallSwitchLost);
+    w.field("hottestRouter", static_cast<std::uint64_t>(r.hottestRouter));
+    w.field("hottestRouterStalls", r.hottestRouterStalls);
+    w.field("channelOccupancyMean", r.channelOccupancyMean, kExact);
+    w.field("channelOccupancyPeak", r.channelOccupancyPeak);
+    w.beginArray("deadlockCycle");
+    for (std::uint32_t c : r.deadlockCycle)
+        w.value(static_cast<std::uint64_t>(c));
+    w.end();
+    w.field("deadlockCycleInCdg", r.deadlockCycleInCdg);
 }
 
 std::string
@@ -307,9 +320,56 @@ resultFromJson(const JsonValue &v, std::string *error)
                     [&](const JsonValue &f) {
                         res.channelLoadMaxRatio = f.asDouble();
                     })
-        && r.number("channelsUnused", [&](const JsonValue &f) {
-               res.channelsUnused = f.asDouble();
-           });
+        && r.number("channelsUnused",
+                    [&](const JsonValue &f) {
+                        res.channelsUnused = f.asDouble();
+                    })
+        && r.number("stallRouteCompute",
+                    [&](const JsonValue &f) {
+                        res.stallRouteCompute = f.asU64();
+                    })
+        && r.number("stallVcStarved",
+                    [&](const JsonValue &f) {
+                        res.stallVcStarved = f.asU64();
+                    })
+        && r.number("stallCreditStarved",
+                    [&](const JsonValue &f) {
+                        res.stallCreditStarved = f.asU64();
+                    })
+        && r.number("stallSwitchLost",
+                    [&](const JsonValue &f) {
+                        res.stallSwitchLost = f.asU64();
+                    })
+        && r.number("hottestRouter",
+                    [&](const JsonValue &f) {
+                        res.hottestRouter =
+                            static_cast<std::uint32_t>(f.asU64());
+                    })
+        && r.number("hottestRouterStalls",
+                    [&](const JsonValue &f) {
+                        res.hottestRouterStalls = f.asU64();
+                    })
+        && r.number("channelOccupancyMean",
+                    [&](const JsonValue &f) {
+                        res.channelOccupancyMean = f.asDouble();
+                    })
+        && r.number("channelOccupancyPeak",
+                    [&](const JsonValue &f) {
+                        res.channelOccupancyPeak = f.asU64();
+                    })
+        && r.boolean("deadlockCycleInCdg", res.deadlockCycleInCdg);
+    if (ok) {
+        if (const auto *f = v.find("deadlockCycle")) {
+            if (!f->isArray()) {
+                if (error)
+                    *error = "'deadlockCycle' must be an array";
+                return std::nullopt;
+            }
+            for (const JsonValue &e : f->elements())
+                res.deadlockCycle.push_back(
+                    static_cast<std::uint32_t>(e.asU64()));
+        }
+    }
     if (!ok) {
         if (error)
             *error = r.err;

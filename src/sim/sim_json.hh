@@ -15,7 +15,7 @@
 #include <optional>
 #include <string>
 
-#include "sim/simulator.hh"
+#include "sim/simconfig.hh"
 #include "util/json.hh"
 
 namespace ebda::sim {

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Simulation parameters and results — the value types shared by the
+ * pipeline stages (router.hh, vc_allocator.hh, switch_allocator.hh),
+ * the orchestrating Simulator, the JSON wire format (sim_json.hh) and
+ * the sweep engine. Split out of simulator.hh so a stage object can be
+ * built and unit-tested without the whole simulator.
+ */
+
+#ifndef EBDA_SIM_SIMCONFIG_HH
+#define EBDA_SIM_SIMCONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ebda::sim {
+
+/** Packet switching technique (Section 1 of the paper; Assumption 1:
+ *  EbDa covers all three). */
+enum class SwitchingMode : std::uint8_t
+{
+    /** Pipelined flits; buffers may be smaller than packets. */
+    Wormhole,
+    /** Head advances only when the downstream buffer can hold the
+     *  whole packet (requires vcDepth >= packetLength). */
+    VirtualCutThrough,
+    /** Head advances only after the whole packet is buffered locally
+     *  (requires vcDepth >= packetLength). */
+    StoreAndForward,
+};
+
+/**
+ * Output-selection policy: how a router picks among the (several)
+ * legal candidates an adaptive routing relation offers. DyXY-style
+ * congestion awareness is MaxCredits (pick the least congested
+ * downstream buffer); the others serve as ablation baselines.
+ */
+enum class SelectionPolicy : std::uint8_t
+{
+    /** Most free downstream space (congestion-aware, default). */
+    MaxCredits,
+    /** Rotate deterministically across candidates. */
+    RoundRobin,
+    /** Uniform random choice (per-node deterministic stream). */
+    Random,
+    /** Always the first legal candidate (relation order). */
+    FirstCandidate,
+};
+
+/** Simulation parameters. */
+struct SimConfig
+{
+    std::uint64_t seed = 12345;
+    /** Flits per VC buffer. */
+    int vcDepth = 4;
+    /** Flits per packet. */
+    int packetLength = 4;
+    /** Switching technique. */
+    SwitchingMode switching = SwitchingMode::Wormhole;
+    /** Router pipeline depth in cycles per hop (>= 1). The default of
+     *  1 models a single-stage router; 3-4 approximates the classic
+     *  RC/VA/SA/ST pipeline, shifting latency curves by a constant
+     *  factor of the hop count. */
+    int routerLatency = 1;
+    /** Output-selection policy among legal adaptive candidates. */
+    SelectionPolicy selection = SelectionPolicy::MaxCredits;
+    /** Offered load in flits/node/cycle. */
+    double injectionRate = 0.1;
+    /** Injection-port VC buffers per node. */
+    int injectionVcs = 2;
+    /** Duato-safe atomic VC allocation (one packet per buffer). */
+    bool atomicVcAllocation = false;
+    std::uint64_t warmupCycles = 2000;
+    std::uint64_t measureCycles = 10000;
+    /** Post-measurement cap while waiting for measured packets. */
+    std::uint64_t drainCycles = 100000;
+    /** No-progress window that declares deadlock. */
+    std::uint64_t watchdogCycles = 5000;
+};
+
+/** Aggregate results of one run. */
+struct SimResult
+{
+    /** Generation-to-ejection latency of measured packets (cycles). */
+    double avgLatency = 0.0;
+    std::uint64_t p50Latency = 0;
+    std::uint64_t p99Latency = 0;
+    std::uint64_t maxLatency = 0;
+    /** Average hop count of measured packets. */
+    double avgHops = 0.0;
+    /** Ejected flits per node per cycle during the measurement window. */
+    double acceptedRate = 0.0;
+    /** Generated flits per node per cycle (sanity echo of the config). */
+    double offeredRate = 0.0;
+    std::uint64_t packetsMeasured = 0;
+    std::uint64_t packetsEjected = 0;
+    /** True when the watchdog fired. */
+    bool deadlocked = false;
+    /** False when the drain cap expired with measured packets stuck. */
+    bool drained = true;
+    std::uint64_t cycles = 0;
+
+    /** @name Channel-load distribution (flits forwarded per channel,
+     *  network channels only) — backs the paper's claim that EbDa
+     *  spreads traffic better than escape-channel designs.
+     *  @{ */
+    double channelLoadMean = 0.0;
+    /** Coefficient of variation (stddev / mean); lower = more even. */
+    double channelLoadCv = 0.0;
+    /** Max / mean load ratio. */
+    double channelLoadMaxRatio = 0.0;
+    /** Fraction of channels that carried no flit at all. */
+    double channelsUnused = 0.0;
+    /** @} */
+
+    /** @name Stall attribution (stall-cycles summed over all routers,
+     *  whole run) — which pipeline stage refused flits, and where.
+     *  @{ */
+    std::uint64_t stallRouteCompute = 0;
+    std::uint64_t stallVcStarved = 0;
+    std::uint64_t stallCreditStarved = 0;
+    std::uint64_t stallSwitchLost = 0;
+    /** Node with the most stall-cycles and its count. */
+    std::uint32_t hottestRouter = 0;
+    std::uint64_t hottestRouterStalls = 0;
+    /** @} */
+
+    /** @name Channel occupancy (time-weighted, network channels)
+     *  @{ */
+    /** Mean over channels of the per-channel mean buffered flits. */
+    double channelOccupancyMean = 0.0;
+    /** Largest per-channel peak (saturates at vcDepth). */
+    std::uint64_t channelOccupancyPeak = 0;
+    /** @} */
+
+    /** @name Deadlock forensics (empty / false unless deadlocked)
+     *  The concrete wait-for cycle among channels extracted from the
+     *  frozen fabric, and whether every one of its edges is a
+     *  dependency of the Dally relation-CDG (it must be: the runtime
+     *  witness is an instance of the statically predicted cycle).
+     *  @{ */
+    std::vector<std::uint32_t> deadlockCycle;
+    bool deadlockCycleInCdg = false;
+    /** @} */
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_SIMCONFIG_HH

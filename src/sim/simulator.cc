@@ -1,9 +1,5 @@
 #include "simulator.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
-
 namespace ebda::sim {
 
 Simulator::Simulator(const topo::Network &network,
@@ -11,49 +7,18 @@ Simulator::Simulator(const topo::Network &network,
                      const TrafficGenerator &traffic_gen,
                      const SimConfig &config)
     : net(network), routing(routing_relation), traffic(traffic_gen),
-      cfg(config), latencyHist(4096)
+      cfg(config), fab(network, cfg), vcAlloc(fab, routing_relation),
+      swAlloc(fab), allocActive(fab.ivcs.size()),
+      linkActive(net.numLinks()), ejectActive(net.numNodes()),
+      latencyHist(4096)
 {
-    EBDA_ASSERT(cfg.vcDepth >= 1, "vcDepth must be positive");
-    EBDA_ASSERT(cfg.packetLength >= 1, "packetLength must be positive");
-    EBDA_ASSERT(cfg.injectionVcs >= 1, "need at least one injection VC");
-    EBDA_ASSERT(cfg.routerLatency >= 1, "routerLatency must be >= 1");
-
-    const std::size_t channels = net.numChannels();
-    ivcs.resize(channels
-                + net.numNodes()
-                    * static_cast<std::size_t>(cfg.injectionVcs));
-    for (topo::ChannelId c = 0; c < channels; ++c) {
-        ivcs[c].self = c;
-        ivcs[c].atNode = net.link(net.linkOf(c)).dst;
-    }
-    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
-        for (int k = 0; k < cfg.injectionVcs; ++k) {
-            InputVc &vc = ivcs[injIndex(n, k)];
-            vc.self = cdg::kInjectionChannel;
-            vc.atNode = n;
-        }
-    }
-    if (cfg.switching != SwitchingMode::Wormhole) {
-        EBDA_ASSERT(cfg.vcDepth >= cfg.packetLength,
-                    "VCT/SAF need vcDepth >= packetLength (",
-                    cfg.vcDepth, " < ", cfg.packetLength, ")");
-    }
-
-    owner.assign(channels, topo::kInvalidId);
-    channelLoad.assign(channels, 0);
     sourceQueues.resize(net.numNodes());
-    nodeRng.reserve(net.numNodes());
+    routerTable.reserve(net.numNodes());
     for (topo::NodeId n = 0; n < net.numNodes(); ++n)
-        nodeRng.emplace_back(cfg.seed, n);
-}
-
-std::size_t
-Simulator::injIndex(topo::NodeId n, int k) const
-{
-    return net.numChannels()
-        + static_cast<std::size_t>(n)
-            * static_cast<std::size_t>(cfg.injectionVcs)
-        + static_cast<std::size_t>(k);
+        routerTable.emplace_back(n, cfg.seed);
+    // The input VCs local to each node (ejection arbitration domain).
+    for (std::size_t i = 0; i < fab.ivcs.size(); ++i)
+        routerTable[fab.ivcs[i].atNode].localIvcs.push_back(i);
 }
 
 void
@@ -62,9 +27,10 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
     const double packet_rate =
         cfg.injectionRate / static_cast<double>(cfg.packetLength);
     for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
-        if (!nodeRng[n].nextBool(packet_rate))
+        Rng &rng = routerTable[n].rng;
+        if (!rng.nextBool(packet_rate))
             continue;
-        const auto dest = traffic.dest(n, nodeRng[n]);
+        const auto dest = traffic.dest(n, rng);
         if (!dest)
             continue;
         PacketRec rec;
@@ -72,9 +38,9 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
         rec.dest = *dest;
         rec.genCycle = cycle;
         rec.measured = measuring;
-        packets.push_back(rec);
+        fab.packets.push_back(rec);
         sourceQueues[n].push_back(
-            static_cast<std::uint32_t>(packets.size() - 1));
+            static_cast<std::uint32_t>(fab.packets.size() - 1));
         generatedFlits += static_cast<std::uint64_t>(cfg.packetLength);
         if (measuring)
             ++measuredInFlight;
@@ -90,219 +56,28 @@ Simulator::fillInjectionVcs(std::uint64_t cycle)
             continue;
         for (int k = 0; k < cfg.injectionVcs && !sourceQueues[n].empty();
              ++k) {
-            InputVc &vc = ivcs[injIndex(n, k)];
+            const std::size_t idx = fab.injIndex(n, k);
+            InputVc &vc = fab.ivcs[idx];
             if (!vc.buf.empty() || vc.routed)
                 continue;
             const std::uint32_t pkt = sourceQueues[n].front();
             sourceQueues[n].pop_front();
             for (int f = 0; f < cfg.packetLength; ++f) {
-                vc.buf.push_back(Flit{pkt, f == 0,
-                                      f == cfg.packetLength - 1, cycle});
+                fab.pushFlit(idx,
+                             Flit{pkt, f == 0,
+                                  f == cfg.packetLength - 1, cycle},
+                             cycle);
             }
-            flitsInFlight += static_cast<std::uint64_t>(cfg.packetLength);
+            fab.flitsInFlight +=
+                static_cast<std::uint64_t>(cfg.packetLength);
+            allocActive.schedule(idx);
         }
     }
-}
-
-void
-Simulator::allocateVcs(std::uint64_t cycle)
-{
-    (void)cycle;
-    const std::size_t count = ivcs.size();
-    vcArbOffset = (vcArbOffset + 1) % count;
-    for (std::size_t i = 0; i < count; ++i) {
-        InputVc &vc = ivcs[(i + vcArbOffset) % count];
-        if (vc.routed || vc.buf.empty() || !vc.buf.front().head)
-            continue;
-        const PacketRec &pkt = packets[vc.buf.front().pkt];
-
-        if (vc.atNode == pkt.dest) {
-            vc.eject = true;
-            vc.routed = true;
-            continue;
-        }
-
-        // Collect the free legal candidates, then apply the selection
-        // policy.
-        std::vector<topo::ChannelId> free;
-        for (topo::ChannelId c :
-             routing.candidates(vc.self, vc.atNode, pkt.src, pkt.dest)) {
-            if (owner[c] != topo::kInvalidId)
-                continue;
-            if (cfg.atomicVcAllocation && !ivcs[c].buf.empty())
-                continue;
-            free.push_back(c);
-        }
-
-        topo::ChannelId best = topo::kInvalidId;
-        if (!free.empty()) {
-            switch (cfg.selection) {
-              case SelectionPolicy::MaxCredits: {
-                  int best_space = -1;
-                  for (topo::ChannelId c : free) {
-                      const int space = cfg.vcDepth
-                          - static_cast<int>(ivcs[c].buf.size());
-                      if (space > best_space) {
-                          best_space = space;
-                          best = c;
-                      }
-                  }
-                  break;
-              }
-              case SelectionPolicy::RoundRobin:
-                best = free[vcArbOffset % free.size()];
-                break;
-              case SelectionPolicy::Random:
-                best = free[nodeRng[vc.atNode].nextBounded(free.size())];
-                break;
-              case SelectionPolicy::FirstCandidate:
-                best = free.front();
-                break;
-            }
-        }
-        if (best != topo::kInvalidId) {
-            vc.out = best;
-            vc.eject = false;
-            vc.routed = true;
-            owner[best] = static_cast<std::uint32_t>(
-                (i + vcArbOffset) % count);
-        }
-    }
-}
-
-bool
-Simulator::headMayAdvance(const InputVc &vc, int space_at_out) const
-{
-    switch (cfg.switching) {
-      case SwitchingMode::Wormhole:
-        return true;
-      case SwitchingMode::VirtualCutThrough:
-        // The downstream buffer must be able to accept the entire
-        // packet so a blocked packet never straddles routers.
-        return space_at_out >= cfg.packetLength;
-      case SwitchingMode::StoreAndForward:
-        // Additionally the whole packet must already be buffered here.
-        if (space_at_out < cfg.packetLength)
-            return false;
-        if (vc.buf.size() < static_cast<std::size_t>(cfg.packetLength))
-            return false;
-        {
-            const Flit &last =
-                vc.buf[static_cast<std::size_t>(cfg.packetLength) - 1];
-            return last.tail && last.pkt == vc.buf.front().pkt;
-        }
-    }
-    return true;
-}
-
-bool
-Simulator::traverse(std::uint64_t cycle)
-{
-    bool moved = false;
-
-    // One flit per input port per cycle: ports are network links plus
-    // one injection port per node.
-    std::vector<std::uint64_t> &port_used = portUsedStamp;
-    if (port_used.size() != net.numLinks() + net.numNodes())
-        port_used.assign(net.numLinks() + net.numNodes(), UINT64_MAX);
-    auto port_of = [&](const InputVc &vc) -> std::size_t {
-        return vc.self == cdg::kInjectionChannel
-            ? net.numLinks() + vc.atNode
-            : net.linkOf(vc.self);
-    };
-
-    // Network traversal: one flit per output link.
-    ++swArbOffset;
-    for (std::size_t li = 0; li < net.numLinks(); ++li) {
-        const topo::LinkId l = static_cast<topo::LinkId>(
-            (li + swArbOffset) % net.numLinks());
-        const int nvc = net.vcsOnLink(l);
-        for (int vi = 0; vi < nvc; ++vi) {
-            const int v = (vi + static_cast<int>(swArbOffset)) % nvc;
-            const topo::ChannelId out = net.channel(l, v);
-            const std::uint32_t holder = owner[out];
-            if (holder == topo::kInvalidId)
-                continue;
-            InputVc &vc = ivcs[holder];
-            if (vc.buf.empty() || vc.buf.front().arrival >= cycle)
-                continue;
-            const int space = cfg.vcDepth
-                - static_cast<int>(ivcs[out].buf.size());
-            if (space <= 0)
-                continue;
-            if (vc.buf.front().head && !headMayAdvance(vc, space))
-                continue;
-            if (port_used[port_of(vc)] == cycle)
-                continue;
-
-            Flit flit = vc.buf.front();
-            vc.buf.pop_front();
-            port_used[port_of(vc)] = cycle;
-            // The flit becomes movable routerLatency cycles after the
-            // hop (pipeline depth).
-            flit.arrival =
-                cycle + static_cast<std::uint64_t>(cfg.routerLatency - 1);
-            ivcs[out].buf.push_back(flit);
-            ++channelLoad[out];
-            if (flit.head)
-                ++packets[flit.pkt].hops;
-            if (flit.tail) {
-                owner[out] = topo::kInvalidId;
-                vc.routed = false;
-                vc.out = topo::kInvalidId;
-            }
-            moved = true;
-            break; // one flit per output link per cycle
-        }
-    }
-
-    // Ejection: one flit per node per cycle.
-    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
-        const auto &locals = nodeIvcLists[n];
-        for (std::size_t k = 0; k < locals.size(); ++k) {
-            InputVc &vc =
-                ivcs[locals[(k + swArbOffset) % locals.size()]];
-            if (!vc.routed || !vc.eject || vc.buf.empty()
-                || vc.buf.front().arrival >= cycle
-                || port_used[port_of(vc)] == cycle) {
-                continue;
-            }
-            const Flit flit = vc.buf.front();
-            vc.buf.pop_front();
-            port_used[port_of(vc)] = cycle;
-            --flitsInFlight;
-            moved = true;
-            if (flit.tail) {
-                vc.routed = false;
-                vc.eject = false;
-                PacketRec &pkt = packets[flit.pkt];
-                ++packetsEjectedCount;
-                if (inMeasurementWindow)
-                    ++measuredEjectedFlits;
-                if (pkt.measured) {
-                    const auto latency = cycle - pkt.genCycle;
-                    latencyHist.add(latency);
-                    latencyStat.add(static_cast<double>(latency));
-                    hopsStat.add(static_cast<double>(pkt.hops));
-                    --measuredInFlight;
-                }
-            } else if (inMeasurementWindow) {
-                ++measuredEjectedFlits;
-            }
-            break; // one ejected flit per node per cycle
-        }
-    }
-    return moved;
 }
 
 SimResult
 Simulator::run()
 {
-    // Precompute the input VCs local to each node (for ejection arb).
-    nodeIvcLists.assign(net.numNodes(), {});
-    for (std::size_t i = 0; i < ivcs.size(); ++i)
-        nodeIvcLists[ivcs[i].atNode].push_back(i);
-
     SimResult result;
     const std::uint64_t measure_start = cfg.warmupCycles;
     const std::uint64_t measure_end = measure_start + cfg.measureCycles;
@@ -313,22 +88,37 @@ Simulator::run()
     for (; cycle < hard_stop; ++cycle) {
         const bool measuring =
             cycle >= measure_start && cycle < measure_end;
-        inMeasurementWindow = measuring;
 
         generate(cycle, measuring);
         fillInjectionVcs(cycle);
-        allocateVcs(cycle);
-        const bool moved = traverse(cycle);
+        vcAlloc.allocate(allocActive, routerTable, linkActive,
+                         ejectActive);
+        bool moved =
+            swAlloc.traverse(cycle, linkActive, allocActive, routerTable);
+        EjectStats stats{latencyHist,
+                         latencyStat,
+                         hopsStat,
+                         packetsEjectedCount,
+                         measuredEjectedFlits,
+                         measuredInFlight,
+                         measuring};
+        moved |= swAlloc.eject(cycle, ejectActive, allocActive,
+                               routerTable, stats);
 
-        if (moved || flitsInFlight == 0)
+        if (moved || fab.flitsInFlight == 0)
             last_progress = cycle;
         if (cycle - last_progress > cfg.watchdogCycles) {
             result.deadlocked = true;
+            forensicsDump = buildForensics(fab, routing, cycle);
+            result.deadlockCycle.assign(forensicsDump.waitCycle.begin(),
+                                        forensicsDump.waitCycle.end());
+            result.deadlockCycleInCdg = forensicsDump.cycleInRelationCdg;
             break;
         }
         if (cycle >= measure_end && measuredInFlight == 0)
             break;
     }
+    finalCycle = cycle;
 
     result.cycles = cycle;
     result.drained = !result.deadlocked && measuredInFlight == 0;
@@ -351,10 +141,10 @@ Simulator::run()
         : 0.0;
 
     // Channel-load distribution over network channels.
-    if (!channelLoad.empty()) {
+    if (!fab.channelLoad.empty()) {
         StatAccumulator load;
         std::size_t unused = 0;
-        for (std::uint64_t flits : channelLoad) {
+        for (std::uint64_t flits : fab.channelLoad) {
             load.add(static_cast<double>(flits));
             if (flits == 0)
                 ++unused;
@@ -365,7 +155,37 @@ Simulator::run()
             result.channelLoadMaxRatio = load.max() / load.mean();
         }
         result.channelsUnused = static_cast<double>(unused)
-            / static_cast<double>(channelLoad.size());
+            / static_cast<double>(fab.channelLoad.size());
+    }
+
+    // Stall attribution over routers.
+    std::uint64_t hottest = 0;
+    for (const Router &r : routerTable) {
+        result.stallRouteCompute += r.stalls.routeCompute;
+        result.stallVcStarved += r.stalls.vcStarved;
+        result.stallCreditStarved += r.stalls.creditStarved;
+        result.stallSwitchLost += r.stalls.switchLost;
+        const std::uint64_t total = r.stalls.total();
+        if (total > hottest) {
+            hottest = total;
+            result.hottestRouter = r.node;
+        }
+    }
+    result.hottestRouterStalls = hottest;
+
+    // Time-weighted channel occupancy over network channels.
+    const auto occ = fab.channelOccupancy(finalCycle);
+    if (!occ.empty()) {
+        double mean_sum = 0.0;
+        std::uint64_t peak = 0;
+        for (const ChannelOccupancy &c : occ) {
+            mean_sum += c.mean;
+            if (c.peak > peak)
+                peak = c.peak;
+        }
+        result.channelOccupancyMean =
+            mean_sum / static_cast<double>(occ.size());
+        result.channelOccupancyPeak = peak;
     }
     return result;
 }

@@ -1,20 +1,23 @@
 /**
  * @file
- * A Booksim-style cycle-level wormhole network simulator.
+ * A Booksim-style cycle-level wormhole network simulator, decomposed
+ * into per-router pipeline stages over a shared buffer fabric.
  *
  * Model (one cycle minimum per hop, credit-equivalent backpressure):
  *  - Every concrete channel (link x VC) is an input VC buffer of
  *    `vcDepth` flits at the link's downstream router; injection ports
- *    add `injectionVcs` buffers per node.
- *  - Route computation + VC allocation: a head flit at the front of an
- *    unrouted input VC asks the routing relation for candidate output
- *    channels, keeps those whose output VC is unowned (wormhole: a VC is
- *    owned from head allocation until the tail is sent into it), and
- *    takes the one with most free downstream space. Rotating priority
- *    across input VCs approximates a separable round-robin allocator.
- *  - Switch allocation: one flit per output link per cycle, one flit per
- *    input link per cycle, one ejected flit per node per cycle, granted
- *    round-robin; a flit moves only if the downstream buffer has space.
+ *    add `injectionVcs` buffers per node (sim/router.hh).
+ *  - Route computation + VC allocation (sim/vc_allocator.hh): a head
+ *    flit at the front of an unrouted input VC asks the routing
+ *    relation for candidate output channels, keeps those whose output
+ *    VC is unowned (wormhole: a VC is owned from head allocation until
+ *    the tail is sent into it), and takes the one with most free
+ *    downstream space. Rotating priority across input VCs approximates
+ *    a separable round-robin allocator.
+ *  - Switch allocation (sim/switch_allocator.hh): one flit per output
+ *    link per cycle, one flit per input link per cycle, one ejected
+ *    flit per node per cycle, granted round-robin; a flit moves only
+ *    if the downstream buffer has space.
  *  - Wormhole, non-atomic buffers by default: a freed output VC may be
  *    reallocated while earlier packets still drain downstream, so a
  *    buffer can hold flits of several packets — the operating mode
@@ -22,8 +25,19 @@
  *    `atomicVcAllocation` a VC is only allocated when its downstream
  *    buffer is empty (Duato-safe mode).
  *  - Progress watchdog: if no flit moves for `watchdogCycles` while
- *    flits are in flight, the run is declared deadlocked — the runtime
- *    complement to the CDG verifier.
+ *    flits are in flight, the run is declared deadlocked, the frozen
+ *    fabric is walked for a concrete wait-for cycle, and the witness
+ *    is cross-referenced against the Dally relation-CDG
+ *    (sim/forensics.hh) — the runtime complement to the CDG verifier.
+ *
+ * Scheduling: the stages sweep *active sets* (sim/active_set.hh) — the
+ * input VCs that hold flits and lack an output, the links with owned
+ * output VCs, the nodes with pending ejections — instead of rescanning
+ * the whole fabric each cycle, visiting members in exactly the rotated
+ * order the monolithic scan used. Results are bit-identical to the
+ * original single-loop simulator (tests/test_golden_sim.cc pins this
+ * against captured pre-refactor outputs); per-cycle cost scales with
+ * traffic in flight rather than fabric size.
  *
  * Simplifications vs. a full Booksim: single-stage router pipeline (no
  * extra RC/VA/SA latency cycles) and instantaneous credit return. Both
@@ -36,117 +50,22 @@
 
 #include <cstdint>
 #include <deque>
-#include <string>
 #include <vector>
 
-#include "cdg/routing_relation.hh"
+#include "sim/active_set.hh"
+#include "sim/forensics.hh"
+#include "sim/router.hh"
+#include "sim/simconfig.hh"
+#include "sim/switch_allocator.hh"
 #include "sim/traffic.hh"
-#include "util/random.hh"
+#include "sim/vc_allocator.hh"
 #include "util/stats.hh"
 
 namespace ebda::sim {
 
-/** Packet switching technique (Section 1 of the paper; Assumption 1:
- *  EbDa covers all three). */
-enum class SwitchingMode : std::uint8_t
-{
-    /** Pipelined flits; buffers may be smaller than packets. */
-    Wormhole,
-    /** Head advances only when the downstream buffer can hold the
-     *  whole packet (requires vcDepth >= packetLength). */
-    VirtualCutThrough,
-    /** Head advances only after the whole packet is buffered locally
-     *  (requires vcDepth >= packetLength). */
-    StoreAndForward,
-};
-
 /**
- * Output-selection policy: how a router picks among the (several)
- * legal candidates an adaptive routing relation offers. DyXY-style
- * congestion awareness is MaxCredits (pick the least congested
- * downstream buffer); the others serve as ablation baselines.
- */
-enum class SelectionPolicy : std::uint8_t
-{
-    /** Most free downstream space (congestion-aware, default). */
-    MaxCredits,
-    /** Rotate deterministically across candidates. */
-    RoundRobin,
-    /** Uniform random choice (per-node deterministic stream). */
-    Random,
-    /** Always the first legal candidate (relation order). */
-    FirstCandidate,
-};
-
-/** Simulation parameters. */
-struct SimConfig
-{
-    std::uint64_t seed = 12345;
-    /** Flits per VC buffer. */
-    int vcDepth = 4;
-    /** Flits per packet. */
-    int packetLength = 4;
-    /** Switching technique. */
-    SwitchingMode switching = SwitchingMode::Wormhole;
-    /** Router pipeline depth in cycles per hop (>= 1). The default of
-     *  1 models a single-stage router; 3-4 approximates the classic
-     *  RC/VA/SA/ST pipeline, shifting latency curves by a constant
-     *  factor of the hop count. */
-    int routerLatency = 1;
-    /** Output-selection policy among legal adaptive candidates. */
-    SelectionPolicy selection = SelectionPolicy::MaxCredits;
-    /** Offered load in flits/node/cycle. */
-    double injectionRate = 0.1;
-    /** Injection-port VC buffers per node. */
-    int injectionVcs = 2;
-    /** Duato-safe atomic VC allocation (one packet per buffer). */
-    bool atomicVcAllocation = false;
-    std::uint64_t warmupCycles = 2000;
-    std::uint64_t measureCycles = 10000;
-    /** Post-measurement cap while waiting for measured packets. */
-    std::uint64_t drainCycles = 100000;
-    /** No-progress window that declares deadlock. */
-    std::uint64_t watchdogCycles = 5000;
-};
-
-/** Aggregate results of one run. */
-struct SimResult
-{
-    /** Generation-to-ejection latency of measured packets (cycles). */
-    double avgLatency = 0.0;
-    std::uint64_t p50Latency = 0;
-    std::uint64_t p99Latency = 0;
-    std::uint64_t maxLatency = 0;
-    /** Average hop count of measured packets. */
-    double avgHops = 0.0;
-    /** Ejected flits per node per cycle during the measurement window. */
-    double acceptedRate = 0.0;
-    /** Generated flits per node per cycle (sanity echo of the config). */
-    double offeredRate = 0.0;
-    std::uint64_t packetsMeasured = 0;
-    std::uint64_t packetsEjected = 0;
-    /** True when the watchdog fired. */
-    bool deadlocked = false;
-    /** False when the drain cap expired with measured packets stuck. */
-    bool drained = true;
-    std::uint64_t cycles = 0;
-
-    /** @name Channel-load distribution (flits forwarded per channel,
-     *  network channels only) — backs the paper's claim that EbDa
-     *  spreads traffic better than escape-channel designs.
-     *  @{ */
-    double channelLoadMean = 0.0;
-    /** Coefficient of variation (stddev / mean); lower = more even. */
-    double channelLoadCv = 0.0;
-    /** Max / mean load ratio. */
-    double channelLoadMaxRatio = 0.0;
-    /** Fraction of channels that carried no flit at all. */
-    double channelsUnused = 0.0;
-    /** @} */
-};
-
-/**
- * The simulator. Construct once per run.
+ * The simulator: orchestrates generation, the two allocation stages
+ * and the watchdog over the shared fabric. Construct once per run.
  */
 class Simulator
 {
@@ -158,71 +77,53 @@ class Simulator
     /** Execute warmup, measurement and drain; return the results. */
     SimResult run();
 
+    /** @name Post-run observability
+     *  Valid after run() returns.
+     *  @{ */
+
+    /** Per-router state (stall attribution lives here). */
+    const std::vector<Router> &routers() const { return routerTable; }
+
+    /** Per-channel time-weighted occupancy over the whole run. */
+    std::vector<ChannelOccupancy>
+    channelOccupancy() const
+    {
+        return fab.channelOccupancy(finalCycle);
+    }
+
+    /** Forensic dump of the frozen fabric; meaningful only when the
+     *  run deadlocked. */
+    const DeadlockForensics &forensics() const { return forensicsDump; }
+
+    /** @} */
+
   private:
-    struct Flit
-    {
-        std::uint32_t pkt;
-        bool head;
-        bool tail;
-        /** Cycle the flit entered its current buffer. */
-        std::uint64_t arrival;
-    };
-
-    struct PacketRec
-    {
-        topo::NodeId src;
-        topo::NodeId dest;
-        std::uint64_t genCycle;
-        std::uint16_t hops = 0;
-        bool measured = false;
-    };
-
-    /** One input VC buffer (a channel's downstream buffer, or an
-     *  injection-port buffer). */
-    struct InputVc
-    {
-        std::deque<Flit> buf;
-        /** Channel this VC represents (kInjectionChannel for injection
-         *  buffers). */
-        topo::ChannelId self = 0;
-        /** Router this VC feeds. */
-        topo::NodeId atNode = 0;
-        /** Allocated output channel; kInvalidId when unrouted. */
-        topo::ChannelId out = topo::kInvalidId;
-        bool eject = false;
-        bool routed = false;
-    };
-
     void generate(std::uint64_t cycle, bool measuring);
     void fillInjectionVcs(std::uint64_t cycle);
-    void allocateVcs(std::uint64_t cycle);
-    bool traverse(std::uint64_t cycle);
-
-    /** Switching-mode gate for moving a head flit out of vc into the
-     *  output channel with the given free space. */
-    bool headMayAdvance(const InputVc &vc, int space_at_out) const;
-
-    /** Index of the injection VC k of a node in `ivcs`. */
-    std::size_t injIndex(topo::NodeId n, int k) const;
 
     const topo::Network &net;
     const cdg::RoutingRelation &routing;
     const TrafficGenerator &traffic;
     SimConfig cfg;
 
-    std::vector<InputVc> ivcs;
-    /** Output VC ownership: index into ivcs, or kInvalidId when free. */
-    std::vector<std::uint32_t> owner;
-    std::vector<PacketRec> packets;
+    Fabric fab;
+    std::vector<Router> routerTable;
+    VcAllocator vcAlloc;
+    SwitchAllocator swAlloc;
+
+    /** @name Active sets
+     *  @{ */
+    /** Input VCs holding flits without an output allocation. */
+    ActiveSet allocActive;
+    /** Links with at least one owned output VC. */
+    ActiveSet linkActive;
+    /** Nodes with at least one eject-routed VC. */
+    ActiveSet ejectActive;
+    /** @} */
+
     /** Per-node queues of generated packets awaiting injection VCs. */
     std::vector<std::deque<std::uint32_t>> sourceQueues;
-    std::vector<Rng> nodeRng;
 
-    /** Flits forwarded per network channel (load distribution). */
-    std::vector<std::uint64_t> channelLoad;
-
-    /** Flits currently buffered anywhere. */
-    std::uint64_t flitsInFlight = 0;
     std::uint64_t measuredInFlight = 0;
     std::uint64_t generatedFlits = 0;
     std::uint64_t genCycles = 0;
@@ -233,16 +134,8 @@ class Simulator
     StatAccumulator hopsStat;
     std::uint64_t packetsEjectedCount = 0;
 
-    /** Rotating arbitration offsets. */
-    std::size_t vcArbOffset = 0;
-    std::size_t swArbOffset = 0;
-
-    /** Input-port usage stamps (one flit per port per cycle). */
-    std::vector<std::uint64_t> portUsedStamp;
-    /** Per-node list of input VC indices (ejection arbitration). */
-    std::vector<std::vector<std::size_t>> nodeIvcLists;
-    /** True while the measurement window is open. */
-    bool inMeasurementWindow = false;
+    std::uint64_t finalCycle = 0;
+    DeadlockForensics forensicsDump;
 };
 
 /**

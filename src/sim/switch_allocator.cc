@@ -1,0 +1,156 @@
+#include "sim/switch_allocator.hh"
+
+namespace ebda::sim {
+
+bool
+SwitchAllocator::headMayAdvance(SwitchingMode switching,
+                                int packet_length, const InputVc &vc,
+                                int space_at_out)
+{
+    switch (switching) {
+      case SwitchingMode::Wormhole:
+        return true;
+      case SwitchingMode::VirtualCutThrough:
+        // The downstream buffer must be able to accept the entire
+        // packet so a blocked packet never straddles routers.
+        return space_at_out >= packet_length;
+      case SwitchingMode::StoreAndForward:
+        // Additionally the whole packet must already be buffered here.
+        if (space_at_out < packet_length)
+            return false;
+        if (vc.buf.size() < static_cast<std::size_t>(packet_length))
+            return false;
+        {
+            const Flit &last =
+                vc.buf[static_cast<std::size_t>(packet_length) - 1];
+            return last.tail && last.pkt == vc.buf.front().pkt;
+        }
+    }
+    return true;
+}
+
+bool
+SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
+                          ActiveSet &allocActive,
+                          std::vector<Router> &routers)
+{
+    bool moved = false;
+    ++swArbOffset;
+
+    linkActive.sweep(
+        swArbOffset % fab.net.numLinks(), [&](std::size_t li) -> bool {
+            const topo::LinkId l = static_cast<topo::LinkId>(li);
+            const int nvc = fab.net.vcsOnLink(l);
+            for (int vi = 0; vi < nvc; ++vi) {
+                const int v =
+                    (vi + static_cast<int>(swArbOffset)) % nvc;
+                const topo::ChannelId out = fab.net.channel(l, v);
+                const std::uint32_t holder = fab.owner[out];
+                if (holder == topo::kInvalidId)
+                    continue;
+                InputVc &vc = fab.ivcs[holder];
+                if (vc.buf.empty() || vc.buf.front().arrival >= cycle)
+                    continue; // nothing movable yet: not a stall
+                const int space = fab.cfg.vcDepth
+                    - static_cast<int>(fab.ivcs[out].buf.size());
+                if (space <= 0) {
+                    ++routers[vc.atNode].stalls.creditStarved;
+                    continue;
+                }
+                if (vc.buf.front().head
+                    && !headMayAdvance(fab.cfg.switching,
+                                       fab.cfg.packetLength, vc, space)) {
+                    ++routers[vc.atNode].stalls.creditStarved;
+                    continue;
+                }
+                if (portUsedStamp[portOf(vc)] == cycle) {
+                    ++routers[vc.atNode].stalls.switchLost;
+                    continue;
+                }
+
+                Flit flit = fab.popFlit(holder, cycle);
+                portUsedStamp[portOf(vc)] = cycle;
+                // The flit becomes movable routerLatency cycles after
+                // the hop (pipeline depth).
+                flit.arrival = cycle
+                    + static_cast<std::uint64_t>(fab.cfg.routerLatency
+                                                 - 1);
+                fab.pushFlit(out, flit, cycle);
+                ++fab.channelLoad[out];
+                if (flit.head)
+                    ++fab.packets[flit.pkt].hops;
+                if (flit.tail) {
+                    fab.owner[out] = topo::kInvalidId;
+                    --fab.ownedOnLink[l];
+                    vc.routed = false;
+                    vc.out = topo::kInvalidId;
+                    // The next packet's head (if any) needs an output.
+                    if (!vc.buf.empty())
+                        allocActive.schedule(holder);
+                }
+                // The moved flit may be a head waiting for allocation
+                // downstream.
+                if (!fab.ivcs[out].routed)
+                    allocActive.schedule(out);
+                moved = true;
+                break; // one flit per output link per cycle
+            }
+            return fab.ownedOnLink[l] > 0;
+        });
+    return moved;
+}
+
+bool
+SwitchAllocator::eject(std::uint64_t cycle, ActiveSet &ejectActive,
+                       ActiveSet &allocActive,
+                       std::vector<Router> &routers, EjectStats &stats)
+{
+    bool moved = false;
+
+    ejectActive.sweep(0, [&](std::size_t ni) -> bool {
+        const topo::NodeId n = static_cast<topo::NodeId>(ni);
+        const auto &locals = routers[n].localIvcs;
+        for (std::size_t k = 0; k < locals.size(); ++k) {
+            const std::size_t idx =
+                locals[(k + swArbOffset) % locals.size()];
+            InputVc &vc = fab.ivcs[idx];
+            if (!vc.routed || !vc.eject || vc.buf.empty()
+                || vc.buf.front().arrival >= cycle) {
+                continue;
+            }
+            if (portUsedStamp[portOf(vc)] == cycle) {
+                ++routers[vc.atNode].stalls.switchLost;
+                continue;
+            }
+            const Flit flit = fab.popFlit(idx, cycle);
+            portUsedStamp[portOf(vc)] = cycle;
+            --fab.flitsInFlight;
+            moved = true;
+            if (flit.tail) {
+                vc.routed = false;
+                vc.eject = false;
+                --fab.ejectPending[n];
+                if (!vc.buf.empty())
+                    allocActive.schedule(idx);
+                PacketRec &pkt = fab.packets[flit.pkt];
+                ++stats.packetsEjected;
+                if (stats.inMeasurementWindow)
+                    ++stats.measuredEjectedFlits;
+                if (pkt.measured) {
+                    const auto latency = cycle - pkt.genCycle;
+                    stats.latencyHist.add(latency);
+                    stats.latencyStat.add(static_cast<double>(latency));
+                    stats.hopsStat.add(static_cast<double>(pkt.hops));
+                    --stats.measuredInFlight;
+                }
+            } else if (stats.inMeasurementWindow) {
+                ++stats.measuredEjectedFlits;
+            }
+            break; // one ejected flit per node per cycle
+        }
+        return fab.ejectPending[n] > 0;
+    });
+    return moved;
+}
+
+} // namespace ebda::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The switch-allocation + traversal pipeline stage, extracted from the
+ * monolithic simulator.
+ *
+ * One flit per output link per cycle, one flit per input port per
+ * cycle, one ejected flit per node per cycle, granted round-robin via
+ * a rotating offset shared by link order, per-link VC order and
+ * per-node ejection order — the exact rotation the monolithic loop
+ * used, so grants are bit-identical.
+ *
+ * The stage sweeps only links with owned output VCs and nodes with
+ * eject-routed VCs (skipped entries are provable no-ops), attributes
+ * refusals to the upstream router's stall counters (credit-starved vs.
+ * switch-lost), and reactivates the VC-allocation set when a tail
+ * departure exposes the next packet's head.
+ */
+
+#ifndef EBDA_SIM_SWITCH_ALLOCATOR_HH
+#define EBDA_SIM_SWITCH_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/active_set.hh"
+#include "sim/router.hh"
+#include "util/stats.hh"
+
+namespace ebda::sim {
+
+/** Ejection-side statistics sinks, owned by the simulator. */
+struct EjectStats
+{
+    Histogram &latencyHist;
+    StatAccumulator &latencyStat;
+    StatAccumulator &hopsStat;
+    std::uint64_t &packetsEjected;
+    std::uint64_t &measuredEjectedFlits;
+    std::uint64_t &measuredInFlight;
+    /** True while the measurement window is open this cycle. */
+    bool inMeasurementWindow;
+};
+
+/** Switch allocation: link traversal and ejection. */
+class SwitchAllocator
+{
+  public:
+    explicit SwitchAllocator(Fabric &fab)
+        : fab(fab),
+          portUsedStamp(fab.net.numLinks() + fab.net.numNodes(),
+                        UINT64_MAX)
+    {
+    }
+
+    /**
+     * Network traversal: move at most one flit per active output link.
+     * Advances the rotating grant offset (shared with ejection).
+     *
+     * @return true when any flit moved.
+     */
+    bool traverse(std::uint64_t cycle, ActiveSet &linkActive,
+                  ActiveSet &allocActive, std::vector<Router> &routers);
+
+    /**
+     * Ejection: consume at most one flit per active node. Must run
+     * after traverse() in the same cycle (shares the per-cycle input
+     * port grants).
+     *
+     * @return true when any flit ejected.
+     */
+    bool eject(std::uint64_t cycle, ActiveSet &ejectActive,
+               ActiveSet &allocActive, std::vector<Router> &routers,
+               EjectStats &stats);
+
+    /**
+     * Pure switching-mode gate for moving a head flit out of vc into
+     * an output buffer with the given free space.
+     */
+    static bool headMayAdvance(SwitchingMode switching, int packet_length,
+                               const InputVc &vc, int space_at_out);
+
+    /** Current rotating grant offset (advanced at each traverse). */
+    std::size_t offset() const { return swArbOffset; }
+
+  private:
+    /** Input port of a VC: its link, or the node's injection port. */
+    std::size_t
+    portOf(const InputVc &vc) const
+    {
+        return vc.self == cdg::kInjectionChannel
+            ? fab.net.numLinks() + vc.atNode
+            : fab.net.linkOf(vc.self);
+    }
+
+    Fabric &fab;
+    std::size_t swArbOffset = 0;
+    /** Input-port usage stamps (one flit per port per cycle). */
+    std::vector<std::uint64_t> portUsedStamp;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_SWITCH_ALLOCATOR_HH

@@ -1,0 +1,98 @@
+#include "sim/vc_allocator.hh"
+
+namespace ebda::sim {
+
+topo::ChannelId
+VcAllocator::selectOutput(SelectionPolicy policy,
+                          const std::vector<topo::ChannelId> &free,
+                          const std::vector<InputVc> &ivcs, int vc_depth,
+                          std::size_t rotation, Rng &rng)
+{
+    topo::ChannelId best = topo::kInvalidId;
+    switch (policy) {
+      case SelectionPolicy::MaxCredits: {
+          int best_space = -1;
+          for (topo::ChannelId c : free) {
+              const int space =
+                  vc_depth - static_cast<int>(ivcs[c].buf.size());
+              if (space > best_space) {
+                  best_space = space;
+                  best = c;
+              }
+          }
+          break;
+      }
+      case SelectionPolicy::RoundRobin:
+        best = free[rotation % free.size()];
+        break;
+      case SelectionPolicy::Random:
+        best = free[rng.nextBounded(free.size())];
+        break;
+      case SelectionPolicy::FirstCandidate:
+        best = free.front();
+        break;
+    }
+    return best;
+}
+
+void
+VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
+                      ActiveSet &linkActive, ActiveSet &ejectActive)
+{
+    const std::size_t count = fab.ivcs.size();
+    vcArbOffset = (vcArbOffset + 1) % count;
+
+    std::vector<topo::ChannelId> free;
+    active.sweep(vcArbOffset, [&](std::size_t i) -> bool {
+        InputVc &vc = fab.ivcs[i];
+        if (vc.routed || vc.buf.empty())
+            return false; // stale: re-scheduled on the next transition
+        if (!vc.buf.front().head)
+            return true; // mid-packet front; wait for the head
+        const PacketRec &pkt = fab.packets[vc.buf.front().pkt];
+        Router &rtr = routers[vc.atNode];
+
+        if (vc.atNode == pkt.dest) {
+            vc.eject = true;
+            vc.routed = true;
+            if (fab.ejectPending[vc.atNode]++ == 0)
+                ejectActive.schedule(vc.atNode);
+            return false;
+        }
+
+        // Collect the free legal candidates, then apply the selection
+        // policy.
+        free.clear();
+        bool any_candidate = false;
+        for (topo::ChannelId c : routing.candidates(vc.self, vc.atNode,
+                                                    pkt.src, pkt.dest)) {
+            any_candidate = true;
+            if (fab.owner[c] != topo::kInvalidId)
+                continue;
+            if (fab.cfg.atomicVcAllocation && !fab.ivcs[c].buf.empty())
+                continue;
+            free.push_back(c);
+        }
+        if (free.empty()) {
+            if (any_candidate)
+                ++rtr.stalls.vcStarved;
+            else
+                ++rtr.stalls.routeCompute;
+            return true; // keep waiting for an output VC
+        }
+
+        const topo::ChannelId best =
+            selectOutput(fab.cfg.selection, free, fab.ivcs,
+                         fab.cfg.vcDepth, vcArbOffset, rtr.rng);
+        vc.out = best;
+        vc.eject = false;
+        vc.routed = true;
+        fab.owner[best] = static_cast<std::uint32_t>(i);
+        const topo::LinkId l = fab.net.linkOf(best);
+        if (fab.ownedOnLink[l]++ == 0)
+            linkActive.schedule(l);
+        return false;
+    });
+}
+
+} // namespace ebda::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The route-compute + VC-allocation pipeline stage, extracted from the
+ * monolithic simulator.
+ *
+ * A head flit at the front of an unrouted input VC asks the routing
+ * relation for candidate output channels, keeps those whose output VC
+ * is unowned (and empty, in atomic mode), and applies the configured
+ * selection policy. Rotating priority across input VCs approximates a
+ * separable round-robin allocator; the rotation offset advances by one
+ * every cycle, exactly as the monolithic scan did, so arbitration is
+ * bit-identical.
+ *
+ * The stage sweeps only the active set of VCs that hold flits and lack
+ * an output (every skipped VC is a provable no-op for the original
+ * scan), charges failed allocations to the owning router's stall
+ * counters, and activates the downstream link / ejection sets for the
+ * switch stage.
+ */
+
+#ifndef EBDA_SIM_VC_ALLOCATOR_HH
+#define EBDA_SIM_VC_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/active_set.hh"
+#include "sim/router.hh"
+
+namespace ebda::sim {
+
+/** Route computation and output-VC allocation. */
+class VcAllocator
+{
+  public:
+    VcAllocator(Fabric &fab, const cdg::RoutingRelation &routing)
+        : fab(fab), routing(routing)
+    {
+    }
+
+    /**
+     * One allocation pass over the scheduled input VCs. Newly routed
+     * VCs activate their output link (or their node's ejection port)
+     * for the switch stage; VCs that fail stay scheduled and charge a
+     * stall to their router.
+     */
+    void allocate(ActiveSet &active, std::vector<Router> &routers,
+                  ActiveSet &linkActive, ActiveSet &ejectActive);
+
+    /**
+     * Pure selection-policy kernel: pick one of the free candidates.
+     * `free` must be non-empty; `rotation` is the allocator's rotating
+     * offset (RoundRobin), `rng` the node's stream (Random).
+     */
+    static topo::ChannelId selectOutput(
+        SelectionPolicy policy, const std::vector<topo::ChannelId> &free,
+        const std::vector<InputVc> &ivcs, int vc_depth,
+        std::size_t rotation, Rng &rng);
+
+    /** Current rotating-priority offset (advanced at each allocate). */
+    std::size_t offset() const { return vcArbOffset; }
+
+  private:
+    Fabric &fab;
+    const cdg::RoutingRelation &routing;
+    std::size_t vcArbOffset = 0;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_VC_ALLOCATOR_HH

@@ -1,7 +1,9 @@
 #include "result_cache.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <vector>
 
 #include "sim/sim_json.hh"
 #include "sweep/sweep_spec.hh"
@@ -104,6 +106,88 @@ ResultCache::store(std::uint64_t key, const std::string &canonical_config,
         appender << line << '\n';
         appender.flush();
     }
+}
+
+std::optional<ResultCache::CompactStats>
+ResultCache::compact(const std::string &dir, std::string *error)
+{
+    CompactStats stats;
+    const auto file = cacheFile(dir);
+    std::error_code ec;
+    if (!fs::exists(file, ec))
+        return stats; // nothing to compact
+
+    // Last valid line per key wins, exactly as load() resolves
+    // duplicates; keep the raw line so survivors are byte-identical.
+    std::unordered_map<std::uint64_t, std::string> lines;
+    {
+        std::ifstream in(file);
+        if (!in) {
+            if (error)
+                *error = "cannot read " + file;
+            return std::nullopt;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            const auto doc = parseJson(line);
+            const JsonValue *key =
+                doc && doc->isObject() ? doc->find("key") : nullptr;
+            const JsonValue *result =
+                doc && doc->isObject() ? doc->find("result") : nullptr;
+            if (!key || !key->isString() || key->asString().empty()
+                || !result) {
+                ++stats.droppedCorrupted;
+                continue;
+            }
+            char *end = nullptr;
+            const std::uint64_t k =
+                std::strtoull(key->asString().c_str(), &end, 16);
+            if (!end || *end != '\0' || !sim::resultFromJson(*result)) {
+                ++stats.droppedCorrupted;
+                continue;
+            }
+            if (!lines.emplace(k, line).second) {
+                ++stats.droppedDuplicate;
+                lines[k] = line;
+            }
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, const std::string *>> order;
+    order.reserve(lines.size());
+    for (const auto &[k, l] : lines)
+        order.emplace_back(k, &l);
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    const std::string tmp = file + ".compact.tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot write " + tmp;
+            return std::nullopt;
+        }
+        for (const auto &[k, l] : order)
+            out << *l << '\n';
+        out.flush();
+        if (!out) {
+            if (error)
+                *error = "write failed for " + tmp;
+            return std::nullopt;
+        }
+    }
+    fs::rename(tmp, file, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot replace " + file + ": " + ec.message();
+        fs::remove(tmp, ec);
+        return std::nullopt;
+    }
+    stats.kept = order.size();
+    return stats;
 }
 
 bool

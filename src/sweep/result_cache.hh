@@ -64,6 +64,27 @@ class ResultCache
     static bool clear(const std::string &dir,
                       std::string *error = nullptr);
 
+    /** Outcome of compact(). */
+    struct CompactStats
+    {
+        /** Distinct keys kept. */
+        std::size_t kept = 0;
+        /** Malformed lines dropped. */
+        std::size_t droppedCorrupted = 0;
+        /** Superseded duplicate-key lines dropped. */
+        std::size_t droppedDuplicate = 0;
+    };
+
+    /**
+     * Rewrite the JSONL file dropping corrupted lines and superseded
+     * duplicates (the last line of a key wins, matching load()).
+     * Surviving lines are kept verbatim, sorted by key for stable
+     * diffs, and swapped in atomically via a temp file + rename. A
+     * missing file compacts to nothing successfully.
+     */
+    static std::optional<CompactStats> compact(
+        const std::string &dir, std::string *error = nullptr);
+
   private:
     void load();
 

@@ -111,6 +111,8 @@ makeRouter(const topo::Network &net, const std::string &spec,
             return std::make_unique<OddEvenRouting>(net);
         if (spec == "duato")
             return std::make_unique<DuatoFullyAdaptive>(net);
+        if (spec == "minimal")
+            return std::make_unique<MinimalAdaptiveRouting>(net);
 
         bool ebda_family = false;
         const auto scheme = schemeFor(spec, &ebda_family, error);
@@ -138,7 +140,7 @@ checkRouterSpec(const std::string &spec)
     static const char *fixed[] = {"xy",         "yx",
                                   "west-first", "north-last",
                                   "negative-first", "odd-even",
-                                  "duato"};
+                                  "duato",      "minimal"};
     for (const char *f : fixed)
         if (spec == f)
             return std::nullopt;

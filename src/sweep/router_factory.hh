@@ -10,6 +10,9 @@
  *   "odd-even"                  Chiu's Odd-Even
  *   "duato"                     Duato fully adaptive with escape VC
  *                               (pair with atomicVcAllocation)
+ *   "minimal"                   unrestricted minimal adaptive —
+ *                               deadlock-PRONE negative control for
+ *                               watchdog/forensics experiments
  *   "fig7b" | "fig7c"           the paper's minimum-channel 2D schemes
  *   "region:<n>"                core::regionScheme(n)
  *   "merged:<n>"                core::mergedScheme(n)

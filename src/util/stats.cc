@@ -20,6 +20,7 @@ StatAccumulator::add(double x)
     const double delta = x - m;
     m += delta / static_cast<double>(n);
     m2 += delta * (x - m);
+    s += x;
     minV = std::min(minV, x);
     maxV = std::max(maxV, x);
 }
@@ -40,6 +41,7 @@ StatAccumulator::merge(const StatAccumulator &other)
         * static_cast<double>(n) * static_cast<double>(other.n)
         / static_cast<double>(total);
     n = total;
+    s += other.s;
     minV = std::min(minV, other.minV);
     maxV = std::max(maxV, other.maxV);
 }

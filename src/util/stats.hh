@@ -49,13 +49,16 @@ class StatAccumulator
     /** Largest sample; -inf when empty. */
     double max() const { return maxV; }
 
-    /** Sum of all samples. */
-    double sum() const { return m * static_cast<double>(n); }
+    /** Exact running sum of all samples (tracked directly; the mean
+     *  times the count reconstruction loses low-order bits once sample
+     *  magnitudes differ widely). */
+    double sum() const { return s; }
 
   private:
     std::uint64_t n = 0;
     double m = 0.0;
     double m2 = 0.0;
+    double s = 0.0;
     double minV = std::numeric_limits<double>::infinity();
     double maxV = -std::numeric_limits<double>::infinity();
 };

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Golden-seed bit-identity tests for the decomposed simulator.
+ *
+ * The per-router pipeline + active-set refactor claims *bit-identical*
+ * results to the original monolithic simulator loop: the active sets
+ * only skip provable no-ops and visit members in the same rotated
+ * order, so every arbitration decision, RNG draw and statistic must
+ * come out the same. The expected values below were captured from the
+ * pre-refactor simulator (printed with 17 significant digits, which
+ * round-trips every IEEE-754 double exactly) across all four selection
+ * policies and all three switching modes on a 4x4 mesh and a 4-ary
+ * 2-cube. Any divergence — even in the last ulp — is a scheduling or
+ * arbitration regression, not noise.
+ *
+ * Also here: the forced-deadlock forensics test, pinning that the
+ * watchdog's frozen-fabric walk finds a concrete wait-for cycle and
+ * that every one of its edges is predicted by the Dally relation-CDG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "core/torus.hh"
+#include "graph/digraph.hh"
+#include "routing/baselines.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace ebda;
+
+/** The 16 pre-refactor SimResult fields, in declaration order. */
+struct GoldenResult
+{
+    double avgLatency;
+    std::uint64_t p50Latency;
+    std::uint64_t p99Latency;
+    std::uint64_t maxLatency;
+    double avgHops;
+    double acceptedRate;
+    double offeredRate;
+    std::uint64_t packetsMeasured;
+    std::uint64_t packetsEjected;
+    bool deadlocked;
+    bool drained;
+    std::uint64_t cycles;
+    double channelLoadMean;
+    double channelLoadCv;
+    double channelLoadMaxRatio;
+    double channelsUnused;
+};
+
+struct GoldenRow
+{
+    /** 0 = mesh{4,4} vcs{1,2} fig7b; 1 = torus{4,4} vcs{2,2}
+     *  torusAdaptiveScheme2d. */
+    int topo;
+    sim::SelectionPolicy selection;
+    sim::SwitchingMode switching;
+    GoldenResult expect;
+};
+
+// Captured from the pre-refactor monolithic simulator (seed 2017,
+// rate 0.15, warmup 300, measure 1500, drain 20000, watchdog 2000,
+// uniform traffic). %.17g print, so doubles compare with ==.
+const GoldenRow kGolden[] = {
+    {0, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::Wormhole,
+     {7.9579545454545473, 7, 15, 20, 2.7170454545454534, 0.14679166666666665, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.31944444444446, 0.50328741828825763, 2.1103557870574732, 0}},
+    {0, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::VirtualCutThrough,
+     {8.017045454545455, 8, 16, 21, 2.7170454545454539, 0.14679166666666665, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.31944444444451, 0.50163836676899809, 2.1103557870574723, 0}},
+    {0, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::StoreAndForward,
+     {12.834090909090916, 12, 27, 37, 2.7170454545454525, 0.14687500000000001, 0.14504977876106195, 880, 1044, false, true, 1807,
+      157.40277777777786, 0.47778823452276042, 2.1092385070149113, 0}},
+    {0, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::Wormhole,
+     {8.0193181818181802, 7, 16, 25, 2.7170454545454561, 0.14683333333333334, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.3194444444444, 0.4602575331856632, 2.1612077337335576, 0}},
+    {0, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::VirtualCutThrough,
+     {8.1659090909090999, 8, 17, 23, 2.7170454545454565, 0.14679166666666665, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.3194444444444, 0.45898966390002127, 2.1612077337335576, 0}},
+    {0, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::StoreAndForward,
+     {13.118181818181814, 13, 29, 34, 2.7170454545454552, 0.14704166666666665, 0.14516574585635358, 880, 1044, false, true, 1809,
+      157.58333333333337, 0.44508413844301115, 2.1829719725013215, 0}},
+    {0, sim::SelectionPolicy::Random, sim::SwitchingMode::Wormhole,
+     {8.152099886492616, 8, 16, 21, 2.7026106696935255, 0.14741666666666667, 0.14591385974599669, 881, 1050, false, true, 1810,
+      157.54166666666669, 0.4504218096388144, 2.3612800846336945, 0}},
+    {0, sim::SelectionPolicy::Random, sim::SwitchingMode::VirtualCutThrough,
+     {8.2408675799086701, 8, 19, 23, 2.7009132420091326, 0.14649999999999999, 0.14479512735326688, 876, 1043, false, true, 1805,
+      155.81944444444443, 0.469268931091818, 2.3296193956680633, 0}},
+    {0, sim::SelectionPolicy::Random, sim::SwitchingMode::StoreAndForward,
+     {13.098285714285714, 13, 27, 31, 2.7097142857142855, 0.14574999999999999, 0.14375684556407448, 875, 1043, false, true, 1825,
+      157.08333333333334, 0.45928940597916473, 2.3681697612732093, 0}},
+    {0, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::Wormhole,
+     {7.9488636363636385, 7, 16, 21, 2.7170454545454543, 0.14679166666666665, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.31944444444446, 0.51883240819918575, 2.1357817603955151, 0}},
+    {0, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::VirtualCutThrough,
+     {8.0227272727272734, 8, 15, 22, 2.7170454545454521, 0.14679166666666665, 0.14487534626038781, 880, 1044, false, true, 1804,
+      157.31944444444446, 0.51969163209609259, 2.1357817603955151, 0}},
+    {0, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::StoreAndForward,
+     {12.759090909090904, 12, 27, 34, 2.7170454545454534, 0.14691666666666667, 0.14504977876106195, 880, 1044, false, true, 1807,
+      157.40277777777777, 0.50327951055712372, 2.0584134827494927, 0}},
+    {1, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::Wormhole,
+     {7.235227272727272, 7, 14, 16, 2.198863636363634, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.6171875, 0.90856803869263392, 4.2447910985055088, 0.0234375}},
+    {1, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::VirtualCutThrough,
+     {7.2386363636363651, 7, 14, 16, 2.198863636363634, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.6171875, 0.90856803869263392, 4.2447910985055088, 0.0234375}},
+    {1, sim::SelectionPolicy::MaxCredits, sim::SwitchingMode::StoreAndForward,
+     {10.517045454545451, 9, 21, 35, 2.1988636363636389, 0.14708333333333334, 0.14504977876106195, 880, 1044, false, true, 1807,
+      71.664062500000028, 0.81757815567613024, 3.9071187179766693, 0.015625}},
+    {1, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::Wormhole,
+     {7.2590909090909062, 7, 13, 16, 2.1988636363636385, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.6171875, 0.36964618745354844, 2.4575106359768735, 0}},
+    {1, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::VirtualCutThrough,
+     {7.288636363636364, 7, 14, 16, 2.198863636363638, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.617187500000043, 0.36811466289760258, 2.4575106359768721, 0}},
+    {1, sim::SelectionPolicy::RoundRobin, sim::SwitchingMode::StoreAndForward,
+     {10.607954545454543, 10, 22, 35, 2.1988636363636389, 0.14704166666666665, 0.14504977876106195, 880, 1044, false, true, 1807,
+      71.671875, 0.36551779835689913, 2.3998255940701982, 0}},
+    {1, sim::SelectionPolicy::Random, sim::SwitchingMode::Wormhole,
+     {7.4118967452300817, 7, 15, 18, 2.1907968574635239, 0.14854166666666666, 0.14651355838406199, 891, 1056, false, true, 1806,
+      72.0390625, 0.34200415050754596, 2.0544409500054224, 0}},
+    {1, sim::SelectionPolicy::Random, sim::SwitchingMode::VirtualCutThrough,
+     {7.4266517357222863, 7, 15, 24, 2.1914893617021307, 0.14924999999999999, 0.14697726012201887, 893, 1058, false, true, 1802,
+      72.125, 0.35867097055522512, 2.1074523396880416, 0}},
+    {1, sim::SelectionPolicy::Random, sim::SwitchingMode::StoreAndForward,
+     {10.583521444695259, 10, 22, 28, 2.1975169300225708, 0.14795833333333333, 0.14632799558255108, 886, 1056, false, true, 1810,
+      72.210937500000028, 0.35020266161268004, 2.2157308233257593, 0}},
+    {1, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::Wormhole,
+     {7.22272727272727, 7, 14, 16, 2.1988636363636358, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.617187500000043, 0.96760039898080219, 4.4682011563215855, 0.0546875}},
+    {1, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::VirtualCutThrough,
+     {7.2545454545454593, 7, 14, 16, 2.1988636363636358, 0.14687500000000001, 0.14487534626038781, 880, 1044, false, true, 1804,
+      71.617187500000043, 0.96760039898080219, 4.4682011563215855, 0.0546875}},
+    {1, sim::SelectionPolicy::FirstCandidate, sim::SwitchingMode::StoreAndForward,
+     {10.554545454545435, 10, 21, 35, 2.1988636363636389, 0.14708333333333334, 0.14504977876106195, 880, 1044, false, true, 1807,
+      71.664062499999986, 0.93186539249959133, 4.6327264798866246, 0.046875}},
+};
+
+class GoldenSim : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(GoldenSim, BitIdenticalToMonolithicSimulator)
+{
+    const GoldenRow &row = GetParam();
+    const auto net = row.topo == 0
+        ? topo::Network::mesh({4, 4}, {1, 2})
+        : topo::Network::torus({4, 4}, {2, 2});
+    const auto scheme = row.topo == 0 ? core::schemeFig7b()
+                                      : core::torusAdaptiveScheme2d();
+    const routing::EbDaRouting router(
+        net, scheme, {},
+        row.topo == 0 ? routing::EbDaRouting::Mode::Minimal
+                      : routing::EbDaRouting::Mode::ShortestState);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg;
+    cfg.seed = 2017;
+    cfg.injectionRate = 0.15;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.drainCycles = 20000;
+    cfg.watchdogCycles = 2000;
+    cfg.selection = row.selection;
+    cfg.switching = row.switching;
+
+    const auto r = sim::runSimulation(net, router, gen, cfg);
+    const auto &e = row.expect;
+
+    // Exact comparisons throughout: the goldens were printed with 17
+    // significant digits, so == is the correct check. EXPECT_EQ on
+    // doubles (not EXPECT_DOUBLE_EQ) is deliberate — zero ulps slack.
+    EXPECT_EQ(r.avgLatency, e.avgLatency);
+    EXPECT_EQ(r.p50Latency, e.p50Latency);
+    EXPECT_EQ(r.p99Latency, e.p99Latency);
+    EXPECT_EQ(r.maxLatency, e.maxLatency);
+    EXPECT_EQ(r.avgHops, e.avgHops);
+    EXPECT_EQ(r.acceptedRate, e.acceptedRate);
+    EXPECT_EQ(r.offeredRate, e.offeredRate);
+    EXPECT_EQ(r.packetsMeasured, e.packetsMeasured);
+    EXPECT_EQ(r.packetsEjected, e.packetsEjected);
+    EXPECT_EQ(r.deadlocked, e.deadlocked);
+    EXPECT_EQ(r.drained, e.drained);
+    EXPECT_EQ(r.cycles, e.cycles);
+    EXPECT_EQ(r.channelLoadMean, e.channelLoadMean);
+    EXPECT_EQ(r.channelLoadCv, e.channelLoadCv);
+    EXPECT_EQ(r.channelLoadMaxRatio, e.channelLoadMaxRatio);
+    EXPECT_EQ(r.channelsUnused, e.channelsUnused);
+
+    // The new observability must be self-consistent on top.
+    EXPECT_EQ(r.deadlockCycle.size(), 0u);
+    EXPECT_FALSE(r.deadlockCycleInCdg);
+    EXPECT_GT(r.channelOccupancyPeak, 0u);
+    EXPECT_LE(r.channelOccupancyPeak,
+              static_cast<std::uint64_t>(cfg.vcDepth));
+}
+
+std::string
+rowName(const ::testing::TestParamInfo<GoldenRow> &info)
+{
+    const GoldenRow &row = info.param;
+    std::string n = row.topo == 0 ? "Mesh4x4" : "Torus4x4";
+    n += row.selection == sim::SelectionPolicy::MaxCredits ? "MaxCredits"
+        : row.selection == sim::SelectionPolicy::RoundRobin ? "RoundRobin"
+        : row.selection == sim::SelectionPolicy::Random     ? "Random"
+                                                        : "FirstCandidate";
+    n += row.switching == sim::SwitchingMode::Wormhole ? "Wormhole"
+        : row.switching == sim::SwitchingMode::VirtualCutThrough ? "Vct"
+                                                                 : "Saf";
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAllModes, GoldenSim,
+                         ::testing::ValuesIn(kGolden), rowName);
+
+// ---------------------------------------------------------------------
+// Forced-deadlock forensics: unrestricted minimal adaptive routing on a
+// 1-VC torus must deadlock, and the forensic walk of the frozen fabric
+// must produce a wait-for cycle that the Dally relation-CDG predicted.
+
+TEST(DeadlockForensics, TorusMinimalRoutingYieldsVerifiedWaitCycle)
+{
+    const auto net = topo::Network::torus({4, 4}, {1, 1});
+    const routing::MinimalAdaptiveRouting router(net);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg;
+    cfg.seed = 2017;
+    cfg.injectionRate = 0.6;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    cfg.drainCycles = 20000;
+    cfg.watchdogCycles = 500;
+
+    sim::Simulator simulator(net, router, gen, cfg);
+    const auto result = simulator.run();
+    ASSERT_TRUE(result.deadlocked);
+
+    const auto &f = simulator.forensics();
+    EXPECT_EQ(f.frozenAtCycle, result.cycles);
+    EXPECT_GT(f.frozenFlits, 0u);
+    EXPECT_FALSE(f.blocked.empty());
+    ASSERT_FALSE(f.waitCycle.empty());
+    EXPECT_EQ(result.deadlockCycle,
+              std::vector<std::uint32_t>(f.waitCycle.begin(),
+                                         f.waitCycle.end()));
+
+    // Every hop of the witness must be a real channel and a real edge
+    // of the statically built relation CDG — checked here directly
+    // against buildRelationCdg, independent of the simulator's own
+    // cross-reference flag.
+    const graph::Digraph cdgGraph = cdg::buildRelationCdg(router);
+    for (std::size_t k = 0; k < f.waitCycle.size(); ++k) {
+        const topo::ChannelId from = f.waitCycle[k];
+        const topo::ChannelId to =
+            f.waitCycle[(k + 1) % f.waitCycle.size()];
+        ASSERT_LT(from, net.numChannels());
+        ASSERT_LT(to, net.numChannels());
+        EXPECT_TRUE(cdgGraph.hasEdge(from, to))
+            << "wait edge " << net.channelName(from) << " -> "
+            << net.channelName(to) << " missing from the Dally CDG";
+    }
+    EXPECT_TRUE(f.cycleInRelationCdg);
+    EXPECT_TRUE(result.deadlockCycleInCdg);
+
+    // The dump must render every blocked buffer and the cycle.
+    const std::string dump = f.describe(net);
+    EXPECT_NE(dump.find("wait-for cycle"), std::string::npos);
+    EXPECT_NE(dump.find("every edge in static relation CDG: yes"),
+              std::string::npos);
+
+    // A deadlocked run attributes most stalls to starvation, and the
+    // stall counters must be populated.
+    EXPECT_GT(result.stallVcStarved + result.stallCreditStarved, 0u);
+}
+
+// A deadlock-free router under the same pressure must not deadlock and
+// must report an empty forensic witness.
+TEST(DeadlockForensics, DeadlockFreeRouterHasNoWitness)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const routing::EbDaRouting router(net, core::schemeFig7b());
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg;
+    cfg.seed = 2017;
+    cfg.injectionRate = 0.6;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    cfg.drainCycles = 30000;
+    cfg.watchdogCycles = 1000;
+
+    sim::Simulator simulator(net, router, gen, cfg);
+    const auto result = simulator.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_TRUE(result.deadlockCycle.empty());
+    EXPECT_TRUE(simulator.forensics().waitCycle.empty());
+}
+
+} // namespace

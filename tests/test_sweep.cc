@@ -312,6 +312,60 @@ TEST(ResultCache, ClearRemovesTheFile)
     EXPECT_TRUE(sweep::ResultCache::clear(dir.path)); // idempotent
 }
 
+TEST(ResultCache, CompactDropsCorruptionAndDuplicates)
+{
+    const ScratchDir dir("compact");
+
+    sim::SimResult stale;
+    stale.avgLatency = 1.0;
+    sim::SimResult fresh;
+    fresh.avgLatency = 2.0;
+    fresh.packetsMeasured = 7;
+    sim::SimResult other;
+    other.avgLatency = 3.0;
+    {
+        sweep::ResultCache writer(dir.path);
+        writer.store(0xbeefULL, "{}", stale);
+        writer.store(0x1ULL, "{}", other);
+        writer.store(0xbeefULL, "{}", fresh); // supersedes stale
+    }
+    {
+        std::ofstream out(sweep::ResultCache::cacheFile(dir.path),
+                          std::ios::app);
+        out << "not json at all\n";
+        out << "{\"key\":\"nothex\",\"result\":{}}\n";
+    }
+
+    std::string err;
+    const auto stats = sweep::ResultCache::compact(dir.path, &err);
+    ASSERT_TRUE(stats) << err;
+    EXPECT_EQ(stats->kept, 2u);
+    EXPECT_EQ(stats->droppedCorrupted, 2u);
+    EXPECT_EQ(stats->droppedDuplicate, 1u);
+
+    // The rewritten file must reload cleanly with the duplicate
+    // resolved the same way load() resolves it: later line wins.
+    sweep::ResultCache cache(dir.path);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.corruptedLines(), 0u);
+    const auto hit = cache.lookup(0xbeefULL);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->avgLatency, 2.0);
+    EXPECT_EQ(hit->packetsMeasured, 7u);
+
+    // Compacting an already-compact cache is a no-op; a missing file
+    // is success with zero counters.
+    const auto again = sweep::ResultCache::compact(dir.path);
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->kept, 2u);
+    EXPECT_EQ(again->droppedCorrupted, 0u);
+    EXPECT_EQ(again->droppedDuplicate, 0u);
+    ASSERT_TRUE(sweep::ResultCache::clear(dir.path));
+    const auto empty = sweep::ResultCache::compact(dir.path);
+    ASSERT_TRUE(empty);
+    EXPECT_EQ(empty->kept, 0u);
+}
+
 // ------------------------------------------------------------ sim json
 
 TEST(SimJson, ConfigRoundTripsExactly)

@@ -166,6 +166,35 @@ TEST(StatAccumulator, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(StatAccumulator, SumIsExactNotMeanTimesCount)
+{
+    // Regression: sum() used to be reconstructed as mean()*count(),
+    // which loses precision once magnitudes are mixed — Welford's
+    // running mean rounds away small addends next to a huge one, so
+    // 1e15 + 1e6 * 1.0 reconstructed to ...005.1 instead of ...000.
+    StatAccumulator acc;
+    acc.add(1e15);
+    for (int i = 0; i < 1000000; ++i)
+        acc.add(1.0);
+    EXPECT_EQ(acc.sum(), 1000000001000000.0);
+
+    // The reconstruction really is lossy here, so this proves sum()
+    // no longer goes through the mean.
+    EXPECT_NE(acc.mean() * static_cast<double>(acc.count()),
+              1000000001000000.0);
+}
+
+TEST(StatAccumulator, MergePreservesExactSum)
+{
+    StatAccumulator left;
+    StatAccumulator right;
+    left.add(1e15);
+    for (int i = 0; i < 1000; ++i)
+        right.add(1.0);
+    left.merge(right);
+    EXPECT_EQ(left.sum(), 1000000000001000.0);
+}
+
 TEST(Histogram, PercentilesExact)
 {
     Histogram h(16);

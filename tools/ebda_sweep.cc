@@ -13,8 +13,11 @@
  *          hit/miss/simulated/elapsed counters to stderr.
  *   expand --spec sweep.json
  *          Print the job grid (key + human label) without running.
- *   cache stats --cache DIR
- *   cache clear --cache DIR
+ *   cache stats   --cache DIR
+ *   cache clear   --cache DIR
+ *   cache compact --cache DIR
+ *          Rewrite the JSONL cache dropping corrupted lines and
+ *          superseded duplicate keys (atomic temp-file swap).
  *
  * Exit codes: 0 on success, 1 when any job failed to run, 2 on usage
  * or spec errors. Deadlocked simulations are results, not failures.
@@ -44,7 +47,8 @@ usage()
         "         [--out results.jsonl]\n"
         "  expand --spec sweep.json\n"
         "  cache  stats --cache DIR\n"
-        "  cache  clear --cache DIR\n";
+        "  cache  clear --cache DIR\n"
+        "  cache  compact --cache DIR\n";
     return 2;
 }
 
@@ -194,6 +198,27 @@ cmdCacheClear(const Args &args)
     return 0;
 }
 
+int
+cmdCacheCompact(const Args &args)
+{
+    const auto dir = args.get("cache");
+    if (dir.empty()) {
+        std::cerr << "missing --cache\n";
+        return 2;
+    }
+    std::string err;
+    const auto stats = sweep::ResultCache::compact(dir, &err);
+    if (!stats) {
+        std::cerr << err << '\n';
+        return 1;
+    }
+    std::cout << "compacted " << dir << ": kept " << stats->kept
+              << ", dropped " << stats->droppedCorrupted
+              << " corrupted + " << stats->droppedDuplicate
+              << " duplicate line(s)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -227,6 +252,8 @@ main(int argc, char **argv)
             return cmdCacheStats(args);
         if (cmd == "cache" && sub == "clear")
             return cmdCacheClear(args);
+        if (cmd == "cache" && sub == "compact")
+            return cmdCacheCompact(args);
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;

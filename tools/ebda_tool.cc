@@ -19,13 +19,26 @@
  *            Run the wormhole simulator with the scheme's routing.
  *   space    --dims N [--vcs A,B,..]
  *            Report the turn-model design-space size EbDa avoids.
+ *   forensics [--router minimal | --scheme "..."] [--mesh 4x4]
+ *            [--vcs 1,1] [--torus] [--rate 0.3] [--cycles 2000]
+ *            [--watchdog 1000] [--pattern uniform]
+ *            Run the simulator until the progress watchdog fires, then
+ *            print the stall-attribution breakdown, the hottest
+ *            channels, and the deadlock forensic dump: the concrete
+ *            wait-for cycle among channels cross-referenced against
+ *            the Dally relation-CDG. Exit 0 when a deadlock was caught
+ *            and dumped, 1 when the run completed without one.
  *
  * Every command prints a short report to stdout; malformed input exits
  * with code 2 and a message on stderr.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cdg/adaptivity.hh"
 #include "cdg/relation_cdg.hh"
@@ -35,8 +48,10 @@
 #include "core/minimal.hh"
 #include "core/parse.hh"
 #include "routing/ebda_routing.hh"
+#include "sim/forensics.hh"
 #include "sim/sim_json.hh"
 #include "sim/simulator.hh"
+#include "sweep/router_factory.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -49,7 +64,8 @@ int
 usage()
 {
     std::cerr <<
-        "usage: ebda_tool <design|verify|turns|simulate|compare|space> "
+        "usage: ebda_tool "
+        "<design|verify|turns|simulate|compare|space|forensics> "
         "[options]\n"
         "  design   --vcs 3,2,3 [--all] [--max N]\n"
         "  verify   --scheme \"{X+ X- Y-} -> {Y+}\" [--mesh 8x8] "
@@ -58,7 +74,11 @@ usage()
         "  simulate --scheme \"...\" [--mesh 8x8] [--vcs 1,1] "
         "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
         "  compare  --scheme \"...\" --scheme2 \"...\"\n"
-        "  space    --dims 3 [--vcs 1,1,1]\n";
+        "  space    --dims 3 [--vcs 1,1,1]\n"
+        "  forensics [--router minimal | --scheme \"...\"] "
+        "[--mesh 4x4] [--vcs 1,1] [--torus]\n"
+        "           [--rate 0.3] [--cycles 2000] [--watchdog 1000] "
+        "[--pattern uniform]\n";
     return 2;
 }
 
@@ -308,6 +328,119 @@ cmdSimulate(const Args &args)
 }
 
 int
+cmdForensics(const Args &args)
+{
+    // Network + router: either an EbDa scheme (like simulate) or a
+    // sweep router-factory spec (default: the deadlock-prone
+    // unrestricted minimal-adaptive negative control).
+    std::unique_ptr<cdg::RoutingRelation> owned;
+    const cdg::RoutingRelation *router = nullptr;
+    std::optional<topo::Network> net;
+    std::optional<routing::EbDaRouting> ebda_router;
+    if (args.has("scheme")) {
+        const auto scheme = schemeFromArgs(args);
+        const auto validation = scheme.validate();
+        if (!validation.ok) {
+            std::cerr << "invalid scheme: " << validation.reason << '\n';
+            return 2;
+        }
+        net = networkFor(scheme, args);
+        ebda_router.emplace(
+            *net, scheme, core::TurnExtractionOptions{},
+            net->isTorus() ? routing::EbDaRouting::Mode::ShortestState
+                           : routing::EbDaRouting::Mode::Minimal);
+        router = &*ebda_router;
+    } else {
+        std::string err;
+        const auto dims = core::parseDims(args.get("mesh", "4x4"), &err);
+        if (!dims) {
+            std::cerr << "bad --mesh: " << err << '\n';
+            return 2;
+        }
+        auto vcs = core::parseVcList(args.get("vcs", "1,1"), &err);
+        if (!vcs) {
+            std::cerr << "bad --vcs: " << err << '\n';
+            return 2;
+        }
+        vcs->resize(std::max(vcs->size(), dims->size()), 1);
+        net = args.has("torus") ? topo::Network::torus(*dims, *vcs)
+                                : topo::Network::mesh(*dims, *vcs);
+        owned = sweep::makeRouter(*net, args.get("router", "minimal"),
+                                  &err);
+        if (!owned) {
+            std::cerr << err << '\n';
+            return 2;
+        }
+        router = owned.get();
+    }
+
+    const auto pattern =
+        sim::patternFromString(args.get("pattern", "uniform"));
+    if (!pattern) {
+        std::cerr << "unknown --pattern\n";
+        return 2;
+    }
+    const sim::TrafficGenerator gen(*net, *pattern);
+
+    sim::SimConfig cfg;
+    cfg.injectionRate = args.getDouble("rate", 0.3);
+    cfg.measureCycles = args.getU64("cycles", 2000);
+    cfg.watchdogCycles = args.getU64("watchdog", 1000);
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
+    cfg.warmupCycles = cfg.measureCycles / 4;
+    cfg.drainCycles = cfg.measureCycles * 10;
+
+    sim::Simulator simulator(*net, *router, gen, cfg);
+    const auto result = simulator.run();
+
+    std::cout << router->name() << " on " << net->numNodes()
+              << " nodes, rate " << cfg.injectionRate << ": ran "
+              << result.cycles << " cycles, "
+              << (result.deadlocked ? "DEADLOCKED" : "no deadlock")
+              << "\n\nstall attribution (stall-cycles, whole run):\n";
+    TextTable stalls;
+    stalls.setHeader({"stage", "stall-cycles"});
+    stalls.addRow({"route-compute",
+                   std::to_string(result.stallRouteCompute)});
+    stalls.addRow({"vc-starved", std::to_string(result.stallVcStarved)});
+    stalls.addRow({"credit-starved",
+                   std::to_string(result.stallCreditStarved)});
+    stalls.addRow({"switch-lost",
+                   std::to_string(result.stallSwitchLost)});
+    stalls.print(std::cout);
+    std::cout << "hottest router: node " << result.hottestRouter << " ("
+              << result.hottestRouterStalls << " stall-cycles)\n";
+
+    // Top occupied channels (time-weighted mean).
+    const auto occ = simulator.channelOccupancy();
+    std::vector<topo::ChannelId> by_occ(occ.size());
+    for (topo::ChannelId c = 0; c < occ.size(); ++c)
+        by_occ[c] = c;
+    std::sort(by_occ.begin(), by_occ.end(),
+              [&](topo::ChannelId a, topo::ChannelId b) {
+                  return occ[a].mean > occ[b].mean;
+              });
+    std::cout << "\nbusiest channels (mean occupancy / peak, of depth "
+              << cfg.vcDepth << "):\n";
+    for (std::size_t k = 0; k < std::min<std::size_t>(5, by_occ.size());
+         ++k) {
+        const topo::ChannelId c = by_occ[k];
+        std::cout << "  " << net->channelName(c) << ": "
+                  << occ[c].mean << " / " << occ[c].peak << '\n';
+    }
+
+    if (!result.deadlocked) {
+        std::cout << "\nno deadlock caught; nothing to dissect\n";
+        return 1;
+    }
+    std::cout << '\n' << simulator.forensics().describe(*net);
+    return 0;
+}
+
+int
 cmdCompare(const Args &args)
 {
     std::string err;
@@ -433,6 +566,8 @@ main(int argc, char **argv)
             return cmdCompare(args);
         if (cmd == "space")
             return cmdSpace(args);
+        if (cmd == "forensics")
+            return cmdForensics(args);
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 2;
