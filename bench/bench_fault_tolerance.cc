@@ -15,6 +15,7 @@
 #include "cdg/relation_cdg.hh"
 #include "core/catalog.hh"
 #include "routing/ebda_routing.hh"
+#include "sim/simulator.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 
@@ -133,6 +134,50 @@ reproduce()
               << TextTable::num(avg_len(without_ui), 3)
               << " hops\n(torus-minimal average is 4.06, mesh-minimal "
                  "5.33 on 8x8 — wrap traversals ARE Theorem-2 U-turns)\n";
+
+    // Dynamic counterpart of the static-coverage table above: instead
+    // of rebuilding the network without links, kill them mid-run via a
+    // FaultPlan and measure what the recovery machinery (reroute +
+    // source retransmit + watchdog escalation) actually delivers.
+    bench::banner("Dynamic delivery under runtime link faults "
+                  "(6x6 mesh, rate 0.08, faults at cycle 1000+)");
+
+    const std::vector<int> dims_dyn{6, 6};
+    TextTable dyn;
+    dyn.setHeader({"failed links", "delivered", "lost", "retransmits",
+                   "recoveries", "oracle clean", "wedged"});
+    for (const int faults : {0, 1, 2, 4}) {
+        const auto net = topo::Network::mesh(dims_dyn, {1, 2});
+        const routing::EbDaRouting full(
+            net, core::schemeFig7b(), {},
+            routing::EbDaRouting::Mode::ShortestState);
+        sim::SimConfig cfg;
+        cfg.injectionRate = 0.08;
+        cfg.warmupCycles = 500;
+        cfg.measureCycles = 4000;
+        cfg.drainCycles = 20000;
+        cfg.watchdogCycles = 2000;
+        cfg.faults.randomLinkFaults = faults;
+        cfg.faults.seed = 20170624;
+        cfg.faults.firstCycle = 1000;
+        cfg.faults.spacing = 700;
+        const sim::TrafficGenerator gen(net,
+                                        sim::TrafficPattern::Uniform);
+        const auto r = sim::runSimulation(net, full, gen, cfg);
+        dyn.addRow({TextTable::num(faults),
+                    TextTable::num(r.deliveredFraction, 4),
+                    TextTable::num(r.packetsLost),
+                    TextTable::num(r.packetsRetransmitted),
+                    TextTable::num(r.recoveryPasses),
+                    TextTable::num(r.faultChecksClean) + "/"
+                        + TextTable::num(r.faultChecks),
+                    r.degradedGracefully ? "no" : "YES"});
+    }
+    dyn.print(std::cout);
+    std::cout << "expected shape: delivery stays near 1.0 and every "
+                 "degraded-CDG oracle check is clean — the full "
+                 "Theorem-1/2/3 turn set absorbs runtime faults "
+                 "without wedging\n";
 }
 
 void

@@ -41,6 +41,8 @@ struct PacketRec
     std::uint16_t hops = 0;
     /** Generated inside the measurement window. */
     bool measured = false;
+    /** Source retransmissions so far (fault recovery). */
+    std::uint8_t retries = 0;
 };
 
 /** One input VC buffer (a channel's downstream buffer, or an
@@ -59,6 +61,10 @@ struct InputVc
     bool eject = false;
     /** Output allocation held (from head allocation to tail send). */
     bool routed = false;
+    /** Packet the held allocation belongs to (kInvalidId when
+     *  unrouted). Needed by the fault injector to release allocations
+     *  whose flits are momentarily all up- or downstream. */
+    std::uint32_t curPkt = topo::kInvalidId;
 };
 
 /**

@@ -22,6 +22,7 @@
 #ifndef EBDA_SIM_ROUTER_HH
 #define EBDA_SIM_ROUTER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -142,6 +143,24 @@ struct Fabric
         const Flit flit = vc.buf.front();
         vc.buf.pop_front();
         return flit;
+    }
+
+    /** Remove every flit of ivcs[idx] matching `pred`, maintaining the
+     *  occupancy integral (fault-injection purge). Returns the number
+     *  of flits removed; the caller adjusts flitsInFlight. */
+    template <typename Pred>
+    std::size_t
+    eraseFlits(std::size_t idx, std::uint64_t cycle, Pred &&pred)
+    {
+        InputVc &vc = ivcs[idx];
+        if (isChannelVc(idx))
+            touchOccupancy(static_cast<topo::ChannelId>(idx),
+                           vc.buf.size(), cycle);
+        const std::size_t before = vc.buf.size();
+        vc.buf.erase(
+            std::remove_if(vc.buf.begin(), vc.buf.end(), pred),
+            vc.buf.end());
+        return before - vc.buf.size();
     }
 
     /** Per-channel occupancy statistics with integrals flushed to

@@ -81,6 +81,40 @@ jsonFields(JsonWriter &w, const SimConfig &c)
     w.field("measureCycles", c.measureCycles);
     w.field("drainCycles", c.drainCycles);
     w.field("watchdogCycles", c.watchdogCycles);
+    // Always emitted (even when empty) so the canonical form — and
+    // with it every sweep cache key — is stable.
+    w.beginObject("faults");
+    jsonFields(w, c.faults);
+    w.end();
+}
+
+void
+jsonFields(JsonWriter &w, const FaultPlan &p)
+{
+    w.field("seed", p.seed);
+    w.field("randomLinkFaults", p.randomLinkFaults);
+    w.field("randomRouterFaults", p.randomRouterFaults);
+    w.field("firstCycle", p.firstCycle);
+    w.field("spacing", p.spacing);
+    w.field("maxRecoveryAttempts", p.maxRecoveryAttempts);
+    w.field("maxRetransmits", p.maxRetransmits);
+    w.field("retransmitBackoff", p.retransmitBackoff);
+    w.field("retransmitBackoffCap", p.retransmitBackoffCap);
+    w.field("checkDegradedCdg", p.checkDegradedCdg);
+    w.beginArray("events");
+    for (const FaultEvent &e : p.events) {
+        w.beginObject();
+        w.field("cycle", e.cycle);
+        w.field("kind", e.router ? "router" : "link");
+        if (e.router) {
+            w.field("node", static_cast<std::uint64_t>(e.node));
+        } else {
+            w.field("src", static_cast<std::uint64_t>(e.src));
+            w.field("dst", static_cast<std::uint64_t>(e.dst));
+        }
+        w.end();
+    }
+    w.end();
 }
 
 void
@@ -115,6 +149,16 @@ jsonFields(JsonWriter &w, const SimResult &r)
         w.value(static_cast<std::uint64_t>(c));
     w.end();
     w.field("deadlockCycleInCdg", r.deadlockCycleInCdg);
+    w.field("faultEventsApplied", r.faultEventsApplied);
+    w.field("packetsDropped", r.packetsDropped);
+    w.field("packetsRetransmitted", r.packetsRetransmitted);
+    w.field("packetsLost", r.packetsLost);
+    w.field("recoveryPasses", r.recoveryPasses);
+    w.field("faultChecks", r.faultChecks);
+    w.field("faultChecksClean", r.faultChecksClean);
+    w.field("deliveredFraction", r.deliveredFraction, kExact);
+    w.field("degradedGracefully", r.degradedGracefully);
+    w.field("aborted", r.aborted);
 }
 
 std::string
@@ -181,6 +225,123 @@ struct Reader
 
 } // namespace
 
+std::optional<FaultPlan>
+faultPlanFromJson(const JsonValue &v, std::string *error)
+{
+    auto fail = [&](const std::string &what) -> std::optional<FaultPlan> {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return fail("faults must be a JSON object");
+
+    static const char *known[] = {
+        "seed",          "randomLinkFaults",
+        "randomRouterFaults", "firstCycle",
+        "spacing",       "maxRecoveryAttempts",
+        "maxRetransmits", "retransmitBackoff",
+        "retransmitBackoffCap", "checkDegradedCdg",
+        "events"};
+    for (const auto &[key, val] : v.members()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            return fail("unknown key 'faults." + key + "'");
+    }
+
+    FaultPlan p;
+    Reader r{v, {}};
+    const bool ok =
+        r.number("seed", [&](const JsonValue &f) { p.seed = f.asU64(); })
+        && r.number("randomLinkFaults",
+                    [&](const JsonValue &f) {
+                        p.randomLinkFaults = f.asInt();
+                    })
+        && r.number("randomRouterFaults",
+                    [&](const JsonValue &f) {
+                        p.randomRouterFaults = f.asInt();
+                    })
+        && r.number("firstCycle",
+                    [&](const JsonValue &f) { p.firstCycle = f.asU64(); })
+        && r.number("spacing",
+                    [&](const JsonValue &f) { p.spacing = f.asU64(); })
+        && r.number("maxRecoveryAttempts",
+                    [&](const JsonValue &f) {
+                        p.maxRecoveryAttempts = f.asInt();
+                    })
+        && r.number("maxRetransmits",
+                    [&](const JsonValue &f) {
+                        p.maxRetransmits = f.asInt();
+                    })
+        && r.number("retransmitBackoff",
+                    [&](const JsonValue &f) {
+                        p.retransmitBackoff = f.asU64();
+                    })
+        && r.number("retransmitBackoffCap",
+                    [&](const JsonValue &f) {
+                        p.retransmitBackoffCap = f.asU64();
+                    })
+        && r.boolean("checkDegradedCdg", p.checkDegradedCdg);
+    // Reader errors read "'seed' must be a number"; re-anchor the key
+    // at its full path: "'faults.seed' must be a number".
+    if (!ok)
+        return fail("'faults." + r.err.substr(1));
+
+    if (const auto *events = v.find("events")) {
+        if (!events->isArray())
+            return fail("'faults.events' must be an array");
+        std::size_t i = 0;
+        for (const JsonValue &e : events->elements()) {
+            const std::string at =
+                "faults.events[" + std::to_string(i) + "]";
+            if (!e.isObject())
+                return fail("'" + at + "' must be an object");
+            const auto *kind = e.find("kind");
+            if (!kind || !kind->isString()
+                || (kind->asString() != "link"
+                    && kind->asString() != "router")) {
+                return fail("'" + at
+                            + ".kind' must be \"link\" or \"router\"");
+            }
+            FaultEvent ev;
+            ev.router = kind->asString() == "router";
+            const auto u32field = [&](const char *name,
+                                      std::uint32_t &out) -> bool {
+                const auto *f = e.find(name);
+                if (!f || !f->isNumber())
+                    return false;
+                out = static_cast<std::uint32_t>(f->asU64());
+                return true;
+            };
+            if (const auto *c = e.find("cycle");
+                c && c->isNumber()) {
+                ev.cycle = c->asU64();
+            } else {
+                return fail("'" + at + ".cycle' must be a number");
+            }
+            if (ev.router) {
+                if (!u32field("node", ev.node))
+                    return fail("'" + at + ".node' must be a number");
+            } else {
+                if (!u32field("src", ev.src)
+                    || !u32field("dst", ev.dst))
+                    return fail("'" + at
+                                + "' needs numeric 'src' and 'dst'");
+            }
+            for (const auto &[key, val] : e.members()) {
+                if (key != "cycle" && key != "kind" && key != "node"
+                    && key != "src" && key != "dst")
+                    return fail("unknown key '" + at + "." + key + "'");
+            }
+            p.events.push_back(ev);
+            ++i;
+        }
+    }
+    return p;
+}
+
 std::optional<SimConfig>
 configFromJson(const JsonValue &v, std::string *error)
 {
@@ -195,7 +356,7 @@ configFromJson(const JsonValue &v, std::string *error)
         "switching",     "routerLatency", "selection",
         "injectionRate", "injectionVcs",  "atomicVcAllocation",
         "warmupCycles",  "measureCycles", "drainCycles",
-        "watchdogCycles"};
+        "watchdogCycles", "faults"};
     for (const auto &[key, val] : v.members()) {
         bool ok = false;
         for (const char *k : known)
@@ -257,6 +418,16 @@ configFromJson(const JsonValue &v, std::string *error)
                 ok = r.fail("bad 'selection' value");
             else
                 c.selection = *p;
+        }
+    }
+    if (ok) {
+        if (const auto *f = v.find("faults")) {
+            std::string ferr;
+            const auto p = faultPlanFromJson(*f, &ferr);
+            if (!p)
+                ok = r.fail(ferr);
+            else
+                c.faults = *p;
         }
     }
     if (!ok) {
@@ -357,7 +528,41 @@ resultFromJson(const JsonValue &v, std::string *error)
                     [&](const JsonValue &f) {
                         res.channelOccupancyPeak = f.asU64();
                     })
-        && r.boolean("deadlockCycleInCdg", res.deadlockCycleInCdg);
+        && r.boolean("deadlockCycleInCdg", res.deadlockCycleInCdg)
+        && r.number("faultEventsApplied",
+                    [&](const JsonValue &f) {
+                        res.faultEventsApplied = f.asU64();
+                    })
+        && r.number("packetsDropped",
+                    [&](const JsonValue &f) {
+                        res.packetsDropped = f.asU64();
+                    })
+        && r.number("packetsRetransmitted",
+                    [&](const JsonValue &f) {
+                        res.packetsRetransmitted = f.asU64();
+                    })
+        && r.number("packetsLost",
+                    [&](const JsonValue &f) {
+                        res.packetsLost = f.asU64();
+                    })
+        && r.number("recoveryPasses",
+                    [&](const JsonValue &f) {
+                        res.recoveryPasses = f.asU64();
+                    })
+        && r.number("faultChecks",
+                    [&](const JsonValue &f) {
+                        res.faultChecks = f.asU64();
+                    })
+        && r.number("faultChecksClean",
+                    [&](const JsonValue &f) {
+                        res.faultChecksClean = f.asU64();
+                    })
+        && r.number("deliveredFraction",
+                    [&](const JsonValue &f) {
+                        res.deliveredFraction = f.asDouble();
+                    })
+        && r.boolean("degradedGracefully", res.degradedGracefully)
+        && r.boolean("aborted", res.aborted);
     if (ok) {
         if (const auto *f = v.find("deadlockCycle")) {
             if (!f->isArray()) {

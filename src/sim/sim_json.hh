@@ -30,6 +30,12 @@ std::optional<SelectionPolicy> selectionFromString(const std::string &s);
  *  (declaration order; stable across runs). */
 void jsonFields(JsonWriter &w, const SimConfig &c);
 void jsonFields(JsonWriter &w, const SimResult &r);
+void jsonFields(JsonWriter &w, const FaultPlan &p);
+
+/** Rebuild a FaultPlan from its JSON object (the "faults" member of a
+ *  config). Errors name the full key path ("faults.events[2].kind"). */
+std::optional<FaultPlan> faultPlanFromJson(const JsonValue &v,
+                                           std::string *error = nullptr);
 
 /** Whole-object convenience wrappers. */
 std::string toJson(const SimConfig &c);

@@ -47,6 +47,70 @@ enum class SelectionPolicy : std::uint8_t
     FirstCandidate,
 };
 
+/** One scheduled fault: a unidirectional link or a whole router dying
+ *  at a given cycle. */
+struct FaultEvent
+{
+    /** Cycle the fault takes effect (start of cycle, before routing). */
+    std::uint64_t cycle = 0;
+    /** True: router fault (kills `node` and every adjacent link).
+     *  False: link fault (kills the src -> dst link). */
+    bool router = false;
+    /** Failing router (router faults). */
+    std::uint32_t node = 0;
+    /** Endpoints of the failing link (link faults). */
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+};
+
+/**
+ * Deterministic fault schedule plus the recovery policy knobs. Part of
+ * SimConfig (and of the sweep cache identity): identical seed +
+ * FaultPlan replays bit-identically.
+ *
+ * Faults are either listed explicitly in `events` or derived from
+ * `seed`: `randomLinkFaults` physical links (both directions) and
+ * `randomRouterFaults` routers, scheduled at `firstCycle`,
+ * `firstCycle + spacing`, ... The derivation uses its own SplitMix64 /
+ * xoshiro substream, so it never perturbs the traffic streams.
+ */
+struct FaultPlan
+{
+    /** Explicit fault events (applied in cycle order). */
+    std::vector<FaultEvent> events;
+    /** Randomly drawn physical link faults (both directions die). */
+    int randomLinkFaults = 0;
+    /** Randomly drawn whole-router faults. */
+    int randomRouterFaults = 0;
+    /** Seed of the random fault schedule (independent of cfg.seed). */
+    std::uint64_t seed = 1;
+    /** Cycle of the first random fault. */
+    std::uint64_t firstCycle = 1000;
+    /** Cycles between consecutive random faults. */
+    std::uint64_t spacing = 500;
+    /** Watchdog-escalation drain-and-reroute passes before a run is
+     *  declared wedged. */
+    int maxRecoveryAttempts = 3;
+    /** Source-retransmit attempts per packet before it is lost. */
+    int maxRetransmits = 8;
+    /** Base retransmit backoff in cycles; doubles per retry. */
+    std::uint64_t retransmitBackoff = 16;
+    /** Backoff ceiling in cycles. */
+    std::uint64_t retransmitBackoffCap = 1024;
+    /** Re-check the degraded relation against the Dally relation-CDG
+     *  oracle after every applied fault event. */
+    bool checkDegradedCdg = true;
+
+    /** True when the plan schedules no fault at all (the simulator then
+     *  runs the exact pre-fault code path, bit for bit). */
+    bool
+    empty() const
+    {
+        return events.empty() && randomLinkFaults == 0
+               && randomRouterFaults == 0;
+    }
+};
+
 /** Simulation parameters. */
 struct SimConfig
 {
@@ -76,6 +140,8 @@ struct SimConfig
     std::uint64_t drainCycles = 100000;
     /** No-progress window that declares deadlock. */
     std::uint64_t watchdogCycles = 5000;
+    /** Runtime fault schedule (empty by default: no fault path runs). */
+    FaultPlan faults;
 };
 
 /** Aggregate results of one run. */
@@ -141,6 +207,34 @@ struct SimResult
      *  @{ */
     std::vector<std::uint32_t> deadlockCycle;
     bool deadlockCycleInCdg = false;
+    /** @} */
+
+    /** @name Fault injection and graceful degradation (all zero / true
+     *  when the FaultPlan is empty)
+     *  @{ */
+    /** Fault events actually applied before the run ended. */
+    std::uint64_t faultEventsApplied = 0;
+    /** Packets purged from the fabric by faults / recovery passes. */
+    std::uint64_t packetsDropped = 0;
+    /** Source retransmissions scheduled for dropped packets. */
+    std::uint64_t packetsRetransmitted = 0;
+    /** Packets permanently lost (dead endpoint, unroutable, or retry
+     *  budget exhausted). */
+    std::uint64_t packetsLost = 0;
+    /** Watchdog-escalation drain-and-reroute passes taken. */
+    std::uint64_t recoveryPasses = 0;
+    /** Degraded-relation CDG oracle runs (one per applied event). */
+    std::uint64_t faultChecks = 0;
+    /** ... of which found the degraded CDG still acyclic. */
+    std::uint64_t faultChecksClean = 0;
+    /** Measured packets delivered / measured packets generated. */
+    double deliveredFraction = 1.0;
+    /** True when the run ended without wedging: every watchdog event
+     *  (if any) was absorbed by a recovery pass. */
+    bool degradedGracefully = true;
+    /** Aborted by an external budget / interrupt hook (sweep engine
+     *  job budgets); results are partial. */
+    bool aborted = false;
     /** @} */
 };
 

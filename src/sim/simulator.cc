@@ -1,5 +1,9 @@
 #include "simulator.hh"
 
+#include <algorithm>
+
+#include "cdg/relation_cdg.hh"
+
 namespace ebda::sim {
 
 Simulator::Simulator(const topo::Network &network,
@@ -7,10 +11,15 @@ Simulator::Simulator(const topo::Network &network,
                      const TrafficGenerator &traffic_gen,
                      const SimConfig &config)
     : net(network), routing(routing_relation), traffic(traffic_gen),
-      cfg(config), fab(network, cfg), vcAlloc(fab, routing_relation),
-      swAlloc(fab), allocActive(fab.ivcs.size()),
-      linkActive(net.numLinks()), ejectActive(net.numNodes()),
-      latencyHist(4096)
+      cfg(config), injector(network, cfg.faults),
+      faultedView(routing_relation, injector),
+      effective(injector.enabled()
+                    ? static_cast<const cdg::RoutingRelation &>(
+                          faultedView)
+                    : routing_relation),
+      fab(network, cfg), vcAlloc(fab, effective), swAlloc(fab),
+      allocActive(fab.ivcs.size()), linkActive(net.numLinks()),
+      ejectActive(net.numNodes()), latencyHist(4096)
 {
     sourceQueues.resize(net.numNodes());
     routerTable.reserve(net.numNodes());
@@ -19,19 +28,29 @@ Simulator::Simulator(const topo::Network &network,
     // The input VCs local to each node (ejection arbitration domain).
     for (std::size_t i = 0; i < fab.ivcs.size(); ++i)
         routerTable[fab.ivcs[i].atNode].localIvcs.push_back(i);
+    strandedPeriod = std::max<std::uint64_t>(1, cfg.watchdogCycles / 4);
 }
 
 void
 Simulator::generate(std::uint64_t cycle, bool measuring)
 {
+    const bool faults_on = injector.enabled();
     const double packet_rate =
         cfg.injectionRate / static_cast<double>(cfg.packetLength);
     for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+        // A dead router neither injects nor draws from its substream;
+        // every other node's stream is untouched by the fault.
+        if (faults_on && injector.nodeDead(n))
+            continue;
         Rng &rng = routerTable[n].rng;
         if (!rng.nextBool(packet_rate))
             continue;
         const auto dest = traffic.dest(n, rng);
         if (!dest)
+            continue;
+        // The draw is consumed either way; a dead destination just
+        // discards the packet (nobody to deliver to).
+        if (faults_on && injector.nodeDead(*dest))
             continue;
         PacketRec rec;
         rec.src = n;
@@ -42,10 +61,152 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
         sourceQueues[n].push_back(
             static_cast<std::uint32_t>(fab.packets.size() - 1));
         generatedFlits += static_cast<std::uint64_t>(cfg.packetLength);
-        if (measuring)
+        if (measuring) {
             ++measuredInFlight;
+            ++measuredGenerated;
+        }
     }
     ++genCycles;
+}
+
+void
+Simulator::losePacket(PacketRec &pkt)
+{
+    ++packetsLostCount;
+    if (pkt.measured)
+        --measuredInFlight;
+}
+
+void
+Simulator::handleDropped(const std::vector<std::uint32_t> &purged,
+                         std::uint64_t cycle)
+{
+    for (const std::uint32_t id : purged) {
+        ++packetsDroppedCount;
+        PacketRec &pkt = fab.packets[id];
+        const bool endpoint_dead = injector.nodeDead(pkt.src)
+            || injector.nodeDead(pkt.dest);
+        const bool budget_spent = pkt.retries == 0xff
+            || static_cast<int>(pkt.retries)
+                >= cfg.faults.maxRetransmits;
+        if (endpoint_dead || budget_spent
+            || effective
+                   .candidates(cdg::kInjectionChannel, pkt.src, pkt.src,
+                               pkt.dest)
+                   .empty()) {
+            losePacket(pkt);
+            continue;
+        }
+        ++pkt.retries;
+        ++retransmitCount;
+        // Capped exponential backoff on the injection queue.
+        const unsigned shift = static_cast<unsigned>(pkt.retries - 1);
+        std::uint64_t backoff = shift > 40
+            ? cfg.faults.retransmitBackoffCap
+            : cfg.faults.retransmitBackoff << shift;
+        backoff = std::max<std::uint64_t>(
+            1, std::min(backoff, cfg.faults.retransmitBackoffCap));
+        retryQueue.push_back(RetryEntry{id, cycle + backoff});
+    }
+}
+
+void
+Simulator::releaseRetries(std::uint64_t cycle)
+{
+    if (retryQueue.empty())
+        return;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < retryQueue.size(); ++i) {
+        const RetryEntry entry = retryQueue[i];
+        if (entry.ready > cycle) {
+            retryQueue[keep++] = entry;
+            continue;
+        }
+        PacketRec &pkt = fab.packets[entry.pkt];
+        // The masks may have grown while the packet backed off.
+        if (injector.nodeDead(pkt.src) || injector.nodeDead(pkt.dest)
+            || effective
+                   .candidates(cdg::kInjectionChannel, pkt.src, pkt.src,
+                               pkt.dest)
+                   .empty()) {
+            losePacket(pkt);
+            continue;
+        }
+        pkt.hops = 0; // fresh attempt; latency keeps the original birth
+        sourceQueues[pkt.src].push_back(entry.pkt);
+    }
+    retryQueue.resize(keep);
+}
+
+void
+Simulator::dropDeadQueuedPackets()
+{
+    if (injector.deadNodeCount() == 0)
+        return;
+    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+        auto &queue = sourceQueues[n];
+        if (queue.empty())
+            continue;
+        if (injector.nodeDead(n)) {
+            for (const std::uint32_t id : queue) {
+                ++packetsDroppedCount;
+                losePacket(fab.packets[id]);
+            }
+            queue.clear();
+            continue;
+        }
+        std::deque<std::uint32_t> survivors;
+        for (const std::uint32_t id : queue) {
+            if (injector.nodeDead(fab.packets[id].dest)) {
+                ++packetsDroppedCount;
+                losePacket(fab.packets[id]);
+            } else {
+                survivors.push_back(id);
+            }
+        }
+        queue.swap(survivors);
+    }
+}
+
+void
+Simulator::strandedScan(std::uint64_t cycle)
+{
+    std::vector<std::uint8_t> kill;
+    for (std::size_t i = 0; i < fab.ivcs.size(); ++i) {
+        const InputVc &vc = fab.ivcs[i];
+        if (vc.routed || vc.buf.empty() || !vc.buf.front().head)
+            continue;
+        const std::uint32_t id = vc.buf.front().pkt;
+        const PacketRec &pkt = fab.packets[id];
+        if (vc.atNode == pkt.dest)
+            continue;
+        if (!effective
+                 .candidates(vc.self, vc.atNode, pkt.src, pkt.dest)
+                 .empty())
+            continue;
+        if (kill.empty())
+            kill.assign(fab.packets.size(), 0);
+        kill[id] = 1;
+    }
+    if (!kill.empty())
+        handleDropped(injector.purge(fab, allocActive, kill, cycle),
+                      cycle);
+}
+
+void
+Simulator::recoverWedged(std::uint64_t cycle)
+{
+    // Drain-and-reroute: purge every packet frozen in the fabric and
+    // hand the routable ones back to their sources. Queued packets are
+    // untouched — they will inject into the emptied fabric.
+    std::vector<std::uint8_t> kill(fab.packets.size(), 0);
+    for (const InputVc &vc : fab.ivcs) {
+        for (const Flit &f : vc.buf)
+            kill[f.pkt] = 1;
+        if (vc.routed && vc.curPkt != topo::kInvalidId)
+            kill[vc.curPkt] = 1;
+    }
+    handleDropped(injector.purge(fab, allocActive, kill, cycle), cycle);
 }
 
 void
@@ -83,9 +244,42 @@ Simulator::run()
     const std::uint64_t measure_end = measure_start + cfg.measureCycles;
     const std::uint64_t hard_stop = measure_end + cfg.drainCycles;
 
+    const bool faults_on = injector.enabled();
     std::uint64_t last_progress = 0;
     std::uint64_t cycle = 0;
     for (; cycle < hard_stop; ++cycle) {
+        if (cycleLimit && cycle >= cycleLimit) {
+            abortedFlag = true;
+            break;
+        }
+        if (abortCheck && (cycle & 1023u) == 0 && abortCheck()) {
+            abortedFlag = true;
+            break;
+        }
+        if (faults_on) {
+            if (injector.nextEventCycle() <= cycle) {
+                handleDropped(injector.apply(cycle, fab, allocActive),
+                              cycle);
+                dropDeadQueuedPackets();
+                // From here on route compute reports dead ends for
+                // same-cycle purging (a stranded head would otherwise
+                // block its VC until the periodic scan).
+                vcAlloc.collectStranded = true;
+                // Machine check of the Theorem-2 claim: the degraded
+                // relation must still pass the Dally oracle.
+                if (cfg.faults.checkDegradedCdg) {
+                    ++faultCheckCount;
+                    if (cdg::checkDeadlockFree(effective).deadlockFree)
+                        ++faultCheckCleanCount;
+                }
+                // Fresh progress window after the fabric surgery.
+                last_progress = cycle;
+            }
+            releaseRetries(cycle);
+            if (injector.eventsApplied() > 0
+                && cycle % strandedPeriod == 0)
+                strandedScan(cycle);
+        }
         const bool measuring =
             cycle >= measure_start && cycle < measure_end;
 
@@ -93,6 +287,23 @@ Simulator::run()
         fillInjectionVcs(cycle);
         vcAlloc.allocate(allocActive, routerTable, linkActive,
                          ejectActive);
+        if (faults_on && !vcAlloc.stranded.empty()) {
+            std::vector<std::uint8_t> kill(fab.packets.size(), 0);
+            bool any = false;
+            for (const std::size_t idx : vcAlloc.stranded) {
+                const InputVc &vc = fab.ivcs[idx];
+                if (vc.routed || vc.buf.empty()
+                    || !vc.buf.front().head)
+                    continue;
+                kill[vc.buf.front().pkt] = 1;
+                any = true;
+            }
+            vcAlloc.stranded.clear();
+            if (any)
+                handleDropped(
+                    injector.purge(fab, allocActive, kill, cycle),
+                    cycle);
+        }
         bool moved =
             swAlloc.traverse(cycle, linkActive, allocActive, routerTable);
         EjectStats stats{latencyHist,
@@ -108,12 +319,24 @@ Simulator::run()
         if (moved || fab.flitsInFlight == 0)
             last_progress = cycle;
         if (cycle - last_progress > cfg.watchdogCycles) {
-            result.deadlocked = true;
-            forensicsDump = buildForensics(fab, routing, cycle);
-            result.deadlockCycle.assign(forensicsDump.waitCycle.begin(),
-                                        forensicsDump.waitCycle.end());
-            result.deadlockCycleInCdg = forensicsDump.cycleInRelationCdg;
-            break;
+            if (faults_on
+                && recoveryPassCount
+                    < static_cast<std::uint64_t>(
+                        std::max(0, cfg.faults.maxRecoveryAttempts))) {
+                // Escalation: drain-and-reroute instead of giving up.
+                ++recoveryPassCount;
+                recoverWedged(cycle);
+                last_progress = cycle;
+            } else {
+                result.deadlocked = true;
+                forensicsDump = buildForensics(fab, effective, cycle);
+                result.deadlockCycle.assign(
+                    forensicsDump.waitCycle.begin(),
+                    forensicsDump.waitCycle.end());
+                result.deadlockCycleInCdg =
+                    forensicsDump.cycleInRelationCdg;
+                break;
+            }
         }
         if (cycle >= measure_end && measuredInFlight == 0)
             break;
@@ -122,6 +345,19 @@ Simulator::run()
 
     result.cycles = cycle;
     result.drained = !result.deadlocked && measuredInFlight == 0;
+    result.aborted = abortedFlag;
+    result.faultEventsApplied = injector.eventsApplied();
+    result.packetsDropped = packetsDroppedCount;
+    result.packetsRetransmitted = retransmitCount;
+    result.packetsLost = packetsLostCount;
+    result.recoveryPasses = recoveryPassCount;
+    result.faultChecks = faultCheckCount;
+    result.faultChecksClean = faultCheckCleanCount;
+    result.deliveredFraction = measuredGenerated
+        ? static_cast<double>(latencyStat.count())
+            / static_cast<double>(measuredGenerated)
+        : 1.0;
+    result.degradedGracefully = !result.deadlocked;
     result.packetsMeasured = latencyStat.count();
     result.packetsEjected = packetsEjectedCount;
     result.avgLatency = latencyStat.mean();

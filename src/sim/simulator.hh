@@ -50,9 +50,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "sim/active_set.hh"
+#include "sim/fault_injector.hh"
 #include "sim/forensics.hh"
 #include "sim/router.hh"
 #include "sim/simconfig.hh"
@@ -77,6 +79,18 @@ class Simulator
     /** Execute warmup, measurement and drain; return the results. */
     SimResult run();
 
+    /** @name Cooperative abort hooks (sweep job budgets)
+     *  Must be set before run(). The callback is polled every 1024
+     *  cycles; returning true marks the result aborted and stops the
+     *  run. A cycle limit of 0 means unlimited.
+     *  @{ */
+    void setAbortCheck(std::function<bool()> cb)
+    {
+        abortCheck = std::move(cb);
+    }
+    void setCycleLimit(std::uint64_t limit) { cycleLimit = limit; }
+    /** @} */
+
     /** @name Post-run observability
      *  Valid after run() returns.
      *  @{ */
@@ -95,16 +109,44 @@ class Simulator
      *  run deadlocked. */
     const DeadlockForensics &forensics() const { return forensicsDump; }
 
+    /** The fault injector (schedule, liveness masks). */
+    const FaultInjector &faults() const { return injector; }
+
     /** @} */
 
   private:
     void generate(std::uint64_t cycle, bool measuring);
     void fillInjectionVcs(std::uint64_t cycle);
 
+    /** @name Fault path (all no-ops when the FaultPlan is empty)
+     *  @{ */
+    /** Classify purged packets: schedule a source retransmit with
+     *  capped exponential backoff, or declare them lost. */
+    void handleDropped(const std::vector<std::uint32_t> &purged,
+                       std::uint64_t cycle);
+    /** Move due retry-queue packets back into their source queues. */
+    void releaseRetries(std::uint64_t cycle);
+    /** Drop queued packets whose source or destination died. */
+    void dropDeadQueuedPackets();
+    /** Purge packets whose head waits on an empty degraded candidate
+     *  set (they can never move again; without this the drain phase
+     *  would hang on them). */
+    void strandedScan(std::uint64_t cycle);
+    /** Watchdog escalation: drain-and-reroute recovery pass. */
+    void recoverWedged(std::uint64_t cycle);
+    void losePacket(PacketRec &pkt);
+    /** @} */
+
     const topo::Network &net;
     const cdg::RoutingRelation &routing;
     const TrafficGenerator &traffic;
     SimConfig cfg;
+
+    FaultInjector injector;
+    FaultedRelationView faultedView;
+    /** The relation the pipeline routes through: the degraded view
+     *  when a FaultPlan is present, the base relation otherwise. */
+    const cdg::RoutingRelation &effective;
 
     Fabric fab;
     std::vector<Router> routerTable;
@@ -128,6 +170,30 @@ class Simulator
     std::uint64_t generatedFlits = 0;
     std::uint64_t genCycles = 0;
     std::uint64_t measuredEjectedFlits = 0;
+
+    /** @name Fault-path state
+     *  @{ */
+    /** A dropped packet awaiting its backoff deadline. */
+    struct RetryEntry
+    {
+        std::uint32_t pkt;
+        std::uint64_t ready;
+    };
+    std::vector<RetryEntry> retryQueue;
+    std::uint64_t measuredGenerated = 0;
+    std::uint64_t packetsDroppedCount = 0;
+    std::uint64_t packetsLostCount = 0;
+    std::uint64_t retransmitCount = 0;
+    std::uint64_t recoveryPassCount = 0;
+    std::uint64_t faultCheckCount = 0;
+    std::uint64_t faultCheckCleanCount = 0;
+    /** Stranded-packet scan cadence (cycles). */
+    std::uint64_t strandedPeriod = 0;
+    /** @} */
+
+    std::function<bool()> abortCheck;
+    std::uint64_t cycleLimit = 0;
+    bool abortedFlag = false;
 
     Histogram latencyHist;
     StatAccumulator latencyStat;

@@ -84,6 +84,7 @@ SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
                     --fab.ownedOnLink[l];
                     vc.routed = false;
                     vc.out = topo::kInvalidId;
+                    vc.curPkt = topo::kInvalidId;
                     // The next packet's head (if any) needs an output.
                     if (!vc.buf.empty())
                         allocActive.schedule(holder);
@@ -129,6 +130,7 @@ SwitchAllocator::eject(std::uint64_t cycle, ActiveSet &ejectActive,
             if (flit.tail) {
                 vc.routed = false;
                 vc.eject = false;
+                vc.curPkt = topo::kInvalidId;
                 --fab.ejectPending[n];
                 if (!vc.buf.empty())
                     allocActive.schedule(idx);

@@ -55,6 +55,7 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
         if (vc.atNode == pkt.dest) {
             vc.eject = true;
             vc.routed = true;
+            vc.curPkt = vc.buf.front().pkt;
             if (fab.ejectPending[vc.atNode]++ == 0)
                 ejectActive.schedule(vc.atNode);
             return false;
@@ -74,10 +75,13 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
             free.push_back(c);
         }
         if (free.empty()) {
-            if (any_candidate)
+            if (any_candidate) {
                 ++rtr.stalls.vcStarved;
-            else
+            } else {
                 ++rtr.stalls.routeCompute;
+                if (collectStranded)
+                    stranded.push_back(i);
+            }
             return true; // keep waiting for an output VC
         }
 
@@ -87,6 +91,7 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
         vc.out = best;
         vc.eject = false;
         vc.routed = true;
+        vc.curPkt = vc.buf.front().pkt;
         fab.owner[best] = static_cast<std::uint32_t>(i);
         const topo::LinkId l = fab.net.linkOf(best);
         if (fab.ownedOnLink[l]++ == 0)

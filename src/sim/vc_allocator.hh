@@ -60,6 +60,17 @@ class VcAllocator
     /** Current rotating-priority offset (advanced at each allocate). */
     std::size_t offset() const { return vcArbOffset; }
 
+    /** @name Stranded-packet reporting (fault path)
+     *  With `collectStranded` set, every swept VC whose head found no
+     *  route candidate at all (a dead end of the degraded relation, not
+     *  mere congestion) is appended to `stranded` for the simulator to
+     *  purge the same cycle. Off by default: fault-free runs take the
+     *  exact pre-fault code path.
+     *  @{ */
+    bool collectStranded = false;
+    std::vector<std::size_t> stranded;
+    /** @} */
+
   private:
     Fabric &fab;
     const cdg::RoutingRelation &routing;

@@ -60,7 +60,12 @@ ResultCache::load()
             ++corrupted;
             continue;
         }
-        map[k] = *res; // later lines win
+        Entry entry;
+        entry.result = *res;
+        const auto *quarantine = doc->find("quarantine");
+        if (quarantine && quarantine->isString())
+            entry.quarantine = quarantine->asString();
+        map[k] = std::move(entry); // later lines win
     }
 }
 
@@ -71,8 +76,28 @@ ResultCache::entries() const
     return map.size();
 }
 
+std::size_t
+ResultCache::quarantinedEntries() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::size_t n = 0;
+    for (const auto &[k, e] : map)
+        if (e.quarantined())
+            ++n;
+    return n;
+}
+
 std::optional<sim::SimResult>
 ResultCache::lookup(std::uint64_t key)
+{
+    auto entry = lookupEntry(key);
+    if (!entry)
+        return std::nullopt;
+    return std::move(entry->result);
+}
+
+std::optional<ResultCache::Entry>
+ResultCache::lookupEntry(std::uint64_t key)
 {
     std::lock_guard<std::mutex> lock(mtx);
     const auto it = map.find(key);
@@ -88,6 +113,15 @@ void
 ResultCache::store(std::uint64_t key, const std::string &canonical_config,
                    const sim::SimResult &result)
 {
+    storeQuarantine(key, canonical_config, result, std::string());
+}
+
+void
+ResultCache::storeQuarantine(std::uint64_t key,
+                             const std::string &canonical_config,
+                             const sim::SimResult &result,
+                             const std::string &reason)
+{
     JsonWriter w;
     w.beginObject();
     w.field("key", keyToHex(key));
@@ -98,10 +132,21 @@ ResultCache::store(std::uint64_t key, const std::string &canonical_config,
     std::string line = w.str();
     line.pop_back(); // drop '}'
     line += ",\"config\":" + canonical_config;
-    line += ",\"result\":" + sim::toJson(result) + "}";
+    line += ",\"result\":" + sim::toJson(result);
+    if (!reason.empty()) {
+        JsonWriter q;
+        q.beginObject();
+        q.field("quarantine", reason);
+        q.end();
+        // Reuse the writer's string escaping: strip the braces and
+        // splice the rendered member in.
+        const std::string member = q.str();
+        line += "," + member.substr(1, member.size() - 2);
+    }
+    line += "}";
 
     std::lock_guard<std::mutex> lock(mtx);
-    map[key] = result;
+    map[key] = Entry{result, reason};
     if (appender) {
         appender << line << '\n';
         appender.flush();

@@ -4,6 +4,10 @@
  *
  * Layout: one append-only JSONL file `<dir>/cache.jsonl`; each line is
  *   {"key":"<16 hex>","config":{...canonical job...},"result":{...}}
+ * optionally followed by a `"quarantine":"<reason>"` member when the
+ * sweep engine benched the job after it tripped its watchdog or blew a
+ * budget (the stored result is the tripped run's partial result, kept
+ * so older readers — which require key+result — still parse the line).
  * The key is fnv1a64 of the job's canonical JSON (sweep_spec.hh), so
  * identical (router, topology, pattern, config) points — across
  * benches, reruns and spec files — resolve to the same address. The
@@ -43,18 +47,44 @@ class ResultCache
     /** Path of the JSONL file inside a cache dir. */
     static std::string cacheFile(const std::string &dir);
 
+    /** A resident cache entry: the result plus the quarantine reason
+     *  (empty for healthy entries). */
+    struct Entry
+    {
+        sim::SimResult result;
+        std::string quarantine;
+        bool quarantined() const { return !quarantine.empty(); }
+    };
+
     /** Entries resident after load + stores. */
     std::size_t entries() const;
+
+    /** Resident entries carrying a quarantine reason. */
+    std::size_t quarantinedEntries() const;
 
     /** Malformed lines skipped during load. */
     std::size_t corruptedLines() const { return corrupted; }
 
-    /** Cached result for a key; counts a hit or a miss. */
+    /** Cached result for a key; counts a hit or a miss. Quarantined
+     *  entries are served like any other (callers that must know use
+     *  lookupEntry). */
     std::optional<sim::SimResult> lookup(std::uint64_t key);
+
+    /** Cached entry (result + quarantine reason) for a key; counts a
+     *  hit or a miss. */
+    std::optional<Entry> lookupEntry(std::uint64_t key);
 
     /** Insert and append to disk. */
     void store(std::uint64_t key, const std::string &canonicalConfig,
                const sim::SimResult &result);
+
+    /** Insert a quarantine record: the job's (partial) result plus a
+     *  one-line reason, so future sweeps serve it instead of rerunning
+     *  a known-wedged or over-budget job. */
+    void storeQuarantine(std::uint64_t key,
+                         const std::string &canonicalConfig,
+                         const sim::SimResult &result,
+                         const std::string &reason);
 
     std::uint64_t hits() const { return hitCount.load(); }
     std::uint64_t misses() const { return missCount.load(); }
@@ -90,7 +120,7 @@ class ResultCache
 
     std::string dirPath;
     mutable std::mutex mtx;
-    std::unordered_map<std::uint64_t, sim::SimResult> map;
+    std::unordered_map<std::uint64_t, Entry> map;
     std::ofstream appender;
     std::size_t corrupted = 0;
     std::atomic<std::uint64_t> hitCount{0};

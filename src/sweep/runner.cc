@@ -13,6 +13,12 @@ namespace ebda::sweep {
 JobOutcome
 runJob(const SweepJob &job)
 {
+    return runJob(job, RunOptions{});
+}
+
+JobOutcome
+runJob(const SweepJob &job, const RunOptions &opts)
+{
     JobOutcome out;
     try {
         const auto net =
@@ -28,13 +34,45 @@ runJob(const SweepJob &job)
             return out;
         }
         const sim::TrafficGenerator gen(net, job.pattern);
-        out.result = sim::runSimulation(net, *router, gen, job.cfg);
+        sim::Simulator simr(net, *router, gen, job.cfg);
+        if (opts.jobCycleBudget > 0)
+            simr.setCycleLimit(opts.jobCycleBudget);
+        const bool deadline = opts.jobWallClockBudgetSeconds > 0.0;
+        if (deadline || opts.interruptFlag) {
+            const auto cutoff =
+                std::chrono::steady_clock::now()
+                + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        deadline ? opts.jobWallClockBudgetSeconds
+                                 : 0.0));
+            const std::atomic<bool> *interrupt = opts.interruptFlag;
+            simr.setAbortCheck([deadline, cutoff, interrupt]() {
+                if (interrupt
+                    && interrupt->load(std::memory_order_relaxed))
+                    return true;
+                return deadline
+                       && std::chrono::steady_clock::now() >= cutoff;
+            });
+        }
+        out.result = simr.run();
     } catch (const std::exception &e) {
         out.ok = false;
         out.error = e.what();
     }
     return out;
 }
+
+namespace {
+
+bool
+interrupted(const RunOptions &opts)
+{
+    return opts.interruptFlag
+           && opts.interruptFlag->load(std::memory_order_relaxed);
+}
+
+} // namespace
 
 SweepReport
 runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
@@ -48,26 +86,80 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
 
     std::atomic<std::uint64_t> simulated{0};
     std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> retried{0};
 
     ThreadPool pool(report.threads);
     pool.parallelFor(jobs.size(), [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         JobOutcome &out = report.outcomes[i];
+        if (interrupted(opts)) {
+            out.ok = false;
+            out.skipped = true;
+            out.error = "interrupted";
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         if (opts.cache) {
-            if (auto cached = opts.cache->lookup(job.key)) {
-                out.result = *cached;
+            if (auto cached = opts.cache->lookupEntry(job.key)) {
+                out.result = std::move(cached->result);
                 out.fromCache = true;
+                if (cached->quarantined()) {
+                    out.quarantined = true;
+                    out.error = cached->quarantine;
+                    quarantined.fetch_add(1,
+                                          std::memory_order_relaxed);
+                }
                 return;
             }
         }
-        out = runJob(job);
+        out = runJob(job, opts);
         if (!out.ok) {
             failed.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        simulated.fetch_add(1, std::memory_order_relaxed);
-        if (opts.runCounter)
-            opts.runCounter->fetch_add(1, std::memory_order_relaxed);
+        const auto countRun = [&] {
+            simulated.fetch_add(1, std::memory_order_relaxed);
+            if (opts.runCounter)
+                opts.runCounter->fetch_add(1,
+                                           std::memory_order_relaxed);
+        };
+        countRun();
+        // A run cut short by the interrupt flag is a skip, not a
+        // verdict about the job — leave the cache alone.
+        if (out.result.aborted && interrupted(opts)) {
+            out.ok = false;
+            out.skipped = true;
+            out.error = "interrupted";
+            skipped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Watchdog trips get a bounded retry before quarantine (a
+        // deterministic wedge will trip again, but a budget-induced
+        // abort on a loaded machine deserves a second chance).
+        int retriesLeft = opts.watchdogRetries;
+        while ((out.result.deadlocked || out.result.aborted)
+               && retriesLeft-- > 0 && !interrupted(opts)) {
+            retried.fetch_add(1, std::memory_order_relaxed);
+            JobOutcome again = runJob(job, opts);
+            if (!again.ok)
+                break;
+            out = std::move(again);
+            countRun();
+        }
+        if (out.result.deadlocked || out.result.aborted) {
+            out.quarantined = true;
+            out.error = (out.result.deadlocked
+                             ? "watchdog: deadlock declared at cycle "
+                             : "budget: aborted at cycle ")
+                        + std::to_string(out.result.cycles);
+            quarantined.fetch_add(1, std::memory_order_relaxed);
+            if (opts.cache)
+                opts.cache->storeQuarantine(job.key, job.canonical,
+                                            out.result, out.error);
+            return;
+        }
         if (opts.cache)
             opts.cache->store(job.key, job.canonical, out.result);
     });
@@ -77,6 +169,10 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
         std::chrono::duration<double>(t1 - t0).count();
     report.simulated = simulated.load();
     report.failed = failed.load();
+    report.skipped = skipped.load();
+    report.quarantined = quarantined.load();
+    report.retried = retried.load();
+    report.interrupted = interrupted(opts);
     if (opts.cache) {
         report.cacheHits = opts.cache->hits();
         report.cacheMisses = opts.cache->misses();

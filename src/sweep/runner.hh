@@ -35,6 +35,13 @@ struct JobOutcome
     bool fromCache = false;
     /** False when the job could not run (bad router spec etc.). */
     bool ok = true;
+    /** Job never ran: the sweep was interrupted before its turn. */
+    bool skipped = false;
+    /** Job tripped its watchdog or blew a budget (after any retry)
+     *  and was benched with a quarantine record, or a quarantined
+     *  cache entry was served. result holds the tripped run's partial
+     *  numbers; error holds the quarantine reason. */
+    bool quarantined = false;
     std::string error;
 };
 
@@ -47,8 +54,16 @@ struct SweepReport
     /** Simulations actually executed (= misses when a cache is on). */
     std::uint64_t simulated = 0;
     std::uint64_t failed = 0;
+    /** Jobs skipped because the sweep was interrupted. */
+    std::uint64_t skipped = 0;
+    /** Jobs quarantined this sweep or served from quarantine. */
+    std::uint64_t quarantined = 0;
+    /** Retries consumed by watchdog-tripped jobs. */
+    std::uint64_t retried = 0;
     double elapsedSeconds = 0.0;
     int threads = 1;
+    /** True when an interrupt flag stopped the sweep early. */
+    bool interrupted = false;
 };
 
 /** Execution knobs. */
@@ -61,10 +76,26 @@ struct RunOptions
     /** Optional counter incremented once per executed simulation
      *  (test instrumentation). */
     std::atomic<std::uint64_t> *runCounter = nullptr;
+    /** Per-job wall-clock budget in seconds; <= 0 disables. A job
+     *  over budget is aborted cooperatively and quarantined. */
+    double jobWallClockBudgetSeconds = 0.0;
+    /** Per-job simulated-cycle budget; 0 disables. */
+    std::uint64_t jobCycleBudget = 0;
+    /** Bounded retries for a job that trips the simulator watchdog
+     *  (deadlock declared) before it is quarantined. */
+    int watchdogRetries = 1;
+    /** Cooperative interrupt (e.g. SIGINT): when it flips true,
+     *  running jobs abort and pending jobs are skipped; completed
+     *  results are still returned and cached. */
+    const std::atomic<bool> *interruptFlag = nullptr;
 };
 
 /** Execute one job, no cache involved (also used by the runner). */
 JobOutcome runJob(const SweepJob &job);
+
+/** Execute one job under the options' budgets and interrupt flag
+ *  (cache and retry handling stay with runSweep). */
+JobOutcome runJob(const SweepJob &job, const RunOptions &opts);
 
 /** Run all jobs; outcomes[i] corresponds to jobs[i]. */
 SweepReport runSweep(const std::vector<SweepJob> &jobs,
@@ -74,7 +105,9 @@ SweepReport runSweep(const std::vector<SweepJob> &jobs,
  * Emit one results line per job:
  *   {"key":"<hex>","config":{...},"result":{...}}
  * sorted ascending by key (so output is invariant under thread count
- * and job order). Failed jobs are skipped — they have no result.
+ * and job order). Failed and skipped jobs are omitted — they have no
+ * result; quarantined jobs are written (their partial result is the
+ * record of what tripped).
  */
 void writeResultsJsonl(const std::vector<SweepJob> &jobs,
                        const std::vector<JobOutcome> &outcomes,

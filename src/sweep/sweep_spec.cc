@@ -71,18 +71,18 @@ canonicalJson(const SweepJob &job)
 
 bool
 readIntArray(const JsonValue &v, std::vector<int> &out, std::string *err,
-             const char *what)
+             const std::string &path)
 {
     if (!v.isArray() || v.size() == 0) {
         if (err)
-            *err = std::string(what) + " must be a non-empty array";
+            *err = path + ": must be a non-empty array";
         return false;
     }
     out.clear();
     for (const auto &e : v.elements()) {
         if (!e.isNumber() || e.asInt() < 1) {
             if (err)
-                *err = std::string(what) + " entries must be integers >= 1";
+                *err = path + ": entries must be integers >= 1";
             return false;
         }
         out.push_back(e.asInt());
@@ -90,36 +90,47 @@ readIntArray(const JsonValue &v, std::vector<int> &out, std::string *err,
     return true;
 }
 
+/** Parse one topology object; `path` names it in errors ("topology",
+ *  "topologies[2]"). Unknown keys are rejected — a typo here would
+ *  silently sweep the wrong grid. */
 std::optional<TopologySpec>
-topologyFromJson(const JsonValue &v, std::string *err)
+topologyFromJson(const JsonValue &v, std::string *err,
+                 const std::string &path)
 {
     if (!v.isObject()) {
         if (err)
-            *err = "topology must be an object";
+            *err = path + ": must be an object";
         return std::nullopt;
+    }
+    for (const auto &[key, val] : v.members()) {
+        if (key != "type" && key != "dims" && key != "vcs") {
+            if (err)
+                *err = path + ": unknown key '" + key + "'";
+            return std::nullopt;
+        }
     }
     TopologySpec t;
     if (const auto *type = v.find("type")) {
         if (!type->isString()
             || (type->asString() != "mesh" && type->asString() != "torus")) {
             if (err)
-                *err = "topology type must be \"mesh\" or \"torus\"";
+                *err = path + ".type: must be \"mesh\" or \"torus\"";
             return std::nullopt;
         }
         t.torus = type->asString() == "torus";
     }
     const auto *dims = v.find("dims");
-    if (!dims || !readIntArray(*dims, t.dims, err, "topology dims"))
+    if (!dims || !readIntArray(*dims, t.dims, err, path + ".dims"))
         return std::nullopt;
     if (const auto *vcs = v.find("vcs")) {
-        if (!readIntArray(*vcs, t.vcs, err, "topology vcs"))
+        if (!readIntArray(*vcs, t.vcs, err, path + ".vcs"))
             return std::nullopt;
     } else {
         t.vcs.assign(t.dims.size(), 1);
     }
     if (t.vcs.size() != t.dims.size()) {
         if (err)
-            *err = "topology vcs must have one entry per dimension";
+            *err = path + ".vcs: must have one entry per dimension";
         return std::nullopt;
     }
     return t;
@@ -156,22 +167,27 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
         return fail("spec must be a JSON object");
 
     SweepSpec spec;
-    if (const auto *name = v.find("name"))
-        spec.name = name->isString() ? name->asString() : "";
+    if (const auto *name = v.find("name")) {
+        if (!name->isString())
+            return fail("'name' must be a string");
+        spec.name = name->asString();
+    }
 
     // Topologies: "topologies" (array) or "topology" (single object).
     std::string err;
     if (const auto *ts = v.find("topologies")) {
         if (!ts->isArray() || ts->size() == 0)
             return fail("'topologies' must be a non-empty array");
+        std::size_t i = 0;
         for (const auto &e : ts->elements()) {
-            const auto t = topologyFromJson(e, &err);
+            const auto t = topologyFromJson(
+                e, &err, "topologies[" + std::to_string(i++) + "]");
             if (!t)
                 return fail(err);
             spec.topologies.push_back(*t);
         }
     } else if (const auto *t1 = v.find("topology")) {
-        const auto t = topologyFromJson(*t1, &err);
+        const auto t = topologyFromJson(*t1, &err, "topology");
         if (!t)
             return fail(err);
         spec.topologies.push_back(*t);
@@ -183,11 +199,13 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
     const auto *routers = v.find("routers");
     if (!routers || !routers->isArray() || routers->size() == 0)
         return fail("'routers' must be a non-empty array");
+    std::size_t idx = 0;
     for (const auto &e : routers->elements()) {
+        const std::string path = "routers[" + std::to_string(idx++) + "]";
         if (!e.isString())
-            return fail("'routers' entries must be strings");
+            return fail(path + ": must be a string");
         if (const auto bad = checkRouterSpec(e.asString()))
-            return fail("router '" + e.asString() + "': " + *bad);
+            return fail(path + " '" + e.asString() + "': " + *bad);
         spec.routers.push_back(e.asString());
     }
 
@@ -195,13 +213,16 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
     if (const auto *ps = v.find("patterns")) {
         if (!ps->isArray() || ps->size() == 0)
             return fail("'patterns' must be a non-empty array");
+        idx = 0;
         for (const auto &e : ps->elements()) {
-            const auto p = e.isString()
-                               ? sim::patternFromString(e.asString())
-                               : std::nullopt;
+            const std::string path =
+                "patterns[" + std::to_string(idx++) + "]";
+            if (!e.isString())
+                return fail(path + ": must be a string");
+            const auto p = sim::patternFromString(e.asString());
             if (!p)
-                return fail("unknown traffic pattern '" + e.asString()
-                            + "'");
+                return fail(path + ": unknown traffic pattern '"
+                            + e.asString() + "'");
             spec.patterns.push_back(*p);
         }
     } else {
@@ -212,13 +233,16 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
     if (const auto *ss = v.find("selection")) {
         if (!ss->isArray() || ss->size() == 0)
             return fail("'selection' must be a non-empty array");
+        idx = 0;
         for (const auto &e : ss->elements()) {
-            const auto p = e.isString()
-                               ? sim::selectionFromString(e.asString())
-                               : std::nullopt;
+            const std::string path =
+                "selection[" + std::to_string(idx++) + "]";
+            if (!e.isString())
+                return fail(path + ": must be a string");
+            const auto p = sim::selectionFromString(e.asString());
             if (!p)
-                return fail("unknown selection policy '" + e.asString()
-                            + "'");
+                return fail(path + ": unknown selection policy '"
+                            + e.asString() + "'");
             spec.selections.push_back(*p);
         }
     } else {
@@ -228,8 +252,13 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
     // Base sim config template.
     if (const auto *simv = v.find("sim")) {
         const auto c = sim::configFromJson(*simv, &err);
-        if (!c)
+        if (!c) {
+            // Re-anchor quoted key names under "sim." so the message
+            // names the full path ("'seed' ..." -> "'sim.seed' ...").
+            if (!err.empty() && err.front() == '\'')
+                return fail("'sim." + err.substr(1));
             return fail("sim: " + err);
+        }
         spec.base = *c;
     }
 
@@ -237,9 +266,12 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
     if (const auto *rs = v.find("rates")) {
         if (!rs->isArray() || rs->size() == 0)
             return fail("'rates' must be a non-empty array");
+        idx = 0;
         for (const auto &e : rs->elements()) {
+            const std::string path =
+                "rates[" + std::to_string(idx++) + "]";
             if (!e.isNumber() || e.asDouble() <= 0.0)
-                return fail("'rates' entries must be positive numbers");
+                return fail(path + ": must be a positive number");
             spec.rates.push_back(e.asDouble());
         }
     } else {

@@ -449,4 +449,181 @@ TEST(Results, JsonlSortedByKeyAndParseable)
     EXPECT_EQ(rows, jobs.size());
 }
 
+// ------------------------------------------------------ strict spec
+
+TEST(SweepSpecStrict, ErrorsNameTheOffendingPath)
+{
+    std::string err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topologies":[{"dims":[4,4]},{"dims":[4,4],"vcs":[2,0]}],
+            "routers":["xy"]})",
+        &err));
+    EXPECT_NE(err.find("topologies[1].vcs"), std::string::npos) << err;
+    EXPECT_NE(err.find("integers >= 1"), std::string::npos) << err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4],"k":3},"routers":["xy"]})", &err));
+    EXPECT_NE(err.find("topology: unknown key 'k'"), std::string::npos)
+        << err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"type":"hypercube","dims":[4,4]},
+            "routers":["xy"]})",
+        &err));
+    EXPECT_NE(err.find("topology.type"), std::string::npos) << err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":[7]})", &err));
+    EXPECT_NE(err.find("routers[0]: must be a string"),
+              std::string::npos)
+        << err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":["xy"],
+            "rates":[0.1,-1]})",
+        &err));
+    EXPECT_NE(err.find("rates[1]: must be a positive number"),
+              std::string::npos)
+        << err;
+
+    // Nested sim-config errors are re-anchored under 'sim.'.
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":["xy"],
+            "sim":{"sed":1}})",
+        &err));
+    EXPECT_EQ(err.rfind("sim", 0), 0u) << err;
+    EXPECT_NE(err.find("'sed'"), std::string::npos) << err;
+
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology":{"dims":[4,4]},"routers":["xy"],
+            "sim":{"faults":{"sed":1}}})",
+        &err));
+    EXPECT_EQ(err.rfind("sim", 0), 0u) << err;
+    EXPECT_NE(err.find("faults.sed"), std::string::npos) << err;
+}
+
+// ------------------------------------------------------ hardened sweep
+
+TEST(SweepHardening, InterruptFlagSkipsPendingJobs)
+{
+    const auto jobs = specOrDie(kSpecText).expand();
+    std::atomic<bool> stop{true}; // raised before the sweep starts
+
+    sweep::RunOptions opts;
+    opts.threads = 2;
+    opts.interruptFlag = &stop;
+    const auto report = sweep::runSweep(jobs, opts);
+
+    EXPECT_TRUE(report.interrupted);
+    EXPECT_EQ(report.skipped, jobs.size());
+    EXPECT_EQ(report.simulated, 0u);
+    for (const auto &out : report.outcomes) {
+        EXPECT_FALSE(out.ok);
+        EXPECT_TRUE(out.skipped);
+        EXPECT_EQ(out.error, "interrupted");
+    }
+
+    // Skipped jobs produce no result lines.
+    std::ostringstream text;
+    sweep::writeResultsJsonl(jobs, report.outcomes, text);
+    EXPECT_TRUE(text.str().empty());
+}
+
+TEST(SweepHardening, CycleBudgetQuarantinesAfterOneRetry)
+{
+    const ScratchDir dir("quarantine");
+    auto jobs = specOrDie(kSpecText).expand();
+    jobs.resize(2);
+
+    std::atomic<std::uint64_t> runs{0};
+    sweep::ResultCache cold(dir.path);
+    sweep::RunOptions opts;
+    opts.threads = 2;
+    opts.cache = &cold;
+    opts.runCounter = &runs;
+    opts.jobCycleBudget = 50; // far below warmup+measure
+    opts.watchdogRetries = 1;
+
+    const auto first = sweep::runSweep(jobs, opts);
+    // Each job runs, trips the budget, retries once (deterministically
+    // tripping again) and is quarantined.
+    EXPECT_EQ(runs.load(), 2 * jobs.size());
+    EXPECT_EQ(first.retried, jobs.size());
+    EXPECT_EQ(first.quarantined, jobs.size());
+    for (const auto &out : first.outcomes) {
+        EXPECT_TRUE(out.ok); // quarantine is a verdict, not a failure
+        EXPECT_TRUE(out.quarantined);
+        EXPECT_TRUE(out.result.aborted);
+        EXPECT_EQ(out.error.rfind("budget: aborted at cycle", 0), 0u)
+            << out.error;
+    }
+
+    // Quarantined jobs still get result lines (the partial result is
+    // the record of what tripped).
+    std::ostringstream text;
+    sweep::writeResultsJsonl(jobs, first.outcomes, text);
+    std::istringstream in(text.str());
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        const auto doc = parseJson(line);
+        ASSERT_TRUE(doc && doc->isObject()) << line;
+        EXPECT_TRUE(doc->find("result"));
+        ++rows;
+    }
+    EXPECT_EQ(rows, jobs.size());
+
+    // A fresh cache object reloads the quarantine records from disk
+    // and serves them: no job reruns.
+    sweep::ResultCache warm(dir.path);
+    EXPECT_EQ(warm.entries(), jobs.size());
+    EXPECT_EQ(warm.quarantinedEntries(), jobs.size());
+    opts.cache = &warm;
+    const auto second = sweep::runSweep(jobs, opts);
+    EXPECT_EQ(runs.load(), 2 * jobs.size()) << "quarantined job re-ran";
+    EXPECT_EQ(second.simulated, 0u);
+    EXPECT_EQ(second.quarantined, jobs.size());
+    for (const auto &out : second.outcomes) {
+        EXPECT_TRUE(out.fromCache);
+        EXPECT_TRUE(out.quarantined);
+        EXPECT_EQ(out.error.rfind("budget:", 0), 0u) << out.error;
+    }
+
+    // The on-disk line keeps the old reader contract (key + config +
+    // result) with the reason as an extra member, and compact() keeps
+    // quarantine lines verbatim.
+    std::ifstream cacheIn(sweep::ResultCache::cacheFile(dir.path));
+    std::size_t quarantineLines = 0;
+    while (std::getline(cacheIn, line)) {
+        const auto doc = parseJson(line);
+        ASSERT_TRUE(doc && doc->isObject()) << line;
+        EXPECT_TRUE(doc->find("key"));
+        EXPECT_TRUE(doc->find("config"));
+        EXPECT_TRUE(doc->find("result"));
+        const auto *q = doc->find("quarantine");
+        ASSERT_TRUE(q && q->isString()) << line;
+        EXPECT_EQ(q->asString().rfind("budget:", 0), 0u);
+        ++quarantineLines;
+    }
+    EXPECT_EQ(quarantineLines, jobs.size());
+
+    const auto stats = sweep::ResultCache::compact(dir.path);
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->kept, jobs.size());
+    sweep::ResultCache compacted(dir.path);
+    EXPECT_EQ(compacted.quarantinedEntries(), jobs.size());
+}
+
+TEST(SweepHardening, WallClockBudgetAbortsCooperatively)
+{
+    auto jobs = specOrDie(kSpecText).expand();
+    sweep::RunOptions opts;
+    opts.jobWallClockBudgetSeconds = 1e-9; // expired before cycle 0
+    opts.watchdogRetries = 0;
+    const auto out = sweep::runJob(jobs[0], opts);
+    ASSERT_TRUE(out.ok);
+    EXPECT_TRUE(out.result.aborted);
+}
+
 } // namespace

@@ -5,12 +5,22 @@
  *
  * Subcommands:
  *   run    --spec sweep.json [--jobs N] [--cache DIR] [--out FILE]
+ *          [--job-timeout SEC] [--job-cycles N] [--no-retry]
  *          Expand the spec into its job grid, serve cached points from
  *          --cache (when given), run the rest on N worker threads
  *          (default: all cores), and write one JSONL row per job to
  *          --out (default results.jsonl; '-' = stdout), sorted by job
  *          hash so output is identical for any thread count. Prints
  *          hit/miss/simulated/elapsed counters to stderr.
+ *          --job-timeout / --job-cycles set per-job wall-clock and
+ *          simulated-cycle budgets; a job that blows one (or trips the
+ *          simulator's deadlock watchdog) gets one retry (--no-retry
+ *          disables it) and is then quarantined in the cache so later
+ *          sweeps serve the record instead of rerunning it.
+ *          SIGINT/SIGTERM stop the sweep gracefully: running jobs
+ *          abort, pending jobs are skipped, completed results are
+ *          flushed to --out and the cache, a partial summary prints,
+ *          and the exit code is 130.
  *   expand --spec sweep.json
  *          Print the job grid (key + human label) without running.
  *   cache stats   --cache DIR
@@ -23,6 +33,8 @@
  * or spec errors. Deadlocked simulations are results, not failures.
  */
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,13 +50,24 @@ namespace {
 
 using namespace ebda;
 
+/** Flipped by SIGINT/SIGTERM; polled by running simulations (via the
+ *  runner's interrupt flag) and by the job dispatcher. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onSignal(int)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
+
 int
 usage()
 {
     std::cerr <<
         "usage: ebda_sweep <run|expand|cache> [options]\n"
         "  run    --spec sweep.json [--jobs N] [--cache DIR]\n"
-        "         [--out results.jsonl]\n"
+        "         [--out results.jsonl] [--job-timeout SEC]\n"
+        "         [--job-cycles N] [--no-retry]\n"
         "  expand --spec sweep.json\n"
         "  cache  stats --cache DIR\n"
         "  cache  clear --cache DIR\n"
@@ -97,10 +120,23 @@ cmdRun(const Args &args)
 
     sweep::RunOptions opts;
     opts.threads = static_cast<int>(args.getInt("jobs", 0));
+    opts.jobWallClockBudgetSeconds = args.getDouble("job-timeout", 0.0);
+    opts.jobCycleBudget =
+        static_cast<std::uint64_t>(args.getInt("job-cycles", 0));
+    if (args.has("no-retry"))
+        opts.watchdogRetries = 0;
+    opts.interruptFlag = &g_interrupted;
     if (!args.error().empty()) {
         std::cerr << args.error() << '\n';
         return 2;
     }
+    if (opts.jobWallClockBudgetSeconds < 0.0) {
+        std::cerr << "--job-timeout must be >= 0\n";
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     std::unique_ptr<sweep::ResultCache> cache;
     const auto cache_dir = args.get("cache");
@@ -135,17 +171,31 @@ cmdRun(const Args &args)
         if (o.ok && o.result.deadlocked)
             ++deadlocked;
 
+    if (report.interrupted)
+        std::cerr << "interrupted: " << report.skipped
+                  << " job(s) skipped; completed results were "
+                     "written\n";
+
     std::cerr << "threads " << report.threads << " | simulated "
               << report.simulated << " | cache hits " << report.cacheHits
               << " / misses " << report.cacheMisses << " | deadlocked "
-              << deadlocked << " | failed " << report.failed << " | "
-              << report.elapsedSeconds << " s\n";
+              << deadlocked << " | quarantined " << report.quarantined
+              << " | retried " << report.retried << " | failed "
+              << report.failed << " | skipped " << report.skipped
+              << " | " << report.elapsedSeconds << " s\n";
 
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        if (!report.outcomes[i].ok)
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto &o = report.outcomes[i];
+        if (!o.ok && !o.skipped)
             std::cerr << "FAILED " << jobLabel(jobs[i]) << ": "
-                      << report.outcomes[i].error << '\n';
+                      << o.error << '\n';
+        else if (o.quarantined)
+            std::cerr << "QUARANTINED " << jobLabel(jobs[i]) << ": "
+                      << o.error << '\n';
+    }
 
+    if (report.interrupted)
+        return 130;
     return report.failed == 0 ? 0 : 1;
 }
 
@@ -174,6 +224,9 @@ cmdCacheStats(const Args &args)
     sweep::ResultCache cache(dir);
     std::cout << "cache " << dir << ": " << cache.entries()
               << " entries";
+    if (cache.quarantinedEntries() > 0)
+        std::cout << " (" << cache.quarantinedEntries()
+                  << " quarantined)";
     if (cache.corruptedLines() > 0)
         std::cout << " (" << cache.corruptedLines()
                   << " corrupted lines skipped)";

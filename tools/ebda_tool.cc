@@ -28,12 +28,24 @@
  *            wait-for cycle among channels cross-referenced against
  *            the Dally relation-CDG. Exit 0 when a deadlock was caught
  *            and dumped, 1 when the run completed without one.
+ *   faults   [--router SPEC | --scheme "..."] [--mesh 4x4] [--vcs 1,1]
+ *            [--torus] [--rate 0.1] [--cycles 4000] [--watchdog 2000]
+ *            [--link-faults N] [--node-faults N] [--fault-seed S]
+ *            [--fault-start C] [--fault-spacing C]
+ *            [--events "C:link:SRC->DST;C:node:N;..."] [--json]
+ *            Run the simulator under a runtime fault schedule: print
+ *            the materialized schedule, then the degradation report —
+ *            delivery fraction, drops / retransmits / losses, recovery
+ *            passes, and the per-event degraded-CDG oracle verdicts.
+ *            Exit 0 when the run degraded gracefully, 1 when it
+ *            wedged (forensics printed), 2 on usage errors.
  *
  * Every command prints a short report to stdout; malformed input exits
  * with code 2 and a message on stderr.
  */
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -65,7 +77,7 @@ usage()
 {
     std::cerr <<
         "usage: ebda_tool "
-        "<design|verify|turns|simulate|compare|space|forensics> "
+        "<design|verify|turns|simulate|compare|space|forensics|faults> "
         "[options]\n"
         "  design   --vcs 3,2,3 [--all] [--max N]\n"
         "  verify   --scheme \"{X+ X- Y-} -> {Y+}\" [--mesh 8x8] "
@@ -78,7 +90,14 @@ usage()
         "  forensics [--router minimal | --scheme \"...\"] "
         "[--mesh 4x4] [--vcs 1,1] [--torus]\n"
         "           [--rate 0.3] [--cycles 2000] [--watchdog 1000] "
-        "[--pattern uniform]\n";
+        "[--pattern uniform]\n"
+        "  faults   [--router SPEC | --scheme \"...\"] [--mesh 4x4] "
+        "[--vcs 1,1] [--torus]\n"
+        "           [--rate 0.1] [--cycles 4000] [--watchdog 2000] "
+        "[--link-faults N]\n"
+        "           [--node-faults N] [--fault-seed S] "
+        "[--fault-start C] [--fault-spacing C]\n"
+        "           [--events \"C:link:SRC->DST;C:node:N\"] [--json]\n";
     return 2;
 }
 
@@ -327,52 +346,74 @@ cmdSimulate(const Args &args)
     return 0;
 }
 
+/** Network + routing relation for the runtime commands: either an
+ *  EbDa scheme (like simulate) or a sweep router-factory spec. The
+ *  members are constructed in place and must not be moved — the
+ *  relation holds a reference into `net`. */
+struct RouterSetup
+{
+    std::optional<topo::Network> net;
+    std::unique_ptr<cdg::RoutingRelation> owned;
+    std::optional<routing::EbDaRouting> ebda;
+    const cdg::RoutingRelation *router = nullptr;
+};
+
+bool
+setupRouter(const Args &args, const char *default_router,
+            const char *default_vcs, RouterSetup &out)
+{
+    if (args.has("scheme")) {
+        const auto scheme = schemeFromArgs(args);
+        const auto validation = scheme.validate();
+        if (!validation.ok) {
+            std::cerr << "invalid scheme: " << validation.reason << '\n';
+            return false;
+        }
+        out.net = networkFor(scheme, args);
+        out.ebda.emplace(
+            *out.net, scheme, core::TurnExtractionOptions{},
+            out.net->isTorus()
+                ? routing::EbDaRouting::Mode::ShortestState
+                : routing::EbDaRouting::Mode::Minimal);
+        out.router = &*out.ebda;
+        return true;
+    }
+    std::string err;
+    const auto dims = core::parseDims(args.get("mesh", "4x4"), &err);
+    if (!dims) {
+        std::cerr << "bad --mesh: " << err << '\n';
+        return false;
+    }
+    auto vcs = core::parseVcList(args.get("vcs", default_vcs), &err);
+    if (!vcs) {
+        std::cerr << "bad --vcs: " << err << '\n';
+        return false;
+    }
+    vcs->resize(std::max(vcs->size(), dims->size()), 1);
+    out.net = args.has("torus") ? topo::Network::torus(*dims, *vcs)
+                                : topo::Network::mesh(*dims, *vcs);
+    out.owned =
+        sweep::makeRouter(*out.net, args.get("router", default_router),
+                          &err);
+    if (!out.owned) {
+        std::cerr << err << '\n';
+        return false;
+    }
+    out.router = out.owned.get();
+    return true;
+}
+
 int
 cmdForensics(const Args &args)
 {
     // Network + router: either an EbDa scheme (like simulate) or a
     // sweep router-factory spec (default: the deadlock-prone
     // unrestricted minimal-adaptive negative control).
-    std::unique_ptr<cdg::RoutingRelation> owned;
-    const cdg::RoutingRelation *router = nullptr;
-    std::optional<topo::Network> net;
-    std::optional<routing::EbDaRouting> ebda_router;
-    if (args.has("scheme")) {
-        const auto scheme = schemeFromArgs(args);
-        const auto validation = scheme.validate();
-        if (!validation.ok) {
-            std::cerr << "invalid scheme: " << validation.reason << '\n';
-            return 2;
-        }
-        net = networkFor(scheme, args);
-        ebda_router.emplace(
-            *net, scheme, core::TurnExtractionOptions{},
-            net->isTorus() ? routing::EbDaRouting::Mode::ShortestState
-                           : routing::EbDaRouting::Mode::Minimal);
-        router = &*ebda_router;
-    } else {
-        std::string err;
-        const auto dims = core::parseDims(args.get("mesh", "4x4"), &err);
-        if (!dims) {
-            std::cerr << "bad --mesh: " << err << '\n';
-            return 2;
-        }
-        auto vcs = core::parseVcList(args.get("vcs", "1,1"), &err);
-        if (!vcs) {
-            std::cerr << "bad --vcs: " << err << '\n';
-            return 2;
-        }
-        vcs->resize(std::max(vcs->size(), dims->size()), 1);
-        net = args.has("torus") ? topo::Network::torus(*dims, *vcs)
-                                : topo::Network::mesh(*dims, *vcs);
-        owned = sweep::makeRouter(*net, args.get("router", "minimal"),
-                                  &err);
-        if (!owned) {
-            std::cerr << err << '\n';
-            return 2;
-        }
-        router = owned.get();
-    }
+    RouterSetup setup;
+    if (!setupRouter(args, "minimal", "1,1", setup))
+        return 2;
+    const auto &net = setup.net;
+    const auto *router = setup.router;
 
     const auto pattern =
         sim::patternFromString(args.get("pattern", "uniform"));
@@ -438,6 +479,184 @@ cmdForensics(const Args &args)
     }
     std::cout << '\n' << simulator.forensics().describe(*net);
     return 0;
+}
+
+/** Parse "--events" fault lists: semicolon-separated entries of the
+ *  form "CYCLE:link:SRC->DST" or "CYCLE:node:N". */
+bool
+parseFaultEvents(const std::string &text,
+                 std::vector<sim::FaultEvent> &out, std::string *err)
+{
+    auto fail = [&](const std::string &what, const std::string &entry) {
+        if (err)
+            *err = what + " in fault event '" + entry + "'";
+        return false;
+    };
+    auto number = [](const std::string &s, std::uint64_t &v) {
+        if (s.empty())
+            return false;
+        char *end = nullptr;
+        v = std::strtoull(s.c_str(), &end, 10);
+        return end && *end == '\0';
+    };
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        auto semi = text.find(';', pos);
+        if (semi == std::string::npos)
+            semi = text.size();
+        const std::string entry = text.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (entry.empty())
+            continue;
+        const auto c1 = entry.find(':');
+        const auto c2 =
+            c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+        if (c2 == std::string::npos)
+            return fail("expected CYCLE:kind:WHAT", entry);
+        sim::FaultEvent ev;
+        if (!number(entry.substr(0, c1), ev.cycle))
+            return fail("bad cycle", entry);
+        const std::string kind = entry.substr(c1 + 1, c2 - c1 - 1);
+        const std::string what = entry.substr(c2 + 1);
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        if (kind == "node") {
+            ev.router = true;
+            if (!number(what, a))
+                return fail("bad node id", entry);
+            ev.node = static_cast<std::uint32_t>(a);
+        } else if (kind == "link") {
+            const auto arrow = what.find("->");
+            if (arrow == std::string::npos
+                || !number(what.substr(0, arrow), a)
+                || !number(what.substr(arrow + 2), b))
+                return fail("bad SRC->DST", entry);
+            ev.src = static_cast<std::uint32_t>(a);
+            ev.dst = static_cast<std::uint32_t>(b);
+        } else {
+            return fail("kind must be 'link' or 'node'", entry);
+        }
+        out.push_back(ev);
+    }
+    return true;
+}
+
+int
+cmdFaults(const Args &args)
+{
+    // Default: the paper's Fig 7(b) fully adaptive scheme (needs VC
+    // budget 1,2 on a mesh), the configuration whose U-/I-turns are
+    // what Theorem 2 says make degradation graceful.
+    RouterSetup setup;
+    if (!setupRouter(args, "fig7b", "1,2", setup))
+        return 2;
+    const auto &net = setup.net;
+    const auto *router = setup.router;
+
+    const auto pattern =
+        sim::patternFromString(args.get("pattern", "uniform"));
+    if (!pattern) {
+        std::cerr << "unknown --pattern\n";
+        return 2;
+    }
+    const sim::TrafficGenerator gen(*net, *pattern);
+
+    sim::SimConfig cfg;
+    cfg.injectionRate = args.getDouble("rate", 0.1);
+    cfg.measureCycles = args.getU64("cycles", 4000);
+    cfg.watchdogCycles = args.getU64("watchdog", 2000);
+    cfg.faults.randomLinkFaults =
+        static_cast<int>(args.getInt("link-faults", 0));
+    cfg.faults.randomRouterFaults =
+        static_cast<int>(args.getInt("node-faults", 0));
+    cfg.faults.seed = args.getU64("fault-seed", cfg.faults.seed);
+    cfg.faults.firstCycle =
+        args.getU64("fault-start", cfg.faults.firstCycle);
+    cfg.faults.spacing =
+        args.getU64("fault-spacing", cfg.faults.spacing);
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
+    if (args.has("events")) {
+        std::string err;
+        if (!parseFaultEvents(args.get("events"), cfg.faults.events,
+                              &err)) {
+            std::cerr << err << '\n';
+            return 2;
+        }
+    }
+    if (cfg.faults.empty()) {
+        // A faults run without faults is a usage error, not a silent
+        // fault-free simulation.
+        std::cerr << "no faults scheduled: give --link-faults, "
+                     "--node-faults or --events\n";
+        return 2;
+    }
+    cfg.warmupCycles = cfg.measureCycles / 4;
+    cfg.drainCycles = cfg.measureCycles * 10;
+
+    sim::Simulator simulator(*net, *router, gen, cfg);
+    const auto result = simulator.run();
+    const auto &injector = simulator.faults();
+
+    if (args.has("json")) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("router", router->name());
+        w.field("pattern", sim::toString(*pattern));
+        w.beginObject("config");
+        sim::jsonFields(w, cfg);
+        w.end();
+        w.beginObject("result");
+        sim::jsonFields(w, result);
+        w.end();
+        w.end();
+        std::cout << w.str() << '\n';
+        return result.degradedGracefully ? 0 : 1;
+    }
+
+    std::cout << router->name() << " on " << net->numNodes()
+              << " nodes, rate " << cfg.injectionRate
+              << "\n\nfault schedule ("
+              << injector.schedule().size() << " event(s), "
+              << result.faultEventsApplied << " applied):\n";
+    TextTable sched;
+    sched.setHeader({"cycle", "fault", "applied"});
+    std::size_t idx = 0;
+    for (const auto &ev : injector.schedule()) {
+        const std::string what =
+            ev.router ? "router " + std::to_string(ev.node)
+                      : "link " + std::to_string(ev.src) + " -> "
+                            + std::to_string(ev.dst);
+        sched.addRow({TextTable::num(ev.cycle), what,
+                      idx < result.faultEventsApplied ? "yes" : "no"});
+        ++idx;
+    }
+    sched.print(std::cout);
+
+    std::cout << "\ndegradation report:\n  delivered fraction: "
+              << result.deliveredFraction << "\n  packets dropped "
+              << result.packetsDropped << ", retransmitted "
+              << result.packetsRetransmitted << ", lost "
+              << result.packetsLost << "\n  recovery passes: "
+              << result.recoveryPasses
+              << "\n  degraded-CDG oracle: " << result.faultChecksClean
+              << "/" << result.faultChecks << " checks clean\n";
+    if (result.packetsMeasured > 0)
+        std::cout << "  avg latency: " << result.avgLatency
+                  << " cycles over " << result.packetsMeasured
+                  << " measured packets\n";
+
+    if (result.degradedGracefully) {
+        std::cout << "\ngraceful degradation: no watchdog wedge after "
+                  << result.faultEventsApplied << " fault event(s)\n";
+        return 0;
+    }
+    std::cout << "\nWEDGED after " << result.recoveryPasses
+              << " recovery pass(es)\n\n"
+              << simulator.forensics().describe(*net);
+    return 1;
 }
 
 int
@@ -568,6 +787,8 @@ main(int argc, char **argv)
             return cmdSpace(args);
         if (cmd == "forensics")
             return cmdForensics(args);
+        if (cmd == "faults")
+            return cmdFaults(args);
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 2;
