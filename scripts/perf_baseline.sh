@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_sim.json, the committed route-compute perf baseline.
+#
+# Builds bench_route_compute in a Release (-O3) tree and runs it; the
+# bench measures compiled-table vs virtual-dispatch route compute on
+# the standard 8x8, 2-VC mesh plus one fixed latency-sweep point with
+# the table on and off, and writes the machine-readable summary
+# (ns/call, speedup, cycles/sec, table-path allocation count) to the
+# path in EBDA_ROUTE_BENCH_JSON. It exits non-zero on a table/virtual
+# mismatch or any table-path heap allocation, so a stale baseline can
+# never be committed from a broken build.
+#
+# Usage: scripts/perf_baseline.sh [build-dir]   (default: build-perf)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-perf}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_route_compute
+
+EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
+    "$BUILD_DIR/bench/bench_route_compute"
+
+echo "wrote BENCH_sim.json"

@@ -13,6 +13,7 @@
 #ifndef EBDA_CDG_ROUTING_RELATION_HH
 #define EBDA_CDG_ROUTING_RELATION_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,27 @@ namespace ebda::cdg {
 
 /** Sentinel for "packet is at its source, not yet on any channel". */
 constexpr topo::ChannelId kInjectionChannel = topo::kInvalidId;
+
+/**
+ * Whether a relation's candidate sets depend on the packet's source
+ * node. Table compilers (routing/route_table.hh) use the hint to size
+ * the compiled table: source-independent relations need one row per
+ * (input channel, destination); source-dependent ones one row per
+ * (input channel, source, destination).
+ */
+enum class SrcSensitivity : std::uint8_t
+{
+    /** Not declared — a compiler must probe every source exhaustively
+     *  before it may collapse the source axis. The sound default. */
+    Unknown,
+    /** candidates() ignores `src`. Compilers may collapse the source
+     *  axis after a spot-check (the claim is also pinned exhaustively
+     *  by tests/test_route_table.cc). */
+    Independent,
+    /** candidates() consults `src` (e.g. Odd-Even's source column,
+     *  Elevator-First's per-source elevator choice). */
+    Dependent,
+};
 
 /**
  * Abstract routing relation over a concrete network.
@@ -49,6 +71,23 @@ class RoutingRelation
 
     /** Human-readable algorithm name for reports. */
     virtual std::string name() const = 0;
+
+    /** Source-dependence hint for table compilers. The Unknown default
+     *  is always sound: compilers then probe every source. */
+    virtual SrcSensitivity
+    srcSensitivity() const
+    {
+        return SrcSensitivity::Unknown;
+    }
+
+    /**
+     * True when candidates() tolerates every in-contract
+     * (in, at, src, dest) combination, including (in, src) pairs no
+     * real packet could exhibit. Relations that assert on unreachable
+     * states (e.g. Elevator-First's phase checks) return false, which
+     * keeps table compilers from probing them.
+     */
+    virtual bool probeSafe() const { return true; }
 
     /** The network this relation routes on. */
     virtual const topo::Network &network() const = 0;

@@ -33,6 +33,14 @@ class MeshRouting : public cdg::RoutingRelation
 
     const topo::Network &network() const override { return net; }
 
+    /** Every mesh baseline here ignores `src` — except Odd-Even, which
+     *  overrides this back to Dependent. */
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
+
   protected:
     /** All VCs of the link leaving `at` along (dim, sign), appended to
      *  out. No-op when the link does not exist. */
@@ -126,6 +134,13 @@ class OddEvenRouting : public MeshRouting
         topo::NodeId dest) const override;
 
     std::string name() const override { return "Odd-Even"; }
+
+    /** Chiu's ROUTE consults the source column parity. */
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Dependent;
+    }
 };
 
 /**
@@ -148,6 +163,12 @@ class MinimalAdaptiveRouting : public cdg::RoutingRelation
     std::string name() const override { return "Minimal-Adaptive"; }
 
     const topo::Network &network() const override { return net; }
+
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
 
   private:
     const topo::Network &net;

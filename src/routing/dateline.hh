@@ -36,6 +36,12 @@ class TorusDatelineRouting : public cdg::RoutingRelation
 
     const topo::Network &network() const override { return net; }
 
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
+
   private:
     const topo::Network &net;
 };

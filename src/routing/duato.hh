@@ -41,6 +41,12 @@ class DuatoFullyAdaptive : public cdg::RoutingRelation
 
     const topo::Network &network() const override { return net; }
 
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
+
     /** True when the channel is the escape VC of its link. */
     bool isEscape(topo::ChannelId c) const;
 

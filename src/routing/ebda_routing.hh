@@ -75,6 +75,14 @@ class EbDaRouting : public cdg::RoutingRelation
 
     const topo::Network &network() const override { return net; }
 
+    /** Candidates depend on the occupied channel and destination only
+     *  (class transitions + per-dest reachability), never the source. */
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
+
     /** The extracted turn set driving the relation. */
     const core::TurnSet &turnSet() const { return turns; }
 

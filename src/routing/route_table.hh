@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Route-table compiler: flattens a RoutingRelation over its fixed
+ * Network into a CSR table so steady-state route compute is array
+ * indexing instead of a virtual call that heap-allocates a vector.
+ *
+ * Every EbDa-style relation is a pure function of (input channel,
+ * current node, source, destination); the current node is itself
+ * determined by the input channel (the head of `in`, or the source for
+ * injection queries), so the whole relation fits in a table keyed by
+ * (in, dest) — widened to (in, src, dest) when the relation consults
+ * the source (e.g. Odd-Even's source column). Candidate *contents and
+ * order* are exactly what the virtual relation returns, which is what
+ * keeps compiled runs bit-identical to virtual-path runs.
+ *
+ * Layout (rows hold {begin, len} into one shared candidate pool):
+ *  - narrow: row(in, dest)       = in * N + dest, then an injection
+ *    block at C * N keyed (src, dest) — injection candidates depend on
+ *    the source because the source IS the current node there;
+ *  - wide:   row(in, src, dest)  = (in * N + src) * N + dest, injection
+ *    block at C * N * N.
+ *
+ * Probing is reachability-guided: rows are filled by BFS from the
+ * injection candidates, so the compiler only ever queries channel
+ * states a real packet can occupy. That matters — relations guard
+ * their reachable-state invariants with asserts (EbDaRouting panics on
+ * unclassified channels), and it is also cheaper: unreachable rows
+ * stay empty and are never queried at runtime (a packet can only
+ * occupy a channel some probed row offered, by induction from
+ * injection).
+ *
+ * Compile-time soundness: a relation declaring SrcSensitivity::
+ * Independent compiles narrow and is spot-checked against a
+ * deterministic sample of sources (and exhaustively by
+ * tests/test_route_table.cc); Unknown and Dependent relations compile
+ * wide — per-source rows need no source-independence assumption, so
+ * the Unknown default is sound without an exhaustive detection pass.
+ * Relations whose candidates() may assert even on reachable probe
+ * combinations opt out via probeSafe() and take the virtual fallback,
+ * as does any table whose compiled size would exceed the configurable
+ * memory budget.
+ *
+ * Fault integration: the table is compiled over the simulator's
+ * effective (possibly fault-degraded) relation. When a fault event
+ * kills channels, `filterDeadChannel` edits only the rows containing
+ * the dead channel in place — via a lazily built channel -> rows
+ * reverse index — keeping the table exactly equal to the degraded
+ * virtual view with no recompile.
+ */
+
+#ifndef EBDA_ROUTING_ROUTE_TABLE_HH
+#define EBDA_ROUTING_ROUTE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cdg/routing_relation.hh"
+
+namespace ebda::routing {
+
+/**
+ * Borrowed, immutable view of one candidate list. Valid until the
+ * owning table is filtered (fault event) or the scratch vector it
+ * aliases on the fallback path is reused.
+ */
+struct CandidateSpan
+{
+    const topo::ChannelId *ptr = nullptr;
+    std::size_t count = 0;
+
+    const topo::ChannelId *begin() const { return ptr; }
+    const topo::ChannelId *end() const { return ptr + count; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    topo::ChannelId operator[](std::size_t i) const { return ptr[i]; }
+};
+
+/**
+ * A compiled routing relation. Construct once per (Network, relation);
+ * query via candidatesView (zero-allocation when compiled) or
+ * candidatesInto.
+ */
+class RouteTable
+{
+  public:
+    struct Options
+    {
+        /** Compile at all; false forces the virtual fallback. */
+        bool enable = true;
+        /** Table size cap (rows + pool); beyond it the table falls
+         *  back to the virtual relation. */
+        std::uint64_t memoryBudgetBytes = 64ull << 20;
+    };
+
+    RouteTable(const cdg::RoutingRelation &relation, Options options);
+
+    explicit RouteTable(const cdg::RoutingRelation &relation)
+        : RouteTable(relation, Options())
+    {
+    }
+
+    /** True when queries are served from the table; false on the
+     *  virtual fallback (disabled, probe-unsafe, or over budget). */
+    bool compiled() const { return compiledFlag; }
+
+    /** True when the table was widened to per-source rows. */
+    bool perSource() const { return wide; }
+
+    /** Bytes held by rows + candidate pool (0 when not compiled). */
+    std::uint64_t tableBytes() const { return bytes; }
+
+    /** Wall-clock nanoseconds spent probing + filling the table. */
+    std::uint64_t compileNanos() const { return compileNs; }
+
+    /** Route-compute queries served so far (table or fallback). */
+    std::uint64_t calls() const { return callCount; }
+
+    /** The relation compiled (the simulator's effective relation). */
+    const cdg::RoutingRelation &relation() const { return rel; }
+
+    /**
+     * The hot path. Compiled: returns a view into the table, no
+     * allocation. Fallback: fills `scratch` via the virtual relation
+     * and returns a view of it. `at` is only consulted on the
+     * fallback; `dest` must differ from the current node (callers
+     * eject on arrival).
+     */
+    CandidateSpan
+    candidatesView(topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+                   topo::NodeId dest,
+                   std::vector<topo::ChannelId> &scratch) const
+    {
+        ++callCount;
+        if (compiledFlag) {
+            const Row r = rows[rowIndex(in, src, dest)];
+            return CandidateSpan{pool.data() + r.begin, r.len};
+        }
+        scratch = rel.candidates(in, at, src, dest);
+        return CandidateSpan{scratch.data(), scratch.size()};
+    }
+
+    /** Copy the candidate list into `out` (cold paths that keep it). */
+    void candidatesInto(topo::ChannelId in, topo::NodeId at,
+                        topo::NodeId src, topo::NodeId dest,
+                        std::vector<topo::ChannelId> &out) const;
+
+    /**
+     * Remove `dead` from every row containing it (fault event). Only
+     * the affected rows are touched; the channel -> rows reverse index
+     * backing this is built lazily on the first call, so fault-free
+     * runs never pay for it. No-op on the fallback path (the degraded
+     * virtual relation filters dynamically).
+     */
+    void filterDeadChannel(topo::ChannelId dead);
+
+  private:
+    struct Row
+    {
+        std::uint32_t begin = 0;
+        std::uint32_t len = 0;
+    };
+
+    std::size_t
+    rowIndex(topo::ChannelId in, topo::NodeId src, topo::NodeId dest) const
+    {
+        if (in == cdg::kInjectionChannel)
+            return injBase + static_cast<std::size_t>(src) * numNodes
+                + dest;
+        if (!wide)
+            return static_cast<std::size_t>(in) * numNodes + dest;
+        return (static_cast<std::size_t>(in) * numNodes + src) * numNodes
+            + dest;
+    }
+
+    enum class FillOutcome : std::uint8_t
+    {
+        Ok,
+        /** Table would exceed the memory budget -> virtual fallback. */
+        OverBudget,
+        /** A declared-Independent relation disagreed across sources on
+         *  a sampled reachable state -> recompile wide. */
+        SrcMismatch,
+    };
+
+    /** Probe every reachable row (BFS from injection candidates). */
+    FillOutcome fill();
+
+    void buildReverseIndex();
+
+    const cdg::RoutingRelation &rel;
+    Options opts;
+    std::size_t numNodes;
+    std::size_t numChannels;
+
+    bool wide = false;
+    bool compiledFlag = false;
+    std::size_t injBase = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t compileNs = 0;
+    mutable std::uint64_t callCount = 0;
+
+    std::vector<Row> rows;
+    std::vector<topo::ChannelId> pool;
+
+    /** channel -> ids of rows whose candidate list contains it. */
+    std::vector<std::vector<std::uint32_t>> revIndex;
+    bool revBuilt = false;
+};
+
+} // namespace ebda::routing
+
+#endif // EBDA_ROUTING_ROUTE_TABLE_HH

@@ -43,6 +43,12 @@ class UpDownRouting : public cdg::RoutingRelation
 
     const topo::Network &network() const override { return net; }
 
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent;
+    }
+
     /** True when the link is oriented toward the root. */
     bool isUp(topo::LinkId l) const { return upLink[l]; }
 

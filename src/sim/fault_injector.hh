@@ -100,6 +100,20 @@ class FaultInjector
                                      ActiveSet &allocActive);
 
     /**
+     * Channels newly marked dead since the last call, in marking
+     * order; clears the list. The simulator drains this after every
+     * apply() to invalidate the affected compiled route-table rows —
+     * no full recompile per fault event.
+     */
+    std::vector<topo::ChannelId>
+    takeNewlyDeadChannels()
+    {
+        std::vector<topo::ChannelId> out;
+        out.swap(newlyDead);
+        return out;
+    }
+
+    /**
      * Purge every flit of the marked packets (`kill[pkt] != 0`) from
      * the fabric, releasing/revoking allocations and maintaining the
      * occupancy, ownership and flitsInFlight invariants. Also used by
@@ -128,6 +142,7 @@ class FaultInjector
     std::vector<std::uint8_t> nodeDeadMask;
     std::vector<std::uint8_t> linkDeadMask;
     std::vector<std::uint8_t> chanDeadMask;
+    std::vector<topo::ChannelId> newlyDead;
     std::size_t deadLinks = 0;
     std::size_t deadNodes = 0;
 };
@@ -172,6 +187,18 @@ class FaultedRelationView final : public cdg::RoutingRelation
     {
         return base.network();
     }
+
+    /** @name Table-compiler hints, forwarded from the base relation
+     *  (filtering dead channels changes neither source dependence nor
+     *  probe safety).
+     *  @{ */
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return base.srcSensitivity();
+    }
+    bool probeSafe() const override { return base.probeSafe(); }
+    /** @} */
 
   private:
     const cdg::RoutingRelation &base;

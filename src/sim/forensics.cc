@@ -8,7 +8,7 @@
 namespace ebda::sim {
 
 DeadlockForensics
-buildForensics(const Fabric &fab, const cdg::RoutingRelation &routing,
+buildForensics(const Fabric &fab, const routing::RouteTable &route,
                std::uint64_t cycle)
 {
     DeadlockForensics out;
@@ -36,8 +36,8 @@ buildForensics(const Fabric &fab, const cdg::RoutingRelation &routing,
             rec.waitingOn.push_back(vc.out);
         } else if (vc.buf.front().head) {
             const PacketRec &pkt = fab.packets[vc.buf.front().pkt];
-            rec.waitingOn = routing.candidates(vc.self, vc.atNode,
-                                               pkt.src, pkt.dest);
+            route.candidatesInto(vc.self, vc.atNode, pkt.src, pkt.dest,
+                                 rec.waitingOn);
         }
         for (topo::ChannelId w : rec.waitingOn)
             waits.addEdge(static_cast<graph::NodeId>(i), w);
@@ -51,7 +51,8 @@ buildForensics(const Fabric &fab, const cdg::RoutingRelation &routing,
 
     // Cross-reference: every wait edge between channels must be a
     // dependency the static Dally verifier already knows about.
-    const graph::Digraph cdgGraph = cdg::buildRelationCdg(routing);
+    const graph::Digraph cdgGraph =
+        cdg::buildRelationCdg(route.relation());
     out.cycleInRelationCdg = true;
     for (std::size_t k = 0; k < out.waitCycle.size(); ++k) {
         const topo::ChannelId from = out.waitCycle[k];

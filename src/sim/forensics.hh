@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "routing/route_table.hh"
 #include "sim/router.hh"
 
 namespace ebda::sim {
@@ -68,9 +69,12 @@ struct DeadlockForensics
     std::string describe(const topo::Network &net) const;
 };
 
-/** Walk the frozen fabric and build the forensic dump. */
+/** Walk the frozen fabric and build the forensic dump. `route` is the
+ *  simulator's compiled table over the effective relation: candidate
+ *  queries go through it, the Dally cross-reference through
+ *  route.relation(). */
 DeadlockForensics buildForensics(const Fabric &fab,
-                                 const cdg::RoutingRelation &routing,
+                                 const routing::RouteTable &route,
                                  std::uint64_t cycle);
 
 } // namespace ebda::sim

@@ -18,14 +18,20 @@ Fabric::Fabric(const topo::Network &network, const SimConfig &config)
     }
 
     const std::size_t channels = net.numChannels();
+    const topo::NodeId nodes = net.numNodes();
     ivcs.resize(channels
-                + net.numNodes()
+                + static_cast<std::size_t>(nodes)
                     * static_cast<std::size_t>(cfg.injectionVcs));
-    for (topo::ChannelId c = 0; c < channels; ++c) {
-        ivcs[c].self = c;
-        ivcs[c].atNode = net.link(net.linkOf(c)).dst;
+    // One link/dst lookup per link, not one per channel.
+    for (topo::LinkId l = 0; l < net.numLinks(); ++l) {
+        const topo::NodeId dst = net.link(l).dst;
+        for (int v = 0; v < net.vcsOnLink(l); ++v) {
+            const topo::ChannelId c = net.channel(l, v);
+            ivcs[c].self = c;
+            ivcs[c].atNode = dst;
+        }
     }
-    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+    for (topo::NodeId n = 0; n < nodes; ++n) {
         for (int k = 0; k < cfg.injectionVcs; ++k) {
             InputVc &vc = ivcs[injIndex(n, k)];
             vc.self = cdg::kInjectionChannel;
@@ -45,8 +51,9 @@ Fabric::Fabric(const topo::Network &network, const SimConfig &config)
 std::vector<ChannelOccupancy>
 Fabric::channelOccupancy(std::uint64_t horizon) const
 {
-    std::vector<ChannelOccupancy> out(net.numChannels());
-    for (topo::ChannelId c = 0; c < net.numChannels(); ++c) {
+    const std::size_t channels = net.numChannels();
+    std::vector<ChannelOccupancy> out(channels);
+    for (topo::ChannelId c = 0; c < channels; ++c) {
         // Flush the lazy integral: the buffer held its current size
         // from the last touch until the horizon.
         const double integral = occIntegral[c]

@@ -81,6 +81,8 @@ jsonFields(JsonWriter &w, const SimConfig &c)
     w.field("measureCycles", c.measureCycles);
     w.field("drainCycles", c.drainCycles);
     w.field("watchdogCycles", c.watchdogCycles);
+    w.field("routeTable", c.routeTable);
+    w.field("routeTableBudget", c.routeTableBudget);
     // Always emitted (even when empty) so the canonical form — and
     // with it every sweep cache key — is stable.
     w.beginObject("faults");
@@ -159,6 +161,12 @@ jsonFields(JsonWriter &w, const SimResult &r)
     w.field("deliveredFraction", r.deliveredFraction, kExact);
     w.field("degradedGracefully", r.degradedGracefully);
     w.field("aborted", r.aborted);
+    // routeTableCompileNanos is deliberately absent: wall-clock noise
+    // would break the byte-identity of serial/parallel/cached sweeps.
+    w.field("routeComputeCalls", r.routeComputeCalls);
+    w.field("routeTableCompiled", r.routeTableCompiled);
+    w.field("routeTablePerSource", r.routeTablePerSource);
+    w.field("routeTableBytes", r.routeTableBytes);
 }
 
 std::string
@@ -356,7 +364,8 @@ configFromJson(const JsonValue &v, std::string *error)
         "switching",     "routerLatency", "selection",
         "injectionRate", "injectionVcs",  "atomicVcAllocation",
         "warmupCycles",  "measureCycles", "drainCycles",
-        "watchdogCycles", "faults"};
+        "watchdogCycles", "routeTable",   "routeTableBudget",
+        "faults"};
     for (const auto &[key, val] : v.members()) {
         bool ok = false;
         for (const char *k : known)
@@ -395,8 +404,13 @@ configFromJson(const JsonValue &v, std::string *error)
                     })
         && r.number("drainCycles",
                     [&](const JsonValue &f) { c.drainCycles = f.asU64(); })
-        && r.number("watchdogCycles", [&](const JsonValue &f) {
-               c.watchdogCycles = f.asU64();
+        && r.number("watchdogCycles",
+                    [&](const JsonValue &f) {
+                        c.watchdogCycles = f.asU64();
+                    })
+        && r.boolean("routeTable", c.routeTable)
+        && r.number("routeTableBudget", [&](const JsonValue &f) {
+               c.routeTableBudget = f.asU64();
            });
     if (ok) {
         if (const auto *f = v.find("switching")) {
@@ -562,7 +576,16 @@ resultFromJson(const JsonValue &v, std::string *error)
                         res.deliveredFraction = f.asDouble();
                     })
         && r.boolean("degradedGracefully", res.degradedGracefully)
-        && r.boolean("aborted", res.aborted);
+        && r.boolean("aborted", res.aborted)
+        && r.number("routeComputeCalls",
+                    [&](const JsonValue &f) {
+                        res.routeComputeCalls = f.asU64();
+                    })
+        && r.boolean("routeTableCompiled", res.routeTableCompiled)
+        && r.boolean("routeTablePerSource", res.routeTablePerSource)
+        && r.number("routeTableBytes", [&](const JsonValue &f) {
+               res.routeTableBytes = f.asU64();
+           });
     if (ok) {
         if (const auto *f = v.find("deadlockCycle")) {
             if (!f->isArray()) {

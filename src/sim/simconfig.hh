@@ -140,6 +140,13 @@ struct SimConfig
     std::uint64_t drainCycles = 100000;
     /** No-progress window that declares deadlock. */
     std::uint64_t watchdogCycles = 5000;
+    /** Compile the routing relation into a flat route table so
+     *  steady-state route compute is allocation-free array indexing
+     *  (routing/route_table.hh). Off forces the virtual relation. */
+    bool routeTable = true;
+    /** Route-table size cap in bytes; a table that would exceed it
+     *  falls back to the virtual relation. */
+    std::uint64_t routeTableBudget = 64ull << 20;
     /** Runtime fault schedule (empty by default: no fault path runs). */
     FaultPlan faults;
 };
@@ -235,6 +242,25 @@ struct SimResult
     /** Aborted by an external budget / interrupt hook (sweep engine
      *  job budgets); results are partial. */
     bool aborted = false;
+    /** @} */
+
+    /** @name Route-compute accounting (routing/route_table.hh)
+     *  @{ */
+    /** Route-compute queries answered during the run (table or
+     *  virtual fallback; identical either way, so sweeps stay
+     *  bit-comparable across the two modes). */
+    std::uint64_t routeComputeCalls = 0;
+    /** True when queries were served from a compiled table. */
+    bool routeTableCompiled = false;
+    /** True when the table was widened to per-source rows. */
+    bool routeTablePerSource = false;
+    /** Compiled table size (rows + candidate pool). */
+    std::uint64_t routeTableBytes = 0;
+    /** Wall-clock nanoseconds spent compiling the table. NOT part of
+     *  the JSON wire format: it varies run to run, and serialized
+     *  results must be byte-identical across serial/parallel/cached
+     *  sweeps. bench_route_compute reports real compile timings. */
+    std::uint64_t routeTableCompileNanos = 0;
     /** @} */
 };
 

@@ -17,7 +17,11 @@ Simulator::Simulator(const topo::Network &network,
                     ? static_cast<const cdg::RoutingRelation &>(
                           faultedView)
                     : routing_relation),
-      fab(network, cfg), vcAlloc(fab, effective), swAlloc(fab),
+      // Compiled before the first event fires, so the pre-event view
+      // is transparent; per-event row filtering keeps it in sync.
+      table(effective, routing::RouteTable::Options{
+                           cfg.routeTable, cfg.routeTableBudget}),
+      fab(network, cfg), vcAlloc(fab, table), swAlloc(fab),
       allocActive(fab.ivcs.size()), linkActive(net.numLinks()),
       ejectActive(net.numNodes()), latencyHist(4096)
 {
@@ -37,7 +41,8 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
     const bool faults_on = injector.enabled();
     const double packet_rate =
         cfg.injectionRate / static_cast<double>(cfg.packetLength);
-    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+    const topo::NodeId nodes = net.numNodes();
+    for (topo::NodeId n = 0; n < nodes; ++n) {
         // A dead router neither injects nor draws from its substream;
         // every other node's stream is untouched by the fault.
         if (faults_on && injector.nodeDead(n))
@@ -90,9 +95,9 @@ Simulator::handleDropped(const std::vector<std::uint32_t> &purged,
             || static_cast<int>(pkt.retries)
                 >= cfg.faults.maxRetransmits;
         if (endpoint_dead || budget_spent
-            || effective
-                   .candidates(cdg::kInjectionChannel, pkt.src, pkt.src,
-                               pkt.dest)
+            || table
+                   .candidatesView(cdg::kInjectionChannel, pkt.src,
+                                   pkt.src, pkt.dest, routeScratch)
                    .empty()) {
             losePacket(pkt);
             continue;
@@ -106,7 +111,8 @@ Simulator::handleDropped(const std::vector<std::uint32_t> &purged,
             : cfg.faults.retransmitBackoff << shift;
         backoff = std::max<std::uint64_t>(
             1, std::min(backoff, cfg.faults.retransmitBackoffCap));
-        retryQueue.push_back(RetryEntry{id, cycle + backoff});
+        retryQueue.push_back(
+            RetryEntry{id, cycle + backoff, injector.eventsApplied()});
     }
 }
 
@@ -123,12 +129,15 @@ Simulator::releaseRetries(std::uint64_t cycle)
             continue;
         }
         PacketRec &pkt = fab.packets[entry.pkt];
-        // The masks may have grown while the packet backed off.
-        if (injector.nodeDead(pkt.src) || injector.nodeDead(pkt.dest)
-            || effective
-                   .candidates(cdg::kInjectionChannel, pkt.src, pkt.src,
-                               pkt.dest)
-                   .empty()) {
+        // The masks only grow at fault events. If none fired since the
+        // retry was scheduled, handleDropped's routability check still
+        // stands — don't recompute the same injection route.
+        if (injector.eventsApplied() != entry.epoch
+            && (injector.nodeDead(pkt.src) || injector.nodeDead(pkt.dest)
+                || table
+                       .candidatesView(cdg::kInjectionChannel, pkt.src,
+                                       pkt.src, pkt.dest, routeScratch)
+                       .empty())) {
             losePacket(pkt);
             continue;
         }
@@ -180,8 +189,9 @@ Simulator::strandedScan(std::uint64_t cycle)
         const PacketRec &pkt = fab.packets[id];
         if (vc.atNode == pkt.dest)
             continue;
-        if (!effective
-                 .candidates(vc.self, vc.atNode, pkt.src, pkt.dest)
+        if (!table
+                 .candidatesView(vc.self, vc.atNode, pkt.src, pkt.dest,
+                                 routeScratch)
                  .empty())
             continue;
         if (kill.empty())
@@ -212,7 +222,8 @@ Simulator::recoverWedged(std::uint64_t cycle)
 void
 Simulator::fillInjectionVcs(std::uint64_t cycle)
 {
-    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+    const topo::NodeId nodes = net.numNodes();
+    for (topo::NodeId n = 0; n < nodes; ++n) {
         if (sourceQueues[n].empty())
             continue;
         for (int k = 0; k < cfg.injectionVcs && !sourceQueues[n].empty();
@@ -258,8 +269,16 @@ Simulator::run()
         }
         if (faults_on) {
             if (injector.nextEventCycle() <= cycle) {
-                handleDropped(injector.apply(cycle, fab, allocActive),
-                              cycle);
+                const auto purged =
+                    injector.apply(cycle, fab, allocActive);
+                // Sync the compiled table with the grown masks before
+                // any route query (handleDropped checks injection
+                // routability): only rows touching the newly dead
+                // channels are rewritten.
+                for (const topo::ChannelId c :
+                     injector.takeNewlyDeadChannels())
+                    table.filterDeadChannel(c);
+                handleDropped(purged, cycle);
                 dropDeadQueuedPackets();
                 // From here on route compute reports dead ends for
                 // same-cycle purging (a stranded head would otherwise
@@ -329,7 +348,7 @@ Simulator::run()
                 last_progress = cycle;
             } else {
                 result.deadlocked = true;
-                forensicsDump = buildForensics(fab, effective, cycle);
+                forensicsDump = buildForensics(fab, table, cycle);
                 result.deadlockCycle.assign(
                     forensicsDump.waitCycle.begin(),
                     forensicsDump.waitCycle.end());
@@ -358,6 +377,11 @@ Simulator::run()
             / static_cast<double>(measuredGenerated)
         : 1.0;
     result.degradedGracefully = !result.deadlocked;
+    result.routeComputeCalls = table.calls();
+    result.routeTableCompiled = table.compiled();
+    result.routeTablePerSource = table.perSource();
+    result.routeTableBytes = table.tableBytes();
+    result.routeTableCompileNanos = table.compileNanos();
     result.packetsMeasured = latencyStat.count();
     result.packetsEjected = packetsEjectedCount;
     result.avgLatency = latencyStat.mean();

@@ -112,6 +112,9 @@ class Simulator
     /** The fault injector (schedule, liveness masks). */
     const FaultInjector &faults() const { return injector; }
 
+    /** The compiled route table (valid from construction). */
+    const routing::RouteTable &routeTable() const { return table; }
+
     /** @} */
 
   private:
@@ -148,6 +151,11 @@ class Simulator
      *  when a FaultPlan is present, the base relation otherwise. */
     const cdg::RoutingRelation &effective;
 
+    /** Compiled route table over `effective` — every route-compute
+     *  call site queries this. Fault events filter its rows in place,
+     *  keeping it exactly equal to the degraded virtual view. */
+    routing::RouteTable table;
+
     Fabric fab;
     std::vector<Router> routerTable;
     VcAllocator vcAlloc;
@@ -178,6 +186,11 @@ class Simulator
     {
         std::uint32_t pkt;
         std::uint64_t ready;
+        /** Fault events applied when the retry was scheduled. The
+         *  liveness masks are immutable between events, so release
+         *  skips the dead/routable re-check while the epoch is
+         *  unchanged — handleDropped already computed it. */
+        std::size_t epoch;
     };
     std::vector<RetryEntry> retryQueue;
     std::uint64_t measuredGenerated = 0;
@@ -194,6 +207,10 @@ class Simulator
     std::function<bool()> abortCheck;
     std::uint64_t cycleLimit = 0;
     bool abortedFlag = false;
+
+    /** Fallback buffer for the simulator's own candidatesView calls
+     *  (injection routability checks, stranded scans). */
+    std::vector<topo::ChannelId> routeScratch;
 
     Histogram latencyHist;
     StatAccumulator latencyStat;

@@ -42,7 +42,6 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
     const std::size_t count = fab.ivcs.size();
     vcArbOffset = (vcArbOffset + 1) % count;
 
-    std::vector<topo::ChannelId> free;
     active.sweep(vcArbOffset, [&](std::size_t i) -> bool {
         InputVc &vc = fab.ivcs[i];
         if (vc.routed || vc.buf.empty())
@@ -65,8 +64,9 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
         // policy.
         free.clear();
         bool any_candidate = false;
-        for (topo::ChannelId c : routing.candidates(vc.self, vc.atNode,
-                                                    pkt.src, pkt.dest)) {
+        for (topo::ChannelId c :
+             route.candidatesView(vc.self, vc.atNode, pkt.src, pkt.dest,
+                                  scratch)) {
             any_candidate = true;
             if (fab.owner[c] != topo::kInvalidId)
                 continue;

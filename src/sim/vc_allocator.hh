@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "routing/route_table.hh"
 #include "sim/active_set.hh"
 #include "sim/router.hh"
 
@@ -33,8 +34,10 @@ namespace ebda::sim {
 class VcAllocator
 {
   public:
-    VcAllocator(Fabric &fab, const cdg::RoutingRelation &routing)
-        : fab(fab), routing(routing)
+    /** `route` is the compiled table over the simulator's effective
+     *  relation — zero-allocation candidate lookup in steady state. */
+    VcAllocator(Fabric &fab, const routing::RouteTable &route)
+        : fab(fab), route(route)
     {
     }
 
@@ -73,8 +76,15 @@ class VcAllocator
 
   private:
     Fabric &fab;
-    const cdg::RoutingRelation &routing;
+    const routing::RouteTable &route;
     std::size_t vcArbOffset = 0;
+    /** Fallback-path buffer for candidatesView (unused when the table
+     *  is compiled: views then point straight into it). */
+    std::vector<topo::ChannelId> scratch;
+    /** Free legal candidates of the VC under allocation. A member so
+     *  its capacity persists across cycles (steady-state allocate()
+     *  performs no heap allocation). */
+    std::vector<topo::ChannelId> free;
 };
 
 } // namespace ebda::sim

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Property tests for the route-table compiler: a compiled table must
+ * be indistinguishable from the virtual relation it flattened — same
+ * candidate contents, same order — at every state a packet can occupy.
+ *
+ * "Every state" means every *reachable* (in, src, dest): the compiler
+ * probes by BFS from the injection candidates, so unreachable rows are
+ * deliberately empty (relations like EbDaRouting assert on unreachable
+ * probe combinations; the runtime never queries them). The checker
+ * here replays the same reachability closure through the virtual
+ * relation and compares exhaustively on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "routing/baselines.hh"
+#include "routing/dateline.hh"
+#include "routing/elevator.hh"
+#include "routing/route_table.hh"
+#include "sim/sim_json.hh"
+#include "sim/simulator.hh"
+#include "sweep/router_factory.hh"
+
+namespace ebda::routing {
+namespace {
+
+using cdg::kInjectionChannel;
+
+using Oracle = std::function<std::vector<topo::ChannelId>(
+    topo::ChannelId, topo::NodeId, topo::NodeId, topo::NodeId)>;
+
+Oracle
+relationOracle(const cdg::RoutingRelation &rel)
+{
+    return [&rel](topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+                  topo::NodeId dest) {
+        return rel.candidates(in, at, src, dest);
+    };
+}
+
+topo::NodeId
+headOf(const topo::Network &net, topo::ChannelId c)
+{
+    return net.link(net.linkOf(c)).dst;
+}
+
+/**
+ * BFS the reachable states of `reach` per (src, dest) and compare the
+ * table against `expect` at each one (both views, contents and order).
+ * `reach` and `expect` differ only in the fault test, where rows were
+ * compiled from the base relation and then filtered: reachability is
+ * the base closure, expectation the degraded relation.
+ * Returns the number of states compared.
+ */
+std::size_t
+expectTableMatches(const RouteTable &table, const topo::Network &net,
+                   const Oracle &reach, const Oracle &expect)
+{
+    std::vector<topo::ChannelId> scratch;
+    std::vector<topo::ChannelId> got;
+    std::size_t states = 0;
+
+    const auto check = [&](topo::ChannelId in, topo::NodeId at,
+                           topo::NodeId src, topo::NodeId dest) {
+        const auto want = expect(in, at, src, dest);
+        table.candidatesInto(in, at, src, dest, got);
+        EXPECT_EQ(got, want) << "candidatesInto at in=" << in
+                             << " at=" << at << " src=" << src
+                             << " dest=" << dest;
+        const auto view =
+            table.candidatesView(in, at, src, dest, scratch);
+        const std::vector<topo::ChannelId> viewed(view.begin(),
+                                                  view.end());
+        EXPECT_EQ(viewed, want) << "candidatesView at in=" << in
+                                << " at=" << at << " src=" << src
+                                << " dest=" << dest;
+        ++states;
+    };
+
+    for (topo::NodeId src = 0; src < net.numNodes(); ++src) {
+        for (topo::NodeId dest = 0; dest < net.numNodes(); ++dest) {
+            if (dest == src)
+                continue;
+            std::vector<std::uint8_t> seen(net.numChannels(), 0);
+            std::vector<topo::ChannelId> frontier;
+            const auto push = [&](const std::vector<topo::ChannelId> &cs) {
+                for (const topo::ChannelId c : cs) {
+                    if (!seen[c]) {
+                        seen[c] = 1;
+                        frontier.push_back(c);
+                    }
+                }
+            };
+            check(kInjectionChannel, src, src, dest);
+            push(reach(kInjectionChannel, src, src, dest));
+            for (std::size_t i = 0; i < frontier.size(); ++i) {
+                const topo::ChannelId in = frontier[i];
+                const topo::NodeId at = headOf(net, in);
+                if (at == dest)
+                    continue; // ejects on arrival, never queried
+                check(in, at, src, dest);
+                push(reach(in, at, src, dest));
+            }
+        }
+    }
+    return states;
+}
+
+/** The sweep catalog, paired per topology family — the mesh baseline
+ *  relations reject torus networks in their constructors. */
+const std::vector<const char *> kMeshSpecs = {
+    "xy",          "yx",       "west-first", "north-last",
+    "negative-first", "odd-even", "duato",   "minimal",
+    "fig7b",       "fig7c",    "region:4",   "merged:4",
+};
+const std::vector<const char *> kTorusSpecs = {
+    "minimal", "fig7b", "fig7c", "region:4", "merged:4",
+};
+
+struct NetCase
+{
+    const char *name;
+    topo::Network net;
+    const std::vector<const char *> &specs;
+};
+
+std::vector<NetCase>
+catalogNetworks()
+{
+    std::vector<NetCase> out;
+    out.push_back(
+        {"mesh4x4", topo::Network::mesh({4, 4}, {2, 2}), kMeshSpecs});
+    out.push_back(
+        {"mesh5x5", topo::Network::mesh({5, 5}, {2, 2}), kMeshSpecs});
+    out.push_back(
+        {"torus4x4", topo::Network::torus({4, 4}, {2, 2}), kTorusSpecs});
+    return out;
+}
+
+TEST(RouteTable, CatalogRelationsCompileAndMatchVirtual)
+{
+    std::size_t compiledRelations = 0;
+    for (const NetCase &nc : catalogNetworks()) {
+        for (const char *spec : nc.specs) {
+            std::string err;
+            const auto rel = sweep::makeRouter(nc.net, spec, &err);
+            if (!rel)
+                continue; // spec not hostable on this network
+            const RouteTable table(*rel);
+            EXPECT_TRUE(table.compiled())
+                << spec << " on " << nc.name
+                << " fell back to the virtual path";
+            EXPECT_GT(table.tableBytes(), 0u) << spec << " on " << nc.name;
+            const auto oracle = relationOracle(*rel);
+            const std::size_t states =
+                expectTableMatches(table, nc.net, oracle, oracle);
+            EXPECT_GT(states, nc.net.numNodes() * 2u)
+                << spec << " on " << nc.name;
+            ++compiledRelations;
+        }
+    }
+    // The catalog must broadly host on these networks — guard against
+    // makeRouter silently rejecting everything.
+    EXPECT_GE(compiledRelations, 20u);
+}
+
+TEST(RouteTable, TorusDatelineCompilesAndMatches)
+{
+    const auto net = topo::Network::torus({4, 4}, {2, 2});
+    const TorusDatelineRouting rel(net);
+    const RouteTable table(rel);
+    EXPECT_TRUE(table.compiled());
+    EXPECT_FALSE(table.perSource());
+    const auto oracle = relationOracle(rel);
+    expectTableMatches(table, net, oracle, oracle);
+}
+
+TEST(RouteTable, DorCompilesNarrowOddEvenCompilesWide)
+{
+    const auto net = topo::Network::mesh({5, 5}, {2, 2});
+    const auto dor = sweep::makeRouter(net, "xy");
+    ASSERT_NE(dor, nullptr);
+    const RouteTable dorTable(*dor);
+    EXPECT_TRUE(dorTable.compiled());
+    EXPECT_FALSE(dorTable.perSource());
+
+    const auto oe = sweep::makeRouter(net, "odd-even");
+    ASSERT_NE(oe, nullptr);
+    const RouteTable oeTable(*oe);
+    EXPECT_TRUE(oeTable.compiled());
+    EXPECT_TRUE(oeTable.perSource());
+    EXPECT_GT(oeTable.tableBytes(), dorTable.tableBytes());
+}
+
+/**
+ * A relation that lies about source independence: candidate order
+ * flips whenever the consulted source differs from the current node.
+ * The compiler's sample check must catch the lie and recompile wide
+ * instead of freezing a corrupt narrow table.
+ */
+class MisdeclaredRelation final : public cdg::RoutingRelation
+{
+  public:
+    explicit MisdeclaredRelation(const topo::Network &net)
+        : base(net)
+    {
+    }
+
+    std::vector<topo::ChannelId>
+    candidates(topo::ChannelId in, topo::NodeId at, topo::NodeId src,
+               topo::NodeId dest) const override
+    {
+        auto out = base.candidates(in, at, src, dest);
+        if (src != at)
+            std::reverse(out.begin(), out.end());
+        return out;
+    }
+
+    std::string name() const override { return "Misdeclared"; }
+    const topo::Network &network() const override
+    {
+        return base.network();
+    }
+    cdg::SrcSensitivity
+    srcSensitivity() const override
+    {
+        return cdg::SrcSensitivity::Independent; // the lie
+    }
+
+  private:
+    routing::MinimalAdaptiveRouting base;
+};
+
+TEST(RouteTable, MisdeclaredIndependenceWidensInsteadOfCorrupting)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const MisdeclaredRelation rel(net);
+    const RouteTable table(rel);
+    EXPECT_TRUE(table.compiled());
+    EXPECT_TRUE(table.perSource());
+    const auto oracle = relationOracle(rel);
+    expectTableMatches(table, net, oracle, oracle);
+}
+
+TEST(RouteTable, FaultFilterMatchesDegradedRelation)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const auto rel = sweep::makeRouter(net, "fig7b");
+    ASSERT_NE(rel, nullptr);
+    RouteTable table(*rel);
+    ASSERT_TRUE(table.compiled());
+
+    // Kill every channel of two physical links, one at a time, the way
+    // the simulator drains FaultInjector::takeNewlyDeadChannels().
+    std::set<topo::ChannelId> dead;
+    for (const topo::LinkId l : {topo::LinkId{3}, topo::LinkId{11}}) {
+        for (int v = 0; v < net.vcsOnLink(l); ++v) {
+            const topo::ChannelId c = net.channel(l, v);
+            dead.insert(c);
+            table.filterDeadChannel(c);
+        }
+    }
+
+    // Reachability is the BASE closure (rows were compiled pre-fault);
+    // the expected contents are the degraded relation's — the same
+    // order-preserving filter FaultedRelationView applies.
+    const auto reach = relationOracle(*rel);
+    const auto degraded = [&](topo::ChannelId in, topo::NodeId at,
+                              topo::NodeId src, topo::NodeId dest) {
+        auto out = rel->candidates(in, at, src, dest);
+        out.erase(std::remove_if(out.begin(), out.end(),
+                                 [&](topo::ChannelId c) {
+                                     return dead.count(c) != 0;
+                                 }),
+                  out.end());
+        return out;
+    };
+    expectTableMatches(table, net, reach, degraded);
+}
+
+TEST(RouteTable, TinyBudgetFallsBackToVirtual)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const auto rel = sweep::makeRouter(net, "fig7b");
+    ASSERT_NE(rel, nullptr);
+    const RouteTable table(*rel, RouteTable::Options{true, 64});
+    EXPECT_FALSE(table.compiled());
+    EXPECT_EQ(table.tableBytes(), 0u);
+    // The fallback path still answers, identically to the relation.
+    const auto oracle = relationOracle(*rel);
+    expectTableMatches(table, net, oracle, oracle);
+}
+
+TEST(RouteTable, ProbeUnsafeRelationFallsBack)
+{
+    // Elevator-First asserts on phase states its own routing never
+    // produces, so it opts out of probing and takes the fallback.
+    const std::vector<std::pair<int, int>> elevators = {{0, 0}, {2, 2}};
+    const auto net = topo::Network::partialMesh3d({3, 3, 3}, {2, 2, 1},
+                                                  elevators);
+    const ElevatorFirstRouting rel(net, elevators);
+    EXPECT_FALSE(rel.probeSafe());
+    const RouteTable table(rel);
+    EXPECT_FALSE(table.compiled());
+    const auto oracle = relationOracle(rel);
+    expectTableMatches(table, net, oracle, oracle);
+}
+
+TEST(RouteTable, DisabledTableCountsCalls)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const routing::DimensionOrderRouting rel =
+        routing::DimensionOrderRouting::xy(net);
+    const RouteTable table(rel, RouteTable::Options{false, 1ull << 30});
+    EXPECT_FALSE(table.compiled());
+    std::vector<topo::ChannelId> scratch;
+    (void)table.candidatesView(kInjectionChannel, 0, 0, 5, scratch);
+    (void)table.candidatesView(kInjectionChannel, 0, 0, 6, scratch);
+    EXPECT_EQ(table.calls(), 2u);
+}
+
+/**
+ * End to end: a faulted simulation routed through the compiled table
+ * must be bit-identical to the same run on the virtual path — the
+ * route-table meta fields are the only JSON difference allowed.
+ */
+TEST(RouteTable, FaultedSimulationBitIdenticalTableVsVirtual)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const auto rel = sweep::makeRouter(net, "fig7b");
+    ASSERT_NE(rel, nullptr);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 800;
+    cfg.drainCycles = 10000;
+    cfg.watchdogCycles = 2000;
+    cfg.injectionRate = 0.08;
+    cfg.seed = 99;
+    sim::FaultEvent link;
+    link.cycle = 300;
+    link.src = net.node({1, 1});
+    link.dst = net.node({2, 1});
+    sim::FaultEvent router;
+    router.cycle = 600;
+    router.router = true;
+    router.node = net.node({3, 0});
+    cfg.faults.events = {link, router};
+
+    cfg.routeTable = true;
+    auto onTable = sim::runSimulation(net, *rel, gen, cfg);
+    cfg.routeTable = false;
+    auto onVirtual = sim::runSimulation(net, *rel, gen, cfg);
+
+    // Same decisions -> same query count, even across fault events.
+    EXPECT_EQ(onTable.routeComputeCalls, onVirtual.routeComputeCalls);
+    EXPECT_TRUE(onTable.routeTableCompiled);
+    EXPECT_FALSE(onVirtual.routeTableCompiled);
+
+    // Erase the meta fields; everything else must match bit for bit.
+    onTable.routeTableCompiled = onVirtual.routeTableCompiled = false;
+    onTable.routeTablePerSource = onVirtual.routeTablePerSource = false;
+    onTable.routeTableBytes = onVirtual.routeTableBytes = 0;
+    EXPECT_EQ(sim::toJson(onTable), sim::toJson(onVirtual));
+}
+
+} // namespace
+} // namespace ebda::routing
