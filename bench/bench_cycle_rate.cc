@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Whole-sim-loop throughput benchmark and zero-allocation gate for the
+ * arena-backed flit fabric: one fixed latency point (8x8 mesh, 2
+ * VCs/dim, fig7b, uniform 0.10 flits/node/cycle) timed over exactly
+ * the measurement window via the simulator's measurement-phase hooks,
+ * with the same global operator new/delete hook bench_route_compute
+ * uses wrapped around that window.
+ *
+ * This binary exits non-zero when
+ *  - the steady-state loop performs a single heap allocation between
+ *    the first measurement cycle and the first post-measurement cycle
+ *    (the arena fabric's contract: rings, freelist and ring queues
+ *    make the whole cycle loop allocation-free once warm), or
+ *  - a committed baseline is supplied via EBDA_SIM_BASELINE_JSON and
+ *    the measured cycles/s regresses: against a baseline that already
+ *    carries a `sim_loop` object, more than 25% below its
+ *    cycles_per_sec; against a pre-arena baseline (route-compute
+ *    schema only), below 1.5x its sweep.table_cycles_per_sec, or
+ *  - the run fails to drain, deadlocks, or the hooks never fire.
+ *
+ * Machine-readable output: the JSON summary is printed to stdout and,
+ * when EBDA_CYCLE_BENCH_JSON is set, written to that path (CI uploads
+ * it as an artifact; scripts/perf_baseline.sh merges it into
+ * BENCH_sim.json as the `sim_loop` member).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "sweep/router_factory.hh"
+#include "util/json.hh"
+
+namespace {
+
+/** @name Global allocation hook
+ *  Counts every operator new in the process; the measurement window of
+ *  the cycle loop must leave it untouched.
+ *  @{ */
+std::uint64_t g_allocs = 0;
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++g_allocs;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+/** @} */
+
+namespace ebda {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Figures of the committed BENCH_sim.json relevant to the gate. */
+struct Baseline
+{
+    bool loaded = false;
+    /** sim_loop.cycles_per_sec when present (arena-era schema). */
+    double simLoopCyclesPerSec = 0.0;
+    /** sweep.table_cycles_per_sec (route-compute-era schema). */
+    double sweepTableCyclesPerSec = 0.0;
+};
+
+Baseline
+loadBaseline(const char *path)
+{
+    Baseline base;
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "baseline " << path << " unreadable; gate skipped\n";
+        return base;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    const auto doc = parseJson(buf.str(), &err);
+    if (!doc || !doc->isObject()) {
+        std::cerr << "baseline " << path << " unparseable (" << err
+                  << "); gate skipped\n";
+        return base;
+    }
+    if (const JsonValue *loop = doc->find("sim_loop")) {
+        if (const JsonValue *cps = loop->find("cycles_per_sec"))
+            base.simLoopCyclesPerSec = cps->asDouble();
+    }
+    if (const JsonValue *sweep = doc->find("sweep")) {
+        if (const JsonValue *cps = sweep->find("table_cycles_per_sec"))
+            base.sweepTableCyclesPerSec = cps->asDouble();
+    }
+    base.loaded = true;
+    return base;
+}
+
+/** One timed run: allocation count, flit moves and wall clock at the
+ *  first measurement cycle and at the first post-measurement cycle. */
+struct RepResult
+{
+    /** Hooks fired, run drained, no deadlock or abort. */
+    bool clean = false;
+    std::uint64_t steadyAllocs = 0;
+    double cyclesPerSec = 0.0;
+    double flitMovesPerSec = 0.0;
+    std::size_t packetTableSlots = 0;
+    std::uint64_t packetsEjected = 0;
+};
+
+RepResult
+runOnce(const topo::Network &net, const cdg::RoutingRelation &rel,
+        const sim::TrafficGenerator &gen, const sim::SimConfig &cfg)
+{
+    sim::Simulator simulator(net, rel, gen, cfg);
+    const sim::Fabric &fab = simulator.fabric();
+
+    struct Window
+    {
+        bool started = false;
+        bool ended = false;
+        std::uint64_t allocs0 = 0, allocs1 = 0;
+        std::uint64_t moves0 = 0, moves1 = 0;
+        Clock::time_point t0, t1;
+    } w;
+    simulator.setMeasurePhaseHooks(
+        [&] {
+            w.started = true;
+            w.moves0 = fab.flitMoves;
+            w.allocs0 = g_allocs;
+            w.t0 = Clock::now();
+        },
+        [&] {
+            w.t1 = Clock::now();
+            w.allocs1 = g_allocs;
+            w.moves1 = fab.flitMoves;
+            w.ended = true;
+        });
+
+    const auto result = simulator.run();
+
+    RepResult rep;
+    rep.clean = w.started && w.ended && !result.deadlocked
+        && result.drained && !result.aborted;
+    if (!rep.clean) {
+        std::cerr << "run did not cover the measurement window cleanly"
+                  << " (started=" << w.started << " ended=" << w.ended
+                  << " deadlocked=" << result.deadlocked
+                  << " drained=" << result.drained << ")\n";
+    }
+    const double seconds =
+        std::chrono::duration<double>(w.t1 - w.t0).count();
+    rep.steadyAllocs = w.allocs1 - w.allocs0;
+    rep.cyclesPerSec = seconds > 0
+        ? static_cast<double>(cfg.measureCycles) / seconds
+        : 0.0;
+    rep.flitMovesPerSec = seconds > 0
+        ? static_cast<double>(w.moves1 - w.moves0) / seconds
+        : 0.0;
+    rep.packetTableSlots = fab.packets.size();
+    rep.packetsEjected = result.packetsEjected;
+    return rep;
+}
+
+int
+benchMain()
+{
+    const auto net = topo::Network::mesh({8, 8}, {2, 2});
+    const auto rel = sweep::makeRouter(net, "fig7b");
+    if (!rel) {
+        std::cerr << "makeRouter(fig7b) failed\n";
+        return 1;
+    }
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.10;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 20000;
+    cfg.drainCycles = 50000;
+    cfg.watchdogCycles = 5000;
+    cfg.seed = 2024;
+    cfg.routeTable = true;
+
+    // Identical deterministic runs; the best wall-clock window is the
+    // throughput figure (the others differ only by scheduler noise on
+    // a shared box). The allocation contract must hold on EVERY rep.
+    constexpr int kReps = 3;
+    bool pass = true;
+    std::uint64_t worstAllocs = 0;
+    RepResult best;
+    for (int r = 0; r < kReps; ++r) {
+        const RepResult rep = runOnce(net, *rel, gen, cfg);
+        if (!rep.clean)
+            pass = false;
+        if (rep.steadyAllocs != 0) {
+            std::cerr << "steady-state loop allocated "
+                      << rep.steadyAllocs
+                      << " time(s) inside the measurement window (rep "
+                      << r << ")\n";
+            pass = false;
+        }
+        worstAllocs = std::max(worstAllocs, rep.steadyAllocs);
+        std::fprintf(stderr, "  rep %d: %.0f cycles/s\n", r,
+                     rep.cyclesPerSec);
+        if (rep.cyclesPerSec > best.cyclesPerSec)
+            best = rep;
+    }
+
+    const std::uint64_t steadyAllocs = worstAllocs;
+    const double cyclesPerSec = best.cyclesPerSec;
+    const double flitMovesPerSec = best.flitMovesPerSec;
+
+    std::printf("sim loop (fig7b, uniform 0.10, mesh 8x8, 2 VCs/dim):\n"
+                "  %.0f cycles/s, %.0f flit-moves/s over %llu measured "
+                "cycles (best of %d)\n  %llu steady-state allocations, "
+                "packet table high-water %zu slots (%llu packets "
+                "ejected)\n",
+                cyclesPerSec, flitMovesPerSec,
+                static_cast<unsigned long long>(cfg.measureCycles),
+                kReps, static_cast<unsigned long long>(steadyAllocs),
+                best.packetTableSlots,
+                static_cast<unsigned long long>(best.packetsEjected));
+
+    // Regression gates against the committed baseline.
+    double baselineCyclesPerSec = 0.0;
+    if (const char *path = std::getenv("EBDA_SIM_BASELINE_JSON");
+        path && *path) {
+        const Baseline base = loadBaseline(path);
+        if (base.loaded && base.simLoopCyclesPerSec > 0) {
+            baselineCyclesPerSec = base.simLoopCyclesPerSec;
+            const double floor = 0.75 * base.simLoopCyclesPerSec;
+            std::printf("  baseline sim_loop %.0f cycles/s -> floor "
+                        "%.0f (25%% regression gate): %s\n",
+                        base.simLoopCyclesPerSec, floor,
+                        cyclesPerSec >= floor ? "ok" : "REGRESSED");
+            if (cyclesPerSec < floor)
+                pass = false;
+        } else if (base.loaded && base.sweepTableCyclesPerSec > 0) {
+            // Pre-arena baseline: the arena fabric must clear 1.5x the
+            // whole-run sweep figure the route-table era recorded.
+            baselineCyclesPerSec = base.sweepTableCyclesPerSec;
+            const double floor = 1.5 * base.sweepTableCyclesPerSec;
+            std::printf("  baseline sweep %.0f cycles/s -> floor %.0f "
+                        "(1.5x arena gate): %s\n",
+                        base.sweepTableCyclesPerSec, floor,
+                        cyclesPerSec >= floor ? "ok" : "TOO SLOW");
+            if (cyclesPerSec < floor)
+                pass = false;
+        }
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\":\"cycle_rate\",\"network\":\"mesh8x8_vc2\""
+         << ",\"router\":\"fig7b\",\"injection_rate\":0.1"
+         << ",\"measure_cycles\":" << cfg.measureCycles
+         << ",\"reps\":" << kReps
+         << ",\"cycles_per_sec\":" << cyclesPerSec
+         << ",\"flit_moves_per_sec\":" << flitMovesPerSec
+         << ",\"steady_state_allocs\":" << steadyAllocs
+         << ",\"packet_table_slots\":" << best.packetTableSlots
+         << ",\"baseline_cycles_per_sec\":" << baselineCyclesPerSec
+         << ",\"pass\":" << (pass ? "true" : "false") << "}";
+
+    std::cout << "\nCYCLE_BENCH_JSON: " << json.str() << '\n';
+    if (const char *path = std::getenv("EBDA_CYCLE_BENCH_JSON");
+        path && *path) {
+        std::ofstream out(path);
+        out << json.str() << '\n';
+    }
+    return pass ? 0 : 1;
+}
+
+} // namespace
+} // namespace ebda
+
+int
+main()
+{
+    return ebda::benchMain();
+}

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_sim.json, the committed route-compute perf baseline.
+# Regenerate BENCH_sim.json, the committed performance baseline.
 #
-# Builds bench_route_compute in a Release (-O3) tree and runs it; the
-# bench measures compiled-table vs virtual-dispatch route compute on
-# the standard 8x8, 2-VC mesh plus one fixed latency-sweep point with
-# the table on and off, and writes the machine-readable summary
-# (ns/call, speedup, cycles/sec, table-path allocation count) to the
-# path in EBDA_ROUTE_BENCH_JSON. It exits non-zero on a table/virtual
-# mismatch or any table-path heap allocation, so a stale baseline can
-# never be committed from a broken build.
+# Two benches feed it, both built in a Release (-O3) tree:
+#  - bench_route_compute: compiled-table vs virtual-dispatch route
+#    compute on the standard 8x8, 2-VC mesh plus one fixed
+#    latency-sweep point with the table on and off. Exits non-zero on
+#    a table/virtual mismatch or any table-path heap allocation.
+#  - bench_cycle_rate: whole-sim-loop throughput (cycles/s and
+#    flit-moves/s over exactly the measurement window, best of three
+#    identical runs) with a global allocation hook proving the
+#    steady-state loop performs zero heap allocations. Exits non-zero
+#    on any steady-state allocation or a regression against the
+#    previously committed baseline.
+#
+# The route bench writes the top-level JSON; the cycle bench's summary
+# is merged in as the `sim_loop` member. Either bench failing aborts
+# the script, so a stale or regressed baseline can never be committed
+# from a broken build.
 #
 # Usage: scripts/perf_baseline.sh [build-dir]   (default: build-perf)
 set -euo pipefail
@@ -17,9 +25,33 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-perf}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_route_compute
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_route_compute bench_cycle_rate
 
 EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
     "$BUILD_DIR/bench/bench_route_compute"
+
+# Gate the sim loop against the PREVIOUS committed baseline (if any),
+# then merge its summary into the fresh BENCH_sim.json.
+SIM_LOOP_JSON="$(mktemp)"
+PREV_BASELINE="$(mktemp)"
+trap 'rm -f "$SIM_LOOP_JSON" "$PREV_BASELINE"' EXIT
+if git show HEAD:BENCH_sim.json > "$PREV_BASELINE" 2>/dev/null; then
+    export EBDA_SIM_BASELINE_JSON="$PREV_BASELINE"
+fi
+EBDA_CYCLE_BENCH_JSON="$SIM_LOOP_JSON" \
+    "$BUILD_DIR/bench/bench_cycle_rate"
+
+# Splice `,"sim_loop":{...}}` onto the route bench's object.
+python3 - "$SIM_LOOP_JSON" <<'EOF'
+import json, sys
+with open("BENCH_sim.json") as f:
+    doc = json.load(f)
+with open(sys.argv[1]) as f:
+    doc["sim_loop"] = json.load(f)
+with open("BENCH_sim.json", "w") as f:
+    json.dump(doc, f, separators=(",", ":"))
+    f.write("\n")
+EOF
 
 echo "wrote BENCH_sim.json"

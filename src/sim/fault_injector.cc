@@ -199,6 +199,15 @@ FaultInjector::purge(Fabric &fab, ActiveSet &allocActive,
             purged.push_back(static_cast<std::uint32_t>(p));
     if (purged.empty())
         return purged;
+    // Packet slots are freelist-recycled, so ascending slot id no
+    // longer equals generation order — but the retransmit path does
+    // depend on it (same-cycle retries re-queue in purge order).
+    // Sorting by the generation sequence number reproduces the exact
+    // order the pre-freelist fabric produced.
+    std::sort(purged.begin(), purged.end(),
+              [&fab](std::uint32_t a, std::uint32_t b) {
+                  return fab.packets[a].seq < fab.packets[b].seq;
+              });
 
     for (std::size_t i = 0; i < fab.ivcs.size(); ++i) {
         InputVc &vc = fab.ivcs[i];
@@ -221,8 +230,10 @@ FaultInjector::purge(Fabric &fab, ActiveSet &allocActive,
             if (owner_killed || out_dead) {
                 if (vc.eject) {
                     --fab.ejectPending[vc.atNode];
+                    fab.ejectMask[vc.atNode] &=
+                        ~(std::uint64_t{1} << vc.localPos);
                 } else {
-                    fab.owner[vc.out] = topo::kInvalidId;
+                    fab.chan[vc.out].owner = topo::kInvalidId;
                     --fab.ownedOnLink[fab.net.linkOf(vc.out)];
                 }
                 vc.routed = false;

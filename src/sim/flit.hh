@@ -12,8 +12,9 @@
 #ifndef EBDA_SIM_FLIT_HH
 #define EBDA_SIM_FLIT_HH
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <iterator>
 
 #include "cdg/routing_relation.hh"
 #include "topo/network.hh"
@@ -38,6 +39,11 @@ struct PacketRec
     topo::NodeId src;
     topo::NodeId dest;
     std::uint64_t genCycle;
+    /** Generation order, monotonic over the run. Slot indices are
+     *  recycled through the fabric's freelist, so fault-path code that
+     *  needs the pre-freelist "ascending packet id" order (the purge /
+     *  retransmit queues) sorts by this instead. */
+    std::uint64_t seq = 0;
     std::uint16_t hops = 0;
     /** Generated inside the measurement window. */
     bool measured = false;
@@ -45,16 +51,170 @@ struct PacketRec
     std::uint8_t retries = 0;
 };
 
+/**
+ * Fixed-capacity ring of flits over externally owned storage — the
+ * per-VC view into the fabric's contiguous flit arena (router.hh).
+ *
+ * VC depth is bounded by construction (`cfg.vcDepth`, and
+ * `cfg.packetLength` for injection buffers that hold exactly one
+ * packet), so the ring never grows: push/pop/indexing are O(1) pointer
+ * arithmetic into the slab and the steady-state simulation loop
+ * performs no heap allocation. Invariants: `head < cap`,
+ * `count <= cap`; element k lives at `slab[(head + k) % cap]` with the
+ * modulo folded into one conditional subtract.
+ */
+class FlitRing
+{
+  public:
+    /** Attach the ring to its arena slice. Only the owning Fabric (or
+     *  a test fixture) calls this; rebinding resets the ring. */
+    void
+    bind(Flit *storage, std::uint32_t capacity)
+    {
+        slab = storage;
+        cap = capacity;
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+
+    const Flit &front() const { return slab[head]; }
+    Flit &front() { return slab[head]; }
+
+    /** Wrap-aware random access (k < size()); the Store-and-Forward
+     *  gate reads the would-be tail at k = packetLength - 1. */
+    const Flit &
+    operator[](std::size_t k) const
+    {
+        return slab[wrap(head + static_cast<std::uint32_t>(k))];
+    }
+
+    void
+    push_back(const Flit &f)
+    {
+        assert(count < cap && "FlitRing overflow");
+        slab[wrap(head + count)] = f;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count > 0 && "FlitRing underflow");
+        head = wrap(head + 1);
+        --count;
+    }
+
+    void
+    pop_back()
+    {
+        assert(count > 0 && "FlitRing underflow");
+        --count;
+    }
+
+    /** Remove every flit matching `pred`, preserving order (the
+     *  fault-injection purge). Compacts in place, wrap-aware; the head
+     *  slot is unchanged. Returns the number of flits removed. */
+    template <typename Pred>
+    std::size_t
+    eraseIf(Pred &&pred)
+    {
+        std::uint32_t write = 0;
+        for (std::uint32_t read = 0; read < count; ++read) {
+            const Flit &f = slab[wrap(head + read)];
+            if (pred(static_cast<const Flit &>(f)))
+                continue;
+            if (write != read)
+                slab[wrap(head + write)] = f;
+            ++write;
+        }
+        const std::size_t removed = count - write;
+        count = write;
+        return removed;
+    }
+
+    /** Forward iteration in queue order (wrap-aware). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Flit;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Flit *;
+        using reference = const Flit &;
+
+        const_iterator(const FlitRing *r, std::uint32_t pos)
+            : ring(r), pos(pos)
+        {
+        }
+
+        reference operator*() const { return (*ring)[pos]; }
+        pointer operator->() const { return &(*ring)[pos]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++pos;
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return pos == o.pos;
+        }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return pos != o.pos;
+        }
+
+      private:
+        const FlitRing *ring;
+        std::uint32_t pos;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    std::uint32_t
+    wrap(std::uint32_t i) const
+    {
+        return i >= cap ? i - cap : i;
+    }
+
+    Flit *slab = nullptr;
+    std::uint32_t cap = 0;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+};
+
 /** One input VC buffer (a channel's downstream buffer, or an
  *  injection-port buffer). */
 struct InputVc
 {
-    std::deque<Flit> buf;
+    /** Ring view into the fabric's flit arena (bound at Fabric
+     *  construction). */
+    FlitRing buf;
     /** Channel this VC represents (kInjectionChannel for injection
      *  buffers). */
     topo::ChannelId self = 0;
     /** Router this VC feeds. */
     topo::NodeId atNode = 0;
+    /** Input port for the one-flit-per-port switch constraint: the
+     *  VC's link id, or numLinks + node for injection VCs. Precomputed
+     *  at Fabric construction so the switch stage needs no per-move
+     *  link lookup. */
+    std::uint32_t port = 0;
+    /** Position of this VC in its node's ascending local-VC list (the
+     *  ejection arbitration domain) — the bit this VC occupies in the
+     *  fabric's per-node eject-candidate mask. Precomputed at Fabric
+     *  construction. */
+    std::uint8_t localPos = 0;
     /** Allocated output channel; kInvalidId when unrouted. */
     topo::ChannelId out = topo::kInvalidId;
     /** Routed to the local ejection port. */

@@ -22,13 +22,37 @@ Fabric::Fabric(const topo::Network &network, const SimConfig &config)
     ivcs.resize(channels
                 + static_cast<std::size_t>(nodes)
                     * static_cast<std::size_t>(cfg.injectionVcs));
-    // One link/dst lookup per link, not one per channel.
+
+    // Carve the contiguous flit arena into one fixed-capacity ring per
+    // VC. A channel buffer never exceeds vcDepth (the switch stage
+    // gates on free space); an injection buffer holds at most one
+    // whole packet (filled only when empty). The uniform stride keeps
+    // slab addressing trivial and rebinding unnecessary.
+    vcStride = static_cast<std::uint32_t>(
+        std::max(cfg.vcDepth, cfg.packetLength));
+    flitSlab.assign(ivcs.size() * static_cast<std::size_t>(vcStride),
+                    Flit{});
+    for (std::size_t i = 0; i < ivcs.size(); ++i)
+        ivcs[i].buf.bind(&flitSlab[i * vcStride], vcStride);
+
+    // Pre-size the packet table so the freelist, not vector growth,
+    // serves steady-state generation: bound the in-fabric population
+    // by total flit capacity and leave queueing headroom per node.
+    const std::size_t pktReserve = flitSlab.size()
+            / static_cast<std::size_t>(cfg.packetLength)
+        + static_cast<std::size_t>(nodes) * 64;
+    packets.reserve(pktReserve);
+    pktFreelist.reserve(pktReserve);
+    // One link/dst lookup per link, not one per channel. The input
+    // port (switch-constraint domain) is precomputed here so the
+    // switch stage never re-derives it per flit move.
     for (topo::LinkId l = 0; l < net.numLinks(); ++l) {
         const topo::NodeId dst = net.link(l).dst;
         for (int v = 0; v < net.vcsOnLink(l); ++v) {
             const topo::ChannelId c = net.channel(l, v);
             ivcs[c].self = c;
             ivcs[c].atNode = dst;
+            ivcs[c].port = static_cast<std::uint32_t>(l);
         }
     }
     for (topo::NodeId n = 0; n < nodes; ++n) {
@@ -36,16 +60,26 @@ Fabric::Fabric(const topo::Network &network, const SimConfig &config)
             InputVc &vc = ivcs[injIndex(n, k)];
             vc.self = cdg::kInjectionChannel;
             vc.atNode = n;
+            vc.port =
+                static_cast<std::uint32_t>(net.numLinks() + n);
         }
     }
 
-    owner.assign(channels, topo::kInvalidId);
+    chan.assign(channels, ChannelState{});
     ownedOnLink.assign(net.numLinks(), 0);
     ejectPending.assign(net.numNodes(), 0);
-    channelLoad.assign(channels, 0);
-    occIntegral.assign(channels, 0.0);
-    occStamp.assign(channels, 0);
-    occPeak.assign(channels, 0);
+    ejectMask.assign(net.numNodes(), 0);
+    // Each VC's position in its node's ascending local-VC list (the
+    // same order the simulator builds the ejection domains in): the
+    // bit it occupies in ejectMask.
+    std::vector<std::uint8_t> localCount(net.numNodes(), 0);
+    for (std::size_t i = 0; i < ivcs.size(); ++i) {
+        const std::uint8_t pos = localCount[ivcs[i].atNode]++;
+        EBDA_ASSERT(pos < 64,
+                    "more than 64 VCs terminate at node ",
+                    ivcs[i].atNode, "; ejectMask would overflow");
+        ivcs[i].localPos = pos;
+    }
 }
 
 std::vector<ChannelOccupancy>
@@ -56,12 +90,13 @@ Fabric::channelOccupancy(std::uint64_t horizon) const
     for (topo::ChannelId c = 0; c < channels; ++c) {
         // Flush the lazy integral: the buffer held its current size
         // from the last touch until the horizon.
-        const double integral = occIntegral[c]
+        const ChannelState &cs = chan[c];
+        const double integral = cs.occIntegral
             + static_cast<double>(ivcs[c].buf.size())
-                * static_cast<double>(horizon - occStamp[c]);
+                * static_cast<double>(horizon - cs.occStamp);
         out[c].mean =
             horizon ? integral / static_cast<double>(horizon) : 0.0;
-        out[c].peak = occPeak[c];
+        out[c].peak = cs.occPeak;
     }
     return out;
 }

@@ -17,6 +17,15 @@
  * (updated O(1) per flit move, so the active-set scheduler's work
  * bound is preserved), and the per-link/per-node pending-work counters
  * that drive active-set membership.
+ *
+ * Memory layout: every flit buffer is a fixed-capacity FlitRing view
+ * into ONE contiguous arena (`flitSlab`) allocated at construction —
+ * VC i owns slab slots [i*stride, (i+1)*stride) where the uniform
+ * stride is max(vcDepth, packetLength) (an injection buffer holds at
+ * most one whole packet). Nothing in the flit path allocates after the
+ * constructor returns, and the per-cycle working set is contiguous.
+ * The packet table likewise stops growing once warm: ejected and lost
+ * PacketRec slots recycle through `pktFreelist`.
  */
 
 #ifndef EBDA_SIM_ROUTER_HH
@@ -65,6 +74,28 @@ class Router
 };
 
 /**
+ * Per-channel bookkeeping, packed so one flit event touches a single
+ * record (32 bytes, two channels per cache line) instead of parallel
+ * arrays: output-VC ownership, forwarded-flit load, and the exact
+ * time-weighted occupancy integral, updated lazily at each push/pop so
+ * tracking stays O(1) per flit move.
+ */
+struct ChannelState
+{
+    /** integral(c) = sum over cycles of buffered flits, flushed up to
+     *  `occStamp`. */
+    double occIntegral = 0.0;
+    /** Cycle the integral was last flushed to. */
+    std::uint64_t occStamp = 0;
+    /** Flits forwarded over the channel (load distribution). */
+    std::uint64_t load = 0;
+    /** Peak buffered flits. */
+    std::uint32_t occPeak = 0;
+    /** Owning input VC (index into ivcs), kInvalidId when free. */
+    std::uint32_t owner = topo::kInvalidId;
+};
+
+/**
  * The shared buffer fabric the pipeline stages operate on.
  */
 struct Fabric
@@ -74,30 +105,46 @@ struct Fabric
     const topo::Network &net;
     const SimConfig &cfg;
 
+    /** The flit arena: one contiguous slab backing every VC's ring
+     *  buffer. Never resized after construction (the rings hold raw
+     *  pointers into it). */
+    std::vector<Flit> flitSlab;
+    /** Slab slots per VC: max(vcDepth, packetLength). */
+    std::uint32_t vcStride = 0;
+
     /** Input VC buffers: [0, numChannels) are channel buffers indexed
      *  by ChannelId, then injectionVcs buffers per node. */
     std::vector<InputVc> ivcs;
-    /** Output VC ownership: index into ivcs, or kInvalidId when free. */
-    std::vector<std::uint32_t> owner;
+    /** Per-channel bookkeeping indexed by ChannelId (`chan`). One flit
+     *  move reads/writes the channel's ownership, load and occupancy
+     *  together, so they share one 32-byte record — one cache line
+     *  covers two channels instead of five scattered arrays. */
+    std::vector<ChannelState> chan;
     /** Owned output VCs per link — drives the link active set. */
     std::vector<std::uint32_t> ownedOnLink;
     /** Eject-routed local VCs per node — drives the ejection set. */
     std::vector<std::uint32_t> ejectPending;
+    /** Per-node bitmask of eject-routed local VCs, bit = the VC's
+     *  localPos. The ejection stage scans only these candidates
+     *  instead of every VC at the node; must mirror the
+     *  routed-and-eject flag pair exactly (set by VC allocation,
+     *  cleared by tail ejection and by the fault purge). */
+    std::vector<std::uint64_t> ejectMask;
+    /** Packet table. Slots of ejected/lost packets are recycled via
+     *  `pktFreelist`, so size() is the live high-water mark, not the
+     *  total generated count; PacketRec::seq keeps generation order. */
     std::vector<PacketRec> packets;
-
-    /** Flits forwarded per network channel (load distribution). */
-    std::vector<std::uint64_t> channelLoad;
-    /** @name Exact per-channel occupancy history
-     *  integral(c) = sum over cycles of buffered flits; updated lazily
-     *  at each push/pop so tracking stays O(1) per flit move.
-     *  @{ */
-    std::vector<double> occIntegral;
-    std::vector<std::uint64_t> occStamp;
-    std::vector<std::uint32_t> occPeak;
-    /** @} */
+    /** Recyclable packet slots (LIFO). */
+    std::vector<std::uint32_t> pktFreelist;
+    /** Next PacketRec::seq to assign. */
+    std::uint64_t nextPacketSeq = 0;
 
     /** Flits currently buffered anywhere. */
     std::uint64_t flitsInFlight = 0;
+    /** Flit movements over the run: every buffer push (injection or
+     *  hop) plus every ejection pop — the numerator of the
+     *  flit-moves/s figure bench_cycle_rate reports. */
+    std::uint64_t flitMoves = 0;
 
     /** Index of the injection VC k of node n in `ivcs`. */
     std::size_t
@@ -116,27 +163,38 @@ struct Fabric
         return idx < net.numChannels();
     }
 
+    /** Append a flit to `vc` (== ivcs[idx], hoisted by the caller),
+     *  maintaining occupancy integrals. */
+    void
+    pushFlit(std::size_t idx, InputVc &vc, const Flit &flit,
+             std::uint64_t cycle)
+    {
+        if (isChannelVc(idx)) {
+            ChannelState &cs = chan[idx];
+            cs.occIntegral += static_cast<double>(vc.buf.size())
+                * static_cast<double>(cycle - cs.occStamp);
+            cs.occStamp = cycle;
+            const auto depth =
+                static_cast<std::uint32_t>(vc.buf.size() + 1);
+            if (depth > cs.occPeak)
+                cs.occPeak = depth;
+        }
+        vc.buf.push_back(flit);
+        ++flitMoves;
+    }
+
     /** Append a flit to ivcs[idx], maintaining occupancy integrals. */
     void
     pushFlit(std::size_t idx, const Flit &flit, std::uint64_t cycle)
     {
-        InputVc &vc = ivcs[idx];
-        if (isChannelVc(idx)) {
-            touchOccupancy(static_cast<topo::ChannelId>(idx),
-                           vc.buf.size(), cycle);
-            const auto depth =
-                static_cast<std::uint32_t>(vc.buf.size() + 1);
-            if (depth > occPeak[idx])
-                occPeak[idx] = depth;
-        }
-        vc.buf.push_back(flit);
+        pushFlit(idx, ivcs[idx], flit, cycle);
     }
 
-    /** Pop the front flit of ivcs[idx], maintaining occupancy. */
+    /** Pop the front flit of `vc` (== ivcs[idx], hoisted by the
+     *  caller), maintaining occupancy. */
     Flit
-    popFlit(std::size_t idx, std::uint64_t cycle)
+    popFlit(std::size_t idx, InputVc &vc, std::uint64_t cycle)
     {
-        InputVc &vc = ivcs[idx];
         if (isChannelVc(idx))
             touchOccupancy(static_cast<topo::ChannelId>(idx),
                            vc.buf.size(), cycle);
@@ -145,9 +203,17 @@ struct Fabric
         return flit;
     }
 
+    /** Pop the front flit of ivcs[idx], maintaining occupancy. */
+    Flit
+    popFlit(std::size_t idx, std::uint64_t cycle)
+    {
+        return popFlit(idx, ivcs[idx], cycle);
+    }
+
     /** Remove every flit of ivcs[idx] matching `pred`, maintaining the
-     *  occupancy integral (fault-injection purge). Returns the number
-     *  of flits removed; the caller adjusts flitsInFlight. */
+     *  occupancy integral (fault-injection purge). Wrap-aware in-place
+     *  compaction, order-preserving. Returns the number of flits
+     *  removed; the caller adjusts flitsInFlight. */
     template <typename Pred>
     std::size_t
     eraseFlits(std::size_t idx, std::uint64_t cycle, Pred &&pred)
@@ -156,11 +222,34 @@ struct Fabric
         if (isChannelVc(idx))
             touchOccupancy(static_cast<topo::ChannelId>(idx),
                            vc.buf.size(), cycle);
-        const std::size_t before = vc.buf.size();
-        vc.buf.erase(
-            std::remove_if(vc.buf.begin(), vc.buf.end(), pred),
-            vc.buf.end());
-        return before - vc.buf.size();
+        return vc.buf.eraseIf(pred);
+    }
+
+    /** Claim a packet slot (recycling freed slots) and stamp the
+     *  generation sequence number. Returns the slot id. */
+    std::uint32_t
+    allocPacket(const PacketRec &rec)
+    {
+        std::uint32_t id;
+        if (!pktFreelist.empty()) {
+            id = pktFreelist.back();
+            pktFreelist.pop_back();
+            packets[id] = rec;
+        } else {
+            id = static_cast<std::uint32_t>(packets.size());
+            packets.push_back(rec);
+        }
+        packets[id].seq = nextPacketSeq++;
+        return id;
+    }
+
+    /** Release a packet slot for reuse. Only call once the packet has
+     *  fully left the system (tail ejected, or declared lost with no
+     *  flit, queue entry or retry entry referencing it). */
+    void
+    freePacket(std::uint32_t id)
+    {
+        pktFreelist.push_back(id);
     }
 
     /** Per-channel occupancy statistics with integrals flushed to
@@ -173,9 +262,10 @@ struct Fabric
     touchOccupancy(topo::ChannelId c, std::size_t size_now,
                    std::uint64_t cycle)
     {
-        occIntegral[c] += static_cast<double>(size_now)
-            * static_cast<double>(cycle - occStamp[c]);
-        occStamp[c] = cycle;
+        ChannelState &cs = chan[c];
+        cs.occIntegral += static_cast<double>(size_now)
+            * static_cast<double>(cycle - cs.occStamp);
+        cs.occStamp = cycle;
     }
 };
 

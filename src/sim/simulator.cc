@@ -23,9 +23,14 @@ Simulator::Simulator(const topo::Network &network,
                            cfg.routeTable, cfg.routeTableBudget}),
       fab(network, cfg), vcAlloc(fab, table), swAlloc(fab),
       allocActive(fab.ivcs.size()), linkActive(net.numLinks()),
-      ejectActive(net.numNodes()), latencyHist(4096)
+      ejectActive(net.numNodes()), injectActive(net.numNodes()),
+      latencyHist(4096)
 {
     sourceQueues.resize(net.numNodes());
+    // Pre-size every queue so a node's first-ever enqueue during the
+    // measurement window cannot be the one push that allocates.
+    for (auto &q : sourceQueues)
+        q.reserve(16);
     routerTable.reserve(net.numNodes());
     for (topo::NodeId n = 0; n < net.numNodes(); ++n)
         routerTable.emplace_back(n, cfg.seed);
@@ -62,9 +67,8 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
         rec.dest = *dest;
         rec.genCycle = cycle;
         rec.measured = measuring;
-        fab.packets.push_back(rec);
-        sourceQueues[n].push_back(
-            static_cast<std::uint32_t>(fab.packets.size() - 1));
+        sourceQueues[n].push_back(fab.allocPacket(rec));
+        injectActive.schedule(n);
         generatedFlits += static_cast<std::uint64_t>(cfg.packetLength);
         if (measuring) {
             ++measuredInFlight;
@@ -75,11 +79,14 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
 }
 
 void
-Simulator::losePacket(PacketRec &pkt)
+Simulator::losePacket(std::uint32_t id)
 {
     ++packetsLostCount;
-    if (pkt.measured)
+    if (fab.packets[id].measured)
         --measuredInFlight;
+    // A lost packet has no flit, source-queue entry or retry entry
+    // left anywhere — its slot can host the next generated packet.
+    fab.freePacket(id);
 }
 
 void
@@ -99,7 +106,7 @@ Simulator::handleDropped(const std::vector<std::uint32_t> &purged,
                    .candidatesView(cdg::kInjectionChannel, pkt.src,
                                    pkt.src, pkt.dest, routeScratch)
                    .empty()) {
-            losePacket(pkt);
+            losePacket(id);
             continue;
         }
         ++pkt.retries;
@@ -138,11 +145,12 @@ Simulator::releaseRetries(std::uint64_t cycle)
                        .candidatesView(cdg::kInjectionChannel, pkt.src,
                                        pkt.src, pkt.dest, routeScratch)
                        .empty())) {
-            losePacket(pkt);
+            losePacket(entry.pkt);
             continue;
         }
         pkt.hops = 0; // fresh attempt; latency keeps the original birth
         sourceQueues[pkt.src].push_back(entry.pkt);
+        injectActive.schedule(pkt.src);
     }
     retryQueue.resize(keep);
 }
@@ -157,23 +165,21 @@ Simulator::dropDeadQueuedPackets()
         if (queue.empty())
             continue;
         if (injector.nodeDead(n)) {
-            for (const std::uint32_t id : queue) {
+            for (std::size_t k = 0; k < queue.size(); ++k) {
                 ++packetsDroppedCount;
-                losePacket(fab.packets[id]);
+                losePacket(queue[k]);
             }
             queue.clear();
             continue;
         }
-        std::deque<std::uint32_t> survivors;
-        for (const std::uint32_t id : queue) {
-            if (injector.nodeDead(fab.packets[id].dest)) {
-                ++packetsDroppedCount;
-                losePacket(fab.packets[id]);
-            } else {
-                survivors.push_back(id);
-            }
-        }
-        queue.swap(survivors);
+        // In-place compaction: no survivors copy, no allocation.
+        queue.eraseIf([&](std::uint32_t id) {
+            if (!injector.nodeDead(fab.packets[id].dest))
+                return false;
+            ++packetsDroppedCount;
+            losePacket(id);
+            return true;
+        });
     }
 }
 
@@ -222,10 +228,14 @@ Simulator::recoverWedged(std::uint64_t cycle)
 void
 Simulator::fillInjectionVcs(std::uint64_t cycle)
 {
-    const topo::NodeId nodes = net.numNodes();
-    for (topo::NodeId n = 0; n < nodes; ++n) {
+    // Visit only nodes with queued packets (ascending, matching the
+    // original full scan: a node with an empty queue is a provable
+    // no-op). A node stays scheduled while its queue is non-empty;
+    // fault-path queue purges leave stale entries that drop here.
+    injectActive.sweep(0, [&](std::size_t ni) -> bool {
+        const auto n = static_cast<topo::NodeId>(ni);
         if (sourceQueues[n].empty())
-            continue;
+            return false;
         for (int k = 0; k < cfg.injectionVcs && !sourceQueues[n].empty();
              ++k) {
             const std::size_t idx = fab.injIndex(n, k);
@@ -244,7 +254,8 @@ Simulator::fillInjectionVcs(std::uint64_t cycle)
                 static_cast<std::uint64_t>(cfg.packetLength);
             allocActive.schedule(idx);
         }
-    }
+        return !sourceQueues[n].empty();
+    });
 }
 
 SimResult
@@ -256,9 +267,16 @@ Simulator::run()
     const std::uint64_t hard_stop = measure_end + cfg.drainCycles;
 
     const bool faults_on = injector.enabled();
+    const bool phase_hooks = measureStartHook || measureEndHook;
     std::uint64_t last_progress = 0;
     std::uint64_t cycle = 0;
     for (; cycle < hard_stop; ++cycle) {
+        if (phase_hooks) {
+            if (cycle == measure_start && measureStartHook)
+                measureStartHook();
+            if (cycle == measure_end && measureEndHook)
+                measureEndHook();
+        }
         if (cycleLimit && cycle >= cycleLimit) {
             abortedFlag = true;
             break;
@@ -401,12 +419,12 @@ Simulator::run()
         : 0.0;
 
     // Channel-load distribution over network channels.
-    if (!fab.channelLoad.empty()) {
+    if (!fab.chan.empty()) {
         StatAccumulator load;
         std::size_t unused = 0;
-        for (std::uint64_t flits : fab.channelLoad) {
-            load.add(static_cast<double>(flits));
-            if (flits == 0)
+        for (const ChannelState &cs : fab.chan) {
+            load.add(static_cast<double>(cs.load));
+            if (cs.load == 0)
                 ++unused;
         }
         result.channelLoadMean = load.mean();
@@ -415,7 +433,7 @@ Simulator::run()
             result.channelLoadMaxRatio = load.max() / load.mean();
         }
         result.channelsUnused = static_cast<double>(unused)
-            / static_cast<double>(fab.channelLoad.size());
+            / static_cast<double>(fab.chan.size());
     }
 
     // Stall attribution over routers.

@@ -49,7 +49,6 @@
 #define EBDA_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -61,6 +60,7 @@
 #include "sim/switch_allocator.hh"
 #include "sim/traffic.hh"
 #include "sim/vc_allocator.hh"
+#include "util/ring_queue.hh"
 #include "util/stats.hh"
 
 namespace ebda::sim {
@@ -91,6 +91,23 @@ class Simulator
     void setCycleLimit(std::uint64_t limit) { cycleLimit = limit; }
     /** @} */
 
+    /** @name Measurement-phase hooks (perf instrumentation)
+     *  Invoked at the top of the first measurement cycle and at the
+     *  top of the first post-measurement cycle respectively.
+     *  bench_cycle_rate brackets its allocation-count and wall-clock
+     *  window with these to time exactly the steady-state loop —
+     *  construction, warmup and drain excluded. Unset by default (the
+     *  hot loop skips the checks entirely).
+     *  @{ */
+    void
+    setMeasurePhaseHooks(std::function<void()> onStart,
+                         std::function<void()> onEnd)
+    {
+        measureStartHook = std::move(onStart);
+        measureEndHook = std::move(onEnd);
+    }
+    /** @} */
+
     /** @name Post-run observability
      *  Valid after run() returns.
      *  @{ */
@@ -115,6 +132,10 @@ class Simulator
     /** The compiled route table (valid from construction). */
     const routing::RouteTable &routeTable() const { return table; }
 
+    /** The shared buffer fabric (arena, packet table, flit-move
+     *  counter). Valid from construction. */
+    const Fabric &fabric() const { return fab; }
+
     /** @} */
 
   private:
@@ -137,7 +158,8 @@ class Simulator
     void strandedScan(std::uint64_t cycle);
     /** Watchdog escalation: drain-and-reroute recovery pass. */
     void recoverWedged(std::uint64_t cycle);
-    void losePacket(PacketRec &pkt);
+    /** Count the loss and recycle the packet's table slot. */
+    void losePacket(std::uint32_t id);
     /** @} */
 
     const topo::Network &net;
@@ -169,10 +191,16 @@ class Simulator
     ActiveSet linkActive;
     /** Nodes with at least one eject-routed VC. */
     ActiveSet ejectActive;
+    /** Nodes with queued packets awaiting an injection VC — the
+     *  injection fill visits these instead of scanning every node
+     *  every cycle. */
+    ActiveSet injectActive;
     /** @} */
 
-    /** Per-node queues of generated packets awaiting injection VCs. */
-    std::vector<std::deque<std::uint32_t>> sourceQueues;
+    /** Per-node queues of generated packets awaiting injection VCs.
+     *  Ring queues: steady-state push/pop/erase never allocates (a
+     *  deque's chunked storage would, at every chunk boundary). */
+    std::vector<RingQueue<std::uint32_t>> sourceQueues;
 
     std::uint64_t measuredInFlight = 0;
     std::uint64_t generatedFlits = 0;
@@ -207,6 +235,10 @@ class Simulator
     std::function<bool()> abortCheck;
     std::uint64_t cycleLimit = 0;
     bool abortedFlag = false;
+
+    /** Measurement-phase boundary hooks (see setMeasurePhaseHooks). */
+    std::function<void()> measureStartHook;
+    std::function<void()> measureEndHook;
 
     /** Fallback buffer for the simulator's own candidatesView calls
      *  (injection routability checks, stranded scans). */

@@ -3,33 +3,6 @@
 namespace ebda::sim {
 
 bool
-SwitchAllocator::headMayAdvance(SwitchingMode switching,
-                                int packet_length, const InputVc &vc,
-                                int space_at_out)
-{
-    switch (switching) {
-      case SwitchingMode::Wormhole:
-        return true;
-      case SwitchingMode::VirtualCutThrough:
-        // The downstream buffer must be able to accept the entire
-        // packet so a blocked packet never straddles routers.
-        return space_at_out >= packet_length;
-      case SwitchingMode::StoreAndForward:
-        // Additionally the whole packet must already be buffered here.
-        if (space_at_out < packet_length)
-            return false;
-        if (vc.buf.size() < static_cast<std::size_t>(packet_length))
-            return false;
-        {
-            const Flit &last =
-                vc.buf[static_cast<std::size_t>(packet_length) - 1];
-            return last.tail && last.pkt == vc.buf.front().pkt;
-        }
-    }
-    return true;
-}
-
-bool
 SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
                           ActiveSet &allocActive,
                           std::vector<Router> &routers)
@@ -37,29 +10,56 @@ SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
     bool moved = false;
     ++swArbOffset;
 
+    // Hoisted loop invariants: the sweep visits every active link
+    // every cycle, so per-flit work must not re-derive them.
+    const SwitchingMode switching = fab.cfg.switching;
+    const int packet_length = fab.cfg.packetLength;
+    const int vc_depth = fab.cfg.vcDepth;
+    const std::uint64_t pipe_extra =
+        static_cast<std::uint64_t>(fab.cfg.routerLatency - 1);
+    // Rotated starting positions for every VC/ejection arity in the
+    // fabric. The offset advances by exactly one per traverse, so
+    // rotStart[n] == swArbOffset % n is maintained incrementally —
+    // no division per link or node visit, none per cycle either.
+    for (std::size_t n = 1; n < rotStart.size(); ++n) {
+        if (++rotStart[n] >= n)
+            rotStart[n] = 0;
+    }
+
     linkActive.sweep(
         swArbOffset % fab.net.numLinks(), [&](std::size_t li) -> bool {
             const topo::LinkId l = static_cast<topo::LinkId>(li);
-            const int nvc = fab.net.vcsOnLink(l);
-            for (int vi = 0; vi < nvc; ++vi) {
-                const int v =
-                    (vi + static_cast<int>(swArbOffset)) % nvc;
-                const topo::ChannelId out = fab.net.channel(l, v);
-                const std::uint32_t holder = fab.owner[out];
+            // Channel base + VC arity in one 8-byte probe record.
+            const LinkProbe lp = linkInfo[li];
+            const int nvc = static_cast<int>(lp.nvc);
+            const topo::ChannelId base = lp.base;
+            // Rotated VC order: v walks v0, v0+1, ..., wrapping by
+            // conditional subtract instead of a modulo per probe.
+            int v = static_cast<int>(rotStart[lp.nvc]);
+            for (int vi = 0; vi < nvc; ++vi, ++v) {
+                if (v >= nvc)
+                    v -= nvc;
+                const topo::ChannelId out =
+                    base + static_cast<topo::ChannelId>(v);
+                ChannelState &cs = fab.chan[out];
+                const std::uint32_t holder = cs.owner;
                 if (holder == topo::kInvalidId)
                     continue;
                 InputVc &vc = fab.ivcs[holder];
                 if (vc.buf.empty() || vc.buf.front().arrival >= cycle)
                     continue; // nothing movable yet: not a stall
-                const int space = fab.cfg.vcDepth
-                    - static_cast<int>(fab.ivcs[out].buf.size());
+                // One lookup of the downstream buffer for the space
+                // probe, the push and the routed re-check alike.
+                InputVc &down = fab.ivcs[out];
+                const int space =
+                    vc_depth - static_cast<int>(down.buf.size());
                 if (space <= 0) {
                     ++routers[vc.atNode].stalls.creditStarved;
                     continue;
                 }
                 if (vc.buf.front().head
-                    && !headMayAdvance(fab.cfg.switching,
-                                       fab.cfg.packetLength, vc, space)) {
+                    && !headMayAdvance(switching, packet_length, vc,
+                                       space)) {
                     ++routers[vc.atNode].stalls.creditStarved;
                     continue;
                 }
@@ -68,19 +68,17 @@ SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
                     continue;
                 }
 
-                Flit flit = fab.popFlit(holder, cycle);
+                Flit flit = fab.popFlit(holder, vc, cycle);
                 portUsedStamp[portOf(vc)] = cycle;
                 // The flit becomes movable routerLatency cycles after
                 // the hop (pipeline depth).
-                flit.arrival = cycle
-                    + static_cast<std::uint64_t>(fab.cfg.routerLatency
-                                                 - 1);
-                fab.pushFlit(out, flit, cycle);
-                ++fab.channelLoad[out];
+                flit.arrival = cycle + pipe_extra;
+                fab.pushFlit(out, down, flit, cycle);
+                ++cs.load;
                 if (flit.head)
                     ++fab.packets[flit.pkt].hops;
                 if (flit.tail) {
-                    fab.owner[out] = topo::kInvalidId;
+                    cs.owner = topo::kInvalidId;
                     --fab.ownedOnLink[l];
                     vc.routed = false;
                     vc.out = topo::kInvalidId;
@@ -91,7 +89,7 @@ SwitchAllocator::traverse(std::uint64_t cycle, ActiveSet &linkActive,
                 }
                 // The moved flit may be a head waiting for allocation
                 // downstream.
-                if (!fab.ivcs[out].routed)
+                if (!down.routed)
                     allocActive.schedule(out);
                 moved = true;
                 break; // one flit per output link per cycle
@@ -111,44 +109,68 @@ SwitchAllocator::eject(std::uint64_t cycle, ActiveSet &ejectActive,
     ejectActive.sweep(0, [&](std::size_t ni) -> bool {
         const topo::NodeId n = static_cast<topo::NodeId>(ni);
         const auto &locals = routers[n].localIvcs;
-        for (std::size_t k = 0; k < locals.size(); ++k) {
-            const std::size_t idx =
-                locals[(k + swArbOffset) % locals.size()];
-            InputVc &vc = fab.ivcs[idx];
-            if (!vc.routed || !vc.eject || vc.buf.empty()
-                || vc.buf.front().arrival >= cycle) {
-                continue;
-            }
-            if (portUsedStamp[portOf(vc)] == cycle) {
-                ++routers[vc.atNode].stalls.switchLost;
-                continue;
-            }
-            const Flit flit = fab.popFlit(idx, cycle);
-            portUsedStamp[portOf(vc)] = cycle;
-            --fab.flitsInFlight;
-            moved = true;
-            if (flit.tail) {
-                vc.routed = false;
-                vc.eject = false;
-                vc.curPkt = topo::kInvalidId;
-                --fab.ejectPending[n];
-                if (!vc.buf.empty())
-                    allocActive.schedule(idx);
-                PacketRec &pkt = fab.packets[flit.pkt];
-                ++stats.packetsEjected;
-                if (stats.inMeasurementWindow)
-                    ++stats.measuredEjectedFlits;
-                if (pkt.measured) {
-                    const auto latency = cycle - pkt.genCycle;
-                    stats.latencyHist.add(latency);
-                    stats.latencyStat.add(static_cast<double>(latency));
-                    stats.hopsStat.add(static_cast<double>(pkt.hops));
-                    --stats.measuredInFlight;
+        const std::size_t nloc = locals.size();
+        // Rotated candidate order over the eject-routed VCs only: the
+        // per-node mask replaces a scan of every local VC (most are
+        // not eject-routed, and skipping one is side-effect free).
+        // Splitting the mask at the rotated start position and
+        // scanning each half ascending reproduces the original
+        // p0, p0+1, ..., nloc-1, 0, ..., p0-1 visiting order exactly.
+        const std::size_t p0 = rotStart[nloc];
+        const std::uint64_t mask = fab.ejectMask[n];
+        const std::uint64_t low = (std::uint64_t{1} << p0) - 1;
+        std::uint64_t ranges[2] = {mask & ~low, mask & low};
+        bool granted = false;
+        for (std::uint64_t m : ranges) {
+            while (m && !granted) {
+                const auto p = static_cast<std::size_t>(
+                    std::countr_zero(m));
+                m &= m - 1;
+                const std::size_t idx = locals[p];
+                InputVc &vc = fab.ivcs[idx];
+                if (vc.buf.empty() || vc.buf.front().arrival >= cycle)
+                    continue;
+                if (portUsedStamp[portOf(vc)] == cycle) {
+                    ++routers[vc.atNode].stalls.switchLost;
+                    continue;
                 }
-            } else if (stats.inMeasurementWindow) {
-                ++stats.measuredEjectedFlits;
+                const Flit flit = fab.popFlit(idx, vc, cycle);
+                portUsedStamp[portOf(vc)] = cycle;
+                --fab.flitsInFlight;
+                ++fab.flitMoves;
+                moved = true;
+                if (flit.tail) {
+                    vc.routed = false;
+                    vc.eject = false;
+                    vc.curPkt = topo::kInvalidId;
+                    --fab.ejectPending[n];
+                    fab.ejectMask[n] &=
+                        ~(std::uint64_t{1} << vc.localPos);
+                    if (!vc.buf.empty())
+                        allocActive.schedule(idx);
+                    PacketRec &pkt = fab.packets[flit.pkt];
+                    ++stats.packetsEjected;
+                    if (stats.inMeasurementWindow)
+                        ++stats.measuredEjectedFlits;
+                    if (pkt.measured) {
+                        const auto latency = cycle - pkt.genCycle;
+                        stats.latencyHist.add(latency);
+                        stats.latencyStat.add(
+                            static_cast<double>(latency));
+                        stats.hopsStat.add(
+                            static_cast<double>(pkt.hops));
+                        --stats.measuredInFlight;
+                    }
+                    // Tail gone, stats recorded: the slot can host
+                    // the next generated packet.
+                    fab.freePacket(flit.pkt);
+                } else if (stats.inMeasurementWindow) {
+                    ++stats.measuredEjectedFlits;
+                }
+                granted = true; // one ejected flit per node per cycle
             }
-            break; // one ejected flit per node per cycle
+            if (granted)
+                break;
         }
         return fab.ejectPending[n] > 0;
     });

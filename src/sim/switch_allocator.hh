@@ -50,6 +50,28 @@ class SwitchAllocator
           portUsedStamp(fab.net.numLinks() + fab.net.numNodes(),
                         UINT64_MAX)
     {
+        // Per-link probe record (channel base + VC arity in one 8-byte
+        // load) and the rotation-start table size: the rotated orders
+        // need `offset % arity`, and precomputing one start per
+        // distinct arity per cycle replaces one integer division per
+        // link/node visit.
+        linkInfo.reserve(fab.net.numLinks());
+        std::size_t max_rot = 1;
+        std::vector<std::uint32_t> node_vcs(
+            fab.net.numNodes(),
+            static_cast<std::uint32_t>(fab.cfg.injectionVcs));
+        for (topo::LinkId l = 0; l < fab.net.numLinks(); ++l) {
+            const int nvc = fab.net.vcsOnLink(l);
+            linkInfo.push_back({fab.net.linkChannelBase(l),
+                                static_cast<std::uint32_t>(nvc)});
+            max_rot = std::max(max_rot, static_cast<std::size_t>(nvc));
+            node_vcs[fab.net.link(l).dst] +=
+                static_cast<std::uint32_t>(nvc);
+        }
+        // A node's ejection domain holds every VC terminating there.
+        for (const std::uint32_t v : node_vcs)
+            max_rot = std::max(max_rot, static_cast<std::size_t>(v));
+        rotStart.assign(max_rot + 1, 0);
     }
 
     /**
@@ -74,28 +96,62 @@ class SwitchAllocator
 
     /**
      * Pure switching-mode gate for moving a head flit out of vc into
-     * an output buffer with the given free space.
+     * an output buffer with the given free space. Inline: traverse
+     * evaluates this for every movable head every cycle.
      */
-    static bool headMayAdvance(SwitchingMode switching, int packet_length,
-                               const InputVc &vc, int space_at_out);
+    static bool
+    headMayAdvance(SwitchingMode switching, int packet_length,
+                   const InputVc &vc, int space_at_out)
+    {
+        switch (switching) {
+          case SwitchingMode::Wormhole:
+            return true;
+          case SwitchingMode::VirtualCutThrough:
+            // The downstream buffer must be able to accept the entire
+            // packet so a blocked packet never straddles routers.
+            return space_at_out >= packet_length;
+          case SwitchingMode::StoreAndForward:
+            // Additionally the whole packet must already be buffered
+            // here.
+            if (space_at_out < packet_length)
+                return false;
+            if (vc.buf.size() < static_cast<std::size_t>(packet_length))
+                return false;
+            {
+                const Flit &last =
+                    vc.buf[static_cast<std::size_t>(packet_length) - 1];
+                return last.tail && last.pkt == vc.buf.front().pkt;
+            }
+        }
+        return true;
+    }
 
     /** Current rotating grant offset (advanced at each traverse). */
     std::size_t offset() const { return swArbOffset; }
 
   private:
-    /** Input port of a VC: its link, or the node's injection port. */
-    std::size_t
-    portOf(const InputVc &vc) const
+    /** Input port of a VC: its link, or the node's injection port
+     *  (precomputed at Fabric construction). */
+    static std::size_t portOf(const InputVc &vc) { return vc.port; }
+
+    /** Per-link switch-probe record: first channel and VC arity,
+     *  fetched with one load in the traversal inner loop. */
+    struct LinkProbe
     {
-        return vc.self == cdg::kInjectionChannel
-            ? fab.net.numLinks() + vc.atNode
-            : fab.net.linkOf(vc.self);
-    }
+        topo::ChannelId base;
+        std::uint32_t nvc;
+    };
 
     Fabric &fab;
     std::size_t swArbOffset = 0;
     /** Input-port usage stamps (one flit per port per cycle). */
     std::vector<std::uint64_t> portUsedStamp;
+    /** Probe records indexed by LinkId. */
+    std::vector<LinkProbe> linkInfo;
+    /** rotStart[n] = swArbOffset % n, refreshed once per traverse —
+     *  the rotated VC / ejection starting position for every arity
+     *  that occurs in the fabric. */
+    std::vector<std::uint32_t> rotStart;
 };
 
 } // namespace ebda::sim

@@ -2,39 +2,6 @@
 
 namespace ebda::sim {
 
-topo::ChannelId
-VcAllocator::selectOutput(SelectionPolicy policy,
-                          const std::vector<topo::ChannelId> &free,
-                          const std::vector<InputVc> &ivcs, int vc_depth,
-                          std::size_t rotation, Rng &rng)
-{
-    topo::ChannelId best = topo::kInvalidId;
-    switch (policy) {
-      case SelectionPolicy::MaxCredits: {
-          int best_space = -1;
-          for (topo::ChannelId c : free) {
-              const int space =
-                  vc_depth - static_cast<int>(ivcs[c].buf.size());
-              if (space > best_space) {
-                  best_space = space;
-                  best = c;
-              }
-          }
-          break;
-      }
-      case SelectionPolicy::RoundRobin:
-        best = free[rotation % free.size()];
-        break;
-      case SelectionPolicy::Random:
-        best = free[rng.nextBounded(free.size())];
-        break;
-      case SelectionPolicy::FirstCandidate:
-        best = free.front();
-        break;
-    }
-    return best;
-}
-
 void
 VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
                       ActiveSet &linkActive, ActiveSet &ejectActive)
@@ -55,6 +22,7 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
             vc.eject = true;
             vc.routed = true;
             vc.curPkt = vc.buf.front().pkt;
+            fab.ejectMask[vc.atNode] |= std::uint64_t{1} << vc.localPos;
             if (fab.ejectPending[vc.atNode]++ == 0)
                 ejectActive.schedule(vc.atNode);
             return false;
@@ -68,7 +36,7 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
              route.candidatesView(vc.self, vc.atNode, pkt.src, pkt.dest,
                                   scratch)) {
             any_candidate = true;
-            if (fab.owner[c] != topo::kInvalidId)
+            if (fab.chan[c].owner != topo::kInvalidId)
                 continue;
             if (fab.cfg.atomicVcAllocation && !fab.ivcs[c].buf.empty())
                 continue;
@@ -92,7 +60,7 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
         vc.eject = false;
         vc.routed = true;
         vc.curPkt = vc.buf.front().pkt;
-        fab.owner[best] = static_cast<std::uint32_t>(i);
+        fab.chan[best].owner = static_cast<std::uint32_t>(i);
         const topo::LinkId l = fab.net.linkOf(best);
         if (fab.ownedOnLink[l]++ == 0)
             linkActive.schedule(l);

@@ -53,12 +53,41 @@ class VcAllocator
     /**
      * Pure selection-policy kernel: pick one of the free candidates.
      * `free` must be non-empty; `rotation` is the allocator's rotating
-     * offset (RoundRobin), `rng` the node's stream (Random).
+     * offset (RoundRobin), `rng` the node's stream (Random). Inline:
+     * called for every successful head allocation every cycle.
      */
-    static topo::ChannelId selectOutput(
-        SelectionPolicy policy, const std::vector<topo::ChannelId> &free,
-        const std::vector<InputVc> &ivcs, int vc_depth,
-        std::size_t rotation, Rng &rng);
+    static topo::ChannelId
+    selectOutput(SelectionPolicy policy,
+                 const std::vector<topo::ChannelId> &free,
+                 const std::vector<InputVc> &ivcs, int vc_depth,
+                 std::size_t rotation, Rng &rng)
+    {
+        topo::ChannelId best = topo::kInvalidId;
+        switch (policy) {
+          case SelectionPolicy::MaxCredits: {
+              int best_space = -1;
+              for (topo::ChannelId c : free) {
+                  const int space =
+                      vc_depth - static_cast<int>(ivcs[c].buf.size());
+                  if (space > best_space) {
+                      best_space = space;
+                      best = c;
+                  }
+              }
+              break;
+          }
+          case SelectionPolicy::RoundRobin:
+            best = free[rotation % free.size()];
+            break;
+          case SelectionPolicy::Random:
+            best = free[rng.nextBounded(free.size())];
+            break;
+          case SelectionPolicy::FirstCandidate:
+            best = free.front();
+            break;
+        }
+        return best;
+    }
 
     /** Current rotating-priority offset (advanced at each allocate). */
     std::size_t offset() const { return vcArbOffset; }

@@ -172,6 +172,16 @@ class Network
     /** Concrete channel of (link, vc). */
     ChannelId channel(LinkId l, int vc) const;
 
+    /** First channel of link l; channels of a link are contiguous, so
+     *  channel(l, v) == linkChannelBase(l) + v. Unchecked — the
+     *  simulator's inner loops use this to avoid re-validating a link
+     *  id they already iterate over. */
+    ChannelId
+    linkChannelBase(LinkId l) const
+    {
+        return linkFirstChannel[l];
+    }
+
     /** Link of a channel. */
     LinkId linkOf(ChannelId c) const { return channelLink[c]; }
 

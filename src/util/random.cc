@@ -2,16 +2,6 @@
 
 namespace ebda {
 
-namespace {
-
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed, std::uint64_t substream)
 {
     // Mix the substream id into the seed so per-node streams are
@@ -20,59 +10,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t substream)
                           + 0x2545f4914f6cdd1dULL));
     for (auto &word : s)
         word = sm.next();
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const std::uint64_t t = s[1] << 17;
-
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    if (bound == 0)
-        return 0;
-    // Lemire's nearly-divisionless unbiased bounded generation.
-    std::uint64_t x = next();
-    __uint128_t m = static_cast<__uint128_t>(x) * bound;
-    std::uint64_t l = static_cast<std::uint64_t>(m);
-    if (l < bound) {
-        std::uint64_t t = -bound % bound;
-        while (l < t) {
-            x = next();
-            m = static_cast<__uint128_t>(x) * bound;
-            l = static_cast<std::uint64_t>(m);
-        }
-    }
-    return static_cast<std::uint64_t>(m >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 random mantissa bits -> uniform in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 } // namespace ebda

@@ -41,6 +41,9 @@ class SplitMix64
 
 /**
  * xoshiro256**: the main PRNG. Passes BigCrush; period 2^256 - 1.
+ *
+ * The draw methods are defined inline: the simulator performs one
+ * Bernoulli draw per node per cycle, so the generator is hot-loop code.
  */
 class Rng
 {
@@ -50,16 +53,61 @@ class Rng
     explicit Rng(std::uint64_t seed, std::uint64_t substream = 0);
 
     /** Uniform 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound) using Lemire's method. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Lemire's nearly-divisionless unbiased bounded generation.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability p. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::int64_t
@@ -70,6 +118,12 @@ class Rng
     }
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s[4];
 };
 

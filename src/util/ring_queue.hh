@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A growable FIFO ring queue with amortised-allocation-free steady
+ * state: capacity doubles on overflow and is never returned, so once a
+ * queue has seen its high-water mark, push/pop/erase perform no heap
+ * allocation. The simulator's per-node source queues use this instead
+ * of std::deque, whose chunked storage allocates and frees blocks as
+ * the head crosses chunk boundaries even at constant occupancy.
+ */
+
+#ifndef EBDA_UTIL_RING_QUEUE_HH
+#define EBDA_UTIL_RING_QUEUE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ebda {
+
+/** FIFO over a power-of-two-free contiguous ring; element k (from the
+ *  front) lives at `store[(head + k) % store.size()]`. */
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return store.size(); }
+
+    /** Grow the backing store to hold at least `n` elements. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > store.size())
+            regrow(n);
+    }
+
+    const T &
+    front() const
+    {
+        assert(count > 0);
+        return store[head];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (count == store.size())
+            regrow(count ? count * 2 : 8);
+        store[wrap(head + count)] = v;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        assert(count > 0);
+        head = wrap(head + 1);
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    /** Element k from the front (k < size()). */
+    const T &
+    operator[](std::size_t k) const
+    {
+        return store[wrap(head + k)];
+    }
+
+    /** Remove every element matching `pred`, preserving order, in
+     *  place (no allocation). Returns the number removed. */
+    template <typename Pred>
+    std::size_t
+    eraseIf(Pred &&pred)
+    {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < count; ++read) {
+            const T &v = store[wrap(head + read)];
+            if (pred(static_cast<const T &>(v)))
+                continue;
+            if (write != read)
+                store[wrap(head + write)] = v;
+            ++write;
+        }
+        const std::size_t removed = count - write;
+        count = write;
+        return removed;
+    }
+
+  private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= store.size() ? i - store.size() : i;
+    }
+
+    void
+    regrow(std::size_t cap)
+    {
+        std::vector<T> next(cap);
+        for (std::size_t k = 0; k < count; ++k)
+            next[k] = store[wrap(head + k)];
+        store.swap(next);
+        head = 0;
+    }
+
+    std::vector<T> store;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace ebda
+
+#endif // EBDA_UTIL_RING_QUEUE_HH

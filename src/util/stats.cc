@@ -14,18 +14,6 @@ StatAccumulator::reset()
 }
 
 void
-StatAccumulator::add(double x)
-{
-    ++n;
-    const double delta = x - m;
-    m += delta / static_cast<double>(n);
-    m2 += delta * (x - m);
-    s += x;
-    minV = std::min(minV, x);
-    maxV = std::max(maxV, x);
-}
-
-void
 StatAccumulator::merge(const StatAccumulator &other)
 {
     if (other.n == 0)
@@ -74,20 +62,6 @@ Histogram::reset()
     total = 0;
     sumV = 0.0;
     maxV = 0;
-}
-
-void
-Histogram::add(std::uint64_t value)
-{
-    if (value < buckets.size()) {
-        ++buckets[value];
-    } else {
-        overflow.push_back(value);
-        overflowSorted = false;
-    }
-    ++total;
-    sumV += static_cast<double>(value);
-    maxV = std::max(maxV, value);
 }
 
 double

@@ -25,8 +25,19 @@ class StatAccumulator
     /** Reset to the empty state. */
     void reset();
 
-    /** Add one sample. */
-    void add(double x);
+    /** Add one sample. Inline: the simulator records latency and hop
+     *  samples for every ejected packet. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - m;
+        m += delta / static_cast<double>(n);
+        m2 += delta * (x - m);
+        s += x;
+        minV = std::min(minV, x);
+        maxV = std::max(maxV, x);
+    }
 
     /** Merge another accumulator into this one (parallel Welford). */
     void merge(const StatAccumulator &other);
@@ -80,8 +91,21 @@ class Histogram
 
     /** Record one (non-negative) sample; values beyond the bucket range
      *  land in the overflow bucket but still count for mean/percentiles
-     *  computed from the exact tail list. */
-    void add(std::uint64_t value);
+     *  computed from the exact tail list. Inline: one call per ejected
+     *  measured packet. */
+    void
+    add(std::uint64_t value)
+    {
+        if (value < buckets.size()) {
+            ++buckets[value];
+        } else {
+            overflow.push_back(value);
+            overflowSorted = false;
+        }
+        ++total;
+        sumV += static_cast<double>(value);
+        maxV = std::max(maxV, value);
+    }
 
     /** Total samples recorded. */
     std::uint64_t count() const { return total; }

@@ -434,16 +434,74 @@ TEST(ActiveSet, MidSweepSchedulesJoinNextSweep)
     EXPECT_EQ(second, (std::vector<std::size_t>{5}));
 }
 
+TEST(Fabric, ZeroCycleOccupancyHorizonYieldsZeroMeans)
+{
+    // A run that ends at cycle 0 (or a fabric inspected before any
+    // cycle elapsed) must not divide the occupancy integral by a zero
+    // horizon: means are defined as 0, peaks still report.
+    const auto net = topo::Network::mesh({2, 2}, {1, 1});
+    SimConfig cfg;
+    Fabric fab(net, cfg);
+    fab.pushFlit(0, Flit{0, true, true, 0}, 0);
+
+    const auto occ = fab.channelOccupancy(0);
+    ASSERT_EQ(occ.size(), net.numChannels());
+    for (const auto &o : occ)
+        EXPECT_EQ(o.mean, 0.0);
+    EXPECT_EQ(occ[0].peak, 1u);
+}
+
+TEST(Simulator, PacketTableRecyclesSlotsThroughFreelist)
+{
+    // Ejected packets release their PacketRec slots for reuse, so the
+    // table's high-water mark tracks the in-flight population, not the
+    // total generated count — and recycled slots must not corrupt the
+    // latency accounting of packets still in flight.
+    const auto net = topo::Network::mesh({4, 4}, {1, 2});
+    const auto xy = routing::DimensionOrderRouting::xy(net);
+    const TrafficGenerator gen(net, TrafficPattern::Uniform);
+    Simulator sim(net, xy, gen, lightConfig());
+    const auto result = sim.run();
+
+    ASSERT_TRUE(result.drained);
+    ASSERT_FALSE(result.deadlocked);
+    ASSERT_GT(result.packetsEjected, 100u);
+    EXPECT_LT(sim.fabric().packets.size(), result.packetsEjected / 4);
+    // Every slot is back on the freelist once the fabric drained.
+    EXPECT_EQ(sim.fabric().packets.size(),
+              sim.fabric().pktFreelist.size());
+    // Recycled slots kept per-packet stats intact: latencies stay in
+    // the zero-load envelope instead of mixing up birth cycles.
+    EXPECT_GT(result.avgLatency, 4.0);
+    EXPECT_LT(result.avgLatency, 60.0);
+}
+
 namespace {
 
-std::vector<InputVc>
+/** Standalone input VCs with their rings bound to owned arena storage
+ *  (outside a Fabric, rings have no slab to point into). */
+struct BoundVcs
+{
+    static constexpr std::uint32_t kCap = 16;
+
+    explicit BoundVcs(std::size_t n) : slab(n * kCap), ivcs(n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            ivcs[i].buf.bind(&slab[i * kCap], kCap);
+    }
+
+    std::vector<Flit> slab;
+    std::vector<InputVc> ivcs;
+};
+
+BoundVcs
 ivcsWithFill(const std::vector<int> &fill)
 {
-    std::vector<InputVc> ivcs(fill.size());
+    BoundVcs vcs(fill.size());
     for (std::size_t c = 0; c < fill.size(); ++c)
         for (int k = 0; k < fill[c]; ++k)
-            ivcs[c].buf.push_back(Flit{0, false, false, 0});
-    return ivcs;
+            vcs.ivcs[c].buf.push_back(Flit{0, false, false, 0});
+    return vcs;
 }
 
 } // namespace
@@ -451,40 +509,40 @@ ivcsWithFill(const std::vector<int> &fill)
 TEST(VcAllocatorKernel, MaxCreditsPicksMostFreeSpaceFirstOnTies)
 {
     // Channel 1 holds 3 flits, channel 2 holds 1, channel 0 holds 2.
-    const auto ivcs = ivcsWithFill({2, 3, 1});
+    const auto vcs = ivcsWithFill({2, 3, 1});
     Rng rng(1, 0);
     const std::vector<topo::ChannelId> free{0, 1, 2};
     EXPECT_EQ(VcAllocator::selectOutput(SelectionPolicy::MaxCredits, free,
-                                        ivcs, 4, 0, rng),
+                                        vcs.ivcs, 4, 0, rng),
               2u);
     // Ties resolve to the earliest candidate (strict > comparison).
     const auto tied = ivcsWithFill({2, 2, 2});
     EXPECT_EQ(VcAllocator::selectOutput(SelectionPolicy::MaxCredits, free,
-                                        tied, 4, 0, rng),
+                                        tied.ivcs, 4, 0, rng),
               0u);
 }
 
 TEST(VcAllocatorKernel, RoundRobinRotatesWithOffset)
 {
-    const auto ivcs = ivcsWithFill({0, 0, 0});
+    const auto vcs = ivcsWithFill({0, 0, 0});
     Rng rng(1, 0);
     const std::vector<topo::ChannelId> free{0, 1, 2};
     for (std::size_t rot = 0; rot < 7; ++rot)
         EXPECT_EQ(VcAllocator::selectOutput(SelectionPolicy::RoundRobin,
-                                            free, ivcs, 4, rot, rng),
+                                            free, vcs.ivcs, 4, rot, rng),
                   free[rot % free.size()]);
 }
 
 TEST(VcAllocatorKernel, RandomIsDeterministicPerStreamAndInRange)
 {
-    const auto ivcs = ivcsWithFill({0, 0, 0, 0});
+    const auto vcs = ivcsWithFill({0, 0, 0, 0});
     const std::vector<topo::ChannelId> free{1, 3};
     Rng a(2017, 5), b(2017, 5);
     for (int i = 0; i < 32; ++i) {
-        const auto ca = VcAllocator::selectOutput(SelectionPolicy::Random,
-                                                  free, ivcs, 4, 0, a);
-        const auto cb = VcAllocator::selectOutput(SelectionPolicy::Random,
-                                                  free, ivcs, 4, 0, b);
+        const auto ca = VcAllocator::selectOutput(
+            SelectionPolicy::Random, free, vcs.ivcs, 4, 0, a);
+        const auto cb = VcAllocator::selectOutput(
+            SelectionPolicy::Random, free, vcs.ivcs, 4, 0, b);
         EXPECT_EQ(ca, cb);
         EXPECT_TRUE(ca == 1u || ca == 3u);
     }
@@ -492,16 +550,17 @@ TEST(VcAllocatorKernel, RandomIsDeterministicPerStreamAndInRange)
 
 TEST(VcAllocatorKernel, FirstCandidateTakesRelationOrder)
 {
-    const auto ivcs = ivcsWithFill({9, 9, 9});
+    const auto vcs = ivcsWithFill({9, 9, 9});
     Rng rng(1, 0);
     EXPECT_EQ(VcAllocator::selectOutput(SelectionPolicy::FirstCandidate,
-                                        {2, 0, 1}, ivcs, 4, 0, rng),
+                                        {2, 0, 1}, vcs.ivcs, 4, 0, rng),
               2u);
 }
 
 TEST(SwitchAllocatorKernel, HeadMayAdvanceGatesBySwitchingMode)
 {
-    InputVc vc;
+    BoundVcs vcs(2);
+    InputVc &vc = vcs.ivcs[0];
     // A 4-flit packet fully buffered in this VC.
     for (int k = 0; k < 4; ++k)
         vc.buf.push_back(Flit{7, k == 0, k == 3, 0});
@@ -525,7 +584,7 @@ TEST(SwitchAllocatorKernel, HeadMayAdvanceGatesBySwitchingMode)
         SwitchingMode::StoreAndForward, 4, vc, 4));
     // And the buffered run must be ONE packet: a 4-deep buffer holding
     // the tail of packet A then the head of packet B must not launch.
-    InputVc mixed;
+    InputVc &mixed = vcs.ivcs[1];
     mixed.buf.push_back(Flit{1, false, true, 0});
     mixed.buf.push_back(Flit{2, true, false, 0});
     mixed.buf.push_back(Flit{2, false, false, 0});
