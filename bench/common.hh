@@ -68,7 +68,7 @@ meshJob(const std::string &router, sim::TrafficPattern pattern,
         std::vector<int> vcs = {2, 2})
 {
     sweep::SweepJob job;
-    job.topo.torus = false;
+    job.topo.kind = sweep::TopologySpec::Kind::Mesh;
     job.topo.dims = std::move(dims);
     job.topo.vcs = std::move(vcs);
     job.router = router;

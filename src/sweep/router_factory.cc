@@ -6,8 +6,11 @@
 #include "core/minimal.hh"
 #include "core/parse.hh"
 #include "routing/baselines.hh"
+#include "routing/dragonfly.hh"
 #include "routing/duato.hh"
 #include "routing/ebda_routing.hh"
+#include "routing/fullmesh.hh"
+#include "routing/updown.hh"
 
 namespace ebda::sweep {
 
@@ -35,6 +38,44 @@ parseSmallInt(const std::string &s)
     if (!end || *end != '\0' || v < 1 || v > 9)
         return std::nullopt;
     return static_cast<int>(v);
+}
+
+/** Decimal integer in [lo, hi], or nullopt. */
+std::optional<long>
+parseIntIn(const std::string &s, long lo, long hi)
+{
+    if (s.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < lo || v > hi)
+        return std::nullopt;
+    return v;
+}
+
+/** Routers-per-group for a dragonfly spec: the ":a" payload when
+ *  given, else the factory-recorded shape; 0 with *error set when
+ *  neither is available. */
+int
+dragonflyGroupSize(const topo::Network &net, const std::string &payload,
+                   std::string *error)
+{
+    if (!payload.empty()) {
+        const auto a = parseIntIn(payload, 2, 1 << 20);
+        if (!a) {
+            if (error)
+                *error = "dragonfly router needs ':<a>' with a >= 2 "
+                         "(got ':" + payload + "')";
+            return 0;
+        }
+        return static_cast<int>(*a);
+    }
+    if (const auto shape = net.dragonflyShape())
+        return shape->a;
+    if (error)
+        *error = "dragonfly router on a custom network needs an "
+                 "explicit group size, e.g. 'dragonfly-min:4'";
+    return 0;
 }
 
 /** Resolve the partition scheme named by an EbDa-family spec, or
@@ -95,6 +136,61 @@ makeRouter(const topo::Network &net, const std::string &spec,
 {
     using namespace ebda::routing;
     try {
+        // Structural engines first: they derive everything they need
+        // from the graph and work on factory and ASCII networks alike.
+        std::string payload;
+        if (spec == "updown" || splitPrefixed(spec, "updown", payload)) {
+            topo::NodeId root = 0;
+            if (!payload.empty()) {
+                const auto r = parseIntIn(
+                    payload, 0,
+                    static_cast<long>(net.numNodes()) - 1);
+                if (!r) {
+                    if (error)
+                        *error = "updown root ':" + payload
+                                 + "' is not a node id in 0.."
+                                 + std::to_string(net.numNodes() - 1);
+                    return nullptr;
+                }
+                root = static_cast<topo::NodeId>(*r);
+            }
+            return std::make_unique<UpDownRouting>(net, root);
+        }
+        if (spec == "dragonfly-min"
+            || splitPrefixed(spec, "dragonfly-min", payload)) {
+            const int a = dragonflyGroupSize(net, payload, error);
+            if (!a)
+                return nullptr;
+            return std::make_unique<DragonflyMinRouting>(net, a);
+        }
+        if (spec == "dragonfly-noescape"
+            || splitPrefixed(spec, "dragonfly-noescape", payload)) {
+            // The deadlock-prone negative control, exposed so checker
+            // sweeps can exercise both verdicts.
+            const int a = dragonflyGroupSize(net, payload, error);
+            if (!a)
+                return nullptr;
+            return std::make_unique<DragonflyMinRouting>(
+                net, a, /*vc_escalation=*/false);
+        }
+        if (spec == "fullmesh-2hop")
+            return std::make_unique<FullMeshRouting>(net);
+        if (spec == "fullmesh-naive")
+            return std::make_unique<FullMeshRouting>(
+                net, FullMeshRouting::Mode::Unrestricted);
+
+        // Everything below steers by grid coordinates.
+        if (!net.hasGrid()) {
+            if (error) {
+                *error = checkRouterSpec(spec)
+                             ? "unknown router '" + spec + "'"
+                             : "router '" + spec
+                                   + "' requires a mesh/torus grid "
+                                     "topology";
+            }
+            return nullptr;
+        }
+
         if (spec == "xy")
             return std::make_unique<DimensionOrderRouting>(
                 DimensionOrderRouting::xy(net));
@@ -140,10 +236,30 @@ checkRouterSpec(const std::string &spec)
     static const char *fixed[] = {"xy",         "yx",
                                   "west-first", "north-last",
                                   "negative-first", "odd-even",
-                                  "duato",      "minimal"};
+                                  "duato",      "minimal",
+                                  "updown",     "dragonfly-min",
+                                  "dragonfly-noescape",
+                                  "fullmesh-2hop", "fullmesh-naive"};
     for (const char *f : fixed)
         if (spec == f)
             return std::nullopt;
+
+    // Parameterized structural specs: updown:<root>,
+    // dragonfly-min:<a>, dragonfly-noescape:<a>.
+    std::string payload;
+    if (splitPrefixed(spec, "updown", payload))
+        return parseIntIn(payload, 0, 1L << 30)
+                   ? std::nullopt
+                   : std::optional<std::string>(
+                         "updown root ':" + payload
+                         + "' is not a non-negative integer");
+    if (splitPrefixed(spec, "dragonfly-min", payload)
+        || splitPrefixed(spec, "dragonfly-noescape", payload))
+        return parseIntIn(payload, 2, 1L << 20)
+                   ? std::nullopt
+                   : std::optional<std::string>(
+                         "dragonfly group size ':" + payload
+                         + "' must be an integer >= 2");
 
     bool ebda_family = false;
     std::string error;

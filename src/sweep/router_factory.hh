@@ -19,6 +19,20 @@
  *   "ebda:<scheme>"             any partition scheme in parse.hh
  *                               syntax, e.g. "ebda:{X+ X- Y-} -> {Y+}"
  *
+ * Structural engines (work on any graph, including ASCII-declared
+ * networks — everything above needs a dense mesh/torus grid):
+ *
+ *   "updown" | "updown:<root>"  Autonet up/down from the given root
+ *   "dragonfly-min[:<a>]"       minimal dragonfly with escape VCs;
+ *                               ":a" = routers per group (defaults to
+ *                               the factory-recorded shape)
+ *   "dragonfly-noescape[:<a>]"  same paths, no VC escalation —
+ *                               deadlock-PRONE negative control
+ *   "fullmesh-2hop"             VC-free ascend-then-descend detour
+ *                               routing on a complete graph
+ *   "fullmesh-naive"            any-intermediate detours —
+ *                               deadlock-PRONE negative control
+ *
  * EbDa-derived relations use Mode::Minimal on meshes and
  * Mode::ShortestState on tori (wrap traversals are non-minimal in the
  * channel state graph).

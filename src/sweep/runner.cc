@@ -21,11 +21,7 @@ runJob(const SweepJob &job, const RunOptions &opts)
 {
     JobOutcome out;
     try {
-        const auto net =
-            job.topo.torus ? topo::Network::torus(job.topo.dims,
-                                                  job.topo.vcs)
-                           : topo::Network::mesh(job.topo.dims,
-                                                 job.topo.vcs);
+        const auto net = job.topo.build();
         std::string err;
         const auto router = makeRouter(net, job.router, &err);
         if (!router) {

@@ -1,9 +1,11 @@
 #include "sweep_spec.hh"
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "sim/sim_json.hh"
 #include "sweep/router_factory.hh"
+#include "topo/ascii_map.hh"
 #include "util/random.hh"
 
 namespace ebda::sweep {
@@ -31,13 +33,97 @@ keyToHex(std::uint64_t key)
 std::string
 TopologySpec::toString() const
 {
-    std::string s = torus ? "torus " : "mesh ";
-    for (std::size_t i = 0; i < dims.size(); ++i)
-        s += (i ? "x" : "") + std::to_string(dims[i]);
-    s += " vcs ";
-    for (std::size_t i = 0; i < vcs.size(); ++i)
-        s += (i ? "," : "") + std::to_string(vcs[i]);
-    return s;
+    switch (kind) {
+    case Kind::Mesh:
+    case Kind::Torus: {
+        std::string s = kind == Kind::Torus ? "torus " : "mesh ";
+        for (std::size_t i = 0; i < dims.size(); ++i)
+            s += (i ? "x" : "") + std::to_string(dims[i]);
+        s += " vcs ";
+        for (std::size_t i = 0; i < vcs.size(); ++i)
+            s += (i ? "," : "") + std::to_string(vcs[i]);
+        return s;
+    }
+    case Kind::Dragonfly:
+        return "dragonfly a" + std::to_string(a) + " p" + std::to_string(p)
+               + " h" + std::to_string(h) + " vcs "
+               + std::to_string(localVcs) + ","
+               + std::to_string(globalVcs);
+    case Kind::FullMesh:
+        return "fullmesh " + std::to_string(nodes) + " vcs "
+               + std::to_string(nodeVcs);
+    case Kind::Ascii:
+        // The map itself is unreadable in a label; identify it by its
+        // content hash.
+        return "ascii map " + keyToHex(fnv1a64(map)).substr(8);
+    }
+    return "?";
+}
+
+topo::Network
+TopologySpec::build() const
+{
+    switch (kind) {
+    case Kind::Mesh:
+        return topo::Network::mesh(dims, vcs);
+    case Kind::Torus:
+        return topo::Network::torus(dims, vcs);
+    case Kind::Dragonfly:
+        return topo::Network::dragonfly(a, p, h, localVcs, globalVcs);
+    case Kind::FullMesh:
+        return topo::Network::fullMesh(nodes, nodeVcs);
+    case Kind::Ascii:
+        return topo::parseAsciiMap(map, topo::AsciiMapOptions{defaultVcs})
+            .network;
+    }
+    throw std::invalid_argument("topology: unknown kind");
+}
+
+void
+TopologySpec::toJson(JsonWriter &w, const std::string &key) const
+{
+    w.beginObject(key);
+    switch (kind) {
+    case Kind::Mesh:
+    case Kind::Torus:
+        // Legacy flat shape — the bytes of every existing mesh/torus
+        // cache key depend on it.
+        w.field("type", kind == Kind::Torus ? "torus" : "mesh");
+        w.beginArray("dims");
+        for (const int d : dims)
+            w.value(d);
+        w.end();
+        w.beginArray("vcs");
+        for (const int v : vcs)
+            w.value(v);
+        w.end();
+        break;
+    case Kind::Dragonfly:
+        w.field("type", "dragonfly");
+        w.beginObject("params");
+        w.field("a", a);
+        w.field("p", p);
+        w.field("h", h);
+        w.field("localVcs", localVcs);
+        w.field("globalVcs", globalVcs);
+        w.end();
+        break;
+    case Kind::FullMesh:
+        w.field("type", "fullmesh");
+        w.beginObject("params");
+        w.field("nodes", nodes);
+        w.field("vcs", nodeVcs);
+        w.end();
+        break;
+    case Kind::Ascii:
+        w.field("type", "ascii");
+        w.beginObject("params");
+        w.field("map", map);
+        w.field("defaultVcs", defaultVcs);
+        w.end();
+        break;
+    }
+    w.end();
 }
 
 namespace {
@@ -49,17 +135,7 @@ canonicalJson(const SweepJob &job)
 {
     JsonWriter w;
     w.beginObject();
-    w.beginObject("topology");
-    w.field("type", job.topo.torus ? "torus" : "mesh");
-    w.beginArray("dims");
-    for (const int d : job.topo.dims)
-        w.value(d);
-    w.end();
-    w.beginArray("vcs");
-    for (const int v : job.topo.vcs)
-        w.value(v);
-    w.end();
-    w.end();
+    job.topo.toJson(w, "topology");
     w.field("router", job.router);
     w.field("pattern", sim::toString(job.pattern));
     w.beginObject("config");
@@ -90,53 +166,156 @@ readIntArray(const JsonValue &v, std::vector<int> &out, std::string *err,
     return true;
 }
 
+/** Read one integer field of a params object, with range check and a
+ *  default for absent keys. Returns false (and sets *err) on junk. */
+bool
+readIntField(const JsonValue &params, const char *key, int min_value,
+             int *out, std::string *err, const std::string &path)
+{
+    const auto *v = params.find(key);
+    if (!v)
+        return true; // keep the default
+    if (!v->isNumber() || v->asInt() < min_value) {
+        if (err)
+            *err = path + "." + key + ": must be an integer >= "
+                   + std::to_string(min_value);
+        return false;
+    }
+    *out = v->asInt();
+    return true;
+}
+
+} // namespace
+
 /** Parse one topology object; `path` names it in errors ("topology",
  *  "topologies[2]"). Unknown keys are rejected — a typo here would
  *  silently sweep the wrong grid. */
 std::optional<TopologySpec>
-topologyFromJson(const JsonValue &v, std::string *err,
-                 const std::string &path)
+TopologySpec::fromJson(const JsonValue &v, std::string *err,
+                       const std::string &path)
 {
-    if (!v.isObject()) {
+    auto fail = [&](const std::string &what) -> std::optional<TopologySpec> {
         if (err)
-            *err = path + ": must be an object";
+            *err = what;
         return std::nullopt;
-    }
-    for (const auto &[key, val] : v.members()) {
-        if (key != "type" && key != "dims" && key != "vcs") {
-            if (err)
-                *err = path + ": unknown key '" + key + "'";
-            return std::nullopt;
-        }
-    }
-    TopologySpec t;
-    if (const auto *type = v.find("type")) {
-        if (!type->isString()
-            || (type->asString() != "mesh" && type->asString() != "torus")) {
-            if (err)
-                *err = path + ".type: must be \"mesh\" or \"torus\"";
-            return std::nullopt;
-        }
-        t.torus = type->asString() == "torus";
-    }
-    const auto *dims = v.find("dims");
-    if (!dims || !readIntArray(*dims, t.dims, err, path + ".dims"))
-        return std::nullopt;
-    if (const auto *vcs = v.find("vcs")) {
-        if (!readIntArray(*vcs, t.vcs, err, path + ".vcs"))
-            return std::nullopt;
-    } else {
-        t.vcs.assign(t.dims.size(), 1);
-    }
-    if (t.vcs.size() != t.dims.size()) {
-        if (err)
-            *err = path + ".vcs: must have one entry per dimension";
-        return std::nullopt;
-    }
-    return t;
-}
+    };
 
-} // namespace
+    if (!v.isObject())
+        return fail(path + ": must be an object");
+    for (const auto &[key, val] : v.members()) {
+        if (key != "type" && key != "kind" && key != "dims" && key != "vcs"
+            && key != "params")
+            return fail(path + ": unknown key '" + key + "'");
+    }
+
+    // The tag: "type", with "kind" accepted as an alias.
+    std::string tag = "mesh";
+    const auto *type = v.find("type");
+    if (!type)
+        type = v.find("kind");
+    if (type) {
+        if (!type->isString())
+            return fail(path + ".type: must be a string");
+        tag = type->asString();
+    }
+
+    // Params may live in a nested object (tagged shape) or, for
+    // mesh/torus, flat in the topology object itself (legacy shape).
+    const JsonValue *params = v.find("params");
+    if (params && !params->isObject())
+        return fail(path + ".params: must be an object");
+    const std::string ppath = params ? path + ".params" : path;
+    const JsonValue &p = params ? *params : v;
+
+    // Reject typos inside a params object too (flat-shape keys are
+    // covered by the topology-level check above).
+    auto checkKeys = [&](std::initializer_list<const char *> allowed) {
+        if (!params)
+            return true;
+        for (const auto &[key, val] : p.members()) {
+            bool ok = false;
+            for (const char *k : allowed)
+                ok = ok || key == k;
+            if (!ok) {
+                if (err)
+                    *err = ppath + ": unknown key '" + key + "'";
+                return false;
+            }
+        }
+        return true;
+    };
+
+    TopologySpec t;
+    if (tag == "mesh" || tag == "torus") {
+        t.kind = tag == "torus" ? Kind::Torus : Kind::Mesh;
+        if (!checkKeys({"dims", "vcs"}))
+            return std::nullopt;
+        const auto *dims = p.find("dims");
+        if (!dims || !readIntArray(*dims, t.dims, err, ppath + ".dims"))
+            return std::nullopt;
+        if (const auto *vcs = p.find("vcs")) {
+            if (!readIntArray(*vcs, t.vcs, err, ppath + ".vcs"))
+                return std::nullopt;
+        } else {
+            t.vcs.assign(t.dims.size(), 1);
+        }
+        if (t.vcs.size() != t.dims.size())
+            return fail(ppath + ".vcs: must have one entry per dimension");
+        return t;
+    }
+    if (tag == "dragonfly") {
+        t.kind = Kind::Dragonfly;
+        if (!params)
+            return fail(path + ": dragonfly needs a 'params' object");
+        if (!checkKeys({"a", "p", "h", "localVcs", "globalVcs"}))
+            return std::nullopt;
+        t.a = 2;
+        t.p = 1;
+        t.h = 1;
+        if (!readIntField(p, "a", 2, &t.a, err, ppath)
+            || !readIntField(p, "p", 1, &t.p, err, ppath)
+            || !readIntField(p, "h", 1, &t.h, err, ppath)
+            || !readIntField(p, "localVcs", 1, &t.localVcs, err, ppath)
+            || !readIntField(p, "globalVcs", 1, &t.globalVcs, err, ppath))
+            return std::nullopt;
+        return t;
+    }
+    if (tag == "fullmesh") {
+        t.kind = Kind::FullMesh;
+        if (!params)
+            return fail(path + ": fullmesh needs a 'params' object");
+        if (!checkKeys({"nodes", "vcs"}))
+            return std::nullopt;
+        t.nodes = 2;
+        if (!readIntField(p, "nodes", 2, &t.nodes, err, ppath)
+            || !readIntField(p, "vcs", 1, &t.nodeVcs, err, ppath))
+            return std::nullopt;
+        return t;
+    }
+    if (tag == "ascii") {
+        t.kind = Kind::Ascii;
+        if (!params)
+            return fail(path + ": ascii needs a 'params' object");
+        if (!checkKeys({"map", "defaultVcs"}))
+            return std::nullopt;
+        const auto *map = p.find("map");
+        if (!map || !map->isString() || map->asString().empty())
+            return fail(ppath + ".map: must be a non-empty string");
+        t.map = map->asString();
+        if (!readIntField(p, "defaultVcs", 1, &t.defaultVcs, err, ppath))
+            return std::nullopt;
+        // Surface DSL syntax errors at parse time, not mid-sweep.
+        try {
+            topo::parseAsciiMap(t.map,
+                                topo::AsciiMapOptions{t.defaultVcs});
+        } catch (const std::invalid_argument &e) {
+            return fail(ppath + ".map: " + e.what());
+        }
+        return t;
+    }
+    return fail(path + ".type: must be \"mesh\", \"torus\", "
+                       "\"dragonfly\", \"fullmesh\" or \"ascii\"");
+}
 
 void
 finalizeJob(SweepJob &job)
@@ -180,14 +359,14 @@ SweepSpec::fromJson(const JsonValue &v, std::string *error)
             return fail("'topologies' must be a non-empty array");
         std::size_t i = 0;
         for (const auto &e : ts->elements()) {
-            const auto t = topologyFromJson(
+            const auto t = TopologySpec::fromJson(
                 e, &err, "topologies[" + std::to_string(i++) + "]");
             if (!t)
                 return fail(err);
             spec.topologies.push_back(*t);
         }
     } else if (const auto *t1 = v.find("topology")) {
-        const auto t = topologyFromJson(*t1, &err, "topology");
+        const auto t = TopologySpec::fromJson(*t1, &err, "topology");
         if (!t)
             return fail(err);
         spec.topologies.push_back(*t);

@@ -45,6 +45,7 @@
 
 #include "sim/simulator.hh"
 #include "sim/traffic.hh"
+#include "topo/network.hh"
 #include "util/json.hh"
 
 namespace ebda::sweep {
@@ -56,12 +57,63 @@ std::uint64_t fnv1a64(const std::string &bytes);
  *  files, e.g. "00c3a5f2deadbeef". */
 std::string keyToHex(std::uint64_t key);
 
-/** One topology of the grid. */
+/**
+ * One topology of the grid — a tagged {kind, params} union.
+ *
+ * JSON shapes (the tag key is "type"; "kind" is accepted as an alias):
+ *   {"type":"mesh",  "dims":[8,8], "vcs":[2,2]}         (legacy flat)
+ *   {"type":"torus", "params":{"dims":[8,8],"vcs":[2,2]}}
+ *   {"type":"dragonfly","params":{"a":4,"p":2,"h":2,
+ *                                 "localVcs":2,"globalVcs":1}}
+ *   {"type":"fullmesh", "params":{"nodes":8,"vcs":1}}
+ *   {"type":"ascii",    "params":{"map":"A--B\n...","defaultVcs":1}}
+ *
+ * toJson() emits the legacy flat shape for mesh/torus (their canonical
+ * job JSON — and hence every cached result key — stays byte-identical)
+ * and the tagged params shape for the new kinds; fromJson() accepts
+ * both, so the canonical rendering always round-trips.
+ */
 struct TopologySpec
 {
-    bool torus = false;
+    enum class Kind : std::uint8_t
+    {
+        Mesh,
+        Torus,
+        Dragonfly,
+        FullMesh,
+        Ascii,
+    };
+
+    Kind kind = Kind::Mesh;
+
+    /** Mesh / torus: per-dimension radices and VC counts. */
     std::vector<int> dims;
     std::vector<int> vcs;
+
+    /** Dragonfly: routers/group, hosts/router, globals/router, and the
+     *  local/global VC budgets. */
+    int a = 0, p = 0, h = 0;
+    int localVcs = 2, globalVcs = 1;
+
+    /** Full mesh: node count and per-link VCs. */
+    int nodes = 0;
+    int nodeVcs = 1;
+
+    /** ASCII map source and the DSL's default VC count. */
+    std::string map;
+    int defaultVcs = 1;
+
+    /** Materialize the network. Throws std::invalid_argument with a
+     *  path-named message on bad parameters (factory validation). */
+    topo::Network build() const;
+
+    /** Emit as the "topology" object of a canonical job JSON. */
+    void toJson(JsonWriter &w, const std::string &key) const;
+
+    /** Parse either JSON shape; `path` names the object in errors. */
+    static std::optional<TopologySpec> fromJson(const JsonValue &v,
+                                                std::string *err,
+                                                const std::string &path);
 
     /** "mesh 8x8 vcs 2,2" — for labels and error messages. */
     std::string toString() const;

@@ -1,0 +1,320 @@
+#include "ascii_map.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ebda::topo {
+
+using core::Sign;
+
+namespace {
+
+bool
+isNodeChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) && c != 'x';
+}
+
+bool
+isHorizontalChar(char c)
+{
+    return c == '-' || c == '=' || c == '<' || c == '>' || c == 'x';
+}
+
+bool
+isVerticalChar(char c)
+{
+    return c == '|' || c == '!' || c == 'x';
+}
+
+[[noreturn]] void
+fail(std::size_t line, std::size_t col, const std::string &msg)
+{
+    throw std::invalid_argument("ascii_map: line " + std::to_string(line + 1)
+                                + ", col " + std::to_string(col + 1) + ": "
+                                + msg);
+}
+
+/** One declared connection before node-id resolution. */
+struct RawEdge
+{
+    char a = 0;
+    char b = 0;
+    /** a->b allowed / b->a allowed. */
+    bool forward = true;
+    bool backward = true;
+    int vcs = 1;
+    bool dead = false;
+    std::uint8_t dim = kUnclassifiedDim;
+    core::Sign sign = core::Sign::Pos;
+};
+
+/** Classify one connector run; direction chars may not conflict and a
+ *  dead marker poisons the whole run. */
+struct RunInfo
+{
+    bool forward = true;
+    bool backward = true;
+    bool dead = false;
+    int vcs = 1;
+};
+
+RunInfo
+classifyRun(const std::string &run, int default_vcs, std::size_t line,
+            std::size_t col)
+{
+    RunInfo info;
+    info.vcs = default_vcs;
+    const bool right = run.find('>') != std::string::npos;
+    const bool left = run.find('<') != std::string::npos;
+    if (right && left)
+        fail(line, col, "conflicting direction markers '<' and '>'");
+    if (right)
+        info.backward = false;
+    if (left)
+        info.forward = false;
+    if (run.find('=') != std::string::npos
+        || run.find('!') != std::string::npos)
+        info.vcs = 2;
+    if (run.find('x') != std::string::npos)
+        info.dead = true;
+    return info;
+}
+
+} // namespace
+
+AsciiMap
+parseAsciiMap(const std::string &map, const AsciiMapOptions &opts)
+{
+    if (opts.defaultVcs < 1)
+        throw std::invalid_argument(
+            "ascii_map: defaultVcs must be >= 1 (got "
+            + std::to_string(opts.defaultVcs) + ")");
+
+    // Split into picture lines and '+' edge-list lines.
+    std::vector<std::string> rows;
+    std::vector<std::pair<std::size_t, std::string>> edge_lines;
+    {
+        std::istringstream is(map);
+        std::string line;
+        std::size_t line_no = 0;
+        std::size_t physical = 0;
+        while (std::getline(is, line)) {
+            const auto first = line.find_first_not_of(" \t");
+            if (first != std::string::npos && line[first] == '+') {
+                edge_lines.emplace_back(physical,
+                                        line.substr(first + 1));
+            } else {
+                // Picture rows keep their vertical position so columns
+                // line up; edge lines may only follow the picture.
+                if (!edge_lines.empty() && first != std::string::npos)
+                    fail(physical, first,
+                         "picture rows may not follow edge-list lines");
+                rows.push_back(line);
+                ++line_no;
+            }
+            ++physical;
+        }
+        (void)line_no;
+    }
+
+    auto at = [&](std::size_t r, std::size_t c) -> char {
+        if (r >= rows.size() || c >= rows[r].size())
+            return ' ';
+        return rows[r][c];
+    };
+
+    // Collect nodes and validate uniqueness.
+    std::map<char, std::pair<std::size_t, std::size_t>> node_pos;
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            const char ch = rows[r][c];
+            if (isNodeChar(ch)) {
+                if (!node_pos.emplace(ch, std::make_pair(r, c)).second)
+                    fail(r, c,
+                         std::string("duplicate node '") + ch + "'");
+            } else if (ch != ' ' && ch != '\t' && !isHorizontalChar(ch)
+                       && !isVerticalChar(ch)) {
+                fail(r, c, std::string("unexpected character '") + ch
+                               + "'");
+            }
+        }
+    if (node_pos.empty())
+        throw std::invalid_argument("ascii_map: no nodes in map");
+
+    // Extract connector runs; remember which cells each run consumed so
+    // stray connectors can be reported.
+    std::vector<std::vector<bool>> used(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        used[r].assign(rows[r].size(), false);
+
+    std::vector<RawEdge> edges;
+    for (const auto &[ch, pos] : node_pos) {
+        const auto [r, c] = pos;
+        // Horizontal run to the right.
+        if (isHorizontalChar(at(r, c + 1))) {
+            std::string run;
+            std::size_t cc = c + 1;
+            while (isHorizontalChar(at(r, cc))) {
+                used[r][cc] = true;
+                run.push_back(at(r, cc));
+                ++cc;
+            }
+            if (!isNodeChar(at(r, cc)))
+                fail(r, c,
+                     std::string("dangling horizontal link from '") + ch
+                         + "'");
+            const RunInfo info = classifyRun(run, opts.defaultVcs, r, c);
+            edges.push_back(RawEdge{ch, at(r, cc), info.forward,
+                                    info.backward, info.vcs, info.dead, 0,
+                                    Sign::Pos});
+        }
+        // Vertical run downward.
+        if (isVerticalChar(at(r + 1, c))) {
+            std::string run;
+            std::size_t rr = r + 1;
+            while (isVerticalChar(at(rr, c))) {
+                if (c < used[rr].size())
+                    used[rr][c] = true;
+                run.push_back(at(rr, c));
+                ++rr;
+            }
+            if (!isNodeChar(at(rr, c)))
+                fail(r, c,
+                     std::string("dangling vertical link from '") + ch
+                         + "'");
+            const RunInfo info = classifyRun(run, opts.defaultVcs, r, c);
+            edges.push_back(RawEdge{ch, at(rr, c), info.forward,
+                                    info.backward, info.vcs, info.dead, 1,
+                                    Sign::Pos});
+        }
+    }
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            const char ch = rows[r][c];
+            if ((isHorizontalChar(ch) || isVerticalChar(ch))
+                && !used[r][c])
+                fail(r, c, std::string("stray connector '") + ch
+                               + "' not joining two nodes");
+        }
+
+    // Edge-list tokens: A-B, A=B, A>B, A<B, AxB, optionally :N.
+    for (const auto &[line_no, text] : edge_lines) {
+        std::istringstream ts(text);
+        std::string tok;
+        while (ts >> tok) {
+            const std::size_t col = text.find(tok);
+            if (tok.size() < 3 || !isNodeChar(tok[0])
+                || !isNodeChar(tok[2]))
+                fail(line_no, col,
+                     "bad edge token '" + tok
+                         + "' (want e.g. A-B, A>B, AxB, A-B:3)");
+            const char conn = tok[1];
+            RawEdge e;
+            e.a = tok[0];
+            e.b = tok[2];
+            switch (conn) {
+            case '-':
+                break;
+            case '=':
+                e.vcs = 2;
+                break;
+            case '>':
+                e.backward = false;
+                break;
+            case '<':
+                e.forward = false;
+                break;
+            case 'x':
+                e.dead = true;
+                break;
+            default:
+                fail(line_no, col,
+                     std::string("bad edge connector '") + conn + "'");
+            }
+            if (e.vcs == 1)
+                e.vcs = opts.defaultVcs;
+            if (tok.size() > 3) {
+                if (tok[3] != ':' || tok.size() < 5)
+                    fail(line_no, col,
+                         "bad VC suffix in '" + tok + "' (want :N)");
+                int n = 0;
+                for (std::size_t i = 4; i < tok.size(); ++i) {
+                    if (!std::isdigit(
+                            static_cast<unsigned char>(tok[i])))
+                        fail(line_no, col,
+                             "bad VC suffix in '" + tok + "'");
+                    n = n * 10 + (tok[i] - '0');
+                }
+                if (n < 1)
+                    fail(line_no, col,
+                         "VC count must be >= 1 in '" + tok + "'");
+                e.vcs = n;
+            }
+            if (!node_pos.count(e.a))
+                fail(line_no, col,
+                     std::string("unknown node '") + e.a + "' in '" + tok
+                         + "'");
+            if (!node_pos.count(e.b))
+                fail(line_no, col,
+                     std::string("unknown node '") + e.b + "' in '" + tok
+                         + "'");
+            if (e.a == e.b)
+                fail(line_no, col,
+                     "self-link '" + tok + "' is not allowed");
+            edges.push_back(e);
+        }
+    }
+
+    // Node ids in ASCII order of the node characters.
+    std::vector<std::string> names;
+    std::vector<Coord> coords;
+    std::map<char, NodeId> id_of;
+    for (const auto &[ch, pos] : node_pos) {
+        id_of[ch] = static_cast<NodeId>(names.size());
+        names.emplace_back(1, ch);
+        coords.push_back(Coord{static_cast<int>(pos.second),
+                               static_cast<int>(pos.first)});
+    }
+
+    std::vector<Link> links;
+    std::vector<std::pair<NodeId, NodeId>> dead;
+    for (const RawEdge &e : edges) {
+        const NodeId a = id_of.at(e.a);
+        const NodeId b = id_of.at(e.b);
+        auto emit = [&](NodeId s, NodeId d, Sign sign) {
+            if (e.dead) {
+                dead.emplace_back(s, d);
+                return;
+            }
+            Link l;
+            l.src = s;
+            l.dst = d;
+            l.dim = e.dim;
+            l.travelSign = sign;
+            l.classSign = sign;
+            l.vcs = e.vcs;
+            links.push_back(l);
+        };
+        // Picture runs were collected a-before-b in reading order, so
+        // a->b is the Pos (rightward / downward) direction.
+        if (e.forward)
+            emit(a, b, Sign::Pos);
+        if (e.backward)
+            emit(b, a, Sign::Neg);
+    }
+
+    // NB: take the count first — argument evaluation order is
+    // unspecified, so names.size() inline would race the move.
+    const std::size_t num_nodes = names.size();
+    AsciiMap result{Network::fromGraph(num_nodes, std::move(links),
+                                       std::move(names),
+                                       std::move(coords)),
+                    std::move(dead)};
+    return result;
+}
+
+} // namespace ebda::topo

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ASCII-map topology DSL: declare a Network by drawing it.
+ *
+ * A map is a picture of single-character nodes joined by connector
+ * runs, optionally followed by explicit edge-list lines for links a
+ * planar picture cannot draw (full meshes, dragonfly global links):
+ *
+ *     A--B==C
+ *     |     !
+ *     D--E--F
+ *     + A<F  C-D:3  BxE
+ *
+ * Picture grammar:
+ *  - Node: any alphanumeric character except 'x', unique per map.
+ *  - Horizontal run between two nodes on one row, chars '-', '=',
+ *    '<', '>', 'x':
+ *      '-'  bidirectional, default VC count
+ *      '='  bidirectional, 2 VCs per direction
+ *      '>'  left-to-right only;  '<'  right-to-left only
+ *      'x'  dead link: declared, then removed and reported
+ *  - Vertical run between two nodes in one column, chars '|', '!', 'x':
+ *      '|'  bidirectional, default VCs;  '!'  2 VCs;  'x' dead
+ *  - Adjacent nodes with no connector between them are not linked.
+ *    Runs may not cross; connectors not attached to nodes on both
+ *    ends are an error.
+ *
+ * Edge-list lines start with '+' and hold whitespace-separated tokens
+ * `A-B` / `A=B` / `A>B` / `A<B` / `AxB`, each optionally suffixed
+ * `:N` for N VCs (e.g. `C-D:3`).
+ *
+ * Classification: horizontal links are dimension 0 (Pos = rightward),
+ * vertical links dimension 1 (Pos = downward), so EbDa-style analyses
+ * work on drawn meshes. Edge-list links carry kUnclassifiedDim. Node
+ * ids are assigned in ASCII order of the node characters, and node
+ * coordinates are the (column, row) character positions.
+ *
+ * Parse errors throw std::invalid_argument with a position-named
+ * message ("ascii_map: line 2, col 5: ...").
+ */
+
+#ifndef EBDA_TOPO_ASCII_MAP_HH
+#define EBDA_TOPO_ASCII_MAP_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/network.hh"
+
+namespace ebda::topo {
+
+struct AsciiMapOptions
+{
+    /** VC count for '-', '|' and unsuffixed edge-list links. */
+    int defaultVcs = 1;
+};
+
+/** A parsed map: the live network plus the dead links that were drawn
+ *  with 'x' markers (already removed from the network; both directions
+ *  listed for bidirectional dead links). */
+struct AsciiMap
+{
+    Network network;
+    std::vector<std::pair<NodeId, NodeId>> deadLinks;
+};
+
+AsciiMap parseAsciiMap(const std::string &map,
+                       const AsciiMapOptions &opts = {});
+
+} // namespace ebda::topo
+
+#endif // EBDA_TOPO_ASCII_MAP_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -12,14 +13,40 @@ using core::Sign;
 
 namespace {
 
+/** Factory-parameter validation: throw a path-named error, matching the
+ *  strict SweepSpec style ("mesh.dims[1]: radix must be >= 2 (got 1)"). */
+void
+require(bool ok, const std::string &msg)
+{
+    if (!ok)
+        throw std::invalid_argument(msg);
+}
+
+void
+requireDimsVcs(const std::string &path, const std::vector<int> &dims,
+               const std::vector<int> &vcs)
+{
+    require(!dims.empty(), path + ".dims: must not be empty");
+    require(dims.size() == vcs.size(),
+            path + ".dims/vcs: size mismatch (" + std::to_string(dims.size())
+                + " dims vs " + std::to_string(vcs.size()) + " vcs)");
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        require(dims[d] >= 2,
+                path + ".dims[" + std::to_string(d)
+                    + "]: radix must be >= 2 (got " + std::to_string(dims[d])
+                    + ")");
+        require(vcs[d] >= 1,
+                path + ".vcs[" + std::to_string(d) + "]: must be >= 1 (got "
+                    + std::to_string(vcs[d]) + ")");
+    }
+}
+
 std::size_t
 product(const std::vector<int> &dims)
 {
     std::size_t p = 1;
-    for (int d : dims) {
-        EBDA_ASSERT(d >= 1, "radix must be positive");
+    for (int d : dims)
         p *= static_cast<std::size_t>(d);
-    }
     return p;
 }
 
@@ -28,10 +55,9 @@ product(const std::vector<int> &dims)
 Network
 Network::mesh(const std::vector<int> &dims, const std::vector<int> &vcs)
 {
-    EBDA_ASSERT(dims.size() == vcs.size(),
-                "dims/vcs size mismatch: ", dims.size(), " vs ",
-                vcs.size());
+    requireDimsVcs("mesh", dims, vcs);
     Network net;
+    net.topoKind = TopologyKind::Mesh;
     net.radix = dims;
     net.vcsPerDim = vcs;
     net.nodeCount = product(dims);
@@ -50,9 +76,9 @@ Network::mesh(const std::vector<int> &dims, const std::vector<int> &vcs)
                 Coord next = c;
                 ++next[d];
                 links.push_back(Link{n, net.node(next), d, Sign::Pos,
-                                     Sign::Pos, false});
+                                     Sign::Pos, false, vcs[d]});
                 links.push_back(Link{net.node(next), n, d, Sign::Neg,
-                                     Sign::Neg, false});
+                                     Sign::Neg, false, vcs[d]});
             }
         }
     }
@@ -64,8 +90,9 @@ Network
 Network::torus(const std::vector<int> &dims, const std::vector<int> &vcs,
                WrapClassification wrap_class)
 {
+    requireDimsVcs("torus", dims, vcs);
     Network net = mesh(dims, vcs);
-    net.torusNet = true;
+    net.topoKind = TopologyKind::Torus;
 
     std::vector<Link> links = net.linkTable;
     for (NodeId n = 0; n < net.nodeCount; ++n) {
@@ -87,10 +114,10 @@ Network::torus(const std::vector<int> &dims, const std::vector<int> &vcs,
                         : Sign::Neg;
                 // Travelling + across the edge; coordinate jumps down.
                 links.push_back(Link{n, wrap_dst, d, Sign::Pos, pos_cls,
-                                     true});
+                                     true, vcs[d]});
                 // Travelling - across the edge; coordinate jumps up.
                 links.push_back(Link{wrap_dst, n, d, Sign::Neg, neg_cls,
-                                     true});
+                                     true, vcs[d]});
             }
         }
     }
@@ -103,10 +130,23 @@ Network::partialMesh3d(const std::vector<int> &dims,
                        const std::vector<int> &vcs,
                        const std::vector<std::pair<int, int>> &elevators)
 {
-    EBDA_ASSERT(dims.size() == 3, "partialMesh3d needs 3 dimensions");
-    EBDA_ASSERT(!elevators.empty(),
-                "at least one elevator column is required");
+    require(dims.size() == 3,
+            "partialMesh3d.dims: need exactly 3 dimensions (got "
+                + std::to_string(dims.size()) + ")");
+    requireDimsVcs("partialMesh3d", dims, vcs);
+    require(!elevators.empty(),
+            "partialMesh3d.elevators: at least one elevator column is "
+            "required");
+    for (std::size_t i = 0; i < elevators.size(); ++i) {
+        const auto &[x, y] = elevators[i];
+        require(x >= 0 && x < dims[0] && y >= 0 && y < dims[1],
+                "partialMesh3d.elevators[" + std::to_string(i) + "]: ("
+                    + std::to_string(x) + "," + std::to_string(y)
+                    + ") outside the " + std::to_string(dims[0]) + "x"
+                    + std::to_string(dims[1]) + " layer");
+    }
     Network net = mesh(dims, vcs);
+    net.topoKind = TopologyKind::PartialMesh3d;
 
     auto is_elevator = [&](int x, int y) {
         return std::find(elevators.begin(), elevators.end(),
@@ -122,6 +162,147 @@ Network::partialMesh3d(const std::vector<int> &dims,
                 continue;
         }
         links.push_back(l);
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::dragonfly(int a, int p, int h, int local_vcs, int global_vcs)
+{
+    require(a >= 2, "dragonfly.a: routers per group must be >= 2 (got "
+                        + std::to_string(a) + ")");
+    require(p >= 1, "dragonfly.p: terminals per router must be >= 1 (got "
+                        + std::to_string(p) + ")");
+    require(h >= 1, "dragonfly.h: global links per router must be >= 1 "
+                    "(got "
+                        + std::to_string(h) + ")");
+    require(local_vcs >= 1, "dragonfly.localVcs: must be >= 1 (got "
+                                + std::to_string(local_vcs) + ")");
+    require(global_vcs >= 1, "dragonfly.globalVcs: must be >= 1 (got "
+                                 + std::to_string(global_vcs) + ")");
+
+    const int groups = a * h + 1;
+    Network net;
+    net.topoKind = TopologyKind::Dragonfly;
+    net.dfShape = DragonflyShape{a, p, h, groups};
+    net.nodeCount = static_cast<std::size_t>(groups) * a;
+    // Node id = group * a + router, i.e. coordinates {router, group}.
+    net.radix = {a, groups};
+    net.stride = {1, static_cast<std::size_t>(a)};
+    net.vcsPerDim = {local_vcs, global_vcs};
+
+    std::vector<Link> links;
+    for (int g = 0; g < groups; ++g) {
+        const NodeId base = static_cast<NodeId>(g) * a;
+        // Intra-group full mesh (dimension 0).
+        for (int r1 = 0; r1 < a; ++r1)
+            for (int r2 = 0; r2 < a; ++r2) {
+                if (r1 == r2)
+                    continue;
+                const Sign s = r2 > r1 ? Sign::Pos : Sign::Neg;
+                links.push_back(Link{base + r1, base + r2, 0, s, s, false,
+                                     local_vcs});
+            }
+        // Global links (dimension 1): port k of group g, owned by router
+        // k / h, reaches group (g + k + 1) mod groups and lands on the
+        // peer port that points back here.
+        for (int k = 0; k < a * h; ++k) {
+            const int target = (g + k + 1) % groups;
+            const int back = ((g - target - 1) % groups + groups) % groups;
+            const NodeId src = base + static_cast<NodeId>(k / h);
+            const NodeId dst =
+                static_cast<NodeId>(target) * a
+                + static_cast<NodeId>(back / h);
+            const Sign s = target > g ? Sign::Pos : Sign::Neg;
+            links.push_back(Link{src, dst, 1, s, s, false, global_vcs});
+        }
+    }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::fullMesh(int n, int vcs)
+{
+    require(n >= 2, "fullMesh.n: node count must be >= 2 (got "
+                        + std::to_string(n) + ")");
+    require(vcs >= 1,
+            "fullMesh.vcs: must be >= 1 (got " + std::to_string(vcs) + ")");
+    Network net;
+    net.topoKind = TopologyKind::FullMesh;
+    net.nodeCount = static_cast<std::size_t>(n);
+    net.radix = {n};
+    net.stride = {1};
+    net.vcsPerDim = {vcs};
+
+    std::vector<Link> links;
+    for (NodeId u = 0; u < net.nodeCount; ++u)
+        for (NodeId v = 0; v < net.nodeCount; ++v) {
+            if (u == v)
+                continue;
+            const Sign s = v > u ? Sign::Pos : Sign::Neg;
+            links.push_back(Link{u, v, 0, s, s, false, vcs});
+        }
+    net.buildFromLinks(std::move(links));
+    return net;
+}
+
+Network
+Network::fromGraph(std::size_t num_nodes, std::vector<Link> links,
+                   std::vector<std::string> names,
+                   std::vector<Coord> coords)
+{
+    require(num_nodes >= 1, "fromGraph.numNodes: must be >= 1");
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const Link &l = links[i];
+        const std::string path = "fromGraph.links[" + std::to_string(i) + "]";
+        require(l.src < num_nodes,
+                path + ".src: node " + std::to_string(l.src)
+                    + " out of range (" + std::to_string(num_nodes)
+                    + " nodes)");
+        require(l.dst < num_nodes,
+                path + ".dst: node " + std::to_string(l.dst)
+                    + " out of range (" + std::to_string(num_nodes)
+                    + " nodes)");
+        require(l.src != l.dst, path + ": self-links are not allowed");
+        require(l.vcs >= 1,
+                path + ".vcs: must be >= 1 (got " + std::to_string(l.vcs)
+                    + ")");
+    }
+    require(names.empty() || names.size() == num_nodes,
+            "fromGraph.names: size mismatch (" + std::to_string(names.size())
+                + " names vs " + std::to_string(num_nodes) + " nodes)");
+    require(coords.empty() || coords.size() == num_nodes,
+            "fromGraph.coords: size mismatch ("
+                + std::to_string(coords.size()) + " coords vs "
+                + std::to_string(num_nodes) + " nodes)");
+    if (!coords.empty()) {
+        for (std::size_t n = 1; n < coords.size(); ++n)
+            require(coords[n].size() == coords[0].size(),
+                    "fromGraph.coords[" + std::to_string(n)
+                        + "]: arity mismatch");
+    }
+    if (!names.empty()) {
+        auto sorted = names;
+        std::sort(sorted.begin(), sorted.end());
+        require(std::adjacent_find(sorted.begin(), sorted.end())
+                    == sorted.end(),
+                "fromGraph.names: duplicate node name");
+    }
+
+    Network net;
+    net.topoKind = TopologyKind::Custom;
+    net.nodeCount = num_nodes;
+    net.nodeNames = std::move(names);
+    net.nodeCoords = std::move(coords);
+    // Per-dimension VC summary over classified links (max per dim).
+    for (const Link &l : links) {
+        if (l.dim == kUnclassifiedDim)
+            continue;
+        if (net.vcsPerDim.size() <= l.dim)
+            net.vcsPerDim.resize(l.dim + 1, 0);
+        net.vcsPerDim[l.dim] = std::max(net.vcsPerDim[l.dim], l.vcs);
     }
     net.buildFromLinks(std::move(links));
     return net;
@@ -162,12 +343,39 @@ Network::buildFromLinks(std::vector<Link> links)
     linkFirstChannel.assign(linkTable.size(), 0);
     for (LinkId l = 0; l < linkTable.size(); ++l) {
         linkFirstChannel[l] = static_cast<ChannelId>(channelLink.size());
-        const int nvc = vcsPerDim[linkTable[l].dim];
-        EBDA_ASSERT(nvc >= 1, "dimension ", linkTable[l].dim,
-                    " has no VCs but carries links");
+        const int nvc = linkTable[l].vcs;
+        EBDA_ASSERT(nvc >= 1, "link ", l, " has no VCs");
         for (int v = 0; v < nvc; ++v) {
             channelLink.push_back(l);
             channelVc.push_back(static_cast<std::uint8_t>(v));
+        }
+    }
+
+    if (!hasGrid())
+        computeHopDistances();
+}
+
+void
+Network::computeHopDistances()
+{
+    constexpr std::uint16_t kUnreached = 0xffff;
+    hopDist.assign(nodeCount * nodeCount, kUnreached);
+    std::vector<NodeId> queue;
+    queue.reserve(nodeCount);
+    for (NodeId s = 0; s < nodeCount; ++s) {
+        std::uint16_t *row = hopDist.data() + s * nodeCount;
+        row[s] = 0;
+        queue.clear();
+        queue.push_back(s);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const NodeId u = queue[head];
+            for (LinkId l : outAdj[u]) {
+                const NodeId v = linkTable[l].dst;
+                if (row[v] == kUnreached) {
+                    row[v] = static_cast<std::uint16_t>(row[u] + 1);
+                    queue.push_back(v);
+                }
+            }
         }
     }
 }
@@ -176,6 +384,11 @@ Coord
 Network::coord(NodeId n) const
 {
     EBDA_ASSERT(n < nodeCount, "node ", n, " out of range");
+    if (stride.empty()) {
+        if (!nodeCoords.empty())
+            return nodeCoords[n];
+        return {};
+    }
     Coord c(radix.size());
     for (std::size_t d = 0; d < radix.size(); ++d)
         c[d] = static_cast<int>((n / stride[d])
@@ -186,6 +399,12 @@ Network::coord(NodeId n) const
 NodeId
 Network::node(const Coord &c) const
 {
+    if (stride.empty()) {
+        for (NodeId n = 0; n < nodeCoords.size(); ++n)
+            if (nodeCoords[n] == c)
+                return n;
+        EBDA_PANIC("no node at the given coordinates");
+    }
     EBDA_ASSERT(c.size() == radix.size(), "coordinate arity mismatch");
     std::size_t n = 0;
     for (std::size_t d = 0; d < radix.size(); ++d) {
@@ -199,6 +418,12 @@ Network::node(const Coord &c) const
 int
 Network::coordAlong(NodeId n, std::uint8_t d) const
 {
+    if (stride.empty()) {
+        EBDA_ASSERT(!nodeCoords.empty() && d < nodeCoords[n].size(),
+                    "node ", n, " has no coordinate along dim ",
+                    static_cast<int>(d));
+        return nodeCoords[n][d];
+    }
     return static_cast<int>((n / stride[d])
                             % static_cast<std::size_t>(radix[d]));
 }
@@ -206,10 +431,12 @@ Network::coordAlong(NodeId n, std::uint8_t d) const
 int
 Network::minimalOffset(NodeId a, NodeId b, std::uint8_t d) const
 {
+    EBDA_ASSERT(hasGrid(),
+                "minimalOffset needs grid coordinate arithmetic");
     const int ca = coordAlong(a, d);
     const int cb = coordAlong(b, d);
     int off = cb - ca;
-    if (torusNet && radix[d] >= 3) {
+    if (isTorus() && radix[d] >= 3) {
         const int k = radix[d];
         // Fold into (-k/2, k/2]; ties go positive.
         if (off > k / 2)
@@ -223,10 +450,44 @@ Network::minimalOffset(NodeId a, NodeId b, std::uint8_t d) const
 int
 Network::distance(NodeId a, NodeId b) const
 {
+    if (!hasGrid()) {
+        EBDA_ASSERT(!hopDist.empty(), "hop distances not computed");
+        const std::uint16_t d = hopDist[a * nodeCount + b];
+        return d == 0xffff ? -1 : static_cast<int>(d);
+    }
     int dist = 0;
     for (std::uint8_t d = 0; d < radix.size(); ++d)
         dist += std::abs(minimalOffset(a, b, d));
     return dist;
+}
+
+std::string
+Network::nodeName(NodeId n) const
+{
+    if (!nodeNames.empty())
+        return nodeNames[n];
+    if (!stride.empty() || !nodeCoords.empty()) {
+        const Coord co = coord(n);
+        std::ostringstream os;
+        os << '(';
+        for (std::size_t d = 0; d < co.size(); ++d) {
+            if (d)
+                os << ',';
+            os << co[d];
+        }
+        os << ')';
+        return os.str();
+    }
+    return "n" + std::to_string(n);
+}
+
+std::optional<NodeId>
+Network::findNode(const std::string &name) const
+{
+    for (NodeId n = 0; n < nodeNames.size(); ++n)
+        if (nodeNames[n] == name)
+            return n;
+    return std::nullopt;
 }
 
 std::optional<LinkId>
@@ -237,6 +498,15 @@ Network::linkFrom(NodeId n, std::uint8_t dim, Sign travel) const
         if (lk.dim == dim && lk.travelSign == travel)
             return l;
     }
+    return std::nullopt;
+}
+
+std::optional<LinkId>
+Network::linkBetween(NodeId src, NodeId dst) const
+{
+    for (LinkId l : outAdj[src])
+        if (linkTable[l].dst == dst)
+            return l;
     return std::nullopt;
 }
 
@@ -263,6 +533,8 @@ bool
 Network::channelInClass(ChannelId ch, const core::ChannelClass &cls) const
 {
     const Link &lk = linkTable[channelLink[ch]];
+    if (lk.dim == kUnclassifiedDim)
+        return false;
     if (lk.dim != cls.dim || lk.classSign != cls.sign
         || channelVc[ch] != cls.vc) {
         return false;
@@ -278,23 +550,13 @@ std::string
 Network::channelName(ChannelId c) const
 {
     const Link &lk = linkTable[channelLink[c]];
-    auto coord_str = [&](NodeId n) {
-        const Coord co = coord(n);
-        std::ostringstream os;
-        os << '(';
-        for (std::size_t d = 0; d < co.size(); ++d) {
-            if (d)
-                os << ',';
-            os << co[d];
-        }
-        os << ')';
-        return os.str();
-    };
     std::ostringstream os;
-    os << coord_str(lk.src) << "->" << coord_str(lk.dst) << ' '
-       << core::dimLetter(lk.dim)
-       << (lk.classSign == Sign::Pos ? '+' : '-') << " vc"
-       << static_cast<int>(channelVc[c]);
+    os << nodeName(lk.src) << "->" << nodeName(lk.dst);
+    if (lk.dim != kUnclassifiedDim) {
+        os << ' ' << core::dimLetter(lk.dim)
+           << (lk.classSign == Sign::Pos ? '+' : '-');
+    }
+    os << " vc" << static_cast<int>(channelVc[c]);
     if (lk.wrap)
         os << " (wrap)";
     return os.str();

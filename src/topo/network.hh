@@ -1,13 +1,14 @@
 /**
  * @file
  * Concrete network topologies: n-dimensional meshes, k-ary n-cubes
- * (tori) and vertically partially connected 3D meshes (the irregular
- * topology of Section 6.3).
+ * (tori), vertically partially connected 3D meshes (the irregular
+ * topology of Section 6.3), dragonflies, full meshes and arbitrary
+ * graphs.
  *
- * A Network is a set of nodes at integer coordinates joined by
- * unidirectional links; each link carries vcs(dim) virtual channels, and
- * each (link, VC) pair is one *concrete channel* — the unit the channel
- * dependency graph (cdg/) and the simulator (sim/) operate on.
+ * A Network is a set of nodes joined by unidirectional links; each link
+ * carries its own virtual-channel count, and each (link, VC) pair is one
+ * *concrete channel* — the unit the channel dependency graph (cdg/) and
+ * the simulator (sim/) operate on.
  *
  * Every link records two directions:
  *  - the travel sign: the router output port it leaves through, and
@@ -17,6 +18,16 @@
  * of the travel sign — this realises the paper's note to Theorem 2 that
  * a wrap-around traversal is a U-turn between the two directions of the
  * dimension.
+ *
+ * Links of graph topologies that have no meaningful dimension carry
+ * kUnclassifiedDim; such channels match no EbDa channel class, and only
+ * topology-agnostic machinery (relation CDG, Mendlovic–Matias checker,
+ * up/down routing, the simulator) operates on them.
+ *
+ * Grid topologies (mesh, torus, partial 3D mesh) support coordinate
+ * arithmetic (minimalOffset, offset-based distance). Non-grid
+ * topologies answer distance() from a precomputed BFS hop matrix and
+ * reject minimalOffset().
  */
 
 #ifndef EBDA_TOPO_NETWORK_HH
@@ -38,6 +49,9 @@ using ChannelId = std::uint32_t;
 /** Invalid-id sentinel. */
 constexpr std::uint32_t kInvalidId = 0xffffffffu;
 
+/** Dimension tag for links that belong to no EbDa channel class. */
+constexpr std::uint8_t kUnclassifiedDim = 0xff;
+
 /** Node coordinates, one entry per dimension. */
 using Coord = std::vector<int>;
 
@@ -46,7 +60,7 @@ struct Link
 {
     NodeId src = 0;
     NodeId dst = 0;
-    /** Dimension the link runs along. */
+    /** Dimension the link runs along (kUnclassifiedDim when none). */
     std::uint8_t dim = 0;
     /** Direction of travel (the output-port side at src). */
     core::Sign travelSign = core::Sign::Pos;
@@ -55,6 +69,8 @@ struct Link
     core::Sign classSign = core::Sign::Pos;
     /** True for torus wrap-around links. */
     bool wrap = false;
+    /** Virtual channels multiplexed on this link. */
+    int vcs = 1;
 };
 
 /** How torus wrap links are classified. */
@@ -66,8 +82,37 @@ enum class WrapClassification : std::uint8_t
     SameAsTravel,
 };
 
+/** Family a Network was built as. */
+enum class TopologyKind : std::uint8_t
+{
+    Mesh,
+    Torus,
+    PartialMesh3d,
+    Dragonfly,
+    FullMesh,
+    Custom,
+};
+
+/** Shape parameters of a canonical dragonfly. */
+struct DragonflyShape
+{
+    /** Routers per group. */
+    int a = 0;
+    /** Terminals per router (latency/stat bookkeeping only; the packet
+     *  model injects at routers). */
+    int p = 0;
+    /** Global links per router. */
+    int h = 0;
+    /** Groups: a * h + 1 in the canonical maximum-size arrangement. */
+    int groups = 0;
+};
+
 /**
  * A concrete interconnection network.
+ *
+ * Factories validate their parameters and throw std::invalid_argument
+ * with a path-named message ("mesh.dims[1]: ...") on degenerate input;
+ * accessors assert on programming errors.
  */
 class Network
 {
@@ -99,6 +144,44 @@ class Network
         const std::vector<std::pair<int, int>> &elevators);
 
     /**
+     * Canonical dragonfly at router granularity: g = a*h + 1 groups of
+     * a routers each; every group is an internal full mesh (dimension 0,
+     * local_vcs VCs per link) and owns a*h global links (dimension 1,
+     * global_vcs VCs), exactly one to every other group in the
+     * consecutive ("palmtree") arrangement: global port k of group g
+     * (owned by router k / h) reaches group (g + k + 1) mod g_total.
+     *
+     * Node id = group * a + router; coordinates are {router, group}.
+     *
+     * @param a routers per group (>= 2)
+     * @param p terminals per router (>= 1; recorded, not materialised)
+     * @param h global links per router (>= 1)
+     */
+    static Network dragonfly(int a, int p, int h, int local_vcs = 2,
+                             int global_vcs = 1);
+
+    /** Full mesh (complete graph) on n nodes; every ordered pair gets a
+     *  direct link with the given VC count (dimension 0). */
+    static Network fullMesh(int n, int vcs = 1);
+
+    /**
+     * Arbitrary graph from an explicit link list. Links keep whatever
+     * dim/sign classification the caller assigned (kUnclassifiedDim for
+     * none) and their per-link VC counts. Self-links are rejected;
+     * parallel links are allowed.
+     *
+     * @param num_nodes node count; link endpoints must be < num_nodes
+     * @param links the unidirectional link list
+     * @param names optional per-node names (size num_nodes or empty)
+     * @param coords optional per-node coordinates, all the same arity
+     *               (size num_nodes or empty)
+     */
+    static Network fromGraph(std::size_t num_nodes,
+                             std::vector<Link> links,
+                             std::vector<std::string> names = {},
+                             std::vector<Coord> coords = {});
+
+    /**
      * A copy of this network with the listed unidirectional links
      * removed (fault injection). Each pair is (src, dst) node ids; both
      * directions of a failed physical channel must be listed explicitly
@@ -122,29 +205,59 @@ class Network
         return static_cast<std::uint8_t>(radix.size());
     }
     const std::vector<int> &dims() const { return radix; }
+
+    /** Per-dimension VC counts. For graph topologies this is the
+     *  maximum per classified dimension; prefer vcsOnLink(). */
     const std::vector<int> &vcs() const { return vcsPerDim; }
-    bool isTorus() const { return torusNet; }
+    bool isTorus() const { return topoKind == TopologyKind::Torus; }
+    TopologyKind kind() const { return topoKind; }
+
+    /** True when coordinate arithmetic (minimalOffset, offset-based
+     *  distance, wrap classes) is meaningful: mesh / torus / partial
+     *  3D mesh. */
+    bool hasGrid() const
+    {
+        return topoKind == TopologyKind::Mesh
+            || topoKind == TopologyKind::Torus
+            || topoKind == TopologyKind::PartialMesh3d;
+    }
+
+    /** Dragonfly shape parameters (only for dragonfly networks). */
+    std::optional<DragonflyShape> dragonflyShape() const
+    {
+        if (topoKind != TopologyKind::Dragonfly)
+            return std::nullopt;
+        return dfShape;
+    }
 
     /** @} */
 
     /** @name Coordinates
      *  @{ */
 
-    /** Coordinates of a node. */
+    /** Coordinates of a node. Empty when the topology has none. */
     Coord coord(NodeId n) const;
 
-    /** Node id of coordinates (must be in range). */
+    /** Node id of coordinates (must name an existing node). */
     NodeId node(const Coord &c) const;
 
-    /** Coordinate of node n along dimension d. */
+    /** Coordinate of node n along dimension d (dense grids only). */
     int coordAlong(NodeId n, std::uint8_t d) const;
 
-    /** Minimal hop distance between nodes (torus-aware). */
+    /** Minimal hop distance between nodes. Coordinate arithmetic on
+     *  grids, precomputed BFS hops elsewhere; -1 when unreachable. */
     int distance(NodeId a, NodeId b) const;
 
     /** Signed minimal offset from a to b along dimension d; for tori the
-     *  shorter way around, ties broken toward positive. */
+     *  shorter way around, ties broken toward positive. Grids only. */
     int minimalOffset(NodeId a, NodeId b, std::uint8_t d) const;
+
+    /** Name of a node: its assigned name, else its coordinate tuple,
+     *  else "n<id>". */
+    std::string nodeName(NodeId n) const;
+
+    /** Node with the given assigned name, if any. */
+    std::optional<NodeId> findNode(const std::string &name) const;
 
     /** @} */
 
@@ -166,8 +279,11 @@ class Network
     std::optional<LinkId> linkFrom(NodeId n, std::uint8_t dim,
                                    core::Sign travel) const;
 
-    /** Number of VCs on a link (= vcs of its dimension). */
-    int vcsOnLink(LinkId l) const { return vcsPerDim[linkTable[l].dim]; }
+    /** The first link from src to dst, if present. */
+    std::optional<LinkId> linkBetween(NodeId src, NodeId dst) const;
+
+    /** Number of VCs on a link. */
+    int vcsOnLink(LinkId l) const { return linkTable[l].vcs; }
 
     /** Concrete channel of (link, vc). */
     ChannelId channel(LinkId l, int vc) const;
@@ -194,7 +310,8 @@ class Network
     /**
      * True when channel ch belongs to channel class cls: dimension, class
      * sign and VC match and the source-node coordinate on the parity axis
-     * satisfies the class's parity region.
+     * satisfies the class's parity region. Unclassified channels match
+     * no class.
      */
     bool channelInClass(ChannelId ch, const core::ChannelClass &cls) const;
 
@@ -207,12 +324,22 @@ class Network
     Network() = default;
 
     void buildFromLinks(std::vector<Link> links);
+    void computeHopDistances();
 
     std::size_t nodeCount = 0;
     std::vector<int> radix;
     std::vector<int> vcsPerDim;
     std::vector<std::size_t> stride;
-    bool torusNet = false;
+    TopologyKind topoKind = TopologyKind::Mesh;
+    DragonflyShape dfShape;
+
+    /** Explicit per-node coordinates / names (graph topologies). */
+    std::vector<Coord> nodeCoords;
+    std::vector<std::string> nodeNames;
+
+    /** Dense BFS hop matrix (row-major, 0xffff = unreachable) for
+     *  topologies without grid coordinate arithmetic. */
+    std::vector<std::uint16_t> hopDist;
 
     std::vector<Link> linkTable;
     std::vector<std::vector<LinkId>> outAdj;

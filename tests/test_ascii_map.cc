@@ -1,0 +1,232 @@
+/**
+ * @file
+ * ASCII-map DSL: grammar coverage (connector runs, VC markers, one-way
+ * and dead links, edge-list lines), classification and coordinates,
+ * equivalence with factory-built networks, and position-named parse
+ * errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "topo/ascii_map.hh"
+#include "topo/network.hh"
+
+namespace ebda::topo {
+namespace {
+
+template <typename Fn>
+void
+expectParseError(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected std::invalid_argument containing '" << needle
+               << "'";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(AsciiMap, GridWithVcMarkers)
+{
+    const auto parsed = parseAsciiMap("A--B==C\n"
+                                      "|     !\n"
+                                      "D--E--F\n");
+    const Network &net = parsed.network;
+    EXPECT_TRUE(parsed.deadLinks.empty());
+    EXPECT_EQ(net.kind(), TopologyKind::Custom);
+    EXPECT_EQ(net.numNodes(), 6u);
+    // Six undirected connections, two directed links each.
+    EXPECT_EQ(net.numLinks(), 12u);
+    // VCs: A-B 1, B=C 2, A|D 1, C!F 2, D-E 1, E-F 1 (per direction).
+    EXPECT_EQ(net.numChannels(), 2u * (1 + 2 + 1 + 2 + 1 + 1));
+
+    // Node ids in ASCII order: A..F -> 0..5.
+    ASSERT_TRUE(net.findNode("A").has_value());
+    ASSERT_TRUE(net.findNode("F").has_value());
+    const NodeId a = *net.findNode("A"), b = *net.findNode("B"),
+                 c = *net.findNode("C"), d = *net.findNode("D"),
+                 f = *net.findNode("F");
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(f, 5u);
+    EXPECT_FALSE(net.findNode("Z").has_value());
+
+    const auto ab = net.linkBetween(a, b);
+    ASSERT_TRUE(ab.has_value());
+    EXPECT_EQ(net.vcsOnLink(*ab), 1);
+    EXPECT_EQ(net.link(*ab).dim, 0);
+    EXPECT_EQ(net.link(*ab).travelSign, core::Sign::Pos);
+
+    const auto bc = net.linkBetween(b, c);
+    ASSERT_TRUE(bc.has_value());
+    EXPECT_EQ(net.vcsOnLink(*bc), 2);
+
+    const auto ad = net.linkBetween(a, d);
+    ASSERT_TRUE(ad.has_value());
+    EXPECT_EQ(net.link(*ad).dim, 1);
+    const auto cf = net.linkBetween(c, f);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_EQ(net.vcsOnLink(*cf), 2);
+
+    // Coordinates are (column, row) character positions.
+    EXPECT_EQ(net.coord(a), (Coord{0, 0}));
+    EXPECT_EQ(net.coord(b), (Coord{3, 0}));
+    EXPECT_EQ(net.coord(f), (Coord{6, 2}));
+
+    // Unlinked diagonal pairs route over BFS distance.
+    EXPECT_EQ(net.distance(a, f), 3);
+    EXPECT_EQ(net.distance(a, b), 1);
+}
+
+TEST(AsciiMap, OneWayRuns)
+{
+    const auto parsed = parseAsciiMap("A->B<-C\n");
+    const Network &net = parsed.network;
+    const NodeId a = *net.findNode("A"), b = *net.findNode("B"),
+                 c = *net.findNode("C");
+    EXPECT_EQ(net.numLinks(), 2u);
+    EXPECT_TRUE(net.linkBetween(a, b).has_value());
+    EXPECT_FALSE(net.linkBetween(b, a).has_value());
+    EXPECT_TRUE(net.linkBetween(c, b).has_value());
+    EXPECT_FALSE(net.linkBetween(b, c).has_value());
+    // One-way connectivity reflected in BFS distances.
+    EXPECT_EQ(net.distance(a, b), 1);
+    EXPECT_EQ(net.distance(b, a), -1);
+}
+
+TEST(AsciiMap, DeadLinksAreRemovedAndReported)
+{
+    const auto parsed = parseAsciiMap("A--B\n"
+                                      "x  |\n"
+                                      "C--D\n");
+    const Network &net = parsed.network;
+    const NodeId a = *net.findNode("A"), c = *net.findNode("C");
+    EXPECT_FALSE(net.linkBetween(a, c).has_value());
+    EXPECT_FALSE(net.linkBetween(c, a).has_value());
+    ASSERT_EQ(parsed.deadLinks.size(), 2u);
+    // Both directions of the bidirectional dead link are listed.
+    EXPECT_EQ(parsed.deadLinks[0], (std::pair<NodeId, NodeId>{a, c}));
+    EXPECT_EQ(parsed.deadLinks[1], (std::pair<NodeId, NodeId>{c, a}));
+    // The survivors still connect A to C the long way round.
+    EXPECT_EQ(net.distance(a, c), 3);
+}
+
+TEST(AsciiMap, EdgeListLines)
+{
+    // A complete K4 no planar picture can draw: isolated nodes plus an
+    // explicit edge list with VC and direction markers.
+    const auto parsed = parseAsciiMap("A B\n"
+                                      "C D\n"
+                                      "+ A-B:3 A=C B-C\n"
+                                      "+ A>D  BxD  C-D\n");
+    const Network &net = parsed.network;
+    const NodeId a = *net.findNode("A"), b = *net.findNode("B"),
+                 c = *net.findNode("C"), d = *net.findNode("D");
+
+    const auto ab = net.linkBetween(a, b);
+    ASSERT_TRUE(ab.has_value());
+    EXPECT_EQ(net.vcsOnLink(*ab), 3);
+    EXPECT_EQ(net.link(*ab).dim, kUnclassifiedDim);
+    EXPECT_EQ(net.vcsOnLink(*net.linkBetween(b, a)), 3);
+    EXPECT_EQ(net.vcsOnLink(*net.linkBetween(a, c)), 2);
+
+    // A>D is one-way.
+    EXPECT_TRUE(net.linkBetween(a, d).has_value());
+    EXPECT_FALSE(net.linkBetween(d, a).has_value());
+
+    // BxD is dead in both directions.
+    EXPECT_FALSE(net.linkBetween(b, d).has_value());
+    ASSERT_EQ(parsed.deadLinks.size(), 2u);
+    EXPECT_EQ(parsed.deadLinks[0], (std::pair<NodeId, NodeId>{b, d}));
+
+    // Unclassified links never satisfy a channel-class query.
+    for (ChannelId ch = 0; ch < net.numChannels(); ++ch)
+        EXPECT_FALSE(net.channelInClass(
+            ch, core::ChannelClass{0, core::Sign::Pos, 0}));
+}
+
+TEST(AsciiMap, DefaultVcsAppliesToPlainConnectors)
+{
+    AsciiMapOptions opts;
+    opts.defaultVcs = 2;
+    const auto parsed = parseAsciiMap("A--B\n"
+                                      "|  |\n"
+                                      "C--D\n"
+                                      "+ A-D:1\n",
+                                      opts);
+    const Network &net = parsed.network;
+    const NodeId a = *net.findNode("A"), b = *net.findNode("B"),
+                 d = *net.findNode("D");
+    EXPECT_EQ(net.vcsOnLink(*net.linkBetween(a, b)), 2);
+    // Explicit :1 beats the default.
+    EXPECT_EQ(net.vcsOnLink(*net.linkBetween(a, d)), 1);
+}
+
+TEST(AsciiMap, EquivalentToFactoryMesh)
+{
+    // A drawn 3x3 grid must be isomorphic to mesh({3,3}) under the
+    // coordinate mapping (ASCII cols/rows scale by 2).
+    const auto parsed = parseAsciiMap("A-B-C\n"
+                                      "| | |\n"
+                                      "D-E-F\n"
+                                      "| | |\n"
+                                      "G-H-I\n");
+    const Network &drawn = parsed.network;
+    const auto factory = Network::mesh({3, 3}, {1, 1});
+    ASSERT_EQ(drawn.numNodes(), factory.numNodes());
+    EXPECT_EQ(drawn.numLinks(), factory.numLinks());
+    EXPECT_EQ(drawn.numChannels(), factory.numChannels());
+
+    auto drawnAt = [&](int x, int y) {
+        return drawn.node(Coord{2 * x, 2 * y});
+    };
+    for (int sy = 0; sy < 3; ++sy)
+        for (int sx = 0; sx < 3; ++sx)
+            for (int ty = 0; ty < 3; ++ty)
+                for (int tx = 0; tx < 3; ++tx)
+                    EXPECT_EQ(
+                        drawn.distance(drawnAt(sx, sy), drawnAt(tx, ty)),
+                        factory.distance(factory.node({sx, sy}),
+                                         factory.node({tx, ty})));
+}
+
+TEST(AsciiMap, ParseErrorsArePositionNamed)
+{
+    expectParseError([] { parseAsciiMap("A--B\nA--C\n"); },
+                     "line 2, col 1: duplicate node 'A'");
+    expectParseError([] { parseAsciiMap("A--\n"); },
+                     "dangling horizontal link from 'A'");
+    expectParseError([] { parseAsciiMap("A\n|\n"); },
+                     "dangling vertical link from 'A'");
+    expectParseError([] { parseAsciiMap("A -B\n"); }, "stray connector");
+    expectParseError([] { parseAsciiMap("A<->B\n"); },
+                     "conflicting direction markers");
+    expectParseError([] { parseAsciiMap("A@B\n"); },
+                     "unexpected character '@'");
+    expectParseError([] { parseAsciiMap("A B\n+ A-Z\n"); },
+                     "unknown node 'Z'");
+    expectParseError([] { parseAsciiMap("A B\n+ AB\n"); },
+                     "bad edge token 'AB'");
+    expectParseError([] { parseAsciiMap("A B\n+ A-A\n"); },
+                     "self-link");
+    expectParseError([] { parseAsciiMap("A B\n+ A-B:0\n"); },
+                     "VC count must be >= 1");
+    expectParseError([] { parseAsciiMap("A B\n+ A-B:q\n"); },
+                     "bad VC suffix");
+    expectParseError([] { parseAsciiMap("+ A-B\nA B\n"); },
+                     "picture rows may not follow edge-list lines");
+    expectParseError([] { parseAsciiMap("   \n"); }, "no nodes");
+    expectParseError(
+        [] {
+            AsciiMapOptions opts;
+            opts.defaultVcs = 0;
+            parseAsciiMap("A-B\n", opts);
+        },
+        "defaultVcs");
+}
+
+} // namespace
+} // namespace ebda::topo

@@ -228,5 +228,97 @@ TEST(Cycles, RandomGraphsAgreeWithToposort)
     }
 }
 
+TEST(Cycles, CycleInDisconnectedComponentIsFound)
+{
+    // Component {0,1,2} is an acyclic chain; component {3,4,5} hides
+    // the triangle. No edges join the two.
+    Digraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    g.addEdge(5, 3);
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    expectValidCycle(g, report.cycle);
+    for (const NodeId n : report.cycle)
+        EXPECT_GE(n, 3u) << "cycle must lie in the second component";
+}
+
+TEST(Cycles, DisconnectedAcyclicComponentsAndIsolatedNodes)
+{
+    Digraph g(7); // two chains + self-contained isolated nodes 4..6
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_TRUE(findCycle(g).acyclic);
+    const auto order = topologicalSort(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(order->size(), 7u);
+}
+
+TEST(Cycles, SelfLoopAmidDisconnectedDag)
+{
+    // The only cycle is a self-loop buried in an otherwise acyclic,
+    // disconnected graph.
+    Digraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(3, 4);
+    g.addEdge(2, 2);
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    ASSERT_EQ(report.cycle.size(), 1u);
+    EXPECT_EQ(report.cycle[0], 2u);
+}
+
+TEST(Cycles, MultiEdgeDoesNotFabricateACycle)
+{
+    // Parallel edges collapse (addEdge dedups); a doubled edge u->v
+    // must not read as the 2-cycle u->v->u.
+    Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(1, 2);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(findCycle(g).acyclic);
+    // ... while a genuine antiparallel pair is a cycle.
+    g.addEdge(1, 0);
+    const auto report = findCycle(g);
+    EXPECT_FALSE(report.acyclic);
+    expectValidCycle(g, report.cycle);
+    EXPECT_EQ(report.cycle.size(), 2u);
+}
+
+TEST(Scc, SelfLoopAndMultiEdgeComponents)
+{
+    // A self-loop makes a singleton component that is genuinely
+    // cyclic; duplicate edges change nothing.
+    Digraph g(4);
+    g.addEdge(0, 0);
+    g.addEdge(0, 1);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    std::uint32_t count = 0;
+    const auto comp = stronglyConnectedComponents(g, &count);
+    EXPECT_EQ(count, 4u);
+    std::set<std::uint32_t> distinct(comp.begin(), comp.end());
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(Scc, DisconnectedCyclesGetDistinctComponents)
+{
+    Digraph g(6);
+    for (NodeId u = 0; u < 3; ++u)
+        g.addEdge(u, (u + 1) % 3);
+    for (NodeId u = 3; u < 6; ++u)
+        g.addEdge(u, u == 5 ? 3 : u + 1);
+    std::uint32_t count = 0;
+    const auto comp = stronglyConnectedComponents(g, &count);
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(comp[0], comp[2]);
+    EXPECT_EQ(comp[3], comp[5]);
+    EXPECT_NE(comp[0], comp[3]);
+}
+
 } // namespace
 } // namespace ebda::graph

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The Mendlovic–Matias checker cross-checked against the Dally
+ * relation-CDG oracle over the whole routing catalog, the documented
+ * strictness gap on Duato's relation, the new dragonfly / full-mesh
+ * engines with their deadlock-prone negative controls, and the
+ * routing-existence checker on raw digraphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cdg/mm_check.hh"
+#include "cdg/relation_cdg.hh"
+#include "core/catalog.hh"
+#include "graph/digraph.hh"
+#include "routing/baselines.hh"
+#include "routing/dateline.hh"
+#include "routing/dragonfly.hh"
+#include "routing/duato.hh"
+#include "routing/ebda_routing.hh"
+#include "routing/elevator.hh"
+#include "routing/fullmesh.hh"
+#include "routing/updown.hh"
+#include "topo/network.hh"
+
+namespace ebda {
+namespace {
+
+/**
+ * Both checkers must agree with the expected verdict. On agreement the
+ * MM report's internals are validated too: a full release order when
+ * deadlock-free, a non-empty knot witness otherwise.
+ */
+void
+expectBothCheckersAgree(const cdg::RoutingRelation &r, bool expect_free)
+{
+    SCOPED_TRACE(r.name());
+    const auto dally = cdg::checkDeadlockFree(r);
+    const auto mm = cdg::checkMendlovicMatias(r);
+    EXPECT_EQ(dally.deadlockFree, expect_free);
+    EXPECT_EQ(mm.deadlockFree, expect_free);
+    if (expect_free) {
+        EXPECT_EQ(mm.releaseOrder.size(), mm.occupiableChannels);
+        const std::set<topo::ChannelId> uniq(mm.releaseOrder.begin(),
+                                             mm.releaseOrder.end());
+        EXPECT_EQ(uniq.size(), mm.releaseOrder.size());
+        EXPECT_TRUE(mm.stuckWitness.empty());
+    } else {
+        EXPECT_LT(mm.releaseOrder.size(), mm.occupiableChannels);
+        EXPECT_FALSE(mm.stuckWitness.empty());
+    }
+}
+
+TEST(MmCatalog, MeshDeterministicAndTurnModelRelations)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    expectBothCheckersAgree(routing::DimensionOrderRouting::xy(net), true);
+    expectBothCheckersAgree(routing::DimensionOrderRouting::yx(net), true);
+    expectBothCheckersAgree(routing::WestFirstRouting(net), true);
+    expectBothCheckersAgree(routing::NorthLastRouting(net), true);
+    expectBothCheckersAgree(routing::NegativeFirstRouting(net), true);
+    expectBothCheckersAgree(routing::OddEvenRouting(net), true);
+}
+
+TEST(MmCatalog, UnrestrictedMinimalAdaptiveDeadlocksOnBoth)
+{
+    const auto net = topo::Network::mesh({3, 3}, {1, 1});
+    expectBothCheckersAgree(routing::MinimalAdaptiveRouting(net), false);
+}
+
+TEST(MmCatalog, EbdaPartitionSchemesOnMesh)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    expectBothCheckersAgree(
+        routing::EbDaRouting(net, core::schemeFig7b()), true);
+    expectBothCheckersAgree(
+        routing::EbDaRouting(net, core::schemeFig7c()), true);
+}
+
+TEST(MmCatalog, TorusDateline)
+{
+    const auto net = topo::Network::torus({4, 4}, {2, 2});
+    expectBothCheckersAgree(routing::TorusDatelineRouting(net), true);
+}
+
+TEST(MmCatalog, Partial3dElevatorAndUpDown)
+{
+    const std::vector<std::pair<int, int>> elevators = {{0, 0}, {2, 1}};
+    const auto net =
+        topo::Network::partialMesh3d({3, 3, 2}, {2, 2, 1}, elevators);
+    expectBothCheckersAgree(
+        routing::ElevatorFirstRouting(net, elevators), true);
+    expectBothCheckersAgree(routing::UpDownRouting(net), true);
+}
+
+TEST(MmCatalog, DuatoStrictnessGap)
+{
+    // The documented divergence: Duato's fully adaptive relation has a
+    // cyclic full CDG (Dally's criterion rejects it — pinned in
+    // test_duato.cc) yet every packet can always drain through the
+    // escape sub-DAG, so the exact MM fixpoint peels everything.
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    const routing::DuatoFullyAdaptive r(net);
+    EXPECT_FALSE(cdg::checkDeadlockFree(r).deadlockFree);
+    const auto mm = cdg::checkMendlovicMatias(r);
+    EXPECT_TRUE(mm.deadlockFree);
+    EXPECT_EQ(mm.releaseOrder.size(), mm.occupiableChannels);
+}
+
+TEST(MmCatalog, DragonflyEscapeVcAndNegativeControl)
+{
+    const auto net = topo::Network::dragonfly(4, 2, 2);
+    expectBothCheckersAgree(routing::DragonflyMinRouting(net, 4), true);
+    expectBothCheckersAgree(
+        routing::DragonflyMinRouting(net, 4, /*vc_escalation=*/false),
+        false);
+}
+
+TEST(MmCatalog, FullMeshAscendAndNegativeControl)
+{
+    const auto net = topo::Network::fullMesh(8);
+    expectBothCheckersAgree(routing::FullMeshRouting(net), true);
+    expectBothCheckersAgree(
+        routing::FullMeshRouting(
+            net, routing::FullMeshRouting::Mode::Unrestricted),
+        false);
+}
+
+// ---------------------------------------------------------------------
+// Routing-existence checker on raw digraphs.
+
+/**
+ * Validates an Exists certificate: it must be a permutation of the
+ * graph's edges, and walking it ascending must reach every pair the
+ * graph connects (the P-matrix of rank-ascending reachability).
+ */
+void
+expectValidOrderCertificate(
+    const graph::Digraph &g,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>> &order)
+{
+    std::set<std::pair<graph::NodeId, graph::NodeId>> uniq(order.begin(),
+                                                           order.end());
+    ASSERT_EQ(uniq.size(), order.size());
+    ASSERT_EQ(order.size(), g.numEdges());
+    for (const auto &[u, v] : order)
+        ASSERT_TRUE(g.hasEdge(u, v));
+
+    const std::size_t n = g.numNodes();
+    std::vector<char> ascend(n * n, 0); // ascend[s*n+v]
+    for (const auto &[u, v] : order)
+        for (graph::NodeId s = 0; s < n; ++s)
+            if (s == u || ascend[s * n + u])
+                ascend[s * n + v] = 1;
+
+    // Plain reachability, for comparison.
+    for (graph::NodeId s = 0; s < n; ++s) {
+        std::vector<char> seen(n, 0);
+        std::vector<graph::NodeId> queue = {s};
+        for (std::size_t head = 0; head < queue.size(); ++head)
+            for (const auto v : g.successors(queue[head]))
+                if (!seen[v]) {
+                    seen[v] = 1;
+                    queue.push_back(v);
+                }
+        for (graph::NodeId t = 0; t < n; ++t)
+            if (t != s && seen[t])
+                EXPECT_TRUE(ascend[s * n + t])
+                    << "no ascending path " << s << " -> " << t;
+    }
+}
+
+TEST(RoutingExistence, UnidirectionalRingsHaveNoDeadlockFreeRouting)
+{
+    for (const std::size_t n : {3u, 4u}) {
+        graph::Digraph g(n);
+        for (graph::NodeId u = 0; u < n; ++u)
+            g.addEdge(u, (u + 1) % n);
+        const auto rep = cdg::deadlockFreeRoutingExists(g);
+        EXPECT_EQ(rep.verdict,
+                  cdg::ExistenceReport::Verdict::NotExists)
+            << "ring of " << n;
+        EXPECT_EQ(rep.method, "exact");
+    }
+}
+
+TEST(RoutingExistence, ChordDoesNotRescueTheRing)
+{
+    // C4 plus chord 0 -> 2: the chord shortens some routes but pairs
+    // like (1, 0) and (3, 2) still force full ring traversals whose
+    // dependencies close a cycle.
+    graph::Digraph g(4);
+    for (graph::NodeId u = 0; u < 4; ++u)
+        g.addEdge(u, (u + 1) % 4);
+    g.addEdge(0, 2);
+    const auto rep = cdg::deadlockFreeRoutingExists(g);
+    EXPECT_EQ(rep.verdict, cdg::ExistenceReport::Verdict::NotExists);
+    EXPECT_EQ(rep.method, "exact");
+}
+
+TEST(RoutingExistence, DagAlwaysAdmitsTopoOrder)
+{
+    graph::Digraph g(4); // diamond 0 -> {1, 2} -> 3
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    const auto rep = cdg::deadlockFreeRoutingExists(g);
+    ASSERT_EQ(rep.verdict, cdg::ExistenceReport::Verdict::Exists);
+    EXPECT_EQ(rep.method, "topo-order");
+    expectValidOrderCertificate(g, rep.certificate);
+}
+
+TEST(RoutingExistence, BidirectedGraphAdmitsUpDownOrder)
+{
+    // Bidirected 2x2 mesh (the digraph of a 4-node switch fabric).
+    graph::Digraph g(4);
+    const std::pair<graph::NodeId, graph::NodeId> undirected[] = {
+        {0, 1}, {2, 3}, {0, 2}, {1, 3}};
+    for (const auto &[u, v] : undirected) {
+        g.addEdge(u, v);
+        g.addEdge(v, u);
+    }
+    const auto rep = cdg::deadlockFreeRoutingExists(g);
+    ASSERT_EQ(rep.verdict, cdg::ExistenceReport::Verdict::Exists);
+    EXPECT_EQ(rep.method, "updown-order");
+    expectValidOrderCertificate(g, rep.certificate);
+}
+
+TEST(RoutingExistence, MixedSmallGraphSolvedExactly)
+{
+    // 0 <-> 1 <-> 2 plus the one-way chord 0 -> 2: neither a DAG nor
+    // bidirected, 5 edges — the exhaustive search must find an order
+    // (e.g. release 2->1 and 1->0 first).
+    graph::Digraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 0);
+    g.addEdge(1, 2);
+    g.addEdge(2, 1);
+    g.addEdge(0, 2);
+    const auto rep = cdg::deadlockFreeRoutingExists(g);
+    ASSERT_EQ(rep.verdict, cdg::ExistenceReport::Verdict::Exists);
+    EXPECT_EQ(rep.method, "exact");
+    expectValidOrderCertificate(g, rep.certificate);
+}
+
+TEST(RoutingExistence, LargeRingRefutedByForcedCycle)
+{
+    // 10 edges exceeds the exact-search budget gate; the forced-
+    // dependency refutation must still prove NotExists: every edge is
+    // unavoidable for some pair and has a unique continuation.
+    graph::Digraph g(10);
+    for (graph::NodeId u = 0; u < 10; ++u)
+        g.addEdge(u, (u + 1) % 10);
+    const auto rep = cdg::deadlockFreeRoutingExists(g);
+    ASSERT_EQ(rep.verdict, cdg::ExistenceReport::Verdict::NotExists);
+    EXPECT_EQ(rep.method, "forced-cycle");
+    EXPECT_FALSE(rep.certificate.empty());
+    for (const auto &[u, v] : rep.certificate)
+        EXPECT_TRUE(g.hasEdge(u, v));
+}
+
+TEST(RoutingExistence, EmptyAndEdgelessGraphsTriviallyExist)
+{
+    EXPECT_EQ(cdg::deadlockFreeRoutingExists(graph::Digraph(0)).verdict,
+              cdg::ExistenceReport::Verdict::Exists);
+    EXPECT_EQ(cdg::deadlockFreeRoutingExists(graph::Digraph(5)).verdict,
+              cdg::ExistenceReport::Verdict::Exists);
+}
+
+} // namespace
+} // namespace ebda

@@ -229,9 +229,162 @@ TEST(Network, InvalidArgumentsPanic)
 {
     const auto net = Network::mesh({3, 3}, {1, 1});
     EXPECT_DEATH(net.node({5, 0}), "out of range");
-    EXPECT_DEATH(Network::mesh({3}, {1, 1}), "size mismatch");
-    EXPECT_DEATH(Network::partialMesh3d({3, 3, 3}, {1, 1, 1}, {}),
-                 "elevator");
+}
+
+/** Expect an std::invalid_argument whose message contains `needle`. */
+template <typename Fn>
+void
+expectRejected(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected std::invalid_argument (" << needle << ")";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "error was: " << e.what();
+    }
+}
+
+TEST(Network, FactoriesRejectDegenerateParameters)
+{
+    expectRejected([] { Network::mesh({3}, {1, 1}); }, "size mismatch");
+    expectRejected([] { Network::mesh({}, {}); },
+                   "mesh.dims: must not be empty");
+    expectRejected([] { Network::mesh({3, 1}, {1, 1}); },
+                   "mesh.dims[1]: radix must be >= 2");
+    expectRejected([] { Network::mesh({3, 3}, {1, 0}); },
+                   "mesh.vcs[1]: must be >= 1");
+    expectRejected([] { Network::torus({0}, {1}); }, "torus.dims[0]");
+    expectRejected(
+        [] { Network::partialMesh3d({3, 3, 3}, {1, 1, 1}, {}); },
+        "partialMesh3d.elevators");
+    expectRejected(
+        [] { Network::partialMesh3d({3, 3}, {1, 1}, {{0, 0}}); },
+        "partialMesh3d.dims: need exactly 3 dimensions");
+    expectRejected(
+        [] { Network::partialMesh3d({3, 3, 3}, {1, 1, 1}, {{3, 0}}); },
+        "partialMesh3d.elevators[0]");
+    expectRejected([] { Network::dragonfly(1, 1, 1); }, "dragonfly.a");
+    expectRejected([] { Network::dragonfly(4, 0, 2); }, "dragonfly.p");
+    expectRejected([] { Network::dragonfly(4, 2, 2, 0); },
+                   "dragonfly.localVcs");
+    expectRejected([] { Network::fullMesh(1); }, "fullMesh.n");
+    expectRejected([] { Network::fullMesh(4, 0); }, "fullMesh.vcs");
+}
+
+TEST(Dragonfly, ShapeAndGlobalLinkPairing)
+{
+    // a=4, h=2: 9 groups of 4 routers.
+    const auto net = Network::dragonfly(4, 2, 2);
+    ASSERT_TRUE(net.dragonflyShape().has_value());
+    EXPECT_EQ(net.dragonflyShape()->groups, 9);
+    EXPECT_EQ(net.numNodes(), 36u);
+    // Per group: 4*3 local + 4*2 global unidirectional links.
+    EXPECT_EQ(net.numLinks(), 9u * (12 + 8));
+    // Default VCs: 2 local, 1 global.
+    EXPECT_EQ(net.numChannels(), 9u * (12 * 2 + 8 * 1));
+    EXPECT_FALSE(net.hasGrid());
+    EXPECT_EQ(net.kind(), TopologyKind::Dragonfly);
+
+    std::size_t global_links = 0;
+    for (LinkId l = 0; l < net.numLinks(); ++l) {
+        const Link &lk = net.link(l);
+        if (lk.dim == 1) {
+            ++global_links;
+            // Endpoints are in different groups, and the reverse link
+            // exists (global channels are bidirectional pairs).
+            EXPECT_NE(lk.src / 4, lk.dst / 4);
+            EXPECT_TRUE(net.linkBetween(lk.dst, lk.src).has_value());
+        } else {
+            EXPECT_EQ(lk.src / 4, lk.dst / 4);
+        }
+    }
+    EXPECT_EQ(global_links, 9u * 8);
+
+    // Exactly one global link from each group to every other group.
+    for (int g = 0; g < 9; ++g) {
+        std::set<int> reached;
+        for (LinkId l = 0; l < net.numLinks(); ++l) {
+            const Link &lk = net.link(l);
+            if (lk.dim == 1 && static_cast<int>(lk.src) / 4 == g)
+                EXPECT_TRUE(reached.insert(lk.dst / 4).second)
+                    << "duplicate global link " << g << "->" << lk.dst / 4;
+        }
+        EXPECT_EQ(reached.size(), 8u);
+        EXPECT_EQ(reached.count(g), 0u);
+    }
+
+    // Diameter via BFS distances: at most l-g-l = 3 hops.
+    for (NodeId u = 0; u < net.numNodes(); ++u)
+        for (NodeId v = 0; v < net.numNodes(); ++v) {
+            const int d = net.distance(u, v);
+            ASSERT_GE(d, 0);
+            EXPECT_LE(d, 3);
+        }
+}
+
+TEST(FullMesh, ShapeAndDistances)
+{
+    const auto net = Network::fullMesh(8, 1);
+    EXPECT_EQ(net.numNodes(), 8u);
+    EXPECT_EQ(net.numLinks(), 8u * 7);
+    EXPECT_EQ(net.numChannels(), 8u * 7);
+    EXPECT_EQ(net.kind(), TopologyKind::FullMesh);
+    EXPECT_FALSE(net.hasGrid());
+    for (NodeId u = 0; u < 8; ++u)
+        for (NodeId v = 0; v < 8; ++v)
+            EXPECT_EQ(net.distance(u, v), u == v ? 0 : 1);
+}
+
+TEST(FromGraph, UnclassifiedLinksAndNames)
+{
+    // A -> B -> C plus a 2-VC back edge C -> A.
+    std::vector<Link> links = {
+        Link{0, 1, kUnclassifiedDim, Sign::Pos, Sign::Pos, false, 1},
+        Link{1, 2, kUnclassifiedDim, Sign::Pos, Sign::Pos, false, 1},
+        Link{2, 0, kUnclassifiedDim, Sign::Pos, Sign::Pos, false, 2},
+    };
+    const auto net =
+        Network::fromGraph(3, links, {"A", "B", "C"});
+    EXPECT_EQ(net.kind(), TopologyKind::Custom);
+    EXPECT_EQ(net.numChannels(), 4u);
+    EXPECT_EQ(net.findNode("B"), NodeId{1});
+    EXPECT_FALSE(net.findNode("Z").has_value());
+    EXPECT_EQ(net.distance(0, 2), 2);
+    EXPECT_EQ(net.distance(2, 1), 2);
+    // Unclassified channels match no EbDa class and name plainly.
+    EXPECT_FALSE(
+        net.channelInClass(0, makeClass(0, Sign::Pos, 0)));
+    const auto back = net.linkBetween(2, 0);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(net.channelName(net.channel(*back, 1)), "C->A vc1");
+
+    expectRejected(
+        [] {
+            Network::fromGraph(
+                2, {Link{0, 0, kUnclassifiedDim, Sign::Pos, Sign::Pos,
+                         false, 1}});
+        },
+        "self-link");
+    expectRejected(
+        [] {
+            Network::fromGraph(
+                2, {Link{0, 3, kUnclassifiedDim, Sign::Pos, Sign::Pos,
+                         false, 1}});
+        },
+        "fromGraph.links[0].dst");
+    expectRejected(
+        [] { Network::fromGraph(2, {}, {"A", "A"}); },
+        "duplicate node name");
+}
+
+TEST(FromGraph, DisconnectedDistanceIsMinusOne)
+{
+    const auto net = Network::fromGraph(
+        3, {Link{0, 1, kUnclassifiedDim, Sign::Pos, Sign::Pos, false, 1}});
+    EXPECT_EQ(net.distance(0, 1), 1);
+    EXPECT_EQ(net.distance(1, 0), -1);
+    EXPECT_EQ(net.distance(0, 2), -1);
 }
 
 } // namespace

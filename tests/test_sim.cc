@@ -207,7 +207,7 @@ TEST(Simulator, ZeroLoadLatencyTracksDistance)
 {
     // A single-source neighbor pattern at a tiny load: latency must be
     // close to hops + packet serialization.
-    const auto net = topo::Network::mesh({8, 1}, {1, 1});
+    const auto net = topo::Network::mesh({8}, {1});
     const auto xy = routing::DimensionOrderRouting::xy(net);
     const TrafficGenerator gen(net, TrafficPattern::Neighbor);
     SimConfig cfg = lightConfig();

@@ -95,6 +95,122 @@ TEST(SweepSpec, ExpansionIsReproducible)
     }
 }
 
+TEST(SweepSpec, TaggedTopologiesParseAndBuild)
+{
+    const auto spec = specOrDie(R"({
+      "topologies": [
+        {"type": "mesh", "dims": [4, 4], "vcs": [1, 1]},
+        {"type": "torus", "params": {"dims": [4, 4], "vcs": [2, 2]}},
+        {"kind": "dragonfly", "params": {"a": 4, "p": 2, "h": 2}},
+        {"type": "fullmesh", "params": {"nodes": 8}},
+        {"type": "ascii", "params": {"map": "A-B\n|\nC\n"}}
+      ],
+      "routers": ["updown"]
+    })");
+    ASSERT_EQ(spec.topologies.size(), 5u);
+    EXPECT_EQ(spec.topologies[0].kind, sweep::TopologySpec::Kind::Mesh);
+    EXPECT_EQ(spec.topologies[1].kind, sweep::TopologySpec::Kind::Torus);
+    EXPECT_EQ(spec.topologies[1].vcs, (std::vector<int>{2, 2}));
+    EXPECT_EQ(spec.topologies[2].kind,
+              sweep::TopologySpec::Kind::Dragonfly);
+    EXPECT_EQ(spec.topologies[2].a, 4);
+    EXPECT_EQ(spec.topologies[2].localVcs, 2); // default
+    EXPECT_EQ(spec.topologies[3].nodes, 8);
+    EXPECT_EQ(spec.topologies[4].kind, sweep::TopologySpec::Kind::Ascii);
+
+    // Every kind materializes.
+    EXPECT_EQ(spec.topologies[2].build().numNodes(), 36u);
+    EXPECT_EQ(spec.topologies[3].build().numLinks(), 56u);
+    EXPECT_EQ(spec.topologies[4].build().numNodes(), 3u);
+}
+
+TEST(SweepSpec, TopologyJsonRoundTrips)
+{
+    const auto spec = specOrDie(R"({
+      "topologies": [
+        {"type": "torus", "dims": [4, 4], "vcs": [2, 2]},
+        {"type": "dragonfly",
+         "params": {"a": 2, "p": 1, "h": 1, "localVcs": 3}},
+        {"type": "fullmesh", "params": {"nodes": 5, "vcs": 2}},
+        {"type": "ascii",
+         "params": {"map": "A-B\n", "defaultVcs": 2}}
+      ],
+      "routers": ["updown"]
+    })");
+    for (const auto &topo : spec.topologies) {
+        JsonWriter w;
+        w.beginObject();
+        topo.toJson(w, "topology");
+        w.end();
+        std::string err;
+        const auto doc = parseJson(w.str(), &err);
+        ASSERT_TRUE(doc) << err;
+        const auto *obj = doc->find("topology");
+        ASSERT_NE(obj, nullptr);
+        const auto back =
+            sweep::TopologySpec::fromJson(*obj, &err, "topology");
+        ASSERT_TRUE(back) << err;
+
+        // Re-rendering the reparsed spec must reproduce the bytes —
+        // the cache key depends on it.
+        JsonWriter w2;
+        w2.beginObject();
+        back->toJson(w2, "topology");
+        w2.end();
+        EXPECT_EQ(w.str(), w2.str()) << topo.toString();
+        EXPECT_EQ(back->toString(), topo.toString());
+    }
+}
+
+TEST(SweepSpec, SweepsRunOnNewTopologyKinds)
+{
+    const auto spec = specOrDie(R"({
+      "topologies": [
+        {"type": "fullmesh", "params": {"nodes": 6}},
+        {"type": "ascii", "params": {"map": "A-B-C\n"}}
+      ],
+      "routers": ["updown"],
+      "rates": [0.02],
+      "sim": {"seed": 3, "warmupCycles": 50, "measureCycles": 150,
+              "drainCycles": 2000, "watchdogCycles": 1000}
+    })");
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_NE(jobs[0].canonical.find("\"type\":\"fullmesh\""),
+              std::string::npos);
+    for (const auto &job : jobs) {
+        const auto out = sweep::runJob(job);
+        ASSERT_TRUE(out.ok) << out.error;
+        EXPECT_FALSE(out.result.deadlocked);
+    }
+}
+
+TEST(SweepSpec, RejectsBadTopologyParams)
+{
+    std::string err;
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology": {"type": "dragonfly"}, "routers": ["updown"]})",
+        &err));
+    EXPECT_NE(err.find("params"), std::string::npos);
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology": {"type": "dragonfly", "params": {"a": 1}},
+            "routers": ["updown"]})",
+        &err));
+    EXPECT_NE(err.find("topology.params.a"), std::string::npos);
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology": {"type": "fullmesh",
+                         "params": {"nodes": 4, "typo": 1}},
+            "routers": ["updown"]})",
+        &err));
+    EXPECT_NE(err.find("unknown key 'typo'"), std::string::npos);
+    // DSL syntax errors surface at parse time with their position.
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology": {"type": "ascii", "params": {"map": "A--\n"}},
+            "routers": ["updown"]})",
+        &err));
+    EXPECT_NE(err.find("dangling horizontal link"), std::string::npos);
+}
+
 TEST(SweepSpec, RejectsUnknownRouterAndKeys)
 {
     std::string err;
@@ -139,6 +255,48 @@ TEST(RouterFactory, ChecksSpecsWithoutANetwork)
     EXPECT_TRUE(sweep::checkRouterSpec("nope"));
     EXPECT_TRUE(sweep::checkRouterSpec("region:zero"));
     EXPECT_TRUE(sweep::checkRouterSpec("ebda:{X+ X- Y+ Y-}"));
+    // Structural engine specs, bare and parameterized.
+    EXPECT_FALSE(sweep::checkRouterSpec("updown"));
+    EXPECT_FALSE(sweep::checkRouterSpec("updown:3"));
+    EXPECT_FALSE(sweep::checkRouterSpec("dragonfly-min"));
+    EXPECT_FALSE(sweep::checkRouterSpec("dragonfly-min:4"));
+    EXPECT_FALSE(sweep::checkRouterSpec("dragonfly-noescape:4"));
+    EXPECT_FALSE(sweep::checkRouterSpec("fullmesh-2hop"));
+    EXPECT_FALSE(sweep::checkRouterSpec("fullmesh-naive"));
+    EXPECT_TRUE(sweep::checkRouterSpec("updown:minus"));
+    EXPECT_TRUE(sweep::checkRouterSpec("dragonfly-min:1"));
+}
+
+TEST(RouterFactory, StructuralEnginesAndGridGuard)
+{
+    std::string err;
+
+    const auto df = topo::Network::dragonfly(4, 2, 2);
+    ASSERT_TRUE(sweep::makeRouter(df, "dragonfly-min", &err)) << err;
+    ASSERT_TRUE(sweep::makeRouter(df, "dragonfly-min:4", &err)) << err;
+    ASSERT_TRUE(sweep::makeRouter(df, "dragonfly-noescape", &err)) << err;
+    ASSERT_TRUE(sweep::makeRouter(df, "updown", &err)) << err;
+    ASSERT_TRUE(sweep::makeRouter(df, "updown:35", &err)) << err;
+    EXPECT_FALSE(sweep::makeRouter(df, "updown:36", &err));
+
+    const auto fm = topo::Network::fullMesh(5);
+    ASSERT_TRUE(sweep::makeRouter(fm, "fullmesh-2hop", &err)) << err;
+    ASSERT_TRUE(sweep::makeRouter(fm, "fullmesh-naive", &err)) << err;
+    // Structural but wrong structure: a clear factory error, not a
+    // crash.
+    EXPECT_FALSE(sweep::makeRouter(fm, "dragonfly-min:5", &err));
+
+    // Grid-coordinate routers on a custom graph are refused up front.
+    EXPECT_FALSE(sweep::makeRouter(fm, "xy", &err));
+    EXPECT_NE(err.find("requires a mesh/torus grid"), std::string::npos);
+    EXPECT_FALSE(sweep::makeRouter(fm, "nope", &err));
+    EXPECT_NE(err.find("unknown router"), std::string::npos);
+
+    // The factory shape lets dragonfly sweeps omit ':a'; a custom
+    // graph needs it spelled out.
+    const auto mesh = topo::Network::mesh({4, 4}, {1, 1});
+    EXPECT_FALSE(sweep::makeRouter(mesh, "dragonfly-min", &err));
+    EXPECT_NE(err.find("group size"), std::string::npos);
 }
 
 TEST(RouterFactory, BuildsRelations)

@@ -28,6 +28,16 @@
  *            wait-for cycle among channels cross-referenced against
  *            the Dally relation-CDG. Exit 0 when a deadlock was caught
  *            and dumped, 1 when the run completed without one.
+ *   topo     [--dragonfly a,p,h | --fullmesh N | --mesh 4x4 [--torus]
+ *            | --map-file FILE | --map "..."] [--vcs ...]
+ *            [--router SPEC]
+ *            Print topology statistics (nodes, links, channels, degree,
+ *            diameter), the raw-graph routing-existence verdict, and —
+ *            for the chosen routing engine — the Dally relation-CDG
+ *            oracle, the Mendlovic–Matias fixpoint checker, their
+ *            agreement, and routing connectivity. Exit 0 iff the
+ *            relation is deadlock-free under both checkers and
+ *            connected.
  *   faults   [--router SPEC | --scheme "..."] [--mesh 4x4] [--vcs 1,1]
  *            [--torus] [--rate 0.1] [--cycles 4000] [--watchdog 2000]
  *            [--link-faults N] [--node-faults N] [--fault-seed S]
@@ -52,10 +62,16 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "cdg/adaptivity.hh"
+#include "cdg/mm_check.hh"
 #include "cdg/relation_cdg.hh"
 #include "cdg/turn_cdg.hh"
 #include "cdg/turn_model_enum.hh"
+#include "graph/digraph.hh"
+#include "topo/ascii_map.hh"
 #include "core/derivation.hh"
 #include "core/minimal.hh"
 #include "core/parse.hh"
@@ -77,8 +93,8 @@ usage()
 {
     std::cerr <<
         "usage: ebda_tool "
-        "<design|verify|turns|simulate|compare|space|forensics|faults> "
-        "[options]\n"
+        "<design|verify|turns|simulate|compare|space|topo|forensics|"
+        "faults> [options]\n"
         "  design   --vcs 3,2,3 [--all] [--max N]\n"
         "  verify   --scheme \"{X+ X- Y-} -> {Y+}\" [--mesh 8x8] "
         "[--vcs 1,1] [--torus]\n"
@@ -87,6 +103,9 @@ usage()
         "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
         "  compare  --scheme \"...\" --scheme2 \"...\"\n"
         "  space    --dims 3 [--vcs 1,1,1]\n"
+        "  topo     [--dragonfly 4,2,2 | --fullmesh 8 | --mesh 4x4 "
+        "[--torus] | --map-file F | --map \"...\"]\n"
+        "           [--vcs 1,1] [--router SPEC]\n"
         "  forensics [--router minimal | --scheme \"...\"] "
         "[--mesh 4x4] [--vcs 1,1] [--torus]\n"
         "           [--rate 0.3] [--cycles 2000] [--watchdog 1000] "
@@ -401,6 +420,183 @@ setupRouter(const Args &args, const char *default_router,
     }
     out.router = out.owned.get();
     return true;
+}
+
+int
+cmdTopo(const Args &args)
+{
+    // ---- Build the network from whichever declaration was given.
+    topo::Network net = topo::Network::mesh({2}, {1}); // placeholder
+    std::vector<std::pair<topo::NodeId, topo::NodeId>> dead_links;
+    std::string kind_label;
+    std::string default_router = "updown";
+    std::string err;
+    try {
+        if (args.has("dragonfly")) {
+            const auto abc = core::parseVcList(args.get("dragonfly"), &err);
+            if (!abc || abc->size() != 3) {
+                std::cerr << "bad --dragonfly: want a,p,h"
+                          << (err.empty() ? "" : " (" + err + ")") << '\n';
+                return 2;
+            }
+            const auto vcs =
+                core::parseVcList(args.get("vcs", "2,1"), &err);
+            if (!vcs || vcs->size() != 2) {
+                std::cerr << "bad --vcs (want localVcs,globalVcs): " << err
+                          << '\n';
+                return 2;
+            }
+            net = topo::Network::dragonfly((*abc)[0], (*abc)[1], (*abc)[2],
+                                           (*vcs)[0], (*vcs)[1]);
+            kind_label = "dragonfly";
+            default_router = "dragonfly-min";
+        } else if (args.has("fullmesh")) {
+            const int n = static_cast<int>(args.getInt("fullmesh", 0));
+            const int vcs = static_cast<int>(args.getInt("vcs", 1));
+            net = topo::Network::fullMesh(n, vcs);
+            kind_label = "fullmesh";
+            default_router = "fullmesh-2hop";
+        } else if (args.has("map") || args.has("map-file")) {
+            std::string text = args.get("map");
+            if (args.has("map-file")) {
+                std::ifstream in(args.get("map-file"));
+                if (!in) {
+                    std::cerr << "cannot read --map-file '"
+                              << args.get("map-file") << "'\n";
+                    return 2;
+                }
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                text = ss.str();
+            }
+            auto parsed = topo::parseAsciiMap(
+                text, topo::AsciiMapOptions{
+                          static_cast<int>(args.getInt("default-vcs", 1))});
+            net = std::move(parsed.network);
+            dead_links = std::move(parsed.deadLinks);
+            kind_label = "ascii map";
+        } else {
+            const auto dims = core::parseDims(args.get("mesh", "4x4"), &err);
+            if (!dims) {
+                std::cerr << "bad --mesh: " << err << '\n';
+                return 2;
+            }
+            auto vcs = core::parseVcList(args.get("vcs", "1"), &err);
+            if (!vcs) {
+                std::cerr << "bad --vcs: " << err << '\n';
+                return 2;
+            }
+            vcs->resize(std::max(vcs->size(), dims->size()), 1);
+            net = args.has("torus") ? topo::Network::torus(*dims, *vcs)
+                                    : topo::Network::mesh(*dims, *vcs);
+            kind_label = args.has("torus") ? "torus" : "mesh";
+            default_router = args.has("torus") ? "updown" : "xy";
+        }
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "bad topology: " << e.what() << '\n';
+        return 2;
+    }
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
+
+    // ---- Stats.
+    std::size_t min_deg = net.numNodes() ? net.numLinks() : 0, max_deg = 0;
+    std::vector<std::size_t> out_deg(net.numNodes(), 0);
+    for (topo::LinkId l = 0; l < net.numLinks(); ++l)
+        ++out_deg[net.link(l).src];
+    for (const auto d : out_deg) {
+        min_deg = std::min(min_deg, d);
+        max_deg = std::max(max_deg, d);
+    }
+    int diameter = 0;
+    bool connected_graph = true;
+    for (topo::NodeId u = 0; u < net.numNodes(); ++u)
+        for (topo::NodeId v = 0; v < net.numNodes(); ++v) {
+            const int d = net.distance(u, v);
+            if (d < 0)
+                connected_graph = false;
+            diameter = std::max(diameter, d);
+        }
+
+    std::cout << "topology: " << kind_label << '\n'
+              << "nodes: " << net.numNodes() << "  links: "
+              << net.numLinks() << "  channels: " << net.numChannels()
+              << '\n'
+              << "out-degree: " << min_deg << ".." << max_deg << '\n'
+              << "diameter: " << diameter
+              << (connected_graph ? "" : "  (graph NOT strongly connected)")
+              << '\n';
+    if (!dead_links.empty()) {
+        std::cout << "dead links (" << dead_links.size() << "):";
+        for (const auto &[s, d] : dead_links)
+            std::cout << ' ' << net.nodeName(s) << "->" << net.nodeName(d);
+        std::cout << '\n';
+    }
+
+    // ---- Existence: does ANY deadlock-free complete routing exist?
+    graph::Digraph g(net.numNodes());
+    for (topo::LinkId l = 0; l < net.numLinks(); ++l)
+        g.addEdge(net.link(l).src, net.link(l).dst);
+    const auto exist = cdg::deadlockFreeRoutingExists(g);
+    std::cout << "routing existence (Mendlovic-Matias): "
+              << (exist.verdict == cdg::ExistenceReport::Verdict::Exists
+                      ? "EXISTS"
+                  : exist.verdict
+                          == cdg::ExistenceReport::Verdict::NotExists
+                      ? "IMPOSSIBLE"
+                      : "undetermined")
+              << " [" << exist.method << "]\n";
+
+    // A routing relation cannot connect what the graph does not; the
+    // structural engines assert strong connectivity, so stop here
+    // rather than die inside one of them.
+    if (!connected_graph) {
+        std::cout << "skipping routing checks: graph is not strongly "
+                     "connected\n";
+        return 1;
+    }
+
+    // ---- Checker verdicts for the chosen routing engine.
+    const std::string router_spec = args.get("router", default_router);
+    const auto router = sweep::makeRouter(net, router_spec, &err);
+    if (!router) {
+        std::cerr << "router '" << router_spec << "': " << err << '\n';
+        return 2;
+    }
+    std::cout << "router: " << router->name() << " (spec '" << router_spec
+              << "')\n";
+
+    const auto dally = cdg::checkDeadlockFree(*router);
+    const auto mm = cdg::checkMendlovicMatias(*router);
+    std::cout << "Dally relation-CDG oracle: "
+              << (dally.deadlockFree ? "deadlock-free" : "CYCLIC") << " ("
+              << dally.numDependencies << " dependencies over "
+              << dally.numChannels << " channels)\n";
+    std::cout << "Mendlovic-Matias fixpoint: "
+              << (mm.deadlockFree ? "deadlock-free" : "DEADLOCK") << " ("
+              << mm.numStates << " states, " << mm.releaseOrder.size()
+              << '/' << mm.occupiableChannels << " channels released)\n";
+    if (!mm.deadlockFree) {
+        std::cout << "stuck knot:\n";
+        for (const auto &ch : mm.stuckWitness)
+            std::cout << "  " << ch << '\n';
+    }
+    std::cout << "checker agreement: "
+              << (dally.deadlockFree == mm.deadlockFree
+                      ? "agree"
+                      : "DIVERGE (CDG test is conservative for adaptive "
+                        "relations with escape paths)")
+              << '\n';
+
+    const auto conn = cdg::checkConnectivity(*router);
+    std::cout << "connectivity: "
+              << (conn.connected ? "every pair routable" : "INCOMPLETE")
+              << '\n';
+
+    return (dally.deadlockFree && mm.deadlockFree && conn.connected) ? 0
+                                                                     : 1;
 }
 
 int
@@ -785,6 +981,8 @@ main(int argc, char **argv)
             return cmdCompare(args);
         if (cmd == "space")
             return cmdSpace(args);
+        if (cmd == "topo")
+            return cmdTopo(args);
         if (cmd == "forensics")
             return cmdForensics(args);
         if (cmd == "faults")
