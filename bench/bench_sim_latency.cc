@@ -73,6 +73,72 @@ gridFor(sim::TrafficPattern pattern)
     return jobs;
 }
 
+// Non-mesh fabrics (ROADMAP item 3): the same latency-vs-load view on
+// the dragonfly(4,2,2) and fullMesh(8) fabrics the sweep engine can
+// now express, pitting each fabric's deadlock-free minimal scheme
+// against the generic up*/down* escape baseline.
+struct FabricCase
+{
+    const char *label;
+    bool dragonfly; // else fullMesh(8)
+    const char *router;
+};
+
+const std::vector<FabricCase> kFabrics = {
+    {"dfly min", true, "dragonfly-min"},
+    {"dfly up/down", true, "updown"},
+    {"fm8 2-hop", false, "fullmesh-2hop"},
+    {"fm8 up/down", false, "updown"},
+};
+
+const std::vector<double> kFabricRates = {0.02, 0.06, 0.10, 0.14};
+
+std::vector<sweep::SweepJob>
+fabricGrid()
+{
+    std::vector<sweep::SweepJob> jobs;
+    for (const double rate : kFabricRates)
+        for (const auto &f : kFabrics) {
+            const auto cfg = configFor(rate);
+            jobs.push_back(
+                f.dragonfly
+                    ? bench::dragonflyJob(
+                          f.router, sim::TrafficPattern::Uniform, cfg)
+                    : bench::fullMeshJob(
+                          f.router, sim::TrafficPattern::Uniform, cfg));
+        }
+    return jobs;
+}
+
+void
+printFabricTable(const std::vector<sweep::JobOutcome> &outcomes)
+{
+    TextTable t;
+    std::vector<std::string> header = {"offered (flits/node/cyc)"};
+    for (const auto &f : kFabrics)
+        header.push_back(f.label);
+    t.setHeader(header);
+    for (std::size_t ri = 0; ri < kFabricRates.size(); ++ri) {
+        std::vector<std::string> row = {
+            TextTable::num(kFabricRates[ri], 2)};
+        for (std::size_t ci = 0; ci < kFabrics.size(); ++ci) {
+            const auto &o = outcomes[ri * kFabrics.size() + ci];
+            if (!o.ok)
+                row.push_back("ERROR");
+            else if (o.result.deadlocked)
+                row.push_back("DEADLOCK");
+            else if (!o.result.drained)
+                row.push_back(">sat ("
+                              + TextTable::num(o.result.acceptedRate, 2)
+                              + ")");
+            else
+                row.push_back(TextTable::num(o.result.avgLatency, 1));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+}
+
 void
 printTable(const std::vector<sweep::SweepJob> &jobs,
            const std::vector<sweep::JobOutcome> &outcomes)
@@ -162,6 +228,10 @@ reproduce()
     jobs.insert(jobs.end(),
                 std::make_move_iterator(transpose.begin()),
                 std::make_move_iterator(transpose.end()));
+    auto fabrics = fabricGrid();
+    jobs.insert(jobs.end(),
+                std::make_move_iterator(fabrics.begin()),
+                std::make_move_iterator(fabrics.end()));
 
     const auto report = bench::runJobs(jobs);
 
@@ -176,7 +246,14 @@ reproduce()
     printTable(jobs,
                {report.outcomes.begin()
                     + static_cast<std::ptrdiff_t>(per_pattern),
-                report.outcomes.end()});
+                report.outcomes.begin()
+                    + static_cast<std::ptrdiff_t>(2 * per_pattern)});
+
+    bench::banner("dragonfly(4,2,2) and fullMesh(8), uniform traffic: "
+                  "avg packet latency (cycles) vs offered load");
+    printFabricTable({report.outcomes.begin()
+                          + static_cast<std::ptrdiff_t>(2 * per_pattern),
+                      report.outcomes.end()});
 
     // Near saturation the stall mix separates the designs: escape-VC
     // routers starve on VCs, wide adaptive ones lose switch grants.

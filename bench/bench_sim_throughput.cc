@@ -87,7 +87,58 @@ reproduce()
         t.addRow(std::move(row));
     }
     t.print(std::cout);
-    std::cout << "[sweep: " << jobs.size() << " jobs, " << report.threads
+
+    // Non-mesh fabrics (ROADMAP item 3): saturation capacity of the
+    // dragonfly(4,2,2) and fullMesh(8) fabrics under the two patterns
+    // defined on any topology (both purely RNG-driven).
+    struct FabricCase
+    {
+        const char *label;
+        bool dragonfly; // else fullMesh(8)
+        const char *router;
+    };
+    const std::vector<FabricCase> fabrics = {
+        {"dragonfly(4,2,2) minimal", true, "dragonfly-min"},
+        {"dragonfly(4,2,2) up*/down*", true, "updown"},
+        {"fullMesh(8) 2-hop adaptive", false, "fullmesh-2hop"},
+        {"fullMesh(8) up*/down*", false, "updown"},
+    };
+    const std::vector<sim::TrafficPattern> fabric_patterns = {
+        sim::TrafficPattern::Uniform, sim::TrafficPattern::Hotspot};
+
+    std::vector<sweep::SweepJob> fjobs;
+    for (const auto &f : fabrics)
+        for (const auto pattern : fabric_patterns)
+            fjobs.push_back(
+                f.dragonfly
+                    ? bench::dragonflyJob(f.router, pattern,
+                                          saturationConfig())
+                    : bench::fullMeshJob(f.router, pattern,
+                                         saturationConfig()));
+    const auto freport = bench::runJobs(fjobs);
+
+    bench::banner("non-mesh fabrics: saturation throughput (accepted "
+                  "flits/node/cycle at offered 0.9)");
+    TextTable ft;
+    ft.setHeader({"fabric / router", "uniform", "hotspot"});
+    for (std::size_t fi = 0; fi < fabrics.size(); ++fi) {
+        std::vector<std::string> row = {fabrics[fi].label};
+        for (std::size_t pi = 0; pi < fabric_patterns.size(); ++pi) {
+            const auto &o =
+                freport.outcomes[fi * fabric_patterns.size() + pi];
+            if (!o.ok)
+                row.push_back("ERROR");
+            else if (o.result.deadlocked)
+                row.push_back("DEADLOCK");
+            else
+                row.push_back(TextTable::num(o.result.acceptedRate, 3));
+        }
+        ft.addRow(std::move(row));
+    }
+    ft.print(std::cout);
+
+    std::cout << "[sweep: " << jobs.size() + fjobs.size() << " jobs, "
+              << report.threads
               << " threads, " << report.simulated << " simulated, "
               << report.cacheHits << " cache hits, "
               << TextTable::num(report.elapsedSeconds, 2) << " s]\n";

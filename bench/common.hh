@@ -78,6 +78,39 @@ meshJob(const std::string &router, sim::TrafficPattern pattern,
     return job;
 }
 
+/** Grid point on a dragonfly(a,p,h) fabric (default the ROADMAP's
+ *  dragonfly(4,2,2)). */
+inline sweep::SweepJob
+dragonflyJob(const std::string &router, sim::TrafficPattern pattern,
+             const sim::SimConfig &cfg, int a = 4, int p = 2, int h = 2)
+{
+    sweep::SweepJob job;
+    job.topo.kind = sweep::TopologySpec::Kind::Dragonfly;
+    job.topo.a = a;
+    job.topo.p = p;
+    job.topo.h = h;
+    job.router = router;
+    job.pattern = pattern;
+    job.cfg = cfg;
+    sweep::finalizeJob(job);
+    return job;
+}
+
+/** Grid point on an n-node full mesh. */
+inline sweep::SweepJob
+fullMeshJob(const std::string &router, sim::TrafficPattern pattern,
+            const sim::SimConfig &cfg, int nodes = 8)
+{
+    sweep::SweepJob job;
+    job.topo.kind = sweep::TopologySpec::Kind::FullMesh;
+    job.topo.nodes = nodes;
+    job.router = router;
+    job.pattern = pattern;
+    job.cfg = cfg;
+    sweep::finalizeJob(job);
+    return job;
+}
+
 } // namespace ebda::bench
 
 /** Define main(): print the reproduction, then run the timings. */

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_sim.json, the committed performance baseline.
 #
-# Two benches feed it, both built in a Release (-O3) tree:
+# Three benches feed it, all built in a Release (-O3) tree:
 #  - bench_route_compute: compiled-table vs virtual-dispatch route
 #    compute on the standard 8x8, 2-VC mesh plus one fixed
 #    latency-sweep point with the table on and off. Exits non-zero on
@@ -12,11 +12,14 @@
 #    steady-state loop performs zero heap allocations. Exits non-zero
 #    on any steady-state allocation or a regression against the
 #    previously committed baseline.
+#  - bench_sched_mode: cycle- vs event-driven scheduler backends on a
+#    16x16 mesh, gating the >=5x event-mode win at near-idle load and
+#    a 10% cycle-mode regression bound at saturation.
 #
-# The route bench writes the top-level JSON; the cycle bench's summary
-# is merged in as the `sim_loop` member. Either bench failing aborts
-# the script, so a stale or regressed baseline can never be committed
-# from a broken build.
+# The route bench writes the top-level JSON; the cycle and sched
+# benches' summaries are merged in as the `sim_loop` and `sched_mode`
+# members. Any bench failing aborts the script, so a stale or
+# regressed baseline can never be committed from a broken build.
 #
 # Usage: scripts/perf_baseline.sh [build-dir]   (default: build-perf)
 set -euo pipefail
@@ -26,7 +29,7 @@ BUILD_DIR="${1:-build-perf}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_route_compute bench_cycle_rate
+    --target bench_route_compute bench_cycle_rate bench_sched_mode
 
 EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
     "$BUILD_DIR/bench/bench_route_compute"
@@ -34,21 +37,29 @@ EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
 # Gate the sim loop against the PREVIOUS committed baseline (if any),
 # then merge its summary into the fresh BENCH_sim.json.
 SIM_LOOP_JSON="$(mktemp)"
+SCHED_MODE_JSON="$(mktemp)"
 PREV_BASELINE="$(mktemp)"
-trap 'rm -f "$SIM_LOOP_JSON" "$PREV_BASELINE"' EXIT
+trap 'rm -f "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PREV_BASELINE"' EXIT
 if git show HEAD:BENCH_sim.json > "$PREV_BASELINE" 2>/dev/null; then
     export EBDA_SIM_BASELINE_JSON="$PREV_BASELINE"
 fi
 EBDA_CYCLE_BENCH_JSON="$SIM_LOOP_JSON" \
     "$BUILD_DIR/bench/bench_cycle_rate"
 
-# Splice `,"sim_loop":{...}}` onto the route bench's object.
-python3 - "$SIM_LOOP_JSON" <<'EOF'
+# Scheduler backends: >=5x event win at idle, <=10% cycle regression
+# at saturation (gated against the previous baseline's sched_mode).
+EBDA_SCHED_BENCH_JSON="$SCHED_MODE_JSON" \
+    "$BUILD_DIR/bench/bench_sched_mode"
+
+# Splice `"sim_loop"` and `"sched_mode"` onto the route bench's object.
+python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" <<'EOF'
 import json, sys
 with open("BENCH_sim.json") as f:
     doc = json.load(f)
 with open(sys.argv[1]) as f:
     doc["sim_loop"] = json.load(f)
+with open(sys.argv[2]) as f:
+    doc["sched_mode"] = json.load(f)
 with open("BENCH_sim.json", "w") as f:
     json.dump(doc, f, separators=(",", ":"))
     f.write("\n")

@@ -1,0 +1,557 @@
+/**
+ * @file
+ * EventScheduler implementation: mode resolution, the block-batched
+ * injection draw engine, and the jump-capable event loop.
+ * See event_queue.hh for the model and the equivalence argument.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace ebda::sim {
+
+SchedMode
+resolveSchedMode(SchedMode requested, double injectionRate)
+{
+    if (requested != SchedMode::Auto)
+        return requested;
+    if (const char *env = std::getenv("EBDA_SCHED_MODE")) {
+        if (const auto m = schedModeFromString(env);
+            m && *m != SchedMode::Auto)
+            return *m;
+    }
+    return injectionRate < kEventModeRateThreshold ? SchedMode::Event
+                                                   : SchedMode::Cycle;
+}
+
+namespace {
+
+/**
+ * Four xoshiro256** streams in structure-of-arrays form: state word w
+ * of lane i at s[w][i], so one aligned 256-bit load fetches word w of
+ * all four lanes. One Lanes4 covers nodes [4g, 4g+4) of group g.
+ */
+struct alignas(32) Lanes4
+{
+    std::uint64_t s[4][4];
+};
+
+int
+detectSimdPath()
+{
+#if defined(__x86_64__)
+    // The kernels need AVX512F (rol, unsigned compare-to-mask) plus
+    // AVX512DQ (64-bit mullo); avx2 covers the 256-bit fallback.
+    if (__builtin_cpu_supports("avx512f")
+        && __builtin_cpu_supports("avx512dq"))
+        return 2;
+    if (__builtin_cpu_supports("avx2"))
+        return 1;
+#endif
+    return 0;
+}
+
+/** Draws per block pass. One block advances every lane 64 steps. */
+constexpr int kBlockCycles = 64;
+
+/**
+ * Scalar block pass: advance the four lanes kBlockCycles draws through
+ * the scalar Rng itself (the reference recurrence by definition) and
+ * report which lanes saw at least one sub-threshold draw.
+ */
+unsigned
+passGroupScalar(Lanes4 &g, std::uint64_t thr)
+{
+    unsigned lane_hits = 0;
+    for (int i = 0; i < 4; ++i) {
+        Rng rng(0);
+        rng.setState({g.s[0][i], g.s[1][i], g.s[2][i], g.s[3][i]});
+        for (int b = 0; b < kBlockCycles; ++b)
+            if ((rng.next() >> 11) < thr)
+                lane_hits |= 1u << i;
+        const auto st = rng.state();
+        for (int w = 0; w < 4; ++w)
+            g.s[w][i] = st[w];
+    }
+    return lane_hits;
+}
+
+#if defined(__x86_64__)
+
+/**
+ * AVX2 block pass over one group (4 lanes). The vector recurrence is
+ * the exact xoshiro256** step — rotl(s1*5,7)*9 with the multiplies
+ * strength-reduced to shift+add (AVX2 has no 64-bit mullo) — so lane
+ * streams match Rng::next() bit for bit. Signed cmpgt is safe: draws
+ * are pre-shifted to 53 bits and thr <= 2^53, both far below 2^63.
+ */
+__attribute__((target("avx2"))) unsigned
+passGroupAvx2(Lanes4 &g, std::uint64_t thr)
+{
+    __m256i s0 = _mm256_load_si256(reinterpret_cast<__m256i *>(g.s[0]));
+    __m256i s1 = _mm256_load_si256(reinterpret_cast<__m256i *>(g.s[1]));
+    __m256i s2 = _mm256_load_si256(reinterpret_cast<__m256i *>(g.s[2]));
+    __m256i s3 = _mm256_load_si256(reinterpret_cast<__m256i *>(g.s[3]));
+    const __m256i vthr =
+        _mm256_set1_epi64x(static_cast<long long>(thr));
+    unsigned lane_hits = 0;
+    for (int b = 0; b < kBlockCycles; ++b) {
+        const __m256i x5 =
+            _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+        const __m256i r = _mm256_or_si256(_mm256_slli_epi64(x5, 7),
+                                          _mm256_srli_epi64(x5, 57));
+        const __m256i res =
+            _mm256_add_epi64(r, _mm256_slli_epi64(r, 3));
+        const __m256i t = _mm256_slli_epi64(s1, 17);
+        s2 = _mm256_xor_si256(s2, s0);
+        s3 = _mm256_xor_si256(s3, s1);
+        s1 = _mm256_xor_si256(s1, s2);
+        s0 = _mm256_xor_si256(s0, s3);
+        s2 = _mm256_xor_si256(s2, t);
+        s3 = _mm256_or_si256(_mm256_slli_epi64(s3, 45),
+                             _mm256_srli_epi64(s3, 19));
+        const __m256i k = _mm256_srli_epi64(res, 11);
+        const __m256i hit = _mm256_cmpgt_epi64(vthr, k);
+        lane_hits |= static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i *>(g.s[0]), s0);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(g.s[1]), s1);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(g.s[2]), s2);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(g.s[3]), s3);
+    return lane_hits;
+}
+
+/**
+ * AVX-512 block pass over two groups (8 lanes packed per register,
+ * group a in the low 256 bits). Returns the 8-bit lane-hit mask:
+ * bits 0-3 group a, bits 4-7 group b.
+ */
+__attribute__((target("avx512f,avx512dq"))) unsigned
+passPairAvx512(Lanes4 &a, Lanes4 &b, std::uint64_t thr)
+{
+    // No lambda helpers: a lambda is its own function and does not
+    // inherit this function's target attribute (the 256-bit loads
+    // would fail to inline under the default ISA).
+#define EBDA_PACK512(lo, hi)                                          \
+    _mm512_inserti64x4(                                               \
+        _mm512_castsi256_si512(                                       \
+            _mm256_load_si256(reinterpret_cast<__m256i *>(lo))),      \
+        _mm256_load_si256(reinterpret_cast<__m256i *>(hi)), 1)
+    __m512i s0 = EBDA_PACK512(a.s[0], b.s[0]);
+    __m512i s1 = EBDA_PACK512(a.s[1], b.s[1]);
+    __m512i s2 = EBDA_PACK512(a.s[2], b.s[2]);
+    __m512i s3 = EBDA_PACK512(a.s[3], b.s[3]);
+#undef EBDA_PACK512
+    const __m512i five = _mm512_set1_epi64(5);
+    const __m512i nine = _mm512_set1_epi64(9);
+    const __m512i vthr =
+        _mm512_set1_epi64(static_cast<long long>(thr));
+    __mmask8 lane_hits = 0;
+    for (int b_i = 0; b_i < kBlockCycles; ++b_i) {
+        const __m512i res = _mm512_mullo_epi64(
+            _mm512_rol_epi64(_mm512_mullo_epi64(s1, five), 7), nine);
+        const __m512i t = _mm512_slli_epi64(s1, 17);
+        s2 = _mm512_xor_si512(s2, s0);
+        s3 = _mm512_xor_si512(s3, s1);
+        s1 = _mm512_xor_si512(s1, s2);
+        s0 = _mm512_xor_si512(s0, s3);
+        s2 = _mm512_xor_si512(s2, t);
+        s3 = _mm512_rol_epi64(s3, 45);
+        lane_hits = _kor_mask8(
+            lane_hits,
+            _mm512_cmplt_epu64_mask(_mm512_srli_epi64(res, 11), vthr));
+    }
+#define EBDA_UNPACK512(z, lo, hi)                                     \
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lo),               \
+                       _mm512_castsi512_si256(z));                    \
+    _mm256_store_si256(reinterpret_cast<__m256i *>(hi),               \
+                       _mm512_extracti64x4_epi64(z, 1))
+    EBDA_UNPACK512(s0, a.s[0], b.s[0]);
+    EBDA_UNPACK512(s1, a.s[1], b.s[1]);
+    EBDA_UNPACK512(s2, a.s[2], b.s[2]);
+    EBDA_UNPACK512(s3, a.s[3], b.s[3]);
+#undef EBDA_UNPACK512
+    return static_cast<unsigned>(lane_hits);
+}
+
+#endif // __x86_64__
+
+/**
+ * The injection timer source: advances every node's RNG stream in
+ * 64-cycle blocks, 4 (AVX2/scalar) or 8 (AVX-512) streams in lockstep,
+ * and materializes the rare sub-threshold draws as (cycle, node, dest)
+ * hit records. The vector pass only *detects* lanes with a hit; any
+ * such lane is re-played through the scalar Rng from a pre-block state
+ * snapshot so the interleaved TrafficGenerator::dest draws land in the
+ * exact positions the cycle loop would have given them, and the
+ * replayed state overwrites the vector lane. A no-hit vector lane
+ * consumed exactly one draw per cycle, so by induction every lane
+ * state at every block boundary equals the true stream's.
+ *
+ * The engine owns the streams for the whole run: the fast path has no
+ * other RNG consumer (injection is the only draw site when faults are
+ * off and selection is not Random), so the live per-router Rng objects
+ * are left untouched at their seed state.
+ */
+class InjectionEngine
+{
+  public:
+    /**
+     * @param routers     per-node routers; their rng states seed the
+     *                    lanes (the objects are not modified)
+     * @param traffic     destination generator for replayed hits
+     * @param packet_rate per-cycle Bernoulli probability, in (0, 1)
+     * @param horizon     no hits are sought at or beyond this cycle
+     */
+    InjectionEngine(const std::vector<Router> &routers,
+                    const TrafficGenerator &traffic, double packet_rate,
+                    std::uint64_t horizon)
+        : traffic(traffic), horizon(horizon),
+          numNodes(static_cast<std::uint32_t>(routers.size())),
+          path(detectSimdPath())
+    {
+        // nextDouble() < p  <=>  (next() >> 11) < ceil(p * 2^53):
+        // p * 2^53 is exact in a double (the product only shifts the
+        // exponent), so the integer threshold reproduces the Bernoulli
+        // comparison bit for bit.
+        thr = static_cast<std::uint64_t>(
+            std::ceil(packet_rate * 9007199254740992.0));
+        // Pad to a whole, even number of groups so the AVX-512 path
+        // can always take pairs; padding lanes draw from throwaway
+        // streams and can never become hits (node id out of range).
+        const std::size_t groups = (routers.size() + 3) / 4;
+        lanes.resize(groups + (groups & 1));
+        SplitMix64 filler(0x9e3779b97f4a7c15ULL);
+        for (std::size_t g = 0; g < lanes.size(); ++g) {
+            for (int i = 0; i < 4; ++i) {
+                const std::size_t node = g * 4
+                    + static_cast<std::size_t>(i);
+                if (node < routers.size()) {
+                    const auto st = routers[node].rng.state();
+                    for (int w = 0; w < 4; ++w)
+                        lanes[g].s[w][i] = st[w];
+                } else {
+                    for (int w = 0; w < 4; ++w)
+                        lanes[g].s[w][i] = filler.next();
+                }
+            }
+        }
+    }
+
+    /**
+     * Cycle of the earliest pending hit, generating blocks on demand;
+     * std::nullopt when no stream hits again before the horizon.
+     */
+    std::optional<std::uint64_t>
+    nextHitCycle()
+    {
+        while (hitHead >= hits.size()) {
+            if (frontier >= horizon)
+                return std::nullopt;
+            runBlock();
+        }
+        return hits[hitHead].cycle;
+    }
+
+    /**
+     * Apply every hit landing exactly at `cycle` (non-decreasing
+     * between calls), in ascending node order — the order the cycle
+     * loop's per-node generation scan allocates packets in.
+     */
+    template <typename Fn>
+    void
+    consumeHits(std::uint64_t cycle, Fn &&apply)
+    {
+        while (frontier <= cycle)
+            runBlock();
+        EBDA_ASSERT(hitHead >= hits.size()
+                        || hits[hitHead].cycle >= cycle,
+                    "injection hit skipped by the event loop");
+        while (hitHead < hits.size() && hits[hitHead].cycle == cycle) {
+            apply(hits[hitHead].node, hits[hitHead].dest);
+            ++hitHead;
+        }
+    }
+
+  private:
+    struct Hit
+    {
+        std::uint64_t cycle;
+        std::uint32_t node;
+        std::uint32_t dest;
+    };
+
+    void
+    runBlock()
+    {
+        if (hitHead == hits.size()) {
+            hits.clear();
+            hitHead = 0;
+        }
+        const std::uint64_t base = frontier;
+        const std::size_t first_new = hits.size();
+        std::size_t g = 0;
+#if defined(__x86_64__)
+        if (path == 2) {
+            for (; g < lanes.size(); g += 2) {
+                const Lanes4 snap_a = lanes[g];
+                const Lanes4 snap_b = lanes[g + 1];
+                const unsigned m =
+                    passPairAvx512(lanes[g], lanes[g + 1], thr);
+                if (m & 0x0fu)
+                    replayGroup(g, m & 0x0fu, snap_a, base);
+                if (m & 0xf0u)
+                    replayGroup(g + 1, (m >> 4) & 0x0fu, snap_b, base);
+            }
+        } else if (path == 1) {
+            for (; g < lanes.size(); ++g) {
+                const Lanes4 snap = lanes[g];
+                const unsigned m = passGroupAvx2(lanes[g], thr);
+                if (m)
+                    replayGroup(g, m, snap, base);
+            }
+        }
+#endif
+        for (; g < lanes.size(); ++g) {
+            const Lanes4 snap = lanes[g];
+            const unsigned m = passGroupScalar(lanes[g], thr);
+            if (m)
+                replayGroup(g, m, snap, base);
+        }
+        frontier += kBlockCycles;
+        // Lanes appended their hits lane-by-lane; the consumer needs
+        // global (cycle, node) order. Blocks are disjoint cycle
+        // ranges, so sorting the new tail suffices.
+        std::sort(hits.begin() + static_cast<std::ptrdiff_t>(first_new),
+                  hits.end(), [](const Hit &a, const Hit &b) {
+                      return a.cycle != b.cycle ? a.cycle < b.cycle
+                                                : a.node < b.node;
+                  });
+    }
+
+    /** Authoritative scalar replay of the flagged lanes of one group
+     *  over the block starting at `base` (see class comment). */
+    void
+    replayGroup(std::size_t g, unsigned lane_mask, const Lanes4 &snap,
+                std::uint64_t base)
+    {
+        for (int i = 0; i < 4; ++i) {
+            if (!(lane_mask & (1u << i)))
+                continue;
+            const std::size_t node = g * 4 + static_cast<std::size_t>(i);
+            if (node >= numNodes)
+                continue;
+            Rng rng(0);
+            rng.setState({snap.s[0][i], snap.s[1][i], snap.s[2][i],
+                          snap.s[3][i]});
+            for (int b = 0; b < kBlockCycles; ++b) {
+                if ((rng.next() >> 11) >= thr)
+                    continue;
+                // Self-addressed destinations consume their draws but
+                // produce no packet, exactly like the cycle loop.
+                const auto d = traffic.dest(
+                    static_cast<topo::NodeId>(node), rng);
+                if (d)
+                    hits.push_back(
+                        {base + static_cast<std::uint64_t>(b),
+                         static_cast<std::uint32_t>(node), *d});
+            }
+            const auto st = rng.state();
+            for (int w = 0; w < 4; ++w)
+                lanes[g].s[w][i] = st[w];
+        }
+    }
+
+    const TrafficGenerator &traffic;
+    std::uint64_t thr = 0;
+    std::uint64_t horizon;
+    /** Cycles [0, frontier) have been drawn for every lane. */
+    std::uint64_t frontier = 0;
+    std::uint32_t numNodes;
+    int path;
+    std::vector<Lanes4> lanes;
+    std::vector<Hit> hits;
+    std::size_t hitHead = 0;
+};
+
+} // namespace
+
+const char *
+injectionEngineSimdPath()
+{
+    switch (detectSimdPath()) {
+      case 2:
+        return "avx512";
+      case 1:
+        return "avx2";
+      default:
+        return "scalar";
+    }
+}
+
+std::uint64_t
+EventScheduler::run(Simulator &sim, SimResult &result)
+{
+    const std::uint64_t measure_start = sim.cfg.warmupCycles;
+    const std::uint64_t measure_end =
+        measure_start + sim.cfg.measureCycles;
+    const std::uint64_t hard_stop = measure_end + sim.cfg.drainCycles;
+
+    const double packet_rate = sim.cfg.injectionRate
+        / static_cast<double>(sim.cfg.packetLength);
+    if (sim.injector.enabled()
+        || sim.cfg.selection == SelectionPolicy::Random
+        || !(packet_rate > 0.0) || packet_rate >= 1.0) {
+        // Cycle-granular fallback (see event_queue.hh): fault plans,
+        // allocation-interleaved Random draws and degenerate rates
+        // make (almost) every cycle a potential event, so the cycle
+        // loop IS the event loop there — results identical by
+        // construction, wakeups == cycles.
+        CycleScheduler dense;
+        const std::uint64_t end = dense.run(sim, result);
+        wakeups = dense.wakeups;
+        return end;
+    }
+
+    InjectionEngine engine(sim.routerTable, sim.traffic, packet_rate,
+                           hard_stop);
+    EventQueue deadlines;
+    deadlines.push(measure_start, EventKind::MeasureStart);
+    deadlines.push(measure_end, EventKind::MeasureEnd);
+    if (sim.cycleLimit && sim.cycleLimit < hard_stop)
+        deadlines.push(sim.cycleLimit, EventKind::CycleLimit);
+    if (sim.abortCheck)
+        deadlines.push(0, EventKind::AbortPoll);
+
+    const bool phase_hooks =
+        sim.measureStartHook || sim.measureEndHook;
+    std::uint64_t last_progress = 0;
+    std::uint64_t cycle = 0;
+    while (cycle < hard_stop) {
+        if (sim.fab.flitsInFlight == 0
+            && sim.injectActive.size() == 0) {
+            // The fabric is empty and no packet awaits injection (the
+            // injection set tracks exactly the nodes with non-empty
+            // source queues after each executed cycle), so every cycle
+            // until the next deadline is a provable no-op. Retire the
+            // deadlines that already fired — re-arming the abort
+            // poller at its next 1024-cycle boundary — and jump.
+            while (!deadlines.empty()
+                   && deadlines.top().cycle < cycle) {
+                const SchedEvent ev = deadlines.pop();
+                if (ev.kind == EventKind::AbortPoll)
+                    deadlines.push((cycle + 1023)
+                                       & ~std::uint64_t{1023},
+                                   EventKind::AbortPoll);
+            }
+            if (const auto hit = engine.nextHitCycle())
+                deadlines.push(*hit, EventKind::Injection);
+            std::uint64_t target = hard_stop;
+            if (!deadlines.empty())
+                target = std::min(target, deadlines.top().cycle);
+            if (target > cycle) {
+                // Each skipped iteration has exactly three side
+                // effects, reproduced in closed form: the genCycles
+                // tick, and the two unconditional arbiter-rotation
+                // advances (resyncOffset re-derives both from the
+                // cycle count). The watchdog saw progress throughout
+                // (an empty fabric resets it every cycle).
+                sim.genCycles += target - cycle;
+                sim.vcAlloc.resyncOffset(target);
+                sim.swAlloc.resyncOffset(target);
+                last_progress = target - 1;
+                cycle = target;
+                if (cycle >= hard_stop)
+                    break;
+            }
+        }
+
+        ++wakeups;
+        if (phase_hooks) {
+            if (cycle == measure_start && sim.measureStartHook)
+                sim.measureStartHook();
+            if (cycle == measure_end && sim.measureEndHook)
+                sim.measureEndHook();
+        }
+        if (sim.cycleLimit && cycle >= sim.cycleLimit) {
+            sim.abortedFlag = true;
+            break;
+        }
+        if (sim.abortCheck && (cycle & 1023u) == 0
+            && sim.abortCheck()) {
+            sim.abortedFlag = true;
+            break;
+        }
+        const bool measuring =
+            cycle >= measure_start && cycle < measure_end;
+        // The engine stands in for Simulator::generate: identical
+        // draws, identical packet-allocation order (ascending node
+        // within the cycle).
+        engine.consumeHits(
+            cycle, [&](std::uint32_t node, std::uint32_t dst) {
+                PacketRec rec;
+                rec.src = static_cast<topo::NodeId>(node);
+                rec.dest = static_cast<topo::NodeId>(dst);
+                rec.genCycle = cycle;
+                rec.measured = measuring;
+                sim.sourceQueues[node].push_back(
+                    sim.fab.allocPacket(rec));
+                sim.injectActive.schedule(node);
+                sim.generatedFlits +=
+                    static_cast<std::uint64_t>(sim.cfg.packetLength);
+                if (measuring) {
+                    ++sim.measuredInFlight;
+                    ++sim.measuredGenerated;
+                }
+            });
+        ++sim.genCycles;
+        sim.fillInjectionVcs(cycle);
+        sim.vcAlloc.allocate(sim.allocActive, sim.routerTable,
+                             sim.linkActive, sim.ejectActive);
+        bool moved = sim.swAlloc.traverse(cycle, sim.linkActive,
+                                          sim.allocActive,
+                                          sim.routerTable);
+        EjectStats stats{sim.latencyHist,
+                         sim.latencyStat,
+                         sim.hopsStat,
+                         sim.packetsEjectedCount,
+                         sim.measuredEjectedFlits,
+                         sim.measuredInFlight,
+                         measuring};
+        moved |= sim.swAlloc.eject(cycle, sim.ejectActive,
+                                   sim.allocActive, sim.routerTable,
+                                   stats);
+        if (moved || sim.fab.flitsInFlight == 0)
+            last_progress = cycle;
+        if (cycle - last_progress > sim.cfg.watchdogCycles) {
+            // Fault-free run: no recovery escalation to try (the
+            // fallback above owns every faulted run).
+            result.deadlocked = true;
+            sim.forensicsDump =
+                buildForensics(sim.fab, sim.table, cycle);
+            result.deadlockCycle.assign(
+                sim.forensicsDump.waitCycle.begin(),
+                sim.forensicsDump.waitCycle.end());
+            result.deadlockCycleInCdg =
+                sim.forensicsDump.cycleInRelationCdg;
+            break;
+        }
+        if (cycle >= measure_end && sim.measuredInFlight == 0)
+            break;
+        ++cycle;
+    }
+    return cycle;
+}
+
+} // namespace ebda::sim

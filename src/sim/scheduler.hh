@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The scheduler seam: how simulated time advances.
+ *
+ * The simulator's per-cycle phase code (inject, route/VC-alloc,
+ * switch-alloc + traversal, eject, watchdog, fault events) is
+ * scheduler-agnostic — it operates on active sets and takes the
+ * current cycle as a parameter. A SchedulerBackend decides WHICH
+ * cycles to execute:
+ *
+ *  - CycleScheduler executes every cycle in order: the classic
+ *    cycle-driven loop, bit-identical to the pre-seam simulator
+ *    (tests/test_golden_sim.cc pins this).
+ *  - EventScheduler (sim/event_queue.hh) executes only cycles on which
+ *    something can happen. Injection timers are precomputed from the
+ *    per-node RNG streams by a block-batched draw engine, and spans
+ *    where the fabric is empty and no timer is due are skipped in one
+ *    jump; while flits are in flight every cycle is executed, because
+ *    in this single-cycle-per-hop model every in-flight flit is
+ *    eligible to move each cycle. Both backends consume identical
+ *    per-router RNG streams, so results are trace-equivalent
+ *    (tests/test_sched_equiv.cc diffs the full result JSON).
+ *
+ * Mode selection: SimConfig::schedMode is a tri-state. Auto defers to
+ * the EBDA_SCHED_MODE environment variable if set ("cycle"/"event"),
+ * otherwise to the load heuristic in resolveSchedMode — event mode
+ * pays off exactly where most cycles are empty, i.e. at low injection
+ * rates; near saturation the cycle loop's linear scan wins. An
+ * explicit Cycle/Event setting always wins (so equivalence tests stay
+ * meaningful under a CI-wide EBDA_SCHED_MODE override).
+ */
+
+#ifndef EBDA_SIM_SCHEDULER_HH
+#define EBDA_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ebda::sim {
+
+class Simulator;
+struct SimResult;
+
+/** How simulated time advances (SimConfig::schedMode). */
+enum class SchedMode : std::uint8_t
+{
+    /** Resolve via EBDA_SCHED_MODE, else the injection-rate
+     *  heuristic. The default: existing configs keep their exact
+     *  serialized form (Auto is never emitted to JSON). */
+    Auto,
+    /** Execute every cycle (the pre-seam loop, bit for bit). */
+    Cycle,
+    /** Skip provably idle cycles via the event queue. */
+    Event,
+};
+
+std::string toString(SchedMode mode);
+std::optional<SchedMode> schedModeFromString(const std::string &text);
+
+/**
+ * Resolve Auto to a concrete backend for a run at the given injection
+ * rate: the EBDA_SCHED_MODE environment variable ("cycle" / "event")
+ * wins when set; otherwise event mode below kEventModeRateThreshold,
+ * cycle mode at or above it. Explicit Cycle/Event pass through
+ * untouched. The sweep runner calls this per job (after cache-key
+ * computation, so both modes share cache entries); Simulator::run
+ * calls it for direct users.
+ */
+SchedMode resolveSchedMode(SchedMode requested, double injectionRate);
+
+/** Auto picks event mode strictly below this injection rate
+ *  (flits/node/cycle). At 0.01 on the benchmarked 16x16 mesh the
+ *  cycle loop already spends most of its time on empty cycles. */
+inline constexpr double kEventModeRateThreshold = 0.01;
+
+/**
+ * A scheduling backend: drives the warmup / measurement / drain phases
+ * over the simulator's phase code and returns the final cycle (the
+ * value the cycle counter held when the loop ended). Termination
+ * verdicts (deadlock, abort) are written into `result`; the caller
+ * fills in everything derivable from post-run state.
+ */
+class SchedulerBackend
+{
+  public:
+    virtual ~SchedulerBackend() = default;
+
+    virtual std::uint64_t run(Simulator &sim, SimResult &result) = 0;
+
+    /** Cycles the backend actually executed (== cycles for the cycle
+     *  loop; typically far fewer for the event loop at low load). */
+    std::uint64_t wakeups = 0;
+};
+
+/** The cycle-driven backend: every cycle, in order. */
+class CycleScheduler final : public SchedulerBackend
+{
+  public:
+    std::uint64_t run(Simulator &sim, SimResult &result) override;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_SCHEDULER_HH

@@ -65,6 +65,32 @@ selectionFromString(const std::string &s)
     return std::nullopt;
 }
 
+std::string
+toString(SchedMode m)
+{
+    switch (m) {
+      case SchedMode::Auto:
+        return "auto";
+      case SchedMode::Cycle:
+        return "cycle";
+      case SchedMode::Event:
+        return "event";
+    }
+    return "?";
+}
+
+std::optional<SchedMode>
+schedModeFromString(const std::string &s)
+{
+    if (s == "auto")
+        return SchedMode::Auto;
+    if (s == "cycle")
+        return SchedMode::Cycle;
+    if (s == "event")
+        return SchedMode::Event;
+    return std::nullopt;
+}
+
 void
 jsonFields(JsonWriter &w, const SimConfig &c)
 {
@@ -83,6 +109,13 @@ jsonFields(JsonWriter &w, const SimConfig &c)
     w.field("watchdogCycles", c.watchdogCycles);
     w.field("routeTable", c.routeTable);
     w.field("routeTableBudget", c.routeTableBudget);
+    // Only when explicitly pinned: the Auto default is omitted so
+    // every pre-existing spec keeps its byte-identical canonical form
+    // (and with it its sweep cache key), and an Auto run stays
+    // cache-compatible with both resolutions — legitimate because the
+    // two backends are trace-equivalent.
+    if (c.schedMode != SchedMode::Auto)
+        w.field("schedMode", toString(c.schedMode));
     // Always emitted (even when empty) so the canonical form — and
     // with it every sweep cache key — is stable.
     w.beginObject("faults");
@@ -167,6 +200,10 @@ jsonFields(JsonWriter &w, const SimResult &r)
     w.field("routeTableCompiled", r.routeTableCompiled);
     w.field("routeTablePerSource", r.routeTablePerSource);
     w.field("routeTableBytes", r.routeTableBytes);
+    // Scheduling metadata last: equivalence checks strip exactly this
+    // tail when diffing cycle- against event-mode result JSON.
+    w.field("schedMode", toString(r.schedMode));
+    w.field("wakeups", r.wakeups);
 }
 
 std::string
@@ -365,7 +402,7 @@ configFromJson(const JsonValue &v, std::string *error)
         "injectionRate", "injectionVcs",  "atomicVcAllocation",
         "warmupCycles",  "measureCycles", "drainCycles",
         "watchdogCycles", "routeTable",   "routeTableBudget",
-        "faults"};
+        "schedMode",     "faults"};
     for (const auto &[key, val] : v.members()) {
         bool ok = false;
         for (const char *k : known)
@@ -432,6 +469,17 @@ configFromJson(const JsonValue &v, std::string *error)
                 ok = r.fail("bad 'selection' value");
             else
                 c.selection = *p;
+        }
+    }
+    if (ok) {
+        if (const auto *f = v.find("schedMode")) {
+            const auto m = f->isString()
+                               ? schedModeFromString(f->asString())
+                               : std::nullopt;
+            if (!m)
+                ok = r.fail("bad 'schedMode' value");
+            else
+                c.schedMode = *m;
         }
     }
     if (ok) {
@@ -583,9 +631,27 @@ resultFromJson(const JsonValue &v, std::string *error)
                     })
         && r.boolean("routeTableCompiled", res.routeTableCompiled)
         && r.boolean("routeTablePerSource", res.routeTablePerSource)
-        && r.number("routeTableBytes", [&](const JsonValue &f) {
-               res.routeTableBytes = f.asU64();
+        && r.number("routeTableBytes",
+                    [&](const JsonValue &f) {
+                        res.routeTableBytes = f.asU64();
+                    })
+        // Absent in pre-schedMode cache entries: the defaults stand.
+        && r.number("wakeups", [&](const JsonValue &f) {
+               res.wakeups = f.asU64();
            });
+    if (ok) {
+        if (const auto *f = v.find("schedMode")) {
+            const auto m = f->isString()
+                               ? schedModeFromString(f->asString())
+                               : std::nullopt;
+            if (!m) {
+                if (error)
+                    *error = "bad 'schedMode' value";
+                return std::nullopt;
+            }
+            res.schedMode = *m;
+        }
+    }
     if (ok) {
         if (const auto *f = v.find("deadlockCycle")) {
             if (!f->isArray()) {

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/scheduler.hh"
+
 namespace ebda::sim {
 
 /** Packet switching technique (Section 1 of the paper; Assumption 1:
@@ -147,6 +149,12 @@ struct SimConfig
     /** Route-table size cap in bytes; a table that would exceed it
      *  falls back to the virtual relation. */
     std::uint64_t routeTableBudget = 64ull << 20;
+    /** Scheduling backend (sim/scheduler.hh). Auto resolves per run
+     *  via EBDA_SCHED_MODE / the injection-rate heuristic; both
+     *  backends produce trace-equivalent results, so the resolved
+     *  choice is an execution detail, not part of the cache identity
+     *  (Auto is never serialized). */
+    SchedMode schedMode = SchedMode::Auto;
     /** Runtime fault schedule (empty by default: no fault path runs). */
     FaultPlan faults;
 };
@@ -261,6 +269,18 @@ struct SimResult
      *  results must be byte-identical across serial/parallel/cached
      *  sweeps. bench_route_compute reports real compile timings. */
     std::uint64_t routeTableCompileNanos = 0;
+    /** @} */
+
+    /** @name Scheduling backend (sim/scheduler.hh)
+     *  Execution metadata, appended after every other field in the
+     *  JSON wire format: equivalence tests strip exactly these two
+     *  when diffing cycle- against event-mode results.
+     *  @{ */
+    /** The resolved backend that produced this result (never Auto). */
+    SchedMode schedMode = SchedMode::Cycle;
+    /** Cycles the backend actually executed. Equals `cycles` (+1) in
+     *  cycle mode; far fewer in event mode at low load. */
+    std::uint64_t wakeups = 0;
     /** @} */
 };
 

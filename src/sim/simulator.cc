@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cdg/relation_cdg.hh"
+#include "sim/event_queue.hh"
 
 namespace ebda::sim {
 
@@ -258,126 +259,155 @@ Simulator::fillInjectionVcs(std::uint64_t cycle)
     });
 }
 
-SimResult
-Simulator::run()
+std::uint64_t
+CycleScheduler::run(Simulator &sim, SimResult &result)
 {
-    SimResult result;
-    const std::uint64_t measure_start = cfg.warmupCycles;
-    const std::uint64_t measure_end = measure_start + cfg.measureCycles;
-    const std::uint64_t hard_stop = measure_end + cfg.drainCycles;
+    const std::uint64_t measure_start = sim.cfg.warmupCycles;
+    const std::uint64_t measure_end =
+        measure_start + sim.cfg.measureCycles;
+    const std::uint64_t hard_stop = measure_end + sim.cfg.drainCycles;
 
-    const bool faults_on = injector.enabled();
-    const bool phase_hooks = measureStartHook || measureEndHook;
+    const bool faults_on = sim.injector.enabled();
+    const bool phase_hooks =
+        sim.measureStartHook || sim.measureEndHook;
     std::uint64_t last_progress = 0;
     std::uint64_t cycle = 0;
     for (; cycle < hard_stop; ++cycle) {
+        ++wakeups;
         if (phase_hooks) {
-            if (cycle == measure_start && measureStartHook)
-                measureStartHook();
-            if (cycle == measure_end && measureEndHook)
-                measureEndHook();
+            if (cycle == measure_start && sim.measureStartHook)
+                sim.measureStartHook();
+            if (cycle == measure_end && sim.measureEndHook)
+                sim.measureEndHook();
         }
-        if (cycleLimit && cycle >= cycleLimit) {
-            abortedFlag = true;
+        if (sim.cycleLimit && cycle >= sim.cycleLimit) {
+            sim.abortedFlag = true;
             break;
         }
-        if (abortCheck && (cycle & 1023u) == 0 && abortCheck()) {
-            abortedFlag = true;
+        if (sim.abortCheck && (cycle & 1023u) == 0
+            && sim.abortCheck()) {
+            sim.abortedFlag = true;
             break;
         }
         if (faults_on) {
-            if (injector.nextEventCycle() <= cycle) {
+            if (sim.injector.nextEventCycle() <= cycle) {
                 const auto purged =
-                    injector.apply(cycle, fab, allocActive);
+                    sim.injector.apply(cycle, sim.fab,
+                                       sim.allocActive);
                 // Sync the compiled table with the grown masks before
                 // any route query (handleDropped checks injection
                 // routability): only rows touching the newly dead
                 // channels are rewritten.
                 for (const topo::ChannelId c :
-                     injector.takeNewlyDeadChannels())
-                    table.filterDeadChannel(c);
-                handleDropped(purged, cycle);
-                dropDeadQueuedPackets();
+                     sim.injector.takeNewlyDeadChannels())
+                    sim.table.filterDeadChannel(c);
+                sim.handleDropped(purged, cycle);
+                sim.dropDeadQueuedPackets();
                 // From here on route compute reports dead ends for
                 // same-cycle purging (a stranded head would otherwise
                 // block its VC until the periodic scan).
-                vcAlloc.collectStranded = true;
+                sim.vcAlloc.collectStranded = true;
                 // Machine check of the Theorem-2 claim: the degraded
                 // relation must still pass the Dally oracle.
-                if (cfg.faults.checkDegradedCdg) {
-                    ++faultCheckCount;
-                    if (cdg::checkDeadlockFree(effective).deadlockFree)
-                        ++faultCheckCleanCount;
+                if (sim.cfg.faults.checkDegradedCdg) {
+                    ++sim.faultCheckCount;
+                    if (cdg::checkDeadlockFree(sim.effective)
+                            .deadlockFree)
+                        ++sim.faultCheckCleanCount;
                 }
                 // Fresh progress window after the fabric surgery.
                 last_progress = cycle;
             }
-            releaseRetries(cycle);
-            if (injector.eventsApplied() > 0
-                && cycle % strandedPeriod == 0)
-                strandedScan(cycle);
+            sim.releaseRetries(cycle);
+            if (sim.injector.eventsApplied() > 0
+                && cycle % sim.strandedPeriod == 0)
+                sim.strandedScan(cycle);
         }
         const bool measuring =
             cycle >= measure_start && cycle < measure_end;
 
-        generate(cycle, measuring);
-        fillInjectionVcs(cycle);
-        vcAlloc.allocate(allocActive, routerTable, linkActive,
-                         ejectActive);
-        if (faults_on && !vcAlloc.stranded.empty()) {
-            std::vector<std::uint8_t> kill(fab.packets.size(), 0);
+        sim.generate(cycle, measuring);
+        sim.fillInjectionVcs(cycle);
+        sim.vcAlloc.allocate(sim.allocActive, sim.routerTable,
+                             sim.linkActive, sim.ejectActive);
+        if (faults_on && !sim.vcAlloc.stranded.empty()) {
+            std::vector<std::uint8_t> kill(sim.fab.packets.size(), 0);
             bool any = false;
-            for (const std::size_t idx : vcAlloc.stranded) {
-                const InputVc &vc = fab.ivcs[idx];
+            for (const std::size_t idx : sim.vcAlloc.stranded) {
+                const InputVc &vc = sim.fab.ivcs[idx];
                 if (vc.routed || vc.buf.empty()
                     || !vc.buf.front().head)
                     continue;
                 kill[vc.buf.front().pkt] = 1;
                 any = true;
             }
-            vcAlloc.stranded.clear();
+            sim.vcAlloc.stranded.clear();
             if (any)
-                handleDropped(
-                    injector.purge(fab, allocActive, kill, cycle),
+                sim.handleDropped(
+                    sim.injector.purge(sim.fab, sim.allocActive, kill,
+                                       cycle),
                     cycle);
         }
-        bool moved =
-            swAlloc.traverse(cycle, linkActive, allocActive, routerTable);
-        EjectStats stats{latencyHist,
-                         latencyStat,
-                         hopsStat,
-                         packetsEjectedCount,
-                         measuredEjectedFlits,
-                         measuredInFlight,
+        bool moved = sim.swAlloc.traverse(cycle, sim.linkActive,
+                                          sim.allocActive,
+                                          sim.routerTable);
+        EjectStats stats{sim.latencyHist,
+                         sim.latencyStat,
+                         sim.hopsStat,
+                         sim.packetsEjectedCount,
+                         sim.measuredEjectedFlits,
+                         sim.measuredInFlight,
                          measuring};
-        moved |= swAlloc.eject(cycle, ejectActive, allocActive,
-                               routerTable, stats);
+        moved |= sim.swAlloc.eject(cycle, sim.ejectActive,
+                                   sim.allocActive, sim.routerTable,
+                                   stats);
 
-        if (moved || fab.flitsInFlight == 0)
+        if (moved || sim.fab.flitsInFlight == 0)
             last_progress = cycle;
-        if (cycle - last_progress > cfg.watchdogCycles) {
+        if (cycle - last_progress > sim.cfg.watchdogCycles) {
             if (faults_on
-                && recoveryPassCount
-                    < static_cast<std::uint64_t>(
-                        std::max(0, cfg.faults.maxRecoveryAttempts))) {
+                && sim.recoveryPassCount
+                    < static_cast<std::uint64_t>(std::max(
+                        0, sim.cfg.faults.maxRecoveryAttempts))) {
                 // Escalation: drain-and-reroute instead of giving up.
-                ++recoveryPassCount;
-                recoverWedged(cycle);
+                ++sim.recoveryPassCount;
+                sim.recoverWedged(cycle);
                 last_progress = cycle;
             } else {
                 result.deadlocked = true;
-                forensicsDump = buildForensics(fab, table, cycle);
+                sim.forensicsDump =
+                    buildForensics(sim.fab, sim.table, cycle);
                 result.deadlockCycle.assign(
-                    forensicsDump.waitCycle.begin(),
-                    forensicsDump.waitCycle.end());
+                    sim.forensicsDump.waitCycle.begin(),
+                    sim.forensicsDump.waitCycle.end());
                 result.deadlockCycleInCdg =
-                    forensicsDump.cycleInRelationCdg;
+                    sim.forensicsDump.cycleInRelationCdg;
                 break;
             }
         }
-        if (cycle >= measure_end && measuredInFlight == 0)
+        if (cycle >= measure_end && sim.measuredInFlight == 0)
             break;
     }
+    return cycle;
+}
+
+SimResult
+Simulator::run()
+{
+    SimResult result;
+    const SchedMode mode =
+        resolveSchedMode(cfg.schedMode, cfg.injectionRate);
+    std::uint64_t cycle;
+    if (mode == SchedMode::Event) {
+        EventScheduler sched;
+        cycle = sched.run(*this, result);
+        result.wakeups = sched.wakeups;
+    } else {
+        CycleScheduler sched;
+        cycle = sched.run(*this, result);
+        result.wakeups = sched.wakeups;
+    }
+    result.schedMode = mode;
     finalCycle = cycle;
 
     result.cycles = cycle;

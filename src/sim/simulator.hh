@@ -56,6 +56,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/forensics.hh"
 #include "sim/router.hh"
+#include "sim/scheduler.hh"
 #include "sim/simconfig.hh"
 #include "sim/switch_allocator.hh"
 #include "sim/traffic.hh"
@@ -65,9 +66,12 @@
 
 namespace ebda::sim {
 
+class EventScheduler;
+
 /**
- * The simulator: orchestrates generation, the two allocation stages
- * and the watchdog over the shared fabric. Construct once per run.
+ * The simulator: holds the fabric, the pipeline stages and the
+ * per-run bookkeeping; a SchedulerBackend (sim/scheduler.hh) decides
+ * which cycles to execute. Construct once per run.
  */
 class Simulator
 {
@@ -76,7 +80,8 @@ class Simulator
               const cdg::RoutingRelation &routing,
               const TrafficGenerator &traffic, const SimConfig &config);
 
-    /** Execute warmup, measurement and drain; return the results. */
+    /** Execute warmup, measurement and drain under the backend
+     *  resolved from cfg.schedMode; return the results. */
     SimResult run();
 
     /** @name Cooperative abort hooks (sweep job budgets)
@@ -139,6 +144,12 @@ class Simulator
     /** @} */
 
   private:
+    /** The scheduling backends drive the private phase code directly:
+     *  CycleScheduler is the classic loop (simulator.cc),
+     *  EventScheduler the queue-driven one (event_queue.cc). */
+    friend class CycleScheduler;
+    friend class EventScheduler;
+
     void generate(std::uint64_t cycle, bool measuring);
     void fillInjectionVcs(std::uint64_t cycle);
 

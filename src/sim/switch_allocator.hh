@@ -129,6 +129,22 @@ class SwitchAllocator
     /** Current rotating grant offset (advanced at each traverse). */
     std::size_t offset() const { return swArbOffset; }
 
+    /** Re-derive the grant offset and the per-arity rotation starts
+     *  after skipped cycles. traverse() advances both unconditionally,
+     *  so they are pure functions of the cycle count: before executing
+     *  the iteration for `cycle`, swArbOffset == cycle and
+     *  rotStart[n] == cycle % n (traverse then increments to the
+     *  (cycle+1) values, exactly as if every skipped cycle had run).
+     *  The event scheduler calls this after each idle jump. */
+    void
+    resyncOffset(std::uint64_t cycle)
+    {
+        swArbOffset = static_cast<std::size_t>(cycle);
+        for (std::size_t n = 1; n < rotStart.size(); ++n)
+            rotStart[n] = static_cast<std::uint32_t>(
+                cycle % static_cast<std::uint64_t>(n));
+    }
+
   private:
     /** Input port of a VC: its link, or the node's injection port
      *  (precomputed at Fabric construction). */

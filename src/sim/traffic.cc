@@ -1,6 +1,7 @@
 #include "traffic.hh"
 
 #include <bit>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -54,11 +55,32 @@ TrafficGenerator::TrafficGenerator(const topo::Network &network,
     addressBits = std::has_single_bit(n)
         ? std::countr_zero(n)
         : -1;
+    // Routability guards, enforced at construction so a sweep spec
+    // pairing a pattern with a network it is undefined on fails the
+    // job cleanly (std::invalid_argument reaches the runner's
+    // per-job catch) instead of asserting mid-simulation.
     const bool needs_bits = pattern == TrafficPattern::BitComplement
         || pattern == TrafficPattern::BitReverse
         || pattern == TrafficPattern::Shuffle;
-    EBDA_ASSERT(!needs_bits || addressBits > 0,
-                "bit permutation patterns need a power-of-two node count");
+    if (needs_bits && addressBits <= 0)
+        throw std::invalid_argument(
+            toString(pattern)
+            + " traffic needs a power-of-two node count, got "
+            + std::to_string(n) + " nodes");
+    if (pattern == TrafficPattern::Transpose) {
+        // Reversing a coordinate vector stays in range iff the radix
+        // vector is a palindrome (e.g. 4x4 or 2x8x2, not 2x8).
+        const topo::Coord &dims = net.dims();
+        for (std::size_t d = 0; d < dims.size(); ++d) {
+            if (dims[d] != dims[dims.size() - 1 - d])
+                throw std::invalid_argument(
+                    "transpose traffic needs a palindromic radix "
+                    "vector (dimension " + std::to_string(d)
+                    + " has radix " + std::to_string(dims[d])
+                    + ", its mirror "
+                    + std::to_string(dims[dims.size() - 1 - d]) + ")");
+        }
+    }
     EBDA_ASSERT(hotspot_node < net.numNodes(), "hotspot out of range");
     EBDA_ASSERT(hotspot_percent >= 0 && hotspot_percent <= 100,
                 "hotspot percentage out of range");
@@ -70,13 +92,9 @@ TrafficGenerator::permute(topo::NodeId src) const
     switch (patternKind) {
       case TrafficPattern::Transpose: {
           // Reverse the coordinate vector (matrix transpose in 2D).
+          // In range by the constructor's palindromic-radix guard.
           const topo::Coord c = net.coord(src);
           topo::Coord t(c.rbegin(), c.rend());
-          // Requires matching radices for the reversed assignment.
-          for (std::size_t d = 0; d < t.size(); ++d) {
-              EBDA_ASSERT(t[d] < net.dims()[d],
-                          "transpose needs equal radices per dimension");
-          }
           return net.node(t);
       }
       case TrafficPattern::BitComplement: {

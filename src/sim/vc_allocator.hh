@@ -92,6 +92,19 @@ class VcAllocator
     /** Current rotating-priority offset (advanced at each allocate). */
     std::size_t offset() const { return vcArbOffset; }
 
+    /** Re-derive the rotating offset after skipped cycles. allocate()
+     *  advances the offset unconditionally, so it is a pure function
+     *  of the cycle count: before executing the iteration for `cycle`
+     *  the offset must be `cycle % numVcs` (allocate then advances it
+     *  to the (cycle+1) value, exactly as if every skipped cycle had
+     *  run). The event scheduler calls this after each idle jump. */
+    void
+    resyncOffset(std::uint64_t cycle)
+    {
+        vcArbOffset = static_cast<std::size_t>(
+            cycle % static_cast<std::uint64_t>(fab.ivcs.size()));
+    }
+
     /** @name Stranded-packet reporting (fault path)
      *  With `collectStranded` set, every swept VC whose head found no
      *  route candidate at all (a dead end of the degraded relation, not

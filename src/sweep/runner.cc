@@ -30,7 +30,16 @@ runJob(const SweepJob &job, const RunOptions &opts)
             return out;
         }
         const sim::TrafficGenerator gen(net, job.pattern);
-        sim::Simulator simr(net, *router, gen, job.cfg);
+        // Resolve the scheduling backend per job, after the cache key
+        // was derived from the canonical config: an explicit override
+        // from the options wins, then the job's own setting, then the
+        // injection-rate heuristic (sim/scheduler.hh).
+        sim::SimConfig cfg = job.cfg;
+        cfg.schedMode = sim::resolveSchedMode(
+            opts.schedMode != sim::SchedMode::Auto ? opts.schedMode
+                                                   : cfg.schedMode,
+            cfg.injectionRate);
+        sim::Simulator simr(net, *router, gen, cfg);
         if (opts.jobCycleBudget > 0)
             simr.setCycleLimit(opts.jobCycleBudget);
         const bool deadline = opts.jobWallClockBudgetSeconds > 0.0;

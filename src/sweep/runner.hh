@@ -88,6 +88,14 @@ struct RunOptions
      *  running jobs abort and pending jobs are skipped; completed
      *  results are still returned and cached. */
     const std::atomic<bool> *interruptFlag = nullptr;
+    /** Scheduling-backend override for executed jobs (ebda_sweep run
+     *  --sched): an explicit mode forces every job; Auto defers to the
+     *  job's own schedMode, resolved per job from its injection rate
+     *  (sim/scheduler.hh heuristic — event mode for lightly loaded
+     *  jobs, the cycle loop near saturation). Never part of the cache
+     *  key: the backends are trace-equivalent, so cached results are
+     *  shared across modes. */
+    sim::SchedMode schedMode = sim::SchedMode::Auto;
 };
 
 /** Execute one job, no cache involved (also used by the runner). */

@@ -12,6 +12,7 @@
 #ifndef EBDA_UTIL_RANDOM_HH
 #define EBDA_UTIL_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace ebda {
@@ -116,6 +117,28 @@ class Rng
         return lo + static_cast<std::int64_t>(
             nextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
     }
+
+    /** @name Raw state access
+     *  For block-batched draw engines (sim/event_queue.cc) that advance
+     *  many streams in lockstep and must hand a stream back to / take
+     *  it over from a live Rng without perturbing the sequence. A
+     *  stream restored via setState continues bit-identically.
+     *  @{ */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &state_)
+    {
+        s[0] = state_[0];
+        s[1] = state_[1];
+        s[2] = state_[2];
+        s[3] = state_[3];
+    }
+    /** @} */
 
   private:
     static std::uint64_t

@@ -185,6 +185,108 @@ TEST(SweepSpec, SweepsRunOnNewTopologyKinds)
     }
 }
 
+/** A spec may pair a pattern with a network it is undefined on; the
+ *  TrafficGenerator's construction-time routability guards must turn
+ *  that grid point into a clean per-job failure (with the guard's
+ *  message), never an assert or a crash. */
+TEST(SweepSpec, UnroutablePatternFailsJobCleanly)
+{
+    // transpose on a non-palindromic mesh, bitcomp on 12 nodes.
+    const auto spec = specOrDie(R"({
+      "topologies": [
+        {"type": "mesh", "dims": [2, 8], "vcs": [1, 1]},
+        {"type": "mesh", "dims": [3, 4], "vcs": [1, 1]}
+      ],
+      "routers": ["xy"],
+      "patterns": ["transpose", "bitcomp", "uniform"],
+      "rates": [0.02],
+      "sim": {"seed": 3, "warmupCycles": 50, "measureCycles": 150,
+              "drainCycles": 2000, "watchdogCycles": 1000}
+    })");
+    const auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 6u);
+    for (const auto &job : jobs) {
+        const auto out = sweep::runJob(job);
+        const auto nodes = job.topo.build().numNodes();
+        if (job.pattern == sim::TrafficPattern::Transpose) {
+            // Both 2x8 and 3x4 have non-palindromic radix vectors.
+            EXPECT_FALSE(out.ok);
+            EXPECT_NE(out.error.find("palindromic"),
+                      std::string::npos)
+                << out.error;
+        } else if (job.pattern == sim::TrafficPattern::BitComplement
+                   && nodes == 12u) {
+            EXPECT_FALSE(out.ok);
+            EXPECT_NE(out.error.find("power-of-two"),
+                      std::string::npos)
+                << out.error;
+        } else {
+            // uniform everywhere; bitcomp on 2x8 = 16 nodes is fine.
+            EXPECT_TRUE(out.ok) << out.error;
+        }
+    }
+    // A palindromic non-square radix vector is fine for transpose.
+    const auto ok_spec = specOrDie(R"({
+      "topology": {"type": "mesh", "dims": [2, 4, 2], "vcs": [1, 1, 1]},
+      "routers": ["xy"],
+      "patterns": ["transpose"],
+      "rates": [0.02],
+      "sim": {"seed": 3, "warmupCycles": 50, "measureCycles": 150,
+              "drainCycles": 2000, "watchdogCycles": 1000}
+    })");
+    const auto ok_jobs = ok_spec.expand();
+    ASSERT_EQ(ok_jobs.size(), 1u);
+    EXPECT_TRUE(sweep::runJob(ok_jobs[0]).ok);
+}
+
+/** Cache-key stability across the schedMode addition: a spec without
+ *  the field must canonicalize without it (Auto is never serialized),
+ *  so pre-existing caches keep hitting; an explicit mode is part of
+ *  the grid point and round-trips. */
+TEST(SweepSpec, SchedModeCanonicalizationAndOverride)
+{
+    const auto plain = specOrDie(kSpecText).expand();
+    for (const auto &job : plain) {
+        EXPECT_EQ(job.cfg.schedMode, sim::SchedMode::Auto);
+        EXPECT_EQ(job.canonical.find("schedMode"), std::string::npos)
+            << job.canonical;
+    }
+
+    const auto pinned = specOrDie(R"({
+      "name": "t",
+      "topology": {"type": "mesh", "dims": [4, 4], "vcs": [2, 2]},
+      "routers": ["xy"],
+      "patterns": ["uniform"],
+      "rates": [0.02],
+      "sim": {"seed": 7, "warmupCycles": 50, "measureCycles": 150,
+              "drainCycles": 2000, "watchdogCycles": 1000,
+              "schedMode": "event"}
+    })").expand();
+    ASSERT_EQ(pinned.size(), 1u);
+    EXPECT_EQ(pinned[0].cfg.schedMode, sim::SchedMode::Event);
+    EXPECT_NE(pinned[0].canonical.find("\"schedMode\":\"event\""),
+              std::string::npos);
+    const auto out = sweep::runJob(pinned[0]);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.result.schedMode, sim::SchedMode::Event);
+
+    // The runner-level override (ebda_sweep run --sched) forces the
+    // backend without touching the job or its key.
+    sweep::RunOptions opts;
+    opts.schedMode = sim::SchedMode::Cycle;
+    const auto forced = sweep::runJob(pinned[0], opts);
+    ASSERT_TRUE(forced.ok) << forced.error;
+    EXPECT_EQ(forced.result.schedMode, sim::SchedMode::Cycle);
+
+    std::string err;
+    EXPECT_FALSE(sweep::SweepSpec::parse(
+        R"({"topology": {"type": "mesh", "dims": [4, 4]},
+            "routers": ["xy"], "patterns": ["uniform"],
+            "rates": [0.1], "sim": {"schedMode": "warp"}})",
+        &err));
+    EXPECT_NE(err.find("schedMode"), std::string::npos) << err;
+}
+
 TEST(SweepSpec, RejectsBadTopologyParams)
 {
     std::string err;

@@ -6,6 +6,7 @@
  * Subcommands:
  *   run    --spec sweep.json [--jobs N] [--cache DIR] [--out FILE]
  *          [--job-timeout SEC] [--job-cycles N] [--no-retry]
+ *          [--sched auto|cycle|event]
  *          Expand the spec into its job grid, serve cached points from
  *          --cache (when given), run the rest on N worker threads
  *          (default: all cores), and write one JSONL row per job to
@@ -17,6 +18,10 @@
  *          simulator's deadlock watchdog) gets one retry (--no-retry
  *          disables it) and is then quarantined in the cache so later
  *          sweeps serve the record instead of rerunning it.
+ *          --sched overrides the scheduling backend for every executed
+ *          job (default auto: per-job injection-rate heuristic, see
+ *          sim/scheduler.hh). Cache keys never include the mode — the
+ *          backends are trace-equivalent, so entries are shared.
  *          SIGINT/SIGTERM stop the sweep gracefully: running jobs
  *          abort, pending jobs are skipped, completed results are
  *          flushed to --out and the cache, a partial summary prints,
@@ -68,6 +73,7 @@ usage()
         "  run    --spec sweep.json [--jobs N] [--cache DIR]\n"
         "         [--out results.jsonl] [--job-timeout SEC]\n"
         "         [--job-cycles N] [--no-retry]\n"
+        "         [--sched auto|cycle|event]\n"
         "  expand --spec sweep.json\n"
         "  cache  stats --cache DIR\n"
         "  cache  clear --cache DIR\n"
@@ -126,6 +132,14 @@ cmdRun(const Args &args)
     if (args.has("no-retry"))
         opts.watchdogRetries = 0;
     opts.interruptFlag = &g_interrupted;
+    if (args.has("sched")) {
+        const auto mode = sim::schedModeFromString(args.get("sched"));
+        if (!mode) {
+            std::cerr << "--sched must be auto, cycle or event\n";
+            return 2;
+        }
+        opts.schedMode = *mode;
+    }
     if (!args.error().empty()) {
         std::cerr << args.error() << '\n';
         return 2;
@@ -183,6 +197,16 @@ cmdRun(const Args &args)
               << " | retried " << report.retried << " | failed "
               << report.failed << " | skipped " << report.skipped
               << " | " << report.elapsedSeconds << " s\n";
+
+    // The persistent cache's state after this sweep (the summary
+    // line's hit/miss counters only cover this run).
+    if (cache)
+        std::cerr << "cache " << cache_dir << ": "
+                  << report.cacheHits << " hit(s), "
+                  << report.cacheMisses << " miss(es) this run | now "
+                  << cache->entries() << " entr"
+                  << (cache->entries() == 1 ? "y" : "ies") << ", "
+                  << cache->quarantinedEntries() << " quarantined\n";
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const auto &o = report.outcomes[i];

@@ -16,7 +16,10 @@
  *            Print the extracted turn set with theorem provenance.
  *   simulate --scheme "..." [--mesh 8x8] [--vcs 1,1] [--rate 0.2]
  *            [--pattern uniform] [--cycles 4000] [--torus]
+ *            [--sched auto|cycle|event] [--json]
  *            Run the wormhole simulator with the scheme's routing.
+ *            --sched picks the scheduling backend (sim/scheduler.hh);
+ *            auto resolves from the injection rate.
  *   space    --dims N [--vcs A,B,..]
  *            Report the turn-model design-space size EbDa avoids.
  *   forensics [--router minimal | --scheme "..."] [--mesh 4x4]
@@ -101,6 +104,7 @@ usage()
         "  turns    --scheme \"...\"\n"
         "  simulate --scheme \"...\" [--mesh 8x8] [--vcs 1,1] "
         "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
+        "           [--sched auto|cycle|event] [--json]\n"
         "  compare  --scheme \"...\" --scheme2 \"...\"\n"
         "  space    --dims 3 [--vcs 1,1,1]\n"
         "  topo     [--dragonfly 4,2,2 | --fullmesh 8 | --mesh 4x4 "
@@ -327,6 +331,14 @@ cmdSimulate(const Args &args)
     sim::SimConfig cfg;
     cfg.injectionRate = args.getDouble("rate", 0.2);
     cfg.measureCycles = args.getU64("cycles", 4000);
+    if (args.has("sched")) {
+        const auto mode = sim::schedModeFromString(args.get("sched"));
+        if (!mode) {
+            std::cerr << "--sched must be auto, cycle or event\n";
+            return 2;
+        }
+        cfg.schedMode = *mode;
+    }
     if (!args.error().empty()) {
         std::cerr << args.error() << '\n';
         return 2;
