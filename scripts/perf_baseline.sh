@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate BENCH_sim.json, the committed performance baseline.
 #
-# Three benches feed it, all built in a Release (-O3) tree:
+# Four benches feed it, all built in a Release (-O3) tree:
 #  - bench_route_compute: compiled-table vs virtual-dispatch route
 #    compute on the standard 8x8, 2-VC mesh plus one fixed
 #    latency-sweep point with the table on and off. Exits non-zero on
@@ -15,11 +15,16 @@
 #  - bench_sched_mode: cycle- vs event-driven scheduler backends on a
 #    16x16 mesh, gating the >=5x event-mode win at near-idle load and
 #    a 10% cycle-mode regression bound at saturation.
+#  - bench_protocol_deadlock: request–reply delivery vs reply-buffer
+#    depth on a Dally-clean 4x4 mesh, gating the messageClasses=2
+#    escape (>= 0.99 delivery, watchdog-clean) and the protocol
+#    classification of every one-class wedge.
 #
-# The route bench writes the top-level JSON; the cycle and sched
-# benches' summaries are merged in as the `sim_loop` and `sched_mode`
-# members. Any bench failing aborts the script, so a stale or
-# regressed baseline can never be committed from a broken build.
+# The route bench writes the top-level JSON; the cycle, sched, and
+# protocol benches' summaries are merged in as the `sim_loop`,
+# `sched_mode`, and `protocol` members. Any bench failing aborts the
+# script, so a stale or regressed baseline can never be committed from
+# a broken build.
 #
 # Usage: scripts/perf_baseline.sh [build-dir]   (default: build-perf)
 set -euo pipefail
@@ -29,7 +34,8 @@ BUILD_DIR="${1:-build-perf}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_route_compute bench_cycle_rate bench_sched_mode
+    --target bench_route_compute bench_cycle_rate bench_sched_mode \
+    bench_protocol_deadlock
 
 EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
     "$BUILD_DIR/bench/bench_route_compute"
@@ -38,8 +44,10 @@ EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
 # then merge its summary into the fresh BENCH_sim.json.
 SIM_LOOP_JSON="$(mktemp)"
 SCHED_MODE_JSON="$(mktemp)"
+PROTOCOL_JSON="$(mktemp)"
 PREV_BASELINE="$(mktemp)"
-trap 'rm -f "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PREV_BASELINE"' EXIT
+trap 'rm -f "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" \
+    "$PREV_BASELINE"' EXIT
 if git show HEAD:BENCH_sim.json > "$PREV_BASELINE" 2>/dev/null; then
     export EBDA_SIM_BASELINE_JSON="$PREV_BASELINE"
 fi
@@ -51,8 +59,14 @@ EBDA_CYCLE_BENCH_JSON="$SIM_LOOP_JSON" \
 EBDA_SCHED_BENCH_JSON="$SCHED_MODE_JSON" \
     "$BUILD_DIR/bench/bench_sched_mode"
 
-# Splice `"sim_loop"` and `"sched_mode"` onto the route bench's object.
-python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" <<'EOF'
+# Protocol layer: delivery vs reply-buffer depth, wedge classification
+# gate (the bench exits non-zero if the reply-class escape ever fails).
+EBDA_PROTOCOL_BENCH_JSON="$PROTOCOL_JSON" \
+    "$BUILD_DIR/bench/bench_protocol_deadlock"
+
+# Splice `"sim_loop"`, `"sched_mode"`, and `"protocol"` onto the route
+# bench's object.
+python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" <<'EOF'
 import json, sys
 with open("BENCH_sim.json") as f:
     doc = json.load(f)
@@ -60,6 +74,8 @@ with open(sys.argv[1]) as f:
     doc["sim_loop"] = json.load(f)
 with open(sys.argv[2]) as f:
     doc["sched_mode"] = json.load(f)
+with open(sys.argv[3]) as f:
+    doc["protocol"] = json.load(f)
 with open("BENCH_sim.json", "w") as f:
     json.dump(doc, f, separators=(",", ":"))
     f.write("\n")

@@ -21,7 +21,8 @@
 namespace ebda::sim {
 
 SchedMode
-resolveSchedMode(SchedMode requested, double injectionRate)
+resolveSchedMode(SchedMode requested, double injectionRate,
+                 std::size_t numNodes)
 {
     if (requested != SchedMode::Auto)
         return requested;
@@ -30,8 +31,16 @@ resolveSchedMode(SchedMode requested, double injectionRate)
             m && *m != SchedMode::Auto)
             return *m;
     }
-    return injectionRate < kEventModeRateThreshold ? SchedMode::Event
-                                                   : SchedMode::Cycle;
+    // Scale the per-node cutoff so it tracks the fabric-wide arrival
+    // rate: above the reference size the cutoff shrinks by
+    // refNodes/numNodes (at or below it, the calibrated value holds —
+    // every pre-existing Auto resolution is unchanged).
+    double cutoff = kEventModeRateThreshold;
+    if (numNodes > kEventModeRefNodes)
+        cutoff *= static_cast<double>(kEventModeRefNodes)
+            / static_cast<double>(numNodes);
+    return injectionRate < cutoff ? SchedMode::Event
+                                  : SchedMode::Cycle;
 }
 
 namespace {
@@ -410,14 +419,15 @@ EventScheduler::run(Simulator &sim, SimResult &result)
 
     const double packet_rate = sim.cfg.injectionRate
         / static_cast<double>(sim.cfg.packetLength);
-    if (sim.injector.enabled()
+    if (sim.injector.enabled() || sim.cfg.protocol.enabled()
         || sim.cfg.selection == SelectionPolicy::Random
         || !(packet_rate > 0.0) || packet_rate >= 1.0) {
         // Cycle-granular fallback (see event_queue.hh): fault plans,
-        // allocation-interleaved Random draws and degenerate rates
-        // make (almost) every cycle a potential event, so the cycle
-        // loop IS the event loop there — results identical by
-        // construction, wakeups == cycles.
+        // protocol endpoints (service timers and reply injection fire
+        // off the injection-draw schedule), allocation-interleaved
+        // Random draws and degenerate rates make (almost) every cycle
+        // a potential event, so the cycle loop IS the event loop there
+        // — results identical by construction, wakeups == cycles.
         CycleScheduler dense;
         const std::uint64_t end = dense.run(sim, result);
         wakeups = dense.wakeups;

@@ -49,6 +49,13 @@ struct PacketRec
     bool measured = false;
     /** Source retransmissions so far (fault recovery). */
     std::uint8_t retries = 0;
+    /** Message class for the request–reply protocol layer
+     *  (sim/protocol.hh): 0 = request (and plain one-way traffic),
+     *  1 = reply. Drives the message-class VC partition and the
+     *  endpoint delivery/backpressure rules; always 0 when the layer
+     *  is disabled. Fits the PacketRec padding, so the record stays
+     *  32 bytes. */
+    std::uint8_t msgClass = 0;
 };
 
 /**

@@ -1,0 +1,106 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ebda::sim {
+
+namespace {
+
+/** Stream tag folded into the master seed for the per-endpoint jitter
+ *  substreams ("protocol" in ASCII): endpoint draws never perturb the
+ *  per-router traffic streams, so enabling the layer replays
+ *  bit-identically from (seed, ProtocolConfig). */
+constexpr std::uint64_t kEndpointStreamTag = 0x70726f746f636f6cULL;
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw std::invalid_argument(what);
+}
+
+} // namespace
+
+ProtocolState::ProtocolState(const topo::Network &net, const SimConfig &cfg)
+    : replyActive(net.numNodes()),
+      serviceLatency(cfg.protocol.serviceLatency),
+      serviceJitter(cfg.protocol.serviceJitter),
+      depth(cfg.protocol.replyBufferDepth),
+      classes(cfg.protocol.messageClasses),
+      reserve(cfg.protocol.reserveReplyBuffer),
+      requestInjVcs(cfg.injectionVcs)
+{
+    if (depth < 1)
+        fail("protocol.replyBufferDepth must be >= 1, got "
+             + std::to_string(depth));
+    if (classes < 1 || classes > 2)
+        fail("protocol.messageClasses must be 1 (shared VCs) or 2 "
+             "(dedicated reply class), got " + std::to_string(classes));
+    if (classes == 2) {
+        // Carve the reply band out of every link's VCs and out of the
+        // injection VCs: the top floor(n/2) (at least one) VCs carry
+        // replies, the rest requests. Both bands must be non-empty
+        // everywhere or a packet class would be unroutable.
+        if (cfg.injectionVcs < 2)
+            fail("protocol.messageClasses=2 needs injectionVcs >= 2 to "
+                 "carve a reply band, got "
+                 + std::to_string(cfg.injectionVcs));
+        const int reply_inj = std::max(1, cfg.injectionVcs / 2);
+        requestInjVcs = cfg.injectionVcs - reply_inj;
+        chanClass.assign(net.numChannels(), 0);
+        for (topo::LinkId l = 0; l < net.numLinks(); ++l) {
+            const int nvc = net.vcsOnLink(l);
+            if (nvc < 2)
+                fail("protocol.messageClasses=2 needs >= 2 VCs on every "
+                     "link to carve a reply band; link "
+                     + std::to_string(l) + " has "
+                     + std::to_string(nvc));
+            const int reply_vcs = std::max(1, nvc / 2);
+            const topo::ChannelId base = net.linkChannelBase(l);
+            for (int v = nvc - reply_vcs; v < nvc; ++v)
+                chanClass[base + static_cast<topo::ChannelId>(v)] = 1;
+        }
+    }
+
+    endpoints.reserve(net.numNodes());
+    for (topo::NodeId n = 0; n < net.numNodes(); ++n) {
+        endpoints.emplace_back(Rng(cfg.seed ^ kEndpointStreamTag, n));
+        endpoints.back().pending.reserve(
+            static_cast<std::size_t>(depth));
+    }
+}
+
+void
+ProtocolState::onRequestDelivered(topo::NodeId n, const PacketRec &pkt,
+                                  std::uint64_t cycle)
+{
+    ++requestsDelivered;
+    Endpoint &ep = endpoints[n];
+    ep.pending.push_back({cycle + serviceDelay(n), pkt.src});
+    replyActive.schedule(n);
+}
+
+std::uint64_t
+ProtocolState::serviceDelay(topo::NodeId n)
+{
+    std::uint64_t d = serviceLatency;
+    if (serviceJitter > 0)
+        d += endpoints[n].rng.nextBounded(serviceJitter + 1);
+    return d;
+}
+
+void
+ProtocolState::releaseEjectReservations(
+    const Fabric &fab, const std::vector<std::uint8_t> &kill)
+{
+    for (const InputVc &vc : fab.ivcs) {
+        if (!vc.routed || !vc.eject || vc.curPkt == topo::kInvalidId)
+            continue;
+        if (vc.curPkt < kill.size() && kill[vc.curPkt]
+            && fab.packets[vc.curPkt].msgClass == 0)
+            releaseDeliverySlot(vc.atNode);
+    }
+}
+
+} // namespace ebda::sim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The request–reply protocol layer: per-node endpoints with a finite
+ * reply/reassembly buffer, a service latency, and the message-class VC
+ * partition.
+ *
+ * Model (ProtocolConfig in simconfig.hh): every generated packet is a
+ * *request* (msgClass 0). Delivering a request consumes one slot of
+ * the destination endpoint's reply buffer — the slot is reserved the
+ * moment the head is eject-routed, so concurrent arrivals can never
+ * overfill it — and after `serviceLatency` (+ jitter from a dedicated
+ * per-endpoint RNG substream) the endpoint enqueues a *reply*
+ * (msgClass 1) back to the requester. The slot is held until the reply
+ * has fully entered an injection VC. A full endpoint refuses to
+ * eject-route further requests, which is exactly how endpoint
+ * backpressure propagates into the fabric: the refused head keeps its
+ * VC, upstream credits dry up, and the classic message-dependency
+ * cycle — endpoint waits on reply injection, the reply waits on a
+ * channel owned by a request, the request waits on a full endpoint —
+ * becomes reachable even when the channel-level CDG is provably
+ * acyclic (arXiv:2101.06015).
+ *
+ * Prevention knobs:
+ *  - `messageClasses = 2` splits every link's VCs (and every node's
+ *    injection VCs) into a request band and a reply band. Replies then
+ *    never wait behind requests, always reach their requester (replies
+ *    sink unconditionally), so endpoint slots always free and the
+ *    dependency cycle cannot close — the standard virtual-network
+ *    escape. The underlying routing relation must be deadlock-free
+ *    within each band (e.g. DOR on a mesh with >= 2 VCs per link).
+ *  - `reserveReplyBuffer` is the end-to-end-credit alternative: a node
+ *    only generates a request when it can reserve a slot in its own
+ *    reply buffer for the eventual reply, bounding outstanding
+ *    requests per node by the buffer depth (a throttle that keeps the
+ *    fabric below the congestion the wedge needs, not a proof).
+ *
+ * Detection and recovery live with the rest of the watchdog machinery:
+ * forensics.cc extends the wait-for graph across endpoint and
+ * injection vertices (the Verbeek & Schmaltz wait-for-graph
+ * discipline, arXiv:1110.4677), and the simulator's watchdog
+ * escalation aborts-and-retransmits the oldest in-fabric request with
+ * the fault-recovery backoff machinery before declaring a wedge.
+ *
+ * Everything is deterministic and allocation-free in steady state:
+ * endpoint rings are reserved to the buffer depth at construction, and
+ * endpoint RNG streams are substreams of the master seed keyed by node
+ * id on a dedicated stream tag, so enabling the layer never perturbs
+ * the per-router traffic streams (replay bit-identity).
+ */
+
+#ifndef EBDA_SIM_PROTOCOL_HH
+#define EBDA_SIM_PROTOCOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/active_set.hh"
+#include "sim/router.hh"
+#include "util/random.hh"
+#include "util/ring_queue.hh"
+
+namespace ebda::sim {
+
+/** Runtime state of the request–reply layer for one simulation. */
+class ProtocolState
+{
+  public:
+    /** Validates the config against the network (path-named
+     *  std::invalid_argument, same contract as the topology
+     *  factories) and pre-sizes every endpoint. */
+    ProtocolState(const topo::Network &net, const SimConfig &cfg);
+
+    /** A serviced request waiting to be injected as a reply. */
+    struct PendingReply
+    {
+        /** First cycle the reply may inject (delivery + service). */
+        std::uint64_t ready = 0;
+        /** The requester (the original packet's source). */
+        topo::NodeId dest = 0;
+    };
+
+    /** One node's protocol endpoint. */
+    struct Endpoint
+    {
+        /** Reply-buffer slots in use: eject-reserved + delivered
+         *  requests whose reply has not yet injected, plus local
+         *  request reservations in reserveReplyBuffer mode. */
+        int occupied = 0;
+        /** Serviced requests awaiting reply injection (bounded by the
+         *  buffer depth — every entry holds a slot). */
+        RingQueue<PendingReply> pending;
+        /** Dedicated service-jitter substream. */
+        Rng rng;
+
+        explicit Endpoint(Rng r) : rng(r) { }
+    };
+
+    /** @name Endpoint buffer accounting
+     *  @{ */
+    /** Can the endpoint at `n` accept one more request? */
+    bool
+    canAccept(topo::NodeId n) const
+    {
+        return endpoints[n].occupied < depth;
+    }
+
+    /** Reserve a slot for a request whose head was just eject-routed
+     *  at `n` (caller checked canAccept). */
+    void
+    reserveDelivery(topo::NodeId n)
+    {
+        noteOccupancy(++endpoints[n].occupied);
+    }
+
+    /** Tail of a request ejected at `n`: convert its reserved slot
+     *  into a pending reply due after the service delay. */
+    void onRequestDelivered(topo::NodeId n, const PacketRec &pkt,
+                            std::uint64_t cycle);
+
+    /** Tail of a reply ejected at its requester `n`. */
+    void
+    onReplyDelivered(topo::NodeId n)
+    {
+        ++repliesDelivered;
+        if (reserve)
+            releaseSlot(n);
+    }
+
+    /** reserveReplyBuffer mode: try to reserve a local slot for the
+     *  eventual reply before generating a request at `n`. */
+    bool
+    tryReserveRequest(topo::NodeId n)
+    {
+        if (endpoints[n].occupied >= depth) {
+            ++throttled;
+            return false;
+        }
+        noteOccupancy(++endpoints[n].occupied);
+        return true;
+    }
+
+    /** A packet was permanently lost: release the requester-side
+     *  reservation it held (reserveReplyBuffer mode). */
+    void
+    onPacketLost(const PacketRec &pkt)
+    {
+        if (reserve)
+            releaseSlot(pkt.msgClass == 0 ? pkt.src : pkt.dest);
+    }
+
+    /** Release the eject-time slot reservations of packets about to be
+     *  purged (`kill[pkt] != 0`) — the recovery passes and fault purges
+     *  must not leak endpoint slots. */
+    void releaseEjectReservations(const Fabric &fab,
+                                  const std::vector<std::uint8_t> &kill);
+    /** @} */
+
+    /** @name Message-class VC partition
+     *  @{ */
+    /** May a packet of `msgClass` allocate network channel `c`? */
+    bool
+    channelAllowed(topo::ChannelId c, std::uint8_t msgClass) const
+    {
+        return classes == 1 || chanClass[c] == msgClass;
+    }
+
+    /** May a request fill injection VC `k` of its node? */
+    bool
+    requestInjVcAllowed(int k) const
+    {
+        return classes == 1 || k < requestInjVcs;
+    }
+
+    /** First injection VC of the reply band (0 when unpartitioned). */
+    int replyInjVcBegin() const { return classes == 1 ? 0 : requestInjVcs; }
+    /** @} */
+
+    /** Service delay for a request delivered at `n` (advances only the
+     *  endpoint's own substream). */
+    std::uint64_t serviceDelay(topo::NodeId n);
+
+    const std::vector<Endpoint> &endpointsView() const { return endpoints; }
+
+    /** Mutable endpoint access for the simulator's reply-injection
+     *  phase (pop pending, advance the jitter stream). */
+    Endpoint &endpoint(topo::NodeId n) { return endpoints[n]; }
+
+    /** Release one reply-buffer slot at `n` (reply fully injected, or
+     *  an eject-reserved request was purged). Guarded: never
+     *  underflows. */
+    void releaseDeliverySlot(topo::NodeId n) { releaseSlot(n); }
+
+    /** Message classes after validation (1 or 2). */
+    int messageClasses() const { return classes; }
+    /** Reply-buffer depth in packets. */
+    int bufferDepth() const { return depth; }
+    /** reserveReplyBuffer mode. */
+    bool reservationMode() const { return reserve; }
+
+    /** Nodes with pending replies; swept by the simulator's reply
+     *  injection phase each cycle. */
+    ActiveSet replyActive;
+
+    /** @name Run counters (copied into SimResult)
+     *  @{ */
+    std::uint64_t requestsDelivered = 0;
+    std::uint64_t repliesInjected = 0;
+    std::uint64_t repliesDelivered = 0;
+    std::uint64_t endpointStalls = 0;
+    std::uint64_t throttled = 0;
+    std::uint64_t peakOccupancy = 0;
+    /** @} */
+
+    /** Per-endpoint service latency/jitter knobs (from the config). */
+    std::uint64_t serviceLatency;
+    std::uint64_t serviceJitter;
+
+  private:
+    void
+    noteOccupancy(int occ)
+    {
+        if (static_cast<std::uint64_t>(occ) > peakOccupancy)
+            peakOccupancy = static_cast<std::uint64_t>(occ);
+    }
+
+    void
+    releaseSlot(topo::NodeId n)
+    {
+        if (endpoints[n].occupied > 0)
+            --endpoints[n].occupied;
+    }
+
+    int depth;
+    int classes;
+    bool reserve;
+    /** Injection VCs of the request band (classes == 2). */
+    int requestInjVcs;
+    /** Message class per network channel (empty when classes == 1):
+     *  the low VCs of every link carry requests, the high VCs replies. */
+    std::vector<std::uint8_t> chanClass;
+    std::vector<Endpoint> endpoints;
+};
+
+} // namespace ebda::sim
+
+#endif // EBDA_SIM_PROTOCOL_HH

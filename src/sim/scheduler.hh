@@ -33,6 +33,7 @@
 #ifndef EBDA_SIM_SCHEDULER_HH
 #define EBDA_SIM_SCHEDULER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -61,18 +62,32 @@ std::optional<SchedMode> schedModeFromString(const std::string &text);
 /**
  * Resolve Auto to a concrete backend for a run at the given injection
  * rate: the EBDA_SCHED_MODE environment variable ("cycle" / "event")
- * wins when set; otherwise event mode below kEventModeRateThreshold,
- * cycle mode at or above it. Explicit Cycle/Event pass through
+ * wins when set; otherwise event mode below the load heuristic's
+ * cutoff, cycle mode at or above it. Explicit Cycle/Event pass through
  * untouched. The sweep runner calls this per job (after cache-key
  * computation, so both modes share cache entries); Simulator::run
  * calls it for direct users.
+ *
+ * `numNodes` scales the cutoff to the fabric: what makes a cycle worth
+ * skipping is the *fabric-wide* arrival rate (rate x nodes), so on
+ * fabrics larger than the reference the cutoff shrinks proportionally
+ * — a 0.005 rate that leaves a 64-node mesh mostly idle keeps a
+ * 4096-node dragonfly busy every cycle. At or below the reference
+ * size (and with numNodes 0, the legacy form) the cutoff is exactly
+ * kEventModeRateThreshold, so existing resolutions are unchanged.
  */
-SchedMode resolveSchedMode(SchedMode requested, double injectionRate);
+SchedMode resolveSchedMode(SchedMode requested, double injectionRate,
+                           std::size_t numNodes = 0);
 
 /** Auto picks event mode strictly below this injection rate
- *  (flits/node/cycle). At 0.01 on the benchmarked 16x16 mesh the
- *  cycle loop already spends most of its time on empty cycles. */
+ *  (flits/node/cycle) at the reference fabric size. At 0.01 on the
+ *  benchmarked 16x16 mesh the cycle loop already spends most of its
+ *  time on empty cycles. */
 inline constexpr double kEventModeRateThreshold = 0.01;
+
+/** Fabric size the rate threshold was calibrated on (16x16 mesh).
+ *  Larger fabrics scale the cutoff down by refNodes/numNodes. */
+inline constexpr std::size_t kEventModeRefNodes = 256;
 
 /**
  * A scheduling backend: drives the warmup / measurement / drain phases

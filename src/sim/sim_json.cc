@@ -116,11 +116,30 @@ jsonFields(JsonWriter &w, const SimConfig &c)
     // two backends are trace-equivalent.
     if (c.schedMode != SchedMode::Auto)
         w.field("schedMode", toString(c.schedMode));
+    // Omitted when disabled (the default), like schedMode: every
+    // pre-protocol spec keeps its byte-identical canonical form and
+    // sweep cache key.
+    if (c.protocol.enabled()) {
+        w.beginObject("protocol");
+        jsonFields(w, c.protocol);
+        w.end();
+    }
     // Always emitted (even when empty) so the canonical form — and
     // with it every sweep cache key — is stable.
     w.beginObject("faults");
     jsonFields(w, c.faults);
     w.end();
+}
+
+void
+jsonFields(JsonWriter &w, const ProtocolConfig &p)
+{
+    w.field("requestReply", p.requestReply);
+    w.field("replyBufferDepth", p.replyBufferDepth);
+    w.field("serviceLatency", p.serviceLatency);
+    w.field("serviceJitter", p.serviceJitter);
+    w.field("messageClasses", p.messageClasses);
+    w.field("reserveReplyBuffer", p.reserveReplyBuffer);
 }
 
 void
@@ -200,6 +219,19 @@ jsonFields(JsonWriter &w, const SimResult &r)
     w.field("routeTableCompiled", r.routeTableCompiled);
     w.field("routeTablePerSource", r.routeTablePerSource);
     w.field("routeTableBytes", r.routeTableBytes);
+    // Protocol counters only for protocol runs: non-protocol results
+    // stay byte-identical to the pre-protocol schema.
+    if (r.protocolEnabled) {
+        w.field("protocolEnabled", r.protocolEnabled);
+        w.field("protocolRequestsDelivered",
+                r.protocolRequestsDelivered);
+        w.field("protocolRepliesInjected", r.protocolRepliesInjected);
+        w.field("protocolRepliesDelivered", r.protocolRepliesDelivered);
+        w.field("protocolEndpointStalls", r.protocolEndpointStalls);
+        w.field("protocolThrottled", r.protocolThrottled);
+        w.field("protocolPeakOccupancy", r.protocolPeakOccupancy);
+        w.field("protocolDeadlock", r.protocolDeadlock);
+    }
     // Scheduling metadata last: equivalence checks strip exactly this
     // tail when diffing cycle- against event-mode result JSON.
     w.field("schedMode", toString(r.schedMode));
@@ -387,6 +419,56 @@ faultPlanFromJson(const JsonValue &v, std::string *error)
     return p;
 }
 
+std::optional<ProtocolConfig>
+protocolConfigFromJson(const JsonValue &v, std::string *error)
+{
+    auto fail =
+        [&](const std::string &what) -> std::optional<ProtocolConfig> {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+    if (!v.isObject())
+        return fail("protocol must be a JSON object");
+
+    static const char *known[] = {
+        "requestReply",   "replyBufferDepth",   "serviceLatency",
+        "serviceJitter",  "messageClasses",     "reserveReplyBuffer"};
+    for (const auto &[key, val] : v.members()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok)
+            return fail("unknown key 'protocol." + key + "'");
+    }
+
+    ProtocolConfig p;
+    Reader r{v, {}};
+    const bool ok =
+        r.boolean("requestReply", p.requestReply)
+        && r.number("replyBufferDepth",
+                    [&](const JsonValue &f) {
+                        p.replyBufferDepth = f.asInt();
+                    })
+        && r.number("serviceLatency",
+                    [&](const JsonValue &f) {
+                        p.serviceLatency = f.asU64();
+                    })
+        && r.number("serviceJitter",
+                    [&](const JsonValue &f) {
+                        p.serviceJitter = f.asU64();
+                    })
+        && r.number("messageClasses",
+                    [&](const JsonValue &f) {
+                        p.messageClasses = f.asInt();
+                    })
+        && r.boolean("reserveReplyBuffer", p.reserveReplyBuffer);
+    // Re-anchor the key at its full path, as for faults.
+    if (!ok)
+        return fail("'protocol." + r.err.substr(1));
+    return p;
+}
+
 std::optional<SimConfig>
 configFromJson(const JsonValue &v, std::string *error)
 {
@@ -402,7 +484,7 @@ configFromJson(const JsonValue &v, std::string *error)
         "injectionRate", "injectionVcs",  "atomicVcAllocation",
         "warmupCycles",  "measureCycles", "drainCycles",
         "watchdogCycles", "routeTable",   "routeTableBudget",
-        "schedMode",     "faults"};
+        "schedMode",     "protocol",      "faults"};
     for (const auto &[key, val] : v.members()) {
         bool ok = false;
         for (const char *k : known)
@@ -480,6 +562,16 @@ configFromJson(const JsonValue &v, std::string *error)
                 ok = r.fail("bad 'schedMode' value");
             else
                 c.schedMode = *m;
+        }
+    }
+    if (ok) {
+        if (const auto *f = v.find("protocol")) {
+            std::string perr;
+            const auto p = protocolConfigFromJson(*f, &perr);
+            if (!p)
+                ok = r.fail(perr);
+            else
+                c.protocol = *p;
         }
     }
     if (ok) {
@@ -635,6 +727,33 @@ resultFromJson(const JsonValue &v, std::string *error)
                     [&](const JsonValue &f) {
                         res.routeTableBytes = f.asU64();
                     })
+        // Absent in non-protocol results: the defaults stand.
+        && r.boolean("protocolEnabled", res.protocolEnabled)
+        && r.number("protocolRequestsDelivered",
+                    [&](const JsonValue &f) {
+                        res.protocolRequestsDelivered = f.asU64();
+                    })
+        && r.number("protocolRepliesInjected",
+                    [&](const JsonValue &f) {
+                        res.protocolRepliesInjected = f.asU64();
+                    })
+        && r.number("protocolRepliesDelivered",
+                    [&](const JsonValue &f) {
+                        res.protocolRepliesDelivered = f.asU64();
+                    })
+        && r.number("protocolEndpointStalls",
+                    [&](const JsonValue &f) {
+                        res.protocolEndpointStalls = f.asU64();
+                    })
+        && r.number("protocolThrottled",
+                    [&](const JsonValue &f) {
+                        res.protocolThrottled = f.asU64();
+                    })
+        && r.number("protocolPeakOccupancy",
+                    [&](const JsonValue &f) {
+                        res.protocolPeakOccupancy = f.asU64();
+                    })
+        && r.boolean("protocolDeadlock", res.protocolDeadlock)
         // Absent in pre-schedMode cache entries: the defaults stand.
         && r.number("wakeups", [&](const JsonValue &f) {
                res.wakeups = f.asU64();

@@ -31,11 +31,18 @@ std::optional<SelectionPolicy> selectionFromString(const std::string &s);
 void jsonFields(JsonWriter &w, const SimConfig &c);
 void jsonFields(JsonWriter &w, const SimResult &r);
 void jsonFields(JsonWriter &w, const FaultPlan &p);
+void jsonFields(JsonWriter &w, const ProtocolConfig &p);
 
 /** Rebuild a FaultPlan from its JSON object (the "faults" member of a
  *  config). Errors name the full key path ("faults.events[2].kind"). */
 std::optional<FaultPlan> faultPlanFromJson(const JsonValue &v,
                                            std::string *error = nullptr);
+
+/** Rebuild a ProtocolConfig from its JSON object (the "protocol"
+ *  member of a config). Errors name the full key path
+ *  ("protocol.replyBufferDepth"). */
+std::optional<ProtocolConfig>
+protocolConfigFromJson(const JsonValue &v, std::string *error = nullptr);
 
 /** Whole-object convenience wrappers. */
 std::string toJson(const SimConfig &c);

@@ -113,6 +113,46 @@ struct FaultPlan
     }
 };
 
+/**
+ * Request–reply protocol layer (sim/protocol.hh). When enabled, every
+ * generated packet is a *request*; its delivery consumes a slot in the
+ * destination endpoint's finite reply buffer and, after a service
+ * latency, spawns a *reply* packet back to the requester. A full
+ * endpoint refuses ejection, so endpoint backpressure propagates into
+ * the fabric — which makes message-dependency (protocol) deadlock
+ * reachable even on channel-level deadlock-free topologies
+ * (arXiv:2101.06015). Part of the sweep cache identity; a disabled
+ * layer is never serialized, so legacy configs keep their keys.
+ */
+struct ProtocolConfig
+{
+    /** Master switch: request–reply traffic instead of one-way. */
+    bool requestReply = false;
+    /** Per-endpoint reply/reassembly buffer in packets. A delivered
+     *  request holds one slot until its reply has fully entered an
+     *  injection VC. */
+    int replyBufferDepth = 4;
+    /** Cycles between request delivery and the reply becoming ready. */
+    std::uint64_t serviceLatency = 8;
+    /** Extra uniform service jitter in [0, serviceJitter] cycles,
+     *  drawn from a dedicated per-endpoint RNG substream (never
+     *  perturbs the per-router traffic streams). */
+    std::uint64_t serviceJitter = 0;
+    /** Message-class VC partitioning: 1 shares every VC between
+     *  requests and replies (protocol deadlock reachable); 2 carves a
+     *  dedicated reply class out of each link's (and each node's
+     *  injection) VCs — the standard prevention: replies always sink,
+     *  so the request→reply dependency cycle cannot close. */
+    int messageClasses = 1;
+    /** Buffer-reservation alternative: a node only generates a request
+     *  when it can reserve a slot in its *own* reply buffer for the
+     *  eventual reply (end-to-end credit). Bounds outstanding requests
+     *  per node by the buffer depth — a throttle, not a proof. */
+    bool reserveReplyBuffer = false;
+
+    bool enabled() const { return requestReply; }
+};
+
 /** Simulation parameters. */
 struct SimConfig
 {
@@ -155,6 +195,9 @@ struct SimConfig
      *  choice is an execution detail, not part of the cache identity
      *  (Auto is never serialized). */
     SchedMode schedMode = SchedMode::Auto;
+    /** Request–reply protocol layer (disabled by default: the exact
+     *  one-way code path runs, bit for bit). */
+    ProtocolConfig protocol;
     /** Runtime fault schedule (empty by default: no fault path runs). */
     FaultPlan faults;
 };
@@ -269,6 +312,32 @@ struct SimResult
      *  results must be byte-identical across serial/parallel/cached
      *  sweeps. bench_route_compute reports real compile timings. */
     std::uint64_t routeTableCompileNanos = 0;
+    /** @} */
+
+    /** @name Request–reply protocol layer (sim/protocol.hh). All
+     *  zero / false when the layer is disabled, and then omitted from
+     *  the JSON wire format so pre-protocol results stay byte-identical.
+     *  @{ */
+    /** True when the run used the request–reply protocol layer. */
+    bool protocolEnabled = false;
+    /** Requests delivered into endpoint reply buffers. */
+    std::uint64_t protocolRequestsDelivered = 0;
+    /** Replies injected into the fabric. */
+    std::uint64_t protocolRepliesInjected = 0;
+    /** Replies delivered back to their requesters. */
+    std::uint64_t protocolRepliesDelivered = 0;
+    /** Head-of-line attempts refused because the destination endpoint
+     *  buffer was full (endpoint backpressure into the fabric). */
+    std::uint64_t protocolEndpointStalls = 0;
+    /** Requests discarded at generation because no reply-buffer slot
+     *  could be reserved (reserveReplyBuffer mode only). */
+    std::uint64_t protocolThrottled = 0;
+    /** Largest endpoint-buffer occupancy seen anywhere. */
+    std::uint64_t protocolPeakOccupancy = 0;
+    /** True when the watchdog wedge was a *protocol* (message-
+     *  dependency) deadlock: the wait-for cycle crosses an endpoint or
+     *  injection vertex, invisible to the channel-level CDG. */
+    bool protocolDeadlock = false;
     /** @} */
 
     /** @name Scheduling backend (sim/scheduler.hh)

@@ -39,6 +39,11 @@ Simulator::Simulator(const topo::Network &network,
     for (std::size_t i = 0; i < fab.ivcs.size(); ++i)
         routerTable[fab.ivcs[i].atNode].localIvcs.push_back(i);
     strandedPeriod = std::max<std::uint64_t>(1, cfg.watchdogCycles / 4);
+    if (cfg.protocol.enabled()) {
+        proto = std::make_unique<ProtocolState>(net, cfg);
+        vcAlloc.proto = proto.get();
+        swAlloc.proto = proto.get();
+    }
 }
 
 void
@@ -63,6 +68,12 @@ Simulator::generate(std::uint64_t cycle, bool measuring)
         // discards the packet (nobody to deliver to).
         if (faults_on && injector.nodeDead(*dest))
             continue;
+        // End-to-end credit: no local slot for the eventual reply means
+        // no request this cycle (the draw is still consumed, keeping
+        // the stream aligned with unreserved runs).
+        if (proto && proto->reservationMode()
+            && !proto->tryReserveRequest(n))
+            continue;
         PacketRec rec;
         rec.src = n;
         rec.dest = *dest;
@@ -83,6 +94,8 @@ void
 Simulator::losePacket(std::uint32_t id)
 {
     ++packetsLostCount;
+    if (proto)
+        proto->onPacketLost(fab.packets[id]);
     if (fab.packets[id].measured)
         --measuredInFlight;
     // A lost packet has no flit, source-queue entry or retry entry
@@ -97,6 +110,13 @@ Simulator::handleDropped(const std::vector<std::uint32_t> &purged,
     for (const std::uint32_t id : purged) {
         ++packetsDroppedCount;
         PacketRec &pkt = fab.packets[id];
+        // Replies are never retransmitted: the server-side slot is
+        // already free and the requester's recovery path is a request
+        // retransmit, not a duplicate reply.
+        if (proto && pkt.msgClass != 0) {
+            losePacket(id);
+            continue;
+        }
         const bool endpoint_dead = injector.nodeDead(pkt.src)
             || injector.nodeDead(pkt.dest);
         const bool budget_spent = pkt.retries == 0xff
@@ -206,8 +226,7 @@ Simulator::strandedScan(std::uint64_t cycle)
         kill[id] = 1;
     }
     if (!kill.empty())
-        handleDropped(injector.purge(fab, allocActive, kill, cycle),
-                      cycle);
+        handleDropped(purgePackets(kill, cycle), cycle);
 }
 
 void
@@ -223,7 +242,138 @@ Simulator::recoverWedged(std::uint64_t cycle)
         if (vc.routed && vc.curPkt != topo::kInvalidId)
             kill[vc.curPkt] = 1;
     }
-    handleDropped(injector.purge(fab, allocActive, kill, cycle), cycle);
+    handleDropped(purgePackets(kill, cycle), cycle);
+}
+
+std::vector<std::uint32_t>
+Simulator::purgePackets(const std::vector<std::uint8_t> &kill,
+                        std::uint64_t cycle)
+{
+    // Release endpoint-slot reservations from the pre-purge view: the
+    // purge clears the eject-routed VC state that records them.
+    if (proto)
+        proto->releaseEjectReservations(fab, kill);
+    return injector.purge(fab, allocActive, kill, cycle);
+}
+
+std::vector<std::uint32_t>
+Simulator::applyFaultEvents(std::uint64_t cycle)
+{
+    if (!proto)
+        return injector.apply(cycle, fab, allocActive);
+    // The injector picks its own victims, so snapshot the eject-routed
+    // reservations first and release the ones whose packet it purged.
+    std::vector<std::pair<topo::NodeId, std::uint32_t>> reserved;
+    for (const InputVc &vc : fab.ivcs) {
+        if (vc.routed && vc.eject && vc.curPkt != topo::kInvalidId
+            && fab.packets[vc.curPkt].msgClass == 0)
+            reserved.emplace_back(vc.atNode, vc.curPkt);
+    }
+    const auto purged = injector.apply(cycle, fab, allocActive);
+    for (const auto &[node, pkt] : reserved) {
+        // purge() reports victims in ascending id order.
+        if (std::binary_search(purged.begin(), purged.end(), pkt))
+            proto->releaseDeliverySlot(node);
+    }
+    return purged;
+}
+
+void
+Simulator::injectReplies(std::uint64_t cycle, bool measuring)
+{
+    ProtocolState &ps = *proto;
+    const bool faults_on = injector.enabled();
+    ps.replyActive.sweep(0, [&](std::size_t ni) -> bool {
+        const auto n = static_cast<topo::NodeId>(ni);
+        ProtocolState::Endpoint &ep = ps.endpoint(n);
+        while (!ep.pending.empty()
+               && ep.pending.front().ready <= cycle) {
+            const topo::NodeId requester = ep.pending.front().dest;
+            // A reply to a requester that died since the request was
+            // serviced has nowhere to go; drop it and free the slot.
+            if (faults_on && injector.nodeDead(requester)) {
+                ep.pending.pop_front();
+                ps.releaseDeliverySlot(n);
+                continue;
+            }
+            // Claim a free injection VC in the reply band. None free
+            // means the endpoint stays blocked this cycle — exactly
+            // the wait the protocol wait-for graph edges model.
+            bool placed = false;
+            for (int k = ps.replyInjVcBegin(); k < cfg.injectionVcs;
+                 ++k) {
+                const std::size_t idx = fab.injIndex(n, k);
+                InputVc &vc = fab.ivcs[idx];
+                if (!vc.buf.empty() || vc.routed)
+                    continue;
+                PacketRec rec;
+                rec.src = n;
+                rec.dest = requester;
+                rec.genCycle = cycle;
+                rec.measured = measuring;
+                rec.msgClass = 1;
+                const std::uint32_t id = fab.allocPacket(rec);
+                for (int f = 0; f < cfg.packetLength; ++f) {
+                    fab.pushFlit(idx,
+                                 Flit{id, f == 0,
+                                      f == cfg.packetLength - 1,
+                                      cycle},
+                                 cycle);
+                }
+                fab.flitsInFlight +=
+                    static_cast<std::uint64_t>(cfg.packetLength);
+                allocActive.schedule(idx);
+                // The slot is held until here: reply fully in a VC.
+                ep.pending.pop_front();
+                ps.releaseDeliverySlot(n);
+                ++ps.repliesInjected;
+                if (measuring) {
+                    ++measuredInFlight;
+                    ++measuredGenerated;
+                }
+                placed = true;
+                break;
+            }
+            if (!placed)
+                break;
+        }
+        return !ep.pending.empty();
+    });
+}
+
+void
+Simulator::recoverProtocolWedge(std::uint64_t cycle)
+{
+    // Abort-and-retransmit the oldest in-fabric request: the eldest
+    // holder anchors the wait cycle, killing it frees its channel
+    // chain, and the retransmit backoff keeps the retry out of the
+    // congestion that wedged. Replies keep draining on their own.
+    std::uint32_t victim = topo::kInvalidId;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    auto consider = [&](std::uint32_t id) {
+        const PacketRec &pkt = fab.packets[id];
+        if (pkt.msgClass != 0)
+            return;
+        if (pkt.seq < best_seq) {
+            best_seq = pkt.seq;
+            victim = id;
+        }
+    };
+    for (const InputVc &vc : fab.ivcs) {
+        for (const Flit &f : vc.buf)
+            consider(f.pkt);
+        if (vc.routed && vc.curPkt != topo::kInvalidId)
+            consider(vc.curPkt);
+    }
+    if (victim == topo::kInvalidId) {
+        // No request in flight (pure reply gridlock, or faults): fall
+        // back to the kill-all drain.
+        recoverWedged(cycle);
+        return;
+    }
+    std::vector<std::uint8_t> kill(fab.packets.size(), 0);
+    kill[victim] = 1;
+    handleDropped(purgePackets(kill, cycle), cycle);
 }
 
 void
@@ -239,6 +389,10 @@ Simulator::fillInjectionVcs(std::uint64_t cycle)
             return false;
         for (int k = 0; k < cfg.injectionVcs && !sourceQueues[n].empty();
              ++k) {
+            // Generated packets are requests: keep them out of the
+            // reply injection band when the classes are partitioned.
+            if (proto && !proto->requestInjVcAllowed(k))
+                continue;
             const std::size_t idx = fab.injIndex(n, k);
             InputVc &vc = fab.ivcs[idx];
             if (!vc.buf.empty() || vc.routed)
@@ -268,6 +422,7 @@ CycleScheduler::run(Simulator &sim, SimResult &result)
     const std::uint64_t hard_stop = measure_end + sim.cfg.drainCycles;
 
     const bool faults_on = sim.injector.enabled();
+    const bool proto_on = sim.proto != nullptr;
     const bool phase_hooks =
         sim.measureStartHook || sim.measureEndHook;
     std::uint64_t last_progress = 0;
@@ -291,9 +446,7 @@ CycleScheduler::run(Simulator &sim, SimResult &result)
         }
         if (faults_on) {
             if (sim.injector.nextEventCycle() <= cycle) {
-                const auto purged =
-                    sim.injector.apply(cycle, sim.fab,
-                                       sim.allocActive);
+                const auto purged = sim.applyFaultEvents(cycle);
                 // Sync the compiled table with the grown masks before
                 // any route query (handleDropped checks injection
                 // routability): only rows touching the newly dead
@@ -322,11 +475,16 @@ CycleScheduler::run(Simulator &sim, SimResult &result)
             if (sim.injector.eventsApplied() > 0
                 && cycle % sim.strandedPeriod == 0)
                 sim.strandedScan(cycle);
+        } else if (proto_on) {
+            // Protocol recovery reuses the retransmit backoff queue.
+            sim.releaseRetries(cycle);
         }
         const bool measuring =
             cycle >= measure_start && cycle < measure_end;
 
         sim.generate(cycle, measuring);
+        if (proto_on)
+            sim.injectReplies(cycle, measuring);
         sim.fillInjectionVcs(cycle);
         sim.vcAlloc.allocate(sim.allocActive, sim.routerTable,
                              sim.linkActive, sim.ejectActive);
@@ -365,18 +523,24 @@ CycleScheduler::run(Simulator &sim, SimResult &result)
         if (moved || sim.fab.flitsInFlight == 0)
             last_progress = cycle;
         if (cycle - last_progress > sim.cfg.watchdogCycles) {
-            if (faults_on
+            if ((faults_on || proto_on)
                 && sim.recoveryPassCount
                     < static_cast<std::uint64_t>(std::max(
                         0, sim.cfg.faults.maxRecoveryAttempts))) {
-                // Escalation: drain-and-reroute instead of giving up.
+                // Escalation instead of giving up: protocol wedges
+                // abort the oldest request (targeted), fault wedges
+                // drain-and-reroute everything.
                 ++sim.recoveryPassCount;
-                sim.recoverWedged(cycle);
+                if (proto_on && !faults_on)
+                    sim.recoverProtocolWedge(cycle);
+                else
+                    sim.recoverWedged(cycle);
                 last_progress = cycle;
             } else {
                 result.deadlocked = true;
                 sim.forensicsDump =
-                    buildForensics(sim.fab, sim.table, cycle);
+                    buildForensics(sim.fab, sim.table, cycle,
+                                   sim.proto.get());
                 result.deadlockCycle.assign(
                     sim.forensicsDump.waitCycle.begin(),
                     sim.forensicsDump.waitCycle.end());
@@ -396,7 +560,8 @@ Simulator::run()
 {
     SimResult result;
     const SchedMode mode =
-        resolveSchedMode(cfg.schedMode, cfg.injectionRate);
+        resolveSchedMode(cfg.schedMode, cfg.injectionRate,
+                         net.numNodes());
     std::uint64_t cycle;
     if (mode == SchedMode::Event) {
         EventScheduler sched;
@@ -425,6 +590,16 @@ Simulator::run()
             / static_cast<double>(measuredGenerated)
         : 1.0;
     result.degradedGracefully = !result.deadlocked;
+    if (proto) {
+        result.protocolEnabled = true;
+        result.protocolRequestsDelivered = proto->requestsDelivered;
+        result.protocolRepliesInjected = proto->repliesInjected;
+        result.protocolRepliesDelivered = proto->repliesDelivered;
+        result.protocolEndpointStalls = proto->endpointStalls;
+        result.protocolThrottled = proto->throttled;
+        result.protocolPeakOccupancy = proto->peakOccupancy;
+        result.protocolDeadlock = forensicsDump.protocolDeadlock;
+    }
     result.routeComputeCalls = table.calls();
     result.routeTableCompiled = table.compiled();
     result.routeTablePerSource = table.perSource();

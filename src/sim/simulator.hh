@@ -52,9 +52,12 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "sim/active_set.hh"
 #include "sim/fault_injector.hh"
 #include "sim/forensics.hh"
+#include "sim/protocol.hh"
 #include "sim/router.hh"
 #include "sim/scheduler.hh"
 #include "sim/simconfig.hh"
@@ -141,6 +144,10 @@ class Simulator
      *  counter). Valid from construction. */
     const Fabric &fabric() const { return fab; }
 
+    /** The request–reply protocol state, or nullptr when the layer is
+     *  disabled. Valid from construction. */
+    const ProtocolState *protocol() const { return proto.get(); }
+
     /** @} */
 
   private:
@@ -152,6 +159,29 @@ class Simulator
 
     void generate(std::uint64_t cycle, bool measuring);
     void fillInjectionVcs(std::uint64_t cycle);
+
+    /** @name Request–reply protocol path (no-ops when disabled)
+     *  @{ */
+    /** Inject ready replies into (reply-class) injection VCs, freeing
+     *  their endpoint slots. Runs between generate() and the request
+     *  injection fill each cycle. */
+    void injectReplies(std::uint64_t cycle, bool measuring);
+    /** Watchdog escalation for protocol runs: abort-and-retransmit the
+     *  oldest in-fabric request through the fault-recovery backoff
+     *  machinery (falls back to the kill-all drain when no request is
+     *  in flight). */
+    void recoverProtocolWedge(std::uint64_t cycle);
+    /** injector.purge plus endpoint-slot release for eject-reserved
+     *  victims — every purge site goes through this so protocol runs
+     *  never leak reply-buffer slots. */
+    std::vector<std::uint32_t>
+    purgePackets(const std::vector<std::uint8_t> &kill,
+                 std::uint64_t cycle);
+    /** injector.apply with endpoint-slot release for any eject-reserved
+     *  request the event purged (the injector picks its own victims,
+     *  so the reservations are snapshotted pre-purge). */
+    std::vector<std::uint32_t> applyFaultEvents(std::uint64_t cycle);
+    /** @} */
 
     /** @name Fault path (all no-ops when the FaultPlan is empty)
      *  @{ */
@@ -193,6 +223,11 @@ class Simulator
     std::vector<Router> routerTable;
     VcAllocator vcAlloc;
     SwitchAllocator swAlloc;
+
+    /** Request–reply endpoint state (sim/protocol.hh); nullptr when
+     *  the layer is disabled, so the one-way hot path never tests
+     *  more than a pointer. */
+    std::unique_ptr<ProtocolState> proto;
 
     /** @name Active sets
      *  @{ */

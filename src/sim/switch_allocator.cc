@@ -1,5 +1,7 @@
 #include "sim/switch_allocator.hh"
 
+#include "sim/protocol.hh"
+
 namespace ebda::sim {
 
 bool
@@ -160,6 +162,12 @@ SwitchAllocator::eject(std::uint64_t cycle, ActiveSet &ejectActive,
                         stats.hopsStat.add(
                             static_cast<double>(pkt.hops));
                         --stats.measuredInFlight;
+                    }
+                    if (proto) {
+                        if (pkt.msgClass == 0)
+                            proto->onRequestDelivered(n, pkt, cycle);
+                        else
+                            proto->onReplyDelivered(n);
                     }
                     // Tail gone, stats recorded: the slot can host
                     // the next generated packet.

@@ -28,6 +28,8 @@
 
 namespace ebda::sim {
 
+class ProtocolState;
+
 /** Ejection-side statistics sinks, owned by the simulator. */
 struct EjectStats
 {
@@ -125,6 +127,12 @@ class SwitchAllocator
         }
         return true;
     }
+
+    /** Request–reply protocol layer (sim/protocol.hh), or nullptr.
+     *  When set, ejected request tails convert their reserved endpoint
+     *  slot into a pending reply; ejected reply tails complete the
+     *  round trip. */
+    ProtocolState *proto = nullptr;
 
     /** Current rotating grant offset (advanced at each traverse). */
     std::size_t offset() const { return swArbOffset; }

@@ -133,6 +133,18 @@ TrafficGenerator::permute(topo::NodeId src) const
 }
 
 std::optional<topo::NodeId>
+TrafficGenerator::partner(topo::NodeId src) const
+{
+    if (patternKind == TrafficPattern::Uniform
+        || patternKind == TrafficPattern::Hotspot)
+        return std::nullopt;
+    const topo::NodeId d = permute(src);
+    if (d == src)
+        return std::nullopt;
+    return d;
+}
+
+std::optional<topo::NodeId>
 TrafficGenerator::dest(topo::NodeId src, Rng &rng) const
 {
     topo::NodeId d = src;

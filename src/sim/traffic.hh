@@ -62,6 +62,17 @@ class TrafficGenerator
      */
     std::optional<topo::NodeId> dest(topo::NodeId src, Rng &rng) const;
 
+    /**
+     * The fixed communication partner of src, when the pattern is a
+     * permutation (transpose, bitcomp, ...): the node every request
+     * from src targets and therefore the only endpoint whose reply
+     * buffer can throttle src under the request–reply protocol layer
+     * (sim/protocol.hh). std::nullopt for randomized patterns
+     * (uniform, hotspot) and for sources the permutation maps to
+     * themselves.
+     */
+    std::optional<topo::NodeId> partner(topo::NodeId src) const;
+
     TrafficPattern pattern() const { return patternKind; }
 
   private:

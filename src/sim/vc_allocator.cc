@@ -1,5 +1,7 @@
 #include "sim/vc_allocator.hh"
 
+#include "sim/protocol.hh"
+
 namespace ebda::sim {
 
 void
@@ -19,6 +21,16 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
         Router &rtr = routers[vc.atNode];
 
         if (vc.atNode == pkt.dest) {
+            if (proto && pkt.msgClass == 0 && !proto->canAccept(vc.atNode)) {
+                // Endpoint reply buffer full: the request head keeps
+                // its VC and waits — this refusal is how endpoint
+                // backpressure reaches the fabric.
+                ++rtr.stalls.creditStarved;
+                ++proto->endpointStalls;
+                return true;
+            }
+            if (proto && pkt.msgClass == 0)
+                proto->reserveDelivery(vc.atNode);
             vc.eject = true;
             vc.routed = true;
             vc.curPkt = vc.buf.front().pkt;
@@ -36,6 +48,8 @@ VcAllocator::allocate(ActiveSet &active, std::vector<Router> &routers,
              route.candidatesView(vc.self, vc.atNode, pkt.src, pkt.dest,
                                   scratch)) {
             any_candidate = true;
+            if (proto && !proto->channelAllowed(c, pkt.msgClass))
+                continue;
             if (fab.chan[c].owner != topo::kInvalidId)
                 continue;
             if (fab.cfg.atomicVcAllocation && !fab.ivcs[c].buf.empty())

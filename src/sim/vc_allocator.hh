@@ -30,6 +30,8 @@
 
 namespace ebda::sim {
 
+class ProtocolState;
+
 /** Route computation and output-VC allocation. */
 class VcAllocator
 {
@@ -115,6 +117,12 @@ class VcAllocator
     bool collectStranded = false;
     std::vector<std::size_t> stranded;
     /** @} */
+
+    /** Request–reply protocol layer (sim/protocol.hh), or nullptr.
+     *  When set, heads at their destination only eject-route while the
+     *  endpoint reply buffer has space (endpoint backpressure), and
+     *  the candidate sweep filters channels by message class. */
+    ProtocolState *proto = nullptr;
 
   private:
     Fabric &fab;

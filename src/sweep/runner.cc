@@ -38,7 +38,7 @@ runJob(const SweepJob &job, const RunOptions &opts)
         cfg.schedMode = sim::resolveSchedMode(
             opts.schedMode != sim::SchedMode::Auto ? opts.schedMode
                                                    : cfg.schedMode,
-            cfg.injectionRate);
+            cfg.injectionRate, net.numNodes());
         sim::Simulator simr(net, *router, gen, cfg);
         if (opts.jobCycleBudget > 0)
             simr.setCycleLimit(opts.jobCycleBudget);

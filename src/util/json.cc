@@ -315,6 +315,19 @@ class JsonParser
         return false;
     }
 
+    /** Current location for path-named errors ("a.b[2].c"). */
+    std::string
+    atPath() const
+    {
+        return path.empty() ? std::string("<root>") : path;
+    }
+
+    std::string
+    keyPath(const std::string &key) const
+    {
+        return path.empty() ? key : path + '.' + key;
+    }
+
     bool
     literal(const char *word)
     {
@@ -376,9 +389,21 @@ class JsonParser
             if (pos >= in.size() || in[pos] != ':')
                 return fail("expected ':'");
             ++pos;
+            // Duplicate keys silently shadow on lookup (find returns
+            // the first match): reject them outright, naming the path.
+            for (const auto &[k, existing] : out.fields) {
+                if (k == key.text)
+                    return fail("duplicate object key '"
+                                + keyPath(key.text) + "'");
+            }
+            const std::size_t plen = path.size();
+            if (!path.empty())
+                path += '.';
+            path += key.text;
             JsonValue val;
             if (!parseValue(val))
                 return false;
+            path.resize(plen);
             out.fields.emplace_back(key.text, std::move(val));
             skipWs();
             if (pos >= in.size())
@@ -409,9 +434,12 @@ class JsonParser
             return true;
         }
         while (true) {
+            const std::size_t plen = path.size();
+            path += '[' + std::to_string(out.items.size()) + ']';
             JsonValue val;
             if (!parseValue(val))
                 return false;
+            path.resize(plen);
             out.items.push_back(std::move(val));
             skipWs();
             if (pos >= in.size())
@@ -518,6 +546,11 @@ class JsonParser
         out.number = std::strtod(out.text.c_str(), &end);
         if (end != out.text.c_str() + out.text.size())
             return fail("bad number");
+        // JSON has no NaN/Inf; an overflowing lexeme like 1e999 would
+        // otherwise smuggle one in and poison every downstream
+        // computation silently.
+        if (!std::isfinite(out.number))
+            return fail("non-finite number at '" + atPath() + "'");
         return true;
     }
 
@@ -527,6 +560,8 @@ class JsonParser
     std::size_t pos = 0;
     int depth = 0;
     std::string err;
+    /** Key/index trail to the value being parsed (error paths). */
+    std::string path;
 };
 
 std::optional<JsonValue>

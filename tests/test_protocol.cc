@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Request–reply protocol layer (sim/protocol.hh): the message-
+ * dependency deadlock witness on a Dally-verified fabric, the
+ * reply-class escape, replay determinism of the per-endpoint RNG
+ * substreams, byte-stability of pre-protocol wire formats, config
+ * validation, and the hardened JSON parser's rejection paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/sim_json.hh"
+#include "sim/simulator.hh"
+#include "sim/traffic.hh"
+#include "sweep/router_factory.hh"
+#include "sweep/sweep_spec.hh"
+#include "topo/network.hh"
+#include "util/json.hh"
+
+namespace ebda {
+namespace {
+
+/** The bench's wedge workload: XY on a 4x4 mesh with 2 VCs per link
+ *  (channel-level Dally-clean), hot enough that a depth-1 endpoint
+ *  buffer closes the request→endpoint→reply cycle. */
+sim::SimConfig
+wedgeConfig(int message_classes)
+{
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.35;
+    cfg.measureCycles = 2000;
+    cfg.warmupCycles = 500;
+    cfg.drainCycles = 20000;
+    cfg.watchdogCycles = 800;
+    cfg.faults.maxRecoveryAttempts = 0;
+    cfg.protocol.requestReply = true;
+    cfg.protocol.replyBufferDepth = 1;
+    cfg.protocol.messageClasses = message_classes;
+    return cfg;
+}
+
+/** Everything lives behind stable pointers: the router holds a
+ *  reference into the network and the simulator into all three, so
+ *  the aggregate must survive moves without relocating them. */
+struct ProtoRun
+{
+    std::unique_ptr<topo::Network> net;
+    std::unique_ptr<cdg::RoutingRelation> router;
+    std::unique_ptr<sim::TrafficGenerator> gen;
+    std::unique_ptr<sim::Simulator> simulator;
+    sim::SimResult result;
+};
+
+ProtoRun
+runWedgeWorkload(const sim::SimConfig &cfg)
+{
+    ProtoRun r;
+    r.net = std::make_unique<topo::Network>(
+        topo::Network::mesh({4, 4}, {2, 2}));
+    std::string err;
+    r.router = sweep::makeRouter(*r.net, "xy", &err);
+    EXPECT_TRUE(r.router) << err;
+    r.gen = std::make_unique<sim::TrafficGenerator>(
+        *r.net, sim::TrafficPattern::Uniform);
+    r.simulator = std::make_unique<sim::Simulator>(*r.net, *r.router,
+                                                   *r.gen, cfg);
+    r.result = r.simulator->run();
+    return r;
+}
+
+/** One shared message class on a Dally-verified mesh must wedge, and
+ *  the forensics must pin it as a *protocol* deadlock: a concrete
+ *  wait-for cycle through an endpoint vertex while the channel-level
+ *  oracle still certifies the routing relation clean. */
+TEST(Protocol, SingleClassWedgesWithProtocolWitness)
+{
+    const auto run = runWedgeWorkload(wedgeConfig(1));
+    const auto &r = run.result;
+    EXPECT_TRUE(r.deadlocked);
+    EXPECT_TRUE(r.protocolEnabled);
+    EXPECT_TRUE(r.protocolDeadlock);
+
+    const auto &f = run.simulator->forensics();
+    EXPECT_TRUE(f.protocolRun);
+    EXPECT_TRUE(f.protocolDeadlock);
+    EXPECT_TRUE(f.channelOracleClean);
+    ASSERT_FALSE(f.waitCycle.empty());
+    // The witness must actually cross the message-dependency layer:
+    // at least one vertex is an injection or endpoint vertex, which
+    // the channel CDG cannot represent.
+    bool crosses = false;
+    for (const auto v : f.waitCycle)
+        crosses = crosses || v >= f.numChannels;
+    EXPECT_TRUE(crosses);
+    // And the human-readable dump must say so.
+    const std::string text = f.describe(*run.net);
+    EXPECT_NE(text.find("protocol (message-dependency) deadlock"),
+              std::string::npos);
+    EXPECT_NE(text.find("Dally oracle on the relation: clean"),
+              std::string::npos);
+    EXPECT_NE(text.find("endpoint@node"), std::string::npos);
+}
+
+/** The identical workload with the reply-class escape must complete
+ *  watchdog-clean and deliver essentially everything. */
+TEST(Protocol, ReplyClassEscapeCompletesClean)
+{
+    const auto run = runWedgeWorkload(wedgeConfig(2));
+    const auto &r = run.result;
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_FALSE(r.protocolDeadlock);
+    EXPECT_GE(r.deliveredFraction, 0.99);
+    EXPECT_GT(r.protocolRequestsDelivered, 0u);
+    EXPECT_GT(r.protocolRepliesDelivered, 0u);
+}
+
+/** Buffer reservation (end-to-end credit) is a throttle, not a proof:
+ *  with headroom it completes (requests throttled, never wedged), but
+ *  at depth 1 the reservation and the serving side contend for the
+ *  same slot and the wedge is still reachable — and the forensics
+ *  must then follow the requester-side spawned-message edges to a
+ *  concrete protocol witness. */
+TEST(Protocol, BufferReservationThrottlesWithHeadroom)
+{
+    auto cfg = wedgeConfig(1);
+    cfg.protocol.reserveReplyBuffer = true;
+    cfg.protocol.replyBufferDepth = 8;
+    const auto run = runWedgeWorkload(cfg);
+    EXPECT_FALSE(run.result.deadlocked);
+    EXPECT_GE(run.result.deliveredFraction, 0.99);
+    EXPECT_GT(run.result.protocolThrottled, 0u);
+    EXPECT_LE(run.result.protocolPeakOccupancy, 8u);
+}
+
+TEST(Protocol, BufferReservationDepthOneStillWedgesWithWitness)
+{
+    auto cfg = wedgeConfig(1);
+    cfg.protocol.reserveReplyBuffer = true;
+    const auto run = runWedgeWorkload(cfg);
+    EXPECT_TRUE(run.result.deadlocked);
+    EXPECT_TRUE(run.result.protocolDeadlock);
+    EXPECT_FALSE(run.simulator->forensics().waitCycle.empty());
+}
+
+/** The bounded recovery escalation: aborting and retransmitting the
+ *  oldest in-fabric request un-wedges marginal configurations, so the
+ *  watchdog only declares a wedge after the pass budget is spent. */
+TEST(Protocol, RecoveryPassesUnwedgeMarginalRuns)
+{
+    auto cfg = wedgeConfig(1);
+    cfg.protocol.reserveReplyBuffer = true;
+    cfg.protocol.replyBufferDepth = 2;
+    cfg.faults.maxRecoveryAttempts = 3;
+    const auto run = runWedgeWorkload(cfg);
+    EXPECT_FALSE(run.result.deadlocked);
+    EXPECT_GE(run.result.recoveryPasses, 1u);
+    EXPECT_GE(run.result.packetsRetransmitted, 1u);
+}
+
+/** Protocol runs are replay-deterministic (the per-endpoint service
+ *  jitter comes from dedicated RNG substreams), and those substreams
+ *  never perturb the per-router traffic streams: a protocol run
+ *  offers exactly the load the plain run does under the same seed. */
+TEST(Protocol, ReplayBitIdenticalAndTrafficStreamsUntouched)
+{
+    auto cfg = wedgeConfig(2);
+    cfg.protocol.replyBufferDepth = 8;
+    cfg.protocol.serviceJitter = 5;
+    const auto a = runWedgeWorkload(cfg);
+    const auto b = runWedgeWorkload(cfg);
+    EXPECT_EQ(sim::toJson(a.result), sim::toJson(b.result));
+
+    // With no drain phase both runs execute exactly warmup + measure
+    // generation cycles, so the offered load is a pure function of
+    // the per-router streams — bit-equal iff the protocol layer never
+    // draws from them.
+    cfg.drainCycles = 0;
+    const auto on = runWedgeWorkload(cfg);
+    sim::SimConfig plain = cfg;
+    plain.protocol = sim::ProtocolConfig{};
+    const auto off = runWedgeWorkload(plain);
+    EXPECT_FALSE(off.result.protocolEnabled);
+    EXPECT_EQ(off.result.offeredRate, on.result.offeredRate);
+}
+
+/** Pre-protocol wire formats must stay byte-identical: a default
+ *  config serializes without any "protocol" member, and a legacy
+ *  sweep spec expands to the exact cache keys it produced before the
+ *  protocol layer existed (pinned from a pre-protocol build). */
+TEST(Protocol, LegacyWireFormatsAreByteStable)
+{
+    EXPECT_EQ(sim::toJson(sim::SimConfig{}).find("protocol"),
+              std::string::npos);
+
+    const std::string spec_text =
+        R"({"topologies":[{"kind":"mesh","dims":[4,4],"vcs":[2,2]}],)"
+        R"("routers":["xy"],"patterns":["uniform"],)"
+        R"("rates":[0.1,0.2],"sim":{"measureCycles":1000}})";
+    std::string err;
+    const auto spec = sweep::SweepSpec::parse(spec_text, &err);
+    ASSERT_TRUE(spec) << err;
+    const auto jobs = spec->expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(sweep::keyToHex(jobs[0].key), "c59e5b85607ea28b");
+    EXPECT_EQ(sweep::keyToHex(jobs[1].key), "8e8d65ce5c347661");
+    EXPECT_EQ(jobs[0].canonical.find("protocol"), std::string::npos);
+}
+
+/** An enabled ProtocolConfig round-trips through the config JSON. */
+TEST(Protocol, ConfigRoundTripsThroughJson)
+{
+    sim::SimConfig cfg;
+    cfg.protocol.requestReply = true;
+    cfg.protocol.replyBufferDepth = 3;
+    cfg.protocol.serviceLatency = 17;
+    cfg.protocol.serviceJitter = 2;
+    cfg.protocol.messageClasses = 2;
+    cfg.protocol.reserveReplyBuffer = true;
+    const auto doc = parseJson(sim::toJson(cfg));
+    ASSERT_TRUE(doc);
+    std::string err;
+    const auto back = sim::configFromJson(*doc, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_TRUE(back->protocol.requestReply);
+    EXPECT_EQ(back->protocol.replyBufferDepth, 3);
+    EXPECT_EQ(back->protocol.serviceLatency, 17u);
+    EXPECT_EQ(back->protocol.serviceJitter, 2u);
+    EXPECT_EQ(back->protocol.messageClasses, 2);
+    EXPECT_TRUE(back->protocol.reserveReplyBuffer);
+    EXPECT_EQ(sim::toJson(*back), sim::toJson(cfg));
+}
+
+/** Nonsensical protocol configs fail construction with a named error
+ *  instead of silently mis-simulating. */
+TEST(Protocol, InvalidConfigsThrow)
+{
+    const auto net = topo::Network::mesh({4, 4}, {2, 2});
+    std::string err;
+    const auto router = sweep::makeRouter(net, "xy", &err);
+    ASSERT_TRUE(router) << err;
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    const auto build = [&](const sim::SimConfig &cfg) {
+        sim::Simulator s(net, *router, gen, cfg);
+    };
+    sim::SimConfig cfg;
+    cfg.protocol.requestReply = true;
+
+    cfg.protocol.replyBufferDepth = 0;
+    EXPECT_THROW(build(cfg), std::invalid_argument);
+    cfg.protocol.replyBufferDepth = 4;
+
+    cfg.protocol.messageClasses = 3;
+    EXPECT_THROW(build(cfg), std::invalid_argument);
+
+    // Two classes need at least two injection VCs...
+    cfg.protocol.messageClasses = 2;
+    cfg.injectionVcs = 1;
+    EXPECT_THROW(build(cfg), std::invalid_argument);
+    cfg.injectionVcs = 2;
+
+    // ...and at least two VCs on every link to carve the reply band.
+    const auto thin = topo::Network::mesh({4, 4}, {1, 1});
+    const auto thin_router = sweep::makeRouter(thin, "xy", &err);
+    ASSERT_TRUE(thin_router) << err;
+    const sim::TrafficGenerator thin_gen(thin,
+                                         sim::TrafficPattern::Uniform);
+    EXPECT_THROW(
+        sim::Simulator(thin, *thin_router, thin_gen, cfg),
+        std::invalid_argument);
+}
+
+/** Permutation patterns expose their fixed communication partner;
+ *  randomized patterns do not. */
+TEST(Protocol, TrafficPartnerHelper)
+{
+    const auto net = topo::Network::mesh({4, 4}, {1, 1});
+    const sim::TrafficGenerator bitcomp(
+        net, sim::TrafficPattern::BitComplement);
+    // bitcomp on 16 nodes: partner of 0 is 15, and it is symmetric.
+    ASSERT_TRUE(bitcomp.partner(0).has_value());
+    EXPECT_EQ(*bitcomp.partner(0), 15u);
+    EXPECT_EQ(*bitcomp.partner(15), 0u);
+
+    const sim::TrafficGenerator uniform(net,
+                                        sim::TrafficPattern::Uniform);
+    EXPECT_FALSE(uniform.partner(0).has_value());
+
+    // Tornado on a 1-ary dimension maps a node to itself → nullopt.
+    const auto line = topo::Network::mesh({2}, {1});
+    const sim::TrafficGenerator neighbor(line,
+                                         sim::TrafficPattern::Neighbor);
+    ASSERT_TRUE(neighbor.partner(0).has_value());
+    EXPECT_EQ(*neighbor.partner(0), 1u);
+}
+
+/** The hardened parser rejects duplicate object keys and non-finite
+ *  numerics with errors naming the offending path — both would
+ *  otherwise silently corrupt a config or cache line. */
+TEST(JsonHardening, RejectsDuplicateKeysAndNonFiniteNumbers)
+{
+    std::string err;
+
+    EXPECT_FALSE(parseJson(R"({"a":1,"a":2})", &err));
+    EXPECT_NE(err.find("duplicate object key 'a'"), std::string::npos)
+        << err;
+
+    EXPECT_FALSE(parseJson(R"({"cfg":{"rate":0.1,"rate":0.2}})", &err));
+    EXPECT_NE(err.find("duplicate object key 'cfg.rate'"),
+              std::string::npos)
+        << err;
+
+    // 1e999 overflows to +Inf: not representable in the wire format.
+    EXPECT_FALSE(parseJson(R"({"x":1e999})", &err));
+    EXPECT_NE(err.find("non-finite number at 'x'"), std::string::npos)
+        << err;
+
+    // The path names nested containers, arrays included.
+    EXPECT_FALSE(parseJson(R"({"rows":[{"v":1},{"v":-1e999}]})", &err));
+    EXPECT_NE(err.find("rows[1].v"), std::string::npos) << err;
+
+    // NaN/Infinity literals are not JSON at all.
+    EXPECT_FALSE(parseJson(R"({"x":NaN})", &err));
+    EXPECT_FALSE(parseJson(R"({"x":Infinity})", &err));
+
+    // Well-formed finite input still parses and round-trips.
+    const auto ok = parseJson(R"({"a":{"b":[1,2.5,-3]}})", &err);
+    ASSERT_TRUE(ok) << err;
+}
+
+} // namespace
+} // namespace ebda

@@ -327,4 +327,35 @@ TEST(SchedEquiv, AutoResolvesByInjectionRate)
               sim::SchedMode::Cycle);
 }
 
+/** The Auto cutoff also tracks fabric size: what matters for the
+ *  event queue is the fabric-wide arrival rate, so above the
+ *  reference node count the per-node cutoff shrinks proportionally.
+ *  At or below the reference size every resolution must match the
+ *  2-arg overload — pre-existing Auto picks are unchanged. */
+TEST(SchedEquiv, AutoCutoffScalesWithFabricSize)
+{
+    const double rate = sim::kEventModeRateThreshold / 2;
+    // Small fabrics (and the 0 = unknown default): same as 2-arg.
+    for (const std::size_t n : {std::size_t{0}, std::size_t{16},
+                                sim::kEventModeRefNodes}) {
+        EXPECT_EQ(sim::resolveSchedMode(sim::SchedMode::Auto, rate, n),
+                  sim::resolveSchedMode(sim::SchedMode::Auto, rate));
+    }
+    // 4x the reference size quarters the cutoff: a rate halfway to
+    // the nominal threshold is now firmly in cycle-mode territory.
+    EXPECT_EQ(sim::resolveSchedMode(sim::SchedMode::Auto, rate,
+                                    4 * sim::kEventModeRefNodes),
+              sim::SchedMode::Cycle);
+    // But a rate below the scaled cutoff still resolves to Event.
+    EXPECT_EQ(sim::resolveSchedMode(
+                  sim::SchedMode::Auto,
+                  sim::kEventModeRateThreshold / 16,
+                  4 * sim::kEventModeRefNodes),
+              sim::SchedMode::Event);
+    // Explicit requests are never overridden by fabric size.
+    EXPECT_EQ(sim::resolveSchedMode(sim::SchedMode::Event, 0.9,
+                                    4 * sim::kEventModeRefNodes),
+              sim::SchedMode::Event);
+}
+
 } // namespace

@@ -16,10 +16,14 @@
  *            Print the extracted turn set with theorem provenance.
  *   simulate --scheme "..." [--mesh 8x8] [--vcs 1,1] [--rate 0.2]
  *            [--pattern uniform] [--cycles 4000] [--torus]
+ *            [--watchdog C] [--recovery-passes N]
  *            [--sched auto|cycle|event] [--json]
  *            Run the wormhole simulator with the scheme's routing.
  *            --sched picks the scheduling backend (sim/scheduler.hh);
- *            auto resolves from the injection rate.
+ *            auto resolves from the injection rate and fabric size.
+ *            --watchdog sets the progress-watchdog window,
+ *            --recovery-passes the escalation budget before a wedge
+ *            is declared.
  *   space    --dims N [--vcs A,B,..]
  *            Report the turn-model design-space size EbDa avoids.
  *   forensics [--router minimal | --scheme "..."] [--mesh 4x4]
@@ -52,6 +56,21 @@
  *            passes, and the per-event degraded-CDG oracle verdicts.
  *            Exit 0 when the run degraded gracefully, 1 when it
  *            wedged (forensics printed), 2 on usage errors.
+ *   protocol [--router SPEC | --scheme "..."] [--mesh 4x4] [--vcs 2,2]
+ *            [--torus] [--rate 0.3] [--cycles 4000] [--watchdog 1000]
+ *            [--depth N] [--service-latency C] [--service-jitter C]
+ *            [--classes 1|2] [--reserve] [--recovery-passes N]
+ *            [--pattern uniform] [--json]
+ *            Run the request–reply protocol layer on a Dally-verified
+ *            fabric: finite per-node reply buffers plus a service
+ *            latency make message-dependency deadlock reachable with
+ *            --classes 1; --classes 2 carves a reply VC class as the
+ *            escape and --reserve throttles requests against local
+ *            reply-buffer space instead. Prints the endpoint report;
+ *            on a wedge, the cross-message wait-for cycle with the
+ *            protocol-vs-channel classification and the channel-level
+ *            oracle cross-check. Exit 0 when the run completed, 1 on
+ *            a protocol wedge (forensics printed), 2 on usage errors.
  *
  * Every command prints a short report to stdout; malformed input exits
  * with code 2 and a message on stderr.
@@ -97,14 +116,15 @@ usage()
     std::cerr <<
         "usage: ebda_tool "
         "<design|verify|turns|simulate|compare|space|topo|forensics|"
-        "faults> [options]\n"
+        "faults|protocol> [options]\n"
         "  design   --vcs 3,2,3 [--all] [--max N]\n"
         "  verify   --scheme \"{X+ X- Y-} -> {Y+}\" [--mesh 8x8] "
         "[--vcs 1,1] [--torus]\n"
         "  turns    --scheme \"...\"\n"
         "  simulate --scheme \"...\" [--mesh 8x8] [--vcs 1,1] "
         "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
-        "           [--sched auto|cycle|event] [--json]\n"
+        "           [--watchdog C] [--recovery-passes N] "
+        "[--sched auto|cycle|event] [--json]\n"
         "  compare  --scheme \"...\" --scheme2 \"...\"\n"
         "  space    --dims 3 [--vcs 1,1,1]\n"
         "  topo     [--dragonfly 4,2,2 | --fullmesh 8 | --mesh 4x4 "
@@ -120,7 +140,14 @@ usage()
         "[--link-faults N]\n"
         "           [--node-faults N] [--fault-seed S] "
         "[--fault-start C] [--fault-spacing C]\n"
-        "           [--events \"C:link:SRC->DST;C:node:N\"] [--json]\n";
+        "           [--events \"C:link:SRC->DST;C:node:N\"] [--json]\n"
+        "  protocol [--router SPEC | --scheme \"...\"] [--mesh 4x4] "
+        "[--vcs 2,2] [--torus]\n"
+        "           [--rate 0.3] [--cycles 4000] [--watchdog 1000] "
+        "[--depth N] [--service-latency C]\n"
+        "           [--service-jitter C] [--classes 1|2] [--reserve] "
+        "[--recovery-passes N]\n"
+        "           [--pattern uniform] [--json]\n";
     return 2;
 }
 
@@ -339,6 +366,9 @@ cmdSimulate(const Args &args)
         }
         cfg.schedMode = *mode;
     }
+    cfg.watchdogCycles = args.getU64("watchdog", cfg.watchdogCycles);
+    cfg.faults.maxRecoveryAttempts = static_cast<int>(args.getInt(
+        "recovery-passes", cfg.faults.maxRecoveryAttempts));
     if (!args.error().empty()) {
         std::cerr << args.error() << '\n';
         return 2;
@@ -868,6 +898,119 @@ cmdFaults(const Args &args)
 }
 
 int
+cmdProtocol(const Args &args)
+{
+    // Default: XY on a 4x4 mesh with 2 VCs per link — Dally-verified
+    // at the channel level, which is exactly what makes the protocol
+    // wedge interesting: the channel CDG stays acyclic while the
+    // request→endpoint→reply dependency closes a cycle above it.
+    RouterSetup setup;
+    if (!setupRouter(args, "xy", "2,2", setup))
+        return 2;
+    const auto &net = setup.net;
+    const auto *router = setup.router;
+
+    const auto pattern =
+        sim::patternFromString(args.get("pattern", "uniform"));
+    if (!pattern) {
+        std::cerr << "unknown --pattern\n";
+        return 2;
+    }
+    const sim::TrafficGenerator gen(*net, *pattern);
+
+    sim::SimConfig cfg;
+    cfg.injectionRate = args.getDouble("rate", 0.3);
+    cfg.measureCycles = args.getU64("cycles", 4000);
+    cfg.watchdogCycles = args.getU64("watchdog", 1000);
+    cfg.protocol.requestReply = true;
+    cfg.protocol.replyBufferDepth = static_cast<int>(
+        args.getInt("depth", cfg.protocol.replyBufferDepth));
+    cfg.protocol.serviceLatency =
+        args.getU64("service-latency", cfg.protocol.serviceLatency);
+    cfg.protocol.serviceJitter =
+        args.getU64("service-jitter", cfg.protocol.serviceJitter);
+    cfg.protocol.messageClasses = static_cast<int>(
+        args.getInt("classes", cfg.protocol.messageClasses));
+    if (args.has("reserve"))
+        cfg.protocol.reserveReplyBuffer = true;
+    cfg.faults.maxRecoveryAttempts = static_cast<int>(args.getInt(
+        "recovery-passes", cfg.faults.maxRecoveryAttempts));
+    if (!args.error().empty()) {
+        std::cerr << args.error() << '\n';
+        return 2;
+    }
+    cfg.warmupCycles = cfg.measureCycles / 4;
+    cfg.drainCycles = cfg.measureCycles * 10;
+
+    try {
+        sim::Simulator simulator(*net, *router, gen, cfg);
+        const auto result = simulator.run();
+
+        if (args.has("json")) {
+            JsonWriter w;
+            w.beginObject();
+            w.field("router", router->name());
+            w.field("pattern", sim::toString(*pattern));
+            w.beginObject("config");
+            sim::jsonFields(w, cfg);
+            w.end();
+            w.beginObject("result");
+            sim::jsonFields(w, result);
+            w.end();
+            w.end();
+            std::cout << w.str() << '\n';
+            return result.deadlocked ? 1 : 0;
+        }
+
+        std::cout << router->name() << " on " << net->numNodes()
+                  << " nodes, rate " << cfg.injectionRate
+                  << ", reply buffer depth "
+                  << cfg.protocol.replyBufferDepth << ", "
+                  << cfg.protocol.messageClasses
+                  << " message class(es)"
+                  << (cfg.protocol.reserveReplyBuffer
+                          ? ", buffer reservation"
+                          : "")
+                  << "\n\nendpoint report:\n  requests delivered: "
+                  << result.protocolRequestsDelivered
+                  << "\n  replies injected: "
+                  << result.protocolRepliesInjected << ", delivered "
+                  << result.protocolRepliesDelivered
+                  << "\n  endpoint stalls (full-buffer refusals): "
+                  << result.protocolEndpointStalls
+                  << "\n  requests throttled by reservation: "
+                  << result.protocolThrottled
+                  << "\n  peak buffer occupancy: "
+                  << result.protocolPeakOccupancy << " / "
+                  << cfg.protocol.replyBufferDepth
+                  << "\n  delivered fraction: "
+                  << result.deliveredFraction
+                  << "\n  recovery passes: " << result.recoveryPasses
+                  << '\n';
+        if (result.packetsMeasured > 0)
+            std::cout << "  avg latency: " << result.avgLatency
+                      << " cycles over " << result.packetsMeasured
+                      << " measured packets\n";
+
+        if (!result.deadlocked) {
+            std::cout << "\ncompleted watchdog-clean\n";
+            return 0;
+        }
+        std::cout << "\nWEDGED ("
+                  << (result.protocolDeadlock
+                          ? "protocol / message-dependency"
+                          : "channel")
+                  << " deadlock) after " << result.recoveryPasses
+                  << " recovery pass(es)\n\n"
+                  << simulator.forensics().describe(*net);
+        return 1;
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "bad protocol config: " << e.what() << '\n';
+        return 2;
+    }
+}
+
+int
 cmdCompare(const Args &args)
 {
     std::string err;
@@ -999,6 +1142,8 @@ main(int argc, char **argv)
             return cmdForensics(args);
         if (cmd == "faults")
             return cmdFaults(args);
+        if (cmd == "protocol")
+            return cmdProtocol(args);
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 2;
