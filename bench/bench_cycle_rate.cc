@@ -19,6 +19,12 @@
  *    schema only), below 1.5x its sweep.table_cycles_per_sec, or
  *  - the run fails to drain, deadlocks, or the hooks never fire.
  *
+ * The regression gate is a wall-clock verdict, so it is skipped (with
+ * a visible NOTICE, and reported as regression_gate_skipped_noisy in
+ * the JSON) when the three identical reps spread more than 15% — a
+ * noisy CI host cannot support the verdict either way. The
+ * zero-allocation gate is timing-free and always enforced.
+ *
  * Machine-readable output: the JSON summary is printed to stdout and,
  * when EBDA_CYCLE_BENCH_JSON is set, written to that path (CI uploads
  * it as an artifact; scripts/perf_baseline.sh merges it into
@@ -232,6 +238,7 @@ benchMain()
     constexpr int kReps = 3;
     bool pass = true;
     std::uint64_t worstAllocs = 0;
+    double slowestRate = 0.0;
     RepResult best;
     for (int r = 0; r < kReps; ++r) {
         const RepResult rep = runOnce(net, *rel, gen, cfg);
@@ -247,6 +254,8 @@ benchMain()
         worstAllocs = std::max(worstAllocs, rep.steadyAllocs);
         std::fprintf(stderr, "  rep %d: %.0f cycles/s\n", r,
                      rep.cyclesPerSec);
+        if (r == 0 || rep.cyclesPerSec < slowestRate)
+            slowestRate = rep.cyclesPerSec;
         if (rep.cyclesPerSec > best.cyclesPerSec)
             best = rep;
     }
@@ -254,6 +263,16 @@ benchMain()
     const std::uint64_t steadyAllocs = worstAllocs;
     const double cyclesPerSec = best.cyclesPerSec;
     const double flitMovesPerSec = best.flitMovesPerSec;
+
+    // Per-rep spread: (best - worst) / best. On a quiet host the three
+    // identical deterministic runs land within a few percent; a large
+    // spread means a noisy neighbour, and a best-of-3 figure from such
+    // a host cannot support a regression verdict either way.
+    const double repSpread = cyclesPerSec > 0
+        ? (cyclesPerSec - slowestRate) / cyclesPerSec
+        : 0.0;
+    constexpr double kMaxTrustedSpread = 0.15;
+    const bool hostNoisy = repSpread > kMaxTrustedSpread;
 
     std::printf("sim loop (fig7b, uniform 0.10, mesh 8x8, 2 VCs/dim):\n"
                 "  %.0f cycles/s, %.0f flit-moves/s over %llu measured "
@@ -265,11 +284,21 @@ benchMain()
                 kReps, static_cast<unsigned long long>(steadyAllocs),
                 best.packetTableSlots,
                 static_cast<unsigned long long>(best.packetsEjected));
+    std::printf("  per-rep spread %.1f%% (worst %.0f cycles/s)\n",
+                100.0 * repSpread, slowestRate);
+    if (hostNoisy)
+        std::printf("  NOTICE: spread exceeds %.0f%% — noisy host, "
+                    "regression gate SKIPPED (allocation gate still "
+                    "enforced)\n",
+                    100.0 * kMaxTrustedSpread);
 
-    // Regression gates against the committed baseline.
+    // Regression gates against the committed baseline. Skipped (with
+    // the notice above) when the reps disagree too much to trust a
+    // wall-clock verdict; the zero-allocation contract is timing-free
+    // and is enforced regardless.
     double baselineCyclesPerSec = 0.0;
     if (const char *path = std::getenv("EBDA_SIM_BASELINE_JSON");
-        path && *path) {
+        !hostNoisy && path && *path) {
         const Baseline base = loadBaseline(path);
         if (base.loaded && base.simLoopCyclesPerSec > 0) {
             baselineCyclesPerSec = base.simLoopCyclesPerSec;
@@ -303,6 +332,9 @@ benchMain()
          << ",\"flit_moves_per_sec\":" << flitMovesPerSec
          << ",\"steady_state_allocs\":" << steadyAllocs
          << ",\"packet_table_slots\":" << best.packetTableSlots
+         << ",\"rep_spread\":" << repSpread
+         << ",\"regression_gate_skipped_noisy\":"
+         << (hostNoisy ? "true" : "false")
          << ",\"baseline_cycles_per_sec\":" << baselineCyclesPerSec
          << ",\"pass\":" << (pass ? "true" : "false") << "}";
 

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Scaling curve and correctness gate for the sharded cycle backend
+ * (sim/shard_sched.hh): cycles/s at shards in {1,2,4,8} on the 32x32,
+ * 2-VC mesh saturation point (fig7b router, uniform 0.30
+ * flits/node/cycle) — the single-big-run regime the backend exists
+ * for.
+ *
+ * Three gates, in order of importance:
+ *  - shards=1 bit-identity: with an explicit shard count of 1 the
+ *    simulator must dispatch to the classic CycleScheduler, so the
+ *    full result JSON must match a default (auto) run on a
+ *    below-cutoff network bit for bit. Always enforced.
+ *  - fixed-shard-count determinism: the shards=4 run must produce a
+ *    byte-identical result JSON across EBDA_SHARD_THREADS = 1 and 2
+ *    (the shard count, not the worker count, is the simulation's
+ *    identity). Always enforced.
+ *  - speedup: >= 2.5x at 4 shards and >= 4x at 8 shards over the
+ *    shards=1 rate. Enforced ONLY when the host exposes at least as
+ *    many hardware threads as shards; on smaller hosts (CI runners,
+ *    laptops) the gate is skipped with a visible notice — the rates
+ *    are still measured and reported so the committed baseline shows
+ *    what the host could do.
+ *
+ * Machine-readable output: the JSON summary is printed to stdout and,
+ * when EBDA_SHARD_BENCH_JSON is set, written to that path
+ * (scripts/perf_baseline.sh merges it into BENCH_sim.json as the
+ * `shard_scaling` member; CI uploads it as an artifact).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_json.hh"
+#include "sim/simulator.hh"
+#include "sweep/router_factory.hh"
+
+namespace ebda {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kShardPoints[] = {1, 2, 4, 8};
+
+/** One full run: wall clock over exactly the measurement window. */
+struct RepResult
+{
+    bool clean = false;
+    double cyclesPerSec = 0.0;
+    std::string resultJson;
+    std::uint64_t packetsEjected = 0;
+    std::uint64_t packetsMeasured = 0;
+};
+
+/** The 32x32 point runs ABOVE saturation (that is the regime the
+ *  backend exists for), so it never drains: measured packets are
+ *  still in flight when the short drain budget expires. The timing
+ *  figure only needs the measurement window, so `requireDrain` is
+ *  false for the scaling sweep and true for the light-load identity
+ *  check. */
+sim::SimConfig
+saturationConfig()
+{
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.30;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    cfg.drainCycles = 2000;
+    cfg.watchdogCycles = 20000;
+    cfg.seed = 2026;
+    cfg.routeTable = true;
+    cfg.schedMode = sim::SchedMode::Cycle;
+    return cfg;
+}
+
+RepResult
+runOnce(const topo::Network &net, const cdg::RoutingRelation &rel,
+        const sim::TrafficGenerator &gen, sim::SimConfig cfg,
+        int shards, bool requireDrain)
+{
+    cfg.shards = shards;
+    sim::Simulator simulator(net, rel, gen, cfg);
+
+    struct Window
+    {
+        bool started = false;
+        bool ended = false;
+        Clock::time_point t0, t1;
+    } w;
+    simulator.setMeasurePhaseHooks(
+        [&] {
+            w.started = true;
+            w.t0 = Clock::now();
+        },
+        [&] {
+            w.t1 = Clock::now();
+            w.ended = true;
+        });
+
+    const auto result = simulator.run();
+
+    RepResult rep;
+    rep.clean = w.started && w.ended && !result.deadlocked
+        && !result.aborted && (!requireDrain || result.drained);
+    if (!rep.clean) {
+        std::cerr << "shards=" << shards
+                  << ": run did not cover the measurement window"
+                  << " cleanly (started=" << w.started
+                  << " ended=" << w.ended
+                  << " deadlocked=" << result.deadlocked
+                  << " drained=" << result.drained << ")\n";
+    }
+    const double seconds =
+        std::chrono::duration<double>(w.t1 - w.t0).count();
+    rep.cyclesPerSec = seconds > 0
+        ? static_cast<double>(cfg.measureCycles) / seconds
+        : 0.0;
+    rep.resultJson = sim::toJson(result);
+    rep.packetsEjected = result.packetsEjected;
+    rep.packetsMeasured = result.packetsMeasured;
+    return rep;
+}
+
+/** Pin the worker-thread count for one run (restores the env). */
+RepResult
+runWithThreads(const topo::Network &net, const cdg::RoutingRelation &rel,
+               const sim::TrafficGenerator &gen,
+               const sim::SimConfig &cfg, int shards, int threads)
+{
+    ::setenv("EBDA_SHARD_THREADS", std::to_string(threads).c_str(), 1);
+    auto rep = runOnce(net, rel, gen, cfg, shards, false);
+    ::unsetenv("EBDA_SHARD_THREADS");
+    return rep;
+}
+
+int
+benchMain()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    bool pass = true;
+
+    // ----------------------------------------------------------------
+    // Gate 1: shards=1 is the classic CycleScheduler, bit for bit.
+    // Run on an 8x8 mesh — below the Auto cutoff, so shards=0 resolves
+    // to the classic backend and the comparison pins the dispatch
+    // contract (an explicit 1 must not perturb anything, result JSON
+    // included).
+    bool identityPass = false;
+    {
+        const auto net8 = topo::Network::mesh({8, 8}, {2, 2});
+        const auto rel8 = sweep::makeRouter(net8, "fig7b");
+        if (!rel8) {
+            std::cerr << "makeRouter(fig7b) failed\n";
+            return 1;
+        }
+        const sim::TrafficGenerator gen8(net8,
+                                         sim::TrafficPattern::Uniform);
+        sim::SimConfig cfg8 = saturationConfig();
+        cfg8.injectionRate = 0.10;
+        cfg8.drainCycles = 50000;
+        const auto classic = runOnce(net8, *rel8, gen8, cfg8, 0, true);
+        const auto one = runOnce(net8, *rel8, gen8, cfg8, 1, true);
+        identityPass = classic.clean && one.clean
+            && classic.resultJson == one.resultJson;
+        std::printf("shards=1 vs CycleScheduler bit-identity: %s\n",
+                    identityPass ? "ok" : "MISMATCH");
+        if (!identityPass)
+            pass = false;
+    }
+
+    // ----------------------------------------------------------------
+    // The 32x32 saturation point.
+    const auto net = topo::Network::mesh({32, 32}, {2, 2});
+    const auto rel = sweep::makeRouter(net, "fig7b");
+    if (!rel) {
+        std::cerr << "makeRouter(fig7b) failed\n";
+        return 1;
+    }
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    const sim::SimConfig cfg = saturationConfig();
+
+    // Timing sweep: best of two identical runs per shard count. The
+    // shards=1 point is the classic scheduler — the denominator every
+    // speedup is quoted against.
+    constexpr int kReps = 2;
+    std::vector<double> rate(std::size(kShardPoints), 0.0);
+    std::vector<RepResult> bestRep(std::size(kShardPoints));
+    std::printf("32x32 mesh, fig7b, uniform %.2f (%u hardware "
+                "thread%s):\n",
+                cfg.injectionRate, hw, hw == 1 ? "" : "s");
+    for (std::size_t i = 0; i < std::size(kShardPoints); ++i) {
+        for (int r = 0; r < kReps; ++r) {
+            RepResult rep =
+                runOnce(net, *rel, gen, cfg, kShardPoints[i], false);
+            if (!rep.clean)
+                pass = false;
+            // Sanity: a saturated window must actually move traffic.
+            if (rep.packetsEjected == 0 || rep.packetsMeasured == 0) {
+                std::printf("  shards=%d ejected no packets\n",
+                            kShardPoints[i]);
+                pass = false;
+            }
+            if (rep.cyclesPerSec > rate[i]) {
+                rate[i] = rep.cyclesPerSec;
+                bestRep[i] = std::move(rep);
+            }
+        }
+        std::printf("  shards=%d: %8.0f cycles/s (speedup %.2fx)\n",
+                    kShardPoints[i], rate[i],
+                    rate[0] > 0 ? rate[i] / rate[0] : 0.0);
+    }
+
+    // ----------------------------------------------------------------
+    // Gate 2: fixed-shard-count determinism across worker counts. The
+    // shards=4 run must be byte-identical with 1 and 2 worker threads
+    // (2 oversubscribes a single-core host — by design; this is why
+    // the check needs no multi-core machine).
+    const auto det1 = runWithThreads(net, *rel, gen, cfg, 4, 1);
+    const auto det2 = runWithThreads(net, *rel, gen, cfg, 4, 2);
+    const bool determinismPass = det1.clean && det2.clean
+        && det1.resultJson == det2.resultJson
+        && det1.resultJson == bestRep[2].resultJson;
+    std::printf("shards=4 determinism across worker counts: %s\n",
+                determinismPass ? "ok" : "MISMATCH");
+    if (!determinismPass)
+        pass = false;
+
+    // ----------------------------------------------------------------
+    // Gate 3: speedup — hardware-gated. A host with fewer hardware
+    // threads than shards physically cannot show the scaling; skip
+    // loudly instead of failing, so the bench stays runnable (and the
+    // correctness gates above stay enforced) everywhere.
+    const double speedup4 = rate[0] > 0 ? rate[2] / rate[0] : 0.0;
+    const double speedup8 = rate[0] > 0 ? rate[3] / rate[0] : 0.0;
+    bool gate4Enforced = hw >= 4;
+    bool gate8Enforced = hw >= 8;
+    if (gate4Enforced) {
+        std::printf("  speedup gate @4 shards: %.2fx >= 2.5x: %s\n",
+                    speedup4, speedup4 >= 2.5 ? "ok" : "TOO SLOW");
+        if (speedup4 < 2.5)
+            pass = false;
+    } else {
+        std::printf("  NOTICE: speedup gate @4 shards SKIPPED — host "
+                    "has %u hardware thread%s (< 4)\n",
+                    hw, hw == 1 ? "" : "s");
+    }
+    if (gate8Enforced) {
+        std::printf("  speedup gate @8 shards: %.2fx >= 4x: %s\n",
+                    speedup8, speedup8 >= 4.0 ? "ok" : "TOO SLOW");
+        if (speedup8 < 4.0)
+            pass = false;
+    } else {
+        std::printf("  NOTICE: speedup gate @8 shards SKIPPED — host "
+                    "has %u hardware thread%s (< 8)\n",
+                    hw, hw == 1 ? "" : "s");
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\":\"shard_scaling\""
+         << ",\"network\":\"mesh32x32_vc2\",\"router\":\"fig7b\""
+         << ",\"injection_rate\":" << cfg.injectionRate
+         << ",\"measure_cycles\":" << cfg.measureCycles
+         << ",\"reps\":" << kReps
+         << ",\"hardware_threads\":" << hw;
+    for (std::size_t i = 0; i < std::size(kShardPoints); ++i)
+        json << ",\"cycles_per_sec_shards" << kShardPoints[i]
+             << "\":" << rate[i];
+    json << ",\"speedup_shards4\":" << speedup4
+         << ",\"speedup_shards8\":" << speedup8
+         << ",\"speedup_gate_enforced\":"
+         << ((gate4Enforced || gate8Enforced) ? "true" : "false")
+         << ",\"identity_pass\":" << (identityPass ? "true" : "false")
+         << ",\"determinism_pass\":"
+         << (determinismPass ? "true" : "false")
+         << ",\"pass\":" << (pass ? "true" : "false") << "}";
+
+    std::cout << "\nSHARD_BENCH_JSON: " << json.str() << '\n';
+    if (const char *path = std::getenv("EBDA_SHARD_BENCH_JSON");
+        path && *path) {
+        std::ofstream out(path);
+        out << json.str() << '\n';
+    }
+    return pass ? 0 : 1;
+}
+
+} // namespace
+} // namespace ebda
+
+int
+main()
+{
+    return ebda::benchMain();
+}

@@ -20,11 +20,24 @@
 #    escape (>= 0.99 delivery, watchdog-clean) and the protocol
 #    classification of every one-class wedge.
 #
-# The route bench writes the top-level JSON; the cycle, sched, and
-# protocol benches' summaries are merged in as the `sim_loop`,
-# `sched_mode`, and `protocol` members. Any bench failing aborts the
-# script, so a stale or regressed baseline can never be committed from
-# a broken build.
+# A fifth bench, bench_shard_scaling, measures the sharded cycle
+# backend at shards {1,2,4,8} on the 32x32 saturation point (speedup
+# gates are enforced only on hosts with enough hardware threads; the
+# bit-identity and determinism gates always are).
+#
+# The route bench writes the top-level JSON; the cycle, sched,
+# protocol, and shard benches' summaries are merged in as the
+# `sim_loop`, `sched_mode`, `protocol`, and `shard_scaling` members.
+# Any bench failing aborts the script, so a stale or regressed
+# baseline can never be committed from a broken build.
+#
+# After the merge the script compares the fresh sim_loop rate against
+# the PREVIOUS committed baseline and prints a loud warning when they
+# drift more than 10% in either direction: the bench's own gate only
+# fails on a >25% regression, so silent drift used to accumulate
+# (489,829 committed vs 441,933 measured, pass:true). The warning is
+# the cue to either find the slowdown or re-commit the refreshed
+# figures — never to leave a baseline the host can no longer produce.
 #
 # Usage: scripts/perf_baseline.sh [build-dir]   (default: build-perf)
 set -euo pipefail
@@ -35,7 +48,7 @@ BUILD_DIR="${1:-build-perf}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_route_compute bench_cycle_rate bench_sched_mode \
-    bench_protocol_deadlock
+    bench_protocol_deadlock bench_shard_scaling
 
 EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
     "$BUILD_DIR/bench/bench_route_compute"
@@ -45,9 +58,10 @@ EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
 SIM_LOOP_JSON="$(mktemp)"
 SCHED_MODE_JSON="$(mktemp)"
 PROTOCOL_JSON="$(mktemp)"
+SHARD_JSON="$(mktemp)"
 PREV_BASELINE="$(mktemp)"
 trap 'rm -f "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" \
-    "$PREV_BASELINE"' EXIT
+    "$SHARD_JSON" "$PREV_BASELINE"' EXIT
 if git show HEAD:BENCH_sim.json > "$PREV_BASELINE" 2>/dev/null; then
     export EBDA_SIM_BASELINE_JSON="$PREV_BASELINE"
 fi
@@ -64,10 +78,22 @@ EBDA_SCHED_BENCH_JSON="$SCHED_MODE_JSON" \
 EBDA_PROTOCOL_BENCH_JSON="$PROTOCOL_JSON" \
     "$BUILD_DIR/bench/bench_protocol_deadlock"
 
-# Splice `"sim_loop"`, `"sched_mode"`, and `"protocol"` onto the route
-# bench's object.
-python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" <<'EOF'
-import json, sys
+# Sharded cycle backend: scaling curve at shards {1,2,4,8} on the
+# 32x32 saturation point. Speedup gates self-skip (loudly) on hosts
+# with too few hardware threads; bit-identity and determinism gates
+# always run.
+EBDA_SHARD_BENCH_JSON="$SHARD_JSON" \
+    "$BUILD_DIR/bench/bench_shard_scaling"
+
+# Splice `"sim_loop"`, `"sched_mode"`, `"protocol"`, and
+# `"shard_scaling"` onto the route bench's object, then diff the fresh
+# sim_loop rate against the previous committed baseline: a drift
+# beyond 10% in EITHER direction gets a loud warning, because the
+# bench's own gate only fails on a >25% regression and anything inside
+# that band silently rots the committed figure otherwise.
+python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" \
+    "$SHARD_JSON" "$PREV_BASELINE" <<'EOF'
+import json, os, sys
 with open("BENCH_sim.json") as f:
     doc = json.load(f)
 with open(sys.argv[1]) as f:
@@ -76,9 +102,36 @@ with open(sys.argv[2]) as f:
     doc["sched_mode"] = json.load(f)
 with open(sys.argv[3]) as f:
     doc["protocol"] = json.load(f)
+with open(sys.argv[4]) as f:
+    doc["shard_scaling"] = json.load(f)
 with open("BENCH_sim.json", "w") as f:
     json.dump(doc, f, separators=(",", ":"))
     f.write("\n")
+
+prev_path = sys.argv[5]
+try:
+    with open(prev_path) as f:
+        prev = json.load(f).get("sim_loop", {}).get("cycles_per_sec", 0)
+except (OSError, ValueError):
+    prev = 0
+fresh = doc["sim_loop"]["cycles_per_sec"]
+if prev and fresh:
+    drift = fresh / prev - 1.0
+    if abs(drift) > 0.10:
+        bar = "!" * 66
+        print(bar, file=sys.stderr)
+        print(f"!! WARNING: sim_loop drifted {drift:+.1%} from the "
+              f"committed baseline", file=sys.stderr)
+        print(f"!!   committed {prev:,.0f} cycles/s -> measured "
+              f"{fresh:,.0f} cycles/s", file=sys.stderr)
+        print("!!   BENCH_sim.json has been refreshed with the "
+              "measured figure; commit it", file=sys.stderr)
+        print("!!   only after confirming the change is expected "
+              "(host or code, not noise).", file=sys.stderr)
+        print(bar, file=sys.stderr)
+    else:
+        print(f"sim_loop drift vs committed baseline: {drift:+.1%} "
+              f"(within 10%)", file=sys.stderr)
 EOF
 
 echo "wrote BENCH_sim.json"

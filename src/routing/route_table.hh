@@ -115,6 +115,13 @@ class RouteTable
     /** Route-compute queries served so far (table or fallback). */
     std::uint64_t calls() const { return callCount; }
 
+    /** Fold externally counted queries into calls(). The sharded
+     *  scheduler's workers query via candidatesViewUncounted (the
+     *  mutable counter here is not thread-safe) and tally per shard;
+     *  the scheduler adds the totals back once the workers joined so
+     *  result.routeComputeCalls stays exact and deterministic. */
+    void addCalls(std::uint64_t n) const { callCount += n; }
+
     /** The relation compiled (the simulator's effective relation). */
     const cdg::RoutingRelation &relation() const { return rel; }
 
@@ -131,6 +138,26 @@ class RouteTable
                    std::vector<topo::ChannelId> &scratch) const
     {
         ++callCount;
+        if (compiledFlag) {
+            const Row r = rows[rowIndex(in, src, dest)];
+            return CandidateSpan{pool.data() + r.begin, r.len};
+        }
+        scratch = rel.candidates(in, at, src, dest);
+        return CandidateSpan{scratch.data(), scratch.size()};
+    }
+
+    /**
+     * candidatesView without the call tally — safe to invoke from
+     * several threads at once on a compiled table (pure reads). The
+     * caller counts queries itself and folds them in via addCalls().
+     * The virtual fallback fills the caller-provided scratch, so each
+     * thread must pass its own.
+     */
+    CandidateSpan
+    candidatesViewUncounted(topo::ChannelId in, topo::NodeId at,
+                            topo::NodeId src, topo::NodeId dest,
+                            std::vector<topo::ChannelId> &scratch) const
+    {
         if (compiledFlag) {
             const Row r = rows[rowIndex(in, src, dest)];
             return CandidateSpan{pool.data() + r.begin, r.len};

@@ -164,10 +164,14 @@ struct Fabric
     }
 
     /** Append a flit to `vc` (== ivcs[idx], hoisted by the caller),
-     *  maintaining occupancy integrals. */
+     *  maintaining occupancy integrals. The move is charged to
+     *  `moves` — the fabric-wide counter for the classic backends, a
+     *  per-shard counter for the sharded one (shard workers must not
+     *  contend on one shared scalar; the scheduler sums the shard
+     *  counters into `flitMoves` after the run). */
     void
     pushFlit(std::size_t idx, InputVc &vc, const Flit &flit,
-             std::uint64_t cycle)
+             std::uint64_t cycle, std::uint64_t &moves)
     {
         if (isChannelVc(idx)) {
             ChannelState &cs = chan[idx];
@@ -180,7 +184,15 @@ struct Fabric
                 cs.occPeak = depth;
         }
         vc.buf.push_back(flit);
-        ++flitMoves;
+        ++moves;
+    }
+
+    /** Append a flit to `vc`, charging the fabric-wide move counter. */
+    void
+    pushFlit(std::size_t idx, InputVc &vc, const Flit &flit,
+             std::uint64_t cycle)
+    {
+        pushFlit(idx, vc, flit, cycle, flitMoves);
     }
 
     /** Append a flit to ivcs[idx], maintaining occupancy integrals. */

@@ -116,6 +116,15 @@ jsonFields(JsonWriter &w, const SimConfig &c)
     // two backends are trace-equivalent.
     if (c.schedMode != SchedMode::Auto)
         w.field("schedMode", toString(c.schedMode));
+    // Omitted at the Auto default (0), like schedMode, so every
+    // pre-sharding spec keeps its byte-identical cache key. Explicit
+    // values — including the forcing-classic 1 — are emitted: a
+    // forced shard count changes the per-shard arbitration domains
+    // and must therefore be distinguishable from Auto in the cache
+    // identity (Auto resolves from the fabric size, which is itself
+    // part of the canonical job config, so Auto results stay pure).
+    if (c.shards != 0)
+        w.field("shards", c.shards);
     // Omitted when disabled (the default), like schedMode: every
     // pre-protocol spec keeps its byte-identical canonical form and
     // sweep cache key.
@@ -484,7 +493,8 @@ configFromJson(const JsonValue &v, std::string *error)
         "injectionRate", "injectionVcs",  "atomicVcAllocation",
         "warmupCycles",  "measureCycles", "drainCycles",
         "watchdogCycles", "routeTable",   "routeTableBudget",
-        "schedMode",     "protocol",      "faults"};
+        "schedMode",     "shards",        "protocol",
+        "faults"};
     for (const auto &[key, val] : v.members()) {
         bool ok = false;
         for (const char *k : known)
@@ -530,7 +540,9 @@ configFromJson(const JsonValue &v, std::string *error)
         && r.boolean("routeTable", c.routeTable)
         && r.number("routeTableBudget", [&](const JsonValue &f) {
                c.routeTableBudget = f.asU64();
-           });
+           })
+        && r.number("shards",
+                    [&](const JsonValue &f) { c.shards = f.asInt(); });
     if (ok) {
         if (const auto *f = v.find("switching")) {
             const auto m = f->isString()

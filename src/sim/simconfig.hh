@@ -195,6 +195,18 @@ struct SimConfig
      *  choice is an execution detail, not part of the cache identity
      *  (Auto is never serialized). */
     SchedMode schedMode = SchedMode::Auto;
+    /** Spatial shard count for the multi-core cycle backend
+     *  (sim/shard_sched.hh). 0 = Auto: engage sharding only on fabrics
+     *  at or above the node-count cutoff, with a shard count derived
+     *  from the fabric size alone — never from the machine — so a
+     *  result stays a pure function of its config (worker threads are
+     *  the hardware-adaptive knob and never change results). 1 forces
+     *  the classic single-threaded CycleScheduler (bit-identical to
+     *  the golden rows); >1 forces that many shards. Values other
+     *  than 0 are serialized and therefore part of the sweep cache
+     *  identity: a sharded run arbitrates per shard domain, so its
+     *  results legitimately differ from the single-shard run. */
+    int shards = 0;
     /** Request–reply protocol layer (disabled by default: the exact
      *  one-way code path runs, bit for bit). */
     ProtocolConfig protocol;

@@ -4,6 +4,8 @@
 
 #include "cdg/relation_cdg.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard_partition.hh"
+#include "sim/shard_sched.hh"
 
 namespace ebda::sim {
 
@@ -565,6 +567,13 @@ Simulator::run()
     std::uint64_t cycle;
     if (mode == SchedMode::Event) {
         EventScheduler sched;
+        cycle = sched.run(*this, result);
+        result.wakeups = sched.wakeups;
+    } else if (const int shards = resolveShardCount(
+                   cfg.shards, net.numNodes(), table.compiled(),
+                   injector.enabled(), proto != nullptr);
+               shards > 1) {
+        ShardedCycleScheduler sched(shards);
         cycle = sched.run(*this, result);
         result.wakeups = sched.wakeups;
     } else {

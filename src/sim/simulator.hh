@@ -153,9 +153,12 @@ class Simulator
   private:
     /** The scheduling backends drive the private phase code directly:
      *  CycleScheduler is the classic loop (simulator.cc),
-     *  EventScheduler the queue-driven one (event_queue.cc). */
+     *  EventScheduler the queue-driven one (event_queue.cc),
+     *  ShardedCycleScheduler the multi-core cycle loop
+     *  (shard_sched.cc). */
     friend class CycleScheduler;
     friend class EventScheduler;
+    friend class ShardedCycleScheduler;
 
     void generate(std::uint64_t cycle, bool measuring);
     void fillInjectionVcs(std::uint64_t cycle);

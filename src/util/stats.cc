@@ -64,6 +64,23 @@ Histogram::reset()
     maxV = 0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    EBDA_ASSERT(buckets.size() == other.buckets.size(),
+                "histogram merge requires matching bucket ranges");
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    if (!other.overflow.empty()) {
+        overflow.insert(overflow.end(), other.overflow.begin(),
+                        other.overflow.end());
+        overflowSorted = false;
+    }
+    total += other.total;
+    sumV += other.sumV;
+    maxV = std::max(maxV, other.maxV);
+}
+
 double
 Histogram::mean() const
 {

@@ -107,6 +107,13 @@ class Histogram
         maxV = std::max(maxV, value);
     }
 
+    /** Merge another histogram into this one. The bucket ranges must
+     *  match (both sides built with the same num_buckets); overflow
+     *  samples are concatenated. Deterministic for a fixed merge
+     *  order — the sharded scheduler folds per-shard histograms in
+     *  ascending shard order. */
+    void merge(const Histogram &other);
+
     /** Total samples recorded. */
     std::uint64_t count() const { return total; }
 

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Correctness suite for the sharded cycle backend (sim/shard_sched.hh)
+ * and its spatial partitioner (sim/shard_partition.hh).
+ *
+ * The contract under test, in order of importance:
+ *  1. shards = 1 forces the classic CycleScheduler — every golden-sim
+ *     configuration must produce a bit-identical SimResult (full JSON,
+ *     schedMode and wakeups included).
+ *  2. A sharded run is a pure function of (config, shard count): for a
+ *     fixed shard count the full result JSON is identical across
+ *     repeated runs and across every worker-thread count, including
+ *     oversubscription (EBDA_SHARD_THREADS above the core count) —
+ *     which is why this suite needs no multi-core reference machine,
+ *     and why it is meaningful under TSan on one core.
+ *  3. Conservation against the classic backend: generation is driven
+ *     by per-node RNG substreams over the same cycle window, so a
+ *     drained sharded run must eject exactly the classic run's packet
+ *     and measured-flit counts (latency statistics may differ — the
+ *     cut-credit lag makes a sharded run a slightly different, equally
+ *     valid, simulation).
+ *  4. Partition shapes: grid slabs cut only boundary links (torus wrap
+ *     links included), dragonfly partitions never split a group, every
+ *     shard is non-empty.
+ *  5. Config plumbing: `shards` round-trips through the JSON codec and
+ *     is omitted when 0, keeping legacy sweep cache keys byte-stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/catalog.hh"
+#include "core/torus.hh"
+#include "routing/baselines.hh"
+#include "routing/dragonfly.hh"
+#include "routing/ebda_routing.hh"
+#include "sim/shard_partition.hh"
+#include "sim/sim_json.hh"
+#include "sim/simulator.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace ebda;
+
+sim::SimResult
+runWith(const topo::Network &net, const cdg::RoutingRelation &routing,
+        const sim::TrafficGenerator &gen, sim::SimConfig cfg,
+        int shards)
+{
+    cfg.shards = shards;
+    cfg.schedMode = sim::SchedMode::Cycle;
+    sim::Simulator s(net, routing, gen, cfg);
+    return s.run();
+}
+
+/** Run with a pinned worker-thread count (restores the environment). */
+sim::SimResult
+runWithThreads(const topo::Network &net,
+               const cdg::RoutingRelation &routing,
+               const sim::TrafficGenerator &gen,
+               const sim::SimConfig &cfg, int shards, int threads)
+{
+    ::setenv("EBDA_SHARD_THREADS", std::to_string(threads).c_str(), 1);
+    auto r = runWith(net, routing, gen, cfg, shards);
+    ::unsetenv("EBDA_SHARD_THREADS");
+    return r;
+}
+
+sim::SimConfig
+baseConfig()
+{
+    sim::SimConfig cfg;
+    cfg.seed = 2017;
+    cfg.injectionRate = 0.15;
+    cfg.warmupCycles = 300;
+    cfg.measureCycles = 1500;
+    cfg.drainCycles = 20000;
+    cfg.watchdogCycles = 2000;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// 1. shards = 1 is the classic backend, bit for bit, over the full
+//    golden grid (same 24 rows test_golden_sim.cc pins).
+
+struct GoldenRow
+{
+    int topo;
+    sim::SelectionPolicy selection;
+    sim::SwitchingMode switching;
+};
+
+class ShardGolden : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(ShardGolden, OneShardBitIdenticalToClassic)
+{
+    const GoldenRow &row = GetParam();
+    const auto net = row.topo == 0
+        ? topo::Network::mesh({4, 4}, {1, 2})
+        : topo::Network::torus({4, 4}, {2, 2});
+    const auto scheme = row.topo == 0 ? core::schemeFig7b()
+                                      : core::torusAdaptiveScheme2d();
+    const routing::EbDaRouting router(
+        net, scheme, {},
+        row.topo == 0 ? routing::EbDaRouting::Mode::Minimal
+                      : routing::EbDaRouting::Mode::ShortestState);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg = baseConfig();
+    cfg.selection = row.selection;
+    cfg.switching = row.switching;
+
+    const auto classic = runWith(net, router, gen, cfg, 0);
+    const auto one = runWith(net, router, gen, cfg, 1);
+    EXPECT_EQ(sim::toJson(classic), sim::toJson(one));
+}
+
+std::string
+goldenRowName(const ::testing::TestParamInfo<GoldenRow> &info)
+{
+    const GoldenRow &row = info.param;
+    std::string n = row.topo == 0 ? "Mesh4x4" : "Torus4x4";
+    n += row.selection == sim::SelectionPolicy::MaxCredits ? "MaxCredits"
+        : row.selection == sim::SelectionPolicy::RoundRobin ? "RoundRobin"
+        : row.selection == sim::SelectionPolicy::Random     ? "Random"
+                                                        : "FirstCandidate";
+    n += row.switching == sim::SwitchingMode::Wormhole ? "Wormhole"
+        : row.switching == sim::SwitchingMode::VirtualCutThrough ? "Vct"
+                                                                 : "Saf";
+    return n;
+}
+
+std::vector<GoldenRow>
+allGoldenRows()
+{
+    std::vector<GoldenRow> rows;
+    for (int topo = 0; topo < 2; ++topo)
+        for (const auto sel :
+             {sim::SelectionPolicy::MaxCredits,
+              sim::SelectionPolicy::RoundRobin,
+              sim::SelectionPolicy::Random,
+              sim::SelectionPolicy::FirstCandidate})
+            for (const auto sw :
+                 {sim::SwitchingMode::Wormhole,
+                  sim::SwitchingMode::VirtualCutThrough,
+                  sim::SwitchingMode::StoreAndForward})
+                rows.push_back({topo, sel, sw});
+    return rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGoldenRows, ShardGolden,
+                         ::testing::ValuesIn(allGoldenRows()),
+                         goldenRowName);
+
+// ---------------------------------------------------------------------
+// 2+3. Sharded runs: deterministic for a fixed shard count across
+//      repeats and worker-thread counts, and conservation-equal to the
+//      classic run.
+
+void
+expectShardedDeterministic(const topo::Network &net,
+                           const cdg::RoutingRelation &routing,
+                           const sim::TrafficGenerator &gen,
+                           const sim::SimConfig &cfg, int shards)
+{
+    const auto classic = runWith(net, routing, gen, cfg, 1);
+    const auto ref = runWith(net, routing, gen, cfg, shards);
+    const std::string ref_json = sim::toJson(ref);
+
+    // Repeat run: identical.
+    EXPECT_EQ(ref_json, sim::toJson(runWith(net, routing, gen, cfg,
+                                            shards)))
+        << shards << " shards: repeated run diverged";
+    // Worker-thread count must not matter: serial execution of all
+    // shards, one thread per shard, and oversubscription beyond both
+    // the shard count and this machine's core count.
+    for (const int threads : {1, 2, shards, 3 * shards}) {
+        EXPECT_EQ(ref_json,
+                  sim::toJson(runWithThreads(net, routing, gen, cfg,
+                                             shards, threads)))
+            << shards << " shards diverged at " << threads
+            << " worker thread(s)";
+    }
+
+    // The sharded backend still reports a Cycle-mode run and keeps the
+    // classic wakeups accounting (one per executed cycle, plus the
+    // final bottom-break iteration when it drains).
+    EXPECT_EQ(ref.schedMode, sim::SchedMode::Cycle);
+    ASSERT_TRUE(classic.drained);
+    ASSERT_TRUE(ref.drained);
+    EXPECT_EQ(ref.wakeups, ref.cycles + 1);
+
+    // Conservation vs. classic: same generation stream, fully drained,
+    // so the delivered counts must match exactly even though latency
+    // statistics legitimately differ (cut-credit lag).
+    EXPECT_EQ(ref.packetsEjected, classic.packetsEjected);
+    EXPECT_EQ(ref.packetsMeasured, classic.packetsMeasured);
+    EXPECT_DOUBLE_EQ(ref.offeredRate, classic.offeredRate);
+    EXPECT_EQ(ref.deliveredFraction, 1.0);
+}
+
+TEST(ShardEquiv, Mesh8x8TwoAndFourShards)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 2});
+    const routing::EbDaRouting router(net, core::schemeFig7b());
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    for (const int shards : {2, 4})
+        expectShardedDeterministic(net, router, gen, baseConfig(),
+                                   shards);
+}
+
+/** Torus wrap links connect the first and last slab: the cut-edge set
+ *  includes wrap edges in both directions, the case where a naive
+ *  "neighbouring slabs only" mailbox setup would break. */
+TEST(ShardEquiv, TorusWrapEdgesCrossCuts)
+{
+    const auto net = topo::Network::torus({4, 4}, {2, 2});
+    const routing::EbDaRouting router(
+        net, core::torusAdaptiveScheme2d(), {},
+        routing::EbDaRouting::Mode::ShortestState);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    for (const int shards : {2, 4})
+        expectShardedDeterministic(net, router, gen, baseConfig(),
+                                   shards);
+}
+
+/** Non-uniform traffic exercises skewed boundary flows (all pairs
+ *  crossing the transpose diagonal). */
+TEST(ShardEquiv, TransposeTrafficSharded)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 2});
+    const routing::EbDaRouting router(net, core::schemeFig7b());
+    const sim::TrafficGenerator gen(net,
+                                    sim::TrafficPattern::Transpose);
+    sim::SimConfig cfg = baseConfig();
+    cfg.injectionRate = 0.08;
+    expectShardedDeterministic(net, router, gen, cfg, 4);
+}
+
+TEST(ShardEquiv, DragonflyShardedRun)
+{
+    const auto net = topo::Network::dragonfly(4, 2, 2);
+    const routing::DragonflyMinRouting router(net, 4);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+    sim::SimConfig cfg = baseConfig();
+    cfg.seed = 23;
+    cfg.injectionRate = 0.05;
+    expectShardedDeterministic(net, router, gen, cfg, 3);
+}
+
+/** A deadlocking configuration must deadlock deterministically under
+ *  sharding too, with the forensic walk running on the frozen fabric
+ *  after the workers join. */
+TEST(ShardEquiv, DeadlockedShardedRunIsDeterministic)
+{
+    const auto net = topo::Network::torus({4, 4}, {1, 1});
+    const routing::MinimalAdaptiveRouting router(net);
+    const sim::TrafficGenerator gen(net, sim::TrafficPattern::Uniform);
+
+    sim::SimConfig cfg = baseConfig();
+    cfg.injectionRate = 0.6;
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 2000;
+    cfg.watchdogCycles = 500;
+
+    const auto a = runWithThreads(net, router, gen, cfg, 2, 1);
+    const auto b = runWithThreads(net, router, gen, cfg, 2, 2);
+    EXPECT_TRUE(a.deadlocked);
+    EXPECT_FALSE(a.deadlockCycle.empty())
+        << "deadlocked sharded run must carry a forensic witness";
+    EXPECT_EQ(sim::toJson(a), sim::toJson(b));
+
+    // The classic run deadlocks on this configuration too.
+    EXPECT_TRUE(runWith(net, router, gen, cfg, 1).deadlocked);
+}
+
+// ---------------------------------------------------------------------
+// 4. Partition shapes.
+
+TEST(ShardPartition, GridSlabsAreContiguousAndBalanced)
+{
+    const auto net = topo::Network::mesh({8, 8}, {1, 2});
+    for (const int shards : {2, 4, 8}) {
+        const auto shard_of = sim::partitionNodes(net, shards);
+        ASSERT_EQ(shard_of.size(), net.numNodes());
+        std::vector<std::size_t> count(
+            static_cast<std::size_t>(shards), 0);
+        for (topo::NodeId v = 0; v < net.numNodes(); ++v) {
+            ASSERT_LT(shard_of[v], shards);
+            ++count[shard_of[v]];
+        }
+        // Slabs along one dimension of an 8x8 mesh: exactly 64/shards
+        // nodes each, and each slab spans whole rows of the slab axis.
+        for (const std::size_t c : count)
+            EXPECT_EQ(c, net.numNodes() / static_cast<std::size_t>(shards));
+        // A slab partition: the shard is a function of the slab-axis
+        // coordinate alone (8x8 ties toward dimension 0), so nodes
+        // sharing that coordinate always share a shard.
+        for (topo::NodeId u = 0; u < net.numNodes(); ++u) {
+            for (topo::NodeId v = 0; v < net.numNodes(); ++v) {
+                if (net.coordAlong(u, 0) == net.coordAlong(v, 0)) {
+                    EXPECT_EQ(shard_of[u], shard_of[v]);
+                }
+            }
+        }
+    }
+}
+
+TEST(ShardPartition, DragonflyPartitionNeverSplitsAGroup)
+{
+    const auto net = topo::Network::dragonfly(4, 2, 2);
+    const auto shape = net.dragonflyShape();
+    ASSERT_TRUE(shape.has_value());
+    for (const int shards : {2, 3, static_cast<int>(shape->groups)}) {
+        const auto shard_of = sim::partitionNodes(net, shards);
+        std::vector<std::size_t> count(
+            static_cast<std::size_t>(shards), 0);
+        for (topo::NodeId v = 0; v < net.numNodes(); ++v)
+            ++count[shard_of[v]];
+        for (const std::size_t c : count)
+            EXPECT_GT(c, 0u) << shards << " shards left one empty";
+        // All routers of a group share a shard.
+        for (topo::NodeId v = 0; v < net.numNodes(); ++v) {
+            const topo::NodeId g0 = v - (v % static_cast<topo::NodeId>(
+                                             shape->a));
+            EXPECT_EQ(shard_of[v], shard_of[g0])
+                << "group of node " << v << " split across shards";
+        }
+    }
+}
+
+TEST(ShardPartition, FullMeshUsesBfsChunksEveryShardNonEmpty)
+{
+    const auto net = topo::Network::fullMesh(10, 2);
+    for (const int shards : {2, 3, 10}) {
+        const auto shard_of = sim::partitionNodes(net, shards);
+        std::vector<std::size_t> count(
+            static_cast<std::size_t>(shards), 0);
+        for (topo::NodeId v = 0; v < net.numNodes(); ++v)
+            ++count[shard_of[v]];
+        for (const std::size_t c : count)
+            EXPECT_GT(c, 0u);
+    }
+}
+
+TEST(ShardPartition, ResolveRules)
+{
+    // Fallback gates: faults, protocol, uncompiled table.
+    EXPECT_EQ(sim::resolveShardCount(4, 4096, true, true, false), 1);
+    EXPECT_EQ(sim::resolveShardCount(4, 4096, true, false, true), 1);
+    EXPECT_EQ(sim::resolveShardCount(4, 4096, false, false, false), 1);
+    // Explicit requests clamp to [1, min(nodes, kMaxShards)].
+    EXPECT_EQ(sim::resolveShardCount(4, 4096, true, false, false), 4);
+    EXPECT_EQ(sim::resolveShardCount(1, 4096, true, false, false), 1);
+    EXPECT_EQ(sim::resolveShardCount(100, 16, true, false, false), 16);
+    EXPECT_EQ(sim::resolveShardCount(100000, 1 << 20, true, false,
+                                     false),
+              sim::kMaxShards);
+    // Auto: classic below the cutoff, fabric-size-derived above —
+    // never a function of the machine.
+    EXPECT_EQ(sim::resolveShardCount(0, 64, true, false, false), 1);
+    EXPECT_EQ(sim::resolveShardCount(
+                  0, sim::kAutoShardNodeCutoff - 1, true, false, false),
+              1);
+    EXPECT_EQ(sim::resolveShardCount(
+                  0, sim::kAutoShardNodeCutoff, true, false, false),
+              4);
+    EXPECT_EQ(sim::resolveShardCount(0, 4096, true, false, false), 8);
+}
+
+TEST(ShardPartition, WorkerThreadsHonourEnvAndShardCap)
+{
+    ::setenv("EBDA_SHARD_THREADS", "3", 1);
+    EXPECT_EQ(sim::shardWorkerThreads(8), 3u);
+    EXPECT_EQ(sim::shardWorkerThreads(2), 2u); // capped by shards
+    ::setenv("EBDA_SHARD_THREADS", "64", 1);
+    EXPECT_EQ(sim::shardWorkerThreads(4), 4u);
+    ::unsetenv("EBDA_SHARD_THREADS");
+    EXPECT_GE(sim::shardWorkerThreads(4), 1u);
+    EXPECT_LE(sim::shardWorkerThreads(4), 4u);
+}
+
+// ---------------------------------------------------------------------
+// 5. Config plumbing: JSON round-trip and legacy cache-key stability.
+
+TEST(ShardConfig, JsonRoundTripAndLegacyStability)
+{
+    sim::SimConfig legacy; // shards = 0 (auto) — the pre-shards default
+    sim::SimConfig sharded = legacy;
+    sharded.shards = 4;
+    sim::SimConfig forced = legacy;
+    forced.shards = 1;
+
+    const std::string legacy_json = sim::toJson(legacy);
+    // Auto is the default: omitted, so every pre-shards cache key and
+    // golden config byte stays identical.
+    EXPECT_EQ(legacy_json.find("\"shards\""), std::string::npos);
+    // Any explicit count — 1 included — is part of the config identity
+    // (shards = 1 forces the classic backend even on huge fabrics
+    // where auto would shard, so it must not serialize like auto).
+    EXPECT_NE(sim::toJson(sharded).find("\"shards\":4"),
+              std::string::npos);
+    EXPECT_NE(sim::toJson(forced).find("\"shards\":1"),
+              std::string::npos);
+
+    for (const sim::SimConfig &cfg : {legacy, sharded, forced}) {
+        const auto doc = parseJson(sim::toJson(cfg));
+        ASSERT_TRUE(doc.has_value());
+        std::string err;
+        const auto back = sim::configFromJson(*doc, &err);
+        ASSERT_TRUE(back.has_value()) << err;
+        EXPECT_EQ(back->shards, cfg.shards);
+        EXPECT_EQ(sim::toJson(*back), sim::toJson(cfg));
+    }
+}
+
+} // namespace

@@ -22,6 +22,12 @@
  *          job (default auto: per-job injection-rate heuristic, see
  *          sim/scheduler.hh). Cache keys never include the mode — the
  *          backends are trace-equivalent, so entries are shared.
+ *          --shards overrides SimConfig::shards for every job (0 =
+ *          auto, 1 = classic single-thread, N >= 2 = the sharded cycle
+ *          backend, sim/shard_sched.hh). The shard count IS part of a
+ *          job's identity — a sharded run is a different, equally
+ *          valid, simulation — so the override re-finalizes the jobs
+ *          and cache entries are keyed per shard count.
  *          SIGINT/SIGTERM stop the sweep gracefully: running jobs
  *          abort, pending jobs are skipped, completed results are
  *          flushed to --out and the cache, a partial summary prints,
@@ -45,6 +51,7 @@
 #include <memory>
 #include <sstream>
 
+#include "sim/shard_partition.hh"
 #include "sim/sim_json.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/runner.hh"
@@ -73,7 +80,7 @@ usage()
         "  run    --spec sweep.json [--jobs N] [--cache DIR]\n"
         "         [--out results.jsonl] [--job-timeout SEC]\n"
         "         [--job-cycles N] [--no-retry]\n"
-        "         [--sched auto|cycle|event]\n"
+        "         [--sched auto|cycle|event] [--shards N]\n"
         "  expand --spec sweep.json\n"
         "  cache  stats --cache DIR\n"
         "  cache  clear --cache DIR\n"
@@ -118,10 +125,26 @@ cmdRun(const Args &args)
     const auto spec = loadSpec(args);
     if (!spec)
         return 2;
-    const auto jobs = spec->expand();
+    auto jobs = spec->expand();
     if (jobs.empty()) {
         std::cerr << "spec expands to zero jobs\n";
         return 2;
+    }
+    if (args.has("shards")) {
+        // Unlike --sched, the shard count is part of each job's
+        // identity (a sharded run is a different — equally valid —
+        // simulation), so the override re-finalizes every job: cache
+        // keys change and entries are NOT shared with unsharded runs.
+        const long long s = args.getInt("shards", -1);
+        if (s < 0 || s > sim::kMaxShards) {
+            std::cerr << "--shards must be in [0, " << sim::kMaxShards
+                      << "] (0 = auto)\n";
+            return 2;
+        }
+        for (auto &job : jobs) {
+            job.cfg.shards = static_cast<int>(s);
+            sweep::finalizeJob(job);
+        }
     }
 
     sweep::RunOptions opts;

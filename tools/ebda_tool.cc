@@ -99,6 +99,7 @@
 #include "core/parse.hh"
 #include "routing/ebda_routing.hh"
 #include "sim/forensics.hh"
+#include "sim/shard_partition.hh"
 #include "sim/sim_json.hh"
 #include "sim/simulator.hh"
 #include "sweep/router_factory.hh"
@@ -124,7 +125,7 @@ usage()
         "  simulate --scheme \"...\" [--mesh 8x8] [--vcs 1,1] "
         "[--rate 0.2] [--pattern uniform] [--cycles 4000] [--torus]\n"
         "           [--watchdog C] [--recovery-passes N] "
-        "[--sched auto|cycle|event] [--json]\n"
+        "[--sched auto|cycle|event] [--shards N] [--json]\n"
         "  compare  --scheme \"...\" --scheme2 \"...\"\n"
         "  space    --dims 3 [--vcs 1,1,1]\n"
         "  topo     [--dragonfly 4,2,2 | --fullmesh 8 | --mesh 4x4 "
@@ -365,6 +366,15 @@ cmdSimulate(const Args &args)
             return 2;
         }
         cfg.schedMode = *mode;
+    }
+    if (args.has("shards")) {
+        const long long s = args.getInt("shards", 0);
+        if (s < 0 || s > sim::kMaxShards) {
+            std::cerr << "--shards must be in [0, "
+                      << sim::kMaxShards << "] (0 = auto)\n";
+            return 2;
+        }
+        cfg.shards = static_cast<int>(s);
     }
     cfg.watchdogCycles = args.getU64("watchdog", cfg.watchdogCycles);
     cfg.faults.maxRecoveryAttempts = static_cast<int>(args.getInt(
