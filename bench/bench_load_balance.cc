@@ -109,6 +109,8 @@ reproduce()
     std::cout << "[sweep: " << jobs.size() << " jobs, " << report.threads
               << " threads, " << report.simulated << " simulated, "
               << report.cacheHits << " cache hits, "
+              << TextTable::num(report.cacheBlockedSeconds, 3)
+              << " s cache-blocked, "
               << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "\nexpected shape: under uniform traffic EbDa (all "
                  "channels adaptive) shows the lowest CV; under "

@@ -269,6 +269,8 @@ reproduce()
     std::cout << "\n[sweep: " << jobs.size() << " jobs, "
               << report.threads << " threads, " << report.simulated
               << " simulated, " << report.cacheHits << " cache hits, "
+              << TextTable::num(report.cacheBlockedSeconds, 3)
+              << " s cache-blocked, "
               << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "\nexpected shape: adaptive routers track XY at low load "
                  "and saturate later under non-uniform traffic; no "

@@ -141,6 +141,8 @@ reproduce()
               << report.threads
               << " threads, " << report.simulated << " simulated, "
               << report.cacheHits << " cache hits, "
+              << TextTable::num(report.cacheBlockedSeconds, 3)
+              << " s cache-blocked, "
               << TextTable::num(report.elapsedSeconds, 2) << " s]\n";
     std::cout << "expected shape: XY leads on uniform (optimal load "
                  "spread for DOR); adaptive routers lead on transpose/"

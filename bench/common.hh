@@ -39,9 +39,10 @@ banner(const std::string &title)
  *   EBDA_SWEEP_JSONL=<file>  append machine-readable result rows.
  */
 inline sweep::SweepReport
-runJobs(const std::vector<sweep::SweepJob> &jobs)
+runJobs(const std::vector<sweep::SweepJob> &jobs,
+        const sweep::RunOptions &base = {})
 {
-    sweep::RunOptions opts;
+    sweep::RunOptions opts = base;
     std::unique_ptr<sweep::ResultCache> cache;
     if (const char *dir = std::getenv("EBDA_SWEEP_CACHE");
         dir && *dir) {

@@ -25,9 +25,16 @@
 # gates are enforced only on hosts with enough hardware threads; the
 # bit-identity and determinism gates always are).
 #
+# A sixth, bench_sweep_engine, times the binary result store: warm
+# start vs a legacy JSONL parse (>= 10x), all-hit sweep serving
+# (>= 100k jobs/s), and the cost-ordered straggler-tail makespan
+# (enforced only with >= 4 hardware threads; the bit-identity check
+# between spec- and cost-ordered rows always runs).
+#
 # The route bench writes the top-level JSON; the cycle, sched,
-# protocol, and shard benches' summaries are merged in as the
-# `sim_loop`, `sched_mode`, `protocol`, and `shard_scaling` members.
+# protocol, shard, and sweep benches' summaries are merged in as the
+# `sim_loop`, `sched_mode`, `protocol`, `shard_scaling`, and
+# `sweep_engine` members.
 # Any bench failing aborts the script, so a stale or regressed
 # baseline can never be committed from a broken build.
 #
@@ -48,7 +55,7 @@ BUILD_DIR="${1:-build-perf}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_route_compute bench_cycle_rate bench_sched_mode \
-    bench_protocol_deadlock bench_shard_scaling
+    bench_protocol_deadlock bench_shard_scaling bench_sweep_engine
 
 EBDA_ROUTE_BENCH_JSON="BENCH_sim.json" \
     "$BUILD_DIR/bench/bench_route_compute"
@@ -59,9 +66,10 @@ SIM_LOOP_JSON="$(mktemp)"
 SCHED_MODE_JSON="$(mktemp)"
 PROTOCOL_JSON="$(mktemp)"
 SHARD_JSON="$(mktemp)"
+SWEEP_JSON="$(mktemp)"
 PREV_BASELINE="$(mktemp)"
 trap 'rm -f "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" \
-    "$SHARD_JSON" "$PREV_BASELINE"' EXIT
+    "$SHARD_JSON" "$SWEEP_JSON" "$PREV_BASELINE"' EXIT
 if git show HEAD:BENCH_sim.json > "$PREV_BASELINE" 2>/dev/null; then
     export EBDA_SIM_BASELINE_JSON="$PREV_BASELINE"
 fi
@@ -85,14 +93,21 @@ EBDA_PROTOCOL_BENCH_JSON="$PROTOCOL_JSON" \
 EBDA_SHARD_BENCH_JSON="$SHARD_JSON" \
     "$BUILD_DIR/bench/bench_shard_scaling"
 
-# Splice `"sim_loop"`, `"sched_mode"`, `"protocol"`, and
-# `"shard_scaling"` onto the route bench's object, then diff the fresh
+# Sweep engine: warm-start and all-hit serving gates always run; the
+# straggler-tail makespan gate self-skips (loudly) below 4 hardware
+# threads, but spec- vs cost-ordered rows must stay byte-identical
+# everywhere.
+EBDA_SWEEP_ENGINE_JSON="$SWEEP_JSON" \
+    "$BUILD_DIR/bench/bench_sweep_engine"
+
+# Splice `"sim_loop"`, `"sched_mode"`, `"protocol"`, `"shard_scaling"`,
+# and `"sweep_engine"` onto the route bench's object, then diff the fresh
 # sim_loop rate against the previous committed baseline: a drift
 # beyond 10% in EITHER direction gets a loud warning, because the
 # bench's own gate only fails on a >25% regression and anything inside
 # that band silently rots the committed figure otherwise.
 python3 - "$SIM_LOOP_JSON" "$SCHED_MODE_JSON" "$PROTOCOL_JSON" \
-    "$SHARD_JSON" "$PREV_BASELINE" <<'EOF'
+    "$SHARD_JSON" "$SWEEP_JSON" "$PREV_BASELINE" <<'EOF'
 import json, os, sys
 with open("BENCH_sim.json") as f:
     doc = json.load(f)
@@ -104,11 +119,13 @@ with open(sys.argv[3]) as f:
     doc["protocol"] = json.load(f)
 with open(sys.argv[4]) as f:
     doc["shard_scaling"] = json.load(f)
+with open(sys.argv[5]) as f:
+    doc["sweep_engine"] = json.load(f)
 with open("BENCH_sim.json", "w") as f:
     json.dump(doc, f, separators=(",", ":"))
     f.write("\n")
 
-prev_path = sys.argv[5]
+prev_path = sys.argv[6]
 try:
     with open(prev_path) as f:
         prev = json.load(f).get("sim_loop", {}).get("cycles_per_sec", 0)

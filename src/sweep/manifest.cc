@@ -1,0 +1,169 @@
+#include "sweep/manifest.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "util/json.hh"
+
+namespace ebda::sweep {
+
+namespace fs = std::filesystem;
+
+std::uint64_t
+SweepManifest::specKey(const std::vector<SweepJob> &jobs)
+{
+    std::string keys;
+    keys.reserve(jobs.size() * 16);
+    for (const SweepJob &job : jobs)
+        keys += keyToHex(job.key);
+    return fnv1a64(keys);
+}
+
+std::string
+SweepManifest::filePath(const std::string &cacheDir, std::uint64_t specKey)
+{
+    return (fs::path(cacheDir) / ("manifest-" + keyToHex(specKey) + ".json"))
+        .string();
+}
+
+SweepManifest::SweepManifest(std::string cacheDir, std::uint64_t specKey,
+                             std::size_t jobs)
+    : file(filePath(cacheDir, specKey)), spec(specKey), doneBits(jobs, false)
+{
+}
+
+void
+SweepManifest::markDone(std::size_t job)
+{
+    if (job >= doneBits.size() || doneBits[job])
+        return;
+    doneBits[job] = true;
+    ++nDone;
+}
+
+bool
+SweepManifest::load(std::string *error)
+{
+    std::ifstream in(file);
+    if (!in) {
+        if (error)
+            *error = "no manifest at " + file;
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto doc = parseJson(text);
+    if (!doc || !doc->isObject()) {
+        if (error)
+            *error = "unparseable manifest " + file;
+        return false;
+    }
+    const auto *key = doc->find("specKey");
+    const auto *jobs = doc->find("jobs");
+    const auto *done = doc->find("done");
+    if (!key || !key->isString() || !jobs || !done || !done->isString()) {
+        if (error)
+            *error = "malformed manifest " + file;
+        return false;
+    }
+    char *end = nullptr;
+    const std::uint64_t k = std::strtoull(key->asString().c_str(), &end, 16);
+    if (!end || *end != '\0' || k != spec) {
+        if (error)
+            *error = "manifest " + file + " is for a different sweep spec";
+        return false;
+    }
+    const std::uint64_t n = jobs->asU64();
+    if (n != doneBits.size()) {
+        if (error)
+            *error = "manifest " + file + " covers a different job count";
+        return false;
+    }
+    const std::string &bitmap = done->asString();
+    if (bitmap.size() != (doneBits.size() + 3) / 4) {
+        if (error)
+            *error = "manifest " + file + " bitmap length mismatch";
+        return false;
+    }
+    std::vector<bool> bits(doneBits.size(), false);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const char c = bitmap[i / 4];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else {
+            if (error)
+                *error = "manifest " + file + " bitmap is not hex";
+            return false;
+        }
+        if (digit & (1 << (i % 4))) {
+            bits[i] = true;
+            ++count;
+        }
+    }
+    doneBits = std::move(bits);
+    nDone = count;
+    return true;
+}
+
+bool
+SweepManifest::save(std::string *error) const
+{
+    std::string bitmap((doneBits.size() + 3) / 4, '0');
+    for (std::size_t i = 0; i < doneBits.size(); ++i) {
+        if (!doneBits[i])
+            continue;
+        char &c = bitmap[i / 4];
+        const int digit =
+            (c <= '9' ? c - '0' : c - 'a' + 10) | (1 << (i % 4));
+        c = static_cast<char>(digit < 10 ? '0' + digit : 'a' + digit - 10);
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.field("specKey", keyToHex(spec));
+    w.field("jobs", static_cast<std::uint64_t>(doneBits.size()));
+    w.field("completed", static_cast<std::uint64_t>(nDone));
+    w.field("done", bitmap);
+    w.end();
+
+    const std::string tmp = file + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            if (error)
+                *error = "cannot write " + tmp;
+            return false;
+        }
+        out << w.str() << '\n';
+        out.flush();
+        if (!out) {
+            if (error)
+                *error = "write failed for " + tmp;
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, file, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot replace " + file + ": " + ec.message();
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+void
+SweepManifest::remove() const
+{
+    std::error_code ec;
+    fs::remove(file, ec);
+    fs::remove(file + ".tmp", ec);
+}
+
+} // namespace ebda::sweep

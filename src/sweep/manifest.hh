@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sweep manifest: the checkpoint file behind `ebda_sweep run --resume`.
+ *
+ * A manifest records which jobs of one expanded sweep have already
+ * concluded (simulated, cache-served, quarantined, or cleanly failed —
+ * anything but interrupted/skipped). It lives next to the result cache
+ * as `<cache dir>/manifest-<speckey>.json`:
+ *
+ *   {"specKey":"<16 hex>","jobs":N,"completed":K,"done":"<hex bitmap>"}
+ *
+ * where specKey is fnv1a64 over the ordered job keys of the expanded
+ * sweep — so a manifest is only ever applied to the exact job list it
+ * was written for (spec edits, different --shards, or a different
+ * expansion all change the key and the stale manifest is rejected).
+ * The bitmap is job-index-ordered, 4 bits per hex digit, LSB-first
+ * within a digit.
+ *
+ * The actual idempotence comes from the content-addressed cache — a
+ * resumed sweep re-looks-up every job and the completed ones hit. The
+ * manifest adds what the cache cannot: exact progress accounting for
+ * the resume UX, and completion tracking for failed jobs that have no
+ * cache record. Saves go through a temp file + rename, so a manifest
+ * is never torn.
+ */
+
+#ifndef EBDA_SWEEP_MANIFEST_HH
+#define EBDA_SWEEP_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.hh"
+
+namespace ebda::sweep {
+
+class SweepManifest
+{
+  public:
+    /** fnv1a64 over the ordered job keys — the identity a manifest is
+     *  bound to. Call after any re-finalization (e.g. --shards). */
+    static std::uint64_t specKey(const std::vector<SweepJob> &jobs);
+
+    /** Manifest path for a spec key inside a cache dir. */
+    static std::string filePath(const std::string &cacheDir,
+                                std::uint64_t specKey);
+
+    /** Fresh manifest covering `jobs` entries, none done. */
+    SweepManifest(std::string cacheDir, std::uint64_t specKey,
+                  std::size_t jobs);
+
+    /** Load an existing manifest for this spec key. Returns false
+     *  (manifest left fresh) when the file is missing, unreadable, or
+     *  stale (different specKey or job count). */
+    bool load(std::string *error = nullptr);
+
+    /** Atomically persist (temp file + rename). */
+    bool save(std::string *error = nullptr) const;
+
+    /** Remove the manifest file (sweep fully completed). */
+    void remove() const;
+
+    void markDone(std::size_t job);
+    bool isDone(std::size_t job) const { return doneBits[job]; }
+    std::size_t jobs() const { return doneBits.size(); }
+    std::size_t completed() const { return nDone; }
+    std::uint64_t key() const { return spec; }
+    const std::string &path() const { return file; }
+
+  private:
+    std::string file;
+    std::uint64_t spec = 0;
+    std::vector<bool> doneBits;
+    std::size_t nDone = 0;
+};
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_MANIFEST_HH

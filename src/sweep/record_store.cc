@@ -1,0 +1,373 @@
+#include "sweep/record_store.hh"
+
+#include "sweep/sweep_spec.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ebda::sweep {
+
+namespace {
+
+constexpr char kBinMagic[8] = {'E', 'B', 'D', 'A', 'B', 'I', 'N', '1'};
+constexpr char kIdxMagic[8] = {'E', 'B', 'D', 'A', 'I', 'D', 'X', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kRecordMagic = 0x52444245; // "EBDR" little-endian
+constexpr std::uint64_t kFileHeaderBytes = 16;
+constexpr std::uint64_t kRecordHeaderBytes = 48;
+constexpr std::uint64_t kIdxEntryBytes = 24;
+constexpr std::uint64_t kQuarantineBit = std::uint64_t{1} << 63;
+constexpr std::uint32_t kFlagQuarantined = 1;
+
+template <typename T> void putRaw(std::string *out, T value)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    out->append(buf, sizeof(T));
+}
+
+template <typename T> T getRaw(const unsigned char *p)
+{
+    T value;
+    std::memcpy(&value, p, sizeof(T));
+    return value;
+}
+
+/** Whole-file read; empty string when the file does not exist. */
+std::string slurp(const std::string &path)
+{
+    std::string data;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return data;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    std::fclose(f);
+    return data;
+}
+
+bool appendAndFlush(const std::string &path, const std::string &bytes)
+{
+    if (bytes.empty())
+        return true;
+    FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = std::fflush(f) == 0 && ok;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+std::string RecordStore::binFile(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "cache.bin").string();
+}
+
+std::string RecordStore::indexFile(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "cache.idx").string();
+}
+
+std::string RecordStore::fileHeader(bool index)
+{
+    std::string hdr(index ? kIdxMagic : kBinMagic, 8);
+    putRaw(&hdr, kVersion);
+    putRaw(&hdr, std::uint32_t{0});
+    return hdr;
+}
+
+void RecordStore::writeFileHeader(const char *magic, const std::string &path)
+{
+    appendAndFlush(path, fileHeader(magic == kIdxMagic));
+}
+
+RecordStore::RecordStore(std::string dir) : dirPath(std::move(dir))
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dirPath, ec);
+
+    const std::string bin = binFile(dirPath);
+    const std::string idxPath = indexFile(dirPath);
+
+    // --- Record file: create or validate the header. A record file
+    // whose header does not parse is moved aside rather than silently
+    // overwritten — the cache is disposable, the user's bytes are not.
+    std::uint64_t onDisk = fs::exists(bin, ec) ? fs::file_size(bin, ec) : 0;
+    bool fresh = onDisk < kFileHeaderBytes;
+    if (onDisk >= kFileHeaderBytes) {
+        std::string hdr = slurp(bin).substr(0, kFileHeaderBytes);
+        if (std::memcmp(hdr.data(), kBinMagic, 8) != 0 ||
+            getRaw<std::uint32_t>(
+                reinterpret_cast<const unsigned char *>(hdr.data()) + 8) !=
+                kVersion) {
+            fs::rename(bin, bin + ".unrecognized", ec);
+            fresh = true;
+        }
+    } else if (onDisk > 0) {
+        fs::rename(bin, bin + ".unrecognized", ec);
+    }
+    if (fresh) {
+        fs::remove(bin, ec);
+        writeFileHeader(kBinMagic, bin);
+        onDisk = kFileHeaderBytes;
+    }
+    binSize = fs::exists(bin, ec) ? fs::file_size(bin, ec) : kFileHeaderBytes;
+
+    // Map the whole record file read-only up front; recovery below
+    // walks the mapping, and may shrink binSize past a torn tail (the
+    // mapping stays larger than the logical size — harmless).
+    if (binSize > 0) {
+        int fd = ::open(bin.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            void *m = ::mmap(nullptr, binSize, PROT_READ, MAP_SHARED, fd, 0);
+            ::close(fd);
+            if (m != MAP_FAILED) {
+                mapBase = static_cast<const unsigned char *>(m);
+                mapSize = binSize;
+            }
+        }
+    }
+
+    // --- Index file: load entries, drop torn/invalid ones.
+    std::string idxBytes = slurp(idxPath);
+    bool idxValid = idxBytes.size() >= kFileHeaderBytes &&
+                    std::memcmp(idxBytes.data(), kIdxMagic, 8) == 0 &&
+                    getRaw<std::uint32_t>(reinterpret_cast<const unsigned char *>(
+                                              idxBytes.data()) +
+                                          8) == kVersion;
+    std::uint64_t covered = kFileHeaderBytes;
+    if (idxValid) {
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(idxBytes.data());
+        std::uint64_t usable =
+            idxBytes.size() - (idxBytes.size() - kFileHeaderBytes) % kIdxEntryBytes;
+        if (usable < idxBytes.size()) {
+            // Torn trailing index entry: logically truncated here,
+            // physically truncated when we next rewrite the index.
+            ::truncate(idxPath.c_str(), static_cast<off_t>(usable));
+        }
+        for (std::uint64_t off = kFileHeaderBytes; off + kIdxEntryBytes <= usable;
+             off += kIdxEntryBytes) {
+            std::uint64_t key = getRaw<std::uint64_t>(p + off);
+            std::uint64_t packed = getRaw<std::uint64_t>(p + off + 8);
+            double wall = getRaw<double>(p + off + 16);
+            RecordMeta meta;
+            meta.offset = packed & ~kQuarantineBit;
+            meta.quarantined = (packed & kQuarantineBit) != 0;
+            meta.wallSeconds = wall;
+            if (meta.offset < kFileHeaderBytes ||
+                meta.offset + kRecordHeaderBytes > binSize) {
+                ++nInvalidIdx;
+                continue;
+            }
+            // Cheap per-entry validation: the header at the claimed
+            // offset must carry the claimed key. Payload hashes are
+            // only verified on read (that is the O(touched pages)
+            // contract).
+            RecordView v;
+            std::uint64_t end = 0;
+            if (!readHeaderAt(meta.offset, &v, &end, /*verifyHash=*/false) ||
+                v.key != key) {
+                ++nInvalidIdx;
+                continue;
+            }
+            idx.insert_or_assign(key, meta);
+            if (end > covered)
+                covered = end;
+        }
+    } else {
+        // Missing or unrecognized index: rebuild from a full scan.
+        rebuilt = true;
+        fs::remove(idxPath, ec);
+        writeFileHeader(kIdxMagic, idxPath);
+        idx.clear();
+    }
+
+    // --- Tail scan: records appended after the last index entry (a
+    // writer killed between the record append and the index append),
+    // or the whole file when rebuilding. A torn/corrupt record
+    // truncates the file there.
+    std::string recoveredIdx;
+    scanFrom(covered, &recoveredIdx);
+    appendAndFlush(idxPath, recoveredIdx);
+
+    for (const auto &[k, meta] : idx) {
+        (void)k;
+        if (meta.quarantined)
+            ++nQuarantined;
+    }
+}
+
+RecordStore::~RecordStore()
+{
+    if (mapBase)
+        ::munmap(const_cast<unsigned char *>(mapBase), mapSize);
+}
+
+bool RecordStore::readHeaderAt(std::uint64_t off, RecordView *view,
+                               std::uint64_t *end, bool verifyHash) const
+{
+    if (!mapBase || off + kRecordHeaderBytes > mapSize)
+        return false;
+    const unsigned char *p = mapBase + off;
+    if (getRaw<std::uint32_t>(p) != kRecordMagic)
+        return false;
+    std::uint32_t flags = getRaw<std::uint32_t>(p + 4);
+    std::uint64_t key = getRaw<std::uint64_t>(p + 8);
+    std::uint64_t configLen = getRaw<std::uint32_t>(p + 16);
+    std::uint64_t resultLen = getRaw<std::uint32_t>(p + 20);
+    std::uint64_t quarLen = getRaw<std::uint32_t>(p + 24);
+    double wall = getRaw<double>(p + 32);
+    std::uint64_t hash = getRaw<std::uint64_t>(p + 40);
+    std::uint64_t payload = configLen + resultLen + quarLen;
+    if (off + kRecordHeaderBytes + payload > mapSize)
+        return false;
+    const char *body = reinterpret_cast<const char *>(p + kRecordHeaderBytes);
+    if (verifyHash &&
+        fnv1a64(std::string_view(body, payload)) != hash)
+        return false;
+    view->key = key;
+    view->quarantined = (flags & kFlagQuarantined) != 0;
+    view->wallSeconds = wall;
+    view->config = std::string_view(body, configLen);
+    view->result = std::string_view(body + configLen, resultLen);
+    view->quarantine = std::string_view(body + configLen + resultLen, quarLen);
+    *end = off + kRecordHeaderBytes + payload;
+    return true;
+}
+
+void RecordStore::scanFrom(std::uint64_t off, std::string *idxAppend)
+{
+    while (off < binSize) {
+        RecordView v;
+        std::uint64_t end = 0;
+        // Bound the scan by the logical size, not the mapping.
+        if (!readHeaderAt(off, &v, &end, /*verifyHash=*/true) ||
+            end > binSize) {
+            // Torn or corrupt trailing record: drop it and everything
+            // after it (append-only file, so nothing valid follows a
+            // bad frame).
+            tornTruncated = binSize - off;
+            ::truncate(binFile(dirPath).c_str(), static_cast<off_t>(off));
+            binSize = off;
+            return;
+        }
+        RecordMeta meta;
+        meta.offset = off;
+        meta.quarantined = v.quarantined;
+        meta.wallSeconds = v.wallSeconds;
+        idx.insert_or_assign(v.key, meta);
+        putRaw(idxAppend, v.key);
+        putRaw(idxAppend,
+               meta.offset | (meta.quarantined ? kQuarantineBit : 0));
+        putRaw(idxAppend, meta.wallSeconds);
+        if (!rebuilt)
+            ++nTailRecovered;
+        off = end;
+    }
+}
+
+std::optional<RecordView> RecordStore::read(std::uint64_t key) const
+{
+    auto it = idx.find(key);
+    if (it == idx.end())
+        return std::nullopt;
+    RecordView v;
+    std::uint64_t end = 0;
+    // No payload-hash pass on the hot path: index entries were bounds-
+    // and key-checked at open, and the hash still guards every recovery
+    // scan. A rotten payload surfaces as a parse failure in the caller
+    // (a miss), exactly like a corrupt legacy line did.
+    if (!readHeaderAt(it->second.offset, &v, &end, /*verifyHash=*/false) ||
+        v.key != key)
+        return std::nullopt;
+    return v;
+}
+
+void RecordStore::serialize(std::string *bin, std::string *idxStream,
+                            std::uint64_t binBase, std::uint64_t key,
+                            bool quarantined, double wallSeconds,
+                            std::string_view config, std::string_view result,
+                            std::string_view quarantine)
+{
+    std::uint64_t offset = binBase + bin->size();
+    putRaw(bin, kRecordMagic);
+    putRaw(bin, std::uint32_t{quarantined ? kFlagQuarantined : 0u});
+    putRaw(bin, key);
+    putRaw(bin, static_cast<std::uint32_t>(config.size()));
+    putRaw(bin, static_cast<std::uint32_t>(result.size()));
+    putRaw(bin, static_cast<std::uint32_t>(quarantine.size()));
+    putRaw(bin, std::uint32_t{0});
+    putRaw(bin, wallSeconds);
+    std::string payload;
+    payload.reserve(config.size() + result.size() + quarantine.size());
+    payload.append(config).append(result).append(quarantine);
+    putRaw(bin, fnv1a64(payload));
+    bin->append(payload);
+    putRaw(idxStream, key);
+    putRaw(idxStream, offset | (quarantined ? kQuarantineBit : 0));
+    putRaw(idxStream, wallSeconds);
+}
+
+void RecordStore::append(std::uint64_t key, bool quarantined,
+                         double wallSeconds, std::string_view config,
+                         std::string_view result, std::string_view quarantine)
+{
+    serialize(&pendingBin, &pendingIdx, binSize, key, quarantined,
+              wallSeconds, config, result, quarantine);
+    ++nPending;
+}
+
+std::uint64_t RecordStore::forEachRecord(
+    const std::function<void(const RecordView &)> &fn) const
+{
+    std::uint64_t off = kFileHeaderBytes;
+    while (off < binSize) {
+        RecordView v;
+        std::uint64_t end = 0;
+        if (!readHeaderAt(off, &v, &end, /*verifyHash=*/true) ||
+            end > binSize)
+            break;
+        fn(v);
+        off = end;
+    }
+    return binSize > off ? binSize - off : 0;
+}
+
+bool RecordStore::commit()
+{
+    if (nPending == 0)
+        return true;
+    // Records first, index second: an interrupted commit leaves at
+    // worst a torn record tail (truncated on next open) or indexless
+    // records (re-indexed by the tail scan).
+    if (!appendAndFlush(binFile(dirPath), pendingBin))
+        return false;
+    binSize += pendingBin.size();
+    bool ok = appendAndFlush(indexFile(dirPath), pendingIdx);
+    pendingBin.clear();
+    pendingIdx.clear();
+    nPending = 0;
+    return ok;
+}
+
+std::uint64_t RecordStore::indexBytes() const
+{
+    std::error_code ec;
+    auto sz = std::filesystem::file_size(indexFile(dirPath), ec);
+    return ec ? 0 : static_cast<std::uint64_t>(sz);
+}
+
+} // namespace ebda::sweep

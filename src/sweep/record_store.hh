@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Binary record store for the sweep result cache: a compact append-only
+ * record file (`cache.bin`) plus a persisted hash index (`cache.idx`)
+ * in the cache directory, mmap-served so a warm start costs O(index
+ * bytes + touched pages) instead of O(parse the whole legacy JSONL).
+ *
+ * Record file layout (little-endian, Linux-local cache format — not an
+ * interchange format; `ebda_sweep cache export` is the portable path):
+ *
+ *   file header (16 B):  "EBDABIN1" | u32 version=1 | u32 reserved
+ *   record (48 B header + payload):
+ *     u32 magic 'EBDR' | u32 flags (bit0 = quarantined) | u64 key
+ *     u32 configLen | u32 resultLen | u32 quarLen | u32 reserved
+ *     f64 wallSeconds (measured sim wall-clock; 0 = unknown)
+ *     u64 payloadHash (fnv1a64 of the payload bytes)
+ *     payload: canonical-config JSON + result JSON + quarantine reason
+ *
+ * Index file layout:
+ *
+ *   file header (16 B):  "EBDAIDX1" | u32 version=1 | u32 reserved
+ *   entry (24 B): u64 key | u64 offset (bit63 = quarantined) |
+ *                 f64 wallSeconds
+ *
+ * Both files are append-only between compactions; later entries win on
+ * duplicate keys (the legacy JSONL rule). The index duplicates the
+ * quarantine flag and wall-clock so `cache stats` and the runner's
+ * cost model never touch record payloads at all.
+ *
+ * Crash safety: records are appended before their index entries, so on
+ * open the store (a) truncates a torn trailing record (a killed writer
+ * mid-append), (b) re-indexes intact records the index does not cover
+ * yet (killed between record and index append), and (c) rebuilds the
+ * whole index by scanning the record file when the index is missing or
+ * its header is invalid. All three paths are counted, never fatal.
+ *
+ * Thread safety: open() and append()/commit() must be externally
+ * serialized (ResultCache holds the lock); read() of records covered
+ * by the open-time mapping is lock-free and safe from any thread.
+ */
+
+#ifndef EBDA_SWEEP_RECORD_STORE_HH
+#define EBDA_SWEEP_RECORD_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ebda::sweep {
+
+/** One key's index entry: where its record lives plus the metadata
+ *  mirrored into the index (served without touching the record). */
+struct RecordMeta
+{
+    std::uint64_t offset = 0;
+    bool quarantined = false;
+    /** Measured simulation wall-clock stored with the record (seconds;
+     *  0 = unknown). Feeds the runner's cost model. */
+    double wallSeconds = 0.0;
+};
+
+/** Zero-copy view of one stored record (points into the mapping; valid
+ *  for the store's lifetime). */
+struct RecordView
+{
+    std::uint64_t key = 0;
+    bool quarantined = false;
+    double wallSeconds = 0.0;
+    std::string_view config;
+    std::string_view result;
+    std::string_view quarantine;
+};
+
+class RecordStore
+{
+  public:
+    /** Paths of the two files inside a cache dir. */
+    static std::string binFile(const std::string &dir);
+    static std::string indexFile(const std::string &dir);
+
+    /** Open (creating dir and files as needed), recover, and map. */
+    explicit RecordStore(std::string dir);
+    ~RecordStore();
+
+    RecordStore(const RecordStore &) = delete;
+    RecordStore &operator=(const RecordStore &) = delete;
+
+    /** Key -> meta for every record on disk at open time (later
+     *  records won on duplicate keys). Immutable after open, so
+     *  concurrent reads need no lock. */
+    const std::unordered_map<std::uint64_t, RecordMeta> &index() const
+    {
+        return idx;
+    }
+
+    /** mmap-served record read for a key present in index(). Validates
+     *  the header (magic, key, bounds); the payload hash is checked by
+     *  the recovery scans, not on this hot path. nullopt on any
+     *  mismatch. Lock-free. */
+    std::optional<RecordView> read(std::uint64_t key) const;
+
+    /** Serialize one record into the pending group-commit buffer.
+     *  Nothing touches disk until commit(). */
+    void append(std::uint64_t key, bool quarantined, double wallSeconds,
+                std::string_view config, std::string_view result,
+                std::string_view quarantine);
+
+    std::size_t pendingRecords() const { return nPending; }
+    std::size_t pendingBytes() const { return pendingBin.size(); }
+
+    /** Group-commit: one write of all pending record bytes + flush,
+     *  then one write of their index entries + flush. Returns false
+     *  (store keeps the data pending) when a write failed. */
+    bool commit();
+
+    /** Visit every intact on-disk record in file order (sequential
+     *  scan, reads payloads — compaction/export territory, not the
+     *  lookup path). Returns unreadable trailing bytes skipped. */
+    std::uint64_t
+    forEachRecord(const std::function<void(const RecordView &)> &fn) const;
+
+    /** Serialize one record + its index entry onto byte streams; the
+     *  record's offset is binBase + bin->size(). Shared by append()
+     *  and compaction's rewrite. */
+    static void serialize(std::string *bin, std::string *idxStream,
+                          std::uint64_t binBase, std::uint64_t key,
+                          bool quarantined, double wallSeconds,
+                          std::string_view config, std::string_view result,
+                          std::string_view quarantine);
+
+    /** Fresh header bytes for a record (index=false) or index file. */
+    static std::string fileHeader(bool index);
+
+    /** @name Open-time accounting
+     *  @{ */
+    /** Records recovered by the tail scan (intact but unindexed). */
+    std::size_t tailRecovered() const { return nTailRecovered; }
+    /** Bytes truncated off a torn trailing record. */
+    std::uint64_t tornBytesTruncated() const { return tornTruncated; }
+    /** Index entries dropped (bad offset / stale) on open. */
+    std::size_t invalidIndexEntries() const { return nInvalidIdx; }
+    /** True when the index was rebuilt from a full record-file scan. */
+    bool indexRebuilt() const { return rebuilt; }
+    /** @} */
+
+    /** Record-file bytes on disk (after recovery, before pending). */
+    std::uint64_t fileBytes() const { return binSize; }
+    /** Index-file bytes on disk. */
+    std::uint64_t indexBytes() const;
+
+    /** Quarantined records on disk (from index flags; no payloads). */
+    std::size_t quarantinedRecords() const { return nQuarantined; }
+
+  private:
+    bool readHeaderAt(std::uint64_t off, RecordView *view,
+                      std::uint64_t *end, bool verifyHash) const;
+    void scanFrom(std::uint64_t off, std::string *idxAppend);
+    void writeFileHeader(const char *magic, const std::string &path);
+
+    std::string dirPath;
+    std::unordered_map<std::uint64_t, RecordMeta> idx;
+
+    /** Read-only mapping of the record file as of open. */
+    const unsigned char *mapBase = nullptr;
+    std::uint64_t mapSize = 0;
+
+    /** Append cursors. */
+    std::uint64_t binSize = 0;
+    std::string pendingBin;
+    std::string pendingIdx;
+    std::size_t nPending = 0;
+
+    std::size_t nQuarantined = 0;
+    std::size_t nTailRecovered = 0;
+    std::uint64_t tornTruncated = 0;
+    std::size_t nInvalidIdx = 0;
+    bool rebuilt = false;
+};
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_RECORD_STORE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Adaptive injection-rate refinement: `ebda_sweep refine`.
+ *
+ * A classic saturation study burns most of its cores on flat regions
+ * of the latency curve — points far below or far above the knee whose
+ * value is obvious after two samples. refineSweep() instead treats
+ * each (topology, router, pattern, selection) combination of a spec as
+ * one *curve* and bisects the injection-rate axis toward the
+ * saturation knee: the lowest rate at which the fabric saturates
+ * (latency crosses a threshold, the run deadlocks, fails to drain, or
+ * gets quarantined).
+ *
+ * Every evaluated point is a regular sweep job — same canonical JSON,
+ * same derived seed, same cache key as the grid sweep would produce at
+ * that rate (expand()'s seed-derivation dance is replicated exactly),
+ * and all points run through runSweep, so they hit and populate the
+ * same result cache and emit the same JSONL rows benches already
+ * consume. Bisection is deterministic: rates depend only on measured
+ * results, never on timing or thread count.
+ */
+
+#ifndef EBDA_SWEEP_REFINE_HH
+#define EBDA_SWEEP_REFINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/runner.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace ebda::sweep {
+
+struct RefineOptions
+{
+    /** Absolute saturation latency threshold (cycles); 0 selects
+     *  factor mode. */
+    double latencyThreshold = 0.0;
+    /** Factor mode: saturated when latency exceeds kneeFactor × the
+     *  latency measured at the low end of the rate range. */
+    double kneeFactor = 3.0;
+    /** Stop bisecting a curve when hi − lo <= tolerance. */
+    double tolerance = 0.005;
+    /** Hard cap on bisection rounds (each round adds one point per
+     *  still-active curve). */
+    int maxRounds = 16;
+    /** Execution knobs for the underlying runSweep batches. */
+    RunOptions run;
+};
+
+/** Verdict for one curve. */
+struct RefineCurve
+{
+    /** "mesh 8x8 vcs 2,2 | xy | uniform | sel 0" style label. */
+    std::string label;
+    /** Bracket the knee landed in: lo unsaturated, hi saturated
+     *  (modulo the edge cases flagged below). */
+    double lo = 0.0;
+    double hi = 0.0;
+    /** Knee estimate: midpoint of the final bracket. */
+    double knee = 0.0;
+    /** Latency threshold the curve was judged against. */
+    double threshold = 0.0;
+    /** Rates evaluated for this curve (including the endpoints). */
+    int points = 0;
+    /** The low endpoint already saturates: knee <= lo. */
+    bool saturatedAtLo = false;
+    /** The high endpoint never saturates: knee > hi. */
+    bool unsaturatedAtHi = false;
+    /** A job of this curve failed outright (bad router spec etc.);
+     *  the curve was abandoned. */
+    bool failed = false;
+    std::string error;
+};
+
+/** Everything refineSweep produced. */
+struct RefineReport
+{
+    std::vector<RefineCurve> curves;
+    /** Every evaluated job with its outcome, across all curves and
+     *  rounds — feed to writeResultsJsonl for the standard rows. */
+    std::vector<SweepJob> jobs;
+    std::vector<JobOutcome> outcomes;
+    std::uint64_t simulated = 0;
+    std::uint64_t cacheHits = 0;
+    double elapsedSeconds = 0.0;
+    int threads = 1;
+    double cacheBlockedSeconds = 0.0;
+    bool interrupted = false;
+};
+
+/** Bisect every curve of the spec toward its saturation knee. The
+ *  spec's rates axis supplies the initial bracket: its min is the low
+ *  endpoint, its max the high endpoint (a single-rate spec refines
+ *  [rate/10, rate]). */
+RefineReport refineSweep(const SweepSpec &spec,
+                         const RefineOptions &opts);
+
+} // namespace ebda::sweep
+
+#endif // EBDA_SWEEP_REFINE_HH

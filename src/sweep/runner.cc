@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 
 #include "sim/sim_json.hh"
@@ -77,7 +78,60 @@ interrupted(const RunOptions &opts)
            && opts.interruptFlag->load(std::memory_order_relaxed);
 }
 
+/** Save the manifest every this many completions (plus once at the
+ *  end), bounding checkpoint loss from a kill to a small window. */
+constexpr std::size_t kManifestSaveInterval = 32;
+
+/** nodes × cycles × rate-pressure prior: the relative cost of a job
+ *  nobody has measured yet. The 0.2 floor keeps near-idle jobs from
+ *  rounding to free — they still pay warmup/drain. */
+double
+jobCostPrior(const SweepJob &job)
+{
+    const double nodes =
+        static_cast<double>(job.topo.nodeCountEstimate());
+    const double cycles = static_cast<double>(job.cfg.warmupCycles)
+                          + static_cast<double>(job.cfg.measureCycles);
+    return nodes * cycles * (0.2 + job.cfg.injectionRate);
+}
+
 } // namespace
+
+std::vector<std::size_t>
+costOrder(const std::vector<SweepJob> &jobs, const ResultCache *cache)
+{
+    const std::size_t n = jobs.size();
+    std::vector<double> cost(n);
+    std::vector<char> measured(n, 0);
+    double wallSum = 0.0, priorSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        cost[i] = jobCostPrior(jobs[i]);
+        if (!cache)
+            continue;
+        if (const auto wall = cache->measuredWallSeconds(jobs[i].key)) {
+            wallSum += *wall;
+            priorSum += cost[i];
+            cost[i] = *wall;
+            measured[i] = 1;
+        }
+    }
+    // Calibrate the prior into seconds so measured and estimated jobs
+    // sort on one scale (a monotone transform — it cannot reorder the
+    // unmeasured jobs among themselves).
+    if (wallSum > 0.0 && priorSum > 0.0) {
+        const double scale = wallSum / priorSum;
+        for (std::size_t i = 0; i < n; ++i)
+            if (!measured[i])
+                cost[i] *= scale;
+    }
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return cost[a] > cost[b];
+                     });
+    return order;
+}
 
 SweepReport
 runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
@@ -95,8 +149,28 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
     std::atomic<std::uint64_t> quarantined{0};
     std::atomic<std::uint64_t> retried{0};
 
-    ThreadPool pool(report.threads);
-    pool.parallelFor(jobs.size(), [&](std::size_t i) {
+    const double blocked0 =
+        opts.cache ? opts.cache->blockedSeconds() : 0.0;
+
+    // Checkpoint bookkeeping: mark a concluded job in the manifest and
+    // periodically persist it together with the cache's pending group
+    // commit, so a kill loses at most a save interval of progress.
+    std::mutex manifestMtx;
+    std::size_t sinceSave = 0;
+    const auto concludeJob = [&](std::size_t i) {
+        if (!opts.manifest)
+            return;
+        std::lock_guard<std::mutex> lock(manifestMtx);
+        opts.manifest->markDone(i);
+        if (++sinceSave >= kManifestSaveInterval) {
+            sinceSave = 0;
+            if (opts.cache)
+                opts.cache->flush();
+            opts.manifest->save();
+        }
+    };
+
+    const auto worker = [&](std::size_t i) {
         const SweepJob &job = jobs[i];
         JobOutcome &out = report.outcomes[i];
         if (interrupted(opts)) {
@@ -116,12 +190,25 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
                     quarantined.fetch_add(1,
                                           std::memory_order_relaxed);
                 }
+                concludeJob(i);
                 return;
             }
         }
-        out = runJob(job, opts);
+        // Time each execution: the measured wall-clock is stored with
+        // the record and feeds the next sweep's cost model.
+        auto timedRun = [&](double *wallOut) {
+            const auto r0 = std::chrono::steady_clock::now();
+            JobOutcome o = runJob(job, opts);
+            *wallOut = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - r0)
+                           .count();
+            return o;
+        };
+        double wall = 0.0;
+        out = timedRun(&wall);
         if (!out.ok) {
             failed.fetch_add(1, std::memory_order_relaxed);
+            concludeJob(i);
             return;
         }
         const auto countRun = [&] {
@@ -147,10 +234,12 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
         while ((out.result.deadlocked || out.result.aborted)
                && retriesLeft-- > 0 && !interrupted(opts)) {
             retried.fetch_add(1, std::memory_order_relaxed);
-            JobOutcome again = runJob(job, opts);
+            double retryWall = 0.0;
+            JobOutcome again = timedRun(&retryWall);
             if (!again.ok)
                 break;
             out = std::move(again);
+            wall = retryWall;
             countRun();
         }
         if (out.result.deadlocked || out.result.aborted) {
@@ -162,12 +251,26 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
             quarantined.fetch_add(1, std::memory_order_relaxed);
             if (opts.cache)
                 opts.cache->storeQuarantine(job.key, job.canonical,
-                                            out.result, out.error);
+                                            out.result, out.error,
+                                            wall);
+            concludeJob(i);
             return;
         }
         if (opts.cache)
-            opts.cache->store(job.key, job.canonical, out.result);
-    });
+            opts.cache->store(job.key, job.canonical, out.result, wall);
+        concludeJob(i);
+    };
+
+    ThreadPool pool(report.threads);
+    if (opts.order == JobOrder::CostDescending)
+        pool.parallelForOrdered(costOrder(jobs, opts.cache), worker);
+    else
+        pool.parallelFor(jobs.size(), worker);
+
+    if (opts.cache)
+        opts.cache->flush();
+    if (opts.manifest)
+        opts.manifest->save();
 
     const auto t1 = std::chrono::steady_clock::now();
     report.elapsedSeconds =
@@ -181,6 +284,8 @@ runSweep(const std::vector<SweepJob> &jobs, const RunOptions &opts)
     if (opts.cache) {
         report.cacheHits = opts.cache->hits();
         report.cacheMisses = opts.cache->misses();
+        report.cacheBlockedSeconds =
+            opts.cache->blockedSeconds() - blocked0;
     }
     return report;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/manifest.hh"
 #include "sweep/result_cache.hh"
 #include "sweep/sweep_spec.hh"
 
@@ -64,6 +65,23 @@ struct SweepReport
     int threads = 1;
     /** True when an interrupt flag stopped the sweep early. */
     bool interrupted = false;
+    /** Wall-clock seconds workers spent inside cache calls during this
+     *  sweep (lock waits + serialization + group commits) — the
+     *  contention canary printed in the sweep summary. */
+    double cacheBlockedSeconds = 0.0;
+};
+
+/** Order jobs are pulled through the pool. */
+enum class JobOrder : std::uint8_t
+{
+    /** Spec order (index 0..n-1), single-index self-scheduling — the
+     *  original schedule. */
+    Spec,
+    /** Longest-expected-first from the cost model (costOrder below),
+     *  pulled through guided chunked self-scheduling. Collapses the
+     *  straggler tail on heterogeneous grids; results are identical
+     *  to Spec by the hermetic-job purity contract. */
+    CostDescending,
 };
 
 /** Execution knobs. */
@@ -96,7 +114,27 @@ struct RunOptions
      *  key: the backends are trace-equivalent, so cached results are
      *  shared across modes. */
     sim::SchedMode schedMode = sim::SchedMode::Auto;
+    /** Job scheduling order (see JobOrder). Never affects results or
+     *  the output JSONL, only wall-clock. */
+    JobOrder order = JobOrder::CostDescending;
+    /** Optional checkpoint manifest (manifest.hh): the runner marks
+     *  jobs done as they conclude and saves periodically, so a killed
+     *  sweep resumes with exact progress accounting. The caller owns
+     *  loading/removing it. */
+    SweepManifest *manifest = nullptr;
 };
+
+/**
+ * Execution order for JobOrder::CostDescending: job indices sorted
+ * longest-expected-first. A job's expected cost is its measured
+ * wall-clock when its key is cached; otherwise a nodes × cycles ×
+ * rate-pressure prior, scaled into seconds by calibrating against
+ * whatever measured wall-clocks the cache does hold for this sweep's
+ * keys. Ties (and the no-cache case) break by index, so the order is
+ * deterministic.
+ */
+std::vector<std::size_t> costOrder(const std::vector<SweepJob> &jobs,
+                                   const ResultCache *cache);
 
 /** Execute one job, no cache involved (also used by the runner). */
 JobOutcome runJob(const SweepJob &job);

@@ -1,5 +1,6 @@
 #include "sweep_spec.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <stdexcept>
 
@@ -11,7 +12,7 @@
 namespace ebda::sweep {
 
 std::uint64_t
-fnv1a64(const std::string &bytes)
+fnv1a64(std::string_view bytes)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (const char c : bytes) {
@@ -58,6 +59,39 @@ TopologySpec::toString() const
         return "ascii map " + keyToHex(fnv1a64(map)).substr(8);
     }
     return "?";
+}
+
+std::size_t
+TopologySpec::nodeCountEstimate() const
+{
+    switch (kind) {
+    case Kind::Mesh:
+    case Kind::Torus: {
+        std::size_t n = 1;
+        for (const int d : dims)
+            n *= static_cast<std::size_t>(d > 0 ? d : 1);
+        return n;
+    }
+    case Kind::Dragonfly: {
+        // a routers per group, a*h+1 groups, p hosts hanging off each
+        // router.
+        const std::size_t routers =
+            static_cast<std::size_t>(a > 0 ? a : 1) *
+            static_cast<std::size_t>(a * h + 1 > 0 ? a * h + 1 : 1);
+        return routers * static_cast<std::size_t>(p > 0 ? p : 1);
+    }
+    case Kind::FullMesh:
+        return static_cast<std::size_t>(nodes > 0 ? nodes : 1);
+    case Kind::Ascii: {
+        // Node labels are the map's alphanumeric characters.
+        std::size_t n = 0;
+        for (const char c : map)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                ++n;
+        return n > 0 ? n : 1;
+    }
+    }
+    return 1;
 }
 
 topo::Network

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -51,7 +52,7 @@
 namespace ebda::sweep {
 
 /** 64-bit FNV-1a of a byte string (the content-address hash). */
-std::uint64_t fnv1a64(const std::string &bytes);
+std::uint64_t fnv1a64(std::string_view bytes);
 
 /** Hash key rendered as the fixed-width hex used in cache/result
  *  files, e.g. "00c3a5f2deadbeef". */
@@ -117,6 +118,11 @@ struct TopologySpec
 
     /** "mesh 8x8 vcs 2,2" — for labels and error messages. */
     std::string toString() const;
+
+    /** Rough node count without building the network — the size term
+     *  of the sweep runner's job-cost prior. Exactness does not
+     *  matter; monotonicity in fabric size does. */
+    std::size_t nodeCountEstimate() const;
 };
 
 /** One fully resolved simulation job. */

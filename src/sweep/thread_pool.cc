@@ -34,17 +34,40 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runIndices()
 {
+    const std::size_t guidedDivisor =
+        static_cast<std::size_t>(numThreads) * 4;
     while (true) {
-        const std::size_t i =
-            nextIndex.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batchSize)
-            return;
-        try {
-            (*fn)(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mtx);
-            if (!firstError)
-                firstError = std::current_exception();
+        std::size_t begin, end;
+        if (!order) {
+            // Plain parallel-for: one index per claim.
+            begin = nextIndex.fetch_add(1, std::memory_order_relaxed);
+            if (begin >= batchSize)
+                return;
+            end = begin + 1;
+        } else {
+            // Guided self-scheduling: claim remaining/(4·threads)
+            // slots at once, shrinking to single slots at the tail.
+            begin = nextIndex.load(std::memory_order_relaxed);
+            do {
+                if (begin >= batchSize)
+                    return;
+                const std::size_t remaining = batchSize - begin;
+                std::size_t chunk = remaining / guidedDivisor;
+                if (chunk < 1)
+                    chunk = 1;
+                end = begin + chunk;
+            } while (!nextIndex.compare_exchange_weak(
+                begin, end, std::memory_order_relaxed));
+        }
+        for (std::size_t slot = begin; slot < end; ++slot) {
+            const std::size_t i = order ? (*order)[slot] : slot;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
         }
     }
 }
@@ -76,6 +99,22 @@ void
 ThreadPool::parallelFor(std::size_t n,
                         const std::function<void(std::size_t)> &f)
 {
+    order = nullptr;
+    runBatch(n, f);
+}
+
+void
+ThreadPool::parallelForOrdered(const std::vector<std::size_t> &ord,
+                               const std::function<void(std::size_t)> &f)
+{
+    order = &ord;
+    runBatch(ord.size(), f);
+}
+
+void
+ThreadPool::runBatch(std::size_t n,
+                     const std::function<void(std::size_t)> &f)
+{
     if (n == 0)
         return;
 
@@ -87,6 +126,7 @@ ThreadPool::parallelFor(std::size_t n,
         firstError = nullptr;
         runIndices();
         fn = nullptr;
+        order = nullptr;
         if (firstError)
             std::rethrow_exception(firstError);
         return;
@@ -108,6 +148,7 @@ ThreadPool::parallelFor(std::size_t n,
         std::unique_lock<std::mutex> lock(mtx);
         cvDone.wait(lock, [&] { return activeWorkers == 0; });
         fn = nullptr;
+        order = nullptr;
         err = firstError;
         firstError = nullptr;
     }

@@ -49,12 +49,29 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Run fn(order[0]), fn(order[1]), ... across the workers with
+     * guided chunked self-scheduling: workers claim shrinking chunks
+     * of the order vector (remaining / 4·threads, min 1) off the
+     * shared counter, so a cost-descending order front-loads the
+     * expensive jobs and the tail self-balances with chunk size 1 —
+     * the straggler-collapse schedule for heterogeneous job costs.
+     * `order` must be a permutation-like index list (each entry < the
+     * caller's job count; duplicates are the caller's bug). The same
+     * determinism contract as parallelFor applies: execution order is
+     * a schedule detail, results may not depend on it.
+     */
+    void parallelForOrdered(const std::vector<std::size_t> &order,
+                            const std::function<void(std::size_t)> &fn);
+
     /** Default worker count: the hardware concurrency (>= 1). */
     static int defaultThreads();
 
   private:
     void workerLoop();
     void runIndices();
+    void runBatch(std::size_t n,
+                  const std::function<void(std::size_t)> &fn);
 
     const int numThreads;
     std::vector<std::thread> workers;
@@ -67,6 +84,9 @@ class ThreadPool
     std::uint64_t generation = 0;
     bool stopping = false;
     const std::function<void(std::size_t)> *fn = nullptr;
+    /** Non-null while a parallelForOrdered batch runs: counter slots
+     *  map through this permutation, claimed in guided chunks. */
+    const std::vector<std::size_t> *order = nullptr;
     std::size_t batchSize = 0;
     std::atomic<std::size_t> nextIndex{0};
     int activeWorkers = 0;

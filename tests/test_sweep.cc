@@ -532,7 +532,9 @@ TEST(ResultCache, CorruptedLinesAreSkippedNotFatal)
     const ScratchDir dir("corrupt");
     std::filesystem::create_directories(dir.path);
 
-    // One valid entry sandwiched between garbage.
+    // One valid binary record, plus a stale legacy cache.jsonl full of
+    // garbage: migration must skip the garbage, count it, and keep the
+    // record served.
     sim::SimResult r;
     r.avgLatency = 12.5;
     r.packetsMeasured = 42;
@@ -557,7 +559,7 @@ TEST(ResultCache, CorruptedLinesAreSkippedNotFatal)
     EXPECT_EQ(hit->packetsMeasured, 42u);
 }
 
-TEST(ResultCache, ClearRemovesTheFile)
+TEST(ResultCache, ClearRemovesTheStore)
 {
     const ScratchDir dir("clear");
     {
@@ -565,10 +567,14 @@ TEST(ResultCache, ClearRemovesTheFile)
         cache.store(1, "{}", sim::SimResult{});
     }
     EXPECT_TRUE(std::filesystem::exists(
-        sweep::ResultCache::cacheFile(dir.path)));
+        sweep::ResultCache::binFile(dir.path)));
+    EXPECT_TRUE(std::filesystem::exists(
+        sweep::ResultCache::indexFile(dir.path)));
     EXPECT_TRUE(sweep::ResultCache::clear(dir.path));
     EXPECT_FALSE(std::filesystem::exists(
-        sweep::ResultCache::cacheFile(dir.path)));
+        sweep::ResultCache::binFile(dir.path)));
+    EXPECT_FALSE(std::filesystem::exists(
+        sweep::ResultCache::indexFile(dir.path)));
     EXPECT_TRUE(sweep::ResultCache::clear(dir.path)); // idempotent
 }
 
@@ -590,21 +596,22 @@ TEST(ResultCache, CompactDropsCorruptionAndDuplicates)
         writer.store(0xbeefULL, "{}", fresh); // supersedes stale
     }
     {
-        std::ofstream out(sweep::ResultCache::cacheFile(dir.path),
-                          std::ios::app);
-        out << "not json at all\n";
-        out << "{\"key\":\"nothex\",\"result\":{}}\n";
+        // A killed writer's torn tail: half a record of garbage.
+        std::ofstream out(sweep::ResultCache::binFile(dir.path),
+                          std::ios::app | std::ios::binary);
+        out << "EBDRtorn-half-record-garbage";
     }
 
     std::string err;
     const auto stats = sweep::ResultCache::compact(dir.path, &err);
     ASSERT_TRUE(stats) << err;
     EXPECT_EQ(stats->kept, 2u);
-    EXPECT_EQ(stats->droppedCorrupted, 2u);
+    EXPECT_EQ(stats->droppedCorrupted, 1u);
     EXPECT_EQ(stats->droppedDuplicate, 1u);
+    EXPECT_GT(stats->reclaimedBytes, 0u);
 
-    // The rewritten file must reload cleanly with the duplicate
-    // resolved the same way load() resolves it: later line wins.
+    // The rewritten store must reload cleanly with the duplicate
+    // resolved the same way lookup() resolves it: later record wins.
     sweep::ResultCache cache(dir.path);
     EXPECT_EQ(cache.entries(), 2u);
     EXPECT_EQ(cache.corruptedLines(), 0u);
@@ -613,13 +620,14 @@ TEST(ResultCache, CompactDropsCorruptionAndDuplicates)
     EXPECT_EQ(hit->avgLatency, 2.0);
     EXPECT_EQ(hit->packetsMeasured, 7u);
 
-    // Compacting an already-compact cache is a no-op; a missing file
+    // Compacting an already-compact cache is a no-op; a missing store
     // is success with zero counters.
     const auto again = sweep::ResultCache::compact(dir.path);
     ASSERT_TRUE(again);
     EXPECT_EQ(again->kept, 2u);
     EXPECT_EQ(again->droppedCorrupted, 0u);
     EXPECT_EQ(again->droppedDuplicate, 0u);
+    EXPECT_EQ(again->reclaimedBytes, 0u);
     ASSERT_TRUE(sweep::ResultCache::clear(dir.path));
     const auto empty = sweep::ResultCache::compact(dir.path);
     ASSERT_TRUE(empty);
@@ -850,10 +858,15 @@ TEST(SweepHardening, CycleBudgetQuarantinesAfterOneRetry)
         EXPECT_EQ(out.error.rfind("budget:", 0), 0u) << out.error;
     }
 
-    // The on-disk line keeps the old reader contract (key + config +
+    // The exported line keeps the old reader contract (key + config +
     // result) with the reason as an extra member, and compact() keeps
-    // quarantine lines verbatim.
-    std::ifstream cacheIn(sweep::ResultCache::cacheFile(dir.path));
+    // quarantine records verbatim.
+    const std::string exportPath = dir.path + "/export.jsonl";
+    std::string exportErr;
+    ASSERT_TRUE(sweep::ResultCache::exportJsonl(dir.path, exportPath,
+                                                nullptr, &exportErr))
+        << exportErr;
+    std::ifstream cacheIn(exportPath);
     std::size_t quarantineLines = 0;
     while (std::getline(cacheIn, line)) {
         const auto doc = parseJson(line);
